@@ -1,0 +1,149 @@
+"""A2 — ablation: compiler-assigned static sync-site ids (§4 future work).
+
+§5 attributes most of the 4–5 % overhead to call-stack retrieval
+(``dvmGetCallStack``); §4 sketches the fix — the compiler assigns each
+synchronization statement a constant id, passed to lockMonitor for free.
+
+Both halves are measured:
+
+* real threads — ``DimmunixLock.acquire(site_id=...)`` skips the Python
+  stack walk; the remaining overhead is pure avoidance bookkeeping;
+* virtual time — the same microbenchmark with ``stack_retrieval_cost=0``,
+  isolating the stack-walk term of the VM cost model.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentRecord
+from repro.dalvik.vm import VMConfig
+from repro.workloads.microbench import (
+    MODE_DIMMUNIX,
+    MODE_VANILLA,
+    MicrobenchConfig,
+    run_real_microbench,
+    run_vm_microbench,
+)
+
+REAL_CONFIG = MicrobenchConfig(
+    threads=8,
+    locks=32,
+    sites=8,
+    iterations_per_thread=250,
+    history_size=128,
+    seed=5,
+)
+
+VM_BASE = VMConfig(ticks_per_second=200_000, stack_retrieval_cost=3)
+
+
+def bench_real_static_ids(benchmark, record):
+    """The honest CPython result: static ids are *already matched* by the
+    runtime's interned call-site capture.
+
+    Our ``capture_stack`` interns stacks by frame key (the analog of the
+    paper's reused per-thread stackBuffer), so after the first hit a
+    "stack walk" is one ``sys._getframe`` plus a dict probe — within
+    noise of the static-id dict probe. The big win §4 projects exists
+    where stack retrieval is expensive relative to the rest of Request
+    (Dalvik's ``dvmGetCallStack``); that regime is measured precisely on
+    the VM cost model in ``bench_vm_stack_cost_term``. Here the claim is
+    equivalence: supplying ``site_id`` never *costs* anything.
+    """
+    import statistics
+
+    def measure():
+        rates: dict[str, list[float]] = {"vanilla": [], "walk": [], "static": []}
+        for _round in range(3):
+            rates["vanilla"].append(
+                run_real_microbench(REAL_CONFIG, MODE_VANILLA).syncs_per_sec
+            )
+            rates["walk"].append(
+                run_real_microbench(REAL_CONFIG, MODE_DIMMUNIX).syncs_per_sec
+            )
+            rates["static"].append(
+                run_real_microbench(
+                    REAL_CONFIG.scaled(static_ids=True), MODE_DIMMUNIX
+                ).syncs_per_sec
+            )
+        return {key: statistics.median(values) for key, values in rates.items()}
+
+    rates = benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead_walking = 1 - rates["walk"] / rates["vanilla"]
+    overhead_static = 1 - rates["static"] / rates["vanilla"]
+    print()
+    print(
+        f"A2 - real threads (lock-dominated): vanilla "
+        f"{rates['vanilla']:,.0f} s/s, interned stack walk "
+        f"{rates['walk']:,.0f} s/s ({overhead_walking * 100:.1f}%), "
+        f"static ids {rates['static']:,.0f} s/s "
+        f"({overhead_static * 100:.1f}%)"
+    )
+    # Equivalence band: static ids within 5pp of the interned walk.
+    holds = overhead_static <= overhead_walking + 0.05
+    record(
+        ExperimentRecord(
+            experiment_id="A2.real",
+            description="interned call-site capture already matches static ids",
+            paper_value="retrieving the id would not incur any performance penalty",
+            measured_value=(
+                f"interned walk {overhead_walking * 100:.1f}% vs static ids "
+                f"{overhead_static * 100:.1f}% - equivalent on CPython"
+            ),
+            holds=holds,
+            notes=(
+                "the stack-walk-dominated regime the paper targets is "
+                "measured on the VM cost model (A2.vm)"
+            ),
+        )
+    )
+    assert holds
+
+
+def bench_vm_stack_cost_term(benchmark, record):
+    config = MicrobenchConfig(
+        threads=32,
+        locks=64,
+        sites=8,
+        iterations_per_thread=24,
+        inside_spin=20,
+        outside_spin=85,
+        history_size=128,
+        seed=7,
+    )
+
+    def measure():
+        vanilla = run_vm_microbench(config, dimmunix=False, vm_config=VM_BASE)
+        walking = run_vm_microbench(config, dimmunix=True, vm_config=VM_BASE)
+        from dataclasses import replace
+
+        static_vm = replace(VM_BASE, stack_retrieval_cost=0)
+        static = run_vm_microbench(config, dimmunix=True, vm_config=static_vm)
+        return vanilla, walking, static
+
+    vanilla, walking, static = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    overhead_walking = walking.overhead_vs(vanilla)
+    overhead_static = static.overhead_vs(vanilla)
+    stack_share = (
+        (overhead_walking - overhead_static) / overhead_walking
+        if overhead_walking > 0
+        else 0.0
+    )
+    print()
+    print(
+        f"A2 - VM: overhead {overhead_walking * 100:.1f}% with stack walks, "
+        f"{overhead_static * 100:.1f}% with static ids "
+        f"({stack_share * 100:.0f}% of the overhead was stack retrieval)"
+    )
+    holds = overhead_static < overhead_walking and stack_share >= 0.4
+    record(
+        ExperimentRecord(
+            experiment_id="A2.vm",
+            description="share of overhead due to call-stack retrieval",
+            paper_value="most of the overhead is due to dvmGetCallStack",
+            measured_value=f"{stack_share * 100:.0f}% of overhead is the stack walk",
+            holds=holds,
+        )
+    )
+    assert holds

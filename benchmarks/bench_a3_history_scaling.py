@@ -1,0 +1,139 @@
+"""A3 — ablation: history size on the critical path.
+
+§4 warns that signatures on the hot path make Request expensive: every
+acquisition at an in-history position scans that position's signatures
+and runs the instantiation check on each. The paper engineers around it
+(position queues, free lists, tuple-indexed history) and evaluates with
+64–256 signatures; this sweep extends the range to show the trend the
+engineering keeps flat-ish, and where it finally bends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import ExperimentRecord
+from repro.analysis.tables import render_table
+from repro.dalvik.vm import VMConfig
+from repro.workloads.microbench import MicrobenchConfig, run_vm_pair
+
+VM_CONFIG = VMConfig(ticks_per_second=200_000, stack_retrieval_cost=3)
+HISTORY_SIZES = (0, 64, 256, 1024, 4095)
+
+
+def _config(history: int) -> MicrobenchConfig:
+    return MicrobenchConfig(
+        threads=32,
+        locks=64,
+        sites=8,
+        iterations_per_thread=24,
+        inside_spin=20,
+        outside_spin=85,
+        history_size=history,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = []
+    for history in HISTORY_SIZES:
+        vanilla, immunized = run_vm_pair(_config(history), vm_config=VM_CONFIG)
+        results.append(
+            (
+                history,
+                immunized.overhead_vs(vanilla),
+                immunized.stats.instantiation_checks,
+            )
+        )
+    return results
+
+
+def bench_request_cost_vs_history(benchmark, record, sweep):
+    def replay():
+        return run_vm_pair(_config(256), vm_config=VM_CONFIG)
+
+    benchmark.pedantic(replay, rounds=1, iterations=1)
+
+    print()
+    print(
+        render_table(
+            ["History size", "Overhead", "Instantiation checks"],
+            [
+                [history, f"{overhead * 100:.2f}%", checks]
+                for history, overhead, checks in sweep
+            ],
+            title="A3 - overhead vs history size (32 threads, 8 sites)",
+        )
+    )
+    from repro.analysis.figures import Series, render_figure
+
+    print()
+    print(
+        render_figure(
+            [
+                Series.of(
+                    "overhead %",
+                    [history for history, _o, _c in sweep],
+                    [overhead * 100 for _h, overhead, _c in sweep],
+                )
+            ],
+            title="A3 - Request cost vs signatures on the critical path",
+            height=8,
+            x_label="history size (signatures)",
+        )
+    )
+    overhead_by_size = {history: overhead for history, overhead, _c in sweep}
+    paper_band_flat = (
+        overhead_by_size[256] - overhead_by_size[64] < 0.01
+    )
+    grows = overhead_by_size[4095] > overhead_by_size[64]
+    monotone = all(
+        b[1] >= a[1] - 0.002 for a, b in zip(sweep, sweep[1:])
+    )
+    record(
+        ExperimentRecord(
+            experiment_id="A3",
+            description="Request cost vs signatures on the critical path",
+            paper_value="64-256 signatures cost the same 4-5%; cost is per-signature work",
+            measured_value=(
+                f"{overhead_by_size[64] * 100:.1f}% at 64, "
+                f"{overhead_by_size[256] * 100:.1f}% at 256, "
+                f"{overhead_by_size[4095] * 100:.1f}% at 4095 signatures"
+            ),
+            holds=paper_band_flat and grows and monotone,
+        )
+    )
+    assert paper_band_flat, "64->256 should stay within the paper's flat band"
+    assert grows, "a 16x larger history must eventually cost more"
+
+
+def bench_checks_scale_linearly(benchmark, record, sweep):
+    """The mechanism: checks per sync = signatures at the position."""
+
+    def replay():
+        return [(h, c) for h, _o, c in sweep]
+
+    pairs = benchmark.pedantic(replay, rounds=1, iterations=1)
+    nonzero = [(h, c) for h, c in pairs if h > 0]
+    syncs = 32 * 24 * 8
+    per_sync = [(h, c / syncs) for h, c in nonzero]
+    print()
+    print("A3 - instantiation checks per sync:")
+    for history, rate in per_sync:
+        print(f"      history {history:>5}: {rate:.1f} checks/sync")
+    # checks/sync should be ~history/sites (each site holds its share).
+    expected_ratio = [rate / (history / 8) for history, rate in per_sync]
+    holds = all(0.5 <= ratio <= 1.5 for ratio in expected_ratio)
+    record(
+        ExperimentRecord(
+            experiment_id="A3.mechanism",
+            description="instantiation checks grow linearly with history",
+            paper_value="Request scans the signatures indexed at the position",
+            measured_value=(
+                ", ".join(f"{h}:{r:.1f}/sync" for h, r in per_sync)
+            ),
+            holds=holds,
+        )
+    )
+    assert holds

@@ -1,0 +1,162 @@
+"""A4 — ablation: the position queues' two-queue (free-list) scheme.
+
+§4: "To reduce the number of memory allocations, Dimmunix uses a second
+queue, where the elements deleted from the main queue are stored" — cells
+are recycled instead of reallocated on every acquisition.
+
+Measured two ways: structurally (allocations vs reuses after a lock-churn
+workload — steady state must not allocate) and as a raw add/remove
+timing microbenchmark, the only bench here where pytest-benchmark's
+multi-round timing is the headline number.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentRecord
+from repro.core.callstack import CallStack
+from repro.core.node import LockNode, ThreadNode
+from repro.core.position import PositionQueue
+from repro.dalvik.vm import VMConfig
+from repro.workloads.microbench import MicrobenchConfig, run_vm_microbench
+
+VM_CONFIG = VMConfig(ticks_per_second=200_000, stack_retrieval_cost=3)
+
+
+def bench_steady_state_does_not_allocate(benchmark, record):
+    config = MicrobenchConfig(
+        threads=16,
+        locks=32,
+        sites=8,
+        iterations_per_thread=64,
+        inside_spin=20,
+        outside_spin=85,
+        history_size=128,
+        seed=9,
+    )
+
+    def measure():
+        return run_vm_microbench(config, dimmunix=True, vm_config=VM_CONFIG)
+
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    stats = result.stats
+    assert stats is not None
+    adds = stats.acquisitions  # one queue add per granted acquisition
+    # Reach into the run's structure counters via the engine snapshot the
+    # microbench captured: allocations = peak concurrency, reuses = rest.
+    # (The engine object is gone; the counters live on in the stats.)
+    syncs = config.threads * config.iterations_per_thread * config.sites
+    print()
+    print(
+        f"A4 - {syncs} syncs; queue adds ~{adds}; "
+        f"see structural assertion below"
+    )
+
+    # Structural check on a fresh engine-level run of the same shape.
+    from repro.core.engine import DimmunixCore
+    from repro.config import DimmunixConfig
+
+    core = DimmunixCore(DimmunixConfig())
+    threads = [core.register_thread(f"t{i}") for i in range(8)]
+    locks = [core.register_lock(f"l{i}") for i in range(8)]
+    stack = CallStack.single("Churn.java", 7)
+    for round_index in range(200):
+        for thread, lock in zip(threads, locks):
+            verdict = core.request(thread, lock, stack)
+            assert verdict.verdict.value == "proceed"
+            core.acquired(thread, lock)
+        for thread, lock in zip(threads, locks):
+            core.release(thread, lock)
+    allocations = core.positions.total_queue_allocations()
+    reuses = core.positions.total_queue_reuses()
+    total_adds = allocations + reuses
+    print(
+        f"A4 - churn: {total_adds} queue adds, {allocations} allocations, "
+        f"{reuses} reuses ({reuses / total_adds * 100:.1f}% recycled)"
+    )
+    holds = allocations <= 8 and reuses == total_adds - allocations
+    record(
+        ExperimentRecord(
+            experiment_id="A4",
+            description="free-list recycles queue cells in steady state",
+            paper_value="second queue eliminates steady-state allocations",
+            measured_value=(
+                f"{allocations} allocations for {total_adds} adds "
+                f"({reuses / total_adds * 100:.1f}% recycled)"
+            ),
+            holds=holds,
+        )
+    )
+    assert holds
+
+
+def bench_queue_add_remove_cycle(benchmark, record):
+    """Raw cost of one add+remove pair once the free list is warm."""
+    queue = PositionQueue()
+    thread = ThreadNode("t")
+    lock = LockNode("l")
+    # Warm the free list so the timed loop is pure reuse.
+    queue.add(thread, lock)
+    queue.remove(thread, lock)
+
+    def cycle():
+        queue.add(thread, lock)
+        queue.remove(thread, lock)
+
+    benchmark(cycle)
+    allocations = queue.allocations
+    print()
+    print(
+        f"A4 - after {queue.reuses} timed cycles: "
+        f"{allocations} total allocation(s)"
+    )
+    record(
+        ExperimentRecord(
+            experiment_id="A4.hotpath",
+            description="warm add/remove allocates nothing",
+            paper_value="pop a free cell, point it at t, push it (§4)",
+            measured_value=f"{allocations} allocation(s) across all timed cycles",
+            holds=allocations == 1,
+        )
+    )
+    assert allocations == 1
+
+
+def bench_burst_allocates_once_then_recycles(benchmark, record):
+    """Bursts allocate up to the high-water mark, then never again."""
+
+    def burst_workload():
+        queue = PositionQueue()
+        threads = [ThreadNode(f"t{i}") for i in range(32)]
+        locks = [LockNode(f"l{i}") for i in range(32)]
+        for _round in range(50):
+            for thread, lock in zip(threads, locks):
+                queue.add(thread, lock)
+            for thread, lock in zip(threads, locks):
+                queue.remove(thread, lock)
+        return queue
+
+    queue = benchmark.pedantic(burst_workload, rounds=3, iterations=1)
+    print()
+    print(
+        f"A4 - burst: {queue.allocations} allocations, "
+        f"{queue.reuses} reuses, free list holds "
+        f"{queue.free_list_length()} cells"
+    )
+    holds = (
+        queue.allocations == 32
+        and queue.reuses == 32 * 49
+        and queue.free_list_length() == 32
+    )
+    record(
+        ExperimentRecord(
+            experiment_id="A4.highwater",
+            description="allocations bounded by peak queue occupancy",
+            paper_value="allocation only when the second queue is empty",
+            measured_value=(
+                f"{queue.allocations} allocations for "
+                f"{queue.allocations + queue.reuses} adds"
+            ),
+            holds=holds,
+        )
+    )
+    assert holds

@@ -1,0 +1,158 @@
+"""A6 — extension: native (NDK) deadlocks and pthread interception (§4).
+
+The paper's closing limitation: "Android Dimmunix does not handle
+deadlocks involving native code", with a sketched fix — intercept the
+POSIX Threads routines, but *only when native code executes*, because
+the VM implements Java monitors on those same routines.
+
+Three measured points on the JNI-crossing deadlock (a Java thread holds
+a monitor and locks a native mutex; a native thread holds the mutex and
+enters the monitor):
+
+* ``OFF`` (shipped) — the process freezes, nothing detected;
+* ``NATIVE_ONLY`` (the proposal) — the cross-boundary cycle is detected
+  (signature spans Decoder.java and decoder_jni.cpp) and the reboot is
+  immune, the standard lifecycle;
+* ``ALWAYS`` (the naive hook) — every Java acquisition is processed
+  twice and all VM-internal locking collapses onto one ``<libdvm>``
+  position: the measured reason "this must be done carefully".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis.report import ExperimentRecord
+from repro.config import InterceptionMode
+from repro.core.history import History
+from repro.dalvik.program import ProgramBuilder
+from repro.dalvik.vm import DalvikVM, VMConfig
+from repro.ndk.pthread_layer import VM_INTERNAL_FILE
+from repro.ndk.scenarios import JAVA_FILE, JNI_FILE, run_jni_inversion
+
+
+def bench_shipped_mode_misses_native_deadlock(benchmark, record):
+    def measure():
+        return run_jni_inversion(InterceptionMode.OFF)
+
+    vm = benchmark.pedantic(measure, rounds=1, iterations=1)
+    live = [t for t in vm.threads if t.is_live()]
+    print()
+    print(
+        f"A6 - OFF: {len(live)} thread(s) frozen, "
+        f"{len(vm.detections)} detection(s), history size "
+        f"{len(vm.core.history)}"
+    )
+    holds = len(live) == 2 and not vm.detections
+    record(
+        ExperimentRecord(
+            experiment_id="A6.off",
+            description="shipped Android Dimmunix misses native deadlocks",
+            paper_value="Android Dimmunix does not handle deadlocks involving native code",
+            measured_value=f"frozen undetected ({len(live)} threads stuck)",
+            holds=holds,
+        )
+    )
+    assert holds
+
+
+def bench_native_only_detects_and_avoids(benchmark, record, tmp_path):
+    history_path = tmp_path / "jni.history"
+
+    def measure():
+        first = run_jni_inversion(InterceptionMode.NATIVE_ONLY)
+        first.core.history.save(history_path)
+        second = run_jni_inversion(
+            InterceptionMode.NATIVE_ONLY, history=History.load(history_path)
+        )
+        return first, second
+
+    first, second = benchmark.pedantic(measure, rounds=1, iterations=1)
+    signature_files = {
+        key[0][0] for key in first.detections[0].outer_position_keys()
+    }
+    second_live = [t for t in second.threads if t.is_live()]
+    print()
+    print(
+        f"A6 - NATIVE_ONLY: boot 1 detected a cycle spanning "
+        f"{sorted(signature_files)}; boot 2 completed with "
+        f"{second.core.stats.yields} yield(s)"
+    )
+    holds = (
+        len(first.detections) == 1
+        and signature_files == {JAVA_FILE, JNI_FILE}
+        and second_live == []
+        and not second.detections
+    )
+    record(
+        ExperimentRecord(
+            experiment_id="A6.native-only",
+            description="pthread interception in native context closes the gap",
+            paper_value="possible to handle such deadlocks by intercepting POSIX Threads",
+            measured_value=(
+                "cross-boundary signature recorded (Java + JNI positions); "
+                "reboot immune"
+            ),
+            holds=holds,
+        )
+    )
+    assert holds
+
+
+def bench_naive_hook_double_intercepts(benchmark, record):
+    """Quantify why 'this must be done carefully'."""
+
+    def java_workload(mode: InterceptionMode) -> DalvikVM:
+        builder = ProgramBuilder("App.java")
+        builder.set_reg("i", 100)
+        builder.label("loop")
+        builder.rand("r", 16)
+        builder.monitor_enter("obj", reg="r", line=50)
+        builder.compute(2, line=51)
+        builder.monitor_exit("obj", reg="r", line=52)
+        builder.loop_dec("i", "loop")
+        builder.halt()
+        vm = DalvikVM(replace(VMConfig(), native_interception=mode))
+        for index in range(4):
+            vm.spawn(builder.build(), f"worker-{index}")
+        vm.run()
+        return vm
+
+    def measure():
+        clean = java_workload(InterceptionMode.NATIVE_ONLY)
+        naive = java_workload(InterceptionMode.ALWAYS)
+        return clean, naive
+
+    clean, naive = benchmark.pedantic(measure, rounds=1, iterations=1)
+    clean_requests = clean.core.stats.requests
+    naive_requests = naive.core.stats.requests
+    internal_positions = [
+        pos
+        for pos in naive.core.positions
+        if pos.key and pos.key[0][0] == VM_INTERNAL_FILE
+    ]
+    print()
+    print(
+        f"A6 - ALWAYS: {naive_requests} core requests for the same Java "
+        f"workload vs {clean_requests} under NATIVE_ONLY "
+        f"({naive_requests / clean_requests:.1f}x); "
+        f"{len(internal_positions)} shared <libdvm> position"
+    )
+    holds = (
+        naive_requests >= 2 * clean_requests - 4
+        and len(internal_positions) == 1
+        and clean.pthreads.intercepted_internal == 0
+    )
+    record(
+        ExperimentRecord(
+            experiment_id="A6.naive",
+            description="naive pthread hook double-intercepts the VM itself",
+            paper_value="must be done carefully: Dalvik already uses this library",
+            measured_value=(
+                f"{naive_requests / clean_requests:.1f}x request volume; all "
+                f"internal acquisitions share one <libdvm> position"
+            ),
+            holds=holds,
+        )
+    )
+    assert holds

@@ -1,0 +1,236 @@
+"""E1 — the §5 microbenchmark: 4–5 % synchronization-throughput overhead.
+
+The paper's numbers (Nexus One, 1 GHz single core):
+
+* vanilla Android 2.2:   1738–1756 syncs/sec
+* Android Dimmunix:      1657–1681 syncs/sec  →  4–5 % overhead
+
+across 2–512 threads executing synchronized blocks on random lock
+objects (no contention), busy-waiting in and out of the critical
+sections, against a history of 64–256 synthetic signatures.
+
+Reproduced twice:
+
+* on the virtual-time VM, calibrated to the paper's operating point
+  (~114 ticks ≈ 570 µs of compute per synchronization), sweeping the
+  paper's full thread and history ranges deterministically;
+* on real ``threading`` threads through the interception runtime, with
+  busy-waits calibrated so the vanilla run hits ~1750 syncs/sec on this
+  host (the honest analog of "the same workload on the same phone").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import ExperimentRecord
+from repro.analysis.tables import render_table
+from repro.dalvik.vm import VMConfig
+from repro.workloads.microbench import (
+    MicrobenchConfig,
+    calibrate_for_rate,
+    run_real_pair,
+    run_vm_pair,
+)
+
+# ~114 ticks per synchronization -> vanilla ~1750 syncs/sec at 200k
+# ticks/sec, the paper's measured operating point.
+E1_VM_CONFIG = VMConfig(ticks_per_second=200_000, stack_retrieval_cost=3)
+PAPER_BAND = (0.02, 0.08)  # accept 2-8%; the paper reports 4-5%
+
+THREAD_SWEEP = (2, 8, 32, 128, 512)
+HISTORY_SWEEP = (64, 128, 256)
+TOTAL_SYNCS_TARGET = 8_192
+
+
+def _vm_config_for(threads: int, history: int) -> MicrobenchConfig:
+    sites = 8
+    iterations = max(TOTAL_SYNCS_TARGET // (threads * sites), 2)
+    return MicrobenchConfig(
+        threads=threads,
+        locks=64,
+        sites=sites,
+        iterations_per_thread=iterations,
+        inside_spin=20,
+        outside_spin=85,
+        history_size=history,
+        seed=7,
+    )
+
+
+@pytest.mark.parametrize("threads", THREAD_SWEEP)
+def bench_vm_thread_sweep(benchmark, record, threads):
+    """Overhead at each paper thread count (history fixed at 128)."""
+    config = _vm_config_for(threads, history=128)
+
+    def measure():
+        return run_vm_pair(config, vm_config=E1_VM_CONFIG)
+
+    vanilla, immunized = benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = immunized.overhead_vs(vanilla)
+    benchmark.extra_info.update(
+        vanilla_rate=round(vanilla.syncs_per_sec, 1),
+        dimmunix_rate=round(immunized.syncs_per_sec, 1),
+        overhead_pct=round(overhead * 100, 2),
+    )
+    record(
+        ExperimentRecord(
+            experiment_id=f"E1.vm.threads={threads}",
+            description="microbenchmark overhead (virtual time)",
+            paper_value="vanilla 1738-1756 s/s, Dimmunix 1657-1681 s/s (4-5%)",
+            measured_value=(
+                f"vanilla {vanilla.syncs_per_sec:.0f} s/s, "
+                f"Dimmunix {immunized.syncs_per_sec:.0f} s/s "
+                f"({overhead * 100:.1f}%)"
+            ),
+            holds=PAPER_BAND[0] <= overhead <= PAPER_BAND[1],
+        )
+    )
+    assert PAPER_BAND[0] <= overhead <= PAPER_BAND[1]
+
+
+@pytest.mark.parametrize("history", HISTORY_SWEEP)
+def bench_vm_history_sweep(benchmark, record, history):
+    """Overhead at each paper history size (threads fixed at 32)."""
+    config = _vm_config_for(32, history=history)
+
+    def measure():
+        return run_vm_pair(config, vm_config=E1_VM_CONFIG)
+
+    vanilla, immunized = benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = immunized.overhead_vs(vanilla)
+    benchmark.extra_info.update(
+        vanilla_rate=round(vanilla.syncs_per_sec, 1),
+        dimmunix_rate=round(immunized.syncs_per_sec, 1),
+        overhead_pct=round(overhead * 100, 2),
+    )
+    record(
+        ExperimentRecord(
+            experiment_id=f"E1.vm.history={history}",
+            description="microbenchmark overhead vs history size",
+            paper_value="4-5% overhead across 64-256 signatures",
+            measured_value=f"{overhead * 100:.1f}% overhead",
+            holds=PAPER_BAND[0] <= overhead <= PAPER_BAND[1],
+        )
+    )
+    assert PAPER_BAND[0] <= overhead <= PAPER_BAND[1]
+
+
+def bench_vm_summary_table(benchmark, record):
+    """The full sweep in one run, printed as the §5 series."""
+
+    def measure():
+        rows = []
+        for threads in THREAD_SWEEP:
+            config = _vm_config_for(threads, history=256)
+            vanilla, immunized = run_vm_pair(config, vm_config=E1_VM_CONFIG)
+            rows.append(
+                (
+                    threads,
+                    vanilla.syncs_per_sec,
+                    immunized.syncs_per_sec,
+                    immunized.overhead_vs(vanilla),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["Threads", "Vanilla s/s", "Dimmunix s/s", "Overhead"],
+            [
+                [t, f"{v:.0f}", f"{d:.0f}", f"{o * 100:.1f}%"]
+                for t, v, d, o in rows
+            ],
+            title="E1 - microbenchmark, history=256 (virtual time)",
+        )
+    )
+    from repro.analysis.figures import Series, render_figure
+
+    print()
+    print(
+        render_figure(
+            [
+                Series.of(
+                    "overhead %",
+                    [t for t, _v, _d, _o in rows],
+                    [o * 100 for _t, _v, _d, o in rows],
+                )
+            ],
+            title="E1 - overhead vs threads (paper: flat 4-5%)",
+            y_min=0.0,
+            y_max=10.0,
+            height=8,
+            x_label="threads",
+        )
+    )
+    overheads = [o for _t, _v, _d, o in rows]
+    vanilla_rates = [v for _t, v, _d, _o in rows]
+    record(
+        ExperimentRecord(
+            experiment_id="E1.vm",
+            description="microbenchmark 2-512 threads, 256 signatures",
+            paper_value="1738-1756 -> 1657-1681 s/s, 4-5% overhead, flat in threads",
+            measured_value=(
+                f"{min(vanilla_rates):.0f}-{max(vanilla_rates):.0f} s/s vanilla, "
+                f"{min(overheads) * 100:.1f}-{max(overheads) * 100:.1f}% overhead"
+            ),
+            holds=all(PAPER_BAND[0] <= o <= PAPER_BAND[1] for o in overheads),
+        )
+    )
+    assert max(overheads) <= PAPER_BAND[1]
+
+
+def bench_real_threads(benchmark, record):
+    """Real ``threading`` confirmation at the paper's operating point.
+
+    Wall-clock timing on a shared host is noisy, so the assertion is a
+    loose sanity band; the virtual-time sweep above is the precise one.
+    """
+    base = MicrobenchConfig(
+        threads=8,
+        locks=64,
+        sites=8,
+        iterations_per_thread=250,
+        history_size=128,
+        seed=3,
+    )
+    config = calibrate_for_rate(base, target_syncs_per_sec=1750)
+
+    def measure():
+        return run_real_pair(config)
+
+    vanilla, immunized = benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = immunized.overhead_vs(vanilla)
+    benchmark.extra_info.update(
+        vanilla_rate=round(vanilla.syncs_per_sec, 1),
+        dimmunix_rate=round(immunized.syncs_per_sec, 1),
+        overhead_pct=round(overhead * 100, 2),
+    )
+    from repro.analysis.report import within_factor
+
+    record(
+        ExperimentRecord(
+            experiment_id="E1.real",
+            description="microbenchmark on real threads (wall clock)",
+            paper_value=(
+                "~1750 s/s vanilla; bounded overhead (the 4-5% figure is "
+                "Dalvik's, reproduced on the VM cost model above)"
+            ),
+            measured_value=(
+                f"vanilla {vanilla.syncs_per_sec:.0f} s/s, "
+                f"Dimmunix {immunized.syncs_per_sec:.0f} s/s "
+                f"({overhead * 100:.1f}%)"
+            ),
+            holds=within_factor(vanilla.syncs_per_sec, 1750, 1.3)
+            and overhead < 0.35,
+            notes=(
+                "documented deviation: a CPython frame walk costs more of "
+                "the 570 us/sync budget than dvmGetCallStack did "
+                "(EXPERIMENTS.md, E1)"
+            ),
+        )
+    )
+    assert vanilla.syncs_per_sec > 0 and immunized.syncs_per_sec > 0
+    assert overhead < 0.5

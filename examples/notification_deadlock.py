@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""The paper's case study, end to end: Android issue 7986 on a simulated phone.
+
+One thread posts a notification while another expands the status bar.
+``NotificationManagerService.enqueueNotificationWithTag`` and
+``StatusBarService$H.handleMessage`` take the two services' monitors in
+opposite orders, and the whole interface freezes.
+
+This script replays §5's story on the simulated platform:
+
+1. **vanilla phone** — the race fires and the UI hangs; nothing learned;
+2. **Dimmunix phone, boot 1** — the phone still hangs *once*, but the
+   deadlock is detected and its signature persisted to the history file;
+3. **reboot** — a fresh ``system_server`` forked from Zygote loads the
+   history and runs the identical workload to completion: the racing
+   acquisition is parked for a moment instead of deadlocking.
+
+Usage::
+
+    python examples/notification_deadlock.py [history-dir]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.android.issue7986 import (
+    PROCESS_NAME,
+    demonstrate_immunity,
+    run_vanilla,
+)
+from repro.core.history import History
+
+
+def describe(label: str, result) -> None:
+    summary = result.summary()
+    state = "FROZE (UI hang)" if result.frozen else summary["status"].upper()
+    print(f"  {label}: {state}")
+    print(
+        f"      syncs={summary['syncs']}, deadlock detections="
+        f"{summary['detections']}, avoidance yields={summary['yields']}"
+    )
+
+
+def main() -> None:
+    history_dir = (
+        Path(sys.argv[1])
+        if len(sys.argv) > 1
+        else Path(tempfile.mkdtemp(prefix="dimmunix-7986-"))
+    )
+
+    print("=== vanilla Android: the bug as users experience it ===")
+    vanilla = run_vanilla(seed=11)
+    describe("vanilla run", vanilla)
+    if vanilla.run.stall:
+        cycle = vanilla.run.stall.get("cycle")
+        if cycle:
+            print(f"      stall diagnosis: {cycle}")
+
+    print()
+    print("=== Dimmunix-enabled Android ===")
+    first, second = demonstrate_immunity(history_dir, seed=11)
+    describe("boot 1 (first encounter)", first)
+
+    history_file = history_dir / f"{PROCESS_NAME}.history"
+    persisted = History.load(history_file)
+    print(f"      signature persisted to {history_file}")
+    for signature in persisted:
+        for index, entry in enumerate(signature.entries):
+            outer = entry.outer.top()
+            print(
+                f"      thread {index + 1} acquired its lock at "
+                f"{outer.file}:{outer.line} ({outer.function})"
+            )
+
+    describe("boot 2 (after reboot)", second)
+
+    print()
+    if first.frozen and second.completed and not second.detections:
+        print(
+            "the phone hung exactly once; the deadlock is now avoided "
+            "deterministically, with no user intervention."
+        )
+    else:
+        print("unexpected outcome — see the summaries above.")
+
+
+if __name__ == "__main__":
+    main()

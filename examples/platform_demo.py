@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Platform-wide immunity: monkey-patch ``threading`` itself.
+
+The paper's defining property is that *no application changes*: Dimmunix
+lives inside the Dalvik VM, underneath every app. The Python analog is
+``repro.runtime.patch``, which substitutes ``threading.Lock``, ``RLock``
+and ``Condition`` process-wide. Code that has never heard of Dimmunix —
+here, a small "third-party" job queue built on stdlib primitives — runs
+immunized, and its deadlocks are detected and then avoided.
+
+Usage::
+
+    python examples/platform_demo.py
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+from repro import DimmunixConfig
+from repro.errors import DeadlockDetectedError
+from repro.runtime import DimmunixRuntime, patch
+
+
+# ----------------------------------------------------------------------
+# "third-party" code: plain threading, no Dimmunix imports
+# ----------------------------------------------------------------------
+
+class AccountService:
+    """A deliberately deadlock-prone service written with stdlib locks."""
+
+    def __init__(self) -> None:
+        self.ledger_lock = threading.Lock()
+        self.audit_lock = threading.Lock()
+        self.ledger: list = []
+
+    @staticmethod
+    def _meet(rendezvous) -> None:
+        # Meet the peer if it shows up; in round 2 avoidance parks the
+        # peer before it arrives, so don't insist.
+        try:
+            rendezvous.wait(timeout=0.5)
+        except threading.BrokenBarrierError:
+            pass
+
+    def record_then_audit(self, rendezvous) -> str:
+        with self.ledger_lock:
+            self._meet(rendezvous)
+            time.sleep(0.01)
+            with self.audit_lock:
+                self.ledger.append("record")
+                return "record-then-audit done"
+
+    def audit_then_record(self, rendezvous) -> str:
+        with self.audit_lock:
+            self._meet(rendezvous)
+            time.sleep(0.01)
+            with self.ledger_lock:
+                self.ledger.append("audit")
+                return "audit-then-record done"
+
+
+def exercise(service: AccountService, log: list) -> None:
+    rendezvous = threading.Barrier(2)
+
+    def call(method):
+        try:
+            log.append(method(rendezvous))
+        except DeadlockDetectedError:
+            log.append("deadlock detected and reported")
+
+    workers = [
+        threading.Thread(target=call, args=(service.record_then_audit,)),
+        threading.Thread(target=call, args=(service.audit_then_record,)),
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=10)
+
+
+def main() -> None:
+    runtime = DimmunixRuntime(
+        DimmunixConfig(yield_timeout=1.0), name="platform"
+    )
+
+    with patch.immunized(runtime):
+        # Even queue.Queue, created *after* the patch, runs on Dimmunix
+        # primitives — construction allocates a Lock and three Conditions.
+        jobs: queue.Queue = queue.Queue()
+        assert type(jobs.mutex).__name__ == "DimmunixLock"
+        print(
+            "threading.Lock is now",
+            type(threading.Lock()).__name__,
+            "- every library in this process is immunized",
+        )
+
+        print()
+        print("=== round 1: the service deadlocks once ===")
+        log: list = []
+        exercise(AccountService(), log)
+        for line in log:
+            print(f"  {line}")
+        print(
+            f"  history now holds {len(runtime.history)} signature(s); "
+            f"{runtime.stats.deadlocks_detected} detection(s)"
+        )
+
+        print()
+        print("=== round 2: same positions, no deadlock ===")
+        log = []
+        exercise(AccountService(), log)
+        for line in log:
+            print(f"  {line}")
+        print(
+            f"  detections total: {runtime.stats.deadlocks_detected} "
+            f"(unchanged), avoidance yields: {runtime.stats.yields}"
+        )
+
+    print()
+    print(
+        "patch removed -> threading.Lock is",
+        type(threading.Lock()).__name__,
+        "again",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Quickstart: deadlock immunity for ordinary Python threads.
+
+Two threads take two locks in opposite orders — the textbook AB/BA
+deadlock. Run once: Dimmunix detects the cycle at the moment it is about
+to close, raises in one thread, and records the deadlock's *signature*
+(where each lock was acquired). Run again with the same history: the
+deadlock is avoided before it can form — the second thread is briefly
+parked at the dangerous acquisition instead, then proceeds when the
+coast is clear.
+
+Usage::
+
+    python examples/quickstart.py            # in-memory history: detect, then avoid
+    python examples/quickstart.py /tmp/h.dx  # persistent history across runs
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro import DimmunixConfig
+from repro.errors import DeadlockDetectedError
+from repro.runtime import DimmunixRuntime
+
+
+def rendezvous(barrier: threading.Barrier, seconds: float = 0.5) -> None:
+    """Meet the other thread if it shows up; don't insist.
+
+    In run 1 both threads arrive and the deadlock window opens. In run 2
+    avoidance parks one thread *before* it reaches this point — exactly
+    the intervention we want — so the other must carry on alone.
+    """
+    try:
+        barrier.wait(timeout=seconds)
+    except threading.BrokenBarrierError:
+        pass
+
+
+def debit_then_credit(account_a, account_b, barrier, log) -> None:
+    try:
+        with account_a:
+            rendezvous(barrier)
+            time.sleep(0.01)
+            with account_b:
+                log.append("debit->credit transferred")
+    except DeadlockDetectedError as error:
+        log.append(str(error))
+
+
+def credit_then_debit(account_a, account_b, barrier, log) -> None:
+    try:
+        with account_b:
+            rendezvous(barrier)
+            time.sleep(0.01)
+            with account_a:
+                log.append("credit->debit transferred")
+    except DeadlockDetectedError as error:
+        log.append(str(error))
+
+
+def run_once(runtime: DimmunixRuntime, label: str) -> None:
+    account_a = runtime.lock("account-a")
+    account_b = runtime.lock("account-b")
+    barrier = threading.Barrier(2)
+    log: list = []
+
+    workers = [
+        threading.Thread(
+            target=debit_then_credit, args=(account_a, account_b, barrier, log)
+        ),
+        threading.Thread(
+            target=credit_then_debit, args=(account_a, account_b, barrier, log)
+        ),
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=10)
+
+    for line in log:
+        print(f"[{label}]   {line}")
+    print(
+        f"[{label}] stats: {runtime.stats.deadlocks_detected} detected, "
+        f"{runtime.stats.yields} avoidance yields, "
+        f"{len(runtime.history)} signature(s) in history"
+    )
+
+
+def main() -> None:
+    history_path = Path(sys.argv[1]) if len(sys.argv) > 1 else None
+    config = DimmunixConfig(history_path=history_path)
+
+    print("=== run 1: no antibodies yet -> the deadlock is detected ===")
+    first = DimmunixRuntime(config, name="quickstart-1")
+    run_once(first, "run 1")
+
+    print()
+    print("=== run 2: same history -> the deadlock is avoided ===")
+    # A fresh runtime simulates a process restart. With a history *path*
+    # the signature is reloaded from disk; without one we hand the
+    # in-memory history over explicitly.
+    second = DimmunixRuntime(
+        config,
+        history=None if history_path else first.history,
+        name="quickstart-2",
+    )
+    run_once(second, "run 2")
+
+    print()
+    if second.stats.deadlocks_detected == 0 and second.stats.yields > 0:
+        print("immunity works: run 2 had no deadlock, only a brief yield.")
+    else:
+        print("unexpected: run 2 should have avoided the deadlock.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro — reproduction of "Platform-wide Deadlock Immunity for Mobile
+Phones" (Jula, Rensch, Candea; HotDep/DSN 2011).
+
+Public entry points:
+
+* :mod:`repro.core` — the Dimmunix algorithm (detection, signatures,
+  history, avoidance) as a pure state machine.
+* :mod:`repro.runtime` — deadlock immunity for real ``threading`` code:
+  wrapped locks, ``synchronized`` monitors, and a platform-wide
+  monkey-patch (the analog of patching the Dalvik VM).
+* :mod:`repro.dalvik` — a deterministic, virtual-time Dalvik VM substrate
+  used by the phone simulation and the benchmark harness.
+* :mod:`repro.android` — the simulated Android platform: system services
+  (including the issue-7986 deadlock), Zygote-forked app processes, the
+  Table-1 app catalog, and memory/power accounting.
+* :mod:`repro.workloads`, :mod:`repro.analysis` — the evaluation
+  workloads and reporting used by ``benchmarks/``.
+* :mod:`repro.instrument` — the §3.1 alternative: instrumentation-based
+  (AST-woven) Dimmunix, full or selective-to-history.
+* :mod:`repro.ndk` — §4's native gap: simulated POSIX-thread mutexes
+  under JNI code and the VM, with the three interception policies.
+* :mod:`repro.tools` — the ``dimmunix-history`` and ``dimmunix-report``
+  command-line tools.
+"""
+
+from repro.config import DetectionPolicy, DimmunixConfig
+from repro.errors import (
+    DeadlockDetectedError,
+    DimmunixError,
+    StarvationDetectedError,
+)
+from repro.version import __version__
+
+__all__ = [
+    "DimmunixConfig",
+    "DetectionPolicy",
+    "DimmunixError",
+    "DeadlockDetectedError",
+    "StarvationDetectedError",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Profiling, window selection, table rendering, experiment records."""
+
+from repro.analysis.profiler import SyncProfiler
+from repro.analysis.report import ExperimentRecord, emit, within_factor
+from repro.analysis.tables import format_mb, format_pct, render_table
+from repro.analysis.windows import Window, peak_window
+
+__all__ = [
+    "SyncProfiler",
+    "Window",
+    "peak_window",
+    "render_table",
+    "format_mb",
+    "format_pct",
+    "ExperimentRecord",
+    "emit",
+    "within_factor",
+]

@@ -1,0 +1,95 @@
+"""ASCII figure rendering for benchmark output.
+
+The paper's evaluation is mostly tables and inline series; when a bench
+produces a sweep (overhead vs. threads, Request cost vs. history size),
+these helpers print it as a terminal plot so the *shape* — flat, linear,
+a knee — is visible directly in the benchmark transcript.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line: (x, y) points, in x order."""
+
+    label: str
+    points: tuple[tuple[float, float], ...]
+
+    @classmethod
+    def of(cls, label: str, xs: Sequence[float], ys: Sequence[float]) -> "Series":
+        if len(xs) != len(ys):
+            raise ValueError(
+                f"series {label!r}: {len(xs)} x-values vs {len(ys)} y-values"
+            )
+        return cls(label, tuple(zip(xs, ys)))
+
+
+_MARKERS = "*o+x#@"
+
+
+def render_figure(
+    series: Sequence[Series],
+    title: str = "",
+    width: int = 56,
+    height: int = 12,
+    y_label: str = "",
+    x_label: str = "",
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render series as an ASCII scatter/line chart.
+
+    X positions are mapped by *rank* (evenly spaced in data order), which
+    suits the paper's sweeps — 2, 8, 32, 128, 512 threads is a log-ish
+    axis that rank spacing displays better than linear scaling would.
+    """
+    if not series or all(not s.points for s in series):
+        return f"{title}\n(no data)"
+    all_y = [y for s in series for _x, y in s.points]
+    lo = min(all_y) if y_min is None else y_min
+    hi = max(all_y) if y_max is None else y_max
+    if hi == lo:
+        hi = lo + 1.0
+
+    xs: list[float] = sorted({x for s in series for x, _y in s.points})
+    x_of = {x: index for index, x in enumerate(xs)}
+    columns = max(len(xs) - 1, 1)
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, one in enumerate(series):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        for x, y in one.points:
+            column = round(x_of[x] * (width - 1) / columns)
+            row = round((hi - y) * (height - 1) / (hi - lo))
+            grid[row][column] = marker
+
+    left_labels = [f"{hi:>10.2f} |", *[" " * 11 + "|"] * (height - 2), f"{lo:>10.2f} |"]
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"  {y_label}")
+    for row_index, row in enumerate(grid):
+        lines.append(left_labels[row_index] + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    tick_line = [" "] * (width + 12)
+    for x in xs:
+        column = 12 + round(x_of[x] * (width - 1) / columns)
+        text = f"{x:g}"
+        start = min(max(column - len(text) // 2, 12), width + 12 - len(text))
+        for offset, char in enumerate(text):
+            tick_line[start + offset] = char
+    lines.append("".join(tick_line).rstrip())
+    if x_label:
+        lines.append(" " * 12 + x_label)
+    if len(series) > 1:
+        legend = "   ".join(
+            f"{_MARKERS[i % len(_MARKERS)]} {s.label}"
+            for i, s in enumerate(series)
+        )
+        lines.append(" " * 12 + legend)
+    return "\n".join(lines)

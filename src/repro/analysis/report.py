@@ -1,0 +1,70 @@
+"""Paper-vs-measured experiment records.
+
+Benchmarks emit :class:`ExperimentRecord` objects; the harness prints
+them and (optionally) appends them to a results file that EXPERIMENTS.md
+is written from, so the recorded numbers and the printed numbers can
+never diverge.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+
+@dataclass
+class ExperimentRecord:
+    """One reproduced artifact (table row, figure series, inline number)."""
+
+    experiment_id: str          # e.g. "E1", "T1.email"
+    description: str
+    paper_value: str            # what the paper reports
+    measured_value: str         # what this run produced
+    holds: bool                 # does the paper's qualitative claim hold?
+    notes: str = ""
+    details: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        status = "OK " if self.holds else "DIFF"
+        lines = [
+            f"[{status}] {self.experiment_id}: {self.description}",
+            f"       paper:    {self.paper_value}",
+            f"       measured: {self.measured_value}",
+        ]
+        if self.notes:
+            lines.append(f"       notes:    {self.notes}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "description": self.description,
+            "paper_value": self.paper_value,
+            "measured_value": self.measured_value,
+            "holds": self.holds,
+            "notes": self.notes,
+            "details": self.details,
+        }
+
+
+def emit(record: ExperimentRecord, results_path: Optional[Path | str] = None) -> ExperimentRecord:
+    """Print a record and optionally append it to a JSONL results file."""
+    print(record.render())
+    if results_path is not None:
+        path = Path(results_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record.to_json()) + "\n")
+    return record
+
+
+def within_factor(measured: float, expected: float, factor: float) -> bool:
+    """True when ``measured`` is within ``factor``× of ``expected``."""
+    if expected == 0:
+        return measured == 0
+    if measured <= 0:
+        return False
+    ratio = measured / expected
+    return 1 / factor <= ratio <= factor

@@ -1,0 +1,59 @@
+"""Sliding-window statistics over bucketed event counts.
+
+The paper profiles each app "during several minutes of intensive usage",
+then reports the 30-second interval with the highest average
+synchronization throughput. This module implements that selection over
+virtual-time buckets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Window:
+    """A contiguous bucket range with its average event rate."""
+
+    start_index: int
+    end_index: int  # exclusive
+    total_events: int
+    seconds: float
+
+    @property
+    def rate(self) -> float:
+        return self.total_events / self.seconds if self.seconds > 0 else 0.0
+
+
+def peak_window(
+    counts: Sequence[int],
+    bucket_seconds: float,
+    window_seconds: float,
+) -> Window:
+    """The highest-average-rate window of ``window_seconds`` over
+    ``counts`` (one entry per bucket of ``bucket_seconds``).
+
+    Falls back to the whole trace when it is shorter than the window —
+    a short run's peak is just its overall average.
+    """
+    if bucket_seconds <= 0 or window_seconds <= 0:
+        raise ValueError("bucket_seconds and window_seconds must be positive")
+    if not counts:
+        return Window(0, 0, 0, window_seconds)
+    width = max(int(round(window_seconds / bucket_seconds)), 1)
+    if width >= len(counts):
+        return Window(
+            0, len(counts), sum(counts), len(counts) * bucket_seconds
+        )
+    running = sum(counts[:width])
+    best_total = running
+    best_start = 0
+    for start in range(1, len(counts) - width + 1):
+        running += counts[start + width - 1] - counts[start - 1]
+        if running > best_total:
+            best_total = running
+            best_start = start
+    return Window(
+        best_start, best_start + width, best_total, width * bucket_seconds
+    )

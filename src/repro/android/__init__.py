@@ -1,0 +1,57 @@
+"""The simulated Android platform.
+
+System services with the issue-7986 deadlock, the Looper/Handler/binder
+substrates they run on, the eight Table-1 applications as calibrated
+synthetic workloads, and the device-wide memory and power models — the
+evaluation surface of the paper, reproduced on the Dalvik substrate.
+"""
+
+from repro.android.binder import BinderThreadPool, BinderTransaction
+from repro.android.issue7986 import (
+    Issue7986Result,
+    demonstrate_immunity,
+    run_once,
+    run_vanilla,
+)
+from repro.android.looper import MessageQueue, emit_message_loop, emit_send_message
+from repro.android.memory import (
+    AppMemoryRow,
+    SystemMemoryReport,
+    measure_pair,
+    system_report,
+)
+from repro.android.phone import (
+    PhoneSimulator,
+    POWER_PROFILE,
+    run_table1_phone_pair,
+)
+from repro.android.power import (
+    PowerAttribution,
+    PowerModel,
+    attribute,
+)
+from repro.android.system_server import SystemServer, start_system_server
+
+__all__ = [
+    "BinderThreadPool",
+    "BinderTransaction",
+    "MessageQueue",
+    "emit_message_loop",
+    "emit_send_message",
+    "Issue7986Result",
+    "demonstrate_immunity",
+    "run_once",
+    "run_vanilla",
+    "SystemServer",
+    "start_system_server",
+    "AppMemoryRow",
+    "SystemMemoryReport",
+    "measure_pair",
+    "system_report",
+    "PowerAttribution",
+    "PowerModel",
+    "attribute",
+    "PhoneSimulator",
+    "POWER_PROFILE",
+    "run_table1_phone_pair",
+]

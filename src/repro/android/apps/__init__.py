@@ -1,0 +1,53 @@
+"""Synthetic Table-1 applications and their workload runner."""
+
+from repro.android.apps.base import (
+    AppSpec,
+    Phase,
+    STANDARD_PROFILE,
+    build_worker_program,
+    outside_compute_ticks,
+    per_sync_budget_ticks,
+)
+from repro.android.apps.catalog import (
+    ANGRY_BIRDS,
+    BROWSER,
+    BY_NAME,
+    CALENDAR,
+    CAMERA,
+    EMAIL,
+    MAPS,
+    MARKET,
+    TABLE1_APPS,
+    TALK,
+    app_by_name,
+)
+from repro.android.apps.workload import (
+    AppRunResult,
+    PEAK_WINDOW_SECONDS,
+    run_app,
+    run_app_pair,
+)
+
+__all__ = [
+    "AppSpec",
+    "Phase",
+    "STANDARD_PROFILE",
+    "build_worker_program",
+    "per_sync_budget_ticks",
+    "outside_compute_ticks",
+    "TABLE1_APPS",
+    "BY_NAME",
+    "app_by_name",
+    "EMAIL",
+    "BROWSER",
+    "MAPS",
+    "MARKET",
+    "CALENDAR",
+    "TALK",
+    "ANGRY_BIRDS",
+    "CAMERA",
+    "AppRunResult",
+    "run_app",
+    "run_app_pair",
+    "PEAK_WINDOW_SECONDS",
+]

@@ -1,0 +1,141 @@
+"""Synthetic Android applications — the workload side of Table 1.
+
+We cannot ship Email/Browser/Maps binaries, so each Table-1 app becomes an
+:class:`AppSpec`: thread count, target peak synchronization throughput,
+baseline memory, and synchronization-surface parameters (distinct lock
+objects, distinct sync sites). :func:`build_worker_program` compiles a
+spec into the worker program all of the app's threads run.
+
+Workload shape (matching §5's description of the profiled apps and the
+microbenchmark they distilled from them):
+
+* each worker loops over the app's sync *sites* — small functions that
+  acquire a *random lock object* (no contention by construction), busy-
+  wait inside the critical section, release, then busy-wait outside;
+* phases scale the outside busy-wait to model light vs. intensive usage,
+  so the profiler's peak-window selection has something to select;
+* the compute budget per sync is calibrated from the target syncs/sec and
+  the VM cost model, so a vanilla run exhibits approximately the paper's
+  measured throughput for that app.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.dalvik.program import Program, ProgramBuilder
+from repro.dalvik.vm import VMConfig
+
+# Fixed per-sync overhead of the generated loop under the default cost
+# model (call + rand + enter + exit + ret + loop share), excluding the
+# busy-waits. Used by the calibration below; validated by tests.
+LOOP_OVERHEAD_TICKS = 9
+INSIDE_COMPUTE_TICKS = 3
+SITE_LINE_BASE = 1000
+SITE_LINE_STRIDE = 10
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One application's workload and footprint parameters.
+
+    ``threads`` / ``target_syncs_per_sec`` / ``vanilla_mb`` come straight
+    from Table 1. ``lock_objects`` sizes the synchronization surface (how
+    many distinct objects ever get locked — what Dimmunix must fatten and
+    track), and ``sync_sites`` the number of distinct monitorenter
+    program positions.
+    """
+
+    name: str
+    package: str
+    threads: int
+    target_syncs_per_sec: int
+    vanilla_mb: float
+    lock_objects: int
+    sync_sites: int
+
+    def worker_file(self) -> str:
+        return f"com/android/{self.package}/Worker.java"
+
+    def lock_prefix(self) -> str:
+        return f"{self.name}.obj"
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One usage phase: how long, at what fraction of the peak rate."""
+
+    seconds: float
+    intensity: float = 1.0  # 1.0 = the app's peak rate
+
+
+STANDARD_PROFILE: tuple[Phase, ...] = (
+    Phase(seconds=2.0, intensity=0.25),
+    Phase(seconds=6.0, intensity=1.0),
+    Phase(seconds=2.0, intensity=0.25),
+)
+
+
+def per_sync_budget_ticks(spec: AppSpec, vm_config: VMConfig) -> int:
+    """Virtual ticks one synchronization may cost to hit the target rate."""
+    budget = vm_config.ticks_per_second / spec.target_syncs_per_sec
+    return max(int(round(budget)), LOOP_OVERHEAD_TICKS + INSIDE_COMPUTE_TICKS + 2)
+
+
+def outside_compute_ticks(
+    spec: AppSpec, vm_config: VMConfig, intensity: float
+) -> int:
+    """Busy-wait outside the critical section for a given intensity."""
+    budget = per_sync_budget_ticks(spec, vm_config)
+    base = budget - LOOP_OVERHEAD_TICKS - INSIDE_COMPUTE_TICKS
+    if intensity <= 0:
+        raise ValueError(f"intensity must be positive, got {intensity}")
+    return max(int(round(base / intensity + (1 - intensity) * budget * 3)), 1)
+
+
+def build_worker_program(
+    spec: AppSpec,
+    vm_config: VMConfig,
+    phases: Sequence[Phase] = STANDARD_PROFILE,
+) -> Program:
+    """Compile one worker thread's program for ``spec``.
+
+    All of an app's threads run this same program (same file, same
+    lines), exactly as real worker threads share code — which is also why
+    positions repeat across threads, the property Dimmunix signatures
+    rely on.
+    """
+    builder = ProgramBuilder(spec.worker_file())
+    total_rate = spec.target_syncs_per_sec
+
+    for index, phase in enumerate(phases):
+        if phase.intensity <= 0:
+            # An idle phase: the app sleeps (consumes no CPU) — used by
+            # the power experiment to model bursty interactive usage.
+            builder.sleep(int(phase.seconds * vm_config.ticks_per_second))
+            continue
+        phase_syncs_total = total_rate * phase.intensity * phase.seconds
+        outer_iterations = max(
+            int(round(phase_syncs_total / spec.sync_sites / spec.threads)), 1
+        )
+        outside = outside_compute_ticks(spec, vm_config, phase.intensity)
+        counter = f"phase{index}"
+        label = f"phase{index}.loop"
+        builder.set_reg(counter, outer_iterations)
+        builder.label(label)
+        for site in range(spec.sync_sites):
+            builder.call(f"site{site}")
+            builder.compute(outside)
+        builder.loop_dec(counter, label)
+    builder.halt()
+
+    for site in range(spec.sync_sites):
+        line = SITE_LINE_BASE + site * SITE_LINE_STRIDE
+        builder.function(f"site{site}")
+        builder.rand("r", spec.lock_objects, line=line)
+        builder.monitor_enter(spec.lock_prefix(), reg="r", line=line + 1)
+        builder.compute(INSIDE_COMPUTE_TICKS, line=line + 2)
+        builder.monitor_exit(spec.lock_prefix(), reg="r", line=line + 4)
+        builder.ret(line=line + 5)
+    return builder.build()

@@ -1,0 +1,91 @@
+"""A minimal binder model: transaction streams on worker threads.
+
+Real Android delivers cross-process calls to a pool of binder threads
+inside the callee process; the deadlock in the paper happens in
+``system_server`` between one such binder thread (delivering
+``enqueueNotificationWithTag`` from an app) and the status-bar handler
+thread. We model exactly that: a :class:`BinderThreadPool` spawns worker
+threads whose programs execute a stream of incoming transactions — plain
+calls into service functions linked into the worker's program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.dalvik.program import Program, ProgramBuilder
+from repro.dalvik.vm import DalvikVM
+from repro.dalvik.thread import VMThread
+
+BINDER_FILE = "android/os/Binder.java"
+
+ServiceEmitter = Callable[[ProgramBuilder], None]
+
+
+@dataclass(frozen=True)
+class BinderTransaction:
+    """One incoming call stream: service function, repetition, timing.
+
+    ``initial_delay_ticks`` models when the first call arrives relative
+    to process start — the knob that lines incoming binder traffic up
+    with UI activity (e.g. a notification arriving mid-expansion, the
+    paper's trigger).
+    """
+
+    function: str
+    count: int = 1
+    gap_ticks: int = 5
+    initial_delay_ticks: int = 0
+
+
+def build_worker_program(
+    transactions: Sequence[BinderTransaction],
+    service_code: Sequence[ServiceEmitter],
+) -> Program:
+    """A binder worker: execute each transaction stream, then exit.
+
+    ``service_code`` emitters must define every function the transactions
+    name (plus their transitive callees).
+    """
+    builder = ProgramBuilder(BINDER_FILE)
+    for index, txn in enumerate(transactions):
+        reg = f"txn{index}"
+        label = f"txn{index}.loop"
+        if txn.initial_delay_ticks > 0:
+            builder.sleep(txn.initial_delay_ticks)
+        builder.set_reg(reg, txn.count)
+        builder.label(label)
+        builder.call(txn.function)
+        builder.compute(txn.gap_ticks)
+        builder.loop_dec(reg, label)
+    builder.halt()
+    for emit in service_code:
+        emit(builder)
+    return builder.build()
+
+
+class BinderThreadPool:
+    """Spawns binder worker threads into a process VM."""
+
+    def __init__(self, vm: DalvikVM, name_prefix: str = "Binder") -> None:
+        self._vm = vm
+        self._prefix = name_prefix
+        self._workers: list[VMThread] = []
+
+    def submit(
+        self,
+        transactions: Sequence[BinderTransaction],
+        service_code: Sequence[ServiceEmitter],
+    ) -> VMThread:
+        """Create one worker thread executing ``transactions``."""
+        program = build_worker_program(transactions, service_code)
+        worker = self._vm.spawn(
+            program, name=f"{self._prefix}-{len(self._workers) + 1}"
+        )
+        self._workers.append(worker)
+        return worker
+
+    @property
+    def workers(self) -> tuple[VMThread, ...]:
+        return tuple(self._workers)

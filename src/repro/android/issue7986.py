@@ -1,0 +1,119 @@
+"""Android issue 7986 — the paper's case study (E4).
+
+One thread issues a notification while another expands the status bar;
+``NotificationManagerService.enqueueNotificationWithTag`` and
+``StatusBarService$H.handleMessage`` take the services' two monitors in
+opposite orders, and the whole interface freezes.
+
+:func:`run_once` executes the scenario in a fresh ``system_server``
+process; :func:`demonstrate_immunity` runs the full paper story —
+freeze once, persist the signature, "reboot", and verify the deadlock
+never recurs — returning both runs for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.android.system_server import SystemServer, start_system_server
+from repro.core.history import History
+from repro.core.signature import DeadlockSignature
+from repro.dalvik.vm import DalvikVM, VMConfig, VMRunResult
+from repro.dalvik.zygote import Zygote
+
+PROCESS_NAME = "system_server"
+
+
+@dataclass
+class Issue7986Result:
+    """Everything a bench or test needs to assert the story."""
+
+    run: VMRunResult
+    server: SystemServer
+    ui_blocked: bool
+    detections: tuple[DeadlockSignature, ...]
+    yields: int
+
+    @property
+    def frozen(self) -> bool:
+        return self.run.frozen
+
+    @property
+    def completed(self) -> bool:
+        return self.run.status == "completed"
+
+    def summary(self) -> dict:
+        return {
+            "status": self.run.status,
+            "ui_blocked": self.ui_blocked,
+            "detections": len(self.detections),
+            "yields": self.yields,
+            "syncs": self.run.syncs,
+            "ticks": self.run.ticks,
+        }
+
+
+def run_once(
+    vm: DalvikVM,
+    notifications: int = 4,
+    expands: int = 4,
+    renders: int = 3,
+    max_ticks: Optional[int] = 200_000,
+) -> Issue7986Result:
+    """Run the scenario once in the given process VM."""
+    server = start_system_server(
+        vm, notifications=notifications, expands=expands, renders=renders
+    )
+    result = vm.run(max_ticks=max_ticks)
+    yields = vm.core.stats.yields if vm.core is not None else 0
+    return Issue7986Result(
+        run=result,
+        server=server,
+        ui_blocked=server.ui_blocked,
+        detections=result.detections,
+        yields=yields,
+    )
+
+
+def demonstrate_immunity(
+    history_dir: Path | str,
+    vm_config: Optional[VMConfig] = None,
+    seed: int = 0,
+    notifications: int = 4,
+    expands: int = 4,
+) -> tuple[Issue7986Result, Issue7986Result]:
+    """The paper's §5 story, end to end.
+
+    Boot 1 freezes on the deadlock; Dimmunix detects it and persists the
+    signature (the history file survives the frozen process). Boot 2 —
+    a fresh fork of ``system_server`` loading the same history — runs the
+    identical workload to completion, avoiding the deadlock with no user
+    intervention.
+    """
+    zygote = Zygote(vm_config or VMConfig(), history_dir=history_dir)
+
+    first_vm = zygote.fork(PROCESS_NAME, seed=seed)
+    first = run_once(
+        first_vm, notifications=notifications, expands=expands
+    )
+
+    # "After rebooting the phone": a new process, same persistent history.
+    second_vm = zygote.fork(PROCESS_NAME, seed=seed)
+    second = run_once(
+        second_vm, notifications=notifications, expands=expands
+    )
+    return first, second
+
+
+def run_vanilla(
+    vm_config: Optional[VMConfig] = None,
+    seed: int = 0,
+    notifications: int = 4,
+    expands: int = 4,
+) -> Issue7986Result:
+    """The unprotected baseline: same scenario, Dimmunix off."""
+    config = (vm_config or VMConfig()).vanilla()
+    vm = DalvikVM(config, name=PROCESS_NAME)
+    return run_once(vm, notifications=notifications, expands=expands)

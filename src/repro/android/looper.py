@@ -1,0 +1,97 @@
+"""Looper / MessageQueue / Handler — Android's message-loop substrate.
+
+Android system services are driven by handler threads: a ``Looper`` pulls
+messages off a ``MessageQueue`` and dispatches them to a ``Handler``
+(``StatusBarService$H`` in the paper's deadlock is exactly such a
+handler). This module emits that machinery as VM program fragments:
+
+* the queue is a monitor-protected depth counter (a ``g:`` global),
+* ``send_message`` bumps the depth and notifies the queue monitor,
+* the loop waits on the monitor while the queue is empty and calls the
+  handler function once per message,
+
+so handler threads block, wake, and synchronize exactly like the Java
+original — including taking the queue monitor through Dimmunix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dalvik.program import ProgramBuilder
+
+LOOPER_FILE = "android/os/Looper.java"
+HANDLER_FILE = "android/os/Handler.java"
+
+
+@dataclass(frozen=True)
+class MessageQueue:
+    """Names binding one queue's monitor object and depth global."""
+
+    name: str
+
+    @property
+    def lock_object(self) -> str:
+        return f"{self.name}.mQueue"
+
+    @property
+    def depth_global(self) -> str:
+        return f"g:{self.name}.depth"
+
+
+def emit_send_message(
+    builder: ProgramBuilder,
+    queue: MessageQueue,
+    line_base: int,
+) -> None:
+    """Handler.sendMessage: enqueue one message and wake the looper."""
+    previous_file = builder._file
+    builder.source(HANDLER_FILE)
+    builder.monitor_enter(queue.lock_object, line=line_base)
+    builder.add_reg(queue.depth_global, 1, line=line_base + 1)
+    builder.notify_all(queue.lock_object, line=line_base + 2)
+    builder.monitor_exit(queue.lock_object, line=line_base + 3)
+    builder.source(previous_file)
+
+
+def emit_message_loop(
+    builder: ProgramBuilder,
+    queue: MessageQueue,
+    handler_function: str,
+    messages_to_handle: Optional[int] = None,
+    line_base: int = 120,
+) -> None:
+    """Looper.loop(): dispatch ``handler_function`` once per message.
+
+    With ``messages_to_handle`` the loop halts after that many dispatches
+    (so immunized scenario runs terminate); without it the loop runs until
+    the VM's tick limit, like a real looper thread.
+    """
+    previous_file = builder._file
+    builder.source(LOOPER_FILE)
+    loop_label = f"{queue.name}.loop"
+    check_label = f"{queue.name}.check"
+    wait_label = f"{queue.name}.wait"
+    done_label = f"{queue.name}.done"
+    counter = f"{queue.name}.remaining"
+
+    if messages_to_handle is not None:
+        builder.set_reg(counter, messages_to_handle, line=line_base)
+    builder.label(loop_label)
+    builder.monitor_enter(queue.lock_object, line=line_base + 1)
+    builder.label(check_label)
+    builder.branch_zero(queue.depth_global, wait_label, line=line_base + 2)
+    builder.add_reg(queue.depth_global, -1, line=line_base + 3)
+    builder.monitor_exit(queue.lock_object, line=line_base + 4)
+    builder.call(handler_function, line=line_base + 5)
+    if messages_to_handle is not None:
+        builder.loop_dec(counter, loop_label, line=line_base + 6)
+        builder.jump(done_label, line=line_base + 7)
+    else:
+        builder.jump(loop_label, line=line_base + 6)
+    builder.label(wait_label)
+    builder.wait(queue.lock_object, line=line_base + 8)
+    builder.jump(check_label, line=line_base + 9)
+    builder.label(done_label)
+    builder.source(previous_file)

@@ -1,0 +1,112 @@
+"""The phone simulator — the Dimmunix-enabled (or vanilla) device.
+
+One :class:`PhoneSimulator` is one flashed image: a Zygote with a shared
+VM cost model and (when immunized) a persistent history directory, from
+which every app and system process is forked with its own Dimmunix
+instance — the architecture of Figure 1. Benchmarks create two phones
+(immunized and vanilla) and run identical workloads on both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.android.apps.base import AppSpec, Phase, STANDARD_PROFILE, build_worker_program
+from repro.android.apps.workload import (
+    AppRunResult,
+    PEAK_WINDOW_SECONDS,
+    TABLE1_VM_CONFIG,
+    run_app,
+)
+from repro.android.memory import AppMemoryRow, SystemMemoryReport, measure_pair, system_report
+from repro.android.power import PowerAttribution, PowerModel, attribute
+from repro.analysis.profiler import SyncProfiler
+from repro.dalvik.vm import DalvikVM, VMConfig
+from repro.dalvik.zygote import Zygote
+
+# Bursty interactive usage for the power experiment: ~48% CPU duty cycle.
+POWER_PROFILE: tuple[Phase, ...] = (
+    Phase(seconds=1.5, intensity=1.0),
+    Phase(seconds=1.6, intensity=0.0),
+    Phase(seconds=1.5, intensity=1.0),
+    Phase(seconds=1.7, intensity=0.0),
+)
+
+
+@dataclass
+class PhoneSimulator:
+    """A simulated Nexus One running one OS image."""
+
+    immunized: bool = True
+    history_dir: Optional[Path | str] = None
+    vm_config: VMConfig = field(
+        default_factory=lambda: TABLE1_VM_CONFIG
+    )
+    _app_results: dict[str, AppRunResult] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        config = (
+            self.vm_config if self.immunized else self.vm_config.vanilla()
+        )
+        self.zygote = Zygote(config, history_dir=self.history_dir)
+
+    # ------------------------------------------------------------------
+    # running workloads
+    # ------------------------------------------------------------------
+
+    def launch_app(
+        self,
+        spec: AppSpec,
+        phases: Sequence[Phase] = STANDARD_PROFILE,
+        peak_window_seconds: float = PEAK_WINDOW_SECONDS,
+    ) -> AppRunResult:
+        """Fork the app's process and run its workload to completion."""
+        result = run_app(
+            spec,
+            vm_config=self.zygote.vm_config,
+            dimmunix=self.immunized,
+            phases=phases,
+            peak_window_seconds=peak_window_seconds,
+        )
+        self._app_results[spec.name] = result
+        return result
+
+    def results(self) -> dict[str, AppRunResult]:
+        return dict(self._app_results)
+
+    # ------------------------------------------------------------------
+    # device-wide reports
+    # ------------------------------------------------------------------
+
+    def power_attribution(
+        self, model: PowerModel = PowerModel()
+    ) -> PowerAttribution:
+        """Battery-screen attribution over every app run so far."""
+        busy = sum(r.busy_ticks for r in self._app_results.values())
+        wall = sum(r.wall_ticks for r in self._app_results.values())
+        return attribute(
+            busy, wall, self.zygote.vm_config.ticks_per_second, model
+        )
+
+
+def run_table1_phone_pair(
+    specs: Sequence[AppSpec],
+    vm_config: Optional[VMConfig] = None,
+    phases: Sequence[Phase] = STANDARD_PROFILE,
+) -> tuple[list[AppMemoryRow], SystemMemoryReport, PhoneSimulator, PhoneSimulator]:
+    """Run the Table-1 workload on an immunized and a vanilla phone.
+
+    Returns the per-app memory rows, the device-wide report, and the two
+    phones (whose per-app results carry throughput and power data).
+    """
+    config = vm_config or TABLE1_VM_CONFIG
+    immunized = PhoneSimulator(immunized=True, vm_config=config)
+    vanilla = PhoneSimulator(immunized=False, vm_config=config)
+    rows: list[AppMemoryRow] = []
+    for spec in specs:
+        with_dimmunix = immunized.launch_app(spec, phases=phases)
+        without = vanilla.launch_app(spec, phases=phases)
+        rows.append(measure_pair(spec, with_dimmunix, without))
+    return rows, system_report(rows), immunized, vanilla

@@ -1,0 +1,14 @@
+"""Simulated Android system services.
+
+Each service is a program-fragment factory: it emits its methods (as VM
+program functions) into a thread's :class:`~repro.dalvik.program.ProgramBuilder`,
+with the lock objects and source positions of the real Android 2.2 code
+the paper reproduces its deadlock from.
+"""
+
+from repro.android.services.notification_manager import (
+    NotificationManagerService,
+)
+from repro.android.services.status_bar import StatusBarService
+
+__all__ = ["NotificationManagerService", "StatusBarService"]

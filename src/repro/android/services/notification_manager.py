@@ -1,0 +1,61 @@
+"""NotificationManagerService — one half of Android issue 7986.
+
+The real service guards its notification list with a monitor
+(``mNotificationList``). ``enqueueNotificationWithTag`` takes that
+monitor and then calls *into* the status bar service (to post/update the
+icon) while still holding it. The reverse call direction exists too:
+status-bar UI events call back into the notification manager
+(``onPanelRevealed`` / click handling), which also takes
+``mNotificationList`` — the classic lock-order inversion the paper
+reproduced on the Nexus One.
+"""
+
+from __future__ import annotations
+
+from repro.dalvik.program import ProgramBuilder
+
+FILE = "com/android/server/NotificationManagerService.java"
+
+# Lock object and source positions (line numbers chosen to mirror the
+# Android 2.2 source layout; what matters is that they are stable).
+LOCK = "NMS.mNotificationList"
+LINE_ENQUEUE_SYNC = 847      # synchronized (mNotificationList) { ... }
+LINE_CALL_STATUSBAR = 861    # mStatusBar.updateNotification(...)
+LINE_ENQUEUE_EXIT = 869
+LINE_ON_PANEL_SYNC = 873     # synchronized (mNotificationList) in callback
+LINE_ON_PANEL_EXIT = 880
+
+FN_ENQUEUE = "NMS.enqueueNotificationWithTag"
+FN_ON_PANEL_REVEALED = "NMS.onPanelRevealed"
+
+
+class NotificationManagerService:
+    """Program-fragment factory for the notification manager."""
+
+    lock_object = LOCK
+
+    @staticmethod
+    def emit_enqueue_notification(builder: ProgramBuilder) -> None:
+        """``enqueueNotificationWithTag``: NMS lock → StatusBar call.
+
+        Requires ``StatusBarService.emit_update_notification`` to be
+        linked into the same program (it defines ``SBS.updateNotification``).
+        """
+        builder.function(FN_ENQUEUE)
+        builder.source(FILE)
+        builder.monitor_enter(LOCK, line=LINE_ENQUEUE_SYNC)
+        builder.compute(3, line=LINE_ENQUEUE_SYNC + 2)
+        builder.call("SBS.updateNotification", line=LINE_CALL_STATUSBAR)
+        builder.compute(1, line=LINE_ENQUEUE_EXIT - 1)
+        builder.monitor_exit(LOCK, line=LINE_ENQUEUE_EXIT)
+        builder.ret()
+
+    @staticmethod
+    def emit_on_panel_revealed(builder: ProgramBuilder) -> None:
+        """The callback the status bar makes while holding its own lock."""
+        builder.function(FN_ON_PANEL_REVEALED)
+        builder.source(FILE)
+        builder.monitor_enter(LOCK, line=LINE_ON_PANEL_SYNC)
+        builder.compute(2, line=LINE_ON_PANEL_SYNC + 2)
+        builder.monitor_exit(LOCK, line=LINE_ON_PANEL_EXIT)
+        builder.ret()

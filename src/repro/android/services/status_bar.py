@@ -1,0 +1,81 @@
+"""StatusBarService — the other half of Android issue 7986.
+
+The status bar serializes its state behind a monitor (modeled as
+``SBS.mLock``). Two paths matter:
+
+* ``updateNotification`` — called *by* the notification manager (which
+  already holds ``mNotificationList``) to refresh the icon; takes
+  ``SBS.mLock``.
+* ``StatusBarService$H.handleMessage`` — the handler thread reacting to
+  the user expanding the status bar; takes ``SBS.mLock`` and then calls
+  back into the notification manager (``onPanelRevealed``), which takes
+  ``mNotificationList``.
+
+Opposite acquisition orders on the same two monitors: the deadlock that
+froze the phone's whole interface.
+"""
+
+from __future__ import annotations
+
+from repro.dalvik.program import ProgramBuilder
+
+FILE = "com/android/server/status/StatusBarService.java"
+
+LOCK = "SBS.mLock"
+LINE_UPDATE_SYNC = 412       # synchronized in updateNotification
+LINE_UPDATE_EXIT = 425
+LINE_HANDLE_SYNC = 156       # synchronized in StatusBarService$H.handleMessage
+LINE_CALL_NMS = 171          # mNotificationCallbacks.onPanelRevealed()
+LINE_HANDLE_EXIT = 178
+LINE_RENDER_SYNC = 233       # UI thread repaint path
+LINE_RENDER_EXIT = 238
+
+FN_UPDATE = "SBS.updateNotification"
+FN_HANDLE_MESSAGE = "SBS$H.handleMessage"
+FN_RENDER = "SBS.performLayout"
+
+
+class StatusBarService:
+    """Program-fragment factory for the status bar service."""
+
+    lock_object = LOCK
+
+    @staticmethod
+    def emit_update_notification(builder: ProgramBuilder) -> None:
+        """``updateNotification``: takes SBS.mLock (caller holds NMS lock)."""
+        builder.function(FN_UPDATE)
+        builder.source(FILE)
+        builder.monitor_enter(LOCK, line=LINE_UPDATE_SYNC)
+        builder.compute(2, line=LINE_UPDATE_SYNC + 3)
+        builder.monitor_exit(LOCK, line=LINE_UPDATE_EXIT)
+        builder.ret()
+
+    @staticmethod
+    def emit_handle_message(builder: ProgramBuilder) -> None:
+        """``StatusBarService$H.handleMessage``: SBS lock → NMS callback.
+
+        Requires ``NotificationManagerService.emit_on_panel_revealed`` in
+        the same program.
+        """
+        builder.function(FN_HANDLE_MESSAGE)
+        builder.source(FILE)
+        builder.monitor_enter(LOCK, line=LINE_HANDLE_SYNC)
+        builder.compute(3, line=LINE_HANDLE_SYNC + 4)
+        builder.call("NMS.onPanelRevealed", line=LINE_CALL_NMS)
+        builder.compute(1, line=LINE_HANDLE_EXIT - 1)
+        builder.monitor_exit(LOCK, line=LINE_HANDLE_EXIT)
+        builder.ret()
+
+    @staticmethod
+    def emit_render_pass(builder: ProgramBuilder) -> None:
+        """One UI repaint: briefly takes SBS.mLock.
+
+        This is what hangs the whole interface once the two services
+        deadlock — the UI thread blocks behind ``SBS.mLock`` forever.
+        """
+        builder.function(FN_RENDER)
+        builder.source(FILE)
+        builder.monitor_enter(LOCK, line=LINE_RENDER_SYNC)
+        builder.compute(1, line=LINE_RENDER_SYNC + 2)
+        builder.monitor_exit(LOCK, line=LINE_RENDER_EXIT)
+        builder.ret()

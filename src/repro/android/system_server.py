@@ -1,0 +1,133 @@
+"""The simulated ``system_server`` process.
+
+Hosts the two services of the paper's case study and the three threads
+whose interleaving produces the freeze:
+
+* a binder worker delivering ``enqueueNotificationWithTag`` calls (an app
+  is posting notifications),
+* the ``StatusBarService$H`` handler thread, driven by a Looper message
+  queue, reacting to status-bar expansion,
+* the UI thread, which posts the expansion messages and repaints — and
+  whose blocking is what "froze the entire phone's interface".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.android import looper
+from repro.android.binder import BinderThreadPool, BinderTransaction
+from repro.android.services import notification_manager as nms
+from repro.android.services import status_bar as sbs
+from repro.dalvik.program import ProgramBuilder
+from repro.dalvik.thread import ThreadState, VMThread
+from repro.dalvik.vm import DalvikVM
+
+UI_FILE = "com/android/server/WindowManagerService.java"
+STATUS_BAR_QUEUE = looper.MessageQueue("SBS")
+
+
+def _emit_notification_stack(builder: ProgramBuilder) -> None:
+    nms.NotificationManagerService.emit_enqueue_notification(builder)
+    sbs.StatusBarService.emit_update_notification(builder)
+
+
+def _emit_statusbar_stack(builder: ProgramBuilder) -> None:
+    sbs.StatusBarService.emit_handle_message(builder)
+    nms.NotificationManagerService.emit_on_panel_revealed(builder)
+
+
+def build_handler_program(expands: int) -> "ProgramBuilder":
+    """The StatusBarService$H looper thread."""
+    builder = ProgramBuilder(looper.LOOPER_FILE)
+    looper.emit_message_loop(
+        builder,
+        STATUS_BAR_QUEUE,
+        sbs.FN_HANDLE_MESSAGE,
+        messages_to_handle=expands,
+    )
+    builder.halt()
+    _emit_statusbar_stack(builder)
+    return builder
+
+
+def build_ui_program(expands: int, renders: int) -> "ProgramBuilder":
+    """The UI thread: post expand messages, repaint in between."""
+    builder = ProgramBuilder(UI_FILE)
+    builder.set_reg("expands", expands, line=50)
+    builder.label("ui.loop")
+    looper.emit_send_message(builder, STATUS_BAR_QUEUE, line_base=60)
+    builder.compute(2, line=70)
+    builder.call(sbs.FN_RENDER, line=72)
+    builder.compute(4, line=74)
+    builder.loop_dec("expands", "ui.loop", line=76)
+    builder.set_reg("renders", renders, line=80)
+    builder.label("ui.render")
+    builder.call(sbs.FN_RENDER, line=82)
+    builder.compute(6, line=84)
+    builder.loop_dec("renders", "ui.render", line=86)
+    builder.halt()
+    sbs.StatusBarService.emit_render_pass(builder)
+    return builder
+
+
+@dataclass
+class SystemServer:
+    """The composed process, with handles to its interesting threads."""
+
+    vm: DalvikVM
+    binder_worker: VMThread
+    handler_thread: VMThread
+    ui_thread: VMThread
+
+    @property
+    def ui_blocked(self) -> bool:
+        """True when the interface is hung (the paper's freeze symptom)."""
+        return self.ui_thread.state in (
+            ThreadState.BLOCKED,
+            ThreadState.YIELDING,
+        )
+
+    def thread_states(self) -> dict[str, str]:
+        return {t.name: t.state.value for t in self.vm.threads}
+
+
+def start_system_server(
+    vm: DalvikVM,
+    notifications: int = 4,
+    expands: int = 4,
+    renders: int = 3,
+    binder_delay: int = 10,
+) -> SystemServer:
+    """Populate ``vm`` with the case-study threads.
+
+    ``notifications`` is the stream of incoming enqueue calls;
+    ``expands`` the number of status-bar expansions the UI posts. The
+    deterministic schedule interleaves them; with opposite lock orders on
+    ``NMS.mNotificationList`` and ``SBS.mLock`` the vanilla run freezes.
+    """
+    pool = BinderThreadPool(vm, name_prefix="Binder")
+    binder_worker = pool.submit(
+        [
+            BinderTransaction(
+                nms.FN_ENQUEUE,
+                count=notifications,
+                gap_ticks=4,
+                initial_delay_ticks=binder_delay,
+            )
+        ],
+        [_emit_notification_stack],
+    )
+    handler_thread = vm.spawn(
+        build_handler_program(expands).build(), name="StatusBarService$H"
+    )
+    ui_thread = vm.spawn(
+        build_ui_program(expands, renders).build(), name="android.ui"
+    )
+    return SystemServer(
+        vm=vm,
+        binder_worker=binder_worker,
+        handler_thread=handler_thread,
+        ui_thread=ui_thread,
+    )

@@ -1,0 +1,122 @@
+"""Configuration for a Dimmunix instance.
+
+One :class:`DimmunixConfig` parameterizes one per-process Dimmunix — the
+paper's per-process instance initialized by ``initDimmunix`` on every
+Zygote fork. The defaults follow Android Dimmunix: outer call stacks of
+depth 1, starvation detection on, signatures persisted as soon as they are
+discovered.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Optional
+
+
+class InterceptionMode(enum.Enum):
+    """Who sees POSIX-thread mutex operations in the substrate VM (§4).
+
+    ``OFF`` is shipped Android Dimmunix — native synchronization is
+    invisible. ``NATIVE_ONLY`` is the paper's proposal: intercept
+    pthread locking only while native (JNI) code executes.``ALWAYS`` is
+    the naive hook §4 warns against: the VM's own pthread use (the
+    mutexes backing Java monitors) gets intercepted too, double-counting
+    every acquisition. Defined here (dependency-free) so both the VM
+    config and :mod:`repro.ndk` can import it without cycles.
+    """
+
+    OFF = "off"
+    NATIVE_ONLY = "native-only"
+    ALWAYS = "always"
+
+
+class DetectionPolicy(enum.Enum):
+    """What to do at the moment a deadlock cycle is detected.
+
+    ``BLOCK`` is paper-faithful: the signature is recorded and the threads
+    are left to deadlock (the phone froze once; immunity starts at the next
+    boot). ``RAISE`` raises :class:`~repro.errors.DeadlockDetectedError` in
+    the requesting thread, and ``BREAK`` denies the acquisition so the
+    caller can retry — both are practical modes for hosts that cannot
+    tolerate a hang (such as a test suite).
+    """
+
+    BLOCK = "block"
+    RAISE = "raise"
+    BREAK = "break"
+
+
+@dataclass(frozen=True)
+class DimmunixConfig:
+    """Tunables for one Dimmunix instance.
+
+    Attributes:
+        stack_depth: Number of innermost frames kept in outer call stacks.
+            The paper uses 1; larger depths trade stack-retrieval cost for
+            fewer avoidance false positives (ablation A1 in DESIGN.md).
+        detection_policy: Behaviour at detection time; see
+            :class:`DetectionPolicy`.
+        history_path: File backing the persistent deadlock history, or
+            ``None`` for an in-memory history.
+        auto_save: Persist the history immediately whenever a new signature
+            is added (the paper saves at detection time so the signature
+            survives the ensuing freeze/reboot).
+        starvation_detection: Detect avoidance-induced deadlocks via the
+            extended RAG (yield edges) and record starvation signatures.
+        yield_timeout: Safety-net timeout (seconds) for real-thread
+            adapters: a thread parked on a signature longer than this is
+            treated as starved. ``None`` disables the net. The simulated VM
+            never needs it — starvation is always caught structurally.
+        static_ids: Use caller-provided static synchronization-site ids
+            instead of walking the Python stack (the compiler-assisted
+            optimization sketched in §4; ablation A2).
+        max_signatures: Upper bound on history size; adding beyond it
+            raises, as a guard against signature explosion.
+        enabled: When false, adapters pass lock operations straight
+            through. This is how "vanilla" baselines are measured.
+    """
+
+    stack_depth: int = 1
+    detection_policy: DetectionPolicy = DetectionPolicy.RAISE
+    history_path: Optional[Path] = None
+    auto_save: bool = True
+    starvation_detection: bool = True
+    yield_timeout: Optional[float] = 2.0
+    static_ids: bool = False
+    max_signatures: int = 4096
+    enabled: bool = True
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.stack_depth < 1:
+            raise ValueError(f"stack_depth must be >= 1, got {self.stack_depth}")
+        if self.max_signatures < 1:
+            raise ValueError(
+                f"max_signatures must be >= 1, got {self.max_signatures}"
+            )
+        if self.yield_timeout is not None and self.yield_timeout <= 0:
+            raise ValueError(
+                f"yield_timeout must be positive or None, got {self.yield_timeout}"
+            )
+
+    def with_overrides(self, **changes) -> "DimmunixConfig":
+        """A copy with the given fields replaced (configs are immutable)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def paper_faithful(cls, history_path: Optional[Path] = None) -> "DimmunixConfig":
+        """The configuration matching Android Dimmunix on the Nexus One."""
+        return cls(
+            stack_depth=1,
+            detection_policy=DetectionPolicy.BLOCK,
+            history_path=history_path,
+            auto_save=True,
+            starvation_detection=True,
+        )
+
+    @classmethod
+    def disabled(cls) -> "DimmunixConfig":
+        """A pass-through configuration used for vanilla baselines."""
+        return cls(enabled=False)

@@ -1,0 +1,74 @@
+"""Dimmunix core: detection, signatures, history, avoidance.
+
+This subpackage is the paper's primary contribution in pure-algorithm
+form. It has no threading dependencies — adapters in
+:mod:`repro.runtime` (real threads) and :mod:`repro.dalvik` (simulated VM)
+drive it and implement the blocking it prescribes.
+"""
+
+from repro.core.avoidance import InstantiationChecker
+from repro.core.callstack import CallStack, Frame
+from repro.core.cycle import (
+    ExtendedCycle,
+    LockCycle,
+    find_any_lock_cycle,
+    find_extended_cycle,
+    find_lock_cycle,
+)
+from repro.core.detector import (
+    signature_from_cycle,
+    signature_from_extended,
+    starvation_signature_for_timeout,
+)
+from repro.core.engine import (
+    DimmunixCore,
+    EngineSnapshot,
+    ReleaseResult,
+    RequestResult,
+    RequestVerdict,
+)
+from repro.core.history import History, HistoryFullError, load_or_empty
+from repro.core.node import LockNode, ThreadNode
+from repro.core.position import Position, PositionQueue, PositionTable
+from repro.core.rag import ResourceAllocationGraph
+from repro.core.signature import (
+    KIND_DEADLOCK,
+    KIND_STARVATION,
+    DeadlockSignature,
+    SignatureEntry,
+)
+from repro.core.stats import DimmunixStats, MemoryFootprint
+
+__all__ = [
+    "CallStack",
+    "Frame",
+    "DeadlockSignature",
+    "SignatureEntry",
+    "KIND_DEADLOCK",
+    "KIND_STARVATION",
+    "History",
+    "HistoryFullError",
+    "load_or_empty",
+    "Position",
+    "PositionQueue",
+    "PositionTable",
+    "ThreadNode",
+    "LockNode",
+    "ResourceAllocationGraph",
+    "LockCycle",
+    "ExtendedCycle",
+    "find_lock_cycle",
+    "find_extended_cycle",
+    "find_any_lock_cycle",
+    "signature_from_cycle",
+    "signature_from_extended",
+    "starvation_signature_for_timeout",
+    "InstantiationChecker",
+    "DimmunixCore",
+    "EngineSnapshot",
+    "RequestResult",
+    "ReleaseResult",
+    "RequestVerdict",
+    "DimmunixStats",
+    "MemoryFootprint",
+]

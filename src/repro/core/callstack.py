@@ -1,0 +1,123 @@
+"""Call stacks and frames.
+
+A *frame* is a position in the program (file, line, function). A *call
+stack* is a tuple of frames, innermost first. Dimmunix signatures are built
+from call stacks: the "outer" stack is where a lock was acquired, the
+"inner" stack is where a thread was blocked at the moment of deadlock.
+
+Android Dimmunix truncates outer call stacks to depth 1 (only the top
+frame) because retrieving deep stacks on every ``monitorenter`` is too
+expensive on a phone; :meth:`CallStack.truncated` implements that
+truncation and :meth:`CallStack.key` yields the hashable identity used to
+intern :class:`~repro.core.position.Position` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Frame:
+    """One position in the program: ``file:line`` inside ``function``."""
+
+    file: str
+    line: int
+    function: str = "?"
+
+    def key(self) -> tuple[str, int]:
+        """Hashable identity of the program location.
+
+        The function name is informational only: two frames at the same
+        file and line are the same location even if the reported function
+        name differs (e.g. decorated vs. plain).
+        """
+        return (self.file, self.line)
+
+    def to_json(self) -> list:
+        return [self.file, self.line, self.function]
+
+    @classmethod
+    def from_json(cls, data: list) -> "Frame":
+        file, line, function = data
+        return cls(str(file), int(line), str(function))
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}({self.function})"
+
+
+class CallStack:
+    """An immutable stack of :class:`Frame` objects, innermost frame first.
+
+    Instances are cheap value objects: equality and hashing are defined by
+    the frame keys, so stacks can index dictionaries (position tables,
+    signature matchers) directly.
+    """
+
+    __slots__ = ("_frames", "_key")
+
+    def __init__(self, frames: Iterable[Frame]):
+        self._frames: tuple[Frame, ...] = tuple(frames)
+        self._key: tuple[tuple[str, int], ...] = tuple(
+            frame.key() for frame in self._frames
+        )
+
+    @property
+    def frames(self) -> tuple[Frame, ...]:
+        return self._frames
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    def top(self) -> Frame:
+        """The innermost frame — the paper's "outer/inner position"."""
+        if not self._frames:
+            raise IndexError("empty call stack has no top frame")
+        return self._frames[0]
+
+    def truncated(self, depth: int) -> "CallStack":
+        """Keep only the ``depth`` innermost frames (depth 1 in the paper)."""
+        if depth <= 0:
+            raise ValueError(f"stack depth must be positive, got {depth}")
+        if depth >= len(self._frames):
+            return self
+        return CallStack(self._frames[:depth])
+
+    def key(self) -> tuple[tuple[str, int], ...]:
+        """Hashable identity: the tuple of frame keys."""
+        return self._key
+
+    def to_json(self) -> list:
+        return [frame.to_json() for frame in self._frames]
+
+    @classmethod
+    def from_json(cls, data: list) -> "CallStack":
+        return cls(Frame.from_json(item) for item in data)
+
+    @classmethod
+    def single(cls, file: str, line: int, function: str = "?") -> "CallStack":
+        """Convenience constructor for a depth-1 stack (tests, synthetic sigs)."""
+        return cls((Frame(file, line, function),))
+
+    def __iter__(self) -> Iterator[Frame]:
+        return iter(self._frames)
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CallStack):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        inner = " <- ".join(str(frame) for frame in self._frames)
+        return f"CallStack[{inner}]"
+
+
+EMPTY_STACK = CallStack(())

@@ -1,0 +1,153 @@
+"""Cycle detection over the resource-allocation graph.
+
+Two detectors are provided:
+
+* :func:`find_lock_cycle` — the fast path run on every lock request. For
+  mutexes, each thread waits for at most one lock and each lock has at most
+  one owner, so the wait-for relation restricted to request/hold edges is a
+  partial function and detection is a simple chain walk from the requested
+  lock back to the requester: ``O(cycle length)``, no allocation beyond the
+  result. This is the operation the paper keeps on the critical path.
+
+* :func:`find_extended_cycle` — the starvation detector. When avoidance
+  parks a thread on a signature, the thread "waits for" the witness threads
+  whose queue occupancy blocks it (yield edges). Those edges can branch, so
+  this detector is an iterative DFS over threads. A cycle that traverses at
+  least one yield edge is an avoidance-induced deadlock (starvation); a
+  cycle with none is a plain deadlock and is reported by the fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.node import LockNode, ThreadNode
+
+
+@dataclass(frozen=True)
+class LockCycle:
+    """A deadlock cycle.
+
+    Ordering convention: ``threads[i]`` *waits for* ``locks[i]`` and
+    *holds* ``locks[i-1]`` (indices mod ``n``). ``threads[0]`` is the
+    requester whose request closed the cycle.
+    """
+
+    threads: tuple[ThreadNode, ...]
+    locks: tuple[LockNode, ...]
+
+    def held_lock_of(self, index: int) -> LockNode:
+        """The lock held by ``threads[index]`` within this cycle."""
+        return self.locks[index - 1] if index > 0 else self.locks[-1]
+
+    def __len__(self) -> int:
+        return len(self.threads)
+
+
+@dataclass(frozen=True)
+class ExtendedCycle:
+    """A cycle in the RAG extended with yield edges.
+
+    ``threads`` lists the distinct threads on the cycle in order;
+    ``yielders`` is the subset currently parked by avoidance. If
+    ``yielders`` is empty the cycle is a plain deadlock.
+    """
+
+    threads: tuple[ThreadNode, ...]
+    yielders: tuple[ThreadNode, ...]
+
+    @property
+    def is_starvation(self) -> bool:
+        return bool(self.yielders)
+
+
+def find_lock_cycle(
+    requester: ThreadNode, requested: LockNode
+) -> Optional[LockCycle]:
+    """Detect a deadlock that would involve ``requester`` waiting for
+    ``requested``.
+
+    The walk follows ``lock.owner`` then ``owner.requesting`` alternately.
+    It terminates because each step visits a new thread and stops at any
+    free lock or non-waiting thread.
+    """
+    threads: list[ThreadNode] = [requester]
+    locks: list[LockNode] = [requested]
+    lock: Optional[LockNode] = requested
+    visited: set[int] = {requester.node_id}
+    while lock is not None:
+        owner = lock.owner
+        if owner is requester:
+            return LockCycle(tuple(threads), tuple(locks))
+        if owner is None or owner.node_id in visited:
+            # Free lock: no deadlock. Already-visited owner: a cycle not
+            # passing through the requester; it is reported when its own
+            # closing edge is requested.
+            return None
+        visited.add(owner.node_id)
+        threads.append(owner)
+        lock = owner.requesting
+        if lock is not None:
+            locks.append(lock)
+    return None
+
+
+def _thread_successors(thread: ThreadNode) -> list[ThreadNode]:
+    """Threads that ``thread`` directly waits on (one wait-for step)."""
+    successors: list[ThreadNode] = []
+    if thread.requesting is not None and thread.requesting.owner is not None:
+        successors.append(thread.requesting.owner)
+    if thread.yielding_on is not None:
+        for witness_thread, _witness_lock in thread.yield_witnesses:
+            if witness_thread is not thread:
+                successors.append(witness_thread)
+    return successors
+
+
+def find_extended_cycle(start: ThreadNode) -> Optional[ExtendedCycle]:
+    """Iterative DFS for a wait cycle through ``start``, yield edges
+    included. Returns the first such cycle, or ``None``.
+    """
+    path: list[ThreadNode] = [start]
+    iters = [iter(_thread_successors(start))]
+    on_path: set[int] = {start.node_id}
+    done: set[int] = set()
+
+    while iters:
+        try:
+            succ = next(iters[-1])
+        except StopIteration:
+            finished = path.pop()
+            iters.pop()
+            on_path.discard(finished.node_id)
+            done.add(finished.node_id)
+            continue
+        if succ is start:
+            cycle_threads = tuple(path)
+            yielders = tuple(
+                t for t in cycle_threads if t.yielding_on is not None
+            )
+            return ExtendedCycle(cycle_threads, yielders)
+        if succ.node_id in on_path or succ.node_id in done:
+            continue
+        path.append(succ)
+        on_path.add(succ.node_id)
+        iters.append(iter(_thread_successors(succ)))
+    return None
+
+
+def find_any_lock_cycle(threads: Iterable[ThreadNode]) -> Optional[LockCycle]:
+    """Scan the whole RAG for any deadlock cycle (diagnostics, tests).
+
+    Unlike :func:`find_lock_cycle`, which is anchored at a requester, this
+    walks from every blocked thread. Used by the simulated VM to report a
+    global stall precisely and by property tests as an oracle.
+    """
+    for thread in threads:
+        if thread.requesting is None:
+            continue
+        cycle = find_lock_cycle(thread, thread.requesting)
+        if cycle is not None:
+            return cycle
+    return None

@@ -1,0 +1,132 @@
+"""Building signatures out of detected cycles.
+
+Detection itself is in :mod:`repro.core.cycle`; this module converts the
+cycles it reports into :class:`~repro.core.signature.DeadlockSignature`
+objects:
+
+* a :class:`~repro.core.cycle.LockCycle` becomes a *deadlock* signature:
+  one entry per thread, outer = where the thread acquired the lock it
+  holds in the cycle, inner = where it is blocked right now (§2.2);
+* an :class:`~repro.core.cycle.ExtendedCycle` (contains yield edges)
+  becomes a *starvation* signature, with a yielding thread contributing
+  the position of the acquisition it deferred.
+
+Locks acquired while Dimmunix was disabled carry no acquisition stack;
+their entries use a sentinel frame so the signature stays well-formed and
+visibly marked.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.callstack import CallStack
+from repro.core.cycle import ExtendedCycle, LockCycle
+from repro.core.node import LockNode, ThreadNode
+from repro.core.signature import (
+    KIND_DEADLOCK,
+    KIND_STARVATION,
+    DeadlockSignature,
+    SignatureEntry,
+)
+
+UNKNOWN_STACK = CallStack.single("<unknown>", 0, "<untracked-acquisition>")
+
+
+def _stack_or_unknown(stack: Optional[CallStack]) -> CallStack:
+    return stack if stack is not None and len(stack) > 0 else UNKNOWN_STACK
+
+
+def signature_from_cycle(cycle: LockCycle) -> DeadlockSignature:
+    """The paper's signature extraction: pairs of (outer, inner) stacks.
+
+    For the cycle ``l1 -> t1 -> l2 -> t2 -> l1`` the signature is
+    ``{(CSout1, CSin1), (CSout2, CSin2)}`` where ``CSouti`` is
+    ``li.acqPos`` (stack at acquisition, recorded on the hold edge) and
+    ``CSini`` is the stack of ``ti``'s pending request.
+    """
+    entries = []
+    for index, thread in enumerate(cycle.threads):
+        held = cycle.held_lock_of(index)
+        outer = _stack_or_unknown(held.acq_stack)
+        inner = _stack_or_unknown(thread.request_stack)
+        entries.append(SignatureEntry(outer=outer, inner=inner))
+    return DeadlockSignature(entries, kind=KIND_DEADLOCK)
+
+
+def _blocked_stack(thread: ThreadNode) -> Optional[CallStack]:
+    if thread.request_stack is not None:
+        return thread.request_stack
+    return thread.yield_stack
+
+
+def _link_lock(
+    predecessor: ThreadNode, successor: ThreadNode
+) -> Optional[LockNode]:
+    """The lock through which ``predecessor`` waits on ``successor``.
+
+    For a request edge it is the requested lock (owned by the successor);
+    for a yield edge it is the witness lock the successor holds or was
+    granted.
+    """
+    if (
+        predecessor.requesting is not None
+        and predecessor.requesting.owner is successor
+    ):
+        return predecessor.requesting
+    for witness_thread, witness_lock in predecessor.yield_witnesses:
+        if witness_thread is successor:
+            return witness_lock
+    return None
+
+
+def signature_from_extended(cycle: ExtendedCycle) -> DeadlockSignature:
+    """Signature of an avoidance-induced deadlock (starvation).
+
+    Each thread on the cycle contributes one entry. For a thread reached
+    through a lock edge, the outer stack is where it acquired the linking
+    lock; for a yielding thread, the outer stack is the acquisition it
+    deferred — that is the position whose occupation must be avoided for
+    the starvation not to recur.
+    """
+    threads = cycle.threads
+    count = len(threads)
+    entries = []
+    for index, thread in enumerate(threads):
+        predecessor = threads[index - 1] if index > 0 else threads[-1]
+        if thread.yielding_on is not None:
+            outer = _stack_or_unknown(thread.yield_stack)
+        else:
+            link = _link_lock(predecessor, thread)
+            outer = _stack_or_unknown(link.acq_stack if link else None)
+        inner = _stack_or_unknown(_blocked_stack(thread))
+        entries.append(SignatureEntry(outer=outer, inner=inner))
+    if count == 1:
+        # A self-starvation (the yielding thread is its own witness owner)
+        # still needs a well-formed signature.
+        entries = entries[:1]
+    return DeadlockSignature(entries, kind=KIND_STARVATION)
+
+
+def starvation_signature_for_timeout(thread: ThreadNode) -> DeadlockSignature:
+    """Build a starvation signature from a timed-out yield (safety net).
+
+    Used by real-thread adapters when a thread has been parked on a
+    signature longer than ``yield_timeout``: the structural detector may
+    have no cycle (e.g. the witness thread is blocked in native code the
+    RAG cannot see), but the thread is starving all the same.
+    """
+    entries = [
+        SignatureEntry(
+            outer=_stack_or_unknown(thread.yield_stack),
+            inner=_stack_or_unknown(thread.yield_stack),
+        )
+    ]
+    for _witness_thread, witness_lock in thread.yield_witnesses:
+        entries.append(
+            SignatureEntry(
+                outer=_stack_or_unknown(witness_lock.acq_stack),
+                inner=_stack_or_unknown(witness_lock.acq_stack),
+            )
+        )
+    return DeadlockSignature(entries, kind=KIND_STARVATION)

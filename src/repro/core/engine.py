@@ -1,0 +1,463 @@
+"""The Dimmunix core engine.
+
+This is the paper's "Dimmunix core" (661 LOC of C in Dalvik): the state
+machine behind the three entry points called around every monitor
+operation —
+
+* :meth:`DimmunixCore.request` before ``monitorenter`` (detection +
+  avoidance),
+* :meth:`DimmunixCore.acquired` right after ``monitorenter`` (RAG update),
+* :meth:`DimmunixCore.release` right before ``monitorexit`` (RAG update +
+  signature notifications).
+
+The engine is deliberately *pure*: it never blocks, sleeps, or touches
+threading primitives. It returns verdicts — ``PROCEED``, or ``YIELD`` with
+the signature to park on — and lists of threads to wake; the adapters
+(:mod:`repro.runtime` for real threads, :mod:`repro.dalvik` for the
+simulated VM) do the actual parking and waking. This is what lets one
+algorithm serve both a live ``threading`` process and a deterministic
+virtual-time phone simulation.
+
+Thread-safety contract: all engine calls must be serialized by the
+caller — the paper uses a process-global lock around Request/Acquired/
+Release, and so do our adapters.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import DimmunixConfig
+from repro.core.avoidance import InstantiationChecker
+from repro.core.callstack import CallStack
+from repro.core.cycle import (
+    LockCycle,
+    find_extended_cycle,
+    find_lock_cycle,
+)
+from repro.core.detector import (
+    signature_from_cycle,
+    signature_from_extended,
+    starvation_signature_for_timeout,
+)
+from repro.core.history import History, load_or_empty
+from repro.core.node import LockNode, ThreadNode
+from repro.core.position import Position, PositionTable
+from repro.core.rag import ResourceAllocationGraph
+from repro.core.signature import DeadlockSignature
+from repro.core.stats import DimmunixStats, MemoryFootprint
+
+
+class RequestVerdict(enum.Enum):
+    """Outcome of a lock request."""
+
+    PROCEED = "proceed"
+    YIELD = "yield"
+
+
+@dataclass
+class RequestResult:
+    """What the adapter must do after a :meth:`DimmunixCore.request` call.
+
+    ``verdict``
+        ``PROCEED``: go ahead and (possibly blockingly) acquire the lock,
+        then call :meth:`DimmunixCore.acquired`.
+        ``YIELD``: park on ``yield_on``'s condition until notified (or the
+        safety-net timeout fires), then call ``request`` again.
+    ``detected``
+        A deadlock signature recorded by this call: the request closes a
+        RAG cycle. The adapter applies the configured
+        :class:`~repro.config.DetectionPolicy`.
+    ``starvation``
+        A starvation signature recorded by this call (yield edges formed a
+        cycle).
+    ``resume``
+        Yielding threads that must be woken now (they received one-shot
+        bypass grants); the adapter notifies the conditions of their
+        ``yielding_on`` signatures.
+    """
+
+    verdict: RequestVerdict
+    yield_on: Optional[DeadlockSignature] = None
+    detected: Optional[DeadlockSignature] = None
+    cycle: Optional[LockCycle] = None
+    starvation: Optional[DeadlockSignature] = None
+    resume: tuple[ThreadNode, ...] = ()
+
+
+@dataclass
+class ReleaseResult:
+    """Signatures whose parked threads must be notified after a release."""
+
+    notify: tuple[DeadlockSignature, ...] = ()
+
+
+@dataclass
+class EngineSnapshot:
+    """A structural snapshot for diagnostics and tests."""
+
+    threads: int
+    locks: int
+    positions: int
+    history_size: int
+    yielding: int
+    blocked: int
+    extra: dict = field(default_factory=dict)
+
+
+class DimmunixCore:
+    """One per-process Dimmunix instance (the paper's ``initDimmunix``)."""
+
+    def __init__(
+        self,
+        config: Optional[DimmunixConfig] = None,
+        history: Optional[History] = None,
+    ) -> None:
+        self.config = config or DimmunixConfig()
+        self.history = (
+            history
+            if history is not None
+            else load_or_empty(
+                self.config.history_path, self.config.max_signatures
+            )
+        )
+        self.positions = PositionTable()
+        self.stats = DimmunixStats()
+        self.rag = ResourceAllocationGraph()
+        self.checker = InstantiationChecker(self.positions, self.stats)
+        self._yield_count = 0
+
+    # ------------------------------------------------------------------
+    # node lifecycle (paper: initNode on allocThread / dvmCreateMonitor)
+    # ------------------------------------------------------------------
+
+    def register_thread(self, name: str = "") -> ThreadNode:
+        thread = ThreadNode(name)
+        self.rag.add_thread(thread)
+        return thread
+
+    def register_lock(self, name: str = "") -> LockNode:
+        lock = LockNode(name)
+        self.rag.add_lock(lock)
+        return lock
+
+    def thread_exit(self, thread: ThreadNode) -> None:
+        """Clean up a dying thread: release bookkeeping for anything held.
+
+        A correct program releases everything before exiting; this is a
+        robustness path for crashed threads so their queue entries do not
+        pin positions forever.
+        """
+        for lock in list(thread.held):
+            self.release(thread, lock)
+        if thread.requesting is not None:
+            self.cancel_request(thread, thread.requesting)
+        if thread.yielding_on is not None:
+            self.rag.clear_yield(thread)
+            self._yield_count -= 1
+        self.rag.remove_thread(thread)
+
+    def lock_destroyed(self, lock: LockNode) -> None:
+        self.rag.remove_lock(lock)
+
+    # ------------------------------------------------------------------
+    # the three entry points
+    # ------------------------------------------------------------------
+
+    def request(
+        self, thread: ThreadNode, lock: LockNode, stack: CallStack
+    ) -> RequestResult:
+        """Called before ``monitorenter``; returns the verdict.
+
+        Mirrors the paper's ``Request`` plus the retry loop's bookkeeping:
+        detection first (is a cycle about to close?), then avoidance
+        (would granting instantiate a history signature?), with starvation
+        checks at both the triggering and the yielding side.
+        """
+        self.stats.requests += 1
+        truncated = stack.truncated(self.config.stack_depth)
+        position = self.positions.intern(truncated)
+        if not position.in_history and self.history.contains_position(
+            position.key
+        ):
+            position.in_history = True
+
+        # A retry after a yield: drop the stale yield edges first.
+        if thread.yielding_on is not None:
+            self.rag.clear_yield(thread)
+            thread.yield_pos = None
+            thread.yield_stack = None
+            self._yield_count -= 1
+            self.stats.yield_wakeups += 1
+
+        self.rag.set_request(thread, lock, position, truncated)
+
+        # --- detection ------------------------------------------------
+        cycle = find_lock_cycle(thread, lock)
+        if cycle is not None:
+            signature = signature_from_cycle(cycle)
+            self._record(signature)
+            self.stats.deadlocks_detected += 1
+            position.queue.add(thread, lock)
+            return RequestResult(
+                verdict=RequestVerdict.PROCEED,
+                detected=signature,
+                cycle=cycle,
+            )
+
+        resume: list[ThreadNode] = []
+        starvation_sig: Optional[DeadlockSignature] = None
+
+        # Starvation triggered by this request: the new request edge may
+        # close a cycle through threads parked by avoidance.
+        if self._yield_count > 0 and self.config.starvation_detection:
+            extended = find_extended_cycle(thread)
+            if extended is not None and extended.is_starvation:
+                starvation_sig = signature_from_extended(extended)
+                self._record(starvation_sig)
+                self.stats.starvations_detected += 1
+                for yielder in extended.yielders:
+                    if yielder.yielding_on is not None:
+                        yielder.bypass.add(yielder.yielding_on)
+                        resume.append(yielder)
+
+        # --- avoidance --------------------------------------------------
+        position.queue.add(thread, lock)  # "pretend" the grant (§2.2)
+        signatures = (
+            self.history.signatures_at(position.key, include_starvation=False)
+            if position.in_history
+            else ()
+        )
+        while signatures:
+            # Starvation override (§2.2: "avoid entering the same
+            # starvation condition again"): if parking at this position in
+            # the current configuration matches a recorded
+            # avoidance-induced deadlock, do not park — proceed instead.
+            if self._starvation_override(position):
+                break
+            instantiable: Optional[
+                tuple[DeadlockSignature, tuple]
+            ] = None
+            for signature in signatures:
+                if thread.bypass and signature in thread.bypass:
+                    thread.bypass.discard(signature)
+                    self.stats.bypasses_granted += 1
+                    continue
+                witnesses = self.checker.would_instantiate(signature)
+                if witnesses is not None:
+                    instantiable = (signature, witnesses)
+                    break
+            if instantiable is None:
+                break
+
+            signature, witnesses = instantiable
+            self.stats.avoided_instantiations += 1
+            # Undo the pretend-grant and park the thread on the signature.
+            position.queue.remove(thread, lock)
+            self.rag.clear_request(thread)
+            witness_edges = tuple(
+                (w_thread, w_lock)
+                for w_thread, w_lock in witnesses
+                if w_thread is not thread
+            )
+            self.rag.set_yield(thread, signature, witness_edges)
+            thread.yield_pos = position
+            thread.yield_stack = truncated
+            self._yield_count += 1
+            self.stats.yields += 1
+
+            if self.config.starvation_detection:
+                extended = find_extended_cycle(thread)
+                if extended is not None and extended.is_starvation:
+                    # Yielding here would stall the system: record the
+                    # avoidance-induced deadlock, wake the other parked
+                    # threads, and retry with a one-shot bypass (§2.2).
+                    starvation_sig = signature_from_extended(extended)
+                    self._record(starvation_sig)
+                    self.stats.starvations_detected += 1
+                    for yielder in extended.yielders:
+                        if yielder is thread:
+                            continue
+                        if yielder.yielding_on is not None:
+                            yielder.bypass.add(yielder.yielding_on)
+                            resume.append(yielder)
+                    self.rag.clear_yield(thread)
+                    thread.yield_pos = None
+                    thread.yield_stack = None
+                    self._yield_count -= 1
+                    self.rag.set_request(thread, lock, position, truncated)
+                    position.queue.add(thread, lock)
+                    # Re-run avoidance: the just-recorded starvation
+                    # signature now triggers the override above.
+                    continue
+
+            return RequestResult(
+                verdict=RequestVerdict.YIELD,
+                yield_on=signature,
+                starvation=starvation_sig,
+                resume=tuple(resume),
+            )
+
+        return RequestResult(
+            verdict=RequestVerdict.PROCEED,
+            starvation=starvation_sig,
+            resume=tuple(resume),
+        )
+
+    def acquired(self, thread: ThreadNode, lock: LockNode) -> None:
+        """Called right after ``monitorenter``: request edge -> hold edge."""
+        self.stats.acquisitions += 1
+        position = thread.request_pos
+        stack = thread.request_stack
+        if position is None or stack is None:
+            raise AssertionError(
+                f"{thread.name} acquired {lock.name} without a pending request"
+            )
+        self.rag.clear_request(thread)
+        self.rag.set_hold(thread, lock, position, stack)
+
+    def release(self, thread: ThreadNode, lock: LockNode) -> ReleaseResult:
+        """Called right before ``monitorexit``.
+
+        Per §4: if the released lock was acquired at a position present in
+        the history, every thread parked on a signature containing that
+        position must be woken so it can re-run avoidance.
+        """
+        self.stats.releases += 1
+        position = lock.acq_pos
+        notify: tuple[DeadlockSignature, ...] = ()
+        if position is not None:
+            if position.in_history:
+                notify = self.history.signatures_at(position.key)
+                self.stats.notifications += len(notify)
+            position.queue.remove(thread, lock)
+        self.rag.clear_hold(thread, lock)
+        lock.acq_pos = None
+        lock.acq_stack = None
+        return ReleaseResult(notify=notify)
+
+    def cancel_request(self, thread: ThreadNode, lock: LockNode) -> None:
+        """Undo a granted request that will not proceed to acquisition.
+
+        Used by the ``RAISE``/``BREAK`` detection policies and by adapters
+        whose physical acquisition fails.
+        """
+        position = thread.request_pos
+        if position is not None:
+            position.queue.remove(thread, lock)
+        self.rag.clear_request(thread)
+
+    def abandon_yield(self, thread: ThreadNode) -> None:
+        """Drop a yield without retrying (non-blocking acquire gave up)."""
+        if thread.yielding_on is not None:
+            self.rag.clear_yield(thread)
+            thread.yield_pos = None
+            thread.yield_stack = None
+            self._yield_count -= 1
+
+    def force_bypass(self, thread: ThreadNode) -> Optional[DeadlockSignature]:
+        """Safety net for real-thread adapters: a yield timed out.
+
+        Records a starvation signature built from the thread's yield state
+        and grants a one-shot bypass so the next retry proceeds. Returns
+        the signature, or ``None`` if the thread was not yielding.
+        """
+        if thread.yielding_on is None:
+            return None
+        signature = starvation_signature_for_timeout(thread)
+        self._record(signature)
+        self.stats.starvations_detected += 1
+        thread.bypass.add(thread.yielding_on)
+        return signature
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _starvation_override(self, position: Position) -> bool:
+        """True when parking at ``position`` would re-enter a recorded
+        avoidance-induced deadlock (so the thread must proceed)."""
+        for starvation_sig in self.history.starvation_signatures_at(
+            position.key
+        ):
+            if self.checker.would_instantiate(starvation_sig) is not None:
+                self.stats.starvation_overrides += 1
+                return True
+        return False
+
+    def _record(self, signature: DeadlockSignature) -> bool:
+        added = self.history.add(signature)
+        if added:
+            self.stats.signatures_added += 1
+            for key in signature.outer_position_keys():
+                position = self.positions.get(key)
+                if position is not None:
+                    position.in_history = True
+            if self.config.auto_save and self.config.history_path is not None:
+                self.history.save(self.config.history_path)
+        else:
+            self.stats.duplicate_signatures += 1
+        return added
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def yielding_threads(self) -> int:
+        return self._yield_count
+
+    def snapshot(self) -> EngineSnapshot:
+        return EngineSnapshot(
+            threads=self.rag.thread_count(),
+            locks=self.rag.lock_count(),
+            positions=len(self.positions),
+            history_size=len(self.history),
+            yielding=self._yield_count,
+            blocked=len(self.rag.blocked_threads()),
+        )
+
+    def memory_footprint(self) -> MemoryFootprint:
+        """Approximate the extra bytes Dimmunix keeps in this process.
+
+        Mirrors the paper's memory-overhead accounting: RAG nodes embedded
+        in thread/monitor structs, interned positions and their queue
+        cells, per-thread stack buffers, and the history. Sizes are fixed
+        per-struct estimates (measured once on CPython) rather than deep
+        ``getsizeof`` walks, because the benchmark harness calls this on
+        hot paths.
+        """
+        position_count = len(self.positions)
+        cell_count = sum(
+            pos.queue.allocations for pos in self.positions
+        )
+        thread_count = self.rag.thread_count()
+        lock_count = self.rag.lock_count()
+        signature_bytes = 0
+        for signature in self.history:
+            # Two stacks per entry; ~96 bytes per retained frame object
+            # plus tuple overhead.
+            frames = sum(
+                len(entry.outer) + len(entry.inner)
+                for entry in signature.entries
+            )
+            signature_bytes += 64 + frames * 96
+        footprint = MemoryFootprint(
+            positions=position_count,
+            queue_cells=cell_count,
+            thread_nodes=thread_count,
+            lock_nodes=lock_count,
+            stack_buffers=thread_count,
+            signatures=len(self.history),
+        )
+        footprint.bytes_total = (
+            position_count * 160      # Position + queue head + key tuple
+            + cell_count * 56         # one _QueueCell
+            + thread_count * 200      # ThreadNode + held set
+            + lock_count * 120        # LockNode
+            + thread_count * 256      # stack buffer (paper: per-thread char*)
+            + signature_bytes
+        )
+        return footprint

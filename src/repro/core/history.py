@@ -1,0 +1,210 @@
+"""The persistent deadlock history.
+
+The history is the set of signatures a process is immune to. It is loaded
+by ``initDimmunix`` when a process starts (on the phone: on every Zygote
+fork) and persisted whenever a new signature is discovered, so a deadlock
+survives the ensuing freeze/reboot as an antibody.
+
+On-disk format: one JSON object per line. The first line is a header
+recording the format name and version; each following line is one
+signature. Writes go through a temp file + rename so a crash mid-save
+(likely, since saves happen *during* a deadlock) never corrupts the
+history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.core.position import PositionKey
+from repro.core.signature import DeadlockSignature
+from repro.errors import DimmunixError, HistoryFormatError
+
+FORMAT_NAME = "dimmunix-history"
+FORMAT_VERSION = 1
+
+
+class HistoryFullError(DimmunixError):
+    """The history reached ``max_signatures`` — a guard against explosion."""
+
+
+class History:
+    """An ordered, deduplicated collection of deadlock signatures.
+
+    Signatures are indexed by their outer position keys so the avoidance
+    hot path (``signatures_at``) is a single dict probe. Deduplication uses
+    the signatures' canonical keys, so re-detecting a known deadlock is a
+    no-op (the paper: a bug is uniquely delimited by its outer and inner
+    positions).
+    """
+
+    def __init__(self, max_signatures: int = 4096) -> None:
+        self._signatures: list[DeadlockSignature] = []
+        self._canonical: set = set()
+        # Values are tuples so the hot path can return them without
+        # copying; adds (rare) rebuild the affected entries. Deadlock and
+        # starvation signatures are indexed separately because avoidance
+        # consults them with opposite polarity: deadlock signatures say
+        # "park here", starvation signatures say "do not park here".
+        self._by_outer: dict[PositionKey, tuple[DeadlockSignature, ...]] = {}
+        self._starvation_by_outer: dict[
+            PositionKey, tuple[DeadlockSignature, ...]
+        ] = {}
+        self.max_signatures = max_signatures
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def add(self, signature: DeadlockSignature) -> bool:
+        """Insert ``signature``; returns ``False`` if it was a duplicate."""
+        key = signature.canonical_key()
+        if key in self._canonical:
+            return False
+        if len(self._signatures) >= self.max_signatures:
+            raise HistoryFullError(
+                f"history holds {len(self._signatures)} signatures "
+                f"(max {self.max_signatures})"
+            )
+        self._canonical.add(key)
+        self._signatures.append(signature)
+        index = (
+            self._starvation_by_outer
+            if signature.is_starvation
+            else self._by_outer
+        )
+        for outer_key in signature.outer_position_keys():
+            existing = index.get(outer_key, ())
+            if signature not in existing:
+                index[outer_key] = existing + (signature,)
+        return True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def signatures_at(
+        self, key: PositionKey, include_starvation: bool = True
+    ) -> tuple[DeadlockSignature, ...]:
+        """Signatures having ``key`` among their outer positions.
+
+        Returns interned tuples directly (no copy) — this runs on every
+        request at an in-history position.
+        """
+        found = self._by_outer.get(key, ())
+        if not include_starvation:
+            return found
+        starving = self._starvation_by_outer.get(key, ())
+        if not starving:
+            return found
+        return found + starving
+
+    def starvation_signatures_at(
+        self, key: PositionKey
+    ) -> tuple[DeadlockSignature, ...]:
+        """Starvation signatures only — the "do not park here" index."""
+        return self._starvation_by_outer.get(key, ())
+
+    def contains_position(self, key: PositionKey) -> bool:
+        return key in self._by_outer or key in self._starvation_by_outer
+
+    def contains(self, signature: DeadlockSignature) -> bool:
+        return signature.canonical_key() in self._canonical
+
+    def deadlock_count(self) -> int:
+        return sum(1 for sig in self._signatures if not sig.is_starvation)
+
+    def starvation_count(self) -> int:
+        return sum(1 for sig in self._signatures if sig.is_starvation)
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __iter__(self) -> Iterator[DeadlockSignature]:
+        return iter(self._signatures)
+
+    def __contains__(self, signature: object) -> bool:
+        return (
+            isinstance(signature, DeadlockSignature) and self.contains(signature)
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: Path | str) -> None:
+        """Atomically persist all signatures to ``path``."""
+        path = Path(path)
+        header = {"format": FORMAT_NAME, "version": FORMAT_VERSION}
+        tmp_path = path.with_name(path.name + ".tmp")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            for signature in self._signatures:
+                handle.write(json.dumps(signature.to_json()) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+
+    @classmethod
+    def load(
+        cls, path: Path | str, max_signatures: int = 4096
+    ) -> "History":
+        """Load a history file; a missing file yields an empty history."""
+        history = cls(max_signatures=max_signatures)
+        path = Path(path)
+        if not path.exists():
+            return history
+        with open(path, "r", encoding="utf-8") as handle:
+            header_line = handle.readline()
+            if not header_line.strip():
+                return history
+            try:
+                header = json.loads(header_line)
+            except json.JSONDecodeError as exc:
+                raise HistoryFormatError(f"bad history header in {path}") from exc
+            if header.get("format") != FORMAT_NAME:
+                raise HistoryFormatError(
+                    f"{path} is not a Dimmunix history "
+                    f"(format={header.get('format')!r})"
+                )
+            if header.get("version") != FORMAT_VERSION:
+                raise HistoryFormatError(
+                    f"unsupported history version {header.get('version')!r} in {path}"
+                )
+            for line_number, line in enumerate(handle, start=2):
+                if not line.strip():
+                    continue
+                try:
+                    data = json.loads(line)
+                    signature = DeadlockSignature.from_json(data)
+                except (
+                    json.JSONDecodeError,
+                    KeyError,
+                    ValueError,
+                    TypeError,  # valid JSON of the wrong shape (e.g. a list)
+                ) as exc:
+                    raise HistoryFormatError(
+                        f"bad signature at {path}:{line_number}"
+                    ) from exc
+                history.add(signature)
+        return history
+
+    def merge_from(self, other: "History") -> int:
+        """Add all signatures from ``other``; returns how many were new."""
+        added = 0
+        for signature in other:
+            if self.add(signature):
+                added += 1
+        return added
+
+
+def load_or_empty(
+    path: Optional[Path | str], max_signatures: int = 4096
+) -> History:
+    """Convenience used by ``initDimmunix``: load if a path is configured."""
+    if path is None:
+        return History(max_signatures=max_signatures)
+    return History.load(path, max_signatures=max_signatures)

@@ -1,0 +1,106 @@
+"""Resource-allocation-graph nodes.
+
+The paper embeds a ``Node`` struct directly in Dalvik's ``Thread`` and
+``Monitor`` structs so RAG lookup is zero-overhead. We mirror that: the
+adapters (real-thread runtime, simulated Dalvik VM) allocate one
+:class:`ThreadNode` per thread and one :class:`LockNode` per monitor and
+hand the same objects to every engine call — the engine never looks nodes
+up in a map on the hot path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.core.callstack import CallStack
+    from repro.core.position import Position
+    from repro.core.signature import DeadlockSignature
+
+_node_ids = itertools.count(1)
+
+
+class ThreadNode:
+    """RAG node for one thread.
+
+    Fields are mutated only by the core engine, under the adapter's global
+    lock:
+
+    * ``requesting`` / ``request_pos`` / ``request_stack`` — the pending
+      lock request (the RAG request edge), or ``None``.
+    * ``held`` — locks currently owned (the reverse view of hold edges).
+    * ``yielding_on`` / ``yield_witnesses`` / ``yield_pos`` /
+      ``yield_stack`` — set while the thread is parked by avoidance: the
+      signature it yields on, the (thread, lock) witness pairs whose queue
+      occupancy made the instantiation possible, and the position/stack of
+      the acquisition it deferred. The witness pairs are the *yield edges*
+      used for starvation detection.
+    * ``bypass`` — one-shot grants issued after a starvation: the thread
+      may ignore these signatures on its next matching request.
+    """
+
+    __slots__ = (
+        "node_id",
+        "name",
+        "requesting",
+        "request_pos",
+        "request_stack",
+        "held",
+        "yielding_on",
+        "yield_witnesses",
+        "yield_pos",
+        "yield_stack",
+        "bypass",
+        "stack_buffer",
+    )
+
+    def __init__(self, name: str = "") -> None:
+        self.node_id: int = next(_node_ids)
+        self.name = name or f"thread-{self.node_id}"
+        self.requesting: Optional["LockNode"] = None
+        self.request_pos: Optional["Position"] = None
+        self.request_stack: Optional["CallStack"] = None
+        self.held: set["LockNode"] = set()
+        self.yielding_on: Optional["DeadlockSignature"] = None
+        self.yield_witnesses: tuple[tuple["ThreadNode", "LockNode"], ...] = ()
+        self.yield_pos: Optional["Position"] = None
+        self.yield_stack: Optional["CallStack"] = None
+        self.bypass: set["DeadlockSignature"] = set()
+        # The paper pre-allocates a per-thread buffer so call-stack
+        # retrieval never allocates; adapters may park theirs here.
+        self.stack_buffer: Optional[object] = None
+
+    def is_blocked(self) -> bool:
+        """True when the thread occupies a request or yield edge."""
+        return self.requesting is not None or self.yielding_on is not None
+
+    def __repr__(self) -> str:
+        state = "runnable"
+        if self.requesting is not None:
+            state = f"requesting {self.requesting.name}"
+        elif self.yielding_on is not None:
+            state = "yielding"
+        return f"ThreadNode({self.name}, {state}, holds={len(self.held)})"
+
+
+class LockNode:
+    """RAG node for one lock (monitor).
+
+    ``owner`` is the hold edge; ``acq_pos`` / ``acq_stack`` record where
+    the owner acquired the lock — the paper's ``l.acqPos``, which becomes
+    the *outer* call stack if this lock ever participates in a deadlock.
+    """
+
+    __slots__ = ("node_id", "name", "owner", "acq_pos", "acq_stack")
+
+    def __init__(self, name: str = "") -> None:
+        self.node_id: int = next(_node_ids)
+        self.name = name or f"lock-{self.node_id}"
+        self.owner: Optional[ThreadNode] = None
+        self.acq_pos: Optional["Position"] = None
+        self.acq_stack: Optional["CallStack"] = None
+
+    def __repr__(self) -> str:
+        owner = self.owner.name if self.owner is not None else None
+        return f"LockNode({self.name}, owner={owner})"

@@ -1,0 +1,185 @@
+"""Positions and their thread queues.
+
+A :class:`Position` is a unique object per program location (truncated call
+stack) at which monitor acquisitions happen — the paper's ``struct
+Position``. Each position carries a queue of ``(thread, lock)`` entries:
+the threads that currently *hold*, or were *allowed by Dimmunix to
+acquire*, a lock at this position. The avoidance module matches history
+signatures against these queues.
+
+Memory discipline follows §4 of the paper: queue cells removed from the
+main queue are parked on a per-position free list (the paper's "second
+queue") and reused for later insertions, so steady-state operation does not
+allocate. :class:`PositionTable` interns positions so each location has
+exactly one object — the analog of the paper's global ``positions`` map,
+initialized per process by ``initDimmunix``.
+
+Queue entries reference the RAG node objects directly (no id indirection),
+mirroring the paper's embedding of ``Node`` structs in ``Thread`` and
+``Monitor`` for zero-overhead lookup.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.core.callstack import CallStack
+
+if TYPE_CHECKING:
+    from repro.core.node import LockNode, ThreadNode
+
+PositionKey = tuple[tuple[str, int], ...]
+
+
+class _QueueCell:
+    """A reusable queue cell holding one (thread, lock) pair."""
+
+    __slots__ = ("thread", "lock", "next")
+
+    def __init__(self) -> None:
+        self.thread: Optional["ThreadNode"] = None
+        self.lock: Optional["LockNode"] = None
+        self.next: Optional[_QueueCell] = None
+
+
+class PositionQueue:
+    """Singly-linked queue of (thread, lock) entries with a free list.
+
+    The main list stores live entries; cells removed from it are pushed on
+    the free list and reused by later :meth:`add` calls, mirroring the
+    two-queue allocation-avoidance scheme described in §4. Cells on the
+    free list drop their node references so they never retain dead threads
+    or monitors.
+    """
+
+    __slots__ = ("_head", "_free", "_size", "allocations", "reuses")
+
+    def __init__(self) -> None:
+        self._head: Optional[_QueueCell] = None
+        self._free: Optional[_QueueCell] = None
+        self._size = 0
+        self.allocations = 0
+        self.reuses = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, thread: "ThreadNode", lock: "LockNode") -> None:
+        """Insert an entry, reusing a free-list cell when one is available."""
+        cell = self._free
+        if cell is not None:
+            self._free = cell.next
+            self.reuses += 1
+        else:
+            cell = _QueueCell()
+            self.allocations += 1
+        cell.thread = thread
+        cell.lock = lock
+        cell.next = self._head
+        self._head = cell
+        self._size += 1
+
+    def remove(self, thread: "ThreadNode", lock: "LockNode") -> bool:
+        """Remove one matching entry; the cell goes to the free list.
+
+        Returns ``False`` when no entry matches, which callers treat as a
+        no-op (e.g. releasing a lock acquired before Dimmunix was enabled).
+        """
+        prev: Optional[_QueueCell] = None
+        cell = self._head
+        while cell is not None:
+            if cell.thread is thread and cell.lock is lock:
+                if prev is None:
+                    self._head = cell.next
+                else:
+                    prev.next = cell.next
+                cell.thread = None
+                cell.lock = None
+                cell.next = self._free
+                self._free = cell
+                self._size -= 1
+                return True
+            prev = cell
+            cell = cell.next
+        return False
+
+    def entries(self) -> Iterator[tuple["ThreadNode", "LockNode"]]:
+        """Iterate live (thread, lock) entries, most recent first."""
+        cell = self._head
+        while cell is not None:
+            # Cells on the main list always carry live nodes.
+            yield cell.thread, cell.lock  # type: ignore[misc]
+            cell = cell.next
+
+    def contains_thread(self, thread: "ThreadNode") -> bool:
+        return any(entry_thread is thread for entry_thread, _lock in self.entries())
+
+    def free_list_length(self) -> int:
+        count = 0
+        cell = self._free
+        while cell is not None:
+            count += 1
+            cell = cell.next
+        return count
+
+
+class Position:
+    """A unique program location at which locks are acquired.
+
+    ``in_history`` is a cached flag: it is true when this position appears
+    as an *outer* position of at least one history signature, which is the
+    fast-path test on the release path (§4: ``pos->inHistory``).
+    """
+
+    __slots__ = ("key", "stack", "queue", "in_history", "index")
+
+    def __init__(self, key: PositionKey, stack: CallStack, index: int) -> None:
+        self.key = key
+        self.stack = stack
+        self.queue = PositionQueue()
+        self.in_history = False
+        self.index = index
+
+    def __repr__(self) -> str:
+        where = "|".join(f"{file}:{line}" for file, line in self.key) or "<empty>"
+        return f"Position({where}, queued={len(self.queue)}, in_history={self.in_history})"
+
+
+class PositionTable:
+    """Interning table: one :class:`Position` per program location.
+
+    The table is per Dimmunix instance (per process on the phone). Lookup
+    is a single dict probe; the paper achieves the equivalent constant-time
+    lookup with a global hash map filled by ``initDimmunix``.
+    """
+
+    __slots__ = ("_by_key", "_by_index")
+
+    def __init__(self) -> None:
+        self._by_key: dict[PositionKey, Position] = {}
+        self._by_index: list[Position] = []
+
+    def intern(self, stack: CallStack) -> Position:
+        """Return the unique position for ``stack`` (creating it if new)."""
+        key = stack.key()
+        position = self._by_key.get(key)
+        if position is None:
+            position = Position(key, stack, index=len(self._by_index))
+            self._by_key[key] = position
+            self._by_index.append(position)
+        return position
+
+    def get(self, key: PositionKey) -> Optional[Position]:
+        return self._by_key.get(key)
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __iter__(self) -> Iterator[Position]:
+        return iter(self._by_index)
+
+    def total_queue_allocations(self) -> int:
+        return sum(position.queue.allocations for position in self._by_index)
+
+    def total_queue_reuses(self) -> int:
+        return sum(position.queue.reuses for position in self._by_index)

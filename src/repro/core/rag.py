@@ -1,0 +1,189 @@
+"""The resource-allocation graph (RAG).
+
+Nodes are threads and locks; a *request edge* ``thread -> lock`` means the
+thread was allowed to wait for the lock, and a *hold edge* ``lock ->
+thread`` means the thread owns the lock. Each edge is annotated with the
+position (truncated call stack) of the corresponding ``monitorenter`` —
+these annotations are exactly what deadlock signatures are made of.
+
+Because the state lives on the node objects themselves (see
+:mod:`repro.core.node`), this class is a thin bookkeeping layer: it keeps
+the registry of live nodes, applies edge mutations, and answers structural
+queries for the cycle detector and for tests. All mutation happens under
+the adapter's global lock.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.core.callstack import CallStack
+from repro.core.node import LockNode, ThreadNode
+from repro.core.position import Position
+
+
+class ResourceAllocationGraph:
+    """Mutable RAG over :class:`ThreadNode` / :class:`LockNode` objects."""
+
+    __slots__ = ("_threads", "_locks")
+
+    def __init__(self) -> None:
+        self._threads: dict[int, ThreadNode] = {}
+        self._locks: dict[int, LockNode] = {}
+
+    # ------------------------------------------------------------------
+    # node registry
+    # ------------------------------------------------------------------
+
+    def add_thread(self, thread: ThreadNode) -> None:
+        self._threads[thread.node_id] = thread
+
+    def add_lock(self, lock: LockNode) -> None:
+        self._locks[lock.node_id] = lock
+
+    def remove_thread(self, thread: ThreadNode) -> None:
+        self._threads.pop(thread.node_id, None)
+
+    def remove_lock(self, lock: LockNode) -> None:
+        self._locks.pop(lock.node_id, None)
+
+    def threads(self) -> Iterator[ThreadNode]:
+        return iter(self._threads.values())
+
+    def locks(self) -> Iterator[LockNode]:
+        return iter(self._locks.values())
+
+    def thread_count(self) -> int:
+        return len(self._threads)
+
+    def lock_count(self) -> int:
+        return len(self._locks)
+
+    # ------------------------------------------------------------------
+    # edge mutations
+    # ------------------------------------------------------------------
+
+    def set_request(
+        self,
+        thread: ThreadNode,
+        lock: LockNode,
+        position: Position,
+        stack: CallStack,
+    ) -> None:
+        """Install the request edge ``thread -> lock``.
+
+        A thread can wait for at most one mutex at a time, so installing a
+        request while one is pending is a protocol violation by the
+        adapter.
+        """
+        if thread.requesting is not None and thread.requesting is not lock:
+            raise AssertionError(
+                f"{thread.name} already requests {thread.requesting.name}, "
+                f"cannot also request {lock.name}"
+            )
+        thread.requesting = lock
+        thread.request_pos = position
+        thread.request_stack = stack
+
+    def clear_request(self, thread: ThreadNode) -> None:
+        thread.requesting = None
+        thread.request_pos = None
+        thread.request_stack = None
+
+    def set_hold(
+        self,
+        thread: ThreadNode,
+        lock: LockNode,
+        position: Position,
+        stack: CallStack,
+    ) -> None:
+        """Install the hold edge ``lock -> thread`` (after acquisition)."""
+        if lock.owner is not None and lock.owner is not thread:
+            raise AssertionError(
+                f"{lock.name} is owned by {lock.owner.name}, "
+                f"cannot be acquired by {thread.name}"
+            )
+        lock.owner = thread
+        lock.acq_pos = position
+        lock.acq_stack = stack
+        thread.held.add(lock)
+
+    def clear_hold(self, thread: ThreadNode, lock: LockNode) -> None:
+        if lock.owner is thread:
+            lock.owner = None
+        thread.held.discard(lock)
+
+    def set_yield(
+        self,
+        thread: ThreadNode,
+        signature,
+        witnesses: Iterable[tuple[int, int]],
+    ) -> None:
+        """Install yield edges: ``thread`` parks on ``signature``.
+
+        ``witnesses`` are the (thread_id, lock_id) pairs whose queue
+        occupancy made the instantiation possible; the extended cycle
+        detector follows edges from the yielding thread to those threads.
+        """
+        thread.yielding_on = signature
+        thread.yield_witnesses = tuple(witnesses)
+
+    def clear_yield(self, thread: ThreadNode) -> None:
+        thread.yielding_on = None
+        thread.yield_witnesses = ()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def thread_by_id(self, node_id: int) -> Optional[ThreadNode]:
+        return self._threads.get(node_id)
+
+    def lock_by_id(self, node_id: int) -> Optional[LockNode]:
+        return self._locks.get(node_id)
+
+    def blocked_threads(self) -> list[ThreadNode]:
+        return [t for t in self._threads.values() if t.is_blocked()]
+
+    def edge_count(self) -> int:
+        """Total request + hold + yield edges (for invariant checks)."""
+        requests = sum(
+            1 for t in self._threads.values() if t.requesting is not None
+        )
+        holds = sum(len(t.held) for t in self._threads.values())
+        yields_ = sum(
+            len(t.yield_witnesses)
+            for t in self._threads.values()
+            if t.yielding_on is not None
+        )
+        return requests + holds + yields_
+
+    def check_invariants(self) -> None:
+        """Validate structural consistency; used by tests and the VM.
+
+        Invariants:
+        * every held lock's ``owner`` back-pointer matches,
+        * a lock's owner lists it in ``held``,
+        * no thread both yields and requests at the same time,
+        * request positions are present whenever a request edge exists.
+        """
+        for thread in self._threads.values():
+            for lock in thread.held:
+                if lock.owner is not thread:
+                    raise AssertionError(
+                        f"{thread.name} holds {lock.name} but owner is "
+                        f"{lock.owner.name if lock.owner else None}"
+                    )
+            if thread.requesting is not None and thread.request_pos is None:
+                raise AssertionError(
+                    f"{thread.name} has a request edge without a position"
+                )
+            if thread.requesting is not None and thread.yielding_on is not None:
+                raise AssertionError(
+                    f"{thread.name} both requests and yields"
+                )
+        for lock in self._locks.values():
+            if lock.owner is not None and lock not in lock.owner.held:
+                raise AssertionError(
+                    f"{lock.name} owned by {lock.owner.name} but not in its held set"
+                )

@@ -1,0 +1,145 @@
+"""Deadlock signatures — the "antibodies" of deadlock immunity.
+
+A signature approximates the execution flow that led to a deadlock. It is
+a set of (outer, inner) call-stack pairs, one pair per deadlocked thread:
+the *outer* stack is where the thread acquired the lock it held in the
+cycle, the *inner* stack is where it was blocked at the moment of the
+deadlock. Per §2.1, a deadlock bug is uniquely delimited by the outer and
+inner positions; only the outer positions drive avoidance — the inner
+stacks are kept for diagnosis.
+
+Starvation (avoidance-induced deadlock) signatures share the same shape
+but are marked with ``kind='starvation'``; they are matched at *yield*
+time rather than acquire time, and their effect is inverted: a match means
+"do not park here again" (§2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.callstack import CallStack
+from repro.core.position import PositionKey
+
+KIND_DEADLOCK = "deadlock"
+KIND_STARVATION = "starvation"
+
+
+@dataclass(frozen=True)
+class SignatureEntry:
+    """One deadlocked thread's contribution: (outer, inner) call stacks."""
+
+    outer: CallStack
+    inner: CallStack
+
+    def to_json(self) -> dict:
+        return {"outer": self.outer.to_json(), "inner": self.inner.to_json()}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SignatureEntry":
+        return cls(
+            outer=CallStack.from_json(data["outer"]),
+            inner=CallStack.from_json(data["inner"]),
+        )
+
+
+class DeadlockSignature:
+    """An immutable signature with value identity.
+
+    Equality and hashing use the *canonical key*: the sorted multiset of
+    (outer, inner) position pairs plus the kind. Two occurrences of the
+    same bug therefore produce equal signatures regardless of thread
+    naming or cycle rotation, which is what makes history deduplication
+    work.
+    """
+
+    __slots__ = ("entries", "kind", "_canonical", "_outer_keys", "_hash")
+
+    def __init__(
+        self, entries: Iterable[SignatureEntry], kind: str = KIND_DEADLOCK
+    ) -> None:
+        if kind not in (KIND_DEADLOCK, KIND_STARVATION):
+            raise ValueError(f"unknown signature kind: {kind!r}")
+        self.entries: tuple[SignatureEntry, ...] = tuple(entries)
+        if not self.entries:
+            raise ValueError("a signature needs at least one entry")
+        self.kind = kind
+        self._canonical = (
+            kind,
+            tuple(
+                sorted(
+                    (entry.outer.key(), entry.inner.key())
+                    for entry in self.entries
+                )
+            ),
+        )
+        # Precomputed: outer keys and the hash are consulted on every
+        # avoidance check, which is the hot path (§4 optimizes exactly
+        # this kind of lookup).
+        self._outer_keys: tuple[PositionKey, ...] = tuple(
+            entry.outer.key() for entry in self.entries
+        )
+        self._hash = hash(self._canonical)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of threads involved in the recorded deadlock."""
+        return len(self.entries)
+
+    def outer_position_keys(self) -> tuple[PositionKey, ...]:
+        """The outer positions, in entry order (may repeat)."""
+        return self._outer_keys
+
+    def inner_position_keys(self) -> tuple[PositionKey, ...]:
+        return tuple(entry.inner.key() for entry in self.entries)
+
+    def contains_outer(self, key: PositionKey) -> bool:
+        return any(entry.outer.key() == key for entry in self.entries)
+
+    @property
+    def is_starvation(self) -> bool:
+        return self.kind == KIND_STARVATION
+
+    # ------------------------------------------------------------------
+    # value identity
+    # ------------------------------------------------------------------
+
+    def canonical_key(self):
+        return self._canonical
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DeadlockSignature):
+            return NotImplemented
+        return self._canonical == other._canonical
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "entries": [entry.to_json() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "DeadlockSignature":
+        return cls(
+            entries=[SignatureEntry.from_json(item) for item in data["entries"]],
+            kind=data.get("kind", KIND_DEADLOCK),
+        )
+
+    def __repr__(self) -> str:
+        outers = ", ".join(
+            "|".join(f"{f}:{l}" for f, l in entry.outer.key())
+            for entry in self.entries
+        )
+        return f"DeadlockSignature(kind={self.kind}, size={self.size}, outer=[{outers}])"

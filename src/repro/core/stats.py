@@ -1,0 +1,82 @@
+"""Event counters for a Dimmunix instance.
+
+The paper reports performance and memory overheads; this module provides
+the raw counters from which the benchmark harness derives them. Counters
+are plain integers mutated under the adapter's global lock, so no atomics
+are needed — the same reasoning the paper uses for its global-lock design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class DimmunixStats:
+    """Counters incremented by the core engine and its adapters."""
+
+    requests: int = 0
+    acquisitions: int = 0
+    releases: int = 0
+    waits: int = 0
+    deadlocks_detected: int = 0
+    starvations_detected: int = 0
+    yields: int = 0
+    yield_wakeups: int = 0
+    notifications: int = 0
+    instantiation_checks: int = 0
+    matching_steps: int = 0
+    signatures_added: int = 0
+    duplicate_signatures: int = 0
+    avoided_instantiations: int = 0
+    bypasses_granted: int = 0
+    starvation_overrides: int = 0
+    stack_retrievals: int = 0
+    stack_retrieval_ns: int = 0
+    request_ns: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy, suitable for asserting deltas in tests."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def merge(self, other: "DimmunixStats") -> None:
+        """Accumulate another instance's counters into this one."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+
+@dataclass
+class MemoryFootprint:
+    """Approximate bytes used by Dimmunix structures in one process.
+
+    Mirrors the memory-overhead accounting of §5: positions, RAG nodes,
+    queue cells, per-thread stack buffers, and history signatures are the
+    structures Dimmunix adds on top of the vanilla VM.
+    """
+
+    positions: int = 0
+    queue_cells: int = 0
+    thread_nodes: int = 0
+    lock_nodes: int = 0
+    stack_buffers: int = 0
+    signatures: int = 0
+    bytes_total: int = 0
+
+    extra: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, int]:
+        data = {
+            "positions": self.positions,
+            "queue_cells": self.queue_cells,
+            "thread_nodes": self.thread_nodes,
+            "lock_nodes": self.lock_nodes,
+            "stack_buffers": self.stack_buffers,
+            "signatures": self.signatures,
+            "bytes_total": self.bytes_total,
+        }
+        data.update(self.extra)
+        return data

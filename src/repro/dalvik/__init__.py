@@ -1,0 +1,38 @@
+"""A deterministic, virtual-time Dalvik VM substrate.
+
+The simulated counterpart of the VM the paper modifies: objects with
+thin/fat lock words, monitors embedding RAG nodes, threads with stack
+buffers, a DEX-flavoured instruction set with monitor and wait/notify
+operations, a single-core scheduler, and a Zygote fork model that gives
+every process its own Dimmunix instance.
+"""
+
+from repro.dalvik import instructions, lockword
+from repro.dalvik.instructions import SourceLoc
+from repro.dalvik.monitor import Monitor
+from repro.dalvik.objects import ObjectHeap, VMObject
+from repro.dalvik.program import Program, ProgramBuilder
+from repro.dalvik.scheduler import RunQueue, TimerQueue, diagnose_stall
+from repro.dalvik.thread import ThreadState, VMThread
+from repro.dalvik.vm import DalvikVM, VMConfig, VMRunResult
+from repro.dalvik.zygote import Zygote
+
+__all__ = [
+    "DalvikVM",
+    "VMConfig",
+    "VMRunResult",
+    "VMThread",
+    "ThreadState",
+    "VMObject",
+    "ObjectHeap",
+    "Monitor",
+    "Program",
+    "ProgramBuilder",
+    "SourceLoc",
+    "Zygote",
+    "RunQueue",
+    "TimerQueue",
+    "diagnose_stall",
+    "instructions",
+    "lockword",
+]

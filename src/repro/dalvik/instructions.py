@@ -1,0 +1,196 @@
+"""The substrate VM's instruction set.
+
+A deliberately small, DEX-flavoured set: enough to express synchronized
+blocks and methods (``MONITOR_ENTER`` / ``MONITOR_EXIT``), ``Object.wait``
+/ ``notify``, busy-wait computation (the paper's microbenchmark uses busy
+waits, not sleeps, precisely so overhead is not hidden), counted loops,
+and calls (so outer call stacks deeper than one frame exist for the
+depth ablation).
+
+Each instruction carries a :class:`SourceLoc` — the program position that
+becomes a Dimmunix position when the instruction is a monitor operation.
+Two instructions with the same (file, line) are the same synchronization
+site, which is how workloads control signature matching precisely.
+
+Monitor operands name heap objects. When ``reg`` is given, the effective
+object name is ``f"{obj}{registers[reg]}"`` — the indexed form used by the
+"random lock objects" microbenchmark (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """Where an instruction "is" in the simulated program source."""
+
+    file: str
+    line: int
+    function: str = "main"
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}({self.function})"
+
+
+_UNPLACED = SourceLoc("<unplaced>", 0)
+
+
+@dataclass
+class Instr:
+    """Base class; ``loc`` is assigned by the program builder."""
+
+    loc: SourceLoc = field(default=_UNPLACED, init=False, repr=False)
+
+    def place(self, loc: SourceLoc) -> "Instr":
+        self.loc = loc
+        return self
+
+
+@dataclass
+class MonitorEnter(Instr):
+    obj: str
+    reg: Optional[str] = None
+
+
+@dataclass
+class MonitorExit(Instr):
+    obj: str
+    reg: Optional[str] = None
+
+
+@dataclass
+class Wait(Instr):
+    """``Object.wait()`` — optionally timed (virtual ticks)."""
+
+    obj: str
+    timeout: Optional[int] = None
+    reg: Optional[str] = None
+
+
+@dataclass
+class Notify(Instr):
+    """``Object.notify()`` / ``notifyAll()``."""
+
+    obj: str
+    wake_all: bool = False
+    reg: Optional[str] = None
+
+
+@dataclass
+class NativeLock(Instr):
+    """``pthread_mutex_lock`` issued from native (JNI/NDK) code.
+
+    Whether Dimmunix sees it depends on the VM's native-interception
+    mode (§4's closing paragraph): shipped Android Dimmunix does not
+    intercept native synchronization at all.
+    """
+
+    obj: str
+    reg: Optional[str] = None
+
+
+@dataclass
+class NativeUnlock(Instr):
+    """``pthread_mutex_unlock`` issued from native (JNI/NDK) code."""
+
+    obj: str
+    reg: Optional[str] = None
+
+
+@dataclass
+class Compute(Instr):
+    """Busy-wait for ``ticks`` virtual ticks (consumes CPU)."""
+
+    ticks: int
+
+
+@dataclass
+class Sleep(Instr):
+    """Timed sleep for ``ticks`` (does not consume CPU)."""
+
+    ticks: int
+
+
+@dataclass
+class SetReg(Instr):
+    reg: str
+    value: int
+
+
+@dataclass
+class AddReg(Instr):
+    reg: str
+    delta: int
+
+
+@dataclass
+class Rand(Instr):
+    """``reg = uniform(0, bound)`` from the VM's seeded RNG."""
+
+    reg: str
+    bound: int
+
+
+@dataclass
+class Jump(Instr):
+    label: str
+    target: int = -1  # resolved by the builder
+
+
+@dataclass
+class LoopDec(Instr):
+    """``reg -= 1; if reg > 0: goto label`` — a counted loop."""
+
+    reg: str
+    label: str
+    target: int = -1
+
+
+@dataclass
+class BranchZero(Instr):
+    """``if reg == 0: goto label`` — the conditional that makes message
+    queues and guarded waits expressible."""
+
+    reg: str
+    label: str
+    target: int = -1
+
+
+@dataclass
+class Call(Instr):
+    """Call a program function (pushes a frame — deepens the call stack)."""
+
+    function: str
+    target: int = -1
+
+
+@dataclass
+class Ret(Instr):
+    pass
+
+
+@dataclass
+class Halt(Instr):
+    pass
+
+
+@dataclass
+class Nop(Instr):
+    pass
+
+
+def effective_object(instr, registers: dict[str, int]) -> str:
+    """Resolve the (possibly register-indexed) object name of a monitor op."""
+    reg = instr.reg
+    if reg is None:
+        return instr.obj
+    try:
+        index = registers[reg]
+    except KeyError:
+        raise KeyError(
+            f"register {reg!r} unset at {instr.loc} (indexed monitor operand)"
+        ) from None
+    return f"{instr.obj}{index}"

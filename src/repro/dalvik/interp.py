@@ -1,0 +1,127 @@
+"""The instruction interpreter.
+
+One :meth:`Interpreter.step` executes one instruction (or resumes one
+blocked monitor operation) for one thread. Monitor semantics live in
+:class:`~repro.dalvik.sync.MonitorOps`; everything else — compute, sleep,
+registers, control flow — is here.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.dalvik import instructions as ins
+from repro.dalvik.thread import ThreadState, VMThread
+from repro.errors import ProgramError
+
+if TYPE_CHECKING:
+    from repro.dalvik.vm import DalvikVM
+
+MAX_CALL_DEPTH = 256
+
+
+class Interpreter:
+    """Executes instructions against a :class:`~repro.dalvik.vm.DalvikVM`."""
+
+    def __init__(self, vm: "DalvikVM") -> None:
+        self._vm = vm
+
+    def step(self, thread: VMThread) -> None:
+        """Run one step; leaves the thread runnable, parked, or done."""
+        vm = self._vm
+
+        if thread.continuation is not None:
+            # The only resumable continuation a RUNNABLE thread can carry
+            # is a post-wait reacquisition (monitor grants complete
+            # continuations at grant time, inside MonitorOps).
+            vm.ops.resume_reacquire(thread)
+            return
+
+        if thread.pc >= len(thread.program.instructions):
+            thread.state = ThreadState.TERMINATED
+            return
+
+        instr = thread.program.instructions[thread.pc]
+
+        if isinstance(instr, ins.MonitorEnter):
+            vm.ops.monitor_enter(thread, instr)
+        elif isinstance(instr, ins.MonitorExit):
+            vm.ops.monitor_exit(thread, instr)
+        elif isinstance(instr, ins.Wait):
+            vm.ops.monitor_wait(thread, instr)
+        elif isinstance(instr, ins.Notify):
+            vm.ops.monitor_notify(thread, instr)
+        elif isinstance(instr, ins.NativeLock):
+            vm.pthreads.native_mutex_lock(thread, instr)
+        elif isinstance(instr, ins.NativeUnlock):
+            vm.pthreads.native_mutex_unlock(thread, instr)
+        elif isinstance(instr, ins.Compute):
+            vm.charge(thread, vm.config.instruction_cost + instr.ticks)
+            thread.compute_ticks += instr.ticks
+            thread.pc += 1
+            # A busy-wait long enough to model computation also ends the
+            # quantum: on a single core, that is what makes the racy
+            # interleavings (both threads holding their first lock)
+            # reachable, as they are on real hardware.
+            vm.request_preempt()
+        elif isinstance(instr, ins.Sleep):
+            vm.charge(thread, vm.config.instruction_cost)
+            thread.pc += 1
+            thread.state = ThreadState.SLEEPING
+            vm.timers.arm(vm.clock + instr.ticks, "sleep", thread)
+        elif isinstance(instr, ins.SetReg):
+            vm.charge(thread, vm.config.instruction_cost)
+            thread.registers[instr.reg] = instr.value
+            thread.pc += 1
+        elif isinstance(instr, ins.AddReg):
+            vm.charge(thread, vm.config.instruction_cost)
+            thread.registers[instr.reg] = (
+                thread.registers.get(instr.reg, 0) + instr.delta
+            )
+            thread.pc += 1
+        elif isinstance(instr, ins.Rand):
+            vm.charge(thread, vm.config.instruction_cost)
+            thread.registers[instr.reg] = vm.rng.randrange(instr.bound)
+            thread.pc += 1
+        elif isinstance(instr, ins.Jump):
+            vm.charge(thread, vm.config.instruction_cost)
+            thread.pc = instr.target
+        elif isinstance(instr, ins.LoopDec):
+            vm.charge(thread, vm.config.instruction_cost)
+            value = thread.registers.get(instr.reg, 0) - 1
+            thread.registers[instr.reg] = value
+            thread.pc = instr.target if value > 0 else thread.pc + 1
+        elif isinstance(instr, ins.BranchZero):
+            vm.charge(thread, vm.config.instruction_cost)
+            if thread.registers.get(instr.reg, 0) == 0:
+                thread.pc = instr.target
+            else:
+                thread.pc += 1
+        elif isinstance(instr, ins.Call):
+            vm.charge(thread, vm.config.instruction_cost)
+            if len(thread.frames) >= MAX_CALL_DEPTH:
+                vm.fault_thread(
+                    thread,
+                    ProgramError(
+                        f"call depth exceeded {MAX_CALL_DEPTH} in {thread.name}"
+                    ),
+                )
+                return
+            thread.frames.append((instr.function, thread.pc + 1))
+            thread.pc = instr.target
+        elif isinstance(instr, ins.Ret):
+            vm.charge(thread, vm.config.instruction_cost)
+            if not thread.frames:
+                thread.state = ThreadState.TERMINATED
+                return
+            _function, return_pc = thread.frames.pop()
+            thread.pc = return_pc
+        elif isinstance(instr, ins.Halt):
+            thread.state = ThreadState.TERMINATED
+        elif isinstance(instr, ins.Nop):
+            vm.charge(thread, vm.config.instruction_cost)
+            thread.pc += 1
+        else:
+            vm.fault_thread(
+                thread, ProgramError(f"unknown instruction {instr!r}")
+            )

@@ -1,0 +1,87 @@
+"""Dalvik-style lock words: thin vs. fat.
+
+Every object header in Dalvik carries a 32-bit lock word. A *thin* lock
+packs the owner thread id and a recursion count into the word itself —
+cheap, but with no room for anything else. A *fat* lock stores a pointer
+to a ``Monitor`` struct (with the low bit set, ``LW_SHAPE_FAT``).
+
+Android Dimmunix needs every contended-or-tracked lock to be fat, because
+the RAG node lives inside the ``Monitor`` struct; §4 shows the
+double-checked fattening inserted before ``lockMonitor``. This module
+reproduces the bit-level encoding so the substrate exercises the same
+transition, and the tests can assert on word shapes.
+
+Layout used here (mirroring Dalvik's):
+
+* bit 0 — shape: 0 = thin, 1 = fat;
+* thin: bits 1..16 owner thread id (0 = unlocked), bits 17..31 recursion
+  count;
+* fat: bits 1..31 monitor id (index into the process monitor table).
+"""
+
+from __future__ import annotations
+
+LW_SHAPE_THIN = 0
+LW_SHAPE_FAT = 1
+
+_SHAPE_MASK = 0x1
+_THIN_OWNER_SHIFT = 1
+_THIN_OWNER_BITS = 16
+_THIN_OWNER_MASK = ((1 << _THIN_OWNER_BITS) - 1) << _THIN_OWNER_SHIFT
+_THIN_COUNT_SHIFT = _THIN_OWNER_SHIFT + _THIN_OWNER_BITS
+_THIN_COUNT_BITS = 31 - _THIN_COUNT_SHIFT + 1
+_MAX_THIN_COUNT = (1 << _THIN_COUNT_BITS) - 1
+_FAT_ID_SHIFT = 1
+
+MAX_THIN_OWNER = (1 << _THIN_OWNER_BITS) - 1
+MAX_THIN_COUNT = _MAX_THIN_COUNT
+
+UNLOCKED_WORD = 0
+
+
+def lw_shape(word: int) -> int:
+    """The shape bit of a lock word."""
+    return word & _SHAPE_MASK
+
+
+def is_fat(word: int) -> bool:
+    return lw_shape(word) == LW_SHAPE_FAT
+
+
+def make_thin(owner_id: int, count: int = 0) -> int:
+    """Encode a thin lock word; ``owner_id`` 0 means unlocked."""
+    if not 0 <= owner_id <= MAX_THIN_OWNER:
+        raise ValueError(f"thin owner id {owner_id} out of range")
+    if not 0 <= count <= _MAX_THIN_COUNT:
+        raise ValueError(f"thin recursion count {count} out of range")
+    return (
+        LW_SHAPE_THIN
+        | (owner_id << _THIN_OWNER_SHIFT)
+        | (count << _THIN_COUNT_SHIFT)
+    )
+
+
+def thin_owner(word: int) -> int:
+    if is_fat(word):
+        raise ValueError("not a thin lock word")
+    return (word & _THIN_OWNER_MASK) >> _THIN_OWNER_SHIFT
+
+
+def thin_count(word: int) -> int:
+    if is_fat(word):
+        raise ValueError("not a thin lock word")
+    return word >> _THIN_COUNT_SHIFT
+
+
+def make_fat(monitor_id: int) -> int:
+    """Encode a fat lock word referencing ``monitor_id``."""
+    if monitor_id < 0:
+        raise ValueError(f"monitor id {monitor_id} must be non-negative")
+    return LW_SHAPE_FAT | (monitor_id << _FAT_ID_SHIFT)
+
+
+def fat_monitor_id(word: int) -> int:
+    """The paper's ``LW_MONITOR``: the monitor referenced by a fat word."""
+    if not is_fat(word):
+        raise ValueError("not a fat lock word")
+    return word >> _FAT_ID_SHIFT

@@ -1,0 +1,62 @@
+"""The fat monitor struct.
+
+Mirrors Dalvik's ``struct Monitor`` after the paper's change: alongside
+the owner and recursion count it embeds the Dimmunix RAG node (``Node
+node;`` in §4), plus the two queues every monitor needs — threads blocked
+trying to enter, and the wait set of ``Object.wait()`` callers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.core.node import LockNode
+    from repro.dalvik.thread import VMThread
+    from repro.dalvik.objects import VMObject
+
+
+class Monitor:
+    """One inflated lock, with its embedded RAG node."""
+
+    __slots__ = (
+        "monitor_id",
+        "obj",
+        "node",
+        "owner",
+        "recursion",
+        "entry_queue",
+        "wait_set",
+    )
+
+    def __init__(
+        self,
+        monitor_id: int,
+        obj: "VMObject",
+        node: Optional["LockNode"],
+    ) -> None:
+        self.monitor_id = monitor_id
+        self.obj = obj
+        self.node = node
+        self.owner: Optional["VMThread"] = None
+        self.recursion = 0
+        # FIFO of threads blocked on monitorenter (grant order is
+        # deterministic, which the whole simulation relies on).
+        self.entry_queue: deque["VMThread"] = deque()
+        # Threads parked in Object.wait() on this monitor.
+        self.wait_set: deque["VMThread"] = deque()
+
+    def is_owned_by(self, thread: "VMThread") -> bool:
+        return self.owner is thread
+
+    def is_free(self) -> bool:
+        return self.owner is None
+
+    def __repr__(self) -> str:
+        owner = self.owner.name if self.owner is not None else None
+        return (
+            f"<Monitor #{self.monitor_id} of {self.obj.class_name}"
+            f"#{self.obj.object_id} owner={owner} rec={self.recursion} "
+            f"blocked={len(self.entry_queue)} waiting={len(self.wait_set)}>"
+        )

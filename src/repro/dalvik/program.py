@@ -1,0 +1,228 @@
+"""Programs and the builder DSL for the substrate VM.
+
+A :class:`Program` is a resolved instruction list plus label/function
+tables. :class:`ProgramBuilder` is how workloads write them::
+
+    b = ProgramBuilder("EmailSync.java")
+    b.label("loop")
+    b.monitor_enter("inbox", line=42)   # a stable sync site
+    b.compute(8)
+    b.monitor_exit("inbox", line=44)
+    b.compute(20)
+    b.loop_dec("i", "loop")
+    b.halt()
+    program = b.build()
+
+Line numbers default to a per-file auto-increment, so distinct statements
+get distinct positions; passing ``line=`` pins a statement to a chosen
+position — that is how tests and benchmarks construct colliding or
+disjoint signature sites on purpose.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dalvik import instructions as ins
+from repro.errors import ProgramError
+
+
+class Program:
+    """An immutable, label-resolved program."""
+
+    def __init__(
+        self,
+        instructions: list[ins.Instr],
+        labels: dict[str, int],
+        functions: dict[str, int],
+        source_file: str,
+        entry: int = 0,
+    ) -> None:
+        self.instructions = tuple(instructions)
+        self.labels = dict(labels)
+        self.functions = dict(functions)
+        self.source_file = source_file
+        self.entry = entry
+        if not self.instructions:
+            raise ProgramError("a program needs at least one instruction")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def sync_sites(self) -> list[ins.SourceLoc]:
+        """Locations of all MONITOR_ENTER instructions (distinct, ordered)."""
+        seen: dict[tuple[str, int], ins.SourceLoc] = {}
+        for instr in self.instructions:
+            if isinstance(instr, ins.MonitorEnter):
+                seen.setdefault((instr.loc.file, instr.loc.line), instr.loc)
+        return list(seen.values())
+
+
+class ProgramBuilder:
+    """Fluent builder producing :class:`Program` objects."""
+
+    def __init__(self, source_file: str) -> None:
+        self._file = source_file
+        self._instructions: list[ins.Instr] = []
+        self._labels: dict[str, int] = {}
+        self._functions: dict[str, int] = {}
+        self._function = "main"
+        self._next_line = 1
+
+    # -- placement helpers -------------------------------------------------
+
+    def _place(self, instr: ins.Instr, line: Optional[int]) -> "ProgramBuilder":
+        if line is None:
+            line = self._next_line
+        self._next_line = max(self._next_line, line) + 1
+        instr.place(ins.SourceLoc(self._file, line, self._function))
+        self._instructions.append(instr)
+        return self
+
+    @property
+    def here(self) -> int:
+        """Index of the next instruction (for assertions in tests)."""
+        return len(self._instructions)
+
+    # -- structure ---------------------------------------------------------
+
+    def label(self, name: str) -> "ProgramBuilder":
+        if name in self._labels:
+            raise ProgramError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+        return self
+
+    def function(self, name: str) -> "ProgramBuilder":
+        """Begin a function body; ``call(name)`` jumps here."""
+        if name in self._functions:
+            raise ProgramError(f"duplicate function {name!r}")
+        self._functions[name] = len(self._instructions)
+        self._function = name
+        return self
+
+    def source(self, file: str) -> "ProgramBuilder":
+        """Switch the source file subsequent instructions are placed in.
+
+        Cross-service code linked into one thread's program keeps its own
+        file attribution this way (e.g. a NotificationManagerService
+        method calling into StatusBarService.java), so Dimmunix positions
+        match the real services' source structure.
+        """
+        self._file = file
+        return self
+
+    # -- instructions --------------------------------------------------------
+
+    def monitor_enter(
+        self, obj: str, reg: Optional[str] = None, line: Optional[int] = None
+    ) -> "ProgramBuilder":
+        return self._place(ins.MonitorEnter(obj, reg), line)
+
+    def monitor_exit(
+        self, obj: str, reg: Optional[str] = None, line: Optional[int] = None
+    ) -> "ProgramBuilder":
+        return self._place(ins.MonitorExit(obj, reg), line)
+
+    def wait(
+        self,
+        obj: str,
+        timeout: Optional[int] = None,
+        reg: Optional[str] = None,
+        line: Optional[int] = None,
+    ) -> "ProgramBuilder":
+        return self._place(ins.Wait(obj, timeout, reg), line)
+
+    def notify(
+        self, obj: str, reg: Optional[str] = None, line: Optional[int] = None
+    ) -> "ProgramBuilder":
+        return self._place(ins.Notify(obj, wake_all=False, reg=reg), line)
+
+    def notify_all(
+        self, obj: str, reg: Optional[str] = None, line: Optional[int] = None
+    ) -> "ProgramBuilder":
+        return self._place(ins.Notify(obj, wake_all=True, reg=reg), line)
+
+    def native_lock(
+        self, obj: str, reg: Optional[str] = None, line: Optional[int] = None
+    ) -> "ProgramBuilder":
+        """``pthread_mutex_lock`` from JNI code (see repro.ndk)."""
+        return self._place(ins.NativeLock(obj, reg), line)
+
+    def native_unlock(
+        self, obj: str, reg: Optional[str] = None, line: Optional[int] = None
+    ) -> "ProgramBuilder":
+        """``pthread_mutex_unlock`` from JNI code (see repro.ndk)."""
+        return self._place(ins.NativeUnlock(obj, reg), line)
+
+    def compute(self, ticks: int, line: Optional[int] = None) -> "ProgramBuilder":
+        return self._place(ins.Compute(ticks), line)
+
+    def sleep(self, ticks: int, line: Optional[int] = None) -> "ProgramBuilder":
+        return self._place(ins.Sleep(ticks), line)
+
+    def set_reg(
+        self, reg: str, value: int, line: Optional[int] = None
+    ) -> "ProgramBuilder":
+        return self._place(ins.SetReg(reg, value), line)
+
+    def add_reg(
+        self, reg: str, delta: int, line: Optional[int] = None
+    ) -> "ProgramBuilder":
+        return self._place(ins.AddReg(reg, delta), line)
+
+    def rand(
+        self, reg: str, bound: int, line: Optional[int] = None
+    ) -> "ProgramBuilder":
+        return self._place(ins.Rand(reg, bound), line)
+
+    def jump(self, label: str, line: Optional[int] = None) -> "ProgramBuilder":
+        return self._place(ins.Jump(label), line)
+
+    def loop_dec(
+        self, reg: str, label: str, line: Optional[int] = None
+    ) -> "ProgramBuilder":
+        return self._place(ins.LoopDec(reg, label), line)
+
+    def branch_zero(
+        self, reg: str, label: str, line: Optional[int] = None
+    ) -> "ProgramBuilder":
+        return self._place(ins.BranchZero(reg, label), line)
+
+    def call(self, function: str, line: Optional[int] = None) -> "ProgramBuilder":
+        return self._place(ins.Call(function), line)
+
+    def ret(self, line: Optional[int] = None) -> "ProgramBuilder":
+        return self._place(ins.Ret(), line)
+
+    def halt(self, line: Optional[int] = None) -> "ProgramBuilder":
+        return self._place(ins.Halt(), line)
+
+    def nop(self, line: Optional[int] = None) -> "ProgramBuilder":
+        return self._place(ins.Nop(), line)
+
+    # -- finalize -------------------------------------------------------------
+
+    def build(self, entry: int = 0) -> Program:
+        """Resolve labels and function targets; validate references."""
+        for index, instr in enumerate(self._instructions):
+            if isinstance(instr, (ins.Jump, ins.LoopDec, ins.BranchZero)):
+                target = self._labels.get(instr.label)
+                if target is None:
+                    raise ProgramError(
+                        f"unresolved label {instr.label!r} at instruction {index}"
+                    )
+                instr.target = target
+            elif isinstance(instr, ins.Call):
+                target = self._functions.get(instr.function)
+                if target is None:
+                    raise ProgramError(
+                        f"unresolved function {instr.function!r} at instruction {index}"
+                    )
+                instr.target = target
+        return Program(
+            self._instructions,
+            self._labels,
+            self._functions,
+            self._file,
+            entry=entry,
+        )

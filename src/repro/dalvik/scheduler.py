@@ -1,0 +1,135 @@
+"""Scheduling primitives for the substrate VM.
+
+The simulated phone has one core (the Nexus One the paper used was
+single-core), so scheduling is: one global virtual clock, a round-robin
+run queue with a fixed instruction quantum, and a timer heap for sleeps
+and timed waits. Everything is deterministic — same programs, same seed,
+same interleaving — which is what makes deadlock reproductions replayable
+in tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.dalvik.thread import ThreadState, VMThread
+
+if TYPE_CHECKING:
+    from repro.dalvik.monitor import Monitor
+
+
+class RunQueue:
+    """FIFO of runnable threads with duplicate-suppression.
+
+    A thread can be woken from several places (monitor grant, signature
+    notification, timer); the ``queued`` mark keeps it enqueued at most
+    once, and :meth:`pop` skips entries whose thread stopped being
+    runnable after it was queued.
+    """
+
+    def __init__(self) -> None:
+        self._queue: deque[VMThread] = deque()
+        self._queued: set[int] = set()
+
+    def push(self, thread: VMThread) -> None:
+        if thread.thread_id in self._queued:
+            return
+        self._queued.add(thread.thread_id)
+        self._queue.append(thread)
+
+    def pop(self) -> Optional[VMThread]:
+        while self._queue:
+            thread = self._queue.popleft()
+            self._queued.discard(thread.thread_id)
+            if thread.state == ThreadState.RUNNABLE:
+                return thread
+        return None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return any(
+            t.state == ThreadState.RUNNABLE for t in self._queue
+        )
+
+
+TIMER_SLEEP = "sleep"
+TIMER_WAIT_TIMEOUT = "wait-timeout"
+
+
+class TimerQueue:
+    """Virtual-time timers (min-heap keyed by deadline).
+
+    Cancellation is lazy: a fired timer checks whether its thread is still
+    in the state the timer was armed for and otherwise does nothing —
+    the standard trick for wait/notify racing with timeouts.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, str, VMThread]] = []
+        self._seq = itertools.count()
+
+    def arm(self, deadline: int, kind: str, thread: VMThread) -> None:
+        heapq.heappush(self._heap, (deadline, next(self._seq), kind, thread))
+
+    def next_deadline(self) -> Optional[int]:
+        return self._heap[0][0] if self._heap else None
+
+    def pop_due(self, now: int) -> list[tuple[str, VMThread]]:
+        due = []
+        while self._heap and self._heap[0][0] <= now:
+            _deadline, _seq, kind, thread = heapq.heappop(self._heap)
+            due.append((kind, thread))
+        return due
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+def diagnose_stall(threads: Iterable[VMThread]) -> dict:
+    """Explain a global stall without relying on Dimmunix state.
+
+    Walks the VM's own wait-for structure (blocked thread → monitor →
+    owner) so it works for vanilla runs too. Returns a dict with the
+    per-state thread lists and, when one exists, the deadlock cycle as a
+    list of thread names.
+    """
+    blocked: list[VMThread] = []
+    waiting: list[VMThread] = []
+    yielding: list[VMThread] = []
+    for thread in threads:
+        if thread.state == ThreadState.BLOCKED:
+            blocked.append(thread)
+        elif thread.state == ThreadState.WAITING:
+            waiting.append(thread)
+        elif thread.state == ThreadState.YIELDING:
+            yielding.append(thread)
+
+    def blocked_on(thread: VMThread) -> Optional["Monitor"]:
+        if thread.continuation is None:
+            return None
+        return thread.continuation[1]
+
+    cycle_names: list[str] = []
+    for start in blocked:
+        seen: list[VMThread] = []
+        current: Optional[VMThread] = start
+        while current is not None and current not in seen:
+            seen.append(current)
+            monitor = blocked_on(current)
+            current = monitor.owner if monitor is not None else None
+        if current is not None and current in seen:
+            cycle = seen[seen.index(current):]
+            cycle_names = [t.name for t in cycle]
+            break
+
+    return {
+        "blocked": [t.name for t in blocked],
+        "waiting": [t.name for t in waiting],
+        "yielding": [t.name for t in yielding],
+        "cycle": cycle_names,
+    }

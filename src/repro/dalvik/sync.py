@@ -1,0 +1,367 @@
+"""The VM's monitor routines, patched the way the paper patches Dalvik.
+
+``lockMonitor`` / ``unlockMonitor`` / ``waitMonitor`` are implemented by
+:class:`MonitorOps`. When the VM runs with Dimmunix, each routine calls
+the core engine exactly where §4 says Dalvik was changed:
+
+* before blocking on ``monitorenter`` — ``dvmGetCallStack`` + the
+  ``Request`` retry loop (a yield parks the thread on the signature);
+* right after acquisition — ``Acquired``;
+* right before release — ``Release``, followed by notifying every
+  signature containing the releasing position;
+* and around the *re*-acquisition inside ``Object.wait()`` — the change
+  that makes wait()-induced inversions visible (§3.2).
+
+Tick charging implements the cost model: monitor operations have a base
+cost; Dimmunix adds the stack-retrieval cost (the dominant term per §5)
+plus work proportional to the matching steps actually performed, so
+virtual-time overhead scales with the algorithm's real work.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.config import DetectionPolicy
+from repro.core.engine import RequestVerdict
+from repro.dalvik import instructions as ins
+from repro.dalvik import lockword
+from repro.dalvik.monitor import Monitor
+from repro.dalvik.thread import ThreadState, VMThread
+from repro.errors import DeadlockDetectedError, IllegalMonitorStateError
+
+if TYPE_CHECKING:
+    from repro.dalvik.vm import DalvikVM
+
+
+class MonitorOps:
+    """lockMonitor / unlockMonitor / waitMonitor for one VM."""
+
+    def __init__(self, vm: "DalvikVM") -> None:
+        self._vm = vm
+        # Fractional-cost remainder for instantiation checks (see
+        # VMConfig.checks_per_tick); checks cheaper than one tick
+        # accumulate here until they amount to a whole tick.
+        self._check_accum = 0
+
+    # ------------------------------------------------------------------
+    # lockMonitor
+    # ------------------------------------------------------------------
+
+    def monitor_enter(self, thread: VMThread, instr: ins.MonitorEnter) -> None:
+        vm = self._vm
+        obj_name = ins.effective_object(instr, thread.registers)
+        obj = vm.heap.ensure(obj_name)
+        monitor = vm.heap.monitor_of(obj)
+        vm.charge(thread, vm.config.monitor_cost)
+
+        if monitor is None:
+            if vm.core is None:
+                # Vanilla Dalvik: thin-lock fast path. The lock stays a
+                # bit-packed word until contention inflates it — this is
+                # the memory asymmetry E2 measures, since Dimmunix (below)
+                # must fatten on first monitorenter to embed a RAG node.
+                if self._thin_enter(thread, obj):
+                    return
+                monitor = vm.heap.monitor_of(obj)
+                assert monitor is not None  # _thin_enter inflated it
+            else:
+                # Eager fattening (§4): only a fat lock carries a RAG node.
+                monitor = vm.heap.fatten(obj, name=obj_name)
+
+        if monitor.owner is thread:
+            monitor.recursion += 1
+            thread.pc += 1
+            return
+
+        if not self._dimmunix_admission(thread, monitor):
+            return  # parked (yield), faulted, or left blocked by policy
+
+        self._acquire_or_block(thread, monitor, ("enter", monitor))
+
+    def _thin_enter(self, thread: VMThread, obj) -> bool:
+        """Vanilla thin-lock acquire. Returns True when handled thin.
+
+        Uncontended: set/bump the thin word. Contended (or recursion
+        overflow): inflate, migrating the thin owner and count into the
+        new monitor, and return False so the fat path takes over.
+        """
+        vm = self._vm
+        word = obj.lock_word
+        owner_id = lockword.thin_owner(word)
+        if owner_id == 0:
+            obj.lock_word = lockword.make_thin(thread.local_id, 1)
+            thread.sync_count += 1
+            vm.note_sync(thread)
+            thread.pc += 1
+            return True
+        if owner_id == thread.local_id:
+            count = lockword.thin_count(word)
+            if count < lockword.MAX_THIN_COUNT:
+                obj.lock_word = lockword.make_thin(thread.local_id, count + 1)
+                thread.pc += 1
+                return True
+        # Contention (or count overflow): inflate and migrate.
+        self._inflate_thin(obj)
+        return False
+
+    def _inflate_thin(self, obj) -> None:
+        vm = self._vm
+        word = obj.lock_word
+        owner_id = lockword.thin_owner(word)
+        count = lockword.thin_count(word)
+        monitor = vm.heap.fatten(obj)
+        if owner_id != 0:
+            owner = vm.thread_by_local_id(owner_id)
+            assert owner is not None, "thin owner vanished"
+            monitor.owner = owner
+            monitor.recursion = count
+
+    def _thin_exit(self, thread: VMThread, obj) -> bool:
+        """Vanilla thin-lock release. Returns True when handled thin."""
+        word = obj.lock_word
+        if lockword.is_fat(word):
+            return False
+        if lockword.thin_owner(word) != thread.local_id:
+            return False  # caller reports the illegal state
+        count = lockword.thin_count(word)
+        if count > 1:
+            obj.lock_word = lockword.make_thin(thread.local_id, count - 1)
+        else:
+            obj.lock_word = lockword.UNLOCKED_WORD
+        thread.pc += 1
+        return True
+
+    def _dimmunix_admission(self, thread: VMThread, monitor: Monitor) -> bool:
+        """Run Request (detection + avoidance). True = proceed to acquire."""
+        vm = self._vm
+        core = vm.core
+        if core is None:
+            return True
+        vm.charge(thread, vm.config.stack_retrieval_cost)
+        stack = thread.capture_stack(core.config.stack_depth)
+        match_steps_before = core.stats.matching_steps
+        checks_before = core.stats.instantiation_checks
+        result = core.request(thread.node, monitor.node, stack)
+        self._check_accum += (
+            core.stats.instantiation_checks - checks_before
+        )
+        check_ticks, self._check_accum = divmod(
+            self._check_accum, vm.config.checks_per_tick
+        )
+        vm.charge(
+            thread,
+            vm.config.request_base_cost
+            + vm.config.match_step_cost
+            * (core.stats.matching_steps - match_steps_before)
+            + check_ticks,
+        )
+        if result.resume:
+            vm.wake_resumed(result.resume)
+        if result.detected is not None:
+            vm.record_detection(result.detected)
+            if core.config.detection_policy is DetectionPolicy.RAISE:
+                core.cancel_request(thread.node, monitor.node)
+                vm.fault_thread(thread, DeadlockDetectedError(result.detected))
+                return False
+            # BLOCK (paper-faithful): proceed into the deadlock; the
+            # phone will freeze and the signature is already persisted.
+            return True
+        if result.verdict is RequestVerdict.YIELD:
+            assert result.yield_on is not None
+            thread.state = ThreadState.YIELDING
+            thread.yielding_on = result.yield_on
+            vm.park_on_signature(thread, result.yield_on)
+            if vm.config.yield_timeout_ticks is not None:
+                vm.timers.arm(
+                    vm.clock + vm.config.yield_timeout_ticks,
+                    "yield-timeout",
+                    thread,
+                )
+            return False
+        return True
+
+    def _acquire_or_block(
+        self, thread: VMThread, monitor: Monitor, continuation: tuple
+    ) -> None:
+        vm = self._vm
+        if monitor.is_free():
+            self._complete_grant(thread, monitor, continuation)
+        else:
+            monitor.entry_queue.append(thread)
+            thread.state = ThreadState.BLOCKED
+            thread.continuation = continuation
+
+    def _complete_grant(
+        self, thread: VMThread, monitor: Monitor, continuation: tuple
+    ) -> None:
+        """Finish a monitorenter (fresh or post-wait) for ``thread``."""
+        vm = self._vm
+        monitor.owner = thread
+        if continuation[0] == "enter":
+            monitor.recursion = 1
+            thread.sync_count += 1
+            vm.note_sync(thread)
+        else:  # ("reacquire", monitor, saved_recursion)
+            monitor.recursion = continuation[2]
+            thread.wait_reacquisitions += 1
+        if vm.core is not None:
+            vm.core.acquired(thread.node, monitor.node)
+        # The VM implements monitor ownership on a backing pthread mutex;
+        # under naive ALWAYS interception this call is double-intercepted
+        # (the hazard §4 warns about), otherwise it is a no-op.
+        vm.pthreads.vm_internal_lock(thread, monitor)
+        thread.continuation = None
+        thread.pc += 1
+        thread.state = ThreadState.RUNNABLE
+
+    def grant_next(self, monitor: Monitor) -> None:
+        """Hand a free monitor to the next blocked thread, if any."""
+        vm = self._vm
+        while monitor.entry_queue:
+            candidate = monitor.entry_queue.popleft()
+            if not candidate.is_live():
+                continue
+            continuation = candidate.continuation
+            assert continuation is not None and continuation[1] is monitor
+            self._complete_grant(candidate, monitor, continuation)
+            vm.enqueue(candidate)
+            return
+
+    # ------------------------------------------------------------------
+    # unlockMonitor
+    # ------------------------------------------------------------------
+
+    def monitor_exit(self, thread: VMThread, instr: ins.MonitorExit) -> None:
+        vm = self._vm
+        obj_name = ins.effective_object(instr, thread.registers)
+        obj = vm.heap.ensure(obj_name)
+        vm.charge(thread, vm.config.monitor_cost)
+        if vm.core is None and not lockword.is_fat(obj.lock_word):
+            if self._thin_exit(thread, obj):
+                return
+        monitor = vm.heap.monitor_of(obj)
+        if monitor is None or monitor.owner is not thread:
+            vm.fault_thread(
+                thread,
+                IllegalMonitorStateError(
+                    f"{thread.name} does not own monitor of {obj_name!r}"
+                ),
+            )
+            return
+        if monitor.recursion > 1:
+            monitor.recursion -= 1
+            thread.pc += 1
+            return
+        self._release(thread, monitor)
+        thread.pc += 1
+
+    def _release(self, thread: VMThread, monitor: Monitor) -> None:
+        """Final release: Dimmunix Release + signature notifications (§4)."""
+        vm = self._vm
+        core = vm.core
+        if core is not None:
+            result = core.release(thread.node, monitor.node)
+            vm.charge(thread, vm.config.release_base_cost)
+            for signature in result.notify:
+                vm.wake_signature(signature)
+        vm.pthreads.vm_internal_unlock(thread, monitor)
+        monitor.owner = None
+        monitor.recursion = 0
+        self.grant_next(monitor)
+
+    # ------------------------------------------------------------------
+    # waitMonitor
+    # ------------------------------------------------------------------
+
+    def monitor_wait(self, thread: VMThread, instr: ins.Wait) -> None:
+        vm = self._vm
+        obj_name = ins.effective_object(instr, thread.registers)
+        obj = vm.heap.ensure(obj_name)
+        if vm.core is None and not lockword.is_fat(obj.lock_word):
+            # Object.wait() always inflates (a wait set needs a monitor).
+            self._inflate_thin(obj)
+        monitor = vm.heap.monitor_of(obj)
+        vm.charge(thread, vm.config.monitor_cost)
+        if monitor is None or monitor.owner is not thread:
+            vm.fault_thread(
+                thread,
+                IllegalMonitorStateError(
+                    f"{thread.name} cannot wait on un-owned {obj_name!r}"
+                ),
+            )
+            return
+        saved_recursion = monitor.recursion
+        self._release(thread, monitor)
+        monitor.wait_set.append(thread)
+        thread.state = ThreadState.WAITING
+        thread.waiting_monitor = monitor
+        thread.continuation = ("reacquire", monitor, saved_recursion)
+        thread.wait_count += 1
+        if instr.timeout is not None:
+            vm.timers.arm(
+                vm.clock + instr.timeout, "wait-timeout", thread
+            )
+        # pc stays at the WAIT instruction: the reacquisition position is
+        # the x.wait() call site, as in the paper's waitMonitor patch.
+
+    def monitor_notify(self, thread: VMThread, instr: ins.Notify) -> None:
+        vm = self._vm
+        obj_name = ins.effective_object(instr, thread.registers)
+        obj = vm.heap.ensure(obj_name)
+        vm.charge(thread, vm.config.notify_cost)
+        if vm.core is None and not lockword.is_fat(obj.lock_word):
+            # Thin lock: no wait set can exist; just validate ownership.
+            if lockword.thin_owner(obj.lock_word) == thread.local_id:
+                thread.pc += 1
+                return
+        monitor = vm.heap.monitor_of(obj)
+        if monitor is None or monitor.owner is not thread:
+            vm.fault_thread(
+                thread,
+                IllegalMonitorStateError(
+                    f"{thread.name} cannot notify un-owned {obj_name!r}"
+                ),
+            )
+            return
+        to_wake = (
+            len(monitor.wait_set) if instr.wake_all else min(1, len(monitor.wait_set))
+        )
+        for _ in range(to_wake):
+            waiter = monitor.wait_set.popleft()
+            waiter.waiting_monitor = None
+            waiter.state = ThreadState.RUNNABLE
+            vm.enqueue(waiter)
+        thread.pc += 1
+
+    def wait_timed_out(self, thread: VMThread) -> None:
+        """A timed Object.wait() expired before any notify."""
+        monitor = thread.waiting_monitor
+        if monitor is None or thread.state != ThreadState.WAITING:
+            return  # stale timer: the thread was notified first
+        try:
+            monitor.wait_set.remove(thread)
+        except ValueError:
+            pass
+        thread.waiting_monitor = None
+        thread.state = ThreadState.RUNNABLE
+        self._vm.enqueue(thread)
+
+    # ------------------------------------------------------------------
+    # post-wait / post-yield resumption
+    # ------------------------------------------------------------------
+
+    def resume_reacquire(self, thread: VMThread) -> None:
+        """A notified (or timed-out) waiter reattempts monitor entry.
+
+        This is the code path the paper had to add to ``waitMonitor``:
+        the reacquisition runs the full Request/Acquired protocol.
+        """
+        continuation = thread.continuation
+        assert continuation is not None and continuation[0] == "reacquire"
+        monitor: Monitor = continuation[1]
+        vm = self._vm
+        vm.charge(thread, vm.config.monitor_cost)
+        if not self._dimmunix_admission(thread, monitor):
+            return
+        self._acquire_or_block(thread, monitor, continuation)

@@ -1,0 +1,159 @@
+"""Simulated VM threads.
+
+Mirrors Dalvik's ``struct Thread`` after the paper's change: the thread
+carries its Dimmunix RAG node and the pre-allocated ``stackBuffer`` used
+by ``dvmGetCallStack``. On top of that it is a tiny interpreter context:
+program counter, registers, a call stack of program frames (so outer call
+stacks deeper than 1 are meaningful for the ablations), and the
+continuation state used while blocked in a monitor operation.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.callstack import CallStack, Frame
+
+if TYPE_CHECKING:
+    from repro.core.node import ThreadNode
+    from repro.core.signature import DeadlockSignature
+    from repro.dalvik.monitor import Monitor
+    from repro.dalvik.program import Program
+
+
+class ThreadState(enum.Enum):
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"        # in a monitor's entry queue
+    YIELDING = "yielding"      # parked by Dimmunix avoidance
+    WAITING = "waiting"        # in a wait set (Object.wait)
+    SLEEPING = "sleeping"      # timed sleep, wakes at a virtual deadline
+    TERMINATED = "terminated"
+    FAULTED = "faulted"        # died with an error (RAISE policy, bad program)
+
+
+class Registers:
+    """Per-thread registers with process-shared globals.
+
+    Names starting with ``g:`` resolve in the owning VM's global table —
+    the minimal shared mutable state (message-queue depths, counters)
+    that lets Looper-style producer/consumer programs exist without a
+    full field/heap ISA. All access happens on the single simulated core,
+    so no synchronization is needed at the Python level.
+    """
+
+    __slots__ = ("_local", "_globals")
+
+    def __init__(self, globals_table: Optional[dict[str, int]] = None) -> None:
+        self._local: dict[str, int] = {}
+        self._globals = globals_table if globals_table is not None else {}
+
+    def _table(self, name: str) -> dict[str, int]:
+        return self._globals if name.startswith("g:") else self._local
+
+    def __getitem__(self, name: str) -> int:
+        return self._table(name)[name]
+
+    def __setitem__(self, name: str, value: int) -> None:
+        self._table(name)[name] = value
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self._table(name).get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._table(name)
+
+    def update(self, values: dict[str, int]) -> None:
+        for name, value in values.items():
+            self[name] = value
+
+
+class VMThread:
+    """One simulated thread executing a :class:`~repro.dalvik.program.Program`."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        program: "Program",
+        name: str = "",
+        node: Optional["ThreadNode"] = None,
+        globals_table: Optional[dict[str, int]] = None,
+    ) -> None:
+        self.thread_id: int = next(VMThread._ids)
+        # Small per-VM id used in thin lock words (assigned by spawn).
+        self.local_id: int = 0
+        self.name = name or f"vmthread-{self.thread_id}"
+        self.program = program
+        self.pc = program.entry
+        self.registers = Registers(globals_table)
+        self.state = ThreadState.RUNNABLE
+        self.node = node
+        # The paper's per-thread stackBuffer: reused on every
+        # dvmGetCallStack so the hot path never allocates.
+        self.stack_buffer: list[Frame] = []
+        # Program-level call stack (CALL/RET frames), innermost last.
+        self.frames: list[tuple[str, int]] = []  # (function, return pc)
+        # Continuation while blocked inside a monitor operation:
+        #   ("enter", monitor)                  — waiting to own it
+        #   ("reacquire", monitor, recursion)   — post-wait reacquisition
+        self.continuation: Optional[tuple] = None
+        self.yielding_on: Optional["DeadlockSignature"] = None
+        self.wakeup_deadline: Optional[int] = None
+        self.waiting_monitor: Optional["Monitor"] = None
+        self.fault: Optional[BaseException] = None
+        # accounting
+        self.sync_count = 0
+        self.wait_count = 0
+        self.wait_reacquisitions = 0
+        self.compute_ticks = 0
+        self.cpu_ticks = 0
+        self.blocked_ticks = 0
+
+    # ------------------------------------------------------------------
+    # call-stack capture (dvmGetCallStack)
+    # ------------------------------------------------------------------
+
+    def capture_stack(self, depth: int) -> CallStack:
+        """Copy up to ``depth`` frames into the stack buffer and build the
+        call stack for the current instruction.
+
+        The innermost frame is the current instruction's source location;
+        outer frames come from the CALL chain. The buffer is cleared and
+        refilled in place — the zero-allocation discipline of §4.
+        """
+        self.stack_buffer.clear()
+        instr = self.program.instructions[self.pc]
+        self.stack_buffer.append(
+            Frame(instr.loc.file, instr.loc.line, instr.loc.function)
+        )
+        if depth > 1:
+            for function, return_pc in reversed(self.frames):
+                if len(self.stack_buffer) >= depth:
+                    break
+                call_instr = self.program.instructions[return_pc - 1]
+                self.stack_buffer.append(
+                    Frame(
+                        call_instr.loc.file,
+                        call_instr.loc.line,
+                        function,
+                    )
+                )
+        return CallStack(tuple(self.stack_buffer))
+
+    # ------------------------------------------------------------------
+    # state helpers
+    # ------------------------------------------------------------------
+
+    def is_live(self) -> bool:
+        return self.state not in (ThreadState.TERMINATED, ThreadState.FAULTED)
+
+    def is_schedulable(self) -> bool:
+        return self.state == ThreadState.RUNNABLE
+
+    def __repr__(self) -> str:
+        return (
+            f"<VMThread {self.name} pc={self.pc} state={self.state.value} "
+            f"syncs={self.sync_count}>"
+        )

@@ -1,0 +1,378 @@
+"""The simulated Dalvik VM.
+
+One :class:`DalvikVM` is one Android *process*: a heap with monitors, a
+set of VM threads, a single-core deterministic scheduler, and — when
+Dimmunix is enabled — a per-process :class:`~repro.core.engine.DimmunixCore`
+initialized exactly the way ``initDimmunix`` is called on Zygote fork.
+
+Virtual time makes the paper's measurements reproducible: throughput is
+``syncs / virtual seconds``, overhead is extra ticks charged by the
+Dimmunix cost model (stack retrieval, request bookkeeping, matching
+steps), and a deadlock under the faithful ``BLOCK`` policy manifests as a
+frozen VM whose diagnosis names the cycle — the simulated phone hang.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.config import DetectionPolicy, DimmunixConfig
+from repro.core.engine import DimmunixCore
+from repro.core.history import History
+from repro.core.signature import DeadlockSignature
+from repro.dalvik.interp import Interpreter
+from repro.dalvik.objects import ObjectHeap
+from repro.dalvik.program import Program
+from repro.dalvik.scheduler import RunQueue, TimerQueue, diagnose_stall
+from repro.config import InterceptionMode
+from repro.dalvik.sync import MonitorOps
+from repro.dalvik.thread import ThreadState, VMThread
+
+
+@dataclass(frozen=True)
+class VMConfig:
+    """Cost model and scheduling parameters for one VM.
+
+    Tick costs follow the paper's observed profile: the dominant Dimmunix
+    term is call-stack retrieval (``stack_retrieval_cost``), with request
+    bookkeeping and signature matching charged per unit of actual
+    algorithmic work performed.
+    """
+
+    dimmunix: DimmunixConfig = field(
+        default_factory=lambda: DimmunixConfig(
+            detection_policy=DetectionPolicy.BLOCK, yield_timeout=None
+        )
+    )
+    seed: int = 0
+    quantum: int = 8
+    ticks_per_second: int = 10_000
+    instruction_cost: int = 1
+    monitor_cost: int = 2
+    notify_cost: int = 1
+    stack_retrieval_cost: int = 2
+    request_base_cost: int = 1
+    match_step_cost: int = 1
+    release_base_cost: int = 1
+    # One instantiation check is a dict probe plus a queue-size test —
+    # far cheaper than a tick (a tick is microseconds of phone CPU), so
+    # checks are charged fractionally: one tick per this many checks.
+    # This is what makes Request cost grow with history size (A3) without
+    # distorting the §5 operating point.
+    checks_per_tick: int = 64
+    max_ticks: int = 10_000_000
+    # Virtual-time analog of the runtime adapter's yield timeout: a thread
+    # parked by avoidance longer than this is treated as starving (the
+    # structural detector cannot see wait-for edges through condition
+    # variables, e.g. "the only thread that can notify me is parked").
+    yield_timeout_ticks: Optional[int] = 20_000
+    # Whether pthread mutex operations are intercepted (§4's NDK note):
+    # OFF is the shipped Android Dimmunix; NATIVE_ONLY is the paper's
+    # proposal; ALWAYS is the naive hook the paper warns against.
+    native_interception: InterceptionMode = InterceptionMode.OFF
+
+    def vanilla(self) -> "VMConfig":
+        """The same VM with Dimmunix off (the paper's baseline image)."""
+        from dataclasses import replace
+
+        return replace(self, dimmunix=DimmunixConfig.disabled())
+
+
+@dataclass
+class VMRunResult:
+    """Outcome of a :meth:`DalvikVM.run` call."""
+
+    status: str  # "completed" | "frozen" | "tick-limit"
+    ticks: int
+    syncs: int
+    detections: tuple[DeadlockSignature, ...]
+    faults: tuple[tuple[str, BaseException], ...]
+    stall: Optional[dict] = None
+
+    @property
+    def frozen(self) -> bool:
+        return self.status == "frozen"
+
+    def syncs_per_second(self, ticks_per_second: int) -> float:
+        if self.ticks == 0:
+            return 0.0
+        return self.syncs * ticks_per_second / self.ticks
+
+
+class DalvikVM:
+    """One simulated Android process with optional deadlock immunity."""
+
+    def __init__(
+        self,
+        config: Optional[VMConfig] = None,
+        history: Optional[History] = None,
+        name: str = "vm",
+    ) -> None:
+        self.config = config or VMConfig()
+        self.name = name
+        # initDimmunix: per-process core, history loaded from disk if the
+        # Dimmunix config names a path.
+        self.core: Optional[DimmunixCore] = (
+            DimmunixCore(self.config.dimmunix, history)
+            if self.config.dimmunix.enabled
+            else None
+        )
+        self.heap = ObjectHeap(self.core)
+        self.threads: list[VMThread] = []
+        self.globals: dict[str, int] = {}
+        self.clock = 0
+        self.rng = random.Random(self.config.seed)
+        self.timers = TimerQueue()
+        self.ops = MonitorOps(self)
+        # Imported lazily: repro.ndk depends on repro.dalvik for thread
+        # and instruction types, so the VM cannot import it at module
+        # scope without a cycle.
+        from repro.ndk.pthread_layer import PthreadLib
+
+        self.pthreads = PthreadLib(self, self.config.native_interception)
+        self.interp = Interpreter(self)
+        self._run_queue = RunQueue()
+        self._sig_waiters: dict[DeadlockSignature, list[VMThread]] = {}
+        self._node_to_thread: dict[int, VMThread] = {}
+        self._threads_by_local_id: dict[int, VMThread] = {}
+        self.detections: list[DeadlockSignature] = []
+        self.faults: list[tuple[str, BaseException]] = []
+        self.total_syncs = 0
+        self.sync_hook: Optional[Callable[[int, VMThread], None]] = None
+        self._preempt_requested = False
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+
+    def spawn(
+        self,
+        program: Program,
+        name: str = "",
+        registers: Optional[dict[str, int]] = None,
+    ) -> VMThread:
+        """Create a thread (allocThread + initNode in the paper)."""
+        node = self.core.register_thread(name) if self.core is not None else None
+        thread = VMThread(program, name, node, globals_table=self.globals)
+        if registers:
+            thread.registers.update(registers)
+        self.threads.append(thread)
+        thread.local_id = len(self.threads)  # thin-lock owner id
+        self._threads_by_local_id[thread.local_id] = thread
+        if node is not None:
+            self._node_to_thread[node.node_id] = thread
+        self._run_queue.push(thread)
+        return thread
+
+    def thread_by_local_id(self, local_id: int) -> Optional[VMThread]:
+        return self._threads_by_local_id.get(local_id)
+
+    def new_object(self, name: str, class_name: str = "java.lang.Object"):
+        return self.heap.ensure(name, class_name)
+
+    # ------------------------------------------------------------------
+    # services used by MonitorOps / Interpreter
+    # ------------------------------------------------------------------
+
+    def charge(self, thread: VMThread, ticks: int) -> None:
+        self.clock += ticks
+        thread.cpu_ticks += ticks
+
+    def request_preempt(self) -> None:
+        """End the current thread's quantum after this instruction."""
+        self._preempt_requested = True
+
+    def enqueue(self, thread: VMThread) -> None:
+        if thread.state == ThreadState.RUNNABLE:
+            self._run_queue.push(thread)
+
+    def note_sync(self, thread: VMThread) -> None:
+        self.total_syncs += 1
+        if self.sync_hook is not None:
+            self.sync_hook(self.clock, thread)
+
+    def record_detection(self, signature: DeadlockSignature) -> None:
+        self.detections.append(signature)
+
+    def fault_thread(self, thread: VMThread, error: BaseException) -> None:
+        """Kill a thread with an error, unwinding its monitors.
+
+        Java exceptions release monitors as they unwind synchronized
+        blocks; a faulted VM thread must do the same or its peers block
+        forever on locks the corpse still owns.
+        """
+        thread.fault = error
+        thread.state = ThreadState.FAULTED
+        self.faults.append((thread.name, error))
+        self.pthreads.release_all_for(thread)
+        for monitor in self.heap.monitors():
+            if monitor.owner is thread:
+                if self.core is not None and monitor.node is not None:
+                    result = self.core.release(thread.node, monitor.node)
+                    for signature in result.notify:
+                        self.wake_signature(signature)
+                monitor.owner = None
+                monitor.recursion = 0
+                self.ops.grant_next(monitor)
+        if self.core is None:
+            # Vanilla: release any thin locks the dead thread held.
+            from repro.dalvik import lockword
+
+            for _name, obj in self.heap.objects():
+                word = obj.lock_word
+                if (
+                    not lockword.is_fat(word)
+                    and lockword.thin_owner(word) == thread.local_id
+                ):
+                    obj.lock_word = lockword.UNLOCKED_WORD
+
+    def park_on_signature(
+        self, thread: VMThread, signature: DeadlockSignature
+    ) -> None:
+        self._sig_waiters.setdefault(signature, []).append(thread)
+
+    def wake_signature(self, signature: DeadlockSignature) -> None:
+        """Release-side notifyAll on a signature's parked threads (§4)."""
+        waiters = self._sig_waiters.pop(signature, None)
+        if not waiters:
+            return
+        for thread in waiters:
+            if thread.state == ThreadState.YIELDING:
+                thread.state = ThreadState.RUNNABLE
+                thread.yielding_on = None
+                self._run_queue.push(thread)
+
+    def wake_resumed(self, resumed) -> None:
+        """Wake threads the engine granted starvation bypasses to."""
+        for node in resumed:
+            thread = self._node_to_thread.get(node.node_id)
+            if thread is None or thread.state != ThreadState.YIELDING:
+                continue
+            signature = node.yielding_on
+            if signature is not None and signature in self._sig_waiters:
+                try:
+                    self._sig_waiters[signature].remove(thread)
+                except ValueError:
+                    pass
+            thread.state = ThreadState.RUNNABLE
+            thread.yielding_on = None
+            self._run_queue.push(thread)
+
+    # ------------------------------------------------------------------
+    # the scheduler loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_ticks: Optional[int] = None) -> VMRunResult:
+        """Run until completion, freeze, or the tick limit; resumable."""
+        limit = self.clock + (max_ticks if max_ticks is not None else self.config.max_ticks)
+        quantum = self.config.quantum
+        while self.clock < limit:
+            self._fire_due_timers()
+            thread = self._run_queue.pop()
+            if thread is None:
+                if not self._fire_timers_or_advance():
+                    break
+                continue
+            for _ in range(quantum):
+                self.interp.step(thread)
+                if (
+                    thread.state != ThreadState.RUNNABLE
+                    or self.clock >= limit
+                    or self._preempt_requested
+                ):
+                    self._preempt_requested = False
+                    break
+            self.enqueue(thread)
+        return self._result(limit)
+
+    def _fire_due_timers(self) -> None:
+        """Wake every timer whose deadline the clock has passed."""
+        deadline = self.timers.next_deadline()
+        if deadline is None or deadline > self.clock:
+            return
+        for kind, thread in self.timers.pop_due(self.clock):
+            if kind == "sleep":
+                if thread.state == ThreadState.SLEEPING:
+                    thread.state = ThreadState.RUNNABLE
+                    self._run_queue.push(thread)
+            elif kind == "wait-timeout":
+                self.ops.wait_timed_out(thread)
+            elif kind == "yield-timeout":
+                self._yield_timed_out(thread)
+
+    def _yield_timed_out(self, thread: VMThread) -> None:
+        """The safety net fired: a parked thread is starving."""
+        if thread.state != ThreadState.YIELDING or self.core is None:
+            return  # stale timer
+        self.core.force_bypass(thread.node)
+        signature = thread.yielding_on
+        if signature is not None and signature in self._sig_waiters:
+            try:
+                self._sig_waiters[signature].remove(thread)
+            except ValueError:
+                pass
+        thread.yielding_on = None
+        thread.state = ThreadState.RUNNABLE
+        self._run_queue.push(thread)
+
+    def _fire_timers_or_advance(self) -> bool:
+        """With no runnable thread, jump to the next timer. False = stall."""
+        deadline = self.timers.next_deadline()
+        if deadline is None:
+            return False
+        self.clock = max(self.clock, deadline)
+        self._fire_due_timers()
+        return True
+
+    def _result(self, limit: int) -> VMRunResult:
+        live = [t for t in self.threads if t.is_live()]
+        if not live:
+            status = "completed"
+            stall = None
+        elif self.clock >= limit:
+            status = "tick-limit"
+            stall = None
+        elif any(t.state == ThreadState.RUNNABLE for t in live) or len(
+            self.timers
+        ):
+            # run() returned mid-flight (resumable); report tick-limit.
+            status = "tick-limit"
+            stall = None
+        else:
+            status = "frozen"
+            stall = diagnose_stall(live)
+        return VMRunResult(
+            status=status,
+            ticks=self.clock,
+            syncs=self.total_syncs,
+            detections=tuple(self.detections),
+            faults=tuple(self.faults),
+            stall=stall,
+        )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def virtual_seconds(self) -> float:
+        return self.clock / self.config.ticks_per_second
+
+    def syncs_per_second(self) -> float:
+        seconds = self.virtual_seconds()
+        return self.total_syncs / seconds if seconds > 0 else 0.0
+
+    def live_threads(self) -> list[VMThread]:
+        return [t for t in self.threads if t.is_live()]
+
+    def save_history(self, path) -> None:
+        if self.core is None:
+            raise ValueError("cannot save history: Dimmunix is disabled")
+        self.core.history.save(path)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DalvikVM {self.name} clock={self.clock} threads="
+            f"{len(self.threads)} syncs={self.total_syncs}>"
+        )

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the Dimmunix reproduction.
+
+All library errors derive from :class:`DimmunixError` so callers can catch
+the whole family with one clause. The two "semantic" errors —
+:class:`DeadlockDetectedError` and :class:`StarvationDetectedError` — carry
+the signature that was recorded, so handlers can inspect or persist it.
+"""
+
+from __future__ import annotations
+
+
+class DimmunixError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DeadlockDetectedError(DimmunixError):
+    """A deadlock cycle was found in the resource-allocation graph.
+
+    Raised only under ``DetectionPolicy.RAISE``; with the paper-faithful
+    ``BLOCK`` policy the deadlock is recorded and the threads are left to
+    deadlock, exactly as on the phone.
+    """
+
+    def __init__(self, signature, message: str = "deadlock detected"):
+        super().__init__(f"{message}: {signature!s}")
+        self.signature = signature
+
+
+class StarvationDetectedError(DimmunixError):
+    """An avoidance-induced deadlock (starvation) was found and recorded."""
+
+    def __init__(self, signature, message: str = "avoidance-induced starvation"):
+        super().__init__(f"{message}: {signature!s}")
+        self.signature = signature
+
+
+class HistoryFormatError(DimmunixError):
+    """The persistent deadlock history file is malformed or of a wrong version."""
+
+
+class VMError(DimmunixError):
+    """Base class for simulated Dalvik VM errors."""
+
+
+class IllegalMonitorStateError(VMError):
+    """A thread released or waited on a monitor it does not own."""
+
+
+class VMDeadlockError(VMError):
+    """The simulated VM reached a global stall: no runnable thread exists."""
+
+    def __init__(self, message: str, blocked_threads=()):
+        super().__init__(message)
+        self.blocked_threads = tuple(blocked_threads)
+
+
+class ProgramError(VMError):
+    """A simulated program is malformed (bad register, bad jump target, ...)."""
+
+
+class BinderError(DimmunixError):
+    """A simulated binder (cross-service) call failed."""

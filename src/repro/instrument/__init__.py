@@ -1,0 +1,36 @@
+"""Instrumentation-based Dimmunix — the §3.1 alternative, built to compare.
+
+The paper contrasts two ways to get Dimmunix under an application:
+
+* **interception** — override the synchronization routines (what Android
+  Dimmunix does inside the Dalvik VM, and what :mod:`repro.runtime` does
+  to ``threading``): covers everything, cannot be selective;
+* **instrumentation** — rewrite the program's synchronization statements
+  (what Java Dimmunix does with AspectJ): *can* instrument only the
+  statements previously involved in deadlocks, minimizing overhead and
+  intrusiveness, but is blind to lock acquisitions that happen inside
+  native/runtime code — most importantly the monitor reacquisition inside
+  ``Object.wait()`` (§3.2).
+
+This package is the Python analog of the AspectJ path: an AST rewriter
+that turns ``with lock:`` statements into guarded statements carrying a
+*static* position (the §4 compiler-assigned-id scheme, which
+instrumentation gets for free), and a :class:`~repro.instrument.weaver.Weaver`
+that compiles and runs modules either fully or selectively instrumented.
+Both its strengths (selectivity, no stack walks) and its documented
+weakness (wait()-reacquisition blindness) are measured in
+``benchmarks/bench_a5_instrumentation.py``.
+"""
+
+from repro.instrument.rewriter import InstrumentationReport, instrument_source
+from repro.instrument.sites import SyncSite, discover_sites
+from repro.instrument.weaver import InstrumentedModule, Weaver
+
+__all__ = [
+    "SyncSite",
+    "discover_sites",
+    "InstrumentationReport",
+    "instrument_source",
+    "Weaver",
+    "InstrumentedModule",
+]

@@ -1,0 +1,128 @@
+"""Static discovery of synchronization sites in Python source.
+
+Java Dimmunix knows its instrumentation points exactly: every
+``monitorenter`` bytecode. Python's closest equivalent is the ``with``
+statement; :func:`discover_sites` enumerates every ``with`` item in a
+module, and the weaver decides — statically (selective mode) and then at
+runtime (is the context object actually a lock?) — which of them become
+Dimmunix-guarded synchronizations.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class SyncSite:
+    """One candidate synchronization statement.
+
+    ``file``/``line`` form the position key that interoperates with
+    signatures recorded by the interception runtime (depth-1 outer call
+    stacks use the same ``(file, line)`` identity).
+    """
+
+    file: str
+    line: int
+    expression: str
+    function: str = "<module>"
+
+    def key(self) -> tuple[str, int]:
+        return (self.file, self.line)
+
+    def position_key(self) -> tuple[tuple[str, int], ...]:
+        """The depth-1 :data:`~repro.core.position.PositionKey` form."""
+        return ((self.file, self.line),)
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line} with {self.expression} [{self.function}]"
+
+
+class _SiteCollector(ast.NodeVisitor):
+    """Walks a module recording every ``with`` item and its enclosing
+    function (for human-readable reports)."""
+
+    def __init__(self, filename: str) -> None:
+        self.filename = filename
+        self.sites: list[SyncSite] = []
+        self._function_stack: list[str] = ["<module>"]
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function_stack.append(node.name)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._function_stack.append(node.name)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            expr = item.context_expr
+            self.sites.append(
+                SyncSite(
+                    file=self.filename,
+                    line=expr.lineno,
+                    expression=ast.unparse(expr),
+                    function=self._function_stack[-1],
+                )
+            )
+        self.generic_visit(node)
+
+
+def discover_sites(source: str, filename: str = "<instrumented>") -> list[SyncSite]:
+    """All candidate synchronization sites in ``source``, in line order."""
+    tree = ast.parse(source, filename=filename)
+    collector = _SiteCollector(filename)
+    collector.visit(tree)
+    return sorted(collector.sites, key=lambda site: site.line)
+
+
+SiteSelector = Callable[[SyncSite], bool]
+
+
+def select_all(_site: SyncSite) -> bool:
+    """Full instrumentation: every with-statement is guarded."""
+    return True
+
+
+def selector_from_history(history) -> SiteSelector:
+    """Selective instrumentation (§3.1): only positions already involved
+    in a deadlock — i.e. present in the history — are guarded.
+
+    ``history`` is a :class:`~repro.core.history.History`; matching uses
+    the depth-1 position key, so signatures recorded by the interception
+    runtime select the same lines here.
+    """
+
+    def _selected(site: SyncSite) -> bool:
+        return history.contains_position(site.position_key())
+
+    return _selected
+
+
+def selector_from_keys(keys) -> SiteSelector:
+    """Select sites by explicit ``(file, line)`` pairs (tests, tools)."""
+    key_set = set(keys)
+
+    def _selected(site: SyncSite) -> bool:
+        return site.key() in key_set
+
+    return _selected
+
+
+def make_selector(
+    history=None, keys=None, default: Optional[SiteSelector] = None
+) -> SiteSelector:
+    """The selector precedence used by the weaver: explicit keys, then
+    history, then ``default`` (full instrumentation when omitted)."""
+    if keys is not None:
+        return selector_from_keys(keys)
+    if history is not None:
+        return selector_from_history(history)
+    return default if default is not None else select_all

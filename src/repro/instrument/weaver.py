@@ -1,0 +1,241 @@
+"""The weaver: compile and run modules with Dimmunix woven in.
+
+One :class:`Weaver` binds rewritten modules to one
+:class:`~repro.runtime.runtime.DimmunixRuntime`. It plays the role of
+Java Dimmunix's load-time AspectJ weaver:
+
+* ``__dimmunix_guard__(target, k)`` evaluates to a small guard object;
+* on ``__enter__``, if ``target`` is a raw ``threading`` lock the guard
+  runs the full Request → acquire → Acquired protocol against the
+  runtime's core, using the *static* call stack of site ``k`` (no stack
+  walk — §4's id scheme); any other context manager passes through
+  untouched, including Dimmunix's own primitives (no double
+  interception, the same concern §4 raises for NDK pthread hooks);
+* on ``__exit__``, Release runs before the raw lock is released.
+
+What the weaver structurally cannot see — and the reason the paper put
+Android Dimmunix in the VM instead — is a lock acquisition performed
+*inside* runtime code, such as the monitor reacquisition at the end of
+``threading.Condition.wait``. The test suite and bench A5 demonstrate
+that blindness against the interception runtime on the same program.
+"""
+
+from __future__ import annotations
+
+import _thread
+import threading
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.callstack import CallStack
+from repro.core.node import LockNode
+from repro.instrument.rewriter import (
+    GUARD_NAME,
+    InstrumentationReport,
+    instrument_source,
+)
+from repro.instrument.sites import SiteSelector, make_selector
+from repro.runtime import _originals
+from repro.runtime.runtime import DimmunixRuntime
+
+_RAW_LOCK_TYPES: tuple[type, ...] = (
+    _thread.LockType,
+    type(threading.RLock()),
+)
+
+
+@dataclass
+class WeaverStats:
+    """Runtime counters of one weaver (all guards, all modules)."""
+
+    guarded_entries: int = 0
+    passthrough_entries: int = 0
+    reentrant_entries: int = 0
+
+
+class _LockGuard:
+    """The context manager substituted around each instrumented site."""
+
+    __slots__ = ("_weaver", "_target", "_site_index", "_mode", "_inner")
+
+    def __init__(self, weaver: "Weaver", target: Any, site_index: int) -> None:
+        self._weaver = weaver
+        self._target = target
+        self._site_index = site_index
+        self._mode = ""
+        self._inner: Any = None
+
+    def __enter__(self):
+        target = self._target
+        weaver = self._weaver
+        if isinstance(target, _RAW_LOCK_TYPES):
+            if hasattr(target, "_is_owned") and target._is_owned():
+                # Reentrant acquisition of an owned RLock: free in a Java
+                # monitor, free here — no Dimmunix round trip.
+                self._mode = "reentrant"
+                weaver.stats.reentrant_entries += 1
+                return target.acquire()
+            self._mode = "lock"
+            weaver.stats.guarded_entries += 1
+            return weaver._enter_lock(target, self._site_index)
+        # Not a lock (a file, a Dimmunix primitive, any context manager):
+        # delegate untouched. Dimmunix primitives intercept themselves —
+        # guarding them too would double-intercept (§4's NDK concern).
+        self._mode = "delegate"
+        weaver.stats.passthrough_entries += 1
+        self._inner = target
+        return target.__enter__()
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        if self._mode == "lock":
+            return self._weaver._exit_lock(self._target)
+        if self._mode == "reentrant":
+            self._target.release()
+            return False
+        return self._inner.__exit__(exc_type, exc_value, traceback)
+
+
+class InstrumentedModule:
+    """A woven module: its namespace, report, and convenience accessors."""
+
+    def __init__(
+        self,
+        namespace: dict,
+        report: InstrumentationReport,
+        weaver: "Weaver",
+    ) -> None:
+        self.namespace = namespace
+        self.report = report
+        self.weaver = weaver
+
+    def get(self, name: str) -> Any:
+        try:
+            return self.namespace[name]
+        except KeyError:
+            raise AttributeError(
+                f"instrumented module has no attribute {name!r}"
+            ) from None
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("__"):
+            raise AttributeError(name)
+        return self.get(name)
+
+
+class Weaver:
+    """Load-time instrumentation bound to one Dimmunix runtime."""
+
+    def __init__(
+        self,
+        runtime: Optional[DimmunixRuntime] = None,
+        selective: bool = False,
+        selector: Optional[SiteSelector] = None,
+    ) -> None:
+        """``selective=True`` guards only positions already in the
+        runtime's history (§3.1's minimal-overhead mode); an explicit
+        ``selector`` overrides everything."""
+        self.runtime = runtime if runtime is not None else DimmunixRuntime(name="weaver")
+        if selector is not None:
+            self._selector = selector
+        elif selective:
+            self._selector = make_selector(history=self.runtime.history)
+        else:
+            self._selector = make_selector()
+        self.stats = WeaverStats()
+        self._static_stacks: list[CallStack] = []
+        self._lock_nodes: dict[int, LockNode] = {}
+        self._registry_guard = _originals.Lock()
+
+    # ------------------------------------------------------------------
+    # weaving
+    # ------------------------------------------------------------------
+
+    def instrument(
+        self, source: str, filename: str = "<instrumented>"
+    ) -> InstrumentedModule:
+        """Rewrite, compile, and execute ``source``; return the module.
+
+        Static stacks for the new sites are appended to this weaver's
+        site table, so one weaver can hold many modules (one process,
+        many classes — like one woven Java application).
+        """
+        base_index = len(self._static_stacks)
+        tree, report = instrument_source(source, filename, self._selector)
+        for site in report.sites_instrumented:
+            self._static_stacks.append(
+                CallStack.single(site.file, site.line, site.function)
+            )
+        code = compile(tree, filename, "exec")
+        namespace: dict = {
+            GUARD_NAME: self._make_guard_factory(base_index),
+            "__name__": filename,
+            "__file__": filename,
+        }
+        exec(code, namespace)
+        return InstrumentedModule(namespace, report, self)
+
+    def _make_guard_factory(self, base_index: int):
+        def factory(target: Any, site_index: int) -> _LockGuard:
+            return _LockGuard(self, target, base_index + site_index)
+
+        return factory
+
+    # ------------------------------------------------------------------
+    # the woven monitorenter / monitorexit
+    # ------------------------------------------------------------------
+
+    def _node_for(self, lock: Any) -> LockNode:
+        key = id(lock)
+        node = self._lock_nodes.get(key)
+        if node is None:
+            with self._registry_guard:
+                node = self._lock_nodes.get(key)
+                if node is None:
+                    node = self.runtime.adapter.new_lock_node(
+                        f"woven-lock@{key:#x}"
+                    )
+                    self._lock_nodes[key] = node
+        return node
+
+    def _enter_lock(self, lock: Any, site_index: int) -> bool:
+        node = self._node_for(lock)
+        stack = self._static_stacks[site_index]
+        allowed = self.runtime.adapter.before_acquire(node, stack)
+        if not allowed:
+            # BREAK policy declined the acquisition; a with-statement has
+            # no "would block" outcome, so surface it as the detection.
+            from repro.errors import DeadlockDetectedError
+
+            raise DeadlockDetectedError(
+                self.runtime.adapter.detections[-1]
+                if self.runtime.adapter.detections
+                else None,
+                message="acquisition denied by detection policy",
+            )
+        acquired = lock.acquire()
+        self.runtime.adapter.after_acquire(node)
+        return acquired
+
+    def _exit_lock(self, lock: Any) -> bool:
+        node = self._node_for(lock)
+        self.runtime.adapter.before_release(node)
+        lock.release()
+        return False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def tracked_locks(self) -> int:
+        return len(self._lock_nodes)
+
+    @property
+    def site_count(self) -> int:
+        return len(self._static_stacks)
+
+    def forget_lock(self, lock: Any) -> None:
+        """Drop a dead lock from the registry (raw locks lack weakrefs)."""
+        node = self._lock_nodes.pop(id(lock), None)
+        if node is not None:
+            self.runtime.core.lock_destroyed(node)

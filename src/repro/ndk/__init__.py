@@ -1,0 +1,41 @@
+"""Native-code (NDK) synchronization and its interception — §4's last mile.
+
+The paper's closing implementation note: *Android Dimmunix does not
+handle deadlocks involving native code*. It could, by intercepting the
+POSIX Threads synchronization routines — but "this must be done
+carefully, because the Dalvik VM already uses this library to implement
+the synchronization operations in Java. Therefore, Android OS should
+allow Dimmunix to intercept the calls to the POSIX Threads
+synchronization routines only when native code executes."
+
+This package builds that missing piece for the substrate VM, with all
+three policies so the design point can be measured:
+
+* ``InterceptionMode.OFF`` — the shipped Android Dimmunix: native mutex
+  operations are invisible; a JNI-crossing deadlock freezes the process
+  undetected (reproduced in the tests and bench A6);
+* ``InterceptionMode.NATIVE_ONLY`` — §4's proposal: ``pthread_mutex_*``
+  calls are routed through the per-process Dimmunix core *only when
+  native code executes*; cross-boundary cycles (Java monitor + native
+  mutex) are detected and subsequently avoided like any other deadlock;
+* ``InterceptionMode.ALWAYS`` — the naive hook the paper warns against:
+  the VM's *own* pthread use (every Java monitor is backed by a pthread
+  mutex) is intercepted too. The tests show the damage: every Java
+  acquisition is double-counted, and all the VM-internal acquisitions
+  collapse onto one ``<libdvm>`` position — the §3.2 wrapper pathology
+  at platform scale, ready to serialize the world after one signature.
+"""
+
+from repro.ndk.pthread_layer import (
+    InterceptionMode,
+    PthreadLib,
+    PthreadMutex,
+    VM_INTERNAL_FILE,
+)
+
+__all__ = [
+    "InterceptionMode",
+    "PthreadLib",
+    "PthreadMutex",
+    "VM_INTERNAL_FILE",
+]

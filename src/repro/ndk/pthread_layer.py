@@ -1,0 +1,260 @@
+"""The simulated POSIX Threads mutex layer of one VM process.
+
+Two kinds of callers use it, exactly as on Android:
+
+* **native (JNI) code** — the ``NATIVE_LOCK`` / ``NATIVE_UNLOCK``
+  instructions; these are the operations §4 says should be intercepted
+  "only when native code executes";
+* **the VM itself** — every fat Java monitor is backed by a pthread
+  mutex. Interception must *not* see that internal use, or every Java
+  acquisition is processed twice and attributed to one internal position
+  (``InterceptionMode.ALWAYS`` exists precisely to measure that damage).
+
+Mutexes follow POSIX error-checking semantics: relocking an owned mutex
+or unlocking someone else's mutex faults the thread (EDEADLK / EPERM),
+which keeps broken native code from silently corrupting the model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.config import InterceptionMode
+from repro.core.node import LockNode
+from repro.dalvik import instructions as ins
+from repro.dalvik.thread import ThreadState, VMThread
+from repro.errors import VMError
+
+if TYPE_CHECKING:
+    from repro.dalvik.monitor import Monitor
+    from repro.dalvik.vm import DalvikVM
+
+# The single program position all VM-internal pthread locking collapses
+# onto under naive interception — the analog of libdvm's one lock-call
+# site inside dvmLockObject.
+VM_INTERNAL_FILE = "<libdvm>"
+VM_INTERNAL_LINE = 1
+
+
+class PthreadError(VMError):
+    """EDEADLK / EPERM style misuse of a pthread mutex."""
+
+
+class PthreadMutex:
+    """One ``pthread_mutex_t`` (error-checking type)."""
+
+    __slots__ = ("name", "owner", "entry_queue", "node")
+
+    def __init__(self, name: str, node: Optional[LockNode] = None) -> None:
+        self.name = name
+        self.owner: Optional[VMThread] = None
+        self.entry_queue: deque[VMThread] = deque()
+        self.node = node
+
+    def is_free(self) -> bool:
+        return self.owner is None
+
+    def __repr__(self) -> str:
+        owner = self.owner.name if self.owner else None
+        return (
+            f"<PthreadMutex {self.name} owner={owner} "
+            f"queued={len(self.entry_queue)}>"
+        )
+
+
+class PthreadLib:
+    """Per-process pthread layer; the interception point of §4."""
+
+    def __init__(self, vm: "DalvikVM", mode: InterceptionMode) -> None:
+        self._vm = vm
+        self.mode = mode
+        self._mutexes: dict[str, PthreadMutex] = {}
+        # Diagnostics for the double-interception experiment.
+        self.native_ops = 0
+        self.internal_ops = 0
+        self.intercepted_native = 0
+        self.intercepted_internal = 0
+
+    # ------------------------------------------------------------------
+    # mutex registry
+    # ------------------------------------------------------------------
+
+    def mutex(self, name: str) -> PthreadMutex:
+        mutex = self._mutexes.get(name)
+        if mutex is None:
+            node = None
+            if self._vm.core is not None and self.mode is not InterceptionMode.OFF:
+                node = self._vm.core.register_lock(f"pthread:{name}")
+            mutex = PthreadMutex(name, node)
+            self._mutexes[name] = mutex
+        return mutex
+
+    def mutexes(self):
+        return self._mutexes.values()
+
+    def _intercepts(self, native_context: bool) -> bool:
+        if self._vm.core is None or self.mode is InterceptionMode.OFF:
+            return False
+        if self.mode is InterceptionMode.ALWAYS:
+            return True
+        return native_context
+
+    # ------------------------------------------------------------------
+    # the native entry points (NATIVE_LOCK / NATIVE_UNLOCK instructions)
+    # ------------------------------------------------------------------
+
+    def native_mutex_lock(self, thread: VMThread, instr: ins.NativeLock) -> None:
+        vm = self._vm
+        name = ins.effective_object(instr, thread.registers)
+        mutex = self.mutex(name)
+        vm.charge(thread, vm.config.monitor_cost)
+        self.native_ops += 1
+
+        if mutex.owner is thread:
+            vm.fault_thread(
+                thread,
+                PthreadError(
+                    f"EDEADLK: {thread.name} relocks native mutex {name!r}"
+                ),
+            )
+            return
+
+        if self._intercepts(native_context=True):
+            self.intercepted_native += 1
+            self._ensure_node(mutex)
+            if not vm.ops._dimmunix_admission(thread, mutex):
+                return  # parked (yield) or faulted by the policy
+        self._acquire_or_block(thread, mutex)
+
+    def native_mutex_unlock(self, thread: VMThread, instr: ins.NativeUnlock) -> None:
+        vm = self._vm
+        name = ins.effective_object(instr, thread.registers)
+        mutex = self._mutexes.get(name)
+        vm.charge(thread, vm.config.monitor_cost)
+        self.native_ops += 1
+        if mutex is None or mutex.owner is not thread:
+            vm.fault_thread(
+                thread,
+                PthreadError(
+                    f"EPERM: {thread.name} unlocks un-owned native mutex {name!r}"
+                ),
+            )
+            return
+        self._release(thread, mutex, native_context=True)
+        thread.pc += 1
+
+    # ------------------------------------------------------------------
+    # the VM-internal entry points (Java monitors' backing mutexes)
+    # ------------------------------------------------------------------
+
+    def vm_internal_lock(self, thread: VMThread, monitor: "Monitor") -> None:
+        """Called by lockMonitor when it takes the monitor's backing
+        pthread mutex. A no-op unless the naive ``ALWAYS`` mode is on —
+        then the double interception happens, measurably."""
+        self.internal_ops += 1
+        if self.mode is not InterceptionMode.ALWAYS or self._vm.core is None:
+            return
+        self.intercepted_internal += 1
+        core = self._vm.core
+        mutex = self.mutex(f"<backing:{monitor.monitor_id}>")
+        self._ensure_node(mutex)
+        # All internal acquisitions share one <libdvm> position: the
+        # wrapper pathology (§3.2) applied to the entire platform.
+        from repro.core.callstack import CallStack
+
+        stack = CallStack.single(
+            VM_INTERNAL_FILE, VM_INTERNAL_LINE, "dvmLockObject"
+        )
+        result = core.request(thread.node, mutex.node, stack)
+        # The backing mutex is free by construction here (the monitor
+        # grant already serialized ownership), so the verdict is always
+        # PROCEED unless a signature at <libdvm> is instantiable — the
+        # failure mode this mode exists to demonstrate.
+        if result.verdict.value == "proceed" and result.detected is None:
+            core.acquired(thread.node, mutex.node)
+            mutex.owner = thread
+
+    def vm_internal_unlock(self, thread: VMThread, monitor: "Monitor") -> None:
+        self.internal_ops += 1
+        if self.mode is not InterceptionMode.ALWAYS or self._vm.core is None:
+            return
+        mutex = self._mutexes.get(f"<backing:{monitor.monitor_id}>")
+        if mutex is None or mutex.owner is not thread:
+            return
+        core = self._vm.core
+        result = core.release(thread.node, mutex.node)
+        for signature in result.notify:
+            self._vm.wake_signature(signature)
+        mutex.owner = None
+
+    # ------------------------------------------------------------------
+    # grant machinery (mirrors MonitorOps)
+    # ------------------------------------------------------------------
+
+    def _ensure_node(self, mutex: PthreadMutex) -> None:
+        if mutex.node is None and self._vm.core is not None:
+            mutex.node = self._vm.core.register_lock(f"pthread:{mutex.name}")
+
+    def _acquire_or_block(self, thread: VMThread, mutex: PthreadMutex) -> None:
+        if mutex.is_free():
+            self._complete_grant(thread, mutex)
+        else:
+            mutex.entry_queue.append(thread)
+            thread.state = ThreadState.BLOCKED
+            thread.continuation = ("native-enter", mutex)
+
+    def _complete_grant(self, thread: VMThread, mutex: PthreadMutex) -> None:
+        vm = self._vm
+        mutex.owner = thread
+        thread.sync_count += 1
+        vm.note_sync(thread)
+        if mutex.node is not None and vm.core is not None:
+            if thread.node.requesting is mutex.node:
+                vm.core.acquired(thread.node, mutex.node)
+        thread.continuation = None
+        thread.pc += 1
+        thread.state = ThreadState.RUNNABLE
+
+    def grant_next(self, mutex: PthreadMutex) -> None:
+        vm = self._vm
+        while mutex.entry_queue:
+            candidate = mutex.entry_queue.popleft()
+            if not candidate.is_live():
+                continue
+            continuation = candidate.continuation
+            assert continuation is not None and continuation[1] is mutex
+            self._complete_grant(candidate, mutex)
+            vm.enqueue(candidate)
+            return
+
+    def _release(
+        self, thread: VMThread, mutex: PthreadMutex, native_context: bool
+    ) -> None:
+        vm = self._vm
+        if self._intercepts(native_context) and mutex.node is not None:
+            result = vm.core.release(thread.node, mutex.node)
+            vm.charge(thread, vm.config.release_base_cost)
+            for signature in result.notify:
+                vm.wake_signature(signature)
+        mutex.owner = None
+        self.grant_next(mutex)
+
+    # ------------------------------------------------------------------
+    # fault handling
+    # ------------------------------------------------------------------
+
+    def release_all_for(self, thread: VMThread) -> None:
+        """Unwind a faulted thread's native mutexes (crash hygiene)."""
+        for mutex in self._mutexes.values():
+            if mutex.owner is thread:
+                if (
+                    self._vm.core is not None
+                    and mutex.node is not None
+                    and self.mode is not InterceptionMode.OFF
+                ):
+                    result = self._vm.core.release(thread.node, mutex.node)
+                    for signature in result.notify:
+                        self._vm.wake_signature(signature)
+                mutex.owner = None
+                self.grant_next(mutex)

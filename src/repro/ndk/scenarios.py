@@ -1,0 +1,77 @@
+"""JNI-boundary deadlock scenarios for the native-interception experiment.
+
+The canonical cross-boundary inversion: a Java thread calls into native
+code while holding a Java monitor; another thread holds the native mutex
+and calls back into Java::
+
+    Thread 1 (Java -> JNI):          Thread 2 (JNI -> Java):
+        synchronized(gate) {             pthread_mutex_lock(&buf);
+            nativeFill();  // locks buf      callJava();  // enters gate
+        }                                pthread_mutex_unlock(&buf);
+
+Shipped Android Dimmunix never sees ``buf`` — the freeze is undetected
+(the §4 limitation). With ``InterceptionMode.NATIVE_ONLY`` the cycle
+spans a monitor node and a pthread node in the same per-process RAG, and
+the standard detect-once / avoid-forever lifecycle applies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dalvik.program import Program, ProgramBuilder
+from repro.dalvik.vm import DalvikVM, VMConfig
+from repro.ndk.pthread_layer import InterceptionMode
+
+JAVA_FILE = "com/example/media/Decoder.java"
+JNI_FILE = "decoder_jni.cpp"
+
+JAVA_MONITOR_LINE = 30   # synchronized(gate) in Java code
+NATIVE_LOCK_LINE = 81    # pthread_mutex_lock(&buf) in JNI code
+CALLBACK_LINE = 95       # the JNI->Java upcall entering gate
+
+
+def build_jni_inversion_programs() -> tuple[Program, Program]:
+    """The two threads above, as substrate programs."""
+    java_first = ProgramBuilder(JAVA_FILE)
+    java_first.monitor_enter("gate", line=JAVA_MONITOR_LINE)
+    java_first.compute(5, line=JAVA_MONITOR_LINE + 1)
+    java_first.source(JNI_FILE)
+    java_first.native_lock("buf", line=NATIVE_LOCK_LINE + 2)
+    java_first.compute(3)
+    java_first.native_unlock("buf", line=NATIVE_LOCK_LINE + 4)
+    java_first.source(JAVA_FILE)
+    java_first.monitor_exit("gate", line=JAVA_MONITOR_LINE + 6)
+    java_first.halt()
+
+    native_first = ProgramBuilder(JNI_FILE)
+    native_first.native_lock("buf", line=NATIVE_LOCK_LINE)
+    native_first.compute(5, line=NATIVE_LOCK_LINE + 1)
+    native_first.source(JAVA_FILE)
+    native_first.monitor_enter("gate", line=CALLBACK_LINE)
+    native_first.compute(3)
+    native_first.monitor_exit("gate", line=CALLBACK_LINE + 2)
+    native_first.source(JNI_FILE)
+    native_first.native_unlock("buf", line=NATIVE_LOCK_LINE + 5)
+    native_first.halt()
+
+    return java_first.build(), native_first.build()
+
+
+def run_jni_inversion(
+    mode: InterceptionMode,
+    history=None,
+    vm_config: Optional[VMConfig] = None,
+    max_ticks: int = 100_000,
+) -> DalvikVM:
+    """Run the crossing scenario under the given interception mode."""
+    base = vm_config or VMConfig()
+    from dataclasses import replace
+
+    config = replace(base, native_interception=mode)
+    vm = DalvikVM(config, history=history, name=f"jni-{mode.value}")
+    java_program, native_program = build_jni_inversion_programs()
+    vm.spawn(java_program, "java-thread")
+    vm.spawn(native_program, "native-thread")
+    vm.run(max_ticks=max_ticks)
+    return vm

@@ -1,0 +1,56 @@
+"""Deadlock immunity for real ``threading`` code.
+
+Two ways to use it:
+
+1. **Explicit** — create a :class:`DimmunixRuntime` and use its lock
+   factories (``runtime.lock()``, ``runtime.rlock()``,
+   ``runtime.condition()``) or the Java-style ``synchronized`` helpers.
+
+2. **Platform-wide** — call :func:`repro.runtime.patch.install` once; from
+   then on every ``threading.Lock/RLock/Condition`` created anywhere in
+   the process is immunized, with no change to application code. This is
+   the analog of flashing the Dimmunix-enabled Android image.
+"""
+
+from repro.runtime.callsite import (
+    StaticSiteRegistry,
+    capture_stack,
+    resolve_stack,
+)
+from repro.runtime.condition import DimmunixCondition
+from repro.runtime.interception import RuntimeAdapter
+from repro.runtime.locks import DimmunixLock, DimmunixRLock
+from repro.runtime.monitor_registry import MonitorRegistry
+from repro.runtime.runtime import (
+    DimmunixRuntime,
+    get_runtime,
+    init_runtime,
+    reset_runtime,
+)
+from repro.runtime.synchronized import (
+    notify_all_obj,
+    notify_obj,
+    synchronized,
+    synchronized_method,
+    wait_on,
+)
+
+__all__ = [
+    "DimmunixRuntime",
+    "DimmunixLock",
+    "DimmunixRLock",
+    "DimmunixCondition",
+    "RuntimeAdapter",
+    "MonitorRegistry",
+    "StaticSiteRegistry",
+    "capture_stack",
+    "resolve_stack",
+    "get_runtime",
+    "init_runtime",
+    "reset_runtime",
+    "synchronized",
+    "synchronized_method",
+    "wait_on",
+    "notify_obj",
+    "notify_all_obj",
+]

@@ -1,0 +1,21 @@
+"""Original threading primitives, captured before any monkey-patching.
+
+The platform-wide patch (:mod:`repro.runtime.patch`) replaces
+``threading.Lock`` and friends for the whole process — including, if we
+were careless, the primitives Dimmunix itself uses for its global lock,
+signature conditions, and the raw locks inside the wrappers. That would
+recurse. Everything internal therefore allocates through this module,
+which snapshots the genuine primitives at import time (before any patch
+can have been installed, since ``patch`` imports this module first).
+"""
+
+from __future__ import annotations
+
+import _thread
+import threading
+
+Lock = threading.Lock
+RLock = threading.RLock
+Condition = threading.Condition
+allocate_lock = _thread.allocate_lock
+get_ident = threading.get_ident

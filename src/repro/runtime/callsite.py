@@ -1,0 +1,127 @@
+"""Call-site capture for the real-thread runtime.
+
+``monitorenter`` positions in the paper come from ``dvmGetCallStack``,
+which copies the top frame of the acquiring thread's stack into a
+pre-allocated per-thread buffer. Here the equivalent is walking Python
+frames with ``sys._getframe`` — skipping the runtime's own frames and the
+stdlib ``threading`` module so the position names *application* code.
+
+§4 sketches the zero-cost alternative: the compiler assigns a static id to
+every synchronization statement and passes it to ``lockMonitor``. The
+:class:`StaticSiteRegistry` implements that mode — callers pass a small
+integer and no stack walk happens at all (ablation A2).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import Optional
+
+from repro.core.callstack import CallStack, Frame
+
+_RUNTIME_DIR = os.path.dirname(os.path.abspath(__file__))
+_THREADING_FILE = os.path.abspath(threading.__file__)
+_CONTEXTLIB_FILE = os.path.abspath(getattr(sys.modules.get("contextlib"), "__file__", "contextlib"))
+
+FALLBACK_STACK = CallStack.single("<no-python-frame>", 0, "<native>")
+
+
+def _is_internal(filename: str) -> bool:
+    return (
+        filename.startswith(_RUNTIME_DIR)
+        or filename == _THREADING_FILE
+        or filename == _CONTEXTLIB_FILE
+    )
+
+
+# Interning cache: one CallStack object per distinct frame-key tuple.
+# Program locations are finite and stable, so this is bounded by the
+# number of synchronization sites — the same argument that lets the
+# paper intern Position objects. Concurrent writes are benign (idempotent
+# values under the GIL).
+_stack_cache: dict[tuple, CallStack] = {}
+
+
+def capture_stack(depth: int, skip: int = 1) -> CallStack:
+    """Capture up to ``depth`` application frames of the calling thread.
+
+    ``skip=1`` starts the walk at the direct caller of this function;
+    each additional unit drops one more intermediate helper frame.
+    Internal frames — this package and the stdlib ``threading``/
+    ``contextlib`` machinery — are then skipped wholesale, so the
+    captured position is the application's lock statement, exactly like
+    the monitorenter location in bytecode.
+
+    Stacks are interned by their frame keys: repeated acquisitions at the
+    same site return the same object with no allocation, the Python
+    analog of the paper's reused per-thread stack buffer.
+    """
+    try:
+        frame = sys._getframe(skip)
+    except ValueError:
+        return FALLBACK_STACK
+    key_parts: list = []
+    raw_frames: list = []
+    while frame is not None and len(raw_frames) < depth:
+        code = frame.f_code
+        filename = code.co_filename
+        if not _is_internal(filename):
+            lineno = frame.f_lineno
+            key_parts.append(filename)
+            key_parts.append(lineno)
+            raw_frames.append((filename, lineno, code.co_name))
+        frame = frame.f_back
+    if not raw_frames:
+        return FALLBACK_STACK
+    cache_key = tuple(key_parts)
+    cached = _stack_cache.get(cache_key)
+    if cached is not None:
+        return cached
+    stack = CallStack(
+        Frame(filename, lineno, function)
+        for filename, lineno, function in raw_frames
+    )
+    _stack_cache[cache_key] = stack
+    return stack
+
+
+class StaticSiteRegistry:
+    """Registry of compiler-style static synchronization-site ids.
+
+    Each id maps to a stable synthetic call stack, so positions derived
+    from ids are interchangeable with stack-derived positions everywhere
+    else in the system (history files mix freely). Ids are bound to
+    program locations by construction — the caller allocates one id per
+    site — which is precisely the contract the paper's compiler extension
+    would provide.
+    """
+
+    def __init__(self, namespace: str = "static") -> None:
+        self._namespace = namespace
+        self._stacks: dict[int, CallStack] = {}
+
+    def stack_for(self, site_id: int) -> CallStack:
+        stack = self._stacks.get(site_id)
+        if stack is None:
+            stack = CallStack.single(
+                f"<{self._namespace}>", site_id, f"site_{site_id}"
+            )
+            self._stacks[site_id] = stack
+        return stack
+
+    def __len__(self) -> int:
+        return len(self._stacks)
+
+
+def resolve_stack(
+    depth: int,
+    site_id: Optional[int],
+    registry: Optional[StaticSiteRegistry],
+    skip: int = 1,
+) -> CallStack:
+    """Static-id stack when a site id is given, else a captured stack."""
+    if site_id is not None and registry is not None:
+        return registry.stack_for(site_id)
+    return capture_stack(depth, skip=skip + 1)

@@ -1,0 +1,138 @@
+"""Condition variables whose monitor reacquisition is immunized.
+
+§3.2 of the paper shows a deadlock pattern invisible to bytecode
+instrumentation: ``x.wait()`` releases monitor ``x`` and *reacquires it
+inside the native wait routine*, so a lock inversion involving that
+reacquisition only becomes interceptable if ``Object.wait()`` itself is
+patched — which is why Android Dimmunix modifies ``waitMonitor``.
+
+:class:`DimmunixCondition` is the Python equivalent: it follows CPython's
+``threading.Condition`` waiter-lock design, but releases and reacquires
+its monitor through the Dimmunix lock wrappers, so the reacquisition at
+the end of :meth:`wait` runs detection and avoidance like any other
+``monitorenter``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional, Union
+
+from repro.runtime import _originals
+from repro.runtime.locks import DimmunixLock, DimmunixRLock
+
+if TYPE_CHECKING:
+    from repro.runtime.runtime import DimmunixRuntime
+
+MonitorLock = Union[DimmunixLock, DimmunixRLock]
+
+
+class DimmunixCondition:
+    """Drop-in ``threading.Condition`` with immunized reacquisition."""
+
+    def __init__(
+        self,
+        lock: Optional[MonitorLock] = None,
+        runtime: Optional["DimmunixRuntime"] = None,
+    ) -> None:
+        if lock is None:
+            if runtime is None:
+                raise ValueError(
+                    "DimmunixCondition needs a lock or a runtime to make one"
+                )
+            lock = runtime.rlock(name="condition-monitor")
+        self._lock = lock
+        self._waiters: deque = deque()
+
+    @property
+    def lock(self) -> MonitorLock:
+        return self._lock
+
+    # -- monitor protocol ---------------------------------------------------
+
+    def acquire(self, *args, **kwargs):
+        return self._lock.acquire(*args, **kwargs)
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def __enter__(self):
+        return self._lock.__enter__()
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        return self._lock.__exit__(exc_type, exc_value, traceback)
+
+    def _is_owned(self) -> bool:
+        return self._lock._is_owned()
+
+    # -- waiting --------------------------------------------------------------
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Release the monitor, park, then reacquire through Dimmunix.
+
+        Returns ``False`` on timeout, like ``threading.Condition.wait``.
+        """
+        if not self._is_owned():
+            raise RuntimeError("cannot wait on un-acquired lock")
+        waiter = _originals.allocate_lock()
+        waiter.acquire()
+        self._waiters.append(waiter)
+        saved_state = self._lock._release_save()
+        got_it = False
+        try:
+            if timeout is None:
+                waiter.acquire()
+                got_it = True
+            elif timeout > 0:
+                got_it = waiter.acquire(True, timeout)
+            return got_it
+        finally:
+            # The reacquisition — where wait()-induced inversions deadlock
+            # and where Android Dimmunix hooks waitMonitor.
+            self._lock._acquire_restore(saved_state)
+            if not got_it:
+                try:
+                    self._waiters.remove(waiter)
+                except ValueError:
+                    pass
+
+    def wait_for(
+        self, predicate: Callable[[], bool], timeout: Optional[float] = None
+    ) -> bool:
+        """Wait until ``predicate()`` is true (or until the timeout)."""
+        end_time: Optional[float] = None
+        result = predicate()
+        while not result:
+            wait_time = None
+            if timeout is not None:
+                if end_time is None:
+                    end_time = time.monotonic() + timeout
+                wait_time = end_time - time.monotonic()
+                if wait_time <= 0:
+                    break
+            self.wait(wait_time)
+            result = predicate()
+        return result
+
+    # -- signalling -------------------------------------------------------------
+
+    def notify(self, n: int = 1) -> None:
+        if not self._is_owned():
+            raise RuntimeError("cannot notify on un-acquired lock")
+        woken = 0
+        while woken < n and self._waiters:
+            waiter = self._waiters.popleft()
+            try:
+                waiter.release()
+            except RuntimeError:
+                continue
+            woken += 1
+
+    def notify_all(self) -> None:
+        self.notify(len(self._waiters))
+
+    notifyAll = notify_all
+
+    def __repr__(self) -> str:
+        return f"<DimmunixCondition on {self._lock!r}, {len(self._waiters)} waiters>"

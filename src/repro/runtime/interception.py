@@ -1,0 +1,189 @@
+"""The real-thread adapter: blocking glue between locks and the core.
+
+This is the analog of the paper's integration code inside ``lockMonitor``
+/ ``unlockMonitor``: it serializes core calls under one process-global
+lock, parks yielding threads on per-signature condition variables, applies
+the detection policy, and wakes threads when releases or starvation
+resolutions demand it.
+
+The do/while retry loop from the paper's patched ``lockMonitor``::
+
+    do {
+        sigId = Request(&t->node, &mon->node, pos);
+        if (sigId >= 0) wait(history[sigId]);
+    } while (sigId >= 0);
+
+appears here as :meth:`RuntimeAdapter.before_acquire`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.runtime import _originals
+from repro.config import DetectionPolicy, DimmunixConfig
+from repro.core.callstack import CallStack
+from repro.core.engine import DimmunixCore, RequestVerdict
+from repro.core.node import LockNode, ThreadNode
+from repro.core.signature import DeadlockSignature
+from repro.errors import DeadlockDetectedError
+
+
+class RuntimeAdapter:
+    """Drives a :class:`DimmunixCore` for real ``threading`` threads."""
+
+    def __init__(self, core: DimmunixCore) -> None:
+        self.core = core
+        self.config: DimmunixConfig = core.config
+        # The paper's process-global Dimmunix lock. Signature conditions
+        # share it so "check state + park" is atomic.
+        self._glock = _originals.Lock()
+        self._conditions: dict[DeadlockSignature, threading.Condition] = {}
+        self._thread_nodes: dict[int, ThreadNode] = {}
+        self._detections: list[DeadlockSignature] = []
+        self.on_detection: Optional[Callable[[DeadlockSignature], None]] = None
+
+    # ------------------------------------------------------------------
+    # node bookkeeping
+    # ------------------------------------------------------------------
+
+    def current_thread_node(self) -> ThreadNode:
+        """The RAG node of the calling thread (registered on first use)."""
+        ident = threading.get_ident()
+        node = self._thread_nodes.get(ident)
+        if node is None:
+            # Resolve the name BEFORE taking the global lock, and without
+            # threading.current_thread(): during Thread bootstrap (3.11
+            # sets the started event before registering in _active) that
+            # call allocates a _DummyThread, whose __init__ creates
+            # patched primitives, which re-enter new_lock_node -> _glock
+            # -> self-deadlock. _active.get() never allocates.
+            registered = threading._active.get(ident)
+            name = registered.name if registered is not None else f"thread-{ident}"
+            with self._glock:
+                node = self._thread_nodes.get(ident)
+                if node is None:
+                    node = self.core.register_thread(name)
+                    self._thread_nodes[ident] = node
+                    if len(self._thread_nodes) % 1024 == 0:
+                        self._forget_dead_threads_locked()
+        return node
+
+    def _forget_dead_threads_locked(self) -> None:
+        alive = {t.ident for t in threading.enumerate()}
+        for ident in [i for i in self._thread_nodes if i not in alive]:
+            node = self._thread_nodes.pop(ident)
+            self.core.thread_exit(node)
+
+    def new_lock_node(self, name: str = "") -> LockNode:
+        with self._glock:
+            return self.core.register_lock(name)
+
+    # ------------------------------------------------------------------
+    # the monitorenter / monitorexit path
+    # ------------------------------------------------------------------
+
+    def before_acquire(
+        self, lock_node: LockNode, stack: CallStack, wait: bool = True
+    ) -> bool:
+        """Run detection + avoidance before physically acquiring.
+
+        Returns ``True`` when the caller may proceed to acquire, ``False``
+        when the ``BREAK`` policy denied the acquisition or a non-blocking
+        caller (``wait=False``) would have had to park. Blocks (parked on a
+        signature condition) for as long as avoidance requires.
+        """
+        thread_node = self.current_thread_node()
+        config = self.config
+        with self._glock:
+            while True:
+                result = self.core.request(thread_node, lock_node, stack)
+                if result.resume:
+                    self._wake_locked(result.resume)
+                if result.detected is not None:
+                    self._detections.append(result.detected)
+                    callback = self.on_detection
+                    if callback is not None:
+                        callback(result.detected)
+                    if config.detection_policy is DetectionPolicy.RAISE:
+                        self.core.cancel_request(thread_node, lock_node)
+                        raise DeadlockDetectedError(result.detected)
+                    if config.detection_policy is DetectionPolicy.BREAK:
+                        self.core.cancel_request(thread_node, lock_node)
+                        return False
+                    # BLOCK: paper-faithful — proceed into the deadlock.
+                    return True
+                if result.verdict is RequestVerdict.YIELD:
+                    assert result.yield_on is not None
+                    if not wait:
+                        # try-lock semantics: report "would block".
+                        self.core.abandon_yield(thread_node)
+                        return False
+                    condition = self._condition_for_locked(result.yield_on)
+                    signaled = condition.wait(timeout=config.yield_timeout)
+                    if not signaled and thread_node.yielding_on is not None:
+                        # Safety net: treat the timeout as starvation.
+                        self.core.force_bypass(thread_node)
+                    continue
+                return True
+
+    def after_acquire(self, lock_node: LockNode) -> None:
+        thread_node = self.current_thread_node()
+        with self._glock:
+            self.core.acquired(thread_node, lock_node)
+
+    def before_release(self, lock_node: LockNode) -> None:
+        thread_node = self.current_thread_node()
+        with self._glock:
+            result = self.core.release(thread_node, lock_node)
+            for signature in result.notify:
+                condition = self._conditions.get(signature)
+                if condition is not None:
+                    condition.notify_all()
+
+    def abandon_acquire(self, lock_node: LockNode) -> None:
+        """Roll back a granted request whose physical acquire failed."""
+        thread_node = self.current_thread_node()
+        with self._glock:
+            self.core.cancel_request(thread_node, lock_node)
+
+    # ------------------------------------------------------------------
+    # parked-thread management
+    # ------------------------------------------------------------------
+
+    def _condition_for_locked(
+        self, signature: DeadlockSignature
+    ) -> threading.Condition:
+        condition = self._conditions.get(signature)
+        if condition is None:
+            condition = _originals.Condition(self._glock)
+            self._conditions[signature] = condition
+        return condition
+
+    def _wake_locked(self, threads) -> None:
+        for thread_node in threads:
+            signature = thread_node.yielding_on
+            if signature is None:
+                continue
+            condition = self._conditions.get(signature)
+            if condition is not None:
+                condition.notify_all()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def detections(self) -> tuple[DeadlockSignature, ...]:
+        return tuple(self._detections)
+
+    def wait_for_detection(self, timeout: float = 5.0) -> bool:
+        """Poll until some thread records a detection (tests, demos)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self._detections:
+                return True
+            time.sleep(0.001)
+        return bool(self._detections)

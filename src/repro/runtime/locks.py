@@ -1,0 +1,231 @@
+"""Immunized lock types for real ``threading`` code.
+
+:class:`DimmunixLock` corresponds to a non-reentrant mutex;
+:class:`DimmunixRLock` to a Java-style reentrant monitor (recursive
+acquisitions by the owner do not re-enter Dimmunix, exactly as nested
+``monitorenter`` on an owned monitor is free in the VM).
+
+Each lock owns its RAG :class:`~repro.core.node.LockNode` for the lifetime
+of the lock — the paper's "node field embedded in the Monitor struct" that
+makes RAG lookup zero-overhead.
+
+Both types are drop-in compatible with their ``threading`` namesakes
+(``acquire(blocking, timeout)``, context-manager protocol, ``locked()``),
+which is what lets :mod:`repro.runtime.patch` substitute them
+platform-wide. They accept an extra keyword, ``site_id``, implementing the
+paper's §4 compiler-assigned static synchronization-site ids.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.callstack import CallStack
+from repro.runtime import _originals
+from repro.runtime.callsite import resolve_stack
+
+if TYPE_CHECKING:
+    from repro.runtime.runtime import DimmunixRuntime
+
+
+class DimmunixLock:
+    """A ``threading.Lock`` with deadlock immunity."""
+
+    _reentrant = False
+
+    def __init__(self, runtime: "DimmunixRuntime", name: str = "") -> None:
+        self._runtime = runtime
+        self._adapter = runtime.adapter
+        self._raw = _originals.Lock()
+        self._enabled = runtime.config.enabled
+        self._depth = runtime.config.stack_depth
+        self.node = self._adapter.new_lock_node(name) if self._enabled else None
+        self.name = name or (self.node.name if self.node else "lock")
+
+    # -- acquire / release ------------------------------------------------
+
+    def acquire(
+        self,
+        blocking: bool = True,
+        timeout: float = -1,
+        site_id: Optional[int] = None,
+        stack: Optional["CallStack"] = None,
+    ) -> bool:
+        """Acquire the lock, running Dimmunix detection/avoidance first.
+
+        With ``blocking=False``, avoidance that would park the thread is
+        reported as "would block" (returns ``False``) — a try-lock must
+        never wait, not even for immunity. ``stack`` lets callers supply a
+        pre-built position (synchronized methods, the VM substrate).
+        """
+        if not self._enabled:
+            if timeout >= 0:
+                return self._raw.acquire(blocking, timeout)
+            return self._raw.acquire(blocking)
+        if stack is None:
+            stack = resolve_stack(
+                self._depth, site_id, self._runtime.static_sites, skip=1
+            )
+        allowed = self._adapter.before_acquire(
+            self.node, stack, wait=blocking
+        )
+        if not allowed:
+            return False
+        if timeout >= 0:
+            got_it = self._raw.acquire(blocking, timeout)
+        else:
+            got_it = self._raw.acquire(blocking)
+        if got_it:
+            self._adapter.after_acquire(self.node)
+        else:
+            self._adapter.abandon_acquire(self.node)
+        return got_it
+
+    def release(self) -> None:
+        if self._enabled:
+            self._adapter.before_release(self.node)
+        self._raw.release()
+
+    def locked(self) -> bool:
+        return self._raw.locked()
+
+    # -- protocol used by DimmunixCondition --------------------------------
+
+    def _is_owned(self) -> bool:
+        # A plain mutex does not track its owner; mirror CPython's
+        # Condition heuristic: if a try-lock succeeds, nobody owned it.
+        if self._raw.acquire(False):
+            self._raw.release()
+            return False
+        return True
+
+    def _release_save(self) -> None:
+        self.release()
+
+    def _acquire_restore(self, state) -> None:
+        # Reacquisition goes through the full Dimmunix path — the paper's
+        # waitMonitor change (§3.2).
+        self.acquire()
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> bool:
+        # One extra internal frame (this method) is skipped by the
+        # call-site filter, so the position is the ``with`` statement.
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "locked" if self.locked() else "unlocked"
+        return f"<DimmunixLock {self.name} {state}>"
+
+
+class DimmunixRLock:
+    """A ``threading.RLock`` with deadlock immunity.
+
+    Only the first (non-recursive) acquisition and the final release go
+    through Dimmunix; recursive pairs are plain counter updates, as in a
+    reentrant Java monitor.
+    """
+
+    _reentrant = True
+
+    def __init__(self, runtime: "DimmunixRuntime", name: str = "") -> None:
+        self._runtime = runtime
+        self._adapter = runtime.adapter
+        self._raw = _originals.Lock()
+        self._enabled = runtime.config.enabled
+        self._depth = runtime.config.stack_depth
+        self._owner: Optional[int] = None
+        self._count = 0
+        self.node = self._adapter.new_lock_node(name) if self._enabled else None
+        self.name = name or (self.node.name if self.node else "rlock")
+
+    def acquire(
+        self,
+        blocking: bool = True,
+        timeout: float = -1,
+        site_id: Optional[int] = None,
+        stack: Optional["CallStack"] = None,
+    ) -> bool:
+        me = _originals.get_ident()
+        if self._owner == me:
+            self._count += 1
+            return True
+        if self._enabled:
+            if stack is None:
+                stack = resolve_stack(
+                    self._depth, site_id, self._runtime.static_sites, skip=1
+                )
+            allowed = self._adapter.before_acquire(
+                self.node, stack, wait=blocking
+            )
+            if not allowed:
+                return False
+        if timeout >= 0:
+            got_it = self._raw.acquire(blocking, timeout)
+        else:
+            got_it = self._raw.acquire(blocking)
+        if got_it:
+            self._owner = me
+            self._count = 1
+            if self._enabled:
+                self._adapter.after_acquire(self.node)
+        elif self._enabled:
+            self._adapter.abandon_acquire(self.node)
+        return got_it
+
+    def release(self) -> None:
+        if self._owner != _originals.get_ident():
+            raise RuntimeError("cannot release un-acquired lock")
+        self._count -= 1
+        if self._count:
+            return
+        self._owner = None
+        if self._enabled:
+            self._adapter.before_release(self.node)
+        self._raw.release()
+
+    # -- protocol used by DimmunixCondition --------------------------------
+
+    def _is_owned(self) -> bool:
+        return self._owner == _originals.get_ident()
+
+    def _release_save(self) -> int:
+        """Fully release regardless of recursion depth; return the depth."""
+        if self._owner != _originals.get_ident():
+            raise RuntimeError("cannot wait on un-acquired lock")
+        count = self._count
+        self._count = 0
+        self._owner = None
+        if self._enabled:
+            self._adapter.before_release(self.node)
+        self._raw.release()
+        return count
+
+    def _acquire_restore(self, state: int) -> None:
+        """Reacquire through the full Dimmunix path, then restore depth.
+
+        This is the paper's ``waitMonitor`` change: the reacquisition at
+        the end of ``Object.wait()`` must be visible to Dimmunix, or
+        wait()-induced lock inversions are invisible (§3.2).
+        """
+        self.acquire()
+        self._count = state
+
+    def locked(self) -> bool:
+        return self._raw.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return (
+            f"<DimmunixRLock {self.name} owner={self._owner} "
+            f"count={self._count}>"
+        )

@@ -1,0 +1,97 @@
+"""Per-object monitors — the thin→fat lock analog.
+
+In Dalvik, an object's lock starts *thin* (a bit-packed integer in the
+object header) and is *fattened* into a ``Monitor`` struct the first time
+that matters; Android Dimmunix fattens eagerly on ``monitorenter`` because
+only a fat lock can carry a RAG node (§4, the ``LW_SHAPE_FAT`` snippet).
+
+Here, an arbitrary Python object plays the role of a Java object: it has
+no monitor until the first ``synchronized(obj)`` — at which point the
+registry creates one (a reentrant :class:`~repro.runtime.locks.DimmunixRLock`
+carrying its RAG node) under a double-checked global fattening lock,
+mirroring the paper's code shape exactly.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, Optional
+
+from repro.runtime import _originals
+from repro.runtime.condition import DimmunixCondition
+from repro.runtime.locks import DimmunixRLock
+
+if TYPE_CHECKING:
+    from repro.runtime.runtime import DimmunixRuntime
+
+
+class _MonitorEntry:
+    __slots__ = ("monitor", "condition", "weak")
+
+    def __init__(self, monitor: DimmunixRLock) -> None:
+        self.monitor = monitor
+        self.condition: Optional[DimmunixCondition] = None
+        self.weak: Optional[weakref.ref] = None
+
+
+class MonitorRegistry:
+    """Maps live objects to their (lazily created) fat monitors."""
+
+    def __init__(self, runtime: "DimmunixRuntime") -> None:
+        self._runtime = runtime
+        # The paper's globalLock guarding lock fattening.
+        self._fatten_lock = _originals.Lock()
+        self._entries: dict[int, _MonitorEntry] = {}
+
+    def monitor_for(self, obj: object) -> DimmunixRLock:
+        """The object's monitor, created (fattened) on first use.
+
+        Weakref-able objects are cleaned out of the registry when they are
+        collected. Objects that do not support weak references (e.g.
+        plain ``object()`` supports them, but ``int`` does not) keep their
+        monitor for the life of the process — synchronizing on such values
+        is as inadvisable here as locking on interned primitives in Java.
+        """
+        key = id(obj)
+        entry = self._entries.get(key)
+        if entry is None:
+            with self._fatten_lock:
+                # Double-checked, like the thin-lock re-test in §4.
+                entry = self._entries.get(key)
+                if entry is None:
+                    monitor = DimmunixRLock(
+                        self._runtime,
+                        name=f"monitor:{type(obj).__name__}@{key:#x}",
+                    )
+                    entry = _MonitorEntry(monitor)
+                    try:
+                        entry.weak = weakref.ref(obj, self._make_reaper(key))
+                    except TypeError:
+                        entry.weak = None
+                    self._entries[key] = entry
+        return entry.monitor
+
+    def condition_for(self, obj: object) -> DimmunixCondition:
+        """The wait-set of the object's monitor (for ``Object.wait()``)."""
+        key = id(obj)
+        self.monitor_for(obj)
+        entry = self._entries[key]
+        if entry.condition is None:
+            with self._fatten_lock:
+                if entry.condition is None:
+                    entry.condition = DimmunixCondition(entry.monitor)
+        return entry.condition
+
+    def _make_reaper(self, key: int):
+        registry = self._entries
+        runtime = self._runtime
+
+        def _reap(_ref: weakref.ref) -> None:
+            entry = registry.pop(key, None)
+            if entry is not None and entry.monitor.node is not None:
+                runtime.core.lock_destroyed(entry.monitor.node)
+
+        return _reap
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,102 @@
+"""Platform-wide deadlock immunity for a Python process.
+
+The paper's argument (§3.1): platform-wide immunity must live in the
+synchronization layer that *all* code uses — in Android's case the Dalvik
+VM's monitor routines, in a Python process's case the ``threading``
+module. :func:`install` replaces ``threading.Lock``, ``threading.RLock``
+and ``threading.Condition`` with Dimmunix-backed factories bound to a
+runtime, so every library in the process — ``queue``, thread pools,
+third-party code — acquires immunized locks without being modified or
+even knowing Dimmunix exists. That is the interception-based design the
+paper chose over bytecode instrumentation.
+
+The patch is process-global, reversible (:func:`uninstall`), and safe to
+nest via the :func:`immunized` context manager. Dimmunix's own internals
+allocate primitives through :mod:`repro.runtime._originals`, so the patch
+never recurses into itself.
+
+Known limitation (shared with any interception approach): code that does
+``isinstance(x, threading.Condition)`` while the patch is active will see
+a factory function rather than a class. The stdlib itself never does
+this; it is rare in the wild.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterator, Optional
+
+from repro.runtime.condition import DimmunixCondition
+from repro.runtime.locks import DimmunixLock, DimmunixRLock
+from repro.runtime.runtime import DimmunixRuntime, get_runtime
+
+_installed_runtime: Optional[DimmunixRuntime] = None
+_originals_saved: Optional[tuple] = None
+
+
+def install(runtime: Optional[DimmunixRuntime] = None) -> DimmunixRuntime:
+    """Patch ``threading`` so the whole process runs with immunity.
+
+    Idempotent: re-installing with the same runtime is a no-op;
+    re-installing with a different runtime rebinds the factories.
+    Returns the runtime the platform is now bound to.
+    """
+    global _installed_runtime, _originals_saved
+    runtime = runtime or get_runtime()
+    if _originals_saved is None:
+        _originals_saved = (
+            threading.Lock,
+            threading.RLock,
+            threading.Condition,
+        )
+
+    def make_lock() -> DimmunixLock:
+        return DimmunixLock(runtime)
+
+    def make_rlock() -> DimmunixRLock:
+        return DimmunixRLock(runtime)
+
+    def make_condition(lock=None) -> DimmunixCondition:
+        return DimmunixCondition(lock, runtime=runtime)
+
+    threading.Lock = make_lock
+    threading.RLock = make_rlock
+    threading.Condition = make_condition
+    _installed_runtime = runtime
+    return runtime
+
+
+def uninstall() -> None:
+    """Restore the original ``threading`` primitives."""
+    global _installed_runtime, _originals_saved
+    if _originals_saved is None:
+        return
+    threading.Lock, threading.RLock, threading.Condition = _originals_saved
+    _originals_saved = None
+    _installed_runtime = None
+
+
+def is_installed() -> bool:
+    return _installed_runtime is not None
+
+
+def installed_runtime() -> Optional[DimmunixRuntime]:
+    return _installed_runtime
+
+
+@contextlib.contextmanager
+def immunized(
+    runtime: Optional[DimmunixRuntime] = None,
+) -> Iterator[DimmunixRuntime]:
+    """Scope-limited platform immunity (mainly for tests and demos)."""
+    was_installed = is_installed()
+    previous = installed_runtime()
+    active = install(runtime)
+    try:
+        yield active
+    finally:
+        if was_installed and previous is not None:
+            install(previous)
+        else:
+            uninstall()

@@ -1,0 +1,131 @@
+"""The per-process Dimmunix runtime facade.
+
+One :class:`DimmunixRuntime` is one paper-style per-process Dimmunix
+instance: it owns the core engine, the blocking adapter, the static-site
+registry, and the per-object monitor registry, and it is what
+``initDimmunix`` returns in our Zygote analog. The module also manages a
+process-default instance for the platform-wide patch and the
+``synchronized`` helpers.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Optional
+
+from repro.config import DimmunixConfig
+from repro.core.engine import DimmunixCore
+from repro.core.history import History
+from repro.core.signature import DeadlockSignature
+from repro.core.stats import DimmunixStats
+from repro.runtime import _originals
+from repro.runtime.callsite import StaticSiteRegistry
+from repro.runtime.condition import DimmunixCondition
+from repro.runtime.interception import RuntimeAdapter
+from repro.runtime.locks import DimmunixLock, DimmunixRLock
+from repro.runtime.monitor_registry import MonitorRegistry
+
+
+class DimmunixRuntime:
+    """Deadlock immunity for one process of real ``threading`` code."""
+
+    def __init__(
+        self,
+        config: Optional[DimmunixConfig] = None,
+        history: Optional[History] = None,
+        name: str = "process",
+    ) -> None:
+        self.name = name
+        self.config = config or DimmunixConfig()
+        self.core = DimmunixCore(self.config, history)
+        self.adapter = RuntimeAdapter(self.core)
+        self.static_sites = StaticSiteRegistry()
+        self.monitors = MonitorRegistry(self)
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+
+    def lock(self, name: str = "") -> DimmunixLock:
+        """An immunized ``threading.Lock`` replacement."""
+        return DimmunixLock(self, name)
+
+    def rlock(self, name: str = "") -> DimmunixRLock:
+        """An immunized ``threading.RLock`` replacement."""
+        return DimmunixRLock(self, name)
+
+    def condition(self, lock=None) -> DimmunixCondition:
+        """An immunized ``threading.Condition`` replacement."""
+        return DimmunixCondition(lock, runtime=self)
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+
+    @property
+    def history(self) -> History:
+        return self.core.history
+
+    @property
+    def stats(self) -> DimmunixStats:
+        return self.core.stats
+
+    @property
+    def detections(self) -> tuple[DeadlockSignature, ...]:
+        """Signatures recorded by detection since this runtime started."""
+        return self.adapter.detections
+
+    def save_history(self, path: Optional[Path | str] = None) -> Path:
+        """Persist the history (defaults to the configured path)."""
+        target = Path(path) if path is not None else self.config.history_path
+        if target is None:
+            raise ValueError(
+                "no history path: pass one or set DimmunixConfig.history_path"
+            )
+        self.history.save(target)
+        return target
+
+    def __repr__(self) -> str:
+        snap = self.core.snapshot()
+        return (
+            f"<DimmunixRuntime {self.name}: {snap.threads} threads, "
+            f"{snap.locks} locks, {snap.history_size} signatures>"
+        )
+
+
+# ----------------------------------------------------------------------
+# process-default runtime (what the platform-wide patch binds to)
+# ----------------------------------------------------------------------
+
+_default_runtime: Optional[DimmunixRuntime] = None
+_default_guard = _originals.Lock()
+
+
+def init_runtime(
+    config: Optional[DimmunixConfig] = None,
+    history: Optional[History] = None,
+    name: str = "main",
+) -> DimmunixRuntime:
+    """(Re)initialize the process-default runtime — our ``initDimmunix``."""
+    global _default_runtime
+    with _default_guard:
+        _default_runtime = DimmunixRuntime(config, history, name)
+        return _default_runtime
+
+
+def get_runtime() -> DimmunixRuntime:
+    """The process-default runtime, created on first use."""
+    global _default_runtime
+    if _default_runtime is None:
+        with _default_guard:
+            if _default_runtime is None:
+                _default_runtime = DimmunixRuntime(name="main")
+    return _default_runtime
+
+
+def reset_runtime() -> None:
+    """Drop the process-default runtime (tests)."""
+    global _default_runtime
+    with _default_guard:
+        _default_runtime = None

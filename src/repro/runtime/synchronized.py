@@ -1,0 +1,111 @@
+"""Java-style synchronized blocks, methods, and Object.wait/notify.
+
+The paper's design leans on the semantics of synchronized blocks: they are
+intra-procedural and (in wrappers) non-nested, which is what makes depth-1
+outer call stacks safe (§3.2). These helpers give Python the same surface:
+
+* ``with synchronized(obj):`` — a synchronized block on any object; the
+  position is the ``with`` statement's call site.
+* ``@synchronized_method`` — a synchronized method; the position is the
+  method definition itself (a static location, like Java's method-entry
+  monitorenter — no stack walk at call time).
+* ``wait_on(obj)`` / ``notify_obj(obj)`` / ``notify_all_obj(obj)`` —
+  ``Object.wait()`` / ``notify()`` / ``notifyAll()``, with the monitor
+  reacquisition inside ``wait`` running through Dimmunix (§3.2's
+  waitMonitor patch).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.callstack import CallStack
+
+if TYPE_CHECKING:
+    from repro.runtime.runtime import DimmunixRuntime
+
+
+def _require_runtime(runtime: Optional["DimmunixRuntime"]) -> "DimmunixRuntime":
+    if runtime is not None:
+        return runtime
+    from repro.runtime.runtime import get_runtime
+
+    return get_runtime()
+
+
+class synchronized:
+    """Context manager: ``with synchronized(obj): ...``
+
+    Implemented as a class (not ``@contextmanager``) so entry costs one
+    call, and the captured position — resolved inside the lock wrapper —
+    lands on the application's ``with`` line.
+    """
+
+    __slots__ = ("_monitor",)
+
+    def __init__(
+        self, obj: object, runtime: Optional["DimmunixRuntime"] = None
+    ) -> None:
+        self._monitor = _require_runtime(runtime).monitors.monitor_for(obj)
+
+    def __enter__(self):
+        self._monitor.acquire()
+        return self._monitor
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self._monitor.release()
+
+
+def synchronized_method(func):
+    """Decorator making a method synchronized on ``self``.
+
+    The synchronization position is the method's definition site, derived
+    statically from its code object — the zero-overhead scheme §4 proposes
+    for compiler-assigned ids: no stack retrieval happens per call.
+    """
+    code = func.__code__
+    static_stack = CallStack.single(
+        code.co_filename, code.co_firstlineno, code.co_name
+    )
+
+    @functools.wraps(func)
+    def wrapper(self, *args, **kwargs):
+        from repro.runtime.runtime import get_runtime
+
+        monitor = get_runtime().monitors.monitor_for(self)
+        monitor.acquire(stack=static_stack)
+        try:
+            return func(self, *args, **kwargs)
+        finally:
+            monitor.release()
+
+    wrapper.__dimmunix_position__ = static_stack
+    return wrapper
+
+
+def wait_on(
+    obj: object,
+    timeout: Optional[float] = None,
+    runtime: Optional["DimmunixRuntime"] = None,
+) -> bool:
+    """``Object.wait()``: release the object's monitor, park, reacquire.
+
+    Must be called while holding the monitor (inside ``synchronized(obj)``),
+    exactly like Java. Returns ``False`` on timeout.
+    """
+    return _require_runtime(runtime).monitors.condition_for(obj).wait(timeout)
+
+
+def notify_obj(
+    obj: object, runtime: Optional["DimmunixRuntime"] = None
+) -> None:
+    """``Object.notify()``: wake one thread waiting on the object."""
+    _require_runtime(runtime).monitors.condition_for(obj).notify()
+
+
+def notify_all_obj(
+    obj: object, runtime: Optional["DimmunixRuntime"] = None
+) -> None:
+    """``Object.notifyAll()``: wake all threads waiting on the object."""
+    _require_runtime(runtime).monitors.condition_for(obj).notify_all()

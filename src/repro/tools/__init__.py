@@ -1,0 +1,15 @@
+"""Operational tooling around the persistent deadlock history.
+
+On a Dimmunix-enabled phone, the history files *are* the immunity: they
+are written during freezes, survive reboots, and can be shipped between
+devices (a vendor collecting signatures from the field and pre-seeding
+them on new installs is the "software vendors as a safety net" use case
+of §2.2). This package provides the operator's side of that story:
+
+* :mod:`repro.tools.history_cli` — ``dimmunix-history``: inspect, merge,
+  diff, prune, and validate history files.
+"""
+
+from repro.tools.history_cli import main as history_main
+
+__all__ = ["history_main"]

@@ -1,0 +1,268 @@
+"""``dimmunix-history`` — inspect and manage persistent deadlock histories.
+
+Subcommands::
+
+    list <file>                 one line per signature
+    show <file> <index>         full outer/inner stacks of one signature
+    stats <file>                counts and position census
+    merge <out> <in> [<in>...]  union of several histories (deduplicated)
+    diff <a> <b>                signatures unique to each side / common
+    prune <file> [filters]      write back a filtered history
+    validate <file>             load strictly; non-zero exit on problems
+
+Everything operates on the on-disk format written by
+:meth:`repro.core.history.History.save`, so the tool works on files
+produced by the real-thread runtime, the substrate VM, and the weaver
+alike (including mixed Java + native signatures from the NDK layer).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.callstack import CallStack
+from repro.core.history import History
+from repro.core.signature import DeadlockSignature
+from repro.errors import HistoryFormatError
+
+
+def _format_stack(stack: CallStack) -> str:
+    return " <- ".join(
+        f"{frame.file}:{frame.line}({frame.function})" for frame in stack
+    )
+
+
+def _signature_line(index: int, signature: DeadlockSignature) -> str:
+    outers = ", ".join(
+        "|".join(f"{file}:{line}" for file, line in entry.outer.key())
+        for entry in signature.entries
+    )
+    return (
+        f"[{index}] {signature.kind:<10} size={signature.size}  "
+        f"outer: {outers}"
+    )
+
+
+def _load(path: str) -> History:
+    return History.load(Path(path))
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+def cmd_list(args: argparse.Namespace) -> int:
+    history = _load(args.file)
+    if len(history) == 0:
+        print(f"{args.file}: empty history")
+        return 0
+    for index, signature in enumerate(history):
+        print(_signature_line(index, signature))
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    history = _load(args.file)
+    signatures = list(history)
+    if not 0 <= args.index < len(signatures):
+        print(
+            f"error: index {args.index} out of range "
+            f"(history holds {len(signatures)} signatures)",
+            file=sys.stderr,
+        )
+        return 2
+    signature = signatures[args.index]
+    print(f"signature [{args.index}] kind={signature.kind} size={signature.size}")
+    for position, entry in enumerate(signature.entries):
+        print(f"  thread {position + 1}:")
+        print(f"    acquired at (outer): {_format_stack(entry.outer)}")
+        print(f"    blocked  at (inner): {_format_stack(entry.inner)}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    history = _load(args.file)
+    positions: dict[tuple, int] = {}
+    sizes: dict[int, int] = {}
+    for signature in history:
+        sizes[signature.size] = sizes.get(signature.size, 0) + 1
+        for key in signature.outer_position_keys():
+            positions[key] = positions.get(key, 0) + 1
+    print(f"{args.file}:")
+    print(f"  signatures:  {len(history)}")
+    print(f"  deadlocks:   {history.deadlock_count()}")
+    print(f"  starvations: {history.starvation_count()}")
+    print(f"  distinct outer positions: {len(positions)}")
+    for size, count in sorted(sizes.items()):
+        print(f"  {count} signature(s) of {size} thread(s)")
+    if positions and args.top > 0:
+        print(f"  top positions (by signature membership):")
+        ranked = sorted(positions.items(), key=lambda kv: -kv[1])
+        for key, count in ranked[: args.top]:
+            where = "|".join(f"{file}:{line}" for file, line in key)
+            print(f"    {count:>3}x {where}")
+    return 0
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    merged = History(max_signatures=args.max_signatures)
+    total_seen = 0
+    for source in args.inputs:
+        history = _load(source)
+        total_seen += len(history)
+        added = merged.merge_from(history)
+        print(f"{source}: {len(history)} signature(s), {added} new")
+    merged.save(Path(args.output))
+    print(
+        f"wrote {len(merged)} signature(s) to {args.output} "
+        f"({total_seen - len(merged)} duplicate(s) dropped)"
+    )
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    left = _load(args.left)
+    right = _load(args.right)
+    left_keys = {sig.canonical_key(): sig for sig in left}
+    right_keys = {sig.canonical_key(): sig for sig in right}
+    only_left = [sig for key, sig in left_keys.items() if key not in right_keys]
+    only_right = [sig for key, sig in right_keys.items() if key not in left_keys]
+    common = [sig for key, sig in left_keys.items() if key in right_keys]
+    print(f"only in {args.left}: {len(only_left)}")
+    for index, signature in enumerate(only_left):
+        print("  " + _signature_line(index, signature))
+    print(f"only in {args.right}: {len(only_right)}")
+    for index, signature in enumerate(only_right):
+        print("  " + _signature_line(index, signature))
+    print(f"common: {len(common)}")
+    return 1 if (only_left or only_right) else 0
+
+
+def cmd_prune(args: argparse.Namespace) -> int:
+    history = _load(args.file)
+    kept = History(max_signatures=history.max_signatures)
+    dropped = 0
+    position_filter: Optional[set] = None
+    if args.drop_position:
+        position_filter = set()
+        for spec in args.drop_position:
+            file, _sep, line = spec.rpartition(":")
+            if not file or not line.isdigit():
+                print(
+                    f"error: bad position {spec!r} (expected file:line)",
+                    file=sys.stderr,
+                )
+                return 2
+            position_filter.add((file, int(line)))
+    for signature in history:
+        if args.drop_starvation and signature.is_starvation:
+            dropped += 1
+            continue
+        if args.drop_deadlocks and not signature.is_starvation:
+            dropped += 1
+            continue
+        if position_filter is not None and any(
+            key and key[0] in position_filter
+            for key in signature.outer_position_keys()
+        ):
+            dropped += 1
+            continue
+        kept.add(signature)
+    target = Path(args.output) if args.output else Path(args.file)
+    kept.save(target)
+    print(f"kept {len(kept)}, dropped {dropped} -> {target}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        history = _load(args.file)
+    except HistoryFormatError as error:
+        print(f"INVALID: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"UNREADABLE: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {args.file} holds {len(history)} signature(s) "
+        f"({history.deadlock_count()} deadlock, "
+        f"{history.starvation_count()} starvation)"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# argument parsing
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dimmunix-history",
+        description="Inspect and manage Dimmunix deadlock-history files.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = commands.add_parser("list", help="one line per signature")
+    list_parser.add_argument("file")
+    list_parser.set_defaults(func=cmd_list)
+
+    show = commands.add_parser("show", help="full stacks of one signature")
+    show.add_argument("file")
+    show.add_argument("index", type=int)
+    show.set_defaults(func=cmd_show)
+
+    stats = commands.add_parser("stats", help="counts and position census")
+    stats.add_argument("file")
+    stats.add_argument("--top", type=int, default=5)
+    stats.set_defaults(func=cmd_stats)
+
+    merge = commands.add_parser("merge", help="union of several histories")
+    merge.add_argument("output")
+    merge.add_argument("inputs", nargs="+")
+    merge.add_argument("--max-signatures", type=int, default=4096)
+    merge.set_defaults(func=cmd_merge)
+
+    diff = commands.add_parser("diff", help="compare two histories")
+    diff.add_argument("left")
+    diff.add_argument("right")
+    diff.set_defaults(func=cmd_diff)
+
+    prune = commands.add_parser("prune", help="filter a history in place")
+    prune.add_argument("file")
+    prune.add_argument("--output", help="write here instead of in place")
+    prune.add_argument(
+        "--drop-starvation",
+        action="store_true",
+        help="remove avoidance-induced (starvation) signatures",
+    )
+    prune.add_argument(
+        "--drop-deadlocks",
+        action="store_true",
+        help="remove plain deadlock signatures",
+    )
+    prune.add_argument(
+        "--drop-position",
+        action="append",
+        metavar="FILE:LINE",
+        help="remove signatures whose outer position matches (repeatable)",
+    )
+    prune.set_defaults(func=cmd_prune)
+
+    validate = commands.add_parser("validate", help="strict load check")
+    validate.add_argument("file")
+    validate.set_defaults(func=cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

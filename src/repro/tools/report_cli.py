@@ -1,0 +1,126 @@
+"""``dimmunix-report`` — render benchmark records as a readable report.
+
+The benchmark harness appends one JSON object per paper-vs-measured
+comparison to ``benchmarks/results/records.jsonl``; this tool turns that
+file into the summary block (the same rendering the terminal shows) or a
+markdown table ready to paste into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.report import ExperimentRecord
+
+DEFAULT_RECORDS = Path("benchmarks/results/records.jsonl")
+
+
+def load_records(path: Path) -> list[ExperimentRecord]:
+    records: list[ExperimentRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+                records.append(
+                    ExperimentRecord(
+                        experiment_id=data["experiment_id"],
+                        description=data["description"],
+                        paper_value=data["paper_value"],
+                        measured_value=data["measured_value"],
+                        holds=bool(data["holds"]),
+                        notes=data.get("notes", ""),
+                        details=data.get("details", {}),
+                    )
+                )
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise SystemExit(
+                    f"error: bad record at {path}:{line_number}: {exc}"
+                )
+    return records
+
+
+def _render_text(records: list[ExperimentRecord]) -> str:
+    lines = [record.render() for record in records]
+    ok = sum(1 for record in records if record.holds)
+    lines.append("")
+    lines.append(f"{ok}/{len(records)} comparisons hold the paper's claim")
+    return "\n".join(lines)
+
+
+def _render_markdown(records: list[ExperimentRecord]) -> str:
+    lines = [
+        "| id | claim | paper | measured | holds |",
+        "|---|---|---|---|---|",
+    ]
+    for record in records:
+        holds = "yes" if record.holds else "**NO**"
+        lines.append(
+            f"| {record.experiment_id} | {record.description} "
+            f"| {record.paper_value} | {record.measured_value} | {holds} |"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dimmunix-report",
+        description="Render benchmark paper-vs-measured records.",
+    )
+    parser.add_argument(
+        "records",
+        nargs="?",
+        default=str(DEFAULT_RECORDS),
+        help=f"records file (default: {DEFAULT_RECORDS})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "markdown"),
+        default="text",
+    )
+    parser.add_argument(
+        "--only",
+        help="filter to experiment ids starting with this prefix (e.g. E1)",
+    )
+    parser.add_argument(
+        "--failing",
+        action="store_true",
+        help="show only records where the paper's claim did not hold",
+    )
+    args = parser.parse_args(argv)
+
+    path = Path(args.records)
+    if not path.exists():
+        print(
+            f"error: {path} not found - run `pytest benchmarks/ "
+            "--benchmark-only` first",
+            file=sys.stderr,
+        )
+        return 2
+    records = load_records(path)
+    if args.only:
+        records = [
+            record
+            for record in records
+            if record.experiment_id.startswith(args.only)
+        ]
+    if args.failing:
+        records = [record for record in records if not record.holds]
+        if not records:
+            print("all recorded comparisons hold")
+            return 0
+    if not records:
+        print("no matching records", file=sys.stderr)
+        return 1
+    renderer = _render_markdown if args.format == "markdown" else _render_text
+    print(renderer(records))
+    return 0 if all(record.holds for record in records) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

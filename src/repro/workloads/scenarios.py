@@ -1,0 +1,369 @@
+"""Classic deadlock scenarios used by examples, tests, and ablations.
+
+* :func:`run_dining_philosophers` — N philosophers, N forks, real
+  threads; deadlocks without immunity, completes with it.
+* :class:`MyLock` + :func:`run_wrapper_pathology` — §3.2's wrapper
+  pathology: a custom lock class funnels every acquisition through one
+  program position, so depth-1 signatures serialize *all* wrapper users
+  after the first deadlock (ablation A1 measures the collapse, and its
+  disappearance at depth 2).
+* :func:`build_wait_inversion_vm` — §3.2's wait()-induced inversion as a
+  deterministic VM scenario: only interceptable because the monitor
+  reacquisition inside ``Object.wait`` goes through Dimmunix.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import DimmunixConfig
+from repro.dalvik.program import Program, ProgramBuilder
+from repro.dalvik.vm import DalvikVM, VMConfig
+from repro.errors import DeadlockDetectedError
+from repro.runtime.runtime import DimmunixRuntime
+
+
+# ----------------------------------------------------------------------
+# dining philosophers (real threads)
+# ----------------------------------------------------------------------
+
+@dataclass
+class PhilosopherOutcome:
+    """What happened at the table."""
+
+    meals_eaten: int
+    deadlocks_detected: int
+    completed: bool
+    errors: list = field(default_factory=list)
+
+
+def run_dining_philosophers(
+    runtime: DimmunixRuntime,
+    philosophers: int = 5,
+    meals: int = 3,
+    think_seconds: float = 0.001,
+    join_timeout: float = 20.0,
+) -> PhilosopherOutcome:
+    """Everyone grabs the left fork, then the right — the textbook cycle.
+
+    Under ``RAISE`` detection the unlucky philosopher gets a
+    :class:`DeadlockDetectedError`, drops the fork, retries, and the
+    table finishes dinner; the recorded signature immunizes later
+    dinners, which then complete on avoidance alone (tests assert both).
+    """
+    forks = [runtime.lock(f"fork-{index}") for index in range(philosophers)]
+    meals_lock = threading.Lock()
+    outcome = PhilosopherOutcome(0, 0, False)
+
+    def dine(seat: int) -> None:
+        left = forks[seat]
+        right = forks[(seat + 1) % philosophers]
+        eaten = 0
+        while eaten < meals:
+            time.sleep(think_seconds)
+            try:
+                with left:
+                    time.sleep(think_seconds)
+                    with right:
+                        eaten += 1
+                        with meals_lock:
+                            outcome.meals_eaten += 1
+            except DeadlockDetectedError:
+                with meals_lock:
+                    outcome.deadlocks_detected += 1
+                # Back off and retry the meal (forks were released).
+                time.sleep(think_seconds)
+
+    threads = [
+        threading.Thread(target=dine, args=(seat,), name=f"philosopher-{seat}")
+        for seat in range(philosophers)
+    ]
+    for thread in threads:
+        thread.start()
+    deadline = time.monotonic() + join_timeout
+    for thread in threads:
+        thread.join(max(deadline - time.monotonic(), 0.1))
+    outcome.completed = all(not t.is_alive() for t in threads)
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# the MyLock wrapper pathology (§3.2)
+# ----------------------------------------------------------------------
+
+class MyLock:
+    """The paper's cautionary wrapper.
+
+    Every ``lock()`` call funnels through one source position (the
+    ``self._lock.acquire()`` line below). With outer stacks of depth 1,
+    any deadlock through this class produces a signature whose position
+    matches *every* MyLock acquisition in the program — so avoidance
+    serializes them all. With depth ≥ 2, the caller's frame
+    differentiates the sites and the collapse disappears.
+    """
+
+    def __init__(self, runtime: DimmunixRuntime, name: str = "") -> None:
+        self._lock = runtime.lock(name or "mylock")
+
+    def lock(self) -> None:
+        self._lock.acquire()
+
+    def unlock(self) -> None:
+        self._lock.release()
+
+
+@dataclass
+class WrapperPathologyResult:
+    """Throughput through the wrapper before/after a deadlock signature."""
+
+    stack_depth: int
+    syncs_per_sec_clean: float
+    syncs_per_sec_after_deadlock: float
+    yields_after: int
+    runtime: Optional[DimmunixRuntime] = None
+
+    @property
+    def slowdown(self) -> float:
+        if self.syncs_per_sec_after_deadlock == 0:
+            return float("inf")
+        return self.syncs_per_sec_clean / self.syncs_per_sec_after_deadlock
+
+
+def _wrapper_throughput(
+    runtime: DimmunixRuntime,
+    workers: int,
+    iterations: int,
+    spin: int,
+) -> float:
+    """Aggregate rate of uncontended MyLock lock/unlock pairs."""
+    locks = [MyLock(runtime, f"wrapped-{index}") for index in range(workers)]
+
+    def worker(index: int) -> None:
+        mylock = locks[index]  # private lock: no real contention
+        for _ in range(iterations):
+            mylock.lock()
+            for _ in range(spin):
+                pass
+            mylock.unlock()
+
+    threads = [
+        threading.Thread(target=worker, args=(index,))
+        for index in range(workers)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    return workers * iterations / elapsed if elapsed > 0 else 0.0
+
+
+def provoke_wrapper_deadlock(runtime: DimmunixRuntime) -> bool:
+    """Deadlock two threads through MyLock so its position enters history.
+
+    Returns True when a signature was recorded.
+    """
+    a = MyLock(runtime, "pathology-a")
+    b = MyLock(runtime, "pathology-b")
+    before = len(runtime.history)
+    release_order = threading.Barrier(2)
+
+    def one() -> None:
+        try:
+            a.lock()
+            release_order.wait(timeout=5)
+            time.sleep(0.02)
+            b.lock()
+            b.unlock()
+            a.unlock()
+        except DeadlockDetectedError:
+            a.unlock()
+
+    def two() -> None:
+        try:
+            b.lock()
+            release_order.wait(timeout=5)
+            time.sleep(0.02)
+            a.lock()
+            a.unlock()
+            b.unlock()
+        except DeadlockDetectedError:
+            b.unlock()
+
+    threads = [threading.Thread(target=one), threading.Thread(target=two)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(10)
+    return len(runtime.history) > before
+
+
+@dataclass
+class WrapperFalsePositive:
+    """Did avoidance stall an *independent* wrapper acquisition?"""
+
+    stack_depth: int
+    stalled: bool
+    yields: int
+    stall_seconds: float
+
+
+def measure_wrapper_false_positive(
+    runtime: DimmunixRuntime,
+    grace_seconds: float = 0.25,
+    timeout: float = 10.0,
+) -> WrapperFalsePositive:
+    """The crisp form of the §3.2 pathology, with forced overlap.
+
+    After a deadlock through :class:`MyLock` is in the history, thread M
+    holds wrapper lock ``a`` while thread T acquires *unrelated* wrapper
+    lock ``b``. At depth 1 both acquisitions share one position, so the
+    signature instantiates and T is parked until M releases — a pure
+    false positive serializing independent locks. At depth ≥ 2 the caller
+    frames differ and T proceeds immediately.
+
+    Must be called on a runtime where :func:`provoke_wrapper_deadlock`
+    already ran.
+    """
+    a = MyLock(runtime, "fp-a")
+    b = MyLock(runtime, "fp-b")
+    yields_before = runtime.stats.yields
+    stall_seconds: dict = {}
+    attempt_started = threading.Event()
+
+    def independent_user() -> None:
+        attempt_started.set()
+        start = time.perf_counter()
+        b.lock()
+        stall_seconds["value"] = time.perf_counter() - start
+        b.unlock()
+
+    a.lock()
+    try:
+        thread = threading.Thread(target=independent_user, name="fp-user")
+        thread.start()
+        assert attempt_started.wait(timeout)
+        # Hold `a` until T either parks (depth 1) or has clearly sailed
+        # through (depth 2, or T finished).
+        deadline = time.monotonic() + grace_seconds
+        while time.monotonic() < deadline:
+            if runtime.stats.yields > yields_before or "value" in stall_seconds:
+                break
+            time.sleep(0.001)
+    finally:
+        a.unlock()
+    thread.join(timeout)
+    assert not thread.is_alive(), "independent wrapper user never finished"
+    return WrapperFalsePositive(
+        stack_depth=runtime.config.stack_depth,
+        stalled=runtime.stats.yields > yields_before,
+        yields=runtime.stats.yields - yields_before,
+        stall_seconds=stall_seconds.get("value", float("nan")),
+    )
+
+
+def run_wrapper_pathology(
+    stack_depth: int = 1,
+    workers: int = 4,
+    iterations: int = 300,
+    spin: int = 50,
+    yield_timeout: float = 1.0,
+) -> WrapperPathologyResult:
+    """Measure §3.2's pathology at a given outer-stack depth (ablation A1).
+
+    Throughput through independent :class:`MyLock` instances is measured
+    clean, then again after a deadlock through the wrapper put its
+    acquisition position into the history. At depth 1 every wrapper
+    acquisition shares that position, so avoidance serializes them all;
+    at depth ≥ 2 the callers' frames differentiate the sites and the
+    collapse disappears.
+    """
+    runtime = DimmunixRuntime(
+        DimmunixConfig(stack_depth=stack_depth, yield_timeout=yield_timeout),
+        name=f"wrapper-depth{stack_depth}",
+    )
+    clean = _wrapper_throughput(runtime, workers, iterations, spin)
+    if not provoke_wrapper_deadlock(runtime):
+        raise RuntimeError("failed to provoke the wrapper deadlock")
+    yields_before = runtime.stats.yields
+    after = _wrapper_throughput(runtime, workers, iterations, spin)
+    return WrapperPathologyResult(
+        stack_depth=stack_depth,
+        syncs_per_sec_clean=clean,
+        syncs_per_sec_after_deadlock=after,
+        yields_after=runtime.stats.yields - yields_before,
+        runtime=runtime,
+    )
+
+
+# ----------------------------------------------------------------------
+# wait()-induced inversion (§3.2) — deterministic VM scenario
+# ----------------------------------------------------------------------
+
+WAIT_INV_FILE = "WaitInversion.java"
+
+
+def build_wait_inversion_programs(
+    wait_timeout_ticks: Optional[int] = None,
+) -> tuple[Program, Program]:
+    """The paper's two-thread wait() example.
+
+    Thread 1::                      Thread 2::
+        synchronized(x) {               synchronized(x) {
+          synchronized(y) {               synchronized(y) { }
+            x.wait();                   }
+        }}
+
+    Thread 1 parks in ``x.wait()`` *still holding y*. Thread 2 takes
+    ``x``, notifies, then enters ``synchronized(y)`` — and blocks on y
+    while owning x. Thread 1's reacquisition of ``x`` (inside wait)
+    closes the cycle. Only a waitMonitor-level interception sees that
+    reacquisition; bytecode instrumentation cannot (§3.2).
+
+    ``wait_timeout_ticks`` makes thread 1 use ``x.wait(timeout)``. The
+    *untimed* inversion is detectable but not schedule-avoidable: once
+    thread 1 sits in ``x.wait()`` holding ``y``, only thread 2's notify
+    can release it, and parking thread 2 starves them both. With a timed
+    wait (the common real-world pattern), avoidance parks thread 2, the
+    wait times out, thread 1 releases ``y``, and both threads finish —
+    the full detect-then-avoid story.
+    """
+    t1 = ProgramBuilder(WAIT_INV_FILE)
+    t1.monitor_enter("x", line=10)
+    t1.monitor_enter("y", line=11)
+    # releases x only; y stays held
+    t1.wait("x", timeout=wait_timeout_ticks, line=12)
+    t1.monitor_exit("y", line=13)
+    t1.monitor_exit("x", line=14)
+    t1.halt()
+
+    t2 = ProgramBuilder(WAIT_INV_FILE)
+    t2.sleep(30, line=19)          # let thread 1 reach the wait first
+    t2.monitor_enter("x", line=20)
+    t2.notify_all("x", line=21)
+    t2.monitor_enter("y", line=22)
+    t2.monitor_exit("y", line=23)
+    t2.monitor_exit("x", line=24)
+    t2.halt()
+    return t1.build(), t2.build()
+
+
+def run_wait_inversion_vm(
+    vm_config: Optional[VMConfig] = None,
+    history=None,
+    wait_timeout_ticks: Optional[int] = None,
+    max_ticks: int = 100_000,
+) -> DalvikVM:
+    """Run the wait-inversion scenario; returns the finished VM."""
+    vm = DalvikVM(vm_config or VMConfig(), history=history, name="wait-inversion")
+    program_one, program_two = build_wait_inversion_programs(
+        wait_timeout_ticks
+    )
+    vm.spawn(program_one, "waiter")
+    vm.spawn(program_two, "notifier")
+    vm.run(max_ticks=max_ticks)
+    return vm

@@ -1,0 +1,87 @@
+"""Synthetic deadlock signatures for the §5 microbenchmark.
+
+The paper loads a history of 64–256 synthetic signatures "to simulate the
+scenario in which many synchronization statements are involved in
+deadlock bugs" — i.e. the avoidance machinery runs on the hot path
+without actually stalling the workload.
+
+Two generation modes:
+
+* ``partner-miss`` (the benchmark mode): each signature pairs one *live*
+  position (a site the workload really executes) with one position that
+  never occurs. ``signatures_at`` hits, the instantiation check runs, and
+  it always fails fast on the empty partner queue — maximum bookkeeping,
+  zero serialization, which is what lets the paper measure pure overhead.
+* ``hot``: both positions are live sites; instantiation can succeed and
+  threads get parked. Used by stress and liveness tests, not by E1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.callstack import CallStack
+from repro.core.history import History
+from repro.core.position import PositionKey
+from repro.core.signature import DeadlockSignature, SignatureEntry
+
+PARTNER_MISS = "partner-miss"
+HOT = "hot"
+
+
+def _stack_for(key: tuple[str, int], function: str = "synthetic") -> CallStack:
+    file, line = key
+    return CallStack.single(file, line, function)
+
+
+def make_signature(
+    outer_a: tuple[str, int],
+    outer_b: tuple[str, int],
+    inner_tag: int = 0,
+) -> DeadlockSignature:
+    """A two-thread signature with the given outer positions."""
+    inner_a = _stack_for(("<synthetic-inner>", 2 * inner_tag + 1))
+    inner_b = _stack_for(("<synthetic-inner>", 2 * inner_tag + 2))
+    return DeadlockSignature(
+        [
+            SignatureEntry(outer=_stack_for(outer_a), inner=inner_a),
+            SignatureEntry(outer=_stack_for(outer_b), inner=inner_b),
+        ]
+    )
+
+
+def generate_history(
+    live_sites: Sequence[tuple[str, int]],
+    count: int,
+    mode: str = PARTNER_MISS,
+    max_signatures: int = 4096,
+) -> History:
+    """A history of ``count`` synthetic signatures over ``live_sites``.
+
+    Signatures cycle through the live sites so every site is "involved in
+    a deadlock bug"; inner positions are unique per signature so no two
+    signatures deduplicate.
+    """
+    if not live_sites:
+        raise ValueError("need at least one live site")
+    if mode not in (PARTNER_MISS, HOT):
+        raise ValueError(f"unknown mode {mode!r}")
+    if mode == HOT and len(live_sites) < 2:
+        raise ValueError("hot mode needs at least two live sites")
+    history = History(max_signatures=max_signatures)
+    for index in range(count):
+        site = live_sites[index % len(live_sites)]
+        if mode == PARTNER_MISS:
+            partner = ("<never-executed>", index + 1)
+        else:
+            partner = live_sites[(index + 1) % len(live_sites)]
+        history.add(make_signature(site, partner, inner_tag=index))
+    return history
+
+
+def live_site_keys(history: History) -> set[PositionKey]:
+    """All outer position keys present in a history (for assertions)."""
+    keys: set[PositionKey] = set()
+    for signature in history:
+        keys.update(signature.outer_position_keys())
+    return keys

@@ -1,0 +1,126 @@
+"""Tests for windows, profiler, tables, and experiment records."""
+
+import json
+
+import pytest
+
+from repro.analysis.profiler import SyncProfiler
+from repro.analysis.report import ExperimentRecord, emit, within_factor
+from repro.analysis.tables import format_mb, format_pct, render_table
+from repro.analysis.windows import peak_window
+
+
+class TestPeakWindow:
+    def test_picks_densest_interval(self):
+        counts = [1, 1, 10, 10, 10, 1, 1]
+        window = peak_window(counts, bucket_seconds=1.0, window_seconds=3.0)
+        assert (window.start_index, window.end_index) == (2, 5)
+        assert window.rate == pytest.approx(10.0)
+
+    def test_short_trace_uses_everything(self):
+        counts = [5, 5]
+        window = peak_window(counts, 1.0, 30.0)
+        assert window.total_events == 10
+        assert window.seconds == 2.0
+
+    def test_empty_counts(self):
+        window = peak_window([], 1.0, 3.0)
+        assert window.total_events == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            peak_window([1], 0, 3)
+        with pytest.raises(ValueError):
+            peak_window([1], 1, 0)
+
+    def test_tie_prefers_earliest(self):
+        counts = [5, 5, 0, 5, 5]
+        window = peak_window(counts, 1.0, 2.0)
+        assert window.start_index == 0
+
+
+class TestSyncProfiler:
+    def test_bucketing(self):
+        profiler = SyncProfiler(ticks_per_second=100, bucket_seconds=1.0)
+
+        class FakeThread:
+            name = "w"
+
+        thread = FakeThread()
+        for tick in (0, 10, 150, 250, 260):
+            profiler.on_sync(tick, thread)
+        assert profiler.bucket_counts == (2, 1, 2)
+        assert profiler.total_events == 5
+        assert profiler.overall_rate() == pytest.approx(5 / 3)
+
+    def test_peak_window_from_profile(self):
+        profiler = SyncProfiler(ticks_per_second=100, bucket_seconds=1.0)
+
+        class FakeThread:
+            name = "w"
+
+        for tick in range(100, 200, 10):
+            profiler.on_sync(tick, FakeThread())
+        window = profiler.peak_window(1.0)
+        assert window.rate == pytest.approx(10.0)
+
+    def test_attach_to_vm(self):
+        from repro.dalvik.program import ProgramBuilder
+        from repro.dalvik.vm import DalvikVM, VMConfig
+
+        builder = ProgramBuilder("P.java")
+        builder.set_reg("i", 5)
+        builder.label("l")
+        builder.monitor_enter("x", line=3)
+        builder.monitor_exit("x", line=4)
+        builder.loop_dec("i", "l")
+        builder.halt()
+        vm = DalvikVM(VMConfig().vanilla())
+        profiler = SyncProfiler(vm.config.ticks_per_second).attach(vm)
+        vm.spawn(builder.build())
+        vm.run()
+        assert profiler.total_events == 5
+        assert profiler.busiest_threads()[0][1] == 5
+
+
+class TestTables:
+    def test_render_alignment(self):
+        table = render_table(
+            ["App", "Rate"], [["Email", 1952], ["Camera", 309]], title="T1"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T1"
+        assert set(lines[2]) <= {"-", " "}  # separator under the header
+        assert "Email" in lines[3]
+        assert lines[3].index("1952") == lines[4].index(" 309")
+
+    def test_format_helpers(self):
+        assert format_mb(1024 * 1024) == "1.0 MB"
+        assert format_pct(0.0453) == "4.5%"
+
+
+class TestExperimentRecord:
+    def test_render_marks_status(self):
+        record = ExperimentRecord("E1", "overhead", "4-5%", "4.4%", True)
+        assert "[OK ]" in record.render()
+        bad = ExperimentRecord("E1", "overhead", "4-5%", "40%", False)
+        assert "[DIFF]" in bad.render()
+
+    def test_emit_appends_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "results.jsonl"
+        emit(ExperimentRecord("T1", "row", "a", "b", True), path)
+        emit(ExperimentRecord("T2", "row", "c", "d", False), path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["experiment_id"] == "T1"
+        captured = capsys.readouterr()
+        assert "T1" in captured.out
+
+    def test_within_factor(self):
+        assert within_factor(10, 10, 1.5)
+        assert within_factor(14, 10, 1.5)
+        assert not within_factor(16, 10, 1.5)
+        assert within_factor(7, 10, 1.5)
+        assert not within_factor(6, 10, 1.5)
+        assert within_factor(0, 0, 2)
+        assert not within_factor(-1, 10, 2)

@@ -1,0 +1,74 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.analysis.figures import Series, render_figure
+
+
+class TestSeries:
+    def test_of_builds_points(self):
+        series = Series.of("s", [1, 2, 3], [10, 20, 30])
+        assert series.points == ((1, 10), (2, 20), (3, 30))
+
+    def test_of_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="2 x-values vs 3"):
+            Series.of("s", [1, 2], [1, 2, 3])
+
+
+class TestRenderFigure:
+    def test_contains_markers_and_bounds(self):
+        figure = render_figure(
+            [Series.of("overhead", [2, 8, 32], [4.3, 4.4, 4.6])],
+            title="E1",
+            height=8,
+        )
+        lines = figure.splitlines()
+        assert lines[0] == "E1"
+        assert "4.60" in figure and "4.30" in figure
+        assert figure.count("*") == 3
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        figure = render_figure([Series.of("flat", [1, 2], [5, 5])])
+        assert "*" in figure
+
+    def test_two_series_get_distinct_markers_and_legend(self):
+        figure = render_figure(
+            [
+                Series.of("vanilla", [1, 2], [100, 100]),
+                Series.of("dimmunix", [1, 2], [95, 94]),
+            ]
+        )
+        assert "*" in figure and "o" in figure
+        assert "vanilla" in figure and "dimmunix" in figure
+
+    def test_monotone_series_rows_are_ordered(self):
+        """Higher y must land on an earlier (higher) row."""
+        figure = render_figure(
+            [Series.of("s", [1, 2, 3], [1.0, 2.0, 3.0])], height=9, width=30
+        )
+        rows = [
+            index
+            for index, line in enumerate(figure.splitlines())
+            if "*" in line
+        ]
+        assert rows == sorted(rows)
+        first_line = figure.splitlines()[rows[0]]
+        last_line = figure.splitlines()[rows[-1]]
+        # y=3 (max) is plotted on the top-most marked row, at the right.
+        assert first_line.rindex("*") > last_line.rindex("*")
+
+    def test_x_ticks_rendered(self):
+        figure = render_figure(
+            [Series.of("s", [2, 8, 512], [1, 2, 3])], width=40
+        )
+        assert "2" in figure.splitlines()[-1]
+        assert "512" in figure.splitlines()[-1]
+
+    def test_empty_series(self):
+        assert "(no data)" in render_figure([], title="empty")
+
+    def test_explicit_y_bounds(self):
+        figure = render_figure(
+            [Series.of("s", [1, 2], [4.0, 5.0])], y_min=0.0, y_max=10.0
+        )
+        assert "10.00" in figure and "0.00" in figure

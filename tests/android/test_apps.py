@@ -1,0 +1,112 @@
+"""The Table-1 app catalog and workload generator."""
+
+import pytest
+
+from repro.android.apps import (
+    CAMERA,
+    EMAIL,
+    TABLE1_APPS,
+    AppSpec,
+    Phase,
+    app_by_name,
+    build_worker_program,
+    per_sync_budget_ticks,
+    run_app,
+)
+from repro.android.apps.workload import TABLE1_VM_CONFIG
+
+FAST_PROFILE = (Phase(seconds=0.5, intensity=1.0),)
+
+
+class TestCatalog:
+    def test_eight_apps(self):
+        assert len(TABLE1_APPS) == 8
+
+    def test_paper_thread_counts(self):
+        by_name = {spec.name: spec.threads for spec in TABLE1_APPS}
+        assert by_name["Email"] == 46
+        assert by_name["Maps"] == 119
+        assert by_name["Angry Birds"] == 23
+
+    def test_paper_sync_rates_ordered(self):
+        rates = [spec.target_syncs_per_sec for spec in TABLE1_APPS]
+        assert rates == sorted(rates, reverse=True)
+        assert rates[0] == 1952 and rates[-1] == 309
+
+    def test_lookup_by_name(self):
+        assert app_by_name("Email") is EMAIL
+        with pytest.raises(KeyError):
+            app_by_name("TikTok")
+
+
+class TestProgramGeneration:
+    def test_sites_have_distinct_stable_positions(self):
+        program = build_worker_program(CAMERA, TABLE1_VM_CONFIG)
+        sites = program.sync_sites()
+        assert len(sites) == CAMERA.sync_sites
+        assert len({(s.file, s.line) for s in sites}) == CAMERA.sync_sites
+
+    def test_same_spec_same_positions(self):
+        one = build_worker_program(CAMERA, TABLE1_VM_CONFIG)
+        two = build_worker_program(CAMERA, TABLE1_VM_CONFIG)
+        keys = lambda p: [(s.file, s.line) for s in p.sync_sites()]
+        assert keys(one) == keys(two)
+
+    def test_budget_respects_target_rate(self):
+        budget = per_sync_budget_ticks(EMAIL, TABLE1_VM_CONFIG)
+        expected = TABLE1_VM_CONFIG.ticks_per_second / EMAIL.target_syncs_per_sec
+        assert budget == pytest.approx(expected, rel=0.02)
+
+    def test_idle_phase_emits_sleep(self):
+        program = build_worker_program(
+            CAMERA,
+            TABLE1_VM_CONFIG,
+            phases=(Phase(0.2, 1.0), Phase(0.1, 0.0), Phase(0.2, 1.0)),
+        )
+        from repro.dalvik import instructions as ins
+
+        sleeps = [
+            i for i in program.instructions if isinstance(i, ins.Sleep)
+        ]
+        assert len(sleeps) == 1
+
+
+class TestWorkloadRun:
+    def test_app_completes_and_hits_rate_band(self):
+        result = run_app(CAMERA, dimmunix=False, phases=FAST_PROFILE)
+        assert result.run.status == "completed"
+        rate = result.peak_syncs_per_sec
+        assert 0.7 * CAMERA.target_syncs_per_sec <= rate <= 1.4 * CAMERA.target_syncs_per_sec
+
+    def test_dimmunix_run_detects_nothing(self):
+        result = run_app(CAMERA, dimmunix=True, phases=FAST_PROFILE)
+        assert result.run.status == "completed"
+        assert result.run.detections == ()
+
+    def test_thread_count_matches_spec(self):
+        result = run_app(CAMERA, dimmunix=False, phases=FAST_PROFILE)
+        assert len(result.vm.threads) == CAMERA.threads
+
+    def test_dimmunix_tracks_structures(self):
+        result = run_app(CAMERA, dimmunix=True, phases=FAST_PROFILE)
+        core = result.vm.core
+        snapshot = core.snapshot()
+        assert snapshot.threads == CAMERA.threads
+        assert snapshot.positions >= CAMERA.sync_sites
+        assert result.vm.heap.monitor_count() > 0
+
+    def test_vanilla_keeps_locks_thin(self):
+        """Random locks = (almost) no contention = thin locks throughout.
+
+        A rare same-object collision may inflate a monitor or two (the
+        worker is preempted inside a critical section); the asymmetry
+        that matters for E2 is vanilla ~0 vs Dimmunix fattening *every*
+        locked object.
+        """
+        vanilla = run_app(CAMERA, dimmunix=False, phases=FAST_PROFILE)
+        immunized = run_app(CAMERA, dimmunix=True, phases=FAST_PROFILE)
+        assert vanilla.vm.heap.monitor_count() <= 3
+        assert (
+            immunized.vm.heap.monitor_count()
+            >= 20 * max(vanilla.vm.heap.monitor_count(), 1)
+        )

@@ -1,0 +1,93 @@
+"""Unit tests for the binder transaction model and system_server wiring."""
+
+from repro.android.binder import (
+    BinderThreadPool,
+    BinderTransaction,
+    build_worker_program,
+)
+from repro.android.system_server import start_system_server
+from repro.dalvik.vm import DalvikVM, VMConfig
+
+
+def _noop_service(builder) -> None:
+    builder.function("noop")
+    builder.compute(2)
+    builder.ret()
+
+
+class TestBinderTransactions:
+    def test_worker_executes_each_stream(self):
+        vm = DalvikVM(VMConfig().vanilla())
+        pool = BinderThreadPool(vm)
+        worker = pool.submit(
+            [
+                BinderTransaction("noop", count=3, gap_ticks=1),
+                BinderTransaction("noop", count=2, gap_ticks=1),
+            ],
+            [_noop_service],
+        )
+        result = vm.run()
+        assert result.status == "completed"
+        assert worker.state.value == "terminated"
+
+    def test_initial_delay_defers_first_call(self):
+        vm = DalvikVM(VMConfig().vanilla())
+        pool = BinderThreadPool(vm)
+
+        def touch_service(builder) -> None:
+            builder.function("touch")
+            builder.monitor_enter("binder.obj", line=200)
+            builder.monitor_exit("binder.obj", line=201)
+            builder.ret()
+
+        pool.submit(
+            [BinderTransaction("touch", count=1, initial_delay_ticks=500)],
+            [touch_service],
+        )
+        ticks_at_sync = []
+        vm.sync_hook = lambda clock, thread: ticks_at_sync.append(clock)
+        result = vm.run()
+        assert result.status == "completed"
+        assert ticks_at_sync and ticks_at_sync[0] >= 500
+
+    def test_pool_names_workers_sequentially(self):
+        vm = DalvikVM(VMConfig().vanilla())
+        pool = BinderThreadPool(vm, name_prefix="Binder")
+        first = pool.submit([BinderTransaction("noop")], [_noop_service])
+        second = pool.submit([BinderTransaction("noop")], [_noop_service])
+        assert (first.name, second.name) == ("Binder-1", "Binder-2")
+        assert pool.workers == (first, second)
+
+    def test_program_requires_named_functions(self):
+        import pytest
+
+        from repro.errors import ProgramError
+
+        with pytest.raises(ProgramError, match="unresolved function"):
+            build_worker_program([BinderTransaction("missing")], [])
+
+
+class TestSystemServerComposition:
+    def test_threads_present_and_named(self):
+        vm = DalvikVM(VMConfig().vanilla())
+        server = start_system_server(vm, notifications=1, expands=1, renders=1)
+        names = {thread.name for thread in vm.threads}
+        assert server.binder_worker.name in names
+        assert len(vm.threads) == 3  # binder worker, handler, UI thread
+
+    def test_no_overlap_no_freeze_vanilla(self):
+        """§1: the phone may freeze when the user expands the status bar
+        *while* notifications are sent. Delay the notification stream
+        past the expansion phase and the same vanilla process finishes —
+        the bug is the overlap, not either activity alone."""
+        vm = DalvikVM(VMConfig(seed=1).vanilla())
+        server = start_system_server(
+            vm,
+            notifications=4,
+            expands=2,
+            renders=1,
+            binder_delay=100_000,
+        )
+        result = vm.run(max_ticks=400_000)
+        assert result.status == "completed"
+        assert not server.ui_blocked

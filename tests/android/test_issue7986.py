@@ -1,0 +1,74 @@
+"""The paper's case study (E4): detect once, then immune across reboot."""
+
+from repro.android.issue7986 import (
+    demonstrate_immunity,
+    run_once,
+    run_vanilla,
+)
+from repro.dalvik.vm import DalvikVM, VMConfig
+
+
+class TestVanillaBaseline:
+    def test_vanilla_freezes_with_ui_blocked(self):
+        outcome = run_vanilla()
+        assert outcome.frozen
+        assert outcome.ui_blocked
+        assert outcome.detections == ()
+
+    def test_vanilla_stall_names_the_services(self):
+        outcome = run_vanilla()
+        cycle = set(outcome.run.stall["cycle"])
+        assert "StatusBarService$H" in cycle
+        assert "Binder-1" in cycle
+
+
+class TestImmunityStory:
+    def test_full_story(self, tmp_path):
+        first, second = demonstrate_immunity(tmp_path)
+        # Boot 1: the phone hangs once; the signature is recorded.
+        assert first.frozen
+        assert first.ui_blocked
+        assert len(first.detections) == 1
+        # The persistent history survived the freeze.
+        assert (tmp_path / "system_server.history").exists()
+        # Boot 2: same workload, no deadlock, no user intervention.
+        assert second.completed
+        assert not second.ui_blocked
+        assert second.detections == ()
+        assert second.yields >= 1
+
+    def test_signature_involves_both_services(self, tmp_path):
+        first, _second = demonstrate_immunity(tmp_path)
+        signature = first.detections[0]
+        files = {key[0][0] for key in signature.outer_position_keys()}
+        assert any("NotificationManagerService" in f for f in files)
+        assert any("StatusBarService" in f for f in files)
+
+    def test_third_boot_remains_immune(self, tmp_path):
+        from repro.dalvik.zygote import Zygote
+
+        zygote = Zygote(VMConfig(), history_dir=tmp_path)
+        first = run_once(zygote.fork("system_server"))
+        assert first.frozen
+        for _boot in range(2):
+            again = run_once(zygote.fork("system_server"))
+            assert again.completed
+            assert again.detections == ()
+
+    def test_fresh_history_means_fresh_freeze(self, tmp_path):
+        """Immunity comes from the history, not from luck: wiping the
+        history reintroduces the hang."""
+        first, second = demonstrate_immunity(tmp_path / "a")
+        assert first.frozen and second.completed
+        third, _fourth = demonstrate_immunity(tmp_path / "b")
+        assert third.frozen
+
+
+class TestScenarioShape:
+    def test_dimmunix_boot1_matches_vanilla_schedule(self):
+        """Both images reach the deadlock; Dimmunix just records it."""
+        vanilla = run_vanilla()
+        vm = DalvikVM(VMConfig(), name="system_server")
+        immunized = run_once(vm)
+        assert vanilla.frozen and immunized.frozen
+        assert immunized.detections

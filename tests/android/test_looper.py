@@ -1,0 +1,85 @@
+"""Unit tests for the Looper/MessageQueue substrate."""
+
+from repro.android.looper import (
+    MessageQueue,
+    emit_message_loop,
+    emit_send_message,
+)
+from repro.dalvik.program import ProgramBuilder
+from repro.dalvik.vm import DalvikVM, VMConfig
+
+
+def run_scenario(senders=1, messages_each=3, dimmunix=False):
+    queue = MessageQueue("TQ")
+    config = VMConfig() if dimmunix else VMConfig().vanilla()
+    vm = DalvikVM(config)
+
+    handler = ProgramBuilder("Handler.java")
+    emit_message_loop(
+        handler,
+        queue,
+        "on_message",
+        messages_to_handle=senders * messages_each,
+    )
+    handler.halt()
+    handler.function("on_message")
+    handler.add_reg("g:handled", 1, line=300)
+    handler.ret(line=301)
+    vm.spawn(handler.build(), "handler")
+
+    sender = ProgramBuilder("Sender.java")
+    sender.set_reg("n", messages_each)
+    sender.label("send_loop")
+    emit_send_message(sender, queue, line_base=400)
+    sender.compute(6)
+    sender.loop_dec("n", "send_loop")
+    sender.halt()
+    for index in range(senders):
+        vm.spawn(sender.build(), f"sender-{index}")
+
+    result = vm.run(max_ticks=500_000)
+    return vm, result
+
+
+class TestMessageLoop:
+    def test_single_sender_all_messages_handled(self):
+        vm, result = run_scenario(senders=1, messages_each=3)
+        assert result.status == "completed"
+        assert vm.globals["g:handled"] == 3
+
+    def test_multiple_senders(self):
+        vm, result = run_scenario(senders=3, messages_each=2)
+        assert result.status == "completed"
+        assert vm.globals["g:handled"] == 6
+
+    def test_handler_waits_when_queue_empty(self):
+        """Messages arrive after the handler started waiting."""
+        queue = MessageQueue("LQ")
+        vm = DalvikVM(VMConfig().vanilla())
+        handler = ProgramBuilder("Handler.java")
+        emit_message_loop(handler, queue, "on_message", messages_to_handle=1)
+        handler.halt()
+        handler.function("on_message")
+        handler.add_reg("g:handled", 1, line=300)
+        handler.ret(line=301)
+        vm.spawn(handler.build(), "handler")
+
+        late_sender = ProgramBuilder("Sender.java")
+        late_sender.sleep(200)
+        emit_send_message(late_sender, queue, line_base=400)
+        late_sender.halt()
+        vm.spawn(late_sender.build(), "late")
+        result = vm.run(max_ticks=100_000)
+        assert result.status == "completed"
+        assert vm.globals["g:handled"] == 1
+
+    def test_runs_under_dimmunix(self):
+        vm, result = run_scenario(senders=2, messages_each=2, dimmunix=True)
+        assert result.status == "completed"
+        assert vm.globals["g:handled"] == 4
+        assert result.detections == ()
+
+    def test_queue_names(self):
+        queue = MessageQueue("SBS")
+        assert queue.lock_object == "SBS.mQueue"
+        assert queue.depth_global == "g:SBS.depth"

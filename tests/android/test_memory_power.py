@@ -1,0 +1,98 @@
+"""Memory (E2) and power (E3) model tests."""
+
+import pytest
+
+from repro.android.apps import CAMERA, Phase, run_app_pair
+from repro.android.memory import (
+    AppMemoryRow,
+    estimated_system_process_overhead_bytes,
+    measure_pair,
+    system_report,
+)
+from repro.android.power import PowerAttribution, PowerModel, attribute
+
+FAST_PROFILE = (Phase(seconds=0.5, intensity=1.0),)
+
+
+class TestAppMemory:
+    def test_overhead_positive_and_small(self):
+        with_dim, without = run_app_pair(CAMERA, phases=FAST_PROFILE)
+        row = measure_pair(CAMERA, with_dim, without)
+        assert row.dimmunix_mb > row.vanilla_mb
+        assert 0.0 < row.overhead_pct < 10.0
+
+    def test_row_carries_table1_columns(self):
+        with_dim, without = run_app_pair(CAMERA, phases=FAST_PROFILE)
+        row = measure_pair(CAMERA, with_dim, without)
+        assert row.name == "Camera"
+        assert row.threads == 26
+        assert row.vanilla_mb == CAMERA.vanilla_mb
+
+
+class TestSystemReport:
+    @staticmethod
+    def synthetic_rows():
+        return [
+            AppMemoryRow("A", 10, 500.0, vanilla_mb=20.0, dimmunix_mb=20.8),
+            AppMemoryRow("B", 20, 900.0, vanilla_mb=30.0, dimmunix_mb=31.0),
+        ]
+
+    def test_totals(self):
+        report = system_report(
+            self.synthetic_rows(), os_base_mb=100.0, system_overhead_mb=5.0
+        )
+        assert report.vanilla_total_mb == pytest.approx(150.0)
+        assert report.dimmunix_total_mb == pytest.approx(156.8)
+
+    def test_percent_of_device(self):
+        report = system_report(
+            self.synthetic_rows(),
+            os_base_mb=100.0,
+            system_overhead_mb=5.0,
+            device_mb=512.0,
+        )
+        assert report.vanilla_pct == pytest.approx(150.0 / 512.0 * 100)
+        assert report.dimmunix_pct > report.vanilla_pct
+
+    def test_default_system_overhead_estimate(self):
+        report = system_report(self.synthetic_rows())
+        assert report.system_overhead_mb > 0
+        per_process = estimated_system_process_overhead_bytes()
+        assert report.system_overhead_mb == pytest.approx(
+            14 * per_process / (1024 * 1024)
+        )
+
+
+class TestPowerModel:
+    def test_attribution_basics(self):
+        attribution = attribute(
+            busy_ticks=48_000,
+            wall_ticks=100_000,
+            ticks_per_second=100_000,
+        )
+        assert attribution.duty_cycle == pytest.approx(0.48)
+        assert 10 <= attribution.apps_percent <= 20
+
+    def test_zero_wall_time(self):
+        attribution = attribute(0, 0, 100_000)
+        assert attribution.apps_percent == 0
+
+    def test_small_cpu_overhead_invisible_after_rounding(self):
+        """The paper's E3 claim: +4-5% CPU does not move the battery
+        screen's whole-percent attribution."""
+        base = attribute(48_000, 100_000, 100_000)
+        plus_5pct = attribute(50_400, 102_400, 100_000)
+        assert base.apps_percent == plus_5pct.apps_percent
+
+    def test_custom_model(self):
+        hungry_cpu = PowerModel(cpu_active_mw=2000.0)
+        attribution = attribute(50_000, 100_000, 100_000, hungry_cpu)
+        assert attribution.apps_percent > 40
+
+    def test_energy_accounting(self):
+        model = PowerModel(cpu_active_mw=100.0, cpu_idle_mw=0.0, baseline_mw=900.0)
+        attribution = attribute(50_000, 100_000, 100_000, model)
+        # 0.5s * 100mW = 50 mJ CPU; 1s * 900 mW baseline.
+        assert attribution.cpu_energy_mj == pytest.approx(50.0)
+        assert attribution.total_energy_mj == pytest.approx(950.0)
+        assert attribution.apps_percent == round(50 / 950 * 100)

@@ -1,0 +1,66 @@
+"""Phone simulator tests: per-process isolation (Figure 1) and the
+paired Table-1 runs."""
+
+from repro.android.apps import CAMERA, TALK, Phase
+from repro.android.phone import PhoneSimulator, run_table1_phone_pair
+from repro.dalvik.zygote import Zygote
+from repro.dalvik.vm import VMConfig
+
+FAST_PROFILE = (Phase(seconds=0.4, intensity=1.0),)
+
+
+class TestPhoneSimulator:
+    def test_launch_app_records_result(self):
+        phone = PhoneSimulator(immunized=True)
+        result = phone.launch_app(CAMERA, phases=FAST_PROFILE)
+        assert result.run.status == "completed"
+        assert phone.results()["Camera"] is result
+
+    def test_vanilla_phone_runs_without_core(self):
+        phone = PhoneSimulator(immunized=False)
+        result = phone.launch_app(CAMERA, phases=FAST_PROFILE)
+        assert result.vm.core is None
+
+    def test_power_attribution_over_apps(self):
+        phone = PhoneSimulator(immunized=True)
+        phone.launch_app(CAMERA, phases=FAST_PROFILE)
+        attribution = phone.power_attribution()
+        assert attribution.wall_seconds > 0
+        assert 0 < attribution.apps_fraction < 1
+
+
+class TestZygoteIsolation:
+    def test_processes_have_isolated_dimmunix_instances(self, tmp_path):
+        """Figure 1: each forked process gets its own Dimmunix data."""
+        zygote = Zygote(VMConfig(), history_dir=tmp_path)
+        proc_a = zygote.fork("com.android.email")
+        proc_b = zygote.fork("com.android.browser")
+        assert proc_a.core is not proc_b.core
+        assert proc_a.core.history is not proc_b.core.history
+        assert (
+            proc_a.core.config.history_path
+            != proc_b.core.config.history_path
+        )
+
+    def test_fork_count(self, tmp_path):
+        zygote = Zygote(VMConfig(), history_dir=tmp_path)
+        zygote.fork("a")
+        zygote.fork("b")
+        assert zygote.fork_count == 2
+
+    def test_vanilla_zygote_forks_without_dimmunix(self):
+        zygote = Zygote(VMConfig().vanilla())
+        assert zygote.fork("a").core is None
+
+
+class TestTable1Pair:
+    def test_pair_produces_rows_for_each_app(self):
+        rows, report, immunized, vanilla = run_table1_phone_pair(
+            [CAMERA, TALK], phases=FAST_PROFILE
+        )
+        assert [row.name for row in rows] == ["Camera", "Talk"]
+        for row in rows:
+            assert row.dimmunix_mb > row.vanilla_mb
+        assert report.dimmunix_pct > report.vanilla_pct
+        assert set(immunized.results()) == {"Camera", "Talk"}
+        assert set(vanilla.results()) == {"Camera", "Talk"}

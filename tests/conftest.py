@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.config import DetectionPolicy, DimmunixConfig
+from repro.runtime.runtime import DimmunixRuntime, reset_runtime
+
+
+@pytest.fixture(autouse=True)
+def _fast_gil_switching():
+    """Shorten GIL slices so multi-thread tests interleave promptly."""
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(0.0005)
+    yield
+    sys.setswitchinterval(previous)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_runtime():
+    """Isolate tests that touch the process-default runtime."""
+    reset_runtime()
+    yield
+    reset_runtime()
+
+
+@pytest.fixture
+def raise_config() -> DimmunixConfig:
+    """The test-friendly config: detection raises instead of hanging."""
+    return DimmunixConfig(
+        detection_policy=DetectionPolicy.RAISE, yield_timeout=1.0
+    )
+
+
+@pytest.fixture
+def runtime(raise_config) -> DimmunixRuntime:
+    return DimmunixRuntime(raise_config, name="test")
+
+
+def make_runtime(history=None, **overrides) -> DimmunixRuntime:
+    """Helper for tests needing several runtimes sharing a history."""
+    config = DimmunixConfig(
+        detection_policy=DetectionPolicy.RAISE, yield_timeout=1.0
+    ).with_overrides(**overrides)
+    return DimmunixRuntime(config, history=history, name="test")

@@ -1,0 +1,135 @@
+"""Unit tests for signature instantiation matching."""
+
+from repro.core.avoidance import InstantiationChecker
+from repro.core.callstack import CallStack
+from repro.core.node import LockNode, ThreadNode
+from repro.core.position import PositionTable
+from repro.core.signature import DeadlockSignature, SignatureEntry
+from repro.core.stats import DimmunixStats
+
+
+def make_signature(*outer_lines):
+    return DeadlockSignature(
+        [
+            SignatureEntry(
+                CallStack.single("av.py", line),
+                CallStack.single("av.py", line + 100),
+            )
+            for line in outer_lines
+        ]
+    )
+
+
+class Setup:
+    def __init__(self):
+        self.table = PositionTable()
+        self.stats = DimmunixStats()
+        self.checker = InstantiationChecker(self.table, self.stats)
+
+    def occupy(self, line, thread, lock):
+        position = self.table.intern(CallStack.single("av.py", line))
+        position.queue.add(thread, lock)
+        return position
+
+
+class TestWouldInstantiate:
+    def test_full_occupancy_matches(self):
+        setup = Setup()
+        sig = make_signature(1, 2)
+        setup.occupy(1, ThreadNode("a"), LockNode("x"))
+        setup.occupy(2, ThreadNode("b"), LockNode("y"))
+        witnesses = setup.checker.would_instantiate(sig)
+        assert witnesses is not None
+        assert len(witnesses) == 2
+
+    def test_missing_position_no_match(self):
+        setup = Setup()
+        sig = make_signature(1, 2)
+        setup.occupy(1, ThreadNode("a"), LockNode("x"))
+        assert setup.checker.would_instantiate(sig) is None
+
+    def test_empty_queue_no_match(self):
+        setup = Setup()
+        sig = make_signature(1, 2)
+        thread, lock = ThreadNode("a"), LockNode("x")
+        position = setup.occupy(1, thread, lock)
+        setup.occupy(2, ThreadNode("b"), LockNode("y"))
+        position.queue.remove(thread, lock)
+        assert setup.checker.would_instantiate(sig) is None
+
+    def test_same_thread_cannot_fill_two_roles(self):
+        """Distinct threads are required: one thread at both positions is
+        not a deadlock (it would be a self-deadlock, a different bug)."""
+        setup = Setup()
+        sig = make_signature(1, 2)
+        thread = ThreadNode("a")
+        setup.occupy(1, thread, LockNode("x"))
+        setup.occupy(2, thread, LockNode("y"))
+        assert setup.checker.would_instantiate(sig) is None
+
+    def test_same_lock_cannot_fill_two_roles(self):
+        setup = Setup()
+        sig = make_signature(1, 2)
+        lock = LockNode("x")
+        setup.occupy(1, ThreadNode("a"), lock)
+        setup.occupy(2, ThreadNode("b"), lock)
+        assert setup.checker.would_instantiate(sig) is None
+
+    def test_backtracking_finds_valid_assignment(self):
+        """Greedy would fail: thread A is in both queues; matching must
+        route A to one slot and B to the other."""
+        setup = Setup()
+        sig = make_signature(1, 2)
+        thread_a, thread_b = ThreadNode("a"), ThreadNode("b")
+        lock_x, lock_y = LockNode("x"), LockNode("y")
+        # Queue at 1: most-recent-first iteration sees (a, x) first.
+        setup.occupy(1, thread_b, lock_y)
+        setup.occupy(1, thread_a, lock_x)
+        # Queue at 2: only (a, x) — so slot 1 must pick (b, y).
+        setup.occupy(2, thread_a, lock_x)
+        witnesses = setup.checker.would_instantiate(sig)
+        assert witnesses is not None
+        chosen = dict((t.name, l.name) for t, l in witnesses)
+        assert chosen == {"b": "y", "a": "x"}
+
+    def test_repeated_position_needs_two_occupants(self):
+        """A signature may have the same outer position twice (two threads
+        deadlocking through one site); instantiation then needs two
+        distinct occupants of that one queue."""
+        setup = Setup()
+        sig = make_signature(7, 7)
+        thread_a = ThreadNode("a")
+        setup.occupy(7, thread_a, LockNode("x"))
+        assert setup.checker.would_instantiate(sig) is None
+        setup.occupy(7, ThreadNode("b"), LockNode("y"))
+        assert setup.checker.would_instantiate(sig) is not None
+
+    def test_three_entry_signature(self):
+        setup = Setup()
+        sig = make_signature(1, 2, 3)
+        setup.occupy(1, ThreadNode("a"), LockNode("x"))
+        setup.occupy(2, ThreadNode("b"), LockNode("y"))
+        assert setup.checker.would_instantiate(sig) is None
+        setup.occupy(3, ThreadNode("c"), LockNode("z"))
+        witnesses = setup.checker.would_instantiate(sig)
+        assert witnesses is not None and len(witnesses) == 3
+
+    def test_witnesses_in_entry_order(self):
+        setup = Setup()
+        sig = make_signature(1, 2)
+        thread_a, lock_x = ThreadNode("a"), LockNode("x")
+        thread_b, lock_y = ThreadNode("b"), LockNode("y")
+        setup.occupy(1, thread_a, lock_x)
+        setup.occupy(2, thread_b, lock_y)
+        witnesses = setup.checker.would_instantiate(sig)
+        assert witnesses[0] == (thread_a, lock_x)
+        assert witnesses[1] == (thread_b, lock_y)
+
+    def test_stats_counted(self):
+        setup = Setup()
+        sig = make_signature(1, 2)
+        setup.occupy(1, ThreadNode("a"), LockNode("x"))
+        setup.occupy(2, ThreadNode("b"), LockNode("y"))
+        setup.checker.would_instantiate(sig)
+        assert setup.stats.instantiation_checks == 1
+        assert setup.stats.matching_steps >= 2

@@ -1,0 +1,139 @@
+"""Property tests for the instantiation checker against a brute-force oracle.
+
+``would_instantiate`` is the heart of avoidance (§2.2): a signature with
+outer positions p1..pn is instantiable iff one queue entry can be chosen
+per position such that the chosen threads are pairwise distinct and the
+chosen locks are pairwise distinct. The checker implements a pruned
+backtracking search; the oracle below enumerates *all* assignments via
+itertools, so any missed or invented instantiation is caught.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DimmunixConfig
+from repro.core.callstack import CallStack
+from repro.core.engine import DimmunixCore
+from repro.core.signature import DeadlockSignature, SignatureEntry
+
+POSITIONS = 3
+THREADS = 4
+LOCKS = 4
+
+
+def _stack(position_index: int) -> CallStack:
+    return CallStack.single("oracle.py", 100 + position_index)
+
+
+def _signature(position_indices: tuple[int, ...]) -> DeadlockSignature:
+    inner = CallStack.single("<inner>", 1)
+    return DeadlockSignature(
+        [
+            SignatureEntry(outer=_stack(index), inner=inner)
+            for index in position_indices
+        ]
+    )
+
+
+def _oracle(
+    occupancy: dict[int, list[tuple[int, int]]],
+    position_indices: tuple[int, ...],
+) -> bool:
+    """Enumerate every per-position choice of (thread, lock) entries."""
+    pools = []
+    for index in position_indices:
+        pool = occupancy.get(index, [])
+        if not pool:
+            return False
+        pools.append(pool)
+    for combo in itertools.product(*pools):
+        threads = [thread for thread, _lock in combo]
+        locks = [lock for _thread, lock in combo]
+        if len(set(threads)) == len(combo) and len(set(locks)) == len(combo):
+            return True
+    return False
+
+
+# occupancy: which (thread, lock) pairs sit in which position's queue.
+occupancies = st.dictionaries(
+    keys=st.integers(0, POSITIONS - 1),
+    values=st.lists(
+        st.tuples(st.integers(0, THREADS - 1), st.integers(0, LOCKS - 1)),
+        max_size=4,
+        unique=True,
+    ),
+    max_size=POSITIONS,
+)
+
+signature_shapes = st.lists(
+    st.integers(0, POSITIONS - 1), min_size=1, max_size=3
+).map(tuple)
+
+
+def _build_state(occupancy):
+    """Materialize queue occupancy in a fresh engine.
+
+    Each (thread, lock) pair is installed as a *hold* at its position —
+    the "holds or is allowed to wait for" relation the queues record. A
+    thread can hold many locks, but one lock has one holder; duplicate
+    lock uses are dropped (and mirrored into the oracle's view).
+    """
+    core = DimmunixCore(DimmunixConfig())
+    threads = [core.register_thread(f"t{i}") for i in range(THREADS)]
+    locks = [core.register_lock(f"l{i}") for i in range(LOCKS)]
+    effective: dict[int, list[tuple[int, int]]] = {}
+    used_locks: set[int] = set()
+    for position_index, entries in sorted(occupancy.items()):
+        for thread_index, lock_index in entries:
+            if lock_index in used_locks:
+                continue
+            used_locks.add(lock_index)
+            core.request(
+                threads[thread_index],
+                locks[lock_index],
+                _stack(position_index),
+            )
+            core.acquired(threads[thread_index], locks[lock_index])
+            effective.setdefault(position_index, []).append(
+                (thread_index, lock_index)
+            )
+    # Intern every position so absent queues exist as empty (not None).
+    for index in range(POSITIONS):
+        core.positions.intern(_stack(index))
+    return core, effective
+
+
+@given(occupancy=occupancies, shape=signature_shapes)
+@settings(max_examples=300, deadline=None)
+def test_checker_agrees_with_bruteforce(occupancy, shape):
+    core, effective = _build_state(occupancy)
+    signature = _signature(shape)
+    witnesses = core.checker.would_instantiate(signature)
+    expected = _oracle(effective, shape)
+    assert (witnesses is not None) == expected
+
+
+@given(occupancy=occupancies, shape=signature_shapes)
+@settings(max_examples=200, deadline=None)
+def test_witnesses_are_valid(occupancy, shape):
+    """Any returned witness must itself be a valid instantiation."""
+    core, effective = _build_state(occupancy)
+    witnesses = core.checker.would_instantiate(_signature(shape))
+    if witnesses is None:
+        return
+    assert len(witnesses) == len(shape)
+    thread_ids = [thread.node_id for thread, _lock in witnesses]
+    lock_ids = [lock.node_id for _thread, lock in witnesses]
+    assert len(set(thread_ids)) == len(witnesses)
+    assert len(set(lock_ids)) == len(witnesses)
+    # Each witness entry must really sit in its position's queue.
+    for position_index, (thread, lock) in zip(shape, witnesses):
+        position = core.positions.get(((("oracle.py", 100 + position_index)),) )
+        assert position is not None
+        assert any(
+            queued_thread is thread and queued_lock is lock
+            for queued_thread, queued_lock in position.queue.entries()
+        )

@@ -1,0 +1,73 @@
+"""Unit tests for frames and call stacks."""
+
+import pytest
+
+from repro.core.callstack import EMPTY_STACK, CallStack, Frame
+
+
+class TestFrame:
+    def test_key_ignores_function_name(self):
+        a = Frame("file.py", 10, "f")
+        b = Frame("file.py", 10, "g")
+        assert a.key() == b.key()
+
+    def test_json_roundtrip(self):
+        frame = Frame("app.py", 42, "handler")
+        assert Frame.from_json(frame.to_json()) == frame
+
+    def test_str_contains_location(self):
+        text = str(Frame("app.py", 42, "handler"))
+        assert "app.py:42" in text
+        assert "handler" in text
+
+
+class TestCallStack:
+    def test_top_is_innermost(self):
+        stack = CallStack([Frame("a.py", 1, "inner"), Frame("b.py", 2, "outer")])
+        assert stack.top().function == "inner"
+
+    def test_top_of_empty_raises(self):
+        with pytest.raises(IndexError):
+            EMPTY_STACK.top()
+
+    def test_truncated_keeps_innermost(self):
+        stack = CallStack(
+            [Frame("a.py", 1), Frame("b.py", 2), Frame("c.py", 3)]
+        )
+        truncated = stack.truncated(1)
+        assert truncated.depth == 1
+        assert truncated.top().file == "a.py"
+
+    def test_truncated_deeper_than_stack_is_identity(self):
+        stack = CallStack([Frame("a.py", 1)])
+        assert stack.truncated(5) is stack
+
+    def test_truncated_zero_raises(self):
+        with pytest.raises(ValueError):
+            CallStack([Frame("a.py", 1)]).truncated(0)
+
+    def test_equality_by_position_not_function(self):
+        a = CallStack([Frame("a.py", 1, "f")])
+        b = CallStack([Frame("a.py", 1, "other_name")])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_by_line(self):
+        assert CallStack([Frame("a.py", 1)]) != CallStack([Frame("a.py", 2)])
+
+    def test_json_roundtrip(self):
+        stack = CallStack([Frame("a.py", 1, "f"), Frame("b.py", 2, "g")])
+        assert CallStack.from_json(stack.to_json()) == stack
+
+    def test_single_constructor(self):
+        stack = CallStack.single("x.py", 7, "go")
+        assert stack.depth == 1
+        assert stack.key() == (("x.py", 7),)
+
+    def test_iteration_order(self):
+        frames = [Frame("a.py", 1), Frame("b.py", 2)]
+        assert list(CallStack(frames)) == frames
+
+    def test_len(self):
+        assert len(CallStack.single("a.py", 1)) == 1
+        assert len(EMPTY_STACK) == 0

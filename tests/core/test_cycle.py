@@ -1,0 +1,176 @@
+"""Unit tests for the cycle detectors."""
+
+from repro.core.callstack import CallStack
+from repro.core.cycle import (
+    find_any_lock_cycle,
+    find_extended_cycle,
+    find_lock_cycle,
+)
+from repro.core.node import LockNode, ThreadNode
+from repro.core.position import PositionTable
+from repro.core.rag import ResourceAllocationGraph
+
+
+def stack(line):
+    return CallStack.single("cycle.py", line)
+
+
+class Fixture:
+    """A RAG with helpers to wire edges concisely."""
+
+    def __init__(self, threads=4, locks=4):
+        self.rag = ResourceAllocationGraph()
+        self.table = PositionTable()
+        self.threads = [ThreadNode(f"t{i}") for i in range(threads)]
+        self.locks = [LockNode(f"l{i}") for i in range(locks)]
+        for thread in self.threads:
+            self.rag.add_thread(thread)
+        for lock in self.locks:
+            self.rag.add_lock(lock)
+
+    def hold(self, t, l, line=1):
+        s = stack(line)
+        self.rag.set_hold(self.threads[t], self.locks[l], self.table.intern(s), s)
+
+    def request(self, t, l, line=2):
+        s = stack(line)
+        self.rag.set_request(self.threads[t], self.locks[l], self.table.intern(s), s)
+
+
+class TestFindLockCycle:
+    def test_two_thread_cycle(self):
+        fx = Fixture()
+        fx.hold(0, 0)
+        fx.hold(1, 1)
+        fx.request(1, 0)
+        fx.request(0, 1)  # closes the cycle
+        cycle = find_lock_cycle(fx.threads[0], fx.locks[1])
+        assert cycle is not None
+        assert len(cycle) == 2
+        assert set(cycle.threads) == {fx.threads[0], fx.threads[1]}
+
+    def test_no_cycle_when_lock_free(self):
+        fx = Fixture()
+        fx.hold(0, 0)
+        fx.request(0, 1)
+        assert find_lock_cycle(fx.threads[0], fx.locks[1]) is None
+
+    def test_chain_without_cycle(self):
+        fx = Fixture()
+        fx.hold(1, 1)
+        fx.hold(2, 2)
+        fx.request(1, 2)
+        # t0 requests l1 (held by t1, which waits on l2 held by idle t2).
+        fx.request(0, 1)
+        assert find_lock_cycle(fx.threads[0], fx.locks[1]) is None
+
+    def test_three_thread_cycle(self):
+        fx = Fixture()
+        fx.hold(0, 0)
+        fx.hold(1, 1)
+        fx.hold(2, 2)
+        fx.request(0, 1)
+        fx.request(1, 2)
+        fx.request(2, 0)
+        cycle = find_lock_cycle(fx.threads[2], fx.locks[0])
+        assert cycle is not None
+        assert len(cycle) == 3
+
+    def test_self_cycle_single_thread(self):
+        """A thread re-requesting its own (non-reentrant) lock."""
+        fx = Fixture()
+        fx.hold(0, 0)
+        fx.request(0, 0)
+        cycle = find_lock_cycle(fx.threads[0], fx.locks[0])
+        assert cycle is not None
+        assert len(cycle) == 1
+
+    def test_cycle_not_through_requester_is_ignored(self):
+        fx = Fixture()
+        # t1 <-> t2 deadlock exists; t0 requests into it.
+        fx.hold(1, 1)
+        fx.hold(2, 2)
+        fx.request(1, 2)
+        fx.request(2, 1)
+        fx.request(0, 1)
+        assert find_lock_cycle(fx.threads[0], fx.locks[1]) is None
+        # ... but the global scan still reports it.
+        assert find_any_lock_cycle(fx.threads) is not None
+
+    def test_held_lock_of_convention(self):
+        fx = Fixture()
+        fx.hold(0, 0)
+        fx.hold(1, 1)
+        fx.request(1, 0)
+        fx.request(0, 1)
+        cycle = find_lock_cycle(fx.threads[0], fx.locks[1])
+        for index, thread in enumerate(cycle.threads):
+            held = cycle.held_lock_of(index)
+            assert held.owner is thread
+
+
+class TestFindExtendedCycle:
+    def test_yield_edge_cycle_is_starvation(self):
+        fx = Fixture()
+        # t0 holds l0, yields on a signature whose witness is t1;
+        # t1 requests l0 -> cycle through the yield edge.
+        fx.hold(0, 0)
+        fx.rag.set_yield(fx.threads[0], object(), [(fx.threads[1], fx.locks[1])])
+        fx.hold(1, 1)
+        fx.request(1, 0)
+        cycle = find_extended_cycle(fx.threads[1])
+        assert cycle is not None
+        assert cycle.is_starvation
+        assert fx.threads[0] in cycle.yielders
+
+    def test_no_cycle_without_closing_edge(self):
+        fx = Fixture()
+        fx.hold(0, 0)
+        fx.rag.set_yield(fx.threads[0], object(), [(fx.threads[1], fx.locks[1])])
+        fx.hold(1, 1)
+        assert find_extended_cycle(fx.threads[1]) is None
+
+    def test_pure_lock_cycle_reported_not_starvation(self):
+        fx = Fixture()
+        fx.hold(0, 0)
+        fx.hold(1, 1)
+        fx.request(1, 0)
+        fx.request(0, 1)
+        cycle = find_extended_cycle(fx.threads[0])
+        assert cycle is not None
+        assert not cycle.is_starvation
+
+    def test_branching_yield_witnesses(self):
+        fx = Fixture()
+        # t0 yields on two witnesses; only the second closes a cycle.
+        fx.hold(0, 0)
+        fx.rag.set_yield(
+            fx.threads[0],
+            object(),
+            [(fx.threads[2], fx.locks[2]), (fx.threads[1], fx.locks[1])],
+        )
+        fx.hold(1, 1)
+        fx.request(1, 0)
+        cycle = find_extended_cycle(fx.threads[1])
+        assert cycle is not None and cycle.is_starvation
+
+    def test_long_chain_does_not_recurse(self):
+        """600 threads in a chain: must not hit the recursion limit."""
+        count = 600
+        threads = [ThreadNode(f"c{i}") for i in range(count)]
+        locks = [LockNode(f"cl{i}") for i in range(count)]
+        rag = ResourceAllocationGraph()
+        table = PositionTable()
+        s = stack(1)
+        pos = table.intern(s)
+        for i in range(count):
+            rag.add_thread(threads[i])
+            rag.add_lock(locks[i])
+        for i in range(count):
+            rag.set_hold(threads[i], locks[i], pos, s)
+        for i in range(count - 1):
+            rag.set_request(threads[i], locks[i + 1], pos, s)
+        rag.set_request(threads[count - 1], locks[0], pos, s)
+        cycle = find_extended_cycle(threads[0])
+        assert cycle is not None
+        assert len(cycle.threads) == count

@@ -1,0 +1,285 @@
+"""Engine tests: the Request/Acquired/Release protocol end to end."""
+
+import pytest
+
+from repro.config import DimmunixConfig
+from repro.core.callstack import CallStack
+from repro.core.engine import DimmunixCore, RequestVerdict
+from repro.core.history import History
+
+
+def stack(line):
+    return CallStack.single("eng.py", line)
+
+
+class Harness:
+    """A tiny deterministic driver around one core."""
+
+    def __init__(self, history=None, **config_overrides):
+        config = DimmunixConfig(**config_overrides)
+        self.core = DimmunixCore(config, history=history)
+
+    def thread(self, name):
+        return self.core.register_thread(name)
+
+    def lock(self, name):
+        return self.core.register_lock(name)
+
+    def take(self, thread, lock, line):
+        result = self.core.request(thread, lock, stack(line))
+        assert result.verdict is RequestVerdict.PROCEED
+        assert result.detected is None
+        self.core.acquired(thread, lock)
+        return result
+
+
+class TestDetection:
+    def test_two_thread_deadlock_detected_and_recorded(self):
+        h = Harness()
+        t1, t2 = h.thread("t1"), h.thread("t2")
+        l1, l2 = h.lock("l1"), h.lock("l2")
+        h.take(t1, l1, 10)
+        h.take(t2, l2, 20)
+        result = h.core.request(t1, l2, stack(11))
+        assert result.detected is None
+        result = h.core.request(t2, l1, stack(21))
+        assert result.detected is not None
+        assert result.detected.size == 2
+        assert h.core.history.contains(result.detected)
+        assert h.core.stats.deadlocks_detected == 1
+
+    def test_signature_outer_positions_are_acquisition_sites(self):
+        h = Harness()
+        t1, t2 = h.thread("t1"), h.thread("t2")
+        l1, l2 = h.lock("l1"), h.lock("l2")
+        h.take(t1, l1, 10)
+        h.take(t2, l2, 20)
+        h.core.request(t1, l2, stack(11))
+        result = h.core.request(t2, l1, stack(21))
+        outers = set(result.detected.outer_position_keys())
+        assert outers == {(("eng.py", 10),), (("eng.py", 20),)}
+
+    def test_signature_inner_positions_are_blocking_sites(self):
+        h = Harness()
+        t1, t2 = h.thread("t1"), h.thread("t2")
+        l1, l2 = h.lock("l1"), h.lock("l2")
+        h.take(t1, l1, 10)
+        h.take(t2, l2, 20)
+        h.core.request(t1, l2, stack(11))
+        result = h.core.request(t2, l1, stack(21))
+        inners = set(result.detected.inner_position_keys())
+        assert inners == {(("eng.py", 11),), (("eng.py", 21),)}
+
+    def test_duplicate_deadlock_not_recorded_twice(self):
+        history = History()
+        for _round in range(2):
+            h = Harness(history=history)
+            t1, t2 = h.thread("t1"), h.thread("t2")
+            l1, l2 = h.lock("l1"), h.lock("l2")
+            # Disable avoidance effect by bypassing: use fresh positions
+            # only on round one; round two hits the same positions, so we
+            # must drain avoidance by releasing first.
+            result = h.core.request(t1, l1, stack(10))
+            if result.verdict is RequestVerdict.PROCEED:
+                h.core.acquired(t1, l1)
+            h.core.release(t1, l1)
+        assert len(history) <= 1
+
+    def test_self_deadlock_detected(self):
+        h = Harness()
+        t1 = h.thread("t1")
+        l1 = h.lock("l1")
+        h.take(t1, l1, 10)
+        result = h.core.request(t1, l1, stack(11))
+        assert result.detected is not None
+        assert result.detected.size == 1
+
+    def test_cancel_request_rolls_back(self):
+        h = Harness()
+        t1, t2 = h.thread("t1"), h.thread("t2")
+        l1, l2 = h.lock("l1"), h.lock("l2")
+        h.take(t1, l1, 10)
+        h.take(t2, l2, 20)
+        h.core.request(t1, l2, stack(11))
+        result = h.core.request(t2, l1, stack(21))
+        assert result.detected is not None
+        h.core.cancel_request(t2, l1)
+        assert t2.requesting is None
+        position = h.core.positions.get((("eng.py", 21),))
+        assert not position.queue.contains_thread(t2)
+
+
+class TestAvoidance:
+    @staticmethod
+    def deadlock_history():
+        """A history holding one two-position signature (10, 20)."""
+        h = Harness()
+        t1, t2 = h.thread("t1"), h.thread("t2")
+        l1, l2 = h.lock("l1"), h.lock("l2")
+        h.take(t1, l1, 10)
+        h.take(t2, l2, 20)
+        h.core.request(t1, l2, stack(11))
+        h.core.request(t2, l1, stack(21))
+        return h.core.history
+
+    def test_yield_when_instantiation_possible(self):
+        h = Harness(history=self.deadlock_history())
+        t1, t2 = h.thread("u1"), h.thread("u2")
+        l1, l2 = h.lock("m1"), h.lock("m2")
+        h.take(t1, l1, 10)  # occupies position 10
+        result = h.core.request(t2, l2, stack(20))
+        assert result.verdict is RequestVerdict.YIELD
+        assert result.yield_on is not None
+        assert h.core.stats.yields == 1
+        assert h.core.yielding_threads == 1
+
+    def test_no_yield_without_other_occupant(self):
+        h = Harness(history=self.deadlock_history())
+        t2 = h.thread("u2")
+        l2 = h.lock("m2")
+        result = h.core.request(t2, l2, stack(20))
+        assert result.verdict is RequestVerdict.PROCEED
+
+    def test_release_notifies_signature(self):
+        h = Harness(history=self.deadlock_history())
+        t1, t2 = h.thread("u1"), h.thread("u2")
+        l1, l2 = h.lock("m1"), h.lock("m2")
+        h.take(t1, l1, 10)
+        yielded = h.core.request(t2, l2, stack(20))
+        assert yielded.verdict is RequestVerdict.YIELD
+        release = h.core.release(t1, l1)
+        assert yielded.yield_on in release.notify
+        # After the wake-up, the retry proceeds.
+        retry = h.core.request(t2, l2, stack(20))
+        assert retry.verdict is RequestVerdict.PROCEED
+        assert h.core.yielding_threads == 0
+
+    def test_release_at_cold_position_notifies_nothing(self):
+        h = Harness(history=self.deadlock_history())
+        t1 = h.thread("u1")
+        l1 = h.lock("m1")
+        h.take(t1, l1, 99)  # not a history position
+        release = h.core.release(t1, l1)
+        assert release.notify == ()
+
+    def test_avoidance_disabled_when_no_history(self):
+        h = Harness()
+        t1, t2 = h.thread("u1"), h.thread("u2")
+        l1, l2 = h.lock("m1"), h.lock("m2")
+        h.take(t1, l1, 10)
+        result = h.core.request(t2, l2, stack(20))
+        assert result.verdict is RequestVerdict.PROCEED
+
+    def test_abandon_yield(self):
+        h = Harness(history=self.deadlock_history())
+        t1, t2 = h.thread("u1"), h.thread("u2")
+        l1, l2 = h.lock("m1"), h.lock("m2")
+        h.take(t1, l1, 10)
+        result = h.core.request(t2, l2, stack(20))
+        assert result.verdict is RequestVerdict.YIELD
+        h.core.abandon_yield(t2)
+        assert h.core.yielding_threads == 0
+        assert t2.yielding_on is None
+
+
+class TestStarvation:
+    def test_immediate_starvation_bypasses(self):
+        """If yielding would stall the system right away (the witness is
+        blocked on a lock the requester holds), the engine records a
+        starvation signature and lets the requester proceed."""
+        history = TestAvoidance.deadlock_history()
+        h = Harness(history=history)
+        t1, t2 = h.thread("u1"), h.thread("u2")
+        l1, l2 = h.lock("m1"), h.lock("m2")
+        extra = h.lock("extra")
+        # t1 occupies history position 10; t2 holds "extra"; t1 blocks
+        # waiting for "extra" (request edge t1 -> extra -> owner t2).
+        h.take(t1, l1, 10)
+        h.take(t2, extra, 51)
+        blocked = h.core.request(t1, extra, stack(50))
+        assert blocked.verdict is RequestVerdict.PROCEED  # will block
+        # t2 requests at position 20: instantiation of the signature is
+        # possible (t1 sits at 10), but yielding would starve — the
+        # witness t1 is itself waiting for t2. Bypass and proceed.
+        result = h.core.request(t2, l2, stack(20))
+        assert result.verdict is RequestVerdict.PROCEED
+        assert result.starvation is not None
+        assert h.core.stats.starvations_detected == 1
+        assert h.core.history.starvation_count() >= 1
+
+    def test_force_bypass_records_starvation(self):
+        history = TestAvoidance.deadlock_history()
+        h = Harness(history=history)
+        t1, t2 = h.thread("u1"), h.thread("u2")
+        l1, l2 = h.lock("m1"), h.lock("m2")
+        h.take(t1, l1, 10)
+        result = h.core.request(t2, l2, stack(20))
+        assert result.verdict is RequestVerdict.YIELD
+        signature = h.core.force_bypass(t2)
+        assert signature is not None and signature.is_starvation
+        # The retry proceeds: the recorded starvation signature now
+        # overrides parking at this position in this configuration.
+        retry = h.core.request(t2, l2, stack(20))
+        assert retry.verdict is RequestVerdict.PROCEED
+        assert h.core.stats.starvation_overrides >= 1
+
+    def test_force_bypass_on_running_thread_is_none(self):
+        h = Harness()
+        t1 = h.thread("u1")
+        assert h.core.force_bypass(t1) is None
+
+
+class TestLifecycle:
+    def test_thread_exit_cleans_queues(self):
+        h = Harness()
+        t1 = h.thread("t1")
+        l1 = h.lock("l1")
+        h.take(t1, l1, 10)
+        position = h.core.positions.get((("eng.py", 10),))
+        assert position.queue.contains_thread(t1)
+        h.core.thread_exit(t1)
+        assert not position.queue.contains_thread(t1)
+        assert l1.owner is None
+
+    def test_acquired_without_request_asserts(self):
+        h = Harness()
+        t1 = h.thread("t1")
+        l1 = h.lock("l1")
+        with pytest.raises(AssertionError):
+            h.core.acquired(t1, l1)
+
+    def test_snapshot_counts(self):
+        h = Harness()
+        t1 = h.thread("t1")
+        l1 = h.lock("l1")
+        h.take(t1, l1, 10)
+        snap = h.core.snapshot()
+        assert snap.threads == 1
+        assert snap.locks == 1
+        assert snap.positions == 1
+
+    def test_auto_save_persists_on_detection(self, tmp_path):
+        path = tmp_path / "auto.jsonl"
+        h = Harness(history_path=path)
+        t1, t2 = h.thread("t1"), h.thread("t2")
+        l1, l2 = h.lock("l1"), h.lock("l2")
+        h.take(t1, l1, 10)
+        h.take(t2, l2, 20)
+        h.core.request(t1, l2, stack(11))
+        h.core.request(t2, l1, stack(21))
+        assert path.exists()
+        loaded = History.load(path)
+        assert len(loaded) == 1
+
+    def test_memory_footprint_grows_with_structures(self):
+        h = Harness()
+        base = h.core.memory_footprint().bytes_total
+        for index in range(10):
+            t = h.thread(f"t{index}")
+            l = h.lock(f"l{index}")
+            h.take(t, l, 100 + index)
+        grown = h.core.memory_footprint()
+        assert grown.bytes_total > base
+        assert grown.thread_nodes == 10
+        assert grown.lock_nodes == 10
+        assert grown.positions == 10

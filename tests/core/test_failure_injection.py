@@ -1,0 +1,188 @@
+"""Failure injection: corrupted persistence, dying threads, full history.
+
+Dimmunix saves its history *during a deadlock* and loads it on every
+process start — the unhappy paths are the normal paths here.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import DimmunixConfig
+from repro.core.callstack import CallStack
+from repro.core.engine import DimmunixCore
+from repro.core.history import History, HistoryFullError
+from repro.errors import HistoryFormatError
+from repro.workloads.synthetic_sigs import make_signature
+
+
+class TestCorruptHistoryFiles:
+    def test_wrong_format_header(self, tmp_path):
+        path = tmp_path / "h"
+        path.write_text('{"format": "something-else", "version": 1}\n')
+        with pytest.raises(HistoryFormatError, match="not a Dimmunix history"):
+            History.load(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "h"
+        path.write_text('{"format": "dimmunix-history", "version": 99}\n')
+        with pytest.raises(HistoryFormatError, match="version"):
+            History.load(path)
+
+    def test_binary_garbage_header(self, tmp_path):
+        path = tmp_path / "h"
+        path.write_bytes(b"\x00\x01\x02 not json at all\n")
+        with pytest.raises(HistoryFormatError, match="bad history header"):
+            History.load(path)
+
+    def test_truncated_signature_line(self, tmp_path):
+        history = History()
+        history.add(make_signature(("a.py", 1), ("a.py", 2)))
+        path = tmp_path / "h"
+        history.save(path)
+        content = path.read_text()
+        path.write_text(content + '{"kind": "deadlock", "entr\n')
+        with pytest.raises(HistoryFormatError, match="bad signature at"):
+            History.load(path)
+
+    def test_error_names_line_number(self, tmp_path):
+        history = History()
+        history.add(make_signature(("a.py", 1), ("a.py", 2)))
+        path = tmp_path / "h"
+        history.save(path)
+        path.write_text(path.read_text() + "[1,2,3]\n")
+        with pytest.raises(HistoryFormatError, match=":3"):
+            History.load(path)
+
+    def test_signature_with_wrong_schema(self, tmp_path):
+        header = {"format": "dimmunix-history", "version": 1}
+        path = tmp_path / "h"
+        path.write_text(
+            json.dumps(header) + "\n" + json.dumps({"entries": []}) + "\n"
+        )
+        with pytest.raises(HistoryFormatError):
+            History.load(path)
+
+    def test_blank_lines_are_tolerated(self, tmp_path):
+        history = History()
+        history.add(make_signature(("a.py", 1), ("a.py", 2)))
+        path = tmp_path / "h"
+        history.save(path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(History.load(path)) == 1
+
+    def test_empty_file_loads_empty(self, tmp_path):
+        path = tmp_path / "h"
+        path.write_text("")
+        assert len(History.load(path)) == 0
+
+    def test_save_is_atomic_leaves_no_temp(self, tmp_path):
+        history = History()
+        history.add(make_signature(("a.py", 1), ("a.py", 2)))
+        path = tmp_path / "h"
+        history.save(path)
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "h"]
+        assert leftovers == []
+
+
+class TestHistoryFull:
+    def test_add_beyond_cap_raises(self):
+        history = History(max_signatures=3)
+        for index in range(3):
+            history.add(make_signature(("a.py", index + 1), ("b.py", index + 1), index))
+        with pytest.raises(HistoryFullError):
+            history.add(make_signature(("c.py", 50), ("c.py", 51), 99))
+
+    def test_duplicates_do_not_count_against_cap(self):
+        history = History(max_signatures=1)
+        signature = make_signature(("a.py", 1), ("a.py", 2))
+        assert history.add(signature)
+        assert not history.add(signature)  # duplicate, no raise
+        assert len(history) == 1
+
+
+class TestDyingThreads:
+    def _core(self) -> DimmunixCore:
+        return DimmunixCore(DimmunixConfig())
+
+    def test_thread_exit_releases_everything(self):
+        core = self._core()
+        thread = core.register_thread("doomed")
+        locks = [core.register_lock(f"l{i}") for i in range(3)]
+        stack = CallStack.single("app.py", 5)
+        for lock in locks:
+            core.request(thread, lock, stack)
+            core.acquired(thread, lock)
+        core.thread_exit(thread)
+        for lock in locks:
+            assert lock.owner is None
+        for position in core.positions:
+            assert len(position.queue) == 0
+        assert core.rag.thread_count() == 0
+
+    def test_thread_exit_with_pending_request(self):
+        core = self._core()
+        owner = core.register_thread("owner")
+        doomed = core.register_thread("doomed")
+        lock = core.register_lock("l")
+        stack = CallStack.single("app.py", 9)
+        core.request(owner, lock, stack)
+        core.acquired(owner, lock)
+        core.request(doomed, lock, stack)  # blocked
+        core.thread_exit(doomed)
+        # The owner is unaffected; the doomed request left no residue.
+        assert lock.owner is owner
+        total_queued = sum(len(p.queue) for p in core.positions)
+        assert total_queued == 1  # just the owner's hold entry
+
+    def test_dead_thread_does_not_pin_avoidance(self):
+        """A thread that died holding a lock at an in-history position
+        must not keep instantiating signatures forever."""
+        core = self._core()
+        history_sig = make_signature(("app.py", 5), ("app.py", 7))
+        core.history.add(history_sig)
+
+        zombie = core.register_thread("zombie")
+        lock_a = core.register_lock("a")
+        stack_a = CallStack.single("app.py", 5)
+        core.request(zombie, lock_a, stack_a)
+        core.acquired(zombie, lock_a)
+
+        live = core.register_thread("live")
+        lock_b = core.register_lock("b")
+        stack_b = CallStack.single("app.py", 7)
+        result = core.request(live, lock_b, stack_b)
+        assert result.verdict.value == "yield"  # zombie makes it dangerous
+        core.abandon_yield(live)
+
+        core.thread_exit(zombie)  # crash cleanup
+        result = core.request(live, lock_b, stack_b)
+        assert result.verdict.value == "proceed"
+
+
+class TestEngineMisuse:
+    def test_acquired_without_request_raises(self):
+        core = DimmunixCore(DimmunixConfig())
+        thread = core.register_thread("t")
+        lock = core.register_lock("l")
+        with pytest.raises(AssertionError, match="without a pending request"):
+            core.acquired(thread, lock)
+
+    def test_release_of_never_acquired_lock_is_noop(self):
+        core = DimmunixCore(DimmunixConfig())
+        thread = core.register_thread("t")
+        lock = core.register_lock("l")
+        result = core.release(thread, lock)
+        assert result.notify == ()
+
+    def test_double_request_is_protocol_violation(self):
+        core = DimmunixCore(DimmunixConfig())
+        thread = core.register_thread("t")
+        lock_a = core.register_lock("a")
+        lock_b = core.register_lock("b")
+        stack = CallStack.single("x.py", 1)
+        core.request(thread, lock_a, stack)
+        with pytest.raises(AssertionError, match="already requests"):
+            core.request(thread, lock_b, stack)

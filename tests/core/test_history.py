@@ -1,0 +1,168 @@
+"""Unit tests for the persistent deadlock history."""
+
+import json
+
+import pytest
+
+from repro.core.callstack import CallStack
+from repro.core.history import (
+    FORMAT_NAME,
+    History,
+    HistoryFullError,
+    load_or_empty,
+)
+from repro.core.signature import (
+    KIND_STARVATION,
+    DeadlockSignature,
+    SignatureEntry,
+)
+from repro.errors import HistoryFormatError
+
+
+def sig(outer_a=1, outer_b=3, inner_a=2, inner_b=4, kind="deadlock"):
+    return DeadlockSignature(
+        [
+            SignatureEntry(
+                CallStack.single("h.py", outer_a),
+                CallStack.single("h.py", inner_a),
+            ),
+            SignatureEntry(
+                CallStack.single("h.py", outer_b),
+                CallStack.single("h.py", inner_b),
+            ),
+        ],
+        kind=kind,
+    )
+
+
+class TestHistoryBasics:
+    def test_add_and_contains(self):
+        history = History()
+        signature = sig()
+        assert history.add(signature)
+        assert history.contains(signature)
+        assert signature in history
+        assert len(history) == 1
+
+    def test_duplicate_rejected(self):
+        history = History()
+        assert history.add(sig())
+        assert not history.add(sig())
+        assert len(history) == 1
+
+    def test_signatures_at_outer_position(self):
+        history = History()
+        signature = sig(outer_a=10, outer_b=20)
+        history.add(signature)
+        assert history.signatures_at((("h.py", 10),)) == (signature,)
+        assert history.signatures_at((("h.py", 20),)) == (signature,)
+        assert history.signatures_at((("h.py", 2),)) == ()
+
+    def test_signatures_at_excluding_starvation(self):
+        history = History()
+        deadlock = sig(outer_a=10, outer_b=20)
+        starvation = sig(outer_a=10, outer_b=30, kind=KIND_STARVATION)
+        history.add(deadlock)
+        history.add(starvation)
+        at_10 = history.signatures_at((("h.py", 10),))
+        assert set(at_10) == {deadlock, starvation}
+        only_deadlocks = history.signatures_at(
+            (("h.py", 10),), include_starvation=False
+        )
+        assert only_deadlocks == (deadlock,)
+
+    def test_counts_by_kind(self):
+        history = History()
+        history.add(sig())
+        history.add(sig(outer_a=7, kind=KIND_STARVATION))
+        assert history.deadlock_count() == 1
+        assert history.starvation_count() == 1
+
+    def test_max_signatures_enforced(self):
+        history = History(max_signatures=2)
+        history.add(sig(outer_a=1))
+        history.add(sig(outer_a=2))
+        with pytest.raises(HistoryFullError):
+            history.add(sig(outer_a=3))
+
+    def test_merge_from(self):
+        a = History()
+        a.add(sig(outer_a=1))
+        b = History()
+        b.add(sig(outer_a=1))
+        b.add(sig(outer_a=2))
+        added = a.merge_from(b)
+        assert added == 1
+        assert len(a) == 2
+
+    def test_shared_position_indexes_both_signatures(self):
+        history = History()
+        first = sig(outer_a=10, outer_b=20)
+        second = sig(outer_a=10, outer_b=30)
+        history.add(first)
+        history.add(second)
+        assert set(history.signatures_at((("h.py", 10),))) == {first, second}
+
+
+class TestHistoryPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        history = History()
+        history.add(sig(outer_a=1))
+        history.add(sig(outer_a=5, kind=KIND_STARVATION))
+        path = tmp_path / "history.jsonl"
+        history.save(path)
+        loaded = History.load(path)
+        assert len(loaded) == 2
+        assert loaded.contains(sig(outer_a=1))
+        assert loaded.starvation_count() == 1
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        loaded = History.load(tmp_path / "absent.jsonl")
+        assert len(loaded) == 0
+
+    def test_load_or_empty_none_path(self):
+        assert len(load_or_empty(None)) == 0
+
+    def test_header_format_checked(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"format": "something-else"}) + "\n")
+        with pytest.raises(HistoryFormatError):
+            History.load(path)
+
+    def test_version_checked(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"format": FORMAT_NAME, "version": 99}) + "\n")
+        with pytest.raises(HistoryFormatError):
+            History.load(path)
+
+    def test_corrupt_signature_line_reported_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"format": FORMAT_NAME, "version": 1})
+            + "\n{not json}\n"
+        )
+        with pytest.raises(HistoryFormatError) as exc_info:
+            History.load(path)
+        assert ":2" in str(exc_info.value)
+
+    def test_save_is_atomic_no_tmp_left_behind(self, tmp_path):
+        history = History()
+        history.add(sig())
+        path = tmp_path / "history.jsonl"
+        history.save(path)
+        assert path.exists()
+        assert not (tmp_path / "history.jsonl.tmp").exists()
+
+    def test_empty_file_loads_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert len(History.load(path)) == 0
+
+    def test_blank_lines_skipped(self, tmp_path):
+        history = History()
+        history.add(sig())
+        path = tmp_path / "history.jsonl"
+        history.save(path)
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        assert len(History.load(path)) == 1

@@ -1,0 +1,128 @@
+"""Unit tests for positions, queues, and the free-list discipline."""
+
+from repro.core.callstack import CallStack
+from repro.core.node import LockNode, ThreadNode
+from repro.core.position import PositionTable
+
+
+def make_table_and_pos(line=10):
+    table = PositionTable()
+    return table, table.intern(CallStack.single("a.py", line))
+
+
+class TestPositionTable:
+    def test_intern_is_idempotent(self):
+        table = PositionTable()
+        a = table.intern(CallStack.single("a.py", 10))
+        b = table.intern(CallStack.single("a.py", 10))
+        assert a is b
+        assert len(table) == 1
+
+    def test_distinct_lines_distinct_positions(self):
+        table = PositionTable()
+        a = table.intern(CallStack.single("a.py", 10))
+        b = table.intern(CallStack.single("a.py", 11))
+        assert a is not b
+        assert len(table) == 2
+
+    def test_get_by_key(self):
+        table, pos = make_table_and_pos()
+        assert table.get(pos.key) is pos
+        assert table.get((("missing.py", 1),)) is None
+
+    def test_iteration_in_creation_order(self):
+        table = PositionTable()
+        first = table.intern(CallStack.single("a.py", 1))
+        second = table.intern(CallStack.single("a.py", 2))
+        assert list(table) == [first, second]
+
+    def test_indices_are_sequential(self):
+        table = PositionTable()
+        positions = [
+            table.intern(CallStack.single("a.py", line)) for line in range(5)
+        ]
+        assert [p.index for p in positions] == list(range(5))
+
+
+class TestPositionQueue:
+    def test_add_then_remove(self):
+        _table, pos = make_table_and_pos()
+        thread, lock = ThreadNode("t"), LockNode("l")
+        pos.queue.add(thread, lock)
+        assert len(pos.queue) == 1
+        assert pos.queue.contains_thread(thread)
+        assert pos.queue.remove(thread, lock)
+        assert len(pos.queue) == 0
+
+    def test_remove_missing_returns_false(self):
+        _table, pos = make_table_and_pos()
+        assert not pos.queue.remove(ThreadNode(), LockNode())
+
+    def test_entries_most_recent_first(self):
+        _table, pos = make_table_and_pos()
+        t1, l1 = ThreadNode("t1"), LockNode("l1")
+        t2, l2 = ThreadNode("t2"), LockNode("l2")
+        pos.queue.add(t1, l1)
+        pos.queue.add(t2, l2)
+        assert list(pos.queue.entries()) == [(t2, l2), (t1, l1)]
+
+    def test_free_list_reuse(self):
+        """The paper's second queue: removed cells are reused, not freed."""
+        _table, pos = make_table_and_pos()
+        thread, lock = ThreadNode(), LockNode()
+        for _ in range(100):
+            pos.queue.add(thread, lock)
+            pos.queue.remove(thread, lock)
+        assert pos.queue.allocations == 1
+        assert pos.queue.reuses == 99
+
+    def test_free_list_cells_drop_references(self):
+        _table, pos = make_table_and_pos()
+        thread, lock = ThreadNode(), LockNode()
+        pos.queue.add(thread, lock)
+        pos.queue.remove(thread, lock)
+        cell = pos.queue._free
+        assert cell is not None
+        assert cell.thread is None and cell.lock is None
+
+    def test_removing_middle_entry(self):
+        _table, pos = make_table_and_pos()
+        pairs = [(ThreadNode(), LockNode()) for _ in range(3)]
+        for thread, lock in pairs:
+            pos.queue.add(thread, lock)
+        middle_thread, middle_lock = pairs[1]
+        assert pos.queue.remove(middle_thread, middle_lock)
+        remaining = {t for t, _ in pos.queue.entries()}
+        assert middle_thread not in remaining
+        assert len(pos.queue) == 2
+
+    def test_duplicate_entries_removed_one_at_a_time(self):
+        _table, pos = make_table_and_pos()
+        thread, lock = ThreadNode(), LockNode()
+        pos.queue.add(thread, lock)
+        pos.queue.add(thread, lock)
+        assert pos.queue.remove(thread, lock)
+        assert len(pos.queue) == 1
+        assert pos.queue.remove(thread, lock)
+        assert len(pos.queue) == 0
+
+    def test_allocation_counters_visible_at_table_level(self):
+        table = PositionTable()
+        pos_a = table.intern(CallStack.single("a.py", 1))
+        pos_b = table.intern(CallStack.single("a.py", 2))
+        thread, lock = ThreadNode(), LockNode()
+        pos_a.queue.add(thread, lock)
+        pos_b.queue.add(thread, lock)
+        pos_b.queue.remove(thread, lock)
+        pos_b.queue.add(thread, lock)
+        assert table.total_queue_allocations() == 2
+        assert table.total_queue_reuses() == 1
+
+    def test_free_list_length(self):
+        _table, pos = make_table_and_pos()
+        entries = [(ThreadNode(), LockNode()) for _ in range(4)]
+        for thread, lock in entries:
+            pos.queue.add(thread, lock)
+        for thread, lock in entries:
+            pos.queue.remove(thread, lock)
+        assert pos.queue.free_list_length() == 4

@@ -1,0 +1,242 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+These pin down invariants rather than examples: queue conservation under
+arbitrary add/remove interleavings, signature canonicalization, history
+deduplication and persistence, and an oracle check for the chain-walk
+cycle detector against a generic graph search.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.callstack import CallStack, Frame
+from repro.core.cycle import find_any_lock_cycle, find_lock_cycle
+from repro.core.history import History
+from repro.core.node import LockNode, ThreadNode
+from repro.core.position import PositionQueue, PositionTable
+from repro.core.rag import ResourceAllocationGraph
+from repro.core.signature import DeadlockSignature, SignatureEntry
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+frames = st.builds(
+    Frame,
+    file=st.sampled_from(["a.py", "b.py", "c.py"]),
+    line=st.integers(min_value=1, max_value=50),
+    function=st.sampled_from(["f", "g", "h"]),
+)
+
+stacks = st.lists(frames, min_size=1, max_size=4).map(CallStack)
+
+entries = st.builds(SignatureEntry, outer=stacks, inner=stacks)
+
+signatures = st.builds(
+    DeadlockSignature,
+    entries=st.lists(entries, min_size=1, max_size=3),
+    kind=st.sampled_from(["deadlock", "starvation"]),
+)
+
+
+# ----------------------------------------------------------------------
+# position queues
+# ----------------------------------------------------------------------
+
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(0, 4), st.integers(0, 4)),
+        max_size=80,
+    )
+)
+def test_queue_size_matches_live_entries(ops):
+    """len(queue) equals the number of live entries after any op mix,
+    and allocations never exceed the high-water mark of live entries."""
+    queue = PositionQueue()
+    threads = [ThreadNode(f"t{i}") for i in range(5)]
+    locks = [LockNode(f"l{i}") for i in range(5)]
+    live: list[tuple[int, int]] = []
+    for is_add, t, l in ops:
+        if is_add:
+            queue.add(threads[t], locks[l])
+            live.append((t, l))
+        else:
+            removed = queue.remove(threads[t], locks[l])
+            if (t, l) in live:
+                assert removed
+                live.remove((t, l))
+            else:
+                assert not removed
+        assert len(queue) == len(live)
+    entries_seen = sorted(
+        (t.name, l.name) for t, l in queue.entries()
+    )
+    expected = sorted(
+        (threads[t].name, locks[l].name) for t, l in live
+    )
+    assert entries_seen == expected
+
+
+@given(
+    count=st.integers(min_value=1, max_value=30),
+    rounds=st.integers(min_value=1, max_value=5),
+)
+def test_queue_free_list_bounds_allocations(count, rounds):
+    """Steady-state churn allocates at most the high-water mark."""
+    queue = PositionQueue()
+    thread, lock = ThreadNode(), LockNode()
+    for _round in range(rounds):
+        for _ in range(count):
+            queue.add(thread, lock)
+        for _ in range(count):
+            queue.remove(thread, lock)
+    assert queue.allocations == count
+    assert queue.free_list_length() == count
+
+
+# ----------------------------------------------------------------------
+# signatures & history
+# ----------------------------------------------------------------------
+
+@given(signature=signatures)
+def test_signature_json_roundtrip(signature):
+    data = json.loads(json.dumps(signature.to_json()))
+    assert DeadlockSignature.from_json(data) == signature
+
+
+@given(signature=signatures)
+def test_signature_equality_is_order_insensitive(signature):
+    reversed_sig = DeadlockSignature(
+        tuple(reversed(signature.entries)), kind=signature.kind
+    )
+    assert reversed_sig == signature
+    assert hash(reversed_sig) == hash(signature)
+
+
+@given(sigs=st.lists(signatures, max_size=20))
+def test_history_dedup_and_len(sigs):
+    history = History()
+    unique = set()
+    for signature in sigs:
+        added = history.add(signature)
+        assert added == (signature not in unique)
+        unique.add(signature)
+    assert len(history) == len(unique)
+
+
+@given(sigs=st.lists(signatures, max_size=12))
+@settings(max_examples=30)
+def test_history_persistence_roundtrip(sigs, tmp_path_factory):
+    history = History()
+    for signature in sigs:
+        history.add(signature)
+    path = tmp_path_factory.mktemp("hist") / "h.jsonl"
+    history.save(path)
+    loaded = History.load(path)
+    assert len(loaded) == len(history)
+    for signature in history:
+        assert loaded.contains(signature)
+
+
+@given(sigs=st.lists(signatures, max_size=15))
+def test_history_index_consistent(sigs):
+    """Every signature is findable through each of its outer positions."""
+    history = History()
+    for signature in sigs:
+        history.add(signature)
+    for signature in history:
+        for key in signature.outer_position_keys():
+            assert signature in history.signatures_at(key)
+            assert history.contains_position(key)
+
+
+# ----------------------------------------------------------------------
+# cycle detection vs. an oracle
+# ----------------------------------------------------------------------
+
+def _oracle_has_cycle(holds: dict[int, int], requests: dict[int, int]) -> bool:
+    """Generic wait-for-graph cycle check: thread -> owner(requested)."""
+    wait_for = {}
+    for thread, lock in requests.items():
+        owner = holds.get(lock)
+        if owner is not None:
+            wait_for[thread] = owner
+    for start in wait_for:
+        seen = set()
+        node = start
+        while node in wait_for and node not in seen:
+            seen.add(node)
+            node = wait_for[node]
+        if node in seen and node in wait_for:
+            return True
+    return False
+
+
+@given(
+    holds=st.dictionaries(
+        keys=st.integers(0, 7), values=st.integers(0, 7), max_size=8
+    ),
+    requests=st.dictionaries(
+        keys=st.integers(0, 7), values=st.integers(0, 7), max_size=8
+    ),
+)
+def test_chain_walk_agrees_with_oracle(holds, requests):
+    """holds: lock -> owning thread; requests: thread -> requested lock.
+
+    A thread cannot request a lock it owns (that is reentrancy, filtered
+    by adapters), and owns at most... any shape the maps allow otherwise.
+    """
+    # Normalize: drop requests for locks the requester already owns.
+    requests = {
+        t: l for t, l in requests.items() if holds.get(l) != t
+    }
+    rag = ResourceAllocationGraph()
+    table = PositionTable()
+    stack = CallStack.single("prop.py", 1)
+    pos = table.intern(stack)
+    threads = {i: ThreadNode(f"t{i}") for i in range(8)}
+    locks = {i: LockNode(f"l{i}") for i in range(8)}
+    for node in threads.values():
+        rag.add_thread(node)
+    for node in locks.values():
+        rag.add_lock(node)
+    for lock_id, thread_id in holds.items():
+        rag.set_hold(threads[thread_id], locks[lock_id], pos, stack)
+    for thread_id, lock_id in requests.items():
+        rag.set_request(threads[thread_id], locks[lock_id], pos, stack)
+
+    found = find_any_lock_cycle(threads.values()) is not None
+    assert found == _oracle_has_cycle(
+        {l: t for l, t in holds.items()}, requests
+    )
+
+
+@given(
+    chain_length=st.integers(min_value=1, max_value=12),
+    close_cycle=st.booleans(),
+)
+def test_anchored_detector_on_chains(chain_length, close_cycle):
+    """A hold/request chain of arbitrary length is a cycle iff closed."""
+    rag = ResourceAllocationGraph()
+    table = PositionTable()
+    stack = CallStack.single("prop.py", 2)
+    pos = table.intern(stack)
+    threads = [ThreadNode(f"t{i}") for i in range(chain_length)]
+    locks = [LockNode(f"l{i}") for i in range(chain_length)]
+    for i in range(chain_length):
+        rag.set_hold(threads[i], locks[i], pos, stack)
+    for i in range(chain_length - 1):
+        rag.set_request(threads[i + 1], locks[i], pos, stack)
+    closing_request = locks[chain_length - 1]
+    if close_cycle:
+        rag.set_request(threads[0], closing_request, pos, stack)
+        cycle = find_lock_cycle(threads[0], closing_request)
+        assert cycle is not None
+        assert len(cycle) == chain_length
+    else:
+        free_lock = LockNode("free")
+        rag.set_request(threads[0], free_lock, pos, stack)
+        assert find_lock_cycle(threads[0], free_lock) is None

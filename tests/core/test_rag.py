@@ -1,0 +1,108 @@
+"""Unit tests for RAG bookkeeping and invariants."""
+
+import pytest
+
+from repro.core.callstack import CallStack
+from repro.core.node import LockNode, ThreadNode
+from repro.core.position import PositionTable
+from repro.core.rag import ResourceAllocationGraph
+
+
+def wire():
+    rag = ResourceAllocationGraph()
+    table = PositionTable()
+    stack = CallStack.single("rag.py", 1)
+    pos = table.intern(stack)
+    return rag, pos, stack
+
+
+class TestEdges:
+    def test_request_then_hold(self):
+        rag, pos, stack = wire()
+        thread, lock = ThreadNode("t"), LockNode("l")
+        rag.add_thread(thread)
+        rag.add_lock(lock)
+        rag.set_request(thread, lock, pos, stack)
+        assert thread.requesting is lock
+        rag.clear_request(thread)
+        rag.set_hold(thread, lock, pos, stack)
+        assert lock.owner is thread
+        assert lock in thread.held
+        rag.check_invariants()
+
+    def test_double_request_different_lock_asserts(self):
+        rag, pos, stack = wire()
+        thread = ThreadNode("t")
+        lock_a, lock_b = LockNode("a"), LockNode("b")
+        rag.set_request(thread, lock_a, pos, stack)
+        with pytest.raises(AssertionError):
+            rag.set_request(thread, lock_b, pos, stack)
+
+    def test_hold_of_owned_lock_by_other_asserts(self):
+        rag, pos, stack = wire()
+        t1, t2 = ThreadNode("t1"), ThreadNode("t2")
+        lock = LockNode("l")
+        rag.set_hold(t1, lock, pos, stack)
+        with pytest.raises(AssertionError):
+            rag.set_hold(t2, lock, pos, stack)
+
+    def test_clear_hold(self):
+        rag, pos, stack = wire()
+        thread, lock = ThreadNode("t"), LockNode("l")
+        rag.set_hold(thread, lock, pos, stack)
+        rag.clear_hold(thread, lock)
+        assert lock.owner is None
+        assert lock not in thread.held
+
+    def test_yield_edges(self):
+        rag, pos, stack = wire()
+        t1, t2 = ThreadNode("t1"), ThreadNode("t2")
+        lock = LockNode("l")
+        rag.set_yield(t1, "some-signature", [(t2, lock)])
+        assert t1.yielding_on == "some-signature"
+        assert t1.is_blocked()
+        rag.clear_yield(t1)
+        assert not t1.is_blocked()
+
+    def test_edge_count(self):
+        rag, pos, stack = wire()
+        t1, t2 = ThreadNode("t1"), ThreadNode("t2")
+        l1, l2 = LockNode("l1"), LockNode("l2")
+        for node in (t1, t2):
+            rag.add_thread(node)
+        for node in (l1, l2):
+            rag.add_lock(node)
+        rag.set_hold(t1, l1, pos, stack)
+        rag.set_request(t2, l2, pos, stack)
+        assert rag.edge_count() == 2
+
+    def test_blocked_threads(self):
+        rag, pos, stack = wire()
+        t1, t2 = ThreadNode("t1"), ThreadNode("t2")
+        lock = LockNode("l")
+        rag.add_thread(t1)
+        rag.add_thread(t2)
+        rag.set_request(t1, lock, pos, stack)
+        assert rag.blocked_threads() == [t1]
+
+    def test_invariant_violation_detected(self):
+        rag, pos, stack = wire()
+        thread, lock = ThreadNode("t"), LockNode("l")
+        rag.add_thread(thread)
+        rag.add_lock(lock)
+        rag.set_hold(thread, lock, pos, stack)
+        lock.owner = None  # corrupt
+        with pytest.raises(AssertionError):
+            rag.check_invariants()
+
+    def test_node_registry(self):
+        rag, pos, stack = wire()
+        thread, lock = ThreadNode("t"), LockNode("l")
+        rag.add_thread(thread)
+        rag.add_lock(lock)
+        assert rag.thread_by_id(thread.node_id) is thread
+        assert rag.lock_by_id(lock.node_id) is lock
+        rag.remove_thread(thread)
+        rag.remove_lock(lock)
+        assert rag.thread_count() == 0
+        assert rag.lock_count() == 0

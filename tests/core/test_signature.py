@@ -1,0 +1,101 @@
+"""Unit tests for deadlock signatures."""
+
+import pytest
+
+from repro.core.callstack import CallStack
+from repro.core.signature import (
+    KIND_DEADLOCK,
+    KIND_STARVATION,
+    DeadlockSignature,
+    SignatureEntry,
+)
+
+
+def entry(outer_line, inner_line):
+    return SignatureEntry(
+        outer=CallStack.single("sig.py", outer_line),
+        inner=CallStack.single("sig.py", inner_line),
+    )
+
+
+class TestSignatureIdentity:
+    def test_rotation_invariance(self):
+        """Same bug discovered from a different cycle rotation is equal."""
+        a = DeadlockSignature([entry(1, 2), entry(3, 4)])
+        b = DeadlockSignature([entry(3, 4), entry(1, 2)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_outer_positions_differ(self):
+        a = DeadlockSignature([entry(1, 2), entry(3, 4)])
+        b = DeadlockSignature([entry(1, 2), entry(5, 4)])
+        assert a != b
+
+    def test_different_inner_positions_differ(self):
+        """§2.1: a bug is delimited by outer AND inner positions."""
+        a = DeadlockSignature([entry(1, 2), entry(3, 4)])
+        b = DeadlockSignature([entry(1, 2), entry(3, 9)])
+        assert a != b
+
+    def test_kind_distinguishes(self):
+        a = DeadlockSignature([entry(1, 2)], kind=KIND_DEADLOCK)
+        b = DeadlockSignature([entry(1, 2)], kind=KIND_STARVATION)
+        assert a != b
+
+    def test_empty_entries_rejected(self):
+        with pytest.raises(ValueError):
+            DeadlockSignature([])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            DeadlockSignature([entry(1, 2)], kind="nonsense")
+
+
+class TestSignatureQueries:
+    def test_outer_position_keys_in_order(self):
+        sig = DeadlockSignature([entry(1, 2), entry(3, 4)])
+        assert sig.outer_position_keys() == (
+            (("sig.py", 1),),
+            (("sig.py", 3),),
+        )
+
+    def test_contains_outer(self):
+        sig = DeadlockSignature([entry(1, 2), entry(3, 4)])
+        assert sig.contains_outer((("sig.py", 3),))
+        assert not sig.contains_outer((("sig.py", 4),))
+
+    def test_size(self):
+        assert DeadlockSignature([entry(1, 2)]).size == 1
+        assert DeadlockSignature([entry(1, 2), entry(3, 4)]).size == 2
+
+    def test_is_starvation(self):
+        assert DeadlockSignature([entry(1, 2)], KIND_STARVATION).is_starvation
+        assert not DeadlockSignature([entry(1, 2)]).is_starvation
+
+
+class TestSignatureSerialization:
+    def test_roundtrip_deadlock(self):
+        sig = DeadlockSignature([entry(1, 2), entry(3, 4)])
+        assert DeadlockSignature.from_json(sig.to_json()) == sig
+
+    def test_roundtrip_starvation(self):
+        sig = DeadlockSignature([entry(1, 2)], kind=KIND_STARVATION)
+        restored = DeadlockSignature.from_json(sig.to_json())
+        assert restored == sig
+        assert restored.is_starvation
+
+    def test_json_defaults_kind_to_deadlock(self):
+        sig = DeadlockSignature([entry(1, 2)])
+        data = sig.to_json()
+        del data["kind"]
+        assert DeadlockSignature.from_json(data).kind == KIND_DEADLOCK
+
+    def test_multi_frame_stacks_roundtrip(self):
+        outer = CallStack.from_json(
+            [["a.py", 1, "f"], ["b.py", 2, "g"], ["c.py", 3, "h"]]
+        )
+        sig = DeadlockSignature(
+            [SignatureEntry(outer=outer, inner=CallStack.single("d.py", 4))]
+        )
+        restored = DeadlockSignature.from_json(sig.to_json())
+        assert restored.entries[0].outer.depth == 3

@@ -1,0 +1,39 @@
+"""Unit tests for the stats counters."""
+
+from repro.core.stats import DimmunixStats, MemoryFootprint
+
+
+class TestDimmunixStats:
+    def test_snapshot_is_plain_dict(self):
+        stats = DimmunixStats()
+        stats.requests = 5
+        snap = stats.snapshot()
+        assert snap["requests"] == 5
+        snap["requests"] = 99
+        assert stats.requests == 5
+
+    def test_merge_accumulates(self):
+        a = DimmunixStats(requests=1, yields=2)
+        b = DimmunixStats(requests=10, deadlocks_detected=3)
+        a.merge(b)
+        assert a.requests == 11
+        assert a.yields == 2
+        assert a.deadlocks_detected == 3
+
+    def test_reset(self):
+        stats = DimmunixStats(requests=7, releases=3)
+        stats.reset()
+        assert stats.requests == 0
+        assert stats.releases == 0
+
+    def test_all_fields_default_zero(self):
+        assert all(v == 0 for v in DimmunixStats().snapshot().values())
+
+
+class TestMemoryFootprint:
+    def test_as_dict_includes_extras(self):
+        footprint = MemoryFootprint(positions=3, bytes_total=100)
+        footprint.extra["special"] = 42
+        data = footprint.as_dict()
+        assert data["positions"] == 3
+        assert data["special"] == 42

@@ -1,0 +1,81 @@
+"""Unit tests for the object heap and monitor fattening."""
+
+import pytest
+
+from repro.config import DimmunixConfig
+from repro.core.engine import DimmunixCore
+from repro.dalvik import lockword
+from repro.dalvik.objects import ObjectHeap
+
+
+class TestAllocation:
+    def test_new_object_starts_thin(self):
+        heap = ObjectHeap()
+        obj = heap.new_object("x")
+        assert obj.lock_word == lockword.UNLOCKED_WORD
+        assert heap.monitor_of(obj) is None
+
+    def test_duplicate_name_rejected(self):
+        heap = ObjectHeap()
+        heap.new_object("x")
+        with pytest.raises(ValueError):
+            heap.new_object("x")
+
+    def test_get_missing_raises(self):
+        heap = ObjectHeap()
+        with pytest.raises(KeyError):
+            heap.get("ghost")
+
+    def test_ensure_creates_once(self):
+        heap = ObjectHeap()
+        a = heap.ensure("x")
+        b = heap.ensure("x")
+        assert a is b
+        assert heap.object_count() == 1
+
+    def test_allocation_accounting(self):
+        heap = ObjectHeap()
+        heap.new_object("x")
+        assert heap.allocated_bytes == ObjectHeap.OBJECT_HEADER_BYTES
+        heap.fatten(heap.get("x"))
+        assert (
+            heap.allocated_bytes
+            == ObjectHeap.OBJECT_HEADER_BYTES + ObjectHeap.MONITOR_BYTES
+        )
+
+
+class TestFattening:
+    def test_fatten_sets_fat_word(self):
+        heap = ObjectHeap()
+        obj = heap.new_object("x")
+        monitor = heap.fatten(obj)
+        assert lockword.is_fat(obj.lock_word)
+        assert heap.monitor_of(obj) is monitor
+
+    def test_fatten_idempotent(self):
+        heap = ObjectHeap()
+        obj = heap.new_object("x")
+        first = heap.fatten(obj)
+        second = heap.fatten(obj)
+        assert first is second
+        assert heap.monitor_count() == 1
+
+    def test_fatten_with_core_embeds_rag_node(self):
+        core = DimmunixCore(DimmunixConfig())
+        heap = ObjectHeap(core)
+        obj = heap.new_object("x")
+        monitor = heap.fatten(obj, name="x")
+        assert monitor.node is not None
+        assert core.rag.lock_by_id(monitor.node.node_id) is monitor.node
+
+    def test_fatten_without_core_has_no_node(self):
+        heap = ObjectHeap()
+        monitor = heap.fatten(heap.new_object("x"))
+        assert monitor.node is None
+
+    def test_monitor_ids_sequential(self):
+        heap = ObjectHeap()
+        monitors = [heap.fatten(heap.new_object(f"o{i}")) for i in range(3)]
+        assert [m.monitor_id for m in monitors] == [0, 1, 2]
+        words = [heap.get(f"o{i}").lock_word for i in range(3)]
+        assert [lockword.fat_monitor_id(w) for w in words] == [0, 1, 2]

@@ -1,0 +1,63 @@
+"""Unit tests for thin/fat lock-word encoding."""
+
+import pytest
+
+from repro.dalvik import lockword
+
+
+class TestThinWords:
+    def test_unlocked_word_is_thin_unowned(self):
+        word = lockword.UNLOCKED_WORD
+        assert not lockword.is_fat(word)
+        assert lockword.thin_owner(word) == 0
+        assert lockword.thin_count(word) == 0
+
+    def test_make_thin_roundtrip(self):
+        word = lockword.make_thin(owner_id=42, count=7)
+        assert lockword.lw_shape(word) == lockword.LW_SHAPE_THIN
+        assert lockword.thin_owner(word) == 42
+        assert lockword.thin_count(word) == 7
+
+    def test_max_owner(self):
+        word = lockword.make_thin(lockword.MAX_THIN_OWNER, 0)
+        assert lockword.thin_owner(word) == lockword.MAX_THIN_OWNER
+
+    def test_owner_out_of_range(self):
+        with pytest.raises(ValueError):
+            lockword.make_thin(lockword.MAX_THIN_OWNER + 1, 0)
+
+    def test_count_out_of_range(self):
+        with pytest.raises(ValueError):
+            lockword.make_thin(1, lockword.MAX_THIN_COUNT + 1)
+
+    def test_max_count_roundtrip(self):
+        word = lockword.make_thin(1, lockword.MAX_THIN_COUNT)
+        assert lockword.thin_count(word) == lockword.MAX_THIN_COUNT
+
+    def test_thin_accessors_reject_fat(self):
+        fat = lockword.make_fat(3)
+        with pytest.raises(ValueError):
+            lockword.thin_owner(fat)
+        with pytest.raises(ValueError):
+            lockword.thin_count(fat)
+
+
+class TestFatWords:
+    def test_make_fat_roundtrip(self):
+        word = lockword.make_fat(123)
+        assert lockword.is_fat(word)
+        assert lockword.fat_monitor_id(word) == 123
+
+    def test_fat_bit_is_lsb(self):
+        assert lockword.make_fat(0) & 1 == lockword.LW_SHAPE_FAT
+
+    def test_fat_accessor_rejects_thin(self):
+        with pytest.raises(ValueError):
+            lockword.fat_monitor_id(lockword.make_thin(1, 0))
+
+    def test_negative_monitor_id_rejected(self):
+        with pytest.raises(ValueError):
+            lockword.make_fat(-1)
+
+    def test_distinct_ids_distinct_words(self):
+        assert lockword.make_fat(1) != lockword.make_fat(2)

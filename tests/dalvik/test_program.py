@@ -1,0 +1,119 @@
+"""Unit tests for the program builder and instruction resolution."""
+
+import pytest
+
+from repro.dalvik import instructions as ins
+from repro.dalvik.program import ProgramBuilder
+from repro.errors import ProgramError
+
+
+class TestBuilder:
+    def test_lines_auto_increment(self):
+        builder = ProgramBuilder("T.java")
+        builder.nop()
+        builder.nop()
+        program = builder.build()
+        assert program.instructions[0].loc.line == 1
+        assert program.instructions[1].loc.line == 2
+
+    def test_explicit_line_pins_position(self):
+        builder = ProgramBuilder("T.java")
+        builder.monitor_enter("x", line=99)
+        program = builder.build()
+        assert program.instructions[0].loc.line == 99
+
+    def test_labels_resolve(self):
+        builder = ProgramBuilder("T.java")
+        builder.set_reg("i", 2)
+        builder.label("loop")
+        builder.nop()
+        builder.loop_dec("i", "loop")
+        builder.halt()
+        program = builder.build()
+        loop_instr = program.instructions[2]
+        assert isinstance(loop_instr, ins.LoopDec)
+        assert loop_instr.target == program.labels["loop"] == 1
+
+    def test_unresolved_label_raises(self):
+        builder = ProgramBuilder("T.java")
+        builder.jump("nowhere")
+        with pytest.raises(ProgramError):
+            builder.build()
+
+    def test_duplicate_label_raises(self):
+        builder = ProgramBuilder("T.java")
+        builder.label("a")
+        with pytest.raises(ProgramError):
+            builder.label("a")
+
+    def test_functions_resolve(self):
+        builder = ProgramBuilder("T.java")
+        builder.call("helper")
+        builder.halt()
+        builder.function("helper")
+        builder.nop()
+        builder.ret()
+        program = builder.build()
+        call = program.instructions[0]
+        assert call.target == program.functions["helper"] == 2
+
+    def test_unresolved_function_raises(self):
+        builder = ProgramBuilder("T.java")
+        builder.call("ghost")
+        with pytest.raises(ProgramError):
+            builder.build()
+
+    def test_duplicate_function_raises(self):
+        builder = ProgramBuilder("T.java")
+        builder.function("f")
+        with pytest.raises(ProgramError):
+            builder.function("f")
+
+    def test_function_names_attached_to_locations(self):
+        builder = ProgramBuilder("T.java")
+        builder.halt()
+        builder.function("worker")
+        builder.nop()
+        program = builder.build()
+        assert program.instructions[1].loc.function == "worker"
+
+    def test_source_switch(self):
+        builder = ProgramBuilder("A.java")
+        builder.nop()
+        builder.source("B.java")
+        builder.nop()
+        program = builder.build()
+        assert program.instructions[0].loc.file == "A.java"
+        assert program.instructions[1].loc.file == "B.java"
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError):
+            ProgramBuilder("T.java").build()
+
+    def test_sync_sites_deduplicated(self):
+        builder = ProgramBuilder("T.java")
+        builder.monitor_enter("x", line=5)
+        builder.monitor_exit("x", line=6)
+        builder.monitor_enter("y", line=5)   # same position, other object
+        builder.monitor_exit("y", line=7)
+        builder.monitor_enter("x", line=9)
+        builder.monitor_exit("x", line=10)
+        builder.halt()
+        program = builder.build()
+        assert len(program.sync_sites()) == 2
+
+
+class TestEffectiveObject:
+    def test_plain_object(self):
+        instr = ins.MonitorEnter("x")
+        assert ins.effective_object(instr, {}) == "x"
+
+    def test_register_indexed(self):
+        instr = ins.MonitorEnter("lock", reg="r")
+        assert ins.effective_object(instr, {"r": 3}) == "lock3"
+
+    def test_unset_register_raises(self):
+        instr = ins.MonitorEnter("lock", reg="r")
+        instr.place(ins.SourceLoc("T.java", 1))
+        with pytest.raises(KeyError):
+            ins.effective_object(instr, {})

@@ -1,0 +1,223 @@
+"""VM + Dimmunix integration: detection freezes faithfully, RAISE policy
+faults the thread, avoidance across VM generations, starvation handling,
+and the wait-inversion case."""
+
+from repro.config import DetectionPolicy, DimmunixConfig
+from repro.dalvik.program import ProgramBuilder
+from repro.dalvik.thread import ThreadState
+from repro.dalvik.vm import DalvikVM, VMConfig
+from repro.errors import DeadlockDetectedError
+from repro.workloads.scenarios import run_wait_inversion_vm
+
+
+def ab_program():
+    builder = ProgramBuilder("W.java")
+    builder.monitor_enter("A", line=10)
+    builder.compute(5)
+    builder.monitor_enter("B", line=12)
+    builder.compute(2)
+    builder.monitor_exit("B", line=14)
+    builder.monitor_exit("A", line=15)
+    builder.halt()
+    return builder.build()
+
+
+def ba_program():
+    builder = ProgramBuilder("W.java")
+    builder.monitor_enter("B", line=20)
+    builder.compute(5)
+    builder.monitor_enter("A", line=22)
+    builder.compute(2)
+    builder.monitor_exit("A", line=24)
+    builder.monitor_exit("B", line=25)
+    builder.halt()
+    return builder.build()
+
+
+def spawn_pair(vm):
+    vm.spawn(ab_program(), "t-ab")
+    vm.spawn(ba_program(), "t-ba")
+
+
+class TestDetection:
+    def test_block_policy_freezes_and_records(self):
+        vm = DalvikVM(VMConfig())
+        spawn_pair(vm)
+        result = vm.run()
+        assert result.frozen
+        assert len(result.detections) == 1
+        signature = result.detections[0]
+        assert signature.size == 2
+        outers = set(signature.outer_position_keys())
+        assert outers == {(("W.java", 10),), (("W.java", 20),)}
+        assert vm.core.history.contains(signature)
+
+    def test_raise_policy_faults_the_closing_thread(self):
+        config = VMConfig(
+            dimmunix=DimmunixConfig(
+                detection_policy=DetectionPolicy.RAISE, yield_timeout=None
+            )
+        )
+        vm = DalvikVM(config)
+        spawn_pair(vm)
+        result = vm.run()
+        assert len(result.detections) == 1
+        assert len(result.faults) == 1
+        assert isinstance(result.faults[0][1], DeadlockDetectedError)
+        # The surviving thread completed: no freeze.
+        assert not result.frozen
+
+    def test_vanilla_freezes_without_detection(self):
+        vm = DalvikVM(VMConfig().vanilla())
+        spawn_pair(vm)
+        result = vm.run()
+        assert result.frozen
+        assert result.detections == ()
+        assert set(result.stall["cycle"]) == {"t-ab", "t-ba"}
+
+
+class TestImmunityAcrossGenerations:
+    def test_second_generation_avoids(self):
+        first_vm = DalvikVM(VMConfig())
+        spawn_pair(first_vm)
+        first = first_vm.run()
+        assert first.frozen
+
+        second_vm = DalvikVM(VMConfig())
+        second_vm.core.history.merge_from(first_vm.core.history)
+        spawn_pair(second_vm)
+        second = second_vm.run()
+        assert second.status == "completed"
+        assert second.detections == ()
+        assert second_vm.core.stats.yields >= 1
+
+    def test_history_file_roundtrip(self, tmp_path):
+        path = tmp_path / "vm.history"
+        config = VMConfig(
+            dimmunix=DimmunixConfig(
+                detection_policy=DetectionPolicy.BLOCK,
+                yield_timeout=None,
+                history_path=path,
+            )
+        )
+        first_vm = DalvikVM(config)
+        spawn_pair(first_vm)
+        assert first_vm.run().frozen
+        assert path.exists()
+
+        second_vm = DalvikVM(config)  # initDimmunix loads the file
+        spawn_pair(second_vm)
+        assert second_vm.run().status == "completed"
+
+    def test_avoidance_not_triggered_at_fresh_positions(self):
+        first_vm = DalvikVM(VMConfig())
+        spawn_pair(first_vm)
+        first_vm.run()
+
+        second_vm = DalvikVM(VMConfig())
+        second_vm.core.history.merge_from(first_vm.core.history)
+        other = ProgramBuilder("Other.java")
+        other.monitor_enter("A", line=90)
+        other.monitor_exit("A", line=91)
+        other.halt()
+        second_vm.spawn(other.build())
+        result = second_vm.run()
+        assert result.status == "completed"
+        assert second_vm.core.stats.yields == 0
+
+
+class TestStarvationInVM:
+    def test_avoidance_induced_stall_is_resolved(self):
+        """Three threads where naive avoidance would park forever: the
+        engine's starvation handling must keep the VM live."""
+        first_vm = DalvikVM(VMConfig())
+        spawn_pair(first_vm)
+        first_vm.run()
+        history = first_vm.core.history
+
+        # Generation 2 with an extra thread: t-extra holds C; t-ab will
+        # be parked by avoidance (position 10 + t-ba at 20); t-ba then
+        # blocks on C. Without starvation handling the VM could stall
+        # with t-ab parked forever.
+        vm = DalvikVM(VMConfig())
+        vm.core.history.merge_from(history)
+
+        extra = ProgramBuilder("W.java")
+        extra.monitor_enter("C", line=40)
+        extra.compute(30)
+        extra.monitor_exit("C", line=42)
+        extra.halt()
+
+        ba_then_c = ProgramBuilder("W.java")
+        ba_then_c.monitor_enter("B", line=20)
+        ba_then_c.compute(5)
+        ba_then_c.monitor_enter("C", line=45)
+        ba_then_c.monitor_exit("C", line=46)
+        ba_then_c.monitor_enter("A", line=22)
+        ba_then_c.compute(2)
+        ba_then_c.monitor_exit("A", line=24)
+        ba_then_c.monitor_exit("B", line=25)
+        ba_then_c.halt()
+
+        vm.spawn(extra.build(), "t-extra")
+        vm.spawn(ab_program(), "t-ab")
+        vm.spawn(ba_then_c.build(), "t-ba")
+        result = vm.run(max_ticks=500_000)
+        assert result.status == "completed", result
+
+
+class TestWaitInversion:
+    def test_dimmunix_detects_wait_inversion(self):
+        vm = run_wait_inversion_vm()
+        assert len(vm.detections) == 1
+        signature = vm.detections[0]
+        # One of the outer positions is the y acquisition (line 11); the
+        # wait-side inner is the x.wait() site (line 12).
+        all_keys = set(signature.outer_position_keys()) | set(
+            signature.inner_position_keys()
+        )
+        assert (("WaitInversion.java", 12),) in all_keys
+
+    def test_vanilla_wait_inversion_stalls(self):
+        vm = run_wait_inversion_vm(VMConfig().vanilla())
+        live = [t for t in vm.threads if t.is_live()]
+        assert len(live) == 2
+
+    def test_immunized_second_run_completes(self):
+        """With a timed wait, run 2 avoids the deadlock and finishes.
+
+        The waiter uses ``x.wait(timeout)`` (the common real-world
+        pattern). Run 1 deadlocks before the timeout fires and the
+        signature is recorded; in run 2 avoidance parks the notifier,
+        the wait times out, the waiter releases ``y``, and both finish.
+        """
+        first = run_wait_inversion_vm(wait_timeout_ticks=5_000)
+        assert len(first.detections) == 1
+        second = run_wait_inversion_vm(
+            history=first.core.history, wait_timeout_ticks=5_000
+        )
+        live = [t for t in second.threads if t.is_live()]
+        assert live == []
+        assert second.detections == []
+        assert second.core.stats.yields > 0
+
+    def test_untimed_inversion_is_not_schedule_avoidable(self):
+        """Honest semantics: the untimed inversion re-freezes.
+
+        Once the waiter sits in an untimed ``x.wait()`` holding ``y``,
+        only the notifier can release it — parking the notifier starves
+        both, and the safety-net bypass lets the deadlock re-form. No
+        lock-scheduling policy can fix this program; Dimmunix records
+        the starvation signature and the deadlock is re-detected as a
+        duplicate, never as a new bug.
+        """
+        first = run_wait_inversion_vm()
+        history = first.core.history
+        sigs_after_first = len(history)
+        second = run_wait_inversion_vm(history=history)
+        live = [t for t in second.threads if t.is_live()]
+        assert live != []
+        # The starvation (avoidance-induced) signature was recorded; the
+        # re-detected deadlock deduplicated against run 1's signature.
+        assert second.core.history.starvation_count() >= 1
+        assert second.core.history.deadlock_count() == sigs_after_first

@@ -1,0 +1,166 @@
+"""VM interpreter tests: control flow, registers, compute, sleep."""
+
+import pytest
+
+from repro.dalvik.program import ProgramBuilder
+from repro.dalvik.thread import ThreadState
+from repro.dalvik.vm import DalvikVM, VMConfig
+from repro.errors import ProgramError
+
+
+def fresh_vm(dimmunix=False, **overrides):
+    config = VMConfig(**overrides)
+    if not dimmunix:
+        config = config.vanilla()
+    return DalvikVM(config)
+
+
+class TestControlFlow:
+    def test_counted_loop(self):
+        builder = ProgramBuilder("T.java")
+        builder.set_reg("i", 5)
+        builder.set_reg("acc", 0)
+        builder.label("loop")
+        builder.add_reg("acc", 2)
+        builder.loop_dec("i", "loop")
+        builder.halt()
+        vm = fresh_vm()
+        thread = vm.spawn(builder.build())
+        result = vm.run()
+        assert result.status == "completed"
+        assert thread.registers["acc"] == 10
+
+    def test_branch_zero(self):
+        builder = ProgramBuilder("T.java")
+        builder.set_reg("x", 0)
+        builder.branch_zero("x", "was_zero")
+        builder.set_reg("out", 111)
+        builder.halt()
+        builder.label("was_zero")
+        builder.set_reg("out", 222)
+        builder.halt()
+        vm = fresh_vm()
+        thread = vm.spawn(builder.build())
+        vm.run()
+        assert thread.registers["out"] == 222
+
+    def test_call_and_ret(self):
+        builder = ProgramBuilder("T.java")
+        builder.call("twice")
+        builder.call("twice")
+        builder.halt()
+        builder.function("twice")
+        builder.add_reg("n", 2)
+        builder.ret()
+        vm = fresh_vm()
+        thread = vm.spawn(builder.build())
+        vm.run()
+        assert thread.registers["n"] == 4
+
+    def test_ret_from_main_terminates(self):
+        builder = ProgramBuilder("T.java")
+        builder.ret()
+        vm = fresh_vm()
+        thread = vm.spawn(builder.build())
+        result = vm.run()
+        assert result.status == "completed"
+        assert thread.state == ThreadState.TERMINATED
+
+    def test_running_off_the_end_terminates(self):
+        builder = ProgramBuilder("T.java")
+        builder.nop()
+        vm = fresh_vm()
+        thread = vm.spawn(builder.build())
+        vm.run()
+        assert thread.state == ThreadState.TERMINATED
+
+    def test_call_depth_guard(self):
+        builder = ProgramBuilder("T.java")
+        builder.function("recurse")  # entry == function start
+        builder.call("recurse")
+        builder.ret()
+        vm = fresh_vm()
+        vm.spawn(builder.build())
+        result = vm.run()
+        assert result.faults
+        assert isinstance(result.faults[0][1], ProgramError)
+
+
+class TestTimeAccounting:
+    def test_compute_advances_clock(self):
+        builder = ProgramBuilder("T.java")
+        builder.compute(100)
+        builder.halt()
+        vm = fresh_vm()
+        thread = vm.spawn(builder.build())
+        vm.run()
+        assert vm.clock >= 100
+        assert thread.compute_ticks == 100
+
+    def test_sleep_advances_clock_without_cpu(self):
+        builder = ProgramBuilder("T.java")
+        builder.sleep(500)
+        builder.halt()
+        vm = fresh_vm()
+        thread = vm.spawn(builder.build())
+        vm.run()
+        assert vm.clock >= 500
+        assert thread.compute_ticks == 0
+        assert thread.cpu_ticks < 500
+
+    def test_sleeping_threads_interleave_with_runnable(self):
+        sleeper = ProgramBuilder("T.java")
+        sleeper.sleep(50)
+        sleeper.set_reg("woke", 1)
+        sleeper.halt()
+        worker = ProgramBuilder("T.java")
+        worker.set_reg("i", 30)
+        worker.label("loop")
+        worker.compute(5)
+        worker.loop_dec("i", "loop")
+        worker.halt()
+        vm = fresh_vm()
+        sleeping = vm.spawn(sleeper.build(), "sleeper")
+        vm.spawn(worker.build(), "worker")
+        result = vm.run()
+        assert result.status == "completed"
+        assert sleeping.registers["woke"] == 1
+
+    def test_rand_is_seed_deterministic(self):
+        def run_with_seed(seed):
+            builder = ProgramBuilder("T.java")
+            for index in range(6):
+                builder.rand(f"r{index}", 100)
+            builder.halt()
+            vm = DalvikVM(VMConfig(seed=seed).vanilla())
+            thread = vm.spawn(builder.build())
+            vm.run()
+            return [thread.registers[f"r{index}"] for index in range(6)]
+
+        assert run_with_seed(7) == run_with_seed(7)
+        assert run_with_seed(7) != run_with_seed(8)
+
+    def test_tick_limit_stops_run(self):
+        builder = ProgramBuilder("T.java")
+        builder.label("forever")
+        builder.compute(10)
+        builder.jump("forever")
+        vm = fresh_vm()
+        vm.spawn(builder.build())
+        result = vm.run(max_ticks=500)
+        assert result.status == "tick-limit"
+        assert vm.clock >= 500
+
+    def test_run_is_resumable(self):
+        builder = ProgramBuilder("T.java")
+        builder.set_reg("i", 100)
+        builder.label("loop")
+        builder.compute(10)
+        builder.loop_dec("i", "loop")
+        builder.halt()
+        vm = fresh_vm()
+        vm.spawn(builder.build())
+        first = vm.run(max_ticks=200)
+        assert first.status == "tick-limit"
+        second = vm.run()
+        assert second.status == "completed"

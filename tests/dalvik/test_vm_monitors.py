@@ -1,0 +1,187 @@
+"""VM monitor semantics: mutual exclusion, reentrancy, blocking, thin
+locks in vanilla mode, illegal states."""
+
+import pytest
+
+from repro.dalvik import lockword
+from repro.dalvik.program import ProgramBuilder
+from repro.dalvik.thread import ThreadState
+from repro.dalvik.vm import DalvikVM, VMConfig
+from repro.errors import IllegalMonitorStateError
+
+
+def vanilla_vm(**overrides):
+    return DalvikVM(VMConfig(**overrides).vanilla())
+
+
+def dimmunix_vm(**overrides):
+    return DalvikVM(VMConfig(**overrides))
+
+
+def counter_program(iterations=50, inside=2):
+    """Increment a shared global under a monitor."""
+    builder = ProgramBuilder("Counter.java")
+    builder.set_reg("i", iterations)
+    builder.label("loop")
+    builder.monitor_enter("shared", line=10)
+    builder.add_reg("g:count", 1)
+    builder.compute(inside)
+    builder.monitor_exit("shared", line=13)
+    builder.loop_dec("i", "loop")
+    builder.halt()
+    return builder.build()
+
+
+class TestMutualExclusion:
+    @pytest.mark.parametrize("make_vm", [vanilla_vm, dimmunix_vm])
+    def test_counter_is_exact(self, make_vm):
+        vm = make_vm()
+        program = counter_program()
+        for index in range(4):
+            vm.spawn(program, f"w{index}")
+        result = vm.run()
+        assert result.status == "completed"
+        assert vm.globals["g:count"] == 200
+
+    def test_sync_counts(self):
+        vm = vanilla_vm()
+        vm.spawn(counter_program(iterations=10))
+        result = vm.run()
+        assert result.syncs == 10
+
+
+class TestReentrancy:
+    @pytest.mark.parametrize("make_vm", [vanilla_vm, dimmunix_vm])
+    def test_nested_enter_same_monitor(self, make_vm):
+        builder = ProgramBuilder("T.java")
+        builder.monitor_enter("x", line=1)
+        builder.monitor_enter("x", line=2)
+        builder.add_reg("g:ok", 1)
+        builder.monitor_exit("x", line=4)
+        builder.monitor_exit("x", line=5)
+        builder.halt()
+        vm = make_vm()
+        vm.spawn(builder.build())
+        result = vm.run()
+        assert result.status == "completed"
+        assert vm.globals["g:ok"] == 1
+
+
+class TestIllegalStates:
+    @pytest.mark.parametrize("make_vm", [vanilla_vm, dimmunix_vm])
+    def test_exit_unowned_faults(self, make_vm):
+        builder = ProgramBuilder("T.java")
+        builder.monitor_exit("x", line=1)
+        builder.halt()
+        vm = make_vm()
+        vm.spawn(builder.build())
+        result = vm.run()
+        assert result.faults
+        assert isinstance(result.faults[0][1], IllegalMonitorStateError)
+
+    @pytest.mark.parametrize("make_vm", [vanilla_vm, dimmunix_vm])
+    def test_exit_other_threads_monitor_faults(self, make_vm):
+        owner = ProgramBuilder("T.java")
+        owner.monitor_enter("x", line=1)
+        owner.compute(50)
+        owner.monitor_exit("x", line=3)
+        owner.halt()
+        thief = ProgramBuilder("T.java")
+        thief.compute(5)
+        thief.monitor_exit("x", line=11)
+        thief.halt()
+        vm = make_vm()
+        vm.spawn(owner.build(), "owner")
+        vm.spawn(thief.build(), "thief")
+        result = vm.run()
+        assert any(name == "thief" for name, _ in result.faults)
+
+
+class TestThinLocks:
+    def test_vanilla_uncontended_stays_thin(self):
+        vm = vanilla_vm()
+        vm.spawn(counter_program(iterations=20))
+        vm.run()
+        assert vm.heap.monitor_count() == 0
+        assert vm.heap.get("shared").lock_word == lockword.UNLOCKED_WORD
+
+    def test_vanilla_contention_inflates(self):
+        vm = vanilla_vm()
+        program = counter_program(iterations=30, inside=5)
+        vm.spawn(program, "a")
+        vm.spawn(program, "b")
+        result = vm.run()
+        assert result.status == "completed"
+        assert vm.heap.monitor_count() == 1
+        assert vm.globals["g:count"] == 60
+
+    def test_dimmunix_fattens_eagerly(self):
+        vm = dimmunix_vm()
+        vm.spawn(counter_program(iterations=1))
+        vm.run()
+        assert vm.heap.monitor_count() == 1
+
+    def test_thin_word_owner_while_held(self):
+        builder = ProgramBuilder("T.java")
+        builder.monitor_enter("x", line=1)
+        builder.monitor_enter("x", line=2)
+        builder.halt()  # never exits; inspect final state
+        vm = vanilla_vm()
+        thread = vm.spawn(builder.build())
+        vm.run()
+        word = vm.heap.get("x").lock_word
+        assert lockword.thin_owner(word) == thread.local_id
+        assert lockword.thin_count(word) == 2
+
+    def test_inflation_migrates_owner_and_count(self):
+        holder = ProgramBuilder("T.java")
+        holder.monitor_enter("x", line=1)
+        holder.monitor_enter("x", line=2)  # recursion 2, thin
+        holder.compute(30)
+        holder.monitor_exit("x", line=4)
+        holder.compute(30)
+        holder.monitor_exit("x", line=6)
+        holder.halt()
+        contender = ProgramBuilder("T.java")
+        contender.compute(5)
+        contender.monitor_enter("x", line=11)
+        contender.add_reg("g:contender_in", 1)
+        contender.monitor_exit("x", line=13)
+        contender.halt()
+        vm = vanilla_vm()
+        holder_thread = vm.spawn(holder.build(), "holder")
+        vm.spawn(contender.build(), "contender")
+        result = vm.run()
+        assert result.status == "completed"
+        assert vm.globals["g:contender_in"] == 1
+        monitor = vm.heap.monitor_of(vm.heap.get("x"))
+        assert monitor is not None  # inflated by contention
+        assert monitor.owner is None  # and fully released at the end
+
+
+class TestBlockingOrder:
+    def test_fifo_grant_order(self):
+        """Blocked threads acquire in arrival order (deterministic)."""
+        first = ProgramBuilder("T.java")
+        first.monitor_enter("x", line=1)
+        first.compute(50)
+        first.monitor_exit("x", line=3)
+        first.halt()
+
+        def follower(tag, delay):
+            builder = ProgramBuilder("T.java")
+            builder.compute(delay)
+            builder.monitor_enter("x", line=10)
+            builder.add_reg("g:order", 1)
+            builder.set_reg("slot", 0)  # placeholder
+            builder.monitor_exit("x", line=13)
+            builder.halt()
+            return builder.build()
+
+        vm = vanilla_vm()
+        vm.spawn(first.build(), "holder")
+        vm.spawn(follower("a", 5), "a")
+        vm.spawn(follower("b", 8), "b")
+        result = vm.run()
+        assert result.status == "completed"
+        assert vm.globals["g:order"] == 2

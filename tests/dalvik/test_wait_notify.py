@@ -1,0 +1,180 @@
+"""VM Object.wait/notify semantics, including timed waits and the
+immunized reacquisition path."""
+
+import pytest
+
+from repro.dalvik.program import ProgramBuilder
+from repro.dalvik.thread import ThreadState
+from repro.dalvik.vm import DalvikVM, VMConfig
+from repro.errors import IllegalMonitorStateError
+
+
+def vanilla_vm(**overrides):
+    return DalvikVM(VMConfig(**overrides).vanilla())
+
+
+def dimmunix_vm(**overrides):
+    return DalvikVM(VMConfig(**overrides))
+
+
+def producer_consumer_programs():
+    consumer = ProgramBuilder("PC.java")
+    consumer.monitor_enter("box", line=10)
+    consumer.label("check")
+    consumer.branch_zero("g:items", "empty", line=11)
+    consumer.add_reg("g:items", -1, line=12)
+    consumer.add_reg("g:consumed", 1, line=13)
+    consumer.monitor_exit("box", line=14)
+    consumer.halt()
+    consumer.label("empty")
+    consumer.wait("box", line=16)
+    consumer.jump("check", line=17)
+
+    producer = ProgramBuilder("PC.java")
+    producer.compute(20, line=30)
+    producer.monitor_enter("box", line=31)
+    producer.add_reg("g:items", 1, line=32)
+    producer.notify("box", line=33)
+    producer.monitor_exit("box", line=34)
+    producer.halt()
+    return consumer.build(), producer.build()
+
+
+class TestWaitNotify:
+    @pytest.mark.parametrize("make_vm", [vanilla_vm, dimmunix_vm])
+    def test_producer_consumer(self, make_vm):
+        consumer, producer = producer_consumer_programs()
+        vm = make_vm()
+        vm.spawn(consumer, "consumer")
+        vm.spawn(producer, "producer")
+        result = vm.run()
+        assert result.status == "completed"
+        assert vm.globals["g:consumed"] == 1
+
+    @pytest.mark.parametrize("make_vm", [vanilla_vm, dimmunix_vm])
+    def test_notify_all_wakes_all(self, make_vm):
+        waiter = ProgramBuilder("T.java")
+        waiter.monitor_enter("gate", line=1)
+        waiter.wait("gate", line=2)
+        waiter.add_reg("g:woken", 1, line=3)
+        waiter.monitor_exit("gate", line=4)
+        waiter.halt()
+        opener = ProgramBuilder("T.java")
+        opener.compute(40, line=10)
+        opener.monitor_enter("gate", line=11)
+        opener.notify_all("gate", line=12)
+        opener.monitor_exit("gate", line=13)
+        opener.halt()
+        vm = make_vm()
+        for index in range(3):
+            vm.spawn(waiter.build(), f"waiter-{index}")
+        vm.spawn(opener.build(), "opener")
+        result = vm.run()
+        assert result.status == "completed"
+        assert vm.globals["g:woken"] == 3
+
+    @pytest.mark.parametrize("make_vm", [vanilla_vm, dimmunix_vm])
+    def test_plain_notify_wakes_one(self, make_vm):
+        waiter = ProgramBuilder("T.java")
+        waiter.monitor_enter("gate", line=1)
+        waiter.wait("gate", line=2)
+        waiter.add_reg("g:woken", 1, line=3)
+        waiter.monitor_exit("gate", line=4)
+        waiter.halt()
+        opener = ProgramBuilder("T.java")
+        opener.compute(40, line=10)
+        opener.monitor_enter("gate", line=11)
+        opener.notify("gate", line=12)
+        opener.monitor_exit("gate", line=13)
+        opener.halt()
+        vm = make_vm()
+        for index in range(2):
+            vm.spawn(waiter.build(), f"waiter-{index}")
+        vm.spawn(opener.build(), "opener")
+        result = vm.run(max_ticks=50_000)
+        # One waiter wakes; the other waits forever (Java semantics).
+        assert vm.globals["g:woken"] == 1
+
+    @pytest.mark.parametrize("make_vm", [vanilla_vm, dimmunix_vm])
+    def test_timed_wait_times_out(self, make_vm):
+        builder = ProgramBuilder("T.java")
+        builder.monitor_enter("box", line=1)
+        builder.wait("box", timeout=100, line=2)
+        builder.add_reg("g:resumed", 1, line=3)
+        builder.monitor_exit("box", line=4)
+        builder.halt()
+        vm = make_vm()
+        vm.spawn(builder.build())
+        result = vm.run()
+        assert result.status == "completed"
+        assert vm.globals["g:resumed"] == 1
+        assert vm.clock >= 100
+
+    def test_wait_releases_full_recursion(self):
+        """wait() on a monitor entered twice releases it fully and
+        restores recursion on reacquire."""
+        waiter = ProgramBuilder("T.java")
+        waiter.monitor_enter("box", line=1)
+        waiter.monitor_enter("box", line=2)
+        waiter.wait("box", line=3)
+        waiter.add_reg("g:after", 1, line=4)
+        waiter.monitor_exit("box", line=5)
+        waiter.monitor_exit("box", line=6)
+        waiter.halt()
+        taker = ProgramBuilder("T.java")
+        taker.compute(30, line=10)
+        taker.monitor_enter("box", line=11)  # only possible if released
+        taker.add_reg("g:taken", 1, line=12)
+        taker.notify("box", line=13)
+        taker.monitor_exit("box", line=14)
+        taker.halt()
+        vm = vanilla_vm()
+        vm.spawn(waiter.build(), "waiter")
+        vm.spawn(taker.build(), "taker")
+        result = vm.run()
+        assert result.status == "completed"
+        assert vm.globals["g:taken"] == 1
+        assert vm.globals["g:after"] == 1
+
+    @pytest.mark.parametrize("make_vm", [vanilla_vm, dimmunix_vm])
+    def test_wait_without_ownership_faults(self, make_vm):
+        builder = ProgramBuilder("T.java")
+        builder.wait("box", line=1)
+        builder.halt()
+        vm = make_vm()
+        vm.spawn(builder.build())
+        result = vm.run()
+        assert result.faults
+        assert isinstance(result.faults[0][1], IllegalMonitorStateError)
+
+    @pytest.mark.parametrize("make_vm", [vanilla_vm, dimmunix_vm])
+    def test_notify_without_ownership_faults(self, make_vm):
+        builder = ProgramBuilder("T.java")
+        builder.notify("box", line=1)
+        builder.halt()
+        vm = make_vm()
+        vm.spawn(builder.build())
+        result = vm.run()
+        assert result.faults
+
+    def test_lost_wakeup_is_a_stall_not_a_cycle(self):
+        builder = ProgramBuilder("T.java")
+        builder.monitor_enter("box", line=1)
+        builder.wait("box", line=2)  # nobody will notify
+        builder.monitor_exit("box", line=3)
+        builder.halt()
+        vm = vanilla_vm()
+        vm.spawn(builder.build(), "forgotten")
+        result = vm.run(max_ticks=10_000)
+        assert result.frozen
+        assert result.stall["waiting"] == ["forgotten"]
+        assert result.stall["cycle"] == []
+
+    def test_reacquisition_counts(self):
+        consumer, producer = producer_consumer_programs()
+        vm = dimmunix_vm()
+        consumer_thread = vm.spawn(consumer, "consumer")
+        vm.spawn(producer, "producer")
+        vm.run()
+        assert consumer_thread.wait_count >= 1
+        assert consumer_thread.wait_reacquisitions >= 1

@@ -1,0 +1,108 @@
+"""Unit tests for the AST guard injection."""
+
+import ast
+import textwrap
+
+from repro.instrument.rewriter import (
+    GUARD_NAME,
+    instrument_source,
+)
+from repro.instrument.sites import selector_from_keys
+
+SOURCE = textwrap.dedent(
+    """
+    import threading
+
+    lock = threading.Lock()
+    other = threading.Lock()
+
+    def use_lock():
+        with lock:
+            return "locked"
+
+    def use_other():
+        with other as token:
+            return token
+
+    def use_file(path):
+        with open(path) as handle:
+            return handle.read()
+    """
+).strip()
+
+
+def _guard_calls(tree: ast.Module) -> list[ast.Call]:
+    calls = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == GUARD_NAME
+        ):
+            calls.append(node)
+    return calls
+
+
+class TestInstrumentSource:
+    def test_full_instrumentation_guards_every_with(self):
+        tree, report = instrument_source(SOURCE, "m.py")
+        assert len(_guard_calls(tree)) == 3
+        assert len(report.sites_found) == 3
+        assert len(report.sites_instrumented) == 3
+        assert report.selectivity == 1.0
+
+    def test_site_indices_are_sequential(self):
+        tree, _report = instrument_source(SOURCE, "m.py")
+        indices = sorted(
+            call.args[1].value for call in _guard_calls(tree)
+        )
+        assert indices == [0, 1, 2]
+
+    def test_selective_leaves_other_sites_untouched(self):
+        sites = instrument_source(SOURCE, "m.py")[1].sites_found
+        lock_site = next(s for s in sites if s.expression == "lock")
+        tree, report = instrument_source(
+            SOURCE, "m.py", selector_from_keys([lock_site.key()])
+        )
+        assert len(_guard_calls(tree)) == 1
+        assert len(report.sites_instrumented) == 1
+        assert report.sites_instrumented[0].expression == "lock"
+        assert 0 < report.selectivity < 1
+
+    def test_original_expression_preserved_as_argument(self):
+        tree, _report = instrument_source(SOURCE, "m.py")
+        wrapped = {ast.unparse(call.args[0]) for call in _guard_calls(tree)}
+        assert wrapped == {"lock", "other", "open(path)"}
+
+    def test_optional_vars_kept(self):
+        tree, _report = instrument_source(SOURCE, "m.py")
+        as_names = [
+            item.optional_vars.id
+            for node in ast.walk(tree)
+            if isinstance(node, ast.With)
+            for item in node.items
+            if item.optional_vars is not None
+        ]
+        assert sorted(as_names) == ["handle", "token"]
+
+    def test_line_numbers_survive(self):
+        """Positions in signatures must match the original source."""
+        original = ast.parse(SOURCE, "m.py")
+        original_lines = [
+            item.context_expr.lineno
+            for node in ast.walk(original)
+            if isinstance(node, ast.With)
+            for item in node.items
+        ]
+        _tree, report = instrument_source(SOURCE, "m.py")
+        assert sorted(s.line for s in report.sites_instrumented) == sorted(
+            original_lines
+        )
+
+    def test_rewritten_tree_compiles(self):
+        tree, _report = instrument_source(SOURCE, "m.py")
+        compile(tree, "m.py", "exec")
+
+    def test_report_summary_readable(self):
+        _tree, report = instrument_source(SOURCE, "m.py")
+        assert "3/3 sites" in report.summary()

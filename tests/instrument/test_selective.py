@@ -1,0 +1,206 @@
+"""Selective instrumentation (§3.1) and its documented blindness (§3.2)."""
+
+import textwrap
+import threading
+
+import pytest
+
+from repro.config import DimmunixConfig
+from repro.errors import DeadlockDetectedError
+from repro.instrument.weaver import Weaver
+from repro.runtime.patch import immunized
+from repro.runtime.runtime import DimmunixRuntime
+
+HOT_AND_COLD = textwrap.dedent(
+    """
+    import threading
+
+    hot_a = threading.Lock()
+    hot_b = threading.Lock()
+    cold = threading.Lock()
+
+    def hot_ab(ready, go):
+        with hot_a:
+            ready.set()
+            go.wait(timeout=0.5)
+            with hot_b:
+                return "ab"
+
+    def hot_ba(ready, go):
+        with hot_b:
+            ready.set()
+            go.wait(timeout=0.5)
+            with hot_a:
+                return "ba"
+
+    def cold_path(iterations):
+        for _ in range(iterations):
+            with cold:
+                pass
+        return iterations
+    """
+).strip()
+
+# The §3.2 wait() inversion, written with stdlib primitives. The waiter
+# holds monitor x (the condition's lock) plus y, then waits: the
+# reacquisition of x happens *inside* threading.Condition.wait — runtime
+# code that no source rewrite can see.
+WAIT_INVERSION = textwrap.dedent(
+    """
+    import threading
+
+    x = threading.Lock()
+    y = threading.Lock()
+    cond = threading.Condition(x)
+
+    def waiter(parked):
+        with x:
+            with y:
+                parked.set()
+                cond.wait(timeout=2)   # releases x; y stays held
+
+    def notifier(parked):
+        parked.wait(timeout=5)
+        with x:
+            cond.notify_all()
+            with y:
+                return "done"
+    """
+).strip()
+
+
+def _runtime() -> DimmunixRuntime:
+    return DimmunixRuntime(DimmunixConfig(yield_timeout=1.0), name="sel")
+
+
+def _provoke(module) -> list:
+    ready_a, ready_b, go = (
+        threading.Event(),
+        threading.Event(),
+        threading.Event(),
+    )
+    log: list = []
+
+    def call(func, ready):
+        try:
+            log.append(func(ready, go))
+        except DeadlockDetectedError:
+            log.append("detected")
+
+    threads = [
+        threading.Thread(target=call, args=(module.get("hot_ab"), ready_a)),
+        threading.Thread(target=call, args=(module.get("hot_ba"), ready_b)),
+    ]
+    for thread in threads:
+        thread.start()
+    assert ready_a.wait(5) and ready_b.wait(5)
+    go.set()
+    for thread in threads:
+        thread.join(10)
+        assert not thread.is_alive()
+    return log
+
+
+class TestSelectiveMode:
+    def _history_from_full_run(self):
+        """First deployment: full instrumentation learns the signature."""
+        weaver = Weaver(_runtime())
+        module = weaver.instrument(HOT_AND_COLD, "app.py")
+        log = _provoke(module)
+        assert "detected" in log
+        return weaver.runtime.history
+
+    def test_selective_guards_only_history_positions(self):
+        history = self._history_from_full_run()
+        runtime = DimmunixRuntime(
+            DimmunixConfig(yield_timeout=1.0), history=history, name="redeploy"
+        )
+        weaver = Weaver(runtime, selective=True)
+        module = weaver.instrument(HOT_AND_COLD, "app.py")
+        report = module.report
+        # Only the hot positions (the recorded outer positions) guarded.
+        assert 0 < len(report.sites_instrumented) < len(report.sites_found)
+        instrumented_keys = {s.key() for s in report.sites_instrumented}
+        for signature in history:
+            for key in signature.outer_position_keys():
+                assert (key[0][0], key[0][1]) in instrumented_keys
+
+    def test_cold_path_pays_nothing(self):
+        history = self._history_from_full_run()
+        runtime = DimmunixRuntime(
+            DimmunixConfig(yield_timeout=1.0), history=history, name="redeploy"
+        )
+        weaver = Weaver(runtime, selective=True)
+        module = weaver.instrument(HOT_AND_COLD, "app.py")
+        module.get("cold_path")(100)
+        # The cold lock's with-statement was not rewritten: zero requests.
+        assert runtime.stats.requests == 0
+        assert weaver.stats.guarded_entries == 0
+
+    def test_selective_still_immunizes_the_hot_deadlock(self):
+        history = self._history_from_full_run()
+        runtime = DimmunixRuntime(
+            DimmunixConfig(yield_timeout=1.0), history=history, name="redeploy"
+        )
+        weaver = Weaver(runtime, selective=True)
+        module = weaver.instrument(HOT_AND_COLD, "app.py")
+        log = _provoke(module)
+        assert "detected" not in log
+        assert sorted(log) == ["ab", "ba"]
+        assert runtime.stats.yields >= 1
+
+    def test_empty_history_selects_nothing(self):
+        weaver = Weaver(_runtime(), selective=True)
+        module = weaver.instrument(HOT_AND_COLD, "app.py")
+        assert module.report.sites_instrumented == ()
+
+
+class TestInstrumentationBlindness:
+    """§3.2: only VM/runtime-level interception sees wait() reacquisition."""
+
+    def _run_inversion(self, module) -> None:
+        parked = threading.Event()
+
+        def quiet(func):
+            def run() -> None:
+                try:
+                    func(parked)
+                except DeadlockDetectedError:
+                    pass  # the interception variant raises, by design
+
+            return run
+
+        threads = [
+            threading.Thread(target=quiet(module.get("waiter")), daemon=True),
+            threading.Thread(target=quiet(module.get("notifier")), daemon=True),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=8)
+
+    def test_woven_code_misses_wait_reacquisition(self):
+        """The weaver instruments all five with-statements, yet the
+        deadlock closes inside Condition.wait — and is never detected."""
+        weaver = Weaver(_runtime())
+        module = weaver.instrument(WAIT_INVERSION, "inv.py")
+        self._run_inversion(module)
+        assert weaver.runtime.stats.deadlocks_detected == 0
+
+    def test_interception_runtime_sees_it(self):
+        """The same source under the platform-wide patch: the patched
+        Condition routes the reacquisition through Dimmunix, and the
+        cycle is detected."""
+        runtime = _runtime()
+        with immunized(runtime):
+            namespace: dict = {"__name__": "inv-patched"}
+            exec(compile(WAIT_INVERSION, "inv.py", "exec"), namespace)
+
+            class _Module:
+                def get(self, name):
+                    return namespace[name]
+
+            self._run_inversion(_Module())
+        assert runtime.stats.deadlocks_detected >= 1
+        signature = runtime.detections[0]
+        assert len(signature.entries) >= 2

@@ -1,0 +1,98 @@
+"""Unit tests for static sync-site discovery and selectors."""
+
+import textwrap
+
+from repro.core.history import History
+from repro.instrument.sites import (
+    SyncSite,
+    discover_sites,
+    make_selector,
+    select_all,
+    selector_from_history,
+    selector_from_keys,
+)
+from repro.workloads.synthetic_sigs import make_signature
+
+MODULE = textwrap.dedent(
+    """
+    import threading
+
+    lock_a = threading.Lock()
+    lock_b = threading.Lock()
+
+    def one():
+        with lock_a:
+            return 1
+
+    def two():
+        with lock_a:
+            with lock_b:
+                return 2
+
+    class Service:
+        def both(self):
+            with lock_a, lock_b:
+                return 3
+    """
+).strip()
+
+
+class TestDiscoverSites:
+    def test_finds_every_with_item(self):
+        sites = discover_sites(MODULE, "mod.py")
+        # one: 1, two: 2 (nested), Service.both: 2 (one line, two items)
+        assert len(sites) == 5
+
+    def test_multi_item_with_shares_line(self):
+        sites = discover_sites(MODULE, "mod.py")
+        both = [site for site in sites if site.function == "both"]
+        assert len(both) == 2
+        assert both[0].line == both[1].line
+        assert {site.expression for site in both} == {"lock_a", "lock_b"}
+
+    def test_function_attribution(self):
+        sites = discover_sites(MODULE, "mod.py")
+        functions = {site.function for site in sites}
+        assert functions == {"one", "two", "both"}
+
+    def test_sites_ordered_by_line(self):
+        sites = discover_sites(MODULE, "mod.py")
+        lines = [site.line for site in sites]
+        assert lines == sorted(lines)
+
+    def test_position_key_is_depth1(self):
+        site = SyncSite("f.py", 12, "lock")
+        assert site.position_key() == (("f.py", 12),)
+
+    def test_empty_module(self):
+        assert discover_sites("x = 1", "m.py") == []
+
+
+class TestSelectors:
+    def test_select_all(self):
+        assert select_all(SyncSite("f.py", 1, "l"))
+
+    def test_selector_from_keys(self):
+        selector = selector_from_keys([("f.py", 10)])
+        assert selector(SyncSite("f.py", 10, "l"))
+        assert not selector(SyncSite("f.py", 11, "l"))
+        assert not selector(SyncSite("g.py", 10, "l"))
+
+    def test_selector_from_history(self):
+        history = History()
+        history.add(make_signature(("mod.py", 8), ("mod.py", 12)))
+        selector = selector_from_history(history)
+        assert selector(SyncSite("mod.py", 8, "l"))
+        assert selector(SyncSite("mod.py", 12, "l"))
+        assert not selector(SyncSite("mod.py", 9, "l"))
+
+    def test_make_selector_precedence(self):
+        history = History()
+        history.add(make_signature(("m.py", 1), ("m.py", 2)))
+        by_keys = make_selector(history=history, keys=[("m.py", 99)])
+        assert by_keys(SyncSite("m.py", 99, "l"))
+        assert not by_keys(SyncSite("m.py", 1, "l"))
+        by_history = make_selector(history=history)
+        assert by_history(SyncSite("m.py", 1, "l"))
+        default = make_selector()
+        assert default(SyncSite("anything.py", 1234, "l"))

@@ -1,0 +1,197 @@
+"""Integration tests for the weaver: woven modules get real immunity."""
+
+import textwrap
+import threading
+
+import pytest
+
+from repro.config import DimmunixConfig
+from repro.errors import DeadlockDetectedError
+from repro.instrument.weaver import Weaver
+from repro.runtime.runtime import DimmunixRuntime
+
+COUNTER_MODULE = textwrap.dedent(
+    """
+    import threading
+
+    lock = threading.Lock()
+    count = 0
+
+    def bump():
+        global count
+        with lock:
+            count += 1
+        return count
+
+    def read_file_sites(path):
+        with open(path) as handle:
+            return handle.read()
+    """
+).strip()
+
+DEADLOCK_MODULE = textwrap.dedent(
+    """
+    import threading
+
+    lock_a = threading.Lock()
+    lock_b = threading.Lock()
+
+    def ab(ready, go):
+        with lock_a:
+            ready.set()
+            go.wait(timeout=0.5)
+            with lock_b:
+                return "ab"
+
+    def ba(ready, go):
+        with lock_b:
+            ready.set()
+            go.wait(timeout=0.5)
+            with lock_a:
+                return "ba"
+    """
+).strip()
+
+
+def _make_runtime() -> DimmunixRuntime:
+    return DimmunixRuntime(
+        DimmunixConfig(yield_timeout=1.0), name="weaver-test"
+    )
+
+
+def _race(module, log):
+    """Drive ab() and ba() into the AB/BA window deterministically."""
+    ready_ab, ready_ba = threading.Event(), threading.Event()
+    go = threading.Event()
+
+    def call(func, ready):
+        try:
+            log.append(func(ready, go))
+        except DeadlockDetectedError:
+            log.append("detected")
+
+    threads = [
+        threading.Thread(target=call, args=(module.get("ab"), ready_ab)),
+        threading.Thread(target=call, args=(module.get("ba"), ready_ba)),
+    ]
+    for thread in threads:
+        thread.start()
+    assert ready_ab.wait(5) and ready_ba.wait(5)
+    go.set()
+    for thread in threads:
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+
+class TestBasicWeaving:
+    def test_woven_module_runs(self):
+        weaver = Weaver(_make_runtime())
+        module = weaver.instrument(COUNTER_MODULE, "counter.py")
+        assert module.get("bump")() == 1
+        assert module.get("bump")() == 2
+
+    def test_lock_acquisitions_reach_the_core(self):
+        weaver = Weaver(_make_runtime())
+        module = weaver.instrument(COUNTER_MODULE, "counter.py")
+        module.get("bump")()
+        stats = weaver.runtime.stats
+        assert stats.requests == 1
+        assert stats.acquisitions == 1
+        assert stats.releases == 1
+        assert weaver.stats.guarded_entries == 1
+        assert weaver.tracked_locks == 1
+
+    def test_non_lock_context_managers_pass_through(self, tmp_path):
+        weaver = Weaver(_make_runtime())
+        module = weaver.instrument(COUNTER_MODULE, "counter.py")
+        path = tmp_path / "data.txt"
+        path.write_text("payload")
+        assert module.get("read_file_sites")(str(path)) == "payload"
+        assert weaver.stats.passthrough_entries == 1
+        assert weaver.runtime.stats.requests == 0
+
+    def test_positions_are_static_source_lines(self):
+        weaver = Weaver(_make_runtime())
+        module = weaver.instrument(COUNTER_MODULE, "counter.py")
+        module.get("bump")()
+        # Exactly one position, at counter.py's `with lock:` line.
+        positions = list(weaver.runtime.core.positions)
+        assert len(positions) == 1
+        (file, line), = positions[0].key
+        assert file == "counter.py"
+        assert COUNTER_MODULE.splitlines()[line - 1].strip() == "with lock:"
+
+    def test_attribute_access_helpers(self):
+        weaver = Weaver(_make_runtime())
+        module = weaver.instrument(COUNTER_MODULE, "counter.py")
+        assert module.bump is module.get("bump")
+        with pytest.raises(AttributeError):
+            module.get("missing")
+
+    def test_rlock_reentrancy_is_free(self):
+        source = textwrap.dedent(
+            """
+            import threading
+            rlock = threading.RLock()
+
+            def nested():
+                with rlock:
+                    with rlock:
+                        return "ok"
+            """
+        ).strip()
+        weaver = Weaver(_make_runtime())
+        module = weaver.instrument(source, "re.py")
+        assert module.get("nested")() == "ok"
+        assert weaver.stats.guarded_entries == 1
+        assert weaver.stats.reentrant_entries == 1
+        assert weaver.runtime.stats.requests == 1
+
+
+class TestWovenImmunity:
+    def test_deadlock_detected_then_avoided(self):
+        weaver = Weaver(_make_runtime())
+        module = weaver.instrument(DEADLOCK_MODULE, "dead.py")
+
+        log: list = []
+        _race(module, log)
+        assert "detected" in log
+        assert weaver.runtime.stats.deadlocks_detected == 1
+        assert len(weaver.runtime.history) == 1
+
+        # Same process, same (static) positions: round 2 avoids.
+        log = []
+        _race(module, log)
+        assert "detected" not in log
+        assert sorted(log) == ["ab", "ba"]
+        assert weaver.runtime.stats.deadlocks_detected == 1
+        assert weaver.runtime.stats.yields >= 1
+
+    def test_signature_names_original_lines(self):
+        weaver = Weaver(_make_runtime())
+        module = weaver.instrument(DEADLOCK_MODULE, "dead.py")
+        _race(module, [])
+        signature = next(iter(weaver.runtime.history))
+        inner_lines = {
+            key[0][1] for key in signature.outer_position_keys()
+        }
+        outer_with_lines = {
+            index + 1
+            for index, line in enumerate(DEADLOCK_MODULE.splitlines())
+            if line.strip() in ("with lock_a:", "with lock_b:")
+        }
+        assert inner_lines <= outer_with_lines
+
+
+class TestMultiModuleWeaving:
+    def test_two_modules_share_one_runtime(self):
+        weaver = Weaver(_make_runtime())
+        first = weaver.instrument(COUNTER_MODULE, "first.py")
+        second = weaver.instrument(COUNTER_MODULE, "second.py")
+        first.get("bump")()
+        second.get("bump")()
+        assert weaver.runtime.stats.acquisitions == 2
+        assert weaver.site_count == 4  # 2 sites per module copy
+        files = {key[0][0] for key in
+                 (pos.key for pos in weaver.runtime.core.positions)}
+        assert files == {"first.py", "second.py"}

@@ -1,0 +1,87 @@
+"""The JNI-crossing deadlock under each interception mode (§4)."""
+
+import pytest
+
+from repro.core.history import History
+from repro.ndk.pthread_layer import InterceptionMode
+from repro.ndk.scenarios import (
+    JAVA_FILE,
+    JAVA_MONITOR_LINE,
+    JNI_FILE,
+    NATIVE_LOCK_LINE,
+    run_jni_inversion,
+)
+
+
+def _live(vm):
+    return [t for t in vm.threads if t.is_live()]
+
+
+class TestShippedBehaviour:
+    def test_off_mode_freezes_undetected(self):
+        """The paper's stated limitation, reproduced: the cross-boundary
+        cycle involves a mutex Dimmunix never sees."""
+        vm = run_jni_inversion(InterceptionMode.OFF)
+        assert len(_live(vm)) == 2
+        assert vm.detections == []
+        assert len(vm.core.history) == 0
+
+    def test_off_mode_vanilla_also_freezes(self):
+        from repro.dalvik.vm import VMConfig
+
+        vm = run_jni_inversion(
+            InterceptionMode.OFF, vm_config=VMConfig().vanilla()
+        )
+        assert len(_live(vm)) == 2
+
+
+class TestNativeOnlyInterception:
+    def test_cycle_detected_across_the_boundary(self):
+        vm = run_jni_inversion(InterceptionMode.NATIVE_ONLY)
+        assert len(vm.detections) == 1
+        signature = vm.detections[0]
+        files = {key[0][0] for key in signature.outer_position_keys()}
+        # One outer position in Java source, one in JNI source.
+        assert files == {JAVA_FILE, JNI_FILE}
+
+    def test_signature_lines_name_both_acquisitions(self):
+        vm = run_jni_inversion(InterceptionMode.NATIVE_ONLY)
+        keys = {key[0] for key in vm.detections[0].outer_position_keys()}
+        assert (JAVA_FILE, JAVA_MONITOR_LINE) in keys
+        assert (JNI_FILE, NATIVE_LOCK_LINE) in keys
+
+    def test_detect_once_then_avoid(self, tmp_path):
+        history_path = tmp_path / "jni.history"
+        first = run_jni_inversion(InterceptionMode.NATIVE_ONLY)
+        first.core.history.save(history_path)
+
+        second = run_jni_inversion(
+            InterceptionMode.NATIVE_ONLY,
+            history=History.load(history_path),
+        )
+        assert _live(second) == []
+        assert second.detections == []
+        assert second.core.stats.yields >= 1
+
+    def test_histories_interoperate(self, tmp_path):
+        """A signature mixing Java and native positions round-trips."""
+        first = run_jni_inversion(InterceptionMode.NATIVE_ONLY)
+        path = tmp_path / "mixed.history"
+        first.core.history.save(path)
+        loaded = History.load(path)
+        assert len(loaded) == 1
+        assert loaded.contains_position(((JNI_FILE, NATIVE_LOCK_LINE),))
+
+
+class TestModeComparison:
+    @pytest.mark.parametrize(
+        "mode,expect_frozen,expect_detections",
+        [
+            (InterceptionMode.OFF, True, 0),
+            (InterceptionMode.NATIVE_ONLY, True, 1),
+        ],
+    )
+    def test_first_run_outcomes(self, mode, expect_frozen, expect_detections):
+        vm = run_jni_inversion(mode)
+        assert (len(_live(vm)) > 0) == expect_frozen
+        assert len(vm.detections) == expect_detections

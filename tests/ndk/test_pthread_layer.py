@@ -1,0 +1,158 @@
+"""Unit tests for the simulated pthread mutex layer."""
+
+import pytest
+
+from repro.dalvik.program import ProgramBuilder
+from repro.dalvik.vm import DalvikVM, VMConfig
+from repro.ndk.pthread_layer import InterceptionMode, PthreadError
+
+
+def _vm(mode: InterceptionMode, dimmunix: bool = True) -> DalvikVM:
+    from dataclasses import replace
+
+    config = replace(VMConfig(), native_interception=mode)
+    if not dimmunix:
+        config = config.vanilla()
+    return DalvikVM(config)
+
+
+def _lock_unlock_program(mutex: str = "m"):
+    builder = ProgramBuilder("native.cpp")
+    builder.native_lock(mutex, line=10)
+    builder.compute(3, line=11)
+    builder.native_unlock(mutex, line=12)
+    builder.halt()
+    return builder.build()
+
+
+class TestBasicMutex:
+    @pytest.mark.parametrize(
+        "mode", [InterceptionMode.OFF, InterceptionMode.NATIVE_ONLY]
+    )
+    def test_lock_unlock_completes(self, mode):
+        vm = _vm(mode)
+        vm.spawn(_lock_unlock_program(), "native")
+        result = vm.run()
+        assert result.status == "completed"
+        assert vm.pthreads.native_ops == 2
+
+    def test_contention_blocks_and_hands_over(self):
+        vm = _vm(InterceptionMode.NATIVE_ONLY)
+        for index in range(3):
+            vm.spawn(_lock_unlock_program(), f"native-{index}")
+        result = vm.run()
+        assert result.status == "completed"
+        mutex = vm.pthreads.mutex("m")
+        assert mutex.is_free()
+        assert not mutex.entry_queue
+
+    def test_relock_faults_edeadlk(self):
+        builder = ProgramBuilder("bad.cpp")
+        builder.native_lock("m", line=5)
+        builder.native_lock("m", line=6)  # EDEADLK
+        builder.halt()
+        vm = _vm(InterceptionMode.NATIVE_ONLY)
+        vm.spawn(builder.build(), "bad")
+        result = vm.run()
+        assert len(result.faults) == 1
+        assert isinstance(result.faults[0][1], PthreadError)
+        assert "EDEADLK" in str(result.faults[0][1])
+
+    def test_unlock_unowned_faults_eperm(self):
+        builder = ProgramBuilder("bad.cpp")
+        builder.native_unlock("m", line=5)
+        builder.halt()
+        vm = _vm(InterceptionMode.OFF)
+        vm.spawn(builder.build(), "bad")
+        result = vm.run()
+        assert len(result.faults) == 1
+        assert "EPERM" in str(result.faults[0][1])
+
+    def test_fault_releases_held_mutexes(self):
+        """A crashed native thread must not pin its mutexes forever."""
+        bad = ProgramBuilder("bad.cpp")
+        bad.native_lock("m", line=5)
+        bad.native_unlock("other", line=6)  # EPERM -> fault while holding m
+        bad.halt()
+        vm = _vm(InterceptionMode.NATIVE_ONLY)
+        vm.spawn(bad.build(), "bad")
+        vm.spawn(_lock_unlock_program(), "good")
+        result = vm.run()
+        assert len(result.faults) == 1
+        # The healthy thread still completed: m was unwound.
+        good = next(t for t in vm.threads if t.name == "good")
+        assert good.state.value == "terminated"
+
+
+class TestInterceptionModes:
+    def test_off_registers_no_nodes(self):
+        vm = _vm(InterceptionMode.OFF)
+        vm.spawn(_lock_unlock_program(), "native")
+        vm.run()
+        assert vm.pthreads.intercepted_native == 0
+        assert vm.pthreads.mutex("m").node is None
+        # Dimmunix saw nothing: no requests from native ops.
+        assert vm.core.stats.requests == 0
+
+    def test_native_only_intercepts_native_ops(self):
+        vm = _vm(InterceptionMode.NATIVE_ONLY)
+        vm.spawn(_lock_unlock_program(), "native")
+        vm.run()
+        assert vm.pthreads.intercepted_native == 1
+        assert vm.pthreads.intercepted_internal == 0
+        assert vm.core.stats.requests == 1
+        assert vm.core.stats.releases == 1
+
+    def test_native_only_ignores_vm_internal_use(self):
+        """Java monitor traffic must not reach the pthread interceptor."""
+        builder = ProgramBuilder("App.java")
+        builder.monitor_enter("obj", line=10)
+        builder.monitor_exit("obj", line=11)
+        builder.halt()
+        vm = _vm(InterceptionMode.NATIVE_ONLY)
+        vm.spawn(builder.build(), "java")
+        vm.run()
+        assert vm.pthreads.intercepted_internal == 0
+        # Exactly one request: the monitorenter itself, not its backing.
+        assert vm.core.stats.requests == 1
+
+    def test_always_double_intercepts(self):
+        """The naive hook processes every Java acquisition twice."""
+        builder = ProgramBuilder("App.java")
+        builder.monitor_enter("obj", line=10)
+        builder.monitor_exit("obj", line=11)
+        builder.halt()
+        vm = _vm(InterceptionMode.ALWAYS)
+        vm.spawn(builder.build(), "java")
+        vm.run()
+        assert vm.pthreads.intercepted_internal >= 1
+        # Double interception: monitorenter + its backing mutex.
+        assert vm.core.stats.requests == 2
+
+    def test_always_collapses_internal_positions(self):
+        """All internal acquisitions share the one <libdvm> position —
+        the §3.2 wrapper pathology at platform scale."""
+        from repro.ndk.pthread_layer import VM_INTERNAL_FILE
+
+        builder = ProgramBuilder("App.java")
+        builder.monitor_enter("a", line=10)
+        builder.monitor_exit("a", line=11)
+        builder.monitor_enter("b", line=20)
+        builder.monitor_exit("b", line=21)
+        builder.halt()
+        vm = _vm(InterceptionMode.ALWAYS)
+        vm.spawn(builder.build(), "java")
+        vm.run()
+        internal_positions = [
+            pos
+            for pos in vm.core.positions
+            if pos.key and pos.key[0][0] == VM_INTERNAL_FILE
+        ]
+        assert len(internal_positions) == 1
+
+    def test_vanilla_vm_never_intercepts(self):
+        vm = _vm(InterceptionMode.ALWAYS, dimmunix=False)
+        vm.spawn(_lock_unlock_program(), "native")
+        result = vm.run()
+        assert result.status == "completed"
+        assert vm.pthreads.intercepted_native == 0

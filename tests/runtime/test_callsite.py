@@ -1,0 +1,72 @@
+"""Unit tests for call-site capture and static ids."""
+
+from repro.core.callstack import CallStack
+from repro.runtime.callsite import (
+    StaticSiteRegistry,
+    capture_stack,
+    resolve_stack,
+)
+
+
+def _capture_here(depth=1):
+    return capture_stack(depth)
+
+
+class TestCaptureStack:
+    def test_position_is_caller_line(self):
+        stack = _capture_here()
+        frame = stack.top()
+        assert frame.file.endswith("test_callsite.py")
+        # The position is the call line inside _capture_here's caller's
+        # callee — i.e. the `capture_stack(depth)` line.
+        assert frame.function == "_capture_here"
+
+    def test_two_sites_differ(self):
+        first = _capture_here()
+        second = capture_stack(1)
+        assert first.key() != second.key()
+
+    def test_same_site_interned(self):
+        stacks = [_capture_here() for _ in range(3)]
+        assert stacks[0] is stacks[1] is stacks[2]
+
+    def test_depth_two_includes_caller(self):
+        def outer():
+            return _capture_here(depth=2)
+
+        stack = outer()
+        assert stack.depth == 2
+        assert stack.frames[1].function == "outer"
+
+    def test_depth_one_single_frame(self):
+        assert _capture_here(depth=1).depth == 1
+
+
+class TestStaticSiteRegistry:
+    def test_stable_stack_per_id(self):
+        registry = StaticSiteRegistry()
+        a = registry.stack_for(7)
+        b = registry.stack_for(7)
+        assert a is b
+        assert len(registry) == 1
+
+    def test_distinct_ids_distinct_positions(self):
+        registry = StaticSiteRegistry()
+        assert registry.stack_for(1).key() != registry.stack_for(2).key()
+
+    def test_namespace_in_key(self):
+        registry = StaticSiteRegistry(namespace="appx")
+        file, _line = registry.stack_for(3).top().key()
+        assert file == "<appx>"
+
+
+class TestResolveStack:
+    def test_prefers_static_id(self):
+        registry = StaticSiteRegistry()
+        stack = resolve_stack(1, site_id=5, registry=registry)
+        assert stack is registry.stack_for(5)
+
+    def test_falls_back_to_capture(self):
+        stack = resolve_stack(1, site_id=None, registry=None)
+        assert isinstance(stack, CallStack)
+        assert stack.top().file.endswith("test_callsite.py")

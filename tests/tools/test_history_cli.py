@@ -1,0 +1,162 @@
+"""Tests for the dimmunix-history CLI."""
+
+import pytest
+
+from repro.core.history import History
+from repro.core.signature import KIND_STARVATION, DeadlockSignature
+from repro.tools.history_cli import main
+from repro.workloads.synthetic_sigs import make_signature
+
+
+def _starvation(outer_a, outer_b, tag=0) -> DeadlockSignature:
+    base = make_signature(outer_a, outer_b, inner_tag=tag)
+    return DeadlockSignature(base.entries, kind=KIND_STARVATION)
+
+
+@pytest.fixture
+def sample_history(tmp_path):
+    history = History()
+    history.add(make_signature(("App.java", 10), ("App.java", 20), 0))
+    history.add(make_signature(("Svc.java", 30), ("jni.cpp", 40), 1))
+    history.add(_starvation(("App.java", 10), ("Lib.java", 50), 2))
+    path = tmp_path / "sample.history"
+    history.save(path)
+    return path
+
+
+class TestListShow:
+    def test_list(self, sample_history, capsys):
+        assert main(["list", str(sample_history)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[0]") == 1
+        assert "deadlock" in out and "starvation" in out
+        assert "App.java:10" in out
+
+    def test_list_empty(self, tmp_path, capsys):
+        path = tmp_path / "empty.history"
+        History().save(path)
+        assert main(["list", str(path)]) == 0
+        assert "empty history" in capsys.readouterr().out
+
+    def test_show(self, sample_history, capsys):
+        assert main(["show", str(sample_history), "1"]) == 0
+        out = capsys.readouterr().out
+        assert "thread 1:" in out and "thread 2:" in out
+        assert "acquired at (outer)" in out
+        assert "jni.cpp:40" in out
+
+    def test_show_out_of_range(self, sample_history, capsys):
+        assert main(["show", str(sample_history), "9"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_counts(self, sample_history, capsys):
+        assert main(["stats", str(sample_history)]) == 0
+        out = capsys.readouterr().out
+        assert "signatures:  3" in out
+        assert "deadlocks:   2" in out
+        assert "starvations: 1" in out
+
+    def test_top_positions(self, sample_history, capsys):
+        main(["stats", str(sample_history), "--top", "1"])
+        out = capsys.readouterr().out
+        # App.java:10 is in two signatures -> the top position.
+        assert "2x App.java:10" in out
+
+
+class TestMergeDiff:
+    def test_merge_deduplicates(self, tmp_path, capsys):
+        a = History()
+        a.add(make_signature(("A.java", 1), ("A.java", 2), 0))
+        b = History()
+        b.add(make_signature(("A.java", 1), ("A.java", 2), 0))  # duplicate
+        b.add(make_signature(("B.java", 3), ("B.java", 4), 1))
+        path_a, path_b = tmp_path / "a.h", tmp_path / "b.h"
+        a.save(path_a)
+        b.save(path_b)
+        out_path = tmp_path / "merged.h"
+        assert main(["merge", str(out_path), str(path_a), str(path_b)]) == 0
+        merged = History.load(out_path)
+        assert len(merged) == 2
+        assert "1 duplicate(s) dropped" in capsys.readouterr().out
+
+    def test_diff_exit_codes(self, tmp_path, capsys):
+        a = History()
+        a.add(make_signature(("A.java", 1), ("A.java", 2), 0))
+        path_a = tmp_path / "a.h"
+        path_same = tmp_path / "same.h"
+        a.save(path_a)
+        a.save(path_same)
+        assert main(["diff", str(path_a), str(path_same)]) == 0
+        b = History()
+        b.add(make_signature(("B.java", 1), ("B.java", 2), 1))
+        path_b = tmp_path / "b.h"
+        b.save(path_b)
+        assert main(["diff", str(path_a), str(path_b)]) == 1
+        out = capsys.readouterr().out
+        assert f"only in {path_a}: 1" in out
+        assert f"only in {path_b}: 1" in out
+
+
+class TestPrune:
+    def test_drop_starvation(self, sample_history, capsys):
+        assert main(["prune", str(sample_history), "--drop-starvation"]) == 0
+        pruned = History.load(sample_history)
+        assert len(pruned) == 2
+        assert pruned.starvation_count() == 0
+
+    def test_drop_position_writes_to_output(self, sample_history, tmp_path):
+        out_path = tmp_path / "pruned.h"
+        assert (
+            main(
+                [
+                    "prune",
+                    str(sample_history),
+                    "--drop-position",
+                    "App.java:10",
+                    "--output",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        pruned = History.load(out_path)
+        # Both signatures touching App.java:10 dropped (1 deadlock + 1 starvation).
+        assert len(pruned) == 1
+        # The original file is untouched.
+        assert len(History.load(sample_history)) == 3
+
+    def test_bad_position_spec(self, sample_history, capsys):
+        assert (
+            main(["prune", str(sample_history), "--drop-position", "nonsense"])
+            == 2
+        )
+        assert "bad position" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_valid(self, sample_history, capsys):
+        assert main(["validate", str(sample_history)]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_invalid_header(self, tmp_path, capsys):
+        path = tmp_path / "garbage.history"
+        path.write_text('{"format": "not-dimmunix", "version": 1}\n')
+        assert main(["validate", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_corrupt_signature_line(self, tmp_path, capsys):
+        good = tmp_path / "good.history"
+        history = History()
+        history.add(make_signature(("A.java", 1), ("A.java", 2)))
+        history.save(good)
+        corrupted = good.read_text().splitlines()
+        corrupted.append("{broken json")
+        bad = tmp_path / "bad.history"
+        bad.write_text("\n".join(corrupted) + "\n")
+        assert main(["validate", str(bad)]) == 1
+
+    def test_missing_file_is_empty_ok(self, tmp_path, capsys):
+        # Missing histories load as empty (initDimmunix semantics).
+        assert main(["validate", str(tmp_path / "nope.history")]) == 0

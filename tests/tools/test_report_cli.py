@@ -1,0 +1,88 @@
+"""Tests for the dimmunix-report CLI."""
+
+import json
+
+import pytest
+
+from repro.tools.report_cli import main
+
+
+@pytest.fixture
+def records_file(tmp_path):
+    records = [
+        {
+            "experiment_id": "E1.vm",
+            "description": "overhead",
+            "paper_value": "4-5%",
+            "measured_value": "4.4%",
+            "holds": True,
+        },
+        {
+            "experiment_id": "E2.overall",
+            "description": "memory",
+            "paper_value": "52% vs 50%",
+            "measured_value": "52% vs 50%",
+            "holds": True,
+        },
+        {
+            "experiment_id": "E3",
+            "description": "power",
+            "paper_value": "14%",
+            "measured_value": "19%",
+            "holds": False,
+        },
+    ]
+    path = tmp_path / "records.jsonl"
+    path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+    return path
+
+
+class TestTextReport:
+    def test_renders_all_and_summary(self, records_file, capsys):
+        exit_code = main([str(records_file)])
+        out = capsys.readouterr().out
+        assert "E1.vm" in out and "E3" in out
+        assert "2/3 comparisons hold" in out
+        assert exit_code == 1  # one record failed
+
+    def test_all_holding_exits_zero(self, records_file, capsys):
+        exit_code = main([str(records_file), "--only", "E1"])
+        out = capsys.readouterr().out
+        assert "1/1 comparisons hold" in out
+        assert exit_code == 0
+
+    def test_failing_filter(self, records_file, capsys):
+        main([str(records_file), "--failing"])
+        out = capsys.readouterr().out
+        assert "E3" in out and "E1.vm" not in out
+
+    def test_failing_filter_when_clean(self, records_file, capsys):
+        exit_code = main(
+            [str(records_file), "--failing", "--only", "E1"]
+        )
+        assert exit_code == 0
+        assert "all recorded comparisons hold" in capsys.readouterr().out
+
+
+class TestMarkdown:
+    def test_markdown_table(self, records_file, capsys):
+        main([str(records_file), "--format", "markdown"])
+        out = capsys.readouterr().out
+        assert out.startswith("| id | claim |")
+        assert "| E3 | power | 14% | 19% | **NO** |" in out
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path, capsys):
+        assert main([str(tmp_path / "none.jsonl")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_bad_record(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(SystemExit, match="bad record"):
+            main([str(path)])
+
+    def test_no_matching_records(self, records_file, capsys):
+        assert main([str(records_file), "--only", "ZZ"]) == 1
+        assert "no matching records" in capsys.readouterr().err

@@ -1,0 +1,109 @@
+"""Microbenchmark harness tests (fast configurations)."""
+
+import pytest
+
+from repro.workloads.microbench import (
+    MODE_DIMMUNIX,
+    MODE_VANILLA,
+    MODE_WRAPPER_OFF,
+    MicrobenchConfig,
+    build_vm_program,
+    make_acquire_sites,
+    run_real_microbench,
+    run_vm_microbench,
+    run_vm_pair,
+    vm_site_keys,
+)
+
+FAST = MicrobenchConfig(
+    threads=4,
+    locks=16,
+    sites=4,
+    iterations_per_thread=30,
+    inside_spin=2,
+    outside_spin=10,
+    history_size=32,
+)
+
+
+class TestGeneratedSites:
+    def test_distinct_positions(self):
+        _sites, keys = make_acquire_sites(6)
+        assert len(set(keys)) == 6
+
+    def test_sites_are_callable_locks(self):
+        import _thread
+
+        sites, _keys = make_acquire_sites(2)
+        lock = _thread.allocate_lock()
+        sites[0](lock, 5)
+        assert not lock.locked()
+
+    def test_reported_keys_match_captured_positions(self, runtime):
+        """The key list must be exactly where Dimmunix sees acquisitions,
+        or synthetic signatures would miss."""
+        sites, keys = make_acquire_sites(3)
+        lock = runtime.lock("probe")
+        sites[1](lock, 1)
+        interned = [position.key for position in runtime.core.positions]
+        assert (keys[1],) in interned
+
+
+class TestVMHarness:
+    def test_program_sites_match_announced_keys(self):
+        program = build_vm_program(FAST)
+        announced = set(vm_site_keys(FAST.sites))
+        actual = {(s.file, s.line) for s in program.sync_sites()}
+        assert actual == announced
+
+    def test_pair_runs_and_overhead_positive(self):
+        vanilla, immunized = run_vm_pair(FAST)
+        assert vanilla.syncs == immunized.syncs == 4 * 30 * 4
+        assert immunized.overhead_vs(vanilla) > 0
+
+    def test_deterministic_virtual_time(self):
+        first = run_vm_microbench(FAST, dimmunix=True)
+        second = run_vm_microbench(FAST, dimmunix=True)
+        assert first.seconds == second.seconds
+        assert first.syncs == second.syncs
+
+    def test_history_exercised_without_serialization(self):
+        result = run_vm_microbench(FAST, dimmunix=True)
+        assert result.stats.instantiation_checks > 0
+        assert result.stats.yields == 0
+
+    def test_history_size_scales_checks(self):
+        small = run_vm_microbench(FAST.scaled(history_size=16), dimmunix=True)
+        large = run_vm_microbench(FAST.scaled(history_size=64), dimmunix=True)
+        assert large.stats.instantiation_checks > small.stats.instantiation_checks
+
+
+class TestRealHarness:
+    def test_all_three_modes_run(self):
+        for mode in (MODE_VANILLA, MODE_WRAPPER_OFF, MODE_DIMMUNIX):
+            result = run_real_microbench(FAST, mode)
+            assert result.syncs == 4 * 30
+            assert result.seconds > 0
+
+    def test_dimmunix_mode_exercises_history(self):
+        result = run_real_microbench(FAST, MODE_DIMMUNIX)
+        assert result.stats is not None
+        assert result.stats.instantiation_checks > 0
+        assert result.stats.yields == 0
+
+    def test_static_ids_mode(self):
+        result = run_real_microbench(
+            FAST.scaled(static_ids=True), MODE_DIMMUNIX
+        )
+        assert result.stats.instantiation_checks > 0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_real_microbench(FAST, "turbo")
+
+    def test_overhead_vs_zero_baseline(self):
+        from repro.workloads.microbench import MicrobenchResult
+
+        zero = MicrobenchResult(mode="x", syncs=0, seconds=0)
+        other = MicrobenchResult(mode="y", syncs=10, seconds=1)
+        assert other.overhead_vs(zero) == 0.0
