@@ -114,9 +114,7 @@ def bench_vm_stack_cost_term(benchmark, record):
     def measure():
         vanilla = run_vm_microbench(config, dimmunix=False, vm_config=VM_BASE)
         walking = run_vm_microbench(config, dimmunix=True, vm_config=VM_BASE)
-        from dataclasses import replace
-
-        static_vm = replace(VM_BASE, stack_retrieval_cost=0)
+        static_vm = VM_BASE.evolve(stack_retrieval_cost=0)
         static = run_vm_microbench(config, dimmunix=True, vm_config=static_vm)
         return vanilla, walking, static
 

@@ -20,7 +20,6 @@ enters the monitor):
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 from repro.analysis.report import ExperimentRecord
 from repro.config import InterceptionMode
@@ -112,7 +111,7 @@ def bench_naive_hook_double_intercepts(benchmark, record):
         builder.monitor_exit("obj", reg="r", line=52)
         builder.loop_dec("i", "loop")
         builder.halt()
-        vm = DalvikVM(replace(VMConfig(), native_interception=mode))
+        vm = DalvikVM(VMConfig().evolve(native_interception=mode))
         for index in range(4):
             vm.spawn(builder.build(), f"worker-{index}")
         vm.run()

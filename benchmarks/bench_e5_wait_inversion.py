@@ -60,7 +60,7 @@ def bench_detect_then_avoid(benchmark, record, tmp_path):
 
     def measure():
         config = VMConfig(
-            dimmunix=VMConfig().dimmunix.with_overrides(
+            dimmunix=VMConfig().dimmunix.evolve(
                 history_path=history_path
             )
         )

@@ -24,7 +24,6 @@ Usage::
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 from repro.config import InterceptionMode
 from repro.dalvik.program import ProgramBuilder
@@ -73,7 +72,7 @@ def main() -> None:
     builder.loop_dec("i", "loop")
     builder.halt()
     naive_vm = DalvikVM(
-        replace(VMConfig(), native_interception=InterceptionMode.ALWAYS)
+        VMConfig().evolve(native_interception=InterceptionMode.ALWAYS)
     )
     naive_vm.spawn(builder.build(), "java-worker")
     naive_vm.run()

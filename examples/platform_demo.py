@@ -3,10 +3,19 @@
 
 The paper's defining property is that *no application changes*: Dimmunix
 lives inside the Dalvik VM, underneath every app. The Python analog is
-``repro.runtime.patch``, which substitutes ``threading.Lock``, ``RLock``
+the platform-wide patch, which substitutes ``threading.Lock``, ``RLock``
 and ``Condition`` process-wide. Code that has never heard of Dimmunix —
 here, a small "third-party" job queue built on stdlib primitives — runs
 immunized, and its deadlocks are detected and then avoided.
+
+Through the facade that is one argument::
+
+    with repro.immunity(patch=True) as dx:
+        ...  # every threading.Lock in the process is now immunized
+
+(The pre-facade spelling — ``patch.immunized(DimmunixRuntime(config))``
+from :mod:`repro.runtime` — still works; new code should prefer the
+facade.)
 
 Usage::
 
@@ -19,9 +28,8 @@ import queue
 import threading
 import time
 
-from repro import DimmunixConfig
+import repro
 from repro.errors import DeadlockDetectedError
-from repro.runtime import DimmunixRuntime, patch
 
 
 # ----------------------------------------------------------------------
@@ -82,11 +90,7 @@ def exercise(service: AccountService, log: list) -> None:
 
 
 def main() -> None:
-    runtime = DimmunixRuntime(
-        DimmunixConfig(yield_timeout=1.0), name="platform"
-    )
-
-    with patch.immunized(runtime):
+    with repro.immunity(yield_timeout=1.0, patch=True, name="platform") as dx:
         # Even queue.Queue, created *after* the patch, runs on Dimmunix
         # primitives — construction allocates a Lock and three Conditions.
         jobs: queue.Queue = queue.Queue()
@@ -104,8 +108,9 @@ def main() -> None:
         for line in log:
             print(f"  {line}")
         print(
-            f"  history now holds {len(runtime.history)} signature(s); "
-            f"{runtime.stats.deadlocks_detected} detection(s)"
+            f"  history now holds {len(dx.history)} signature(s); "
+            f"{dx.stats.deadlocks_detected} detection(s) "
+            f"({dx.counter.count('detection')} detection event(s))"
         )
 
         print()
@@ -115,8 +120,8 @@ def main() -> None:
         for line in log:
             print(f"  {line}")
         print(
-            f"  detections total: {runtime.stats.deadlocks_detected} "
-            f"(unchanged), avoidance yields: {runtime.stats.yields}"
+            f"  detections total: {dx.stats.deadlocks_detected} "
+            f"(unchanged), avoidance yields: {dx.stats.yields}"
         )
 
     print()

@@ -9,6 +9,19 @@ deadlock is avoided before it can form — the second thread is briefly
 parked at the dangerous acquisition instead, then proceeds when the
 coast is clear.
 
+The whole setup is the five-line facade::
+
+    import repro
+
+    with repro.immunity() as dx:
+        a, b = dx.lock("account-a"), dx.lock("account-b")
+        ...  # use a and b like threading.Lock; deadlocks are detected,
+        ...  # recorded, and (next time) avoided
+
+(The pre-facade construction path — ``DimmunixRuntime(config)`` from
+:mod:`repro.runtime` — still works and is not going away, but new code
+should start from ``repro.immunity`` / ``repro.Dimmunix``.)
+
 Usage::
 
     python examples/quickstart.py            # in-memory history: detect, then avoid
@@ -22,9 +35,8 @@ import threading
 import time
 from pathlib import Path
 
-from repro import DimmunixConfig
+import repro
 from repro.errors import DeadlockDetectedError
-from repro.runtime import DimmunixRuntime
 
 
 def rendezvous(barrier: threading.Barrier, seconds: float = 0.5) -> None:
@@ -62,9 +74,9 @@ def credit_then_debit(account_a, account_b, barrier, log) -> None:
         log.append(str(error))
 
 
-def run_once(runtime: DimmunixRuntime, label: str) -> None:
-    account_a = runtime.lock("account-a")
-    account_b = runtime.lock("account-b")
+def run_once(session: "repro.Dimmunix", label: str) -> None:
+    account_a = session.lock("account-a")
+    account_b = session.lock("account-b")
     barrier = threading.Barrier(2)
     log: list = []
 
@@ -83,35 +95,41 @@ def run_once(runtime: DimmunixRuntime, label: str) -> None:
 
     for line in log:
         print(f"[{label}]   {line}")
+    # The same numbers, two ways: legacy counters and the event stream.
     print(
-        f"[{label}] stats: {runtime.stats.deadlocks_detected} detected, "
-        f"{runtime.stats.yields} avoidance yields, "
-        f"{len(runtime.history)} signature(s) in history"
+        f"[{label}] stats: {session.stats.deadlocks_detected} detected, "
+        f"{session.stats.yields} avoidance yields, "
+        f"{len(session.history)} signature(s) in history "
+        f"(events: {session.counter.count('detection')} detection, "
+        f"{session.counter.count('yield')} yield)"
     )
 
 
 def main() -> None:
     history_path = Path(sys.argv[1]) if len(sys.argv) > 1 else None
-    config = DimmunixConfig(history_path=history_path)
 
     print("=== run 1: no antibodies yet -> the deadlock is detected ===")
-    first = DimmunixRuntime(config, name="quickstart-1")
-    run_once(first, "run 1")
+    with repro.immunity(history_path=history_path, name="quickstart-1") as first:
+        run_once(first, "run 1")
+        carried_over = first.history
 
     print()
     print("=== run 2: same history -> the deadlock is avoided ===")
-    # A fresh runtime simulates a process restart. With a history *path*
+    # A fresh session simulates a process restart. With a history *path*
     # the signature is reloaded from disk; without one we hand the
     # in-memory history over explicitly.
-    second = DimmunixRuntime(
-        config,
-        history=None if history_path else first.history,
+    with repro.immunity(
+        history_path=history_path,
+        history=None if history_path else carried_over,
         name="quickstart-2",
-    )
-    run_once(second, "run 2")
+    ) as second:
+        run_once(second, "run 2")
+        avoided = (
+            second.stats.deadlocks_detected == 0 and second.stats.yields > 0
+        )
 
     print()
-    if second.stats.deadlocks_detected == 0 and second.stats.yields > 0:
+    if avoided:
         print("immunity works: run 2 had no deadlock, only a brief yield.")
     else:
         print("unexpected: run 2 should have avoided the deadlock.")

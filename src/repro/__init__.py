@@ -3,8 +3,12 @@ Phones" (Jula, Rensch, Candea; HotDep/DSN 2011).
 
 Public entry points:
 
+* :func:`repro.immunity` / :class:`repro.Dimmunix` — the unified facade:
+  one session object (one config, one history, one typed event stream)
+  that drives every adapter layer below. Start here.
 * :mod:`repro.core` — the Dimmunix algorithm (detection, signatures,
-  history, avoidance) as a pure state machine.
+  history, avoidance) as a pure state machine, plus the typed
+  event stream (:mod:`repro.core.events`) every decision is published on.
 * :mod:`repro.runtime` — deadlock immunity for real ``threading`` code:
   wrapped locks, ``synchronized`` monitors, and a platform-wide
   monkey-patch (the analog of patching the Dalvik VM).
@@ -19,8 +23,8 @@ Public entry points:
   (AST-woven) Dimmunix, full or selective-to-history.
 * :mod:`repro.ndk` — §4's native gap: simulated POSIX-thread mutexes
   under JNI code and the VM, with the three interception policies.
-* :mod:`repro.tools` — the ``dimmunix-history`` and ``dimmunix-report``
-  command-line tools.
+* :mod:`repro.tools` — the ``dimmunix-history``, ``dimmunix-report``,
+  and ``dimmunix-events`` command-line tools.
 """
 
 from repro.config import DetectionPolicy, DimmunixConfig
@@ -32,6 +36,8 @@ from repro.errors import (
 from repro.version import __version__
 
 __all__ = [
+    "Dimmunix",
+    "immunity",
     "DimmunixConfig",
     "DetectionPolicy",
     "DimmunixError",
@@ -39,3 +45,13 @@ __all__ = [
     "StarvationDetectedError",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    # The facade pulls in every adapter layer; import it lazily so that
+    # ``import repro`` stays light and cycle-free for the subpackages.
+    if name in ("Dimmunix", "immunity"):
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -4,6 +4,18 @@ Attach a :class:`SyncProfiler` to a :class:`~repro.dalvik.vm.DalvikVM`
 and every ``monitorenter`` completion lands in a virtual-time bucket;
 afterwards, :meth:`SyncProfiler.peak_window` reports the best window —
 the measurement methodology behind Table 1's "Syncs/sec" column.
+
+Two collection modes:
+
+* :meth:`SyncProfiler.attach` — the legacy VM hook. Counts every
+  ``note_sync`` (thin-lock fast path and native mutex grants included),
+  which is what the Table 1 numbers are defined over.
+* :meth:`SyncProfiler.attach_events` — the typed event stream. Consumes
+  :class:`~repro.core.events.AcquiredEvent` from any
+  :class:`~repro.core.events.EventBus` (a VM's, a runtime's, or a whole
+  facade session's), using the event's ``ts`` stamp as the bucket clock.
+  This is the mode that needs no access to the VM at all — the profiler
+  is just one more subscriber on the stream.
 """
 
 from __future__ import annotations
@@ -13,6 +25,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.analysis.windows import Window, peak_window
 
 if TYPE_CHECKING:
+    from repro.core.events import Event, EventBus, Subscription
     from repro.dalvik.thread import VMThread
     from repro.dalvik.vm import DalvikVM
 
@@ -33,6 +46,7 @@ class SyncProfiler:
         self._counts: list[int] = []
         self.total_events = 0
         self._per_thread: dict[str, int] = {}
+        self._ts_origin: Optional[float] = None
 
     # ------------------------------------------------------------------
     # collection
@@ -43,13 +57,52 @@ class SyncProfiler:
         vm.sync_hook = self.on_sync
         return self
 
+    def attach_events(
+        self, bus: "EventBus", source: Optional[str] = None
+    ) -> "Subscription":
+        """Consume ``AcquiredEvent`` from a typed event stream.
+
+        ``source`` restricts the profile to one adapter on a shared
+        session bus (e.g. ``"session/vm-0"``); ``None`` profiles the
+        whole stream. The first event's ``ts`` becomes the bucket
+        origin, so wall-clock sources (the real-thread runtime stamps
+        ``time.monotonic()`` seconds) do not allocate buckets back to
+        the epoch — but for that same reason, profile adapters with
+        *different* clocks (a VM and a runtime) into separate profilers,
+        one per source. Returns the subscription handle so the caller
+        can detach with ``bus.unsubscribe(handle)``.
+        """
+        return bus.subscribe(
+            self._on_acquired_event, kinds=("acquired",), source=source
+        )
+
+    def _on_acquired_event(self, event: "Event") -> None:
+        if self._ts_origin is None:
+            self._ts_origin = event.ts
+        # Bucket with float math so fractional ``ts`` units (wall-clock
+        # seconds with ticks_per_second=1) keep sub-second resolution —
+        # ``int()``-truncating the delta first would silently widen
+        # sub-second buckets. Clamp: on a mixed-clock bus a later
+        # source's clock can sit behind the origin; land those in
+        # bucket 0 rather than corrupting the list with negative
+        # indexing.
+        delta = max(0.0, event.ts - self._ts_origin)
+        seconds = delta / self.ticks_per_second
+        self._land(int(seconds / self.bucket_seconds), event.thread)
+
     def on_sync(self, tick: int, thread: "VMThread") -> None:
-        index = tick // self._bucket_ticks
+        self.record(tick, thread.name)
+
+    def record(self, tick: int, thread_name: str) -> None:
+        """Land one sync completion in its virtual-time bucket."""
+        self._land(tick // self._bucket_ticks, thread_name)
+
+    def _land(self, index: int, thread_name: str) -> None:
         if index >= len(self._counts):
             self._counts.extend([0] * (index + 1 - len(self._counts)))
         self._counts[index] += 1
         self.total_events += 1
-        self._per_thread[thread.name] = self._per_thread.get(thread.name, 0) + 1
+        self._per_thread[thread_name] = self._per_thread.get(thread_name, 0) + 1
 
     # ------------------------------------------------------------------
     # reporting

@@ -1,0 +1,389 @@
+"""The unified Dimmunix facade — one session object for every adapter.
+
+The paper exposes one tiny surface: ``initDimmunix`` plus three hooks
+wired into the VM. Our reproduction grew four adapter layers — real
+threads (:mod:`repro.runtime`), the platform-wide monkey-patch
+(:mod:`repro.runtime.patch`), AST weaving (:mod:`repro.instrument`), the
+simulated Dalvik VM (:mod:`repro.dalvik`) and its NDK pthread layer
+(:mod:`repro.ndk`) — each constructed its own core, history, and stats.
+This module is the ``initDimmunix`` analog for all of them at once:
+
+.. code-block:: python
+
+    import repro
+
+    with repro.immunity() as dx:
+        a, b = dx.lock("a"), dx.lock("b")
+        ...            # deadlocks detected, then avoided forever
+
+One :class:`Dimmunix` session owns **one config, one history, one event
+bus**. Every adapter it creates —
+
+* :meth:`Dimmunix.runtime` — immunized ``threading`` primitives,
+* :meth:`Dimmunix.install` / :meth:`Dimmunix.uninstall` /
+  :meth:`Dimmunix.patch` — the platform-wide ``threading`` patch,
+* :meth:`Dimmunix.weave` — load-time AST instrumentation,
+* :meth:`Dimmunix.vm` — a simulated Dalvik process,
+* :meth:`Dimmunix.pthreads` — a Dalvik process with NDK pthread
+  interception —
+
+shares those three, so a signature detected under the VM immunizes the
+real-thread runtime (and vice versa), and a single subscriber registered
+with :meth:`Dimmunix.subscribe` observes the typed event stream of the
+whole session, each event tagged with the adapter that emitted it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.config import DimmunixConfig, InterceptionMode
+from repro.core.events import (
+    EventBus,
+    EventCounter,
+    EventLog,
+    HistorySavedEvent,
+    JsonlWriter,
+    Subscription,
+)
+from repro.core.history import History, load_or_empty
+from repro.core.stats import DimmunixStats
+
+if TYPE_CHECKING:
+    from repro.dalvik.vm import DalvikVM, VMConfig
+    from repro.instrument.weaver import Weaver
+    from repro.runtime.runtime import DimmunixRuntime
+
+
+class Dimmunix:
+    """One deadlock-immunity session spanning all adapter layers.
+
+    Construction is lazy: adapters are created on first use, each bound
+    to the session's shared :class:`~repro.config.DimmunixConfig`,
+    :class:`~repro.core.history.History`, and
+    :class:`~repro.core.events.EventBus`. The session keeps an
+    always-on :class:`~repro.core.events.EventCounter` (``session.counter``)
+    so event-derived totals are available without registering anything.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DimmunixConfig] = None,
+        *,
+        history: Optional[History] = None,
+        events: Optional[EventBus] = None,
+        name: str = "dimmunix",
+    ) -> None:
+        self.name = name
+        self.config = config or DimmunixConfig()
+        self.events = events if events is not None else EventBus()
+        self.history = (
+            history
+            if history is not None
+            else load_or_empty(
+                self.config.history_path, self.config.max_signatures
+            )
+        )
+        self.counter = EventCounter()
+        self._counter_subscription = self.events.subscribe(self.counter)
+        self._runtime: Optional["DimmunixRuntime"] = None
+        self._vms: list["DalvikVM"] = []
+        self._weavers: list["Weaver"] = []
+        self._recorders: list[JsonlWriter] = []
+        self._tail_subscriptions: list[Subscription] = []
+        self._patched = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # adapter layer 1: real threads
+    # ------------------------------------------------------------------
+
+    def runtime(self) -> "DimmunixRuntime":
+        """The session's real-thread runtime (created on first use)."""
+        if self._runtime is None:
+            from repro.runtime.runtime import DimmunixRuntime
+
+            self._runtime = DimmunixRuntime(
+                self.config,
+                history=self.history,
+                name=f"{self.name}/runtime",
+                events=self.events,
+            )
+        return self._runtime
+
+    def lock(self, name: str = ""):
+        """An immunized ``threading.Lock`` replacement (runtime layer)."""
+        return self.runtime().lock(name)
+
+    def rlock(self, name: str = ""):
+        """An immunized ``threading.RLock`` replacement (runtime layer)."""
+        return self.runtime().rlock(name)
+
+    def condition(self, lock=None):
+        """An immunized ``threading.Condition`` replacement."""
+        return self.runtime().condition(lock)
+
+    # ------------------------------------------------------------------
+    # adapter layer 2: the platform-wide patch
+    # ------------------------------------------------------------------
+
+    def install(self) -> "DimmunixRuntime":
+        """Patch ``threading`` process-wide, bound to this session."""
+        from repro.runtime import patch
+
+        runtime = patch.install(self.runtime())
+        self._patched = True
+        return runtime
+
+    def uninstall(self) -> None:
+        """Undo :meth:`install`.
+
+        A no-op when the patch is currently owned by a *different*
+        runtime (another session installed over us): clobbering their
+        patch would silently strip that session's immunity.
+        """
+        from repro.runtime import patch
+
+        if patch.installed_runtime() is self._runtime:
+            patch.uninstall()
+        self._patched = False
+
+    @contextlib.contextmanager
+    def patch(self) -> Iterator["DimmunixRuntime"]:
+        """Scope-limited platform-wide immunity bound to this session."""
+        from repro.runtime import patch as patch_module
+
+        with patch_module.immunized(self.runtime()) as runtime:
+            yield runtime
+
+    # ------------------------------------------------------------------
+    # adapter layer 3: load-time instrumentation
+    # ------------------------------------------------------------------
+
+    def weave(self, selective: bool = False, selector=None) -> "Weaver":
+        """A weaver bound to this session's runtime (§3.1 alternative).
+
+        ``selective=True`` guards only positions already in the shared
+        history — the minimal-overhead mode.
+        """
+        from repro.instrument.weaver import Weaver
+
+        weaver = Weaver(
+            runtime=self.runtime(), selective=selective, selector=selector
+        )
+        self._weavers.append(weaver)
+        return weaver
+
+    # ------------------------------------------------------------------
+    # adapter layers 4 + 5: the simulated VM and its NDK pthread layer
+    # ------------------------------------------------------------------
+
+    def vm(
+        self,
+        vm_config: Optional["VMConfig"] = None,
+        name: Optional[str] = None,
+        **vm_overrides,
+    ) -> "DalvikVM":
+        """A simulated Dalvik process sharing this session's immunity.
+
+        The VM's Dimmunix config *is* the session config (overriding
+        whatever ``vm_config.dimmunix`` said); extra keyword arguments
+        override other :class:`~repro.dalvik.vm.VMConfig` fields, e.g.
+        ``dx.vm(seed=7, quantum=4)``.
+        """
+        from repro.dalvik.vm import DalvikVM, VMConfig
+
+        if "dimmunix" in vm_overrides:
+            raise ValueError(
+                "a session VM's Dimmunix config is the session config; "
+                "configure the Dimmunix session (or use DalvikVM directly)"
+            )
+        base = vm_config if vm_config is not None else VMConfig()
+        config = base.evolve(dimmunix=self.config, **vm_overrides)
+        vm = DalvikVM(
+            config,
+            history=self.history,
+            name=name or f"{self.name}/vm-{len(self._vms)}",
+            events=self.events,
+        )
+        self._vms.append(vm)
+        return vm
+
+    def pthreads(
+        self,
+        mode: InterceptionMode = InterceptionMode.NATIVE_ONLY,
+        vm_config: Optional["VMConfig"] = None,
+        name: Optional[str] = None,
+        **vm_overrides,
+    ) -> "DalvikVM":
+        """A Dalvik process with NDK pthread interception enabled (§4).
+
+        Returns the VM; its ``.pthreads`` attribute is the intercepted
+        POSIX mutex layer. The default ``NATIVE_ONLY`` is the paper's
+        proposal; ``ALWAYS`` reproduces the naive double interception.
+        """
+        return self.vm(
+            vm_config=vm_config,
+            name=name,
+            native_interception=mode,
+            **vm_overrides,
+        )
+
+    # ------------------------------------------------------------------
+    # the event stream
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self, callback, *, kinds=None, source=None
+    ) -> Subscription:
+        """Observe the session-wide typed event stream.
+
+        One subscription sees events from every adapter in the session;
+        filter by ``kinds`` (event kind strings or classes) and/or
+        ``source`` (an adapter name such as ``"<session>/runtime"``).
+        """
+        return self.events.subscribe(callback, kinds=kinds, source=source)
+
+    def unsubscribe(self, subscription) -> bool:
+        return self.events.unsubscribe(subscription)
+
+    def tail(self, capacity: int = 100_000) -> EventLog:
+        """Subscribe and return an in-memory log of session events.
+
+        The log stays subscribed for the session's lifetime and is
+        detached by :meth:`close`.
+        """
+        log = EventLog(capacity)
+        self._tail_subscriptions.append(self.events.subscribe(log))
+        return log
+
+    def record(self, path, flush_every: int = 1) -> JsonlWriter:
+        """Stream session events to ``path`` as JSON lines.
+
+        The file is the input format of the ``dimmunix-events`` CLI;
+        the writer is closed by :meth:`close`.
+        """
+        writer = JsonlWriter(path, flush_every=flush_every)
+        self.events.subscribe(writer)
+        self._recorders.append(writer)
+        return writer
+
+    # ------------------------------------------------------------------
+    # session-wide state
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> DimmunixStats:
+        """Aggregated counters across every adapter in the session."""
+        merged = DimmunixStats()
+        if self._runtime is not None:
+            merged.merge(self._runtime.stats)
+        for vm in self._vms:
+            if vm.core is not None:
+                merged.merge(vm.core.stats)
+        return merged
+
+    @property
+    def components(self) -> dict[str, object]:
+        """The adapters this session has constructed so far, by name."""
+        named: dict[str, object] = {}
+        if self._runtime is not None:
+            named[self._runtime.name] = self._runtime
+        for vm in self._vms:
+            named[vm.name] = vm
+        return named
+
+    def save_history(self, path: Optional[Path | str] = None) -> Path:
+        """Persist the shared history (defaults to the configured path)."""
+        target = Path(path) if path is not None else self.config.history_path
+        if target is None:
+            raise ValueError(
+                "no history path: pass one or set DimmunixConfig.history_path"
+            )
+        self.history.save(target)
+        self.events.publish(
+            HistorySavedEvent(
+                source=self.name,
+                path=str(target),
+                signatures=len(self.history),
+            )
+        )
+        return target
+
+    def close(self) -> None:
+        """Tear the session down: undo the patch, detach every
+        session-owned subscriber, flush recorders.
+
+        Matters when the bus was passed in from outside: a closed
+        session must stop consuming events published by its successors.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._patched:
+            self.uninstall()
+        for writer in self._recorders:
+            self.events.unsubscribe(writer)
+            writer.close()
+        for subscription in self._tail_subscriptions:
+            self.events.unsubscribe(subscription)
+        self.events.unsubscribe(self._counter_subscription)
+        # The adapter cores' stats subscribers too — on an externally
+        # owned bus they would otherwise keep counting (same-named
+        # successor sessions share a source string) and leak one dead
+        # subscription per core.
+        if self._runtime is not None:
+            self._runtime.core.detach_events()
+        for vm in self._vms:
+            if vm.core is not None:
+                vm.core.detach_events()
+
+    def __enter__(self) -> "Dimmunix":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        layers = ", ".join(self.components) or "no adapters yet"
+        return (
+            f"<Dimmunix {self.name}: {len(self.history)} signature(s), "
+            f"{self.events.published} event(s), {layers}>"
+        )
+
+
+@contextlib.contextmanager
+def immunity(
+    config: Optional[DimmunixConfig] = None,
+    *,
+    history: Optional[History] = None,
+    events: Optional[EventBus] = None,
+    patch: bool = False,
+    name: str = "immunity",
+    **config_overrides,
+) -> Iterator[Dimmunix]:
+    """Deadlock immunity for a scope — the five-line quickstart.
+
+    Creates a :class:`Dimmunix` session (``config_overrides`` build or
+    evolve the config, e.g. ``immunity(history_path=p)``), optionally
+    installs the platform-wide ``threading`` patch (``patch=True``), and
+    tears everything down on exit.
+    """
+    if config is None:
+        resolved = DimmunixConfig(**config_overrides)
+    elif config_overrides:
+        resolved = config.evolve(**config_overrides)
+    else:
+        resolved = config
+    session = Dimmunix(resolved, history=history, events=events, name=name)
+    try:
+        if patch:
+            session.install()
+        yield session
+    finally:
+        session.close()
+
+
+__all__ = ["Dimmunix", "immunity"]

@@ -12,7 +12,6 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Optional
 
 
 class InterceptionMode(enum.Enum):
@@ -80,10 +79,10 @@ class DimmunixConfig:
 
     stack_depth: int = 1
     detection_policy: DetectionPolicy = DetectionPolicy.RAISE
-    history_path: Optional[Path] = None
+    history_path: Path | None = None
     auto_save: bool = True
     starvation_detection: bool = True
-    yield_timeout: Optional[float] = 2.0
+    yield_timeout: float | None = 2.0
     static_ids: bool = False
     max_signatures: int = 4096
     enabled: bool = True
@@ -101,12 +100,27 @@ class DimmunixConfig:
                 f"yield_timeout must be positive or None, got {self.yield_timeout}"
             )
 
-    def with_overrides(self, **changes) -> "DimmunixConfig":
-        """A copy with the given fields replaced (configs are immutable)."""
+    def evolve(self, **changes) -> "DimmunixConfig":
+        """A copy with the given fields replaced (configs are immutable).
+
+        The one blessed way to derive configs — call sites should use
+        this instead of hand-rolling ``dataclasses.replace``.
+        """
         return replace(self, **changes)
 
+    def with_overrides(self, **changes) -> "DimmunixConfig":
+        """Deprecated alias of :meth:`evolve` (kept for compatibility)."""
+        import warnings
+
+        warnings.warn(
+            "DimmunixConfig.with_overrides is deprecated; use evolve()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.evolve(**changes)
+
     @classmethod
-    def paper_faithful(cls, history_path: Optional[Path] = None) -> "DimmunixConfig":
+    def paper_faithful(cls, history_path: Path | None = None) -> "DimmunixConfig":
         """The configuration matching Android Dimmunix on the Nexus One."""
         return cls(
             stack_depth=1,

@@ -27,6 +27,24 @@ from repro.core.engine import (
     RequestResult,
     RequestVerdict,
 )
+from repro.core.events import (
+    AcquiredEvent,
+    DetectionEvent,
+    Event,
+    EventBus,
+    EventCounter,
+    EventLog,
+    HistorySavedEvent,
+    JsonlWriter,
+    ReleaseEvent,
+    RequestEvent,
+    ResumeEvent,
+    StarvationEvent,
+    Subscription,
+    YieldEvent,
+    event_from_dict,
+    event_to_dict,
+)
 from repro.core.history import History, HistoryFullError, load_or_empty
 from repro.core.node import LockNode, ThreadNode
 from repro.core.position import Position, PositionQueue, PositionTable
@@ -71,4 +89,20 @@ __all__ = [
     "RequestVerdict",
     "DimmunixStats",
     "MemoryFootprint",
+    "Event",
+    "RequestEvent",
+    "AcquiredEvent",
+    "ReleaseEvent",
+    "YieldEvent",
+    "ResumeEvent",
+    "DetectionEvent",
+    "StarvationEvent",
+    "HistorySavedEvent",
+    "EventBus",
+    "Subscription",
+    "EventCounter",
+    "EventLog",
+    "JsonlWriter",
+    "event_to_dict",
+    "event_from_dict",
 ]

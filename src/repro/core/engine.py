@@ -21,17 +21,38 @@ virtual-time phone simulation.
 Thread-safety contract: all engine calls must be serialized by the
 caller — the paper uses a process-global lock around Request/Acquired/
 Release, and so do our adapters.
+
+Every decision is also published as a typed event on the engine's
+:class:`~repro.core.events.EventBus` (request, acquired, release, yield,
+resume, detection, starvation, history-saved). ``DimmunixStats`` is just
+the first subscriber on that bus — the counters are event-derived — and
+any number of further subscribers (profilers, CLIs, aggregators) can
+observe the same stream without touching the lock path. A note on
+ordering: a ``history-saved`` event is published while the detection or
+starvation that triggered the save is still being assembled, so it
+precedes the corresponding ``detection``/``starvation`` event.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.config import DimmunixConfig
 from repro.core.avoidance import InstantiationChecker
 from repro.core.callstack import CallStack
+from repro.core.events import (
+    AcquiredEvent,
+    DetectionEvent,
+    EventBus,
+    HistorySavedEvent,
+    ReleaseEvent,
+    RequestEvent,
+    ResumeEvent,
+    StarvationEvent,
+    YieldEvent,
+)
 from repro.core.cycle import (
     LockCycle,
     find_extended_cycle,
@@ -114,6 +135,10 @@ class DimmunixCore:
         self,
         config: Optional[DimmunixConfig] = None,
         history: Optional[History] = None,
+        *,
+        events: Optional[EventBus] = None,
+        source: str = "core",
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.config = config or DimmunixConfig()
         self.history = (
@@ -128,6 +153,33 @@ class DimmunixCore:
         self.rag = ResourceAllocationGraph()
         self.checker = InstantiationChecker(self.positions, self.stats)
         self._yield_count = 0
+        # The typed event stream. A shared bus (one session, several
+        # adapters) is fine: events carry this core's ``source`` and the
+        # stats subscription filters on it, so each core's counters only
+        # reflect its own traffic.
+        self.source = source
+        self.events = events if events is not None else EventBus()
+        self._clock = clock
+        # Claiming the source catches two same-named cores on one bus —
+        # they would double-count into each other's stats.
+        self.events.claim_source(source)
+        self._stats_subscription = self.events.subscribe(
+            self.stats.on_event, source=source
+        )
+
+    def _now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    def detach_events(self) -> None:
+        """Unhook this core's stats subscriber from the (shared) bus.
+
+        After this, events keep being published but the counters stop;
+        used by session teardown so a retired core does not linger as a
+        subscriber on a bus that outlives it. The source name becomes
+        claimable again.
+        """
+        self.events.unsubscribe(self._stats_subscription)
+        self.events.release_source(self.source)
 
     # ------------------------------------------------------------------
     # node lifecycle (paper: initNode on allocThread / dvmCreateMonitor)
@@ -176,7 +228,6 @@ class DimmunixCore:
         (would granting instantiate a history signature?), with starvation
         checks at both the triggering and the yielding side.
         """
-        self.stats.requests += 1
         truncated = stack.truncated(self.config.stack_depth)
         position = self.positions.intern(truncated)
         if not position.in_history and self.history.contains_position(
@@ -186,20 +237,36 @@ class DimmunixCore:
 
         # A retry after a yield: drop the stale yield edges first.
         if thread.yielding_on is not None:
+            self._emit(
+                ResumeEvent,
+                thread=thread.name,
+                signature=thread.yielding_on,
+            )
             self.rag.clear_yield(thread)
             thread.yield_pos = None
             thread.yield_stack = None
             self._yield_count -= 1
-            self.stats.yield_wakeups += 1
 
+        self._emit(
+            RequestEvent,
+            thread=thread.name,
+            lock=lock.name,
+            position=position.key,
+        )
         self.rag.set_request(thread, lock, position, truncated)
 
         # --- detection ------------------------------------------------
         cycle = find_lock_cycle(thread, lock)
         if cycle is not None:
             signature = signature_from_cycle(cycle)
-            self._record(signature)
-            self.stats.deadlocks_detected += 1
+            recorded = self._record(signature)
+            self._emit(
+                DetectionEvent,
+                thread=thread.name,
+                lock=lock.name,
+                signature=signature,
+                recorded=recorded,
+            )
             position.queue.add(thread, lock)
             return RequestResult(
                 verdict=RequestVerdict.PROCEED,
@@ -216,8 +283,14 @@ class DimmunixCore:
             extended = find_extended_cycle(thread)
             if extended is not None and extended.is_starvation:
                 starvation_sig = signature_from_extended(extended)
-                self._record(starvation_sig)
-                self.stats.starvations_detected += 1
+                recorded = self._record(starvation_sig)
+                self._emit(
+                    StarvationEvent,
+                    thread=thread.name,
+                    signature=starvation_sig,
+                    trigger="request",
+                    recorded=recorded,
+                )
                 for yielder in extended.yielders:
                     if yielder.yielding_on is not None:
                         yielder.bypass.add(yielder.yielding_on)
@@ -266,7 +339,13 @@ class DimmunixCore:
             thread.yield_pos = position
             thread.yield_stack = truncated
             self._yield_count += 1
-            self.stats.yields += 1
+            self._emit(
+                YieldEvent,
+                thread=thread.name,
+                lock=lock.name,
+                position=position.key,
+                signature=signature,
+            )
 
             if self.config.starvation_detection:
                 extended = find_extended_cycle(thread)
@@ -275,8 +354,14 @@ class DimmunixCore:
                     # avoidance-induced deadlock, wake the other parked
                     # threads, and retry with a one-shot bypass (§2.2).
                     starvation_sig = signature_from_extended(extended)
-                    self._record(starvation_sig)
-                    self.stats.starvations_detected += 1
+                    recorded = self._record(starvation_sig)
+                    self._emit(
+                        StarvationEvent,
+                        thread=thread.name,
+                        signature=starvation_sig,
+                        trigger="yield",
+                        recorded=recorded,
+                    )
                     for yielder in extended.yielders:
                         if yielder is thread:
                             continue
@@ -308,7 +393,6 @@ class DimmunixCore:
 
     def acquired(self, thread: ThreadNode, lock: LockNode) -> None:
         """Called right after ``monitorenter``: request edge -> hold edge."""
-        self.stats.acquisitions += 1
         position = thread.request_pos
         stack = thread.request_stack
         if position is None or stack is None:
@@ -317,6 +401,7 @@ class DimmunixCore:
             )
         self.rag.clear_request(thread)
         self.rag.set_hold(thread, lock, position, stack)
+        self._emit(AcquiredEvent, thread=thread.name, lock=lock.name)
 
     def release(self, thread: ThreadNode, lock: LockNode) -> ReleaseResult:
         """Called right before ``monitorexit``.
@@ -325,17 +410,21 @@ class DimmunixCore:
         the history, every thread parked on a signature containing that
         position must be woken so it can re-run avoidance.
         """
-        self.stats.releases += 1
         position = lock.acq_pos
         notify: tuple[DeadlockSignature, ...] = ()
         if position is not None:
             if position.in_history:
                 notify = self.history.signatures_at(position.key)
-                self.stats.notifications += len(notify)
             position.queue.remove(thread, lock)
         self.rag.clear_hold(thread, lock)
         lock.acq_pos = None
         lock.acq_stack = None
+        self._emit(
+            ReleaseEvent,
+            thread=thread.name,
+            lock=lock.name,
+            notified=len(notify),
+        )
         return ReleaseResult(notify=notify)
 
     def cancel_request(self, thread: ThreadNode, lock: LockNode) -> None:
@@ -367,14 +456,31 @@ class DimmunixCore:
         if thread.yielding_on is None:
             return None
         signature = starvation_signature_for_timeout(thread)
-        self._record(signature)
-        self.stats.starvations_detected += 1
+        recorded = self._record(signature)
+        self._emit(
+            StarvationEvent,
+            thread=thread.name,
+            signature=signature,
+            trigger="timeout",
+            recorded=recorded,
+        )
         thread.bypass.add(thread.yielding_on)
         return signature
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+
+    def _emit(self, event_cls, **fields) -> None:
+        """Stamp source/ts and publish one typed event.
+
+        Centralized so no emit site can forget the stamping and silently
+        publish under the default source (subscriber errors never
+        escape the bus).
+        """
+        self.events.publish(
+            event_cls(source=self.source, ts=self._now(), **fields)
+        )
 
     def _starvation_override(self, position: Position) -> bool:
         """True when parking at ``position`` would re-enter a recorded
@@ -397,6 +503,11 @@ class DimmunixCore:
                     position.in_history = True
             if self.config.auto_save and self.config.history_path is not None:
                 self.history.save(self.config.history_path)
+                self._emit(
+                    HistorySavedEvent,
+                    path=str(self.config.history_path),
+                    signatures=len(self.history),
+                )
         else:
             self.stats.duplicate_signatures += 1
         return added

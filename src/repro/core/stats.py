@@ -4,11 +4,32 @@ The paper reports performance and memory overheads; this module provides
 the raw counters from which the benchmark harness derives them. Counters
 are plain integers mutated under the adapter's global lock, so no atomics
 are needed — the same reasoning the paper uses for its global-lock design.
+
+Since the event-stream redesign, the lifecycle counters (requests,
+acquisitions, releases, yields, wakeups, detections, starvations,
+notifications) are no longer incremented inline by the engine: the engine
+publishes typed events on its :class:`~repro.core.events.EventBus` and a
+``DimmunixStats`` instance is just the first subscriber (see
+:meth:`DimmunixStats.on_event`). The fine-grained work counters
+(``instantiation_checks``, ``matching_steps``) and the adapter-side
+timings stay direct — they are hot-path tallies, not lifecycle events.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
+
+# Event kind -> counter attribute for the 1:1 lifecycle counters. The
+# parity is load-bearing: tests assert event-derived counts equal these.
+_EVENT_COUNTERS = {
+    "request": "requests",
+    "acquired": "acquisitions",
+    "release": "releases",
+    "yield": "yields",
+    "resume": "yield_wakeups",
+    "detection": "deadlocks_detected",
+    "starvation": "starvations_detected",
+}
 
 
 @dataclass
@@ -34,6 +55,20 @@ class DimmunixStats:
     stack_retrievals: int = 0
     stack_retrieval_ns: int = 0
     request_ns: int = 0
+
+    def on_event(self, event) -> None:
+        """Derive the lifecycle counters from the typed event stream.
+
+        Registered by :class:`~repro.core.engine.DimmunixCore` as the
+        first subscriber on its bus (filtered to its own source), so the
+        counters stay exactly backward-compatible while every other
+        consumer reads the same stream.
+        """
+        counter = _EVENT_COUNTERS.get(event.kind)
+        if counter is not None:
+            setattr(self, counter, getattr(self, counter) + 1)
+        if event.kind == "release":
+            self.notifications += event.notified
 
     def snapshot(self) -> dict[str, int]:
         """A plain-dict copy, suitable for asserting deltas in tests."""

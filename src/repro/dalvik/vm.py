@@ -20,6 +20,7 @@ from typing import Callable, Optional
 
 from repro.config import DetectionPolicy, DimmunixConfig
 from repro.core.engine import DimmunixCore
+from repro.core.events import EventBus
 from repro.core.history import History
 from repro.core.signature import DeadlockSignature
 from repro.dalvik.interp import Interpreter
@@ -73,11 +74,15 @@ class VMConfig:
     # proposal; ALWAYS is the naive hook the paper warns against.
     native_interception: InterceptionMode = InterceptionMode.OFF
 
-    def vanilla(self) -> "VMConfig":
-        """The same VM with Dimmunix off (the paper's baseline image)."""
+    def evolve(self, **changes) -> "VMConfig":
+        """A copy with the given fields replaced (configs are immutable)."""
         from dataclasses import replace
 
-        return replace(self, dimmunix=DimmunixConfig.disabled())
+        return replace(self, **changes)
+
+    def vanilla(self) -> "VMConfig":
+        """The same VM with Dimmunix off (the paper's baseline image)."""
+        return self.evolve(dimmunix=DimmunixConfig.disabled())
 
 
 @dataclass
@@ -109,20 +114,28 @@ class DalvikVM:
         config: Optional[VMConfig] = None,
         history: Optional[History] = None,
         name: str = "vm",
+        events: Optional[EventBus] = None,
     ) -> None:
         self.config = config or VMConfig()
         self.name = name
+        self.clock = 0
         # initDimmunix: per-process core, history loaded from disk if the
-        # Dimmunix config names a path.
+        # Dimmunix config names a path. Events are stamped with the VM's
+        # virtual clock (ticks) and tagged with the process name.
         self.core: Optional[DimmunixCore] = (
-            DimmunixCore(self.config.dimmunix, history)
+            DimmunixCore(
+                self.config.dimmunix,
+                history,
+                events=events,
+                source=name,
+                clock=lambda: float(self.clock),
+            )
             if self.config.dimmunix.enabled
             else None
         )
         self.heap = ObjectHeap(self.core)
         self.threads: list[VMThread] = []
         self.globals: dict[str, int] = {}
-        self.clock = 0
         self.rng = random.Random(self.config.seed)
         self.timers = TimerQueue()
         self.ops = MonitorOps(self)
@@ -355,6 +368,11 @@ class DalvikVM:
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
+
+    @property
+    def events(self) -> Optional[EventBus]:
+        """The typed event stream of this VM's core (None when vanilla)."""
+        return self.core.events if self.core is not None else None
 
     def virtual_seconds(self) -> float:
         return self.clock / self.config.ticks_per_second

@@ -14,7 +14,6 @@ case study — therefore keeps its antibodies.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from pathlib import Path
 from typing import Optional
 
@@ -46,11 +45,10 @@ class Zygote:
         self._fork_count += 1
         dimmunix = self.vm_config.dimmunix
         if dimmunix.enabled:
-            dimmunix = dimmunix.with_overrides(
+            dimmunix = dimmunix.evolve(
                 history_path=self.history_path(process_name)
             )
-        config = replace(
-            self.vm_config,
+        config = self.vm_config.evolve(
             dimmunix=dimmunix,
             seed=seed if seed is not None else self.vm_config.seed,
         )

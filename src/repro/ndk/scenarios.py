@@ -66,9 +66,7 @@ def run_jni_inversion(
 ) -> DalvikVM:
     """Run the crossing scenario under the given interception mode."""
     base = vm_config or VMConfig()
-    from dataclasses import replace
-
-    config = replace(base, native_interception=mode)
+    config = base.evolve(native_interception=mode)
     vm = DalvikVM(config, history=history, name=f"jni-{mode.value}")
     java_program, native_program = build_jni_inversion_programs()
     vm.spawn(java_program, "java-thread")

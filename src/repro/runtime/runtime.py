@@ -11,11 +11,13 @@ process-default instance for the platform-wide patch and the
 from __future__ import annotations
 
 import threading
+import time
 from pathlib import Path
 from typing import Optional
 
 from repro.config import DimmunixConfig
 from repro.core.engine import DimmunixCore
+from repro.core.events import EventBus
 from repro.core.history import History
 from repro.core.signature import DeadlockSignature
 from repro.core.stats import DimmunixStats
@@ -35,10 +37,20 @@ class DimmunixRuntime:
         config: Optional[DimmunixConfig] = None,
         history: Optional[History] = None,
         name: str = "process",
+        events: Optional[EventBus] = None,
     ) -> None:
         self.name = name
         self.config = config or DimmunixConfig()
-        self.core = DimmunixCore(self.config, history)
+        # Events from this runtime are stamped with wall-clock seconds
+        # and tagged with the runtime's name, so a session-shared bus can
+        # tell adapters apart.
+        self.core = DimmunixCore(
+            self.config,
+            history,
+            events=events,
+            source=name,
+            clock=time.monotonic,
+        )
         self.adapter = RuntimeAdapter(self.core)
         self.static_sites = StaticSiteRegistry()
         self.monitors = MonitorRegistry(self)
@@ -70,6 +82,18 @@ class DimmunixRuntime:
     @property
     def stats(self) -> DimmunixStats:
         return self.core.stats
+
+    @property
+    def events(self) -> EventBus:
+        """The typed event stream of this runtime's core."""
+        return self.core.events
+
+    def subscribe(self, callback, *, kinds=None, source=None):
+        """Subscribe to this runtime's event stream (see EventBus)."""
+        return self.core.events.subscribe(callback, kinds=kinds, source=source)
+
+    def unsubscribe(self, subscription) -> bool:
+        return self.core.events.unsubscribe(subscription)
 
     @property
     def detections(self) -> tuple[DeadlockSignature, ...]:

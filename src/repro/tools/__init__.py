@@ -8,8 +8,11 @@ of §2.2). This package provides the operator's side of that story:
 
 * :mod:`repro.tools.history_cli` — ``dimmunix-history``: inspect, merge,
   diff, prune, and validate history files.
+* :mod:`repro.tools.events_cli` — ``dimmunix-events``: tail, summarize,
+  and replay JSONL event streams recorded from the typed event bus.
 """
 
+from repro.tools.events_cli import main as events_main
 from repro.tools.history_cli import main as history_main
 
-__all__ = ["history_main"]
+__all__ = ["history_main", "events_main"]

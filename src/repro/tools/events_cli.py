@@ -1,0 +1,362 @@
+"""``dimmunix-events`` — tail, summarize, and replay Dimmunix event streams.
+
+The counterpart of ``dimmunix-history`` for the *live* side of the
+system: where the history CLI operates on the persistent antibodies, this
+one operates on the typed event stream (JSONL files produced by
+:class:`repro.core.events.JsonlWriter`, e.g. via
+``Dimmunix.record(path)``). Subcommands::
+
+    tail <file>      print events, newest last (``--follow`` to keep
+                     watching the file, like ``tail -f``)
+    summary <file>   counts by kind and by source, seq integrity check
+    replay <file>    re-publish the events through an in-process
+                     EventBus (typed reconstruction), reporting what a
+                     subscriber would have observed
+
+``replay`` is the integrity check for the whole pipeline: every line is
+rebuilt into its frozen event class (signatures included) and pushed
+through a real bus, so a file that replays cleanly is guaranteed to be
+consumable by any stream subscriber — profilers, aggregators, or a
+future remote collector.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Iterator, Optional, Sequence
+
+from repro.core.events import (
+    EVENT_TYPES,
+    Event,
+    EventBus,
+    EventCounter,
+    event_from_dict,
+)
+
+
+def _iter_lines(
+    path: Path, errors: Optional[list[tuple[int, str]]] = None
+) -> Iterator[tuple[int, dict]]:
+    """Yield ``(lineno, decoded)`` per JSONL line.
+
+    Undecodable lines (e.g. a line torn by a crash mid-write — likely,
+    since Dimmunix does its most interesting writing *during* a
+    deadlock) are collected into ``errors`` when given, otherwise
+    warned to stderr; either way iteration continues.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield lineno, json.loads(line)
+            except json.JSONDecodeError as error:
+                if errors is not None:
+                    errors.append((lineno, str(error)))
+                else:
+                    print(
+                        f"warning: {path}:{lineno}: skipping non-JSON line "
+                        f"({error})",
+                        file=sys.stderr,
+                    )
+
+
+def _format_event(data: dict) -> str:
+    kind = data.get("kind", "?")
+    seq = data.get("seq", -1)
+    source = data.get("source", "?")
+    ts = data.get("ts", 0.0)
+    detail = ""
+    if kind in ("request", "acquired", "release"):
+        detail = f"{data.get('thread', '?')} -> {data.get('lock', '?')}"
+        if kind == "release" and data.get("notified"):
+            detail += f" (notified {data['notified']} signature(s))"
+    elif kind == "yield":
+        detail = f"{data.get('thread', '?')} parked for {data.get('lock', '?')}"
+    elif kind == "resume":
+        detail = f"{data.get('thread', '?')} retrying"
+    elif kind in ("detection", "starvation"):
+        signature = data.get("signature") or {}
+        size = len(signature.get("entries", ())) or "?"
+        status = "new" if data.get("recorded", True) else "duplicate"
+        detail = f"{data.get('thread', '?')} size={size} [{status}]"
+        if kind == "starvation":
+            detail += f" trigger={data.get('trigger', '?')}"
+    elif kind == "history-saved":
+        detail = f"{data.get('signatures', '?')} signature(s) -> {data.get('path', '?')}"
+    return f"[{seq:>6}] {ts:>12.2f} {source:<24} {kind:<13} {detail}"
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    path = Path(args.file)
+    if not path.exists():
+        print(f"error: {path} does not exist", file=sys.stderr)
+        return 2
+    wanted: Optional[set] = set(args.kind) if args.kind else None
+    if wanted is not None:
+        unknown = wanted - set(EVENT_TYPES)
+        if unknown:
+            print(
+                f"error: unknown kind(s) {sorted(unknown)}; "
+                f"valid: {sorted(EVENT_TYPES)}",
+                file=sys.stderr,
+            )
+            return 2
+
+    def matches(data: dict) -> bool:
+        if wanted is not None and data.get("kind") not in wanted:
+            return False
+        if args.source is not None and data.get("source") != args.source:
+            return False
+        return True
+
+    # Read the backlog, remembering where the last complete line ended
+    # so follow mode resumes exactly there — nothing appended between
+    # the backlog scan and the follow loop is lost.
+    rows = []
+    resume_offset = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        while True:
+            line = handle.readline()
+            if not line:
+                break
+            if args.follow and not line.endswith("\n"):
+                break  # torn tail: let the follow loop re-read it whole
+            resume_offset = handle.tell()
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as error:
+                print(
+                    f"warning: {path}: skipping non-JSON line ({error})",
+                    file=sys.stderr,
+                )
+                continue
+            if matches(data):
+                rows.append(data)
+    if args.limit is not None and args.limit >= 0:
+        rows = rows[len(rows) - args.limit :] if args.limit else []
+    for data in rows:
+        print(_format_event(data))
+    if not args.follow:
+        return 0
+    # tail -f: poll the file for appended lines until interrupted. A
+    # line is parsed only once its newline has landed — the writer may
+    # be mid-write — and a line that still fails to decode (torn by a
+    # crash) is skipped with a warning, like the backlog path.
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            handle.seek(resume_offset)
+            pending = ""
+            while True:
+                chunk = handle.readline()
+                if not chunk:
+                    time.sleep(args.poll_interval)
+                    continue
+                pending += chunk
+                if not pending.endswith("\n"):
+                    continue  # incomplete write; wait for the rest
+                line, pending = pending.strip(), ""
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError as error:
+                    print(
+                        f"warning: skipping non-JSON line ({error})",
+                        file=sys.stderr,
+                    )
+                    continue
+                if matches(data):
+                    print(_format_event(data), flush=True)
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    path = Path(args.file)
+    by_kind: dict[str, int] = {}
+    by_source: dict[str, int] = {}
+    seqs: list[tuple[int, str]] = []
+    total = 0
+    for _lineno, data in _iter_lines(path):
+        total += 1
+        by_kind[data.get("kind", "?")] = by_kind.get(data.get("kind", "?"), 0) + 1
+        source = data.get("source", "?")
+        by_source[source] = by_source.get(source, 0) + 1
+        if isinstance(data.get("seq"), int):
+            seqs.append((data["seq"], source))
+    print(f"{path}: {total} event(s)")
+    print("  by kind:")
+    for kind, count in sorted(by_kind.items(), key=lambda kv: -kv[1]):
+        print(f"    {count:>8}  {kind}")
+    print("  by source:")
+    for source, count in sorted(by_source.items(), key=lambda kv: -kv[1]):
+        print(f"    {count:>8}  {source}")
+    if seqs:
+        # One file may hold several recording runs appended back to
+        # back (JsonlWriter appends; each run's bus numbers its own
+        # stream, starting wherever the recorder attached). Any seq
+        # drop is therefore a segment boundary; the disorder a bus can
+        # never produce is an adjacent repeat of the same (seq, source)
+        # — a duplicated line — since one bus never reuses a seq and a
+        # new run's coinciding seq is legal across the boundary.
+        segments = 1
+        ordered = True
+        for (prev_seq, prev_src), (cur_seq, cur_src) in zip(seqs, seqs[1:]):
+            if cur_seq == prev_seq and cur_src == prev_src:
+                ordered = False
+            elif cur_seq <= prev_seq:
+                segments += 1
+        status = "strictly increasing" if ordered else "OUT OF ORDER"
+        if segments > 1:
+            status += f" within {segments} recording segment(s)"
+        print(f"  seq: {seqs[0][0]}..{seqs[-1][0]} ({status})")
+        if not ordered:
+            return 1
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    path = Path(args.file)
+    bus = EventBus()
+    counter = EventCounter()
+    bus.subscribe(counter)
+    detections: list[Event] = []
+    bus.subscribe(detections.append, kinds=("detection", "starvation"))
+    replayed = 0
+    errors = 0
+    json_errors: list[tuple[int, str]] = []
+
+    def first_json_error() -> int:
+        bad_lineno, message = json_errors[0]
+        print(
+            f"error: {path}:{bad_lineno}: not JSON ({message})",
+            file=sys.stderr,
+        )
+        return 1
+
+    for lineno, data in _iter_lines(path, errors=json_errors):
+        if args.strict and json_errors:
+            return first_json_error()  # stop at the torn line, not EOF
+        try:
+            event = event_from_dict(data)
+        except (ValueError, KeyError, TypeError) as error:
+            errors += 1
+            if args.strict:
+                print(f"error: {path}:{lineno}: {error}", file=sys.stderr)
+                return 1
+            continue
+        bus.publish(event)
+        replayed += 1
+    if args.strict and json_errors:
+        return first_json_error()
+    errors += len(json_errors)
+    print(f"replayed {replayed} event(s) ({errors} undecodable)")
+    for kind, count in sorted(counter.counts.items(), key=lambda kv: -kv[1]):
+        print(f"  {count:>8}  {kind}")
+    for source, counts in sorted(counter.by_source.items()):
+        summarized = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(counts.items())
+        )
+        print(f"  {source}: {summarized}")
+    if detections and args.show_signatures:
+        print("signatures observed:")
+        for event in detections:
+            print(f"  {event.kind}: {event.signature!r}")
+    return 0  # strict failures all returned above
+
+
+# ----------------------------------------------------------------------
+# argument parsing
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dimmunix-events",
+        description="Tail, summarize, and replay Dimmunix event streams (JSONL).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    tail = commands.add_parser("tail", help="print events, newest last")
+    tail.add_argument("file")
+    tail.add_argument(
+        "--follow",
+        "-f",
+        action="store_true",
+        help="keep watching the file for appended events",
+    )
+    tail.add_argument(
+        "--kind",
+        action="append",
+        metavar="KIND",
+        help=f"only these kinds (repeatable): {', '.join(sorted(EVENT_TYPES))}",
+    )
+    tail.add_argument("--source", help="only events from this adapter")
+    tail.add_argument(
+        "--limit",
+        "-n",
+        type=int,
+        default=None,
+        help="print only the last N matching events",
+    )
+    tail.add_argument(
+        "--poll-interval", type=float, default=0.2, help=argparse.SUPPRESS
+    )
+    tail.set_defaults(func=cmd_tail)
+
+    summary = commands.add_parser(
+        "summary", help="counts by kind/source, seq integrity"
+    )
+    summary.add_argument("file")
+    summary.set_defaults(func=cmd_summary)
+
+    replay = commands.add_parser(
+        "replay", help="re-publish through an in-process bus"
+    )
+    replay.add_argument("file")
+    replay.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on the first undecodable line",
+    )
+    replay.add_argument(
+        "--show-signatures",
+        action="store_true",
+        help="print each detection/starvation signature",
+    )
+    replay.set_defaults(func=cmd_replay)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Piped into head/less and the reader went away: exit quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except OSError as error:
+        # Unreadable/missing file reached a lazy open (summary, replay).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

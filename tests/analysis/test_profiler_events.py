@@ -1,0 +1,93 @@
+"""SyncProfiler as an event-stream subscriber (no VM hook needed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.profiler import SyncProfiler
+from repro.api import immunity
+from repro.dalvik.program import ProgramBuilder
+
+
+def looping_program(iterations: int) -> object:
+    builder = ProgramBuilder("Loop.java")
+    builder.set_reg("i", iterations)
+    builder.label("loop")
+    builder.monitor_enter("obj", line=10)
+    builder.compute(3, line=11)
+    builder.monitor_exit("obj", line=12)
+    builder.loop_dec("i", "loop")
+    builder.halt()
+    return builder.build()
+
+
+class TestProfilerOnEventStream:
+    def test_acquired_events_land_in_virtual_time_buckets(self):
+        with immunity(yield_timeout=None, name="prof") as dx:
+            vm = dx.vm(name="app", ticks_per_second=1000)
+            profiler = SyncProfiler(ticks_per_second=1000, bucket_seconds=0.1)
+            handle = profiler.attach_events(dx.events, source="app")
+            vm.spawn(looping_program(40), "worker")
+            vm.run()
+            assert profiler.total_events == 40
+            assert profiler.total_events == vm.core.stats.acquisitions
+            assert sum(profiler.bucket_counts) == 40
+            assert profiler.busiest_threads() == [("worker", 40)]
+            assert profiler.peak_window(0.2).total_events > 0
+            dx.events.unsubscribe(handle)
+
+    def test_source_filter_separates_adapters(self):
+        with immunity(yield_timeout=None, name="prof2") as dx:
+            vm_a = dx.vm(name="a", ticks_per_second=1000)
+            vm_b = dx.vm(name="b", ticks_per_second=1000)
+            only_a = SyncProfiler(ticks_per_second=1000, bucket_seconds=0.1)
+            both = SyncProfiler(ticks_per_second=1000, bucket_seconds=0.1)
+            only_a.attach_events(dx.events, source="a")
+            both.attach_events(dx.events)
+            vm_a.spawn(looping_program(10), "wa")
+            vm_b.spawn(looping_program(5), "wb")
+            vm_a.run()
+            vm_b.run()
+            assert only_a.total_events == 10
+            assert both.total_events == 15
+
+    def test_wall_clock_source_is_normalized_to_first_event(self):
+        """A runtime stamps time.monotonic(): buckets must start at the
+        first event, not allocate back to the machine's boot time."""
+        from tests.conftest import make_runtime
+
+        runtime = make_runtime()
+        profiler = SyncProfiler(ticks_per_second=1, bucket_seconds=1.0)
+        profiler.attach_events(runtime.events)
+        lock = runtime.lock("l")
+        for _ in range(3):
+            with lock:
+                pass
+        assert profiler.total_events == 3
+        # All three land within seconds of the origin — a handful of
+        # buckets, not millions of empty leading ones.
+        assert len(profiler.bucket_counts) <= 2
+        assert sum(profiler.bucket_counts) == 3
+
+    def test_sub_second_buckets_keep_wall_clock_resolution(self):
+        """Fractional ts deltas must not collapse into 1 s buckets."""
+        from repro.core.events import AcquiredEvent, EventBus
+
+        bus = EventBus()
+        profiler = SyncProfiler(ticks_per_second=1, bucket_seconds=0.5)
+        profiler.attach_events(bus)
+        for ts in (100.0, 100.6, 101.2):  # origin-normalized: 0, 0.6, 1.2
+            bus.publish(AcquiredEvent(source="rt", ts=ts, thread="t", lock="l"))
+        assert profiler.bucket_counts == (1, 1, 1)
+        assert profiler.duration_seconds() == pytest.approx(1.5)
+        assert profiler.overall_rate() == pytest.approx(2.0)
+
+    def test_legacy_vm_hook_still_works(self):
+        with immunity(yield_timeout=None, name="prof3") as dx:
+            vm = dx.vm(name="legacy", ticks_per_second=1000)
+            profiler = SyncProfiler(
+                ticks_per_second=1000, bucket_seconds=0.1
+            ).attach(vm)
+            vm.spawn(looping_program(7), "worker")
+            vm.run()
+            assert profiler.total_events == 7

@@ -44,5 +44,5 @@ def make_runtime(history=None, **overrides) -> DimmunixRuntime:
     """Helper for tests needing several runtimes sharing a history."""
     config = DimmunixConfig(
         detection_policy=DetectionPolicy.RAISE, yield_timeout=1.0
-    ).with_overrides(**overrides)
+    ).evolve(**overrides)
     return DimmunixRuntime(config, history=history, name="test")

@@ -188,14 +188,25 @@ def test_detection_records_signature_and_recovers(schedule):
         else:
             model.release_one(action[1])
     assert core.stats.deadlocks_detected == model.detections
-    assert len(core.history) <= model.detections or model.detections == 0
+    # Deadlock signatures only come from detections (dedup can make
+    # them fewer); the history may additionally hold starvation
+    # signatures recorded at yield time, so count kinds separately.
+    assert core.history.deadlock_count() <= model.detections
+    assert core.history.starvation_count() <= core.stats.starvations_detected
+    if model.detections:
+        assert core.history.deadlock_count() >= 1
     model.teardown()
 
 
 @given(schedule=actions)
 @settings(max_examples=40, deadline=None)
 def test_avoidance_never_parks_without_history(schedule):
-    """With an empty history nothing is ever instantiable: no yields."""
+    """While the history is empty nothing is instantiable: no yields.
+
+    A detection mid-schedule adds a signature, after which avoidance
+    may legitimately park threads — so the invariant is checked only up
+    to the moment the history first becomes non-empty.
+    """
     core = DimmunixCore(DimmunixConfig())
     model = _Model(core)
     for action in schedule:
@@ -204,6 +215,7 @@ def test_avoidance_never_parks_without_history(schedule):
             model.try_request(thread_id, lock_id, site)
         else:
             model.release_one(action[1])
-    assert core.stats.yields == 0
-    assert core.stats.avoided_instantiations == 0
+        if len(core.history) == 0:
+            assert core.stats.yields == 0
+            assert core.stats.avoided_instantiations == 0
     model.teardown()

@@ -1,0 +1,162 @@
+"""``dimmunix-events``: tail / summary / replay over recorded streams."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import immunity
+from repro.core.events import (
+    DetectionEvent,
+    EventBus,
+    JsonlWriter,
+    RequestEvent,
+)
+from repro.core.callstack import CallStack
+from repro.core.signature import DeadlockSignature, SignatureEntry
+from repro.tools.events_cli import main
+from tests.api.test_facade import ab_program, ba_program, drive_runtime_abba
+
+
+@pytest.fixture
+def recorded_session(tmp_path):
+    """A JSONL file from a real mixed runtime + VM session."""
+    path = tmp_path / "events.jsonl"
+    with immunity(yield_timeout=1.0, name="cli") as dx:
+        dx.record(path)
+        drive_runtime_abba(dx)
+        vm = dx.vm(name="cli-vm")
+        vm.spawn(ab_program(), "t-ab")
+        vm.spawn(ba_program(), "t-ba")
+        vm.run()
+    return path, dx
+
+
+class TestTail:
+    def test_tail_prints_every_event(self, recorded_session, capsys):
+        path, dx = recorded_session
+        assert main(["tail", str(path)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == dx.events.published
+
+    def test_tail_filters_by_kind_and_source(self, recorded_session, capsys):
+        path, _dx = recorded_session
+        assert main(["tail", str(path), "--kind", "detection"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("detection") == 2  # one per adapter
+        assert main(["tail", str(path), "--source", "cli-vm"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-vm" in out
+        assert "cli/runtime" not in out
+
+    def test_tail_limit(self, recorded_session, capsys):
+        path, _dx = recorded_session
+        assert main(["tail", str(path), "-n", "3"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 3
+        assert main(["tail", str(path), "-n", "0"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_tail_unknown_kind_fails(self, recorded_session, capsys):
+        path, _dx = recorded_session
+        assert main(["tail", str(path), "--kind", "bogus"]) == 2
+
+    def test_tail_missing_file_fails(self, tmp_path, capsys):
+        assert main(["tail", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_summary_and_replay_missing_file_fail_cleanly(
+        self, tmp_path, capsys
+    ):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["summary", missing]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["replay", missing]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSummary:
+    def test_summary_counts_and_order(self, recorded_session, capsys):
+        path, dx = recorded_session
+        assert main(["summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"{dx.events.published} event(s)" in out
+        assert "strictly increasing" in out
+        assert "cli/runtime" in out and "cli-vm" in out
+
+    def test_summary_tolerates_appended_recording_segments(
+        self, tmp_path, capsys
+    ):
+        """Two sessions appending to one file (seq restarts at 1) is a
+        valid recording, not corruption."""
+        path = tmp_path / "two-runs.jsonl"
+        for _ in range(2):
+            bus = EventBus()
+            with JsonlWriter(path) as writer:
+                bus.subscribe(writer)
+                bus.publish(RequestEvent())
+                bus.publish(RequestEvent())
+        assert main(["summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 recording segment(s)" in out
+        assert "OUT OF ORDER" not in out
+
+    def test_summary_flags_out_of_order_seq(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        bus = EventBus()
+        with JsonlWriter(path) as writer:
+            bus.subscribe(writer)
+            for _ in range(3):
+                bus.publish(RequestEvent())
+        lines = path.read_text().splitlines()
+        # A repeated seq is the one shape a bus can never produce (any
+        # plain drop could be a legitimate new recording segment).
+        path.write_text("\n".join([lines[0], lines[1], lines[1]]) + "\n")
+        assert main(["summary", str(path)]) == 1
+        assert "OUT OF ORDER" in capsys.readouterr().out
+
+
+class TestReplay:
+    def test_replay_reconstructs_typed_events(self, recorded_session, capsys):
+        path, dx = recorded_session
+        assert main(["replay", str(path), "--show-signatures"]) == 0
+        out = capsys.readouterr().out
+        assert f"replayed {dx.events.published} event(s) (0 undecodable)" in out
+        assert "DeadlockSignature" in out
+        # Per-source parity survives the disk roundtrip.
+        assert "cli-vm:" in out
+
+    def test_replay_skips_bad_lines_unless_strict(self, tmp_path, capsys):
+        path = tmp_path / "mixed.jsonl"
+        signature = DeadlockSignature(
+            entries=(
+                SignatureEntry(
+                    outer=CallStack.single("F.java", 1),
+                    inner=CallStack.single("F.java", 2),
+                ),
+            )
+        )
+        good = DetectionEvent(signature=signature)
+        from repro.core.events import event_to_dict
+
+        path.write_text(
+            json.dumps(event_to_dict(good))
+            + "\n"
+            + json.dumps({"kind": "mystery"})
+            + "\n"
+        )
+        assert main(["replay", str(path)]) == 0
+        assert "(1 undecodable)" in capsys.readouterr().out
+        assert main(["replay", str(path), "--strict"]) == 1
+
+    def test_torn_trailing_line_is_tolerated(self, recorded_session, capsys):
+        """A crash mid-write must not brick the stream file."""
+        path, dx = recorded_session
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "req')  # torn write, no newline
+        assert main(["summary", str(path)]) == 0
+        assert f"{dx.events.published} event(s)" in capsys.readouterr().out
+        assert main(["tail", str(path)]) == 0
+        assert main(["replay", str(path)]) == 0
+        assert "(1 undecodable)" in capsys.readouterr().out
+        assert main(["replay", str(path), "--strict"]) == 1
+        assert "not JSON" in capsys.readouterr().err
