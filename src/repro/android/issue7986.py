@@ -18,7 +18,6 @@ from pathlib import Path
 from typing import Optional
 
 from repro.android.system_server import SystemServer, start_system_server
-from repro.core.history import History
 from repro.core.signature import DeadlockSignature
 from repro.dalvik.vm import DalvikVM, VMConfig, VMRunResult
 from repro.dalvik.zygote import Zygote
@@ -83,16 +82,22 @@ def demonstrate_immunity(
     seed: int = 0,
     notifications: int = 4,
     expands: int = 4,
+    backend: str = "jsonl",
 ) -> tuple[Issue7986Result, Issue7986Result]:
     """The paper's §5 story, end to end.
 
     Boot 1 freezes on the deadlock; Dimmunix detects it and persists the
-    signature (the history file survives the frozen process). Boot 2 —
-    a fresh fork of ``system_server`` loading the same history — runs the
-    identical workload to completion, avoiding the deadlock with no user
-    intervention.
+    signature (the history store survives the frozen process — the
+    write-behind persister flushes it the moment the freeze is
+    observed). Boot 2 — a fresh fork of ``system_server`` loading the
+    same history — runs the identical workload to completion, avoiding
+    the deadlock with no user intervention. ``backend`` picks the
+    history store (``"jsonl"`` or ``"sqlite"``); the story holds on
+    either.
     """
-    zygote = Zygote(vm_config or VMConfig(), history_dir=history_dir)
+    zygote = Zygote(
+        vm_config or VMConfig(), history_dir=history_dir, backend=backend
+    )
 
     first_vm = zygote.fork(PROCESS_NAME, seed=seed)
     first = run_once(

@@ -33,7 +33,10 @@ DEVICE_RAM_MB = 512.0
 OS_BASE_MB = 97.5
 
 # Per-structure byte estimates for system processes we do not simulate
-# individually (matching DimmunixCore.memory_footprint's constants).
+# individually (matching DimmunixCore.memory_footprint's constants; the
+# signature-side estimate lives with the history store —
+# HistoryStore.approximate_bytes — so simulated and modelled processes
+# share one accounting).
 _MONITOR_AND_NODE_BYTES = 64 + 120
 _PER_THREAD_BYTES = 200 + 256
 

@@ -44,11 +44,10 @@ from repro.core.events import (
     EventBus,
     EventCounter,
     EventLog,
-    HistorySavedEvent,
     JsonlWriter,
     Subscription,
 )
-from repro.core.history import History, load_or_empty
+from repro.core.history import History, open_history
 from repro.core.stats import DimmunixStats
 
 if TYPE_CHECKING:
@@ -82,10 +81,14 @@ class Dimmunix:
         self.history = (
             history
             if history is not None
-            else load_or_empty(
-                self.config.history_path, self.config.max_signatures
+            else open_history(
+                self.config.resolved_history_url(), self.config.max_signatures
             )
         )
+        # The session binds the history's save announcements before any
+        # adapter core can: session-wide saves are stamped with the
+        # session's name, whichever layer triggered the flush.
+        self.history.bind_events(self.events, self.name)
         self.counter = EventCounter()
         self._counter_subscription = self.events.subscribe(self.counter)
         self._runtime: Optional["DimmunixRuntime"] = None
@@ -296,21 +299,18 @@ class Dimmunix:
         return named
 
     def save_history(self, path: Optional[Path | str] = None) -> Path:
-        """Persist the shared history (defaults to the configured path)."""
-        target = Path(path) if path is not None else self.config.history_path
-        if target is None:
-            raise ValueError(
-                "no history path: pass one or set DimmunixConfig.history_path"
-            )
-        self.history.save(target)
-        self.events.publish(
-            HistorySavedEvent(
-                source=self.name,
-                path=str(target),
-                signatures=len(self.history),
-            )
+        """Persist the shared history (defaults to the backing location).
+
+        With no ``path``, a file-backed history (``jsonl://`` /
+        ``sqlite://``) flushes through its store; an explicit ``path``
+        snapshots to that file in the legacy format. Either way the
+        history emits exactly one ``HistorySavedEvent``.
+        """
+        return self.history.persist(
+            path
+            if path is not None
+            else (self.history.location or self.config.history_location())
         )
-        return target
 
     def close(self) -> None:
         """Tear the session down: undo the patch, detach every
@@ -339,6 +339,13 @@ class Dimmunix:
         for vm in self._vms:
             if vm.core is not None:
                 vm.core.detach_events()
+        # The shutdown flush rides the persister teardown (a final
+        # flush + worker join) — gated on auto_save by construction,
+        # since no persister exists otherwise. The bus binding is
+        # released too, but the history itself stays usable: carrying
+        # it into a successor session is a blessed pattern.
+        self.history.detach_persister()
+        self.history.unbind_events(self.events)
 
     def __enter__(self) -> "Dimmunix":
         return self

@@ -57,11 +57,21 @@ class DimmunixConfig:
             fewer avoidance false positives (ablation A1 in DESIGN.md).
         detection_policy: Behaviour at detection time; see
             :class:`DetectionPolicy`.
-        history_path: File backing the persistent deadlock history, or
-            ``None`` for an in-memory history.
-        auto_save: Persist the history immediately whenever a new signature
-            is added (the paper saves at detection time so the signature
-            survives the ensuing freeze/reboot).
+        history_url: DSN selecting the history backend — ``mem://``,
+            ``jsonl:///path`` (append-only log, legacy-file compatible),
+            or ``sqlite:///path`` (indexed, multi-process-safe). ``None``
+            defers to ``history_path``.
+        history_path: Legacy spelling: a file backing the persistent
+            deadlock history (served by the ``jsonl://`` backend), or
+            ``None`` for an in-memory history. Mapped onto
+            ``history_url`` by :meth:`resolved_history_url`; setting both
+            is an error.
+        auto_save: Persist new signatures as soon as they are added (the
+            paper saves at detection time so the signature survives the
+            ensuing freeze/reboot). Since the store redesign the write is
+            write-behind — batched off the lock path by the
+            :class:`~repro.core.store.WriteBehindPersister` — rather than
+            synchronous in the engine.
         starvation_detection: Detect avoidance-induced deadlocks via the
             extended RAG (yield edges) and record starvation signatures.
         yield_timeout: Safety-net timeout (seconds) for real-thread
@@ -80,6 +90,7 @@ class DimmunixConfig:
     stack_depth: int = 1
     detection_policy: DetectionPolicy = DetectionPolicy.RAISE
     history_path: Path | None = None
+    history_url: str | None = None
     auto_save: bool = True
     starvation_detection: bool = True
     yield_timeout: float | None = 2.0
@@ -99,6 +110,38 @@ class DimmunixConfig:
             raise ValueError(
                 f"yield_timeout must be positive or None, got {self.yield_timeout}"
             )
+        if self.history_url is not None:
+            if self.history_path is not None:
+                raise ValueError(
+                    "set history_url or history_path, not both "
+                    f"(got {self.history_url!r} and {self.history_path!r})"
+                )
+            # Validate the DSN eagerly — a typo'd scheme should fail at
+            # configuration time, not at first detection.
+            from repro.core.store.url import parse_history_url
+
+            parse_history_url(self.history_url)
+
+    def resolved_history_url(self) -> str | None:
+        """The effective history DSN: ``history_url``, or the legacy
+        ``history_path`` mapped onto the ``jsonl://`` backend, or
+        ``None`` (in-memory)."""
+        if self.history_url is not None:
+            return self.history_url
+        if self.history_path is not None:
+            from repro.core.store.url import format_history_url
+
+            return format_history_url("jsonl", self.history_path)
+        return None
+
+    def history_location(self) -> Path | None:
+        """The file backing the history, or ``None`` for ``mem://``."""
+        url = self.resolved_history_url()
+        if url is None:
+            return None
+        from repro.core.store.url import parse_history_url
+
+        return parse_history_url(url).path
 
     def evolve(self, **changes) -> "DimmunixConfig":
         """A copy with the given fields replaced (configs are immutable).

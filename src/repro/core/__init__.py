@@ -45,7 +45,12 @@ from repro.core.events import (
     event_from_dict,
     event_to_dict,
 )
-from repro.core.history import History, HistoryFullError, load_or_empty
+from repro.core.history import (
+    History,
+    HistoryFullError,
+    load_or_empty,
+    open_history,
+)
 from repro.core.node import LockNode, ThreadNode
 from repro.core.position import Position, PositionQueue, PositionTable
 from repro.core.rag import ResourceAllocationGraph
@@ -56,6 +61,15 @@ from repro.core.signature import (
     SignatureEntry,
 )
 from repro.core.stats import DimmunixStats, MemoryFootprint
+from repro.core.store import (
+    HistoryStore,
+    JsonlStore,
+    MemoryStore,
+    SqliteStore,
+    WriteBehindPersister,
+    open_store,
+    parse_history_url,
+)
 
 __all__ = [
     "CallStack",
@@ -67,6 +81,14 @@ __all__ = [
     "History",
     "HistoryFullError",
     "load_or_empty",
+    "open_history",
+    "HistoryStore",
+    "MemoryStore",
+    "JsonlStore",
+    "SqliteStore",
+    "WriteBehindPersister",
+    "open_store",
+    "parse_history_url",
     "Position",
     "PositionQueue",
     "PositionTable",

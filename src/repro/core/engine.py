@@ -27,10 +27,17 @@ Every decision is also published as a typed event on the engine's
 resume, detection, starvation, history-saved). ``DimmunixStats`` is just
 the first subscriber on that bus — the counters are event-derived — and
 any number of further subscribers (profilers, CLIs, aggregators) can
-observe the same stream without touching the lock path. A note on
-ordering: a ``history-saved`` event is published while the detection or
-starvation that triggered the save is still being assembled, so it
-precedes the corresponding ``detection``/``starvation`` event.
+observe the same stream without touching the lock path.
+
+Persistence is one of those subscribers: the engine itself performs no
+file I/O. Recording a signature updates the in-memory store; the
+:class:`~repro.core.store.WriteBehindPersister` — subscribed to the
+``detection``/``starvation`` events the engine already publishes —
+batches the actual flush off the lock path, and announces each flush as
+one ``history-saved`` event. Ordering therefore is: the
+``detection``/``starvation`` event first, the corresponding
+``history-saved`` *after* it (asynchronously in thread mode, at the
+next explicit ``flush_history()`` in deferred mode).
 """
 
 from __future__ import annotations
@@ -46,7 +53,6 @@ from repro.core.events import (
     AcquiredEvent,
     DetectionEvent,
     EventBus,
-    HistorySavedEvent,
     ReleaseEvent,
     RequestEvent,
     ResumeEvent,
@@ -63,7 +69,7 @@ from repro.core.detector import (
     signature_from_extended,
     starvation_signature_for_timeout,
 )
-from repro.core.history import History, load_or_empty
+from repro.core.history import History, open_history
 from repro.core.node import LockNode, ThreadNode
 from repro.core.position import Position, PositionTable
 from repro.core.rag import ResourceAllocationGraph
@@ -139,13 +145,14 @@ class DimmunixCore:
         events: Optional[EventBus] = None,
         source: str = "core",
         clock: Optional[Callable[[], float]] = None,
+        persistence_mode: str = "thread",
     ) -> None:
         self.config = config or DimmunixConfig()
         self.history = (
             history
             if history is not None
-            else load_or_empty(
-                self.config.history_path, self.config.max_signatures
+            else open_history(
+                self.config.resolved_history_url(), self.config.max_signatures
             )
         )
         self.positions = PositionTable()
@@ -166,6 +173,30 @@ class DimmunixCore:
         self._stats_subscription = self.events.subscribe(
             self.stats.on_event, source=source
         )
+        # Persistence wiring: bind the history's save announcements to
+        # this bus (first core wins on a session-shared history) and
+        # attach the write-behind persister when the backend is durable.
+        # The engine itself never writes a file — see the module
+        # docstring.
+        self.history.bind_events(self.events, source)
+        self._attached_persister = False
+        if self.config.auto_save and self.history.store.persistent:
+            if self.history.persister is None:
+                from repro.core.store import WriteBehindPersister
+
+                self.history.attach_persister(
+                    WriteBehindPersister(
+                        self.history, self.events, mode=persistence_mode
+                    )
+                )
+                self._attached_persister = True
+            elif persistence_mode == "thread":
+                # A shared history is first-wins on the persister; if a
+                # deferred-mode adapter (a VM) attached it first, a
+                # real-thread core joining the session upgrades it —
+                # real threads that deadlock never reach an explicit
+                # flush point, so durability must be background.
+                self.history.persister.ensure_thread_mode()
 
     def _now(self) -> float:
         return self._clock() if self._clock is not None else 0.0
@@ -176,8 +207,15 @@ class DimmunixCore:
         After this, events keep being published but the counters stop;
         used by session teardown so a retired core does not linger as a
         subscriber on a bus that outlives it. The source name becomes
-        claimable again.
+        claimable again. Pending antibodies are flushed first — a
+        retiring core must not strand signatures in memory — and a
+        persister this core attached is closed (worker joined,
+        subscription dropped); the history itself stays usable.
         """
+        if self._attached_persister:
+            self.history.detach_persister()
+            self._attached_persister = False
+        self.flush_history()
         self.events.unsubscribe(self._stats_subscription)
         self.events.release_source(self.source)
 
@@ -494,6 +532,12 @@ class DimmunixCore:
         return False
 
     def _record(self, signature: DeadlockSignature) -> bool:
+        """Record a signature in the store — pure memory, no file I/O.
+
+        Durability rides the event the caller emits next: the
+        write-behind persister sees the ``recorded=True``
+        detection/starvation event and schedules the flush.
+        """
         added = self.history.add(signature)
         if added:
             self.stats.signatures_added += 1
@@ -501,16 +545,24 @@ class DimmunixCore:
                 position = self.positions.get(key)
                 if position is not None:
                     position.in_history = True
-            if self.config.auto_save and self.config.history_path is not None:
-                self.history.save(self.config.history_path)
-                self._emit(
-                    HistorySavedEvent,
-                    path=str(self.config.history_path),
-                    signatures=len(self.history),
-                )
         else:
             self.stats.duplicate_signatures += 1
         return added
+
+    def flush_history(self) -> int:
+        """Flush pending signatures per policy; returns how many wrote.
+
+        The lifecycle checkpoint (session close, VM ``run()`` return,
+        ``detach_events``): it flushes through the attached persister
+        and is therefore gated on ``auto_save`` — a read-only process
+        (``auto_save=False``) must never mutate its history file from a
+        lifecycle hook. User-initiated saves bypass the gate via
+        ``history.persist()`` / ``save_history``.
+        """
+        persister = self.history.persister
+        if persister is not None:
+            return persister.flush()
+        return 0
 
     # ------------------------------------------------------------------
     # introspection
@@ -546,15 +598,10 @@ class DimmunixCore:
         )
         thread_count = self.rag.thread_count()
         lock_count = self.rag.lock_count()
-        signature_bytes = 0
-        for signature in self.history:
-            # Two stacks per entry; ~96 bytes per retained frame object
-            # plus tuple overhead.
-            frames = sum(
-                len(entry.outer) + len(entry.inner)
-                for entry in signature.entries
-            )
-            signature_bytes += 64 + frames * 96
+        # Signature + matching-index bytes are the store's accounting
+        # (one estimate shared with the memory experiments in
+        # repro.android.memory).
+        signature_bytes = self.history.approximate_bytes()
         footprint = MemoryFootprint(
             positions=position_count,
             queue_cells=cell_count,

@@ -1,210 +1,335 @@
-"""The persistent deadlock history.
+"""The persistent deadlock history — a facade over a pluggable store.
 
-The history is the set of signatures a process is immune to. It is loaded
-by ``initDimmunix`` when a process starts (on the phone: on every Zygote
-fork) and persisted whenever a new signature is discovered, so a deadlock
-survives the ensuing freeze/reboot as an antibody.
+The history is the set of signatures a process is immune to. It is
+loaded by ``initDimmunix`` when a process starts (on the phone: on every
+Zygote fork) and persisted whenever a new signature is discovered, so a
+deadlock survives the ensuing freeze/reboot as an antibody.
 
-On-disk format: one JSON object per line. The first line is a header
-recording the format name and version; each following line is one
-signature. Writes go through a temp file + rename so a crash mid-save
-(likely, since saves happen *during* a deadlock) never corrupts the
-history.
+Since the store redesign, :class:`History` no longer owns storage: it
+wraps a :class:`~repro.core.store.HistoryStore` backend selected by a
+DSN (``mem://``, ``jsonl://``, ``sqlite://`` — see
+:mod:`repro.core.store.url`) and adds the session-facing concerns:
+
+* the single event choke point — every flush or snapshot that persists
+  signatures announces exactly one
+  :class:`~repro.core.events.HistorySavedEvent` on the bound bus, no
+  matter which adapter triggered it;
+* the attachment point for the
+  :class:`~repro.core.store.WriteBehindPersister`, so persistence stays
+  off the engine's lock path.
+
+The legacy construction paths (``History()``, ``History.load(path)``,
+``history.save(path)``) keep their exact semantics, backed by a
+:class:`~repro.core.store.MemoryStore` and legacy-format snapshots.
 """
 
 from __future__ import annotations
 
-import json
-import os
+import threading
 from pathlib import Path
 from typing import Iterator, Optional
 
+# Captured at import time, before the platform-wide patch can replace
+# threading.RLock (repro.core always loads before repro.runtime.patch
+# installs): a History constructed inside a patched process must not get
+# an immunized flush lock, or the write-behind worker would re-enter the
+# engine from the persistence path.
+_RLock = threading.RLock
+
 from repro.core.position import PositionKey
 from repro.core.signature import DeadlockSignature
-from repro.errors import DimmunixError, HistoryFormatError
+from repro.core.store import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    HistoryFullError,
+    HistoryStore,
+    MemoryStore,
+    open_store,
+    read_signatures,
+)
 
-FORMAT_NAME = "dimmunix-history"
-FORMAT_VERSION = 1
-
-
-class HistoryFullError(DimmunixError):
-    """The history reached ``max_signatures`` — a guard against explosion."""
+__all__ = [
+    "History",
+    "HistoryFullError",
+    "load_or_empty",
+    "open_history",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+]
 
 
 class History:
     """An ordered, deduplicated collection of deadlock signatures.
 
     Signatures are indexed by their outer position keys so the avoidance
-    hot path (``signatures_at``) is a single dict probe. Deduplication uses
-    the signatures' canonical keys, so re-detecting a known deadlock is a
-    no-op (the paper: a bug is uniquely delimited by its outer and inner
-    positions).
+    hot path (``signatures_at``) is a single dict probe. Deduplication
+    uses the signatures' canonical keys, so re-detecting a known deadlock
+    is a no-op (the paper: a bug is uniquely delimited by its outer and
+    inner positions). Storage and matching live in the wrapped
+    :class:`~repro.core.store.HistoryStore`.
     """
 
-    def __init__(self, max_signatures: int = 4096) -> None:
-        self._signatures: list[DeadlockSignature] = []
-        self._canonical: set = set()
-        # Values are tuples so the hot path can return them without
-        # copying; adds (rare) rebuild the affected entries. Deadlock and
-        # starvation signatures are indexed separately because avoidance
-        # consults them with opposite polarity: deadlock signatures say
-        # "park here", starvation signatures say "do not park here".
-        self._by_outer: dict[PositionKey, tuple[DeadlockSignature, ...]] = {}
-        self._starvation_by_outer: dict[
-            PositionKey, tuple[DeadlockSignature, ...]
-        ] = {}
-        self.max_signatures = max_signatures
+    def __init__(
+        self,
+        max_signatures: int = 4096,
+        *,
+        store: Optional[HistoryStore] = None,
+    ) -> None:
+        self._store = (
+            store
+            if store is not None
+            else MemoryStore(max_signatures=max_signatures)
+        )
+        # Event binding: (bus, source) set once by the first owner (a
+        # core or a session facade); every persistence announcement goes
+        # through _announce_saved so each flush emits exactly one event.
+        self._events = None
+        self._source = "history"
+        self._persister = None
+        # Serializes flush + its announcement so concurrent flushers
+        # (worker thread vs explicit shutdown flush) cannot interleave:
+        # when flush() returns, any flush that beat it has already
+        # published its HistorySavedEvent.
+        self._flush_lock = _RLock()
 
     # ------------------------------------------------------------------
-    # mutation
+    # store access
+    # ------------------------------------------------------------------
+
+    @property
+    def store(self) -> HistoryStore:
+        """The storage/matching backend this history wraps."""
+        return self._store
+
+    @property
+    def url(self) -> str:
+        return self._store.url
+
+    @property
+    def location(self) -> Optional[Path]:
+        """The backing file, or ``None`` for in-memory histories."""
+        return self._store.location
+
+    @property
+    def max_signatures(self) -> int:
+        return self._store.max_signatures
+
+    @max_signatures.setter
+    def max_signatures(self, value: int) -> None:
+        self._store.max_signatures = value
+
+    # ------------------------------------------------------------------
+    # event plumbing
+    # ------------------------------------------------------------------
+
+    def bind_events(self, events, source: str) -> bool:
+        """Bind the bus that save announcements publish on (first wins).
+
+        Called by the first :class:`~repro.core.engine.DimmunixCore` or
+        :class:`~repro.api.Dimmunix` session that adopts this history;
+        later binds are no-ops so a session-shared history announces
+        with one stable source.
+        """
+        if self._events is not None:
+            return False
+        self._events = events
+        self._source = source
+        return True
+
+    @property
+    def persister(self):
+        """The attached write-behind persister, if any."""
+        return self._persister
+
+    def attach_persister(self, persister) -> bool:
+        """Adopt a write-behind persister (first wins, like the bus)."""
+        if self._persister is not None:
+            return False
+        self._persister = persister
+        return True
+
+    def detach_persister(self) -> None:
+        """Close the attached persister (final flush, join worker).
+
+        Session teardown: the history itself stays usable — a successor
+        session adopting it attaches a fresh persister.
+        """
+        if self._persister is not None:
+            self._persister.close()
+            self._persister = None
+
+    def unbind_events(self, events) -> None:
+        """Release the save-announcement bus, if it is ``events``.
+
+        The companion of :meth:`bind_events` for session teardown: a
+        history that outlives its session must not keep publishing on
+        (or pinning) the retired session's bus.
+        """
+        if self._events is events:
+            self._events = None
+            self._source = "history"
+
+    def _announce_saved(self, path: Path | str) -> None:
+        if self._events is None:
+            return
+        from repro.core.events import HistorySavedEvent
+
+        self._events.publish(
+            HistorySavedEvent(
+                source=self._source,
+                path=str(path),
+                signatures=len(self._store),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # mutation / queries — delegated to the store
     # ------------------------------------------------------------------
 
     def add(self, signature: DeadlockSignature) -> bool:
         """Insert ``signature``; returns ``False`` if it was a duplicate."""
-        key = signature.canonical_key()
-        if key in self._canonical:
-            return False
-        if len(self._signatures) >= self.max_signatures:
-            raise HistoryFullError(
-                f"history holds {len(self._signatures)} signatures "
-                f"(max {self.max_signatures})"
-            )
-        self._canonical.add(key)
-        self._signatures.append(signature)
-        index = (
-            self._starvation_by_outer
-            if signature.is_starvation
-            else self._by_outer
-        )
-        for outer_key in signature.outer_position_keys():
-            existing = index.get(outer_key, ())
-            if signature not in existing:
-                index[outer_key] = existing + (signature,)
-        return True
-
-    # ------------------------------------------------------------------
-    # queries
-    # ------------------------------------------------------------------
+        return self._store.add(signature)
 
     def signatures_at(
         self, key: PositionKey, include_starvation: bool = True
     ) -> tuple[DeadlockSignature, ...]:
-        """Signatures having ``key`` among their outer positions.
-
-        Returns interned tuples directly (no copy) — this runs on every
-        request at an in-history position.
-        """
-        found = self._by_outer.get(key, ())
-        if not include_starvation:
-            return found
-        starving = self._starvation_by_outer.get(key, ())
-        if not starving:
-            return found
-        return found + starving
+        return self._store.signatures_at(key, include_starvation)
 
     def starvation_signatures_at(
         self, key: PositionKey
     ) -> tuple[DeadlockSignature, ...]:
-        """Starvation signatures only — the "do not park here" index."""
-        return self._starvation_by_outer.get(key, ())
+        return self._store.starvation_signatures_at(key)
 
     def contains_position(self, key: PositionKey) -> bool:
-        return key in self._by_outer or key in self._starvation_by_outer
+        return self._store.contains_position(key)
 
     def contains(self, signature: DeadlockSignature) -> bool:
-        return signature.canonical_key() in self._canonical
+        return self._store.contains(signature)
 
     def deadlock_count(self) -> int:
-        return sum(1 for sig in self._signatures if not sig.is_starvation)
+        return self._store.deadlock_count()
 
     def starvation_count(self) -> int:
-        return sum(1 for sig in self._signatures if sig.is_starvation)
+        return self._store.starvation_count()
+
+    def merge_from(self, other: "History | HistoryStore") -> int:
+        """Add all signatures from ``other``; returns how many were new."""
+        return self._store.merge_from(other)
+
+    def approximate_bytes(self) -> int:
+        """In-process bytes held by signatures and the matching index."""
+        return self._store.approximate_bytes()
 
     def __len__(self) -> int:
-        return len(self._signatures)
+        return len(self._store)
 
     def __iter__(self) -> Iterator[DeadlockSignature]:
-        return iter(self._signatures)
+        return iter(self._store)
 
     def __contains__(self, signature: object) -> bool:
-        return (
-            isinstance(signature, DeadlockSignature) and self.contains(signature)
-        )
+        return signature in self._store
 
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
 
+    def flush(self) -> int:
+        """Persist pending signatures through the store; returns count.
+
+        The one save path: every flush that wrote something announces
+        exactly one ``HistorySavedEvent``. No-op (and no event) when the
+        store is clean or in-memory.
+        """
+        with self._flush_lock:
+            written = self._store.flush()
+            if written and self._store.location is not None:
+                self._announce_saved(self._store.location)
+            return written
+
     def save(self, path: Path | str) -> None:
-        """Atomically persist all signatures to ``path``."""
-        path = Path(path)
-        header = {"format": FORMAT_NAME, "version": FORMAT_VERSION}
-        tmp_path = path.with_name(path.name + ".tmp")
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            handle.write(json.dumps(header) + "\n")
-            for signature in self._signatures:
-                handle.write(json.dumps(signature.to_json()) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, path)
+        """Atomically snapshot all signatures to ``path`` (legacy format).
+
+        Explicit export — works for any backend. Announced as one
+        ``HistorySavedEvent`` when a bus is bound.
+        """
+        self._store.snapshot_to(path)
+        self._announce_saved(path)
+
+    def persist(self, target: Optional[Path | str] = None) -> Path:
+        """Make the history durable at ``target`` — the save front door.
+
+        The one save policy shared by every adapter's ``save_history``:
+
+        * no ``target``: the backing location (raises for ``mem://``
+          histories with no location);
+        * ``target`` == the backing location of a durable store: a
+          cheap :meth:`flush` (plus a snapshot if the file was never
+          materialized);
+        * any other case — an export path, or a memory-backed history —
+          a full legacy-format snapshot.
+        """
+        if target is None:
+            target = self.location
+            if target is None:
+                raise ValueError(
+                    "no history location: pass a path or configure "
+                    "DimmunixConfig.history_url / history_path"
+                )
+        target = Path(target)
+        if self._store.persistent and self.location == target:
+            if self.flush() == 0 and not target.exists():
+                self.save(target)
+        else:
+            self.save(target)
+        return target
+
+    def close(self) -> None:
+        """Flush (through the persister when attached) and close."""
+        self.detach_persister()
+        self.flush()
+        self._store.close()
 
     @classmethod
     def load(
         cls, path: Path | str, max_signatures: int = 4096
     ) -> "History":
-        """Load a history file; a missing file yields an empty history."""
+        """Load a legacy history file into memory; missing file = empty.
+
+        Unlike :func:`open_history`, the result is *not* bound to the
+        file — mutations stay in memory until an explicit :meth:`save`.
+        """
         history = cls(max_signatures=max_signatures)
         path = Path(path)
         if not path.exists():
             return history
-        with open(path, "r", encoding="utf-8") as handle:
-            header_line = handle.readline()
-            if not header_line.strip():
-                return history
-            try:
-                header = json.loads(header_line)
-            except json.JSONDecodeError as exc:
-                raise HistoryFormatError(f"bad history header in {path}") from exc
-            if header.get("format") != FORMAT_NAME:
-                raise HistoryFormatError(
-                    f"{path} is not a Dimmunix history "
-                    f"(format={header.get('format')!r})"
-                )
-            if header.get("version") != FORMAT_VERSION:
-                raise HistoryFormatError(
-                    f"unsupported history version {header.get('version')!r} in {path}"
-                )
-            for line_number, line in enumerate(handle, start=2):
-                if not line.strip():
-                    continue
-                try:
-                    data = json.loads(line)
-                    signature = DeadlockSignature.from_json(data)
-                except (
-                    json.JSONDecodeError,
-                    KeyError,
-                    ValueError,
-                    TypeError,  # valid JSON of the wrong shape (e.g. a list)
-                ) as exc:
-                    raise HistoryFormatError(
-                        f"bad signature at {path}:{line_number}"
-                    ) from exc
-                history.add(signature)
+        for _line, signature in read_signatures(path):
+            history.add(signature)
+        history._store.mark_clean()
         return history
 
-    def merge_from(self, other: "History") -> int:
-        """Add all signatures from ``other``; returns how many were new."""
-        added = 0
-        for signature in other:
-            if self.add(signature):
-                added += 1
-        return added
+    def __repr__(self) -> str:
+        return f"<History {self.url}: {len(self)} signature(s)>"
+
+
+def open_history(
+    url: Optional[str | Path], max_signatures: int = 4096
+) -> History:
+    """Open a history on the backend a DSN names (``None`` = ``mem://``)."""
+    if url is None:
+        return History(max_signatures=max_signatures)
+    return History(store=open_store(url, max_signatures=max_signatures))
 
 
 def load_or_empty(
     path: Optional[Path | str], max_signatures: int = 4096
 ) -> History:
-    """Convenience used by ``initDimmunix``: load if a path is configured."""
+    """Convenience used by ``initDimmunix``: load if a path is configured.
+
+    Accepts a bare path (legacy in-memory load, exactly as before) or a
+    DSN, which opens the named backend file-bound.
+    """
     if path is None:
         return History(max_signatures=max_signatures)
+    if isinstance(path, str) and "://" in path:
+        return open_history(path, max_signatures=max_signatures)
     return History.load(path, max_signatures=max_signatures)

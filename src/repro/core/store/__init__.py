@@ -1,0 +1,85 @@
+"""Pluggable backends for the persistent deadlock history.
+
+Public surface::
+
+    open_store("sqlite:///var/dimmunix/history.db")  -> SqliteStore
+    open_store("jsonl:///var/dimmunix/a.history")    -> JsonlStore
+    open_store("mem://")                             -> MemoryStore
+    open_store("/var/dimmunix/a.history")            -> JsonlStore (legacy)
+
+plus the :class:`HistoryStore` contract, the DSN helpers, and the
+:class:`WriteBehindPersister` that moves flushing off the lock path.
+See ``base.py`` for the design rationale.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.store.base import HistoryFullError, HistoryStore
+from repro.core.store.jsonl import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    JsonlStore,
+    read_signatures,
+    write_snapshot,
+)
+from repro.core.store.memory import MemoryStore
+from repro.core.store.persister import (
+    MODE_DEFERRED,
+    MODE_THREAD,
+    WriteBehindPersister,
+)
+from repro.core.store.sqlite import SqliteStore
+from repro.core.store.url import (
+    KNOWN_SCHEMES,
+    SCHEME_JSONL,
+    SCHEME_MEM,
+    SCHEME_SQLITE,
+    HistoryUrl,
+    HistoryUrlError,
+    format_history_url,
+    parse_history_url,
+)
+
+_BACKENDS = {
+    SCHEME_MEM: MemoryStore,
+    SCHEME_JSONL: JsonlStore,
+    SCHEME_SQLITE: SqliteStore,
+}
+
+
+def open_store(
+    url: str | Path | HistoryUrl, max_signatures: int = 4096
+) -> HistoryStore:
+    """Open the history backend a DSN (or bare path) names."""
+    parsed = url if isinstance(url, HistoryUrl) else parse_history_url(url)
+    backend = _BACKENDS[parsed.scheme]
+    if parsed.scheme == SCHEME_MEM:
+        return backend(max_signatures=max_signatures)
+    return backend(parsed.path, max_signatures=max_signatures)
+
+
+__all__ = [
+    "HistoryStore",
+    "HistoryFullError",
+    "MemoryStore",
+    "JsonlStore",
+    "SqliteStore",
+    "WriteBehindPersister",
+    "MODE_THREAD",
+    "MODE_DEFERRED",
+    "open_store",
+    "HistoryUrl",
+    "HistoryUrlError",
+    "parse_history_url",
+    "format_history_url",
+    "KNOWN_SCHEMES",
+    "SCHEME_MEM",
+    "SCHEME_JSONL",
+    "SCHEME_SQLITE",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "read_signatures",
+    "write_snapshot",
+]

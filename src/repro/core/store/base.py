@@ -1,0 +1,319 @@
+"""The ``HistoryStore`` contract — storage and matching for signatures.
+
+The paper's immunity guarantee rests on two properties of the history:
+it must be *cheap to consult* (avoidance runs on every request at an
+in-history position) and it must *survive the process* (a signature is
+recorded during the very deadlock that freezes the phone). This module
+separates those concerns: every backend shares one in-memory,
+position-keyed index — so ``contains_position`` / ``signatures_at`` /
+``starvation_signatures_at`` are O(1) dict probes regardless of backend
+or history size — and differs only in how (and whether) signatures are
+made durable.
+
+Durability is *write-behind*: :meth:`HistoryStore.add` never touches the
+disk; it appends to a pending batch that :meth:`HistoryStore.flush`
+persists. The engine's lock path therefore performs no synchronous file
+I/O — flushing is driven by the
+:class:`~repro.core.store.persister.WriteBehindPersister` (an event-bus
+subscriber) and by explicit shutdown flushes.
+
+Concrete backends:
+
+* :class:`~repro.core.store.memory.MemoryStore` — ``mem://``, no
+  persistence (current in-memory ``History`` semantics).
+* :class:`~repro.core.store.jsonl.JsonlStore` — ``jsonl://``,
+  append-only log, byte-compatible with legacy ``History.save()`` files.
+* :class:`~repro.core.store.sqlite.SqliteStore` — ``sqlite://``,
+  indexed, WAL-mode, safe for concurrent writers across processes.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.core.position import PositionKey
+from repro.core.signature import DeadlockSignature
+from repro.errors import DimmunixError
+
+# Captured before the platform-wide patch can replace it (repro.core is
+# always imported before repro.runtime.patch can be installed). Store
+# mutations need their own lock because the write-behind persister
+# flushes from a background thread while the engine keeps adding.
+_RLock = threading.RLock
+
+
+class HistoryFullError(DimmunixError):
+    """The history reached ``max_signatures`` — a guard against explosion."""
+
+
+class HistoryStore(abc.ABC):
+    """Abstract storage + matching backend for the deadlock history.
+
+    Subclasses implement only the durability hooks (:meth:`_replay`,
+    :meth:`_persist`); the matching surface is shared, backed by the
+    position-keyed index, and identical across backends — which is what
+    the conformance suite in ``tests/core/store`` asserts.
+    """
+
+    #: canonical DSN scheme of the backend ("mem", "jsonl", "sqlite")
+    scheme: str = "mem"
+    #: whether flush() makes signatures durable beyond the process
+    persistent: bool = False
+
+    def __init__(self, max_signatures: int = 4096) -> None:
+        self.max_signatures = max_signatures
+        self._lock = _RLock()
+        self._signatures: list[DeadlockSignature] = []
+        self._canonical: set = set()
+        # Values are tuples so the hot path can return them without
+        # copying; adds (rare) rebuild the affected entries. Deadlock and
+        # starvation signatures are indexed separately because avoidance
+        # consults them with opposite polarity: deadlock signatures say
+        # "park here", starvation signatures say "do not park here".
+        self._by_outer: dict[PositionKey, tuple[DeadlockSignature, ...]] = {}
+        self._starvation_by_outer: dict[
+            PositionKey, tuple[DeadlockSignature, ...]
+        ] = {}
+        self._pending: list[DeadlockSignature] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+
+    @property
+    def location(self) -> Optional[Path]:
+        """The backing file, or ``None`` for in-memory backends."""
+        return None
+
+    @property
+    def url(self) -> str:
+        """The canonical DSN of this store."""
+        from repro.core.store.url import format_history_url
+
+        return format_history_url(self.scheme, self.location)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def add(self, signature: DeadlockSignature) -> bool:
+        """Insert ``signature``; returns ``False`` if it was a duplicate.
+
+        Never performs I/O: the signature joins the pending batch until
+        the next :meth:`flush`.
+        """
+        with self._lock:
+            if not self._index(signature):
+                return False
+            self._pending.append(signature)
+            return True
+
+    def merge_from(self, other) -> int:
+        """Add all signatures from ``other``; returns how many were new.
+
+        ``other`` is any iterable of signatures — another store, a
+        ``History`` facade, or a plain list.
+        """
+        added = 0
+        for signature in other:
+            if self.add(signature):
+                added += 1
+        return added
+
+    def _index(self, signature: DeadlockSignature) -> bool:
+        """Index a signature in memory (no pending-batch bookkeeping).
+
+        Used by :meth:`add` and by backend replay; caller holds the lock
+        or is still single-threaded in ``__init__``.
+        """
+        key = signature.canonical_key()
+        if key in self._canonical:
+            return False
+        if len(self._signatures) >= self.max_signatures:
+            raise HistoryFullError(
+                f"history holds {len(self._signatures)} signatures "
+                f"(max {self.max_signatures})"
+            )
+        self._canonical.add(key)
+        self._signatures.append(signature)
+        index = (
+            self._starvation_by_outer
+            if signature.is_starvation
+            else self._by_outer
+        )
+        for outer_key in signature.outer_position_keys():
+            existing = index.get(outer_key, ())
+            if signature not in existing:
+                index[outer_key] = existing + (signature,)
+        return True
+
+    # ------------------------------------------------------------------
+    # queries (the avoidance hot path — O(1) dict probes)
+    # ------------------------------------------------------------------
+
+    def signatures_at(
+        self, key: PositionKey, include_starvation: bool = True
+    ) -> tuple[DeadlockSignature, ...]:
+        """Signatures having ``key`` among their outer positions.
+
+        Returns interned tuples directly (no copy) — this runs on every
+        request at an in-history position.
+        """
+        found = self._by_outer.get(key, ())
+        if not include_starvation:
+            return found
+        starving = self._starvation_by_outer.get(key, ())
+        if not starving:
+            return found
+        return found + starving
+
+    def starvation_signatures_at(
+        self, key: PositionKey
+    ) -> tuple[DeadlockSignature, ...]:
+        """Starvation signatures only — the "do not park here" index."""
+        return self._starvation_by_outer.get(key, ())
+
+    def contains_position(self, key: PositionKey) -> bool:
+        return key in self._by_outer or key in self._starvation_by_outer
+
+    def contains(self, signature: DeadlockSignature) -> bool:
+        return signature.canonical_key() in self._canonical
+
+    def deadlock_count(self) -> int:
+        return sum(1 for sig in self._signatures if not sig.is_starvation)
+
+    def starvation_count(self) -> int:
+        return sum(1 for sig in self._signatures if sig.is_starvation)
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __iter__(self) -> Iterator[DeadlockSignature]:
+        return iter(tuple(self._signatures))
+
+    def __contains__(self, signature: object) -> bool:
+        return (
+            isinstance(signature, DeadlockSignature)
+            and self.contains(signature)
+        )
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Signatures added but not yet persisted."""
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def dirty(self) -> bool:
+        return self.pending_count > 0
+
+    def flush(self) -> int:
+        """Persist the pending batch; returns how many were *written*.
+
+        Idempotent: a clean store flushes zero signatures and performs
+        no I/O. Non-persistent backends drain the batch but report 0 —
+        nothing became durable, and callers (``History.persist``) use
+        the count to decide whether a fallback snapshot is needed.
+        Thread-safe against concurrent :meth:`add` calls.
+        """
+        with self._lock:
+            if not self._pending:
+                return 0
+            batch = tuple(self._pending)
+            self._persist(batch)
+            self._pending.clear()
+            return len(batch) if self.persistent else 0
+
+    def mark_clean(self) -> None:
+        """Drop the pending batch without writing (a snapshot covered it)."""
+        with self._lock:
+            self._pending.clear()
+
+    def purge(self) -> int:
+        """Destructively drop every signature (memory and backend).
+
+        The rewrite primitive for ``prune``/``compact``-style tools:
+        purge, re-add the survivors, flush. Returns how many signatures
+        were dropped.
+        """
+        with self._lock:
+            dropped = len(self._signatures)
+            self._signatures.clear()
+            self._canonical.clear()
+            self._by_outer.clear()
+            self._starvation_by_outer.clear()
+            self._pending.clear()
+            self._purge_backend()
+            return dropped
+
+    def _purge_backend(self) -> None:
+        """Erase backend storage. Called with the store lock held."""
+        # In-memory backends have nothing beyond the index.
+
+    def close(self) -> None:
+        """Flush and release backend resources. Safe to call twice."""
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+
+    def approximate_bytes(self) -> int:
+        """Rough in-process bytes held by signatures and the index.
+
+        Mirrors ``DimmunixCore.memory_footprint``'s per-struct estimates
+        (~96 bytes per retained frame plus container overhead) so the
+        memory experiments keep one accounting.
+        """
+        total = 0
+        for signature in self._signatures:
+            frames = sum(
+                len(entry.outer) + len(entry.inner)
+                for entry in signature.entries
+            )
+            total += 64 + frames * 96
+        # Index entries: one dict slot + tuple cell per (position, sig).
+        total += 72 * (len(self._by_outer) + len(self._starvation_by_outer))
+        return total
+
+    # ------------------------------------------------------------------
+    # snapshots (the legacy whole-file format)
+    # ------------------------------------------------------------------
+
+    def snapshot_to(self, path: Path | str) -> None:
+        """Atomically write all signatures to ``path`` in the legacy
+        ``History.save()`` format (header line + one signature per line).
+
+        Works for every backend; if ``path`` is this store's own backing
+        file the pending batch is covered by the snapshot and is dropped.
+        """
+        from repro.core.store.jsonl import write_snapshot
+
+        with self._lock:
+            write_snapshot(path, self._signatures)
+            if self.location is not None and Path(path) == self.location:
+                self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # backend hooks
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _persist(self, batch: tuple[DeadlockSignature, ...]) -> None:
+        """Make ``batch`` durable. Called with the store lock held."""
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.url}: {len(self)} signature(s), "
+            f"{self.pending_count} pending>"
+        )
+
+
+__all__ = ["HistoryStore", "HistoryFullError"]

@@ -1,0 +1,183 @@
+"""``jsonl://`` — the append-only log backend.
+
+Byte-compatible with the legacy ``History.save()`` format: the first
+line is a JSON header recording the format name and version, every
+following line is one signature. A file written by either code path
+loads in the other unchanged.
+
+Durability model: :meth:`JsonlStore._persist` *appends* the pending
+batch (one ``write`` + ``fsync`` per flush) instead of rewriting the
+whole file, so flush cost is proportional to the new signatures, not to
+the history size. Replay is crash-tolerant: a torn final line — the
+likely artifact of a crash mid-append, since saves happen *during* a
+deadlock — is ignored, and the next flush rewrites the log compacted
+(dropping the torn tail) before appending. Corruption anywhere else is
+an error, not data loss to paper over silently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.core.signature import DeadlockSignature
+from repro.core.store.base import HistoryStore
+from repro.core.store.url import SCHEME_JSONL
+from repro.errors import HistoryFormatError
+
+FORMAT_NAME = "dimmunix-history"
+FORMAT_VERSION = 1
+
+_HEADER = {"format": FORMAT_NAME, "version": FORMAT_VERSION}
+
+
+def signature_line(signature: DeadlockSignature) -> str:
+    return json.dumps(signature.to_json()) + "\n"
+
+
+def write_snapshot(
+    path: Path | str, signatures: Iterable[DeadlockSignature]
+) -> None:
+    """Atomically write a whole history file in the legacy format.
+
+    Temp file + rename, fsynced, so a crash mid-save never corrupts an
+    existing history.
+    """
+    path = Path(path)
+    tmp_path = path.with_name(path.name + ".tmp")
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(_HEADER) + "\n")
+        for signature in signatures:
+            handle.write(signature_line(signature))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
+def parse_history_lines(
+    path: Path | str, lines: list[str], *, tolerate_torn_tail: bool = False
+):
+    """Yield ``(line_number, signature)`` from in-memory file lines.
+
+    ``lines`` is the full file including the header line. Raises
+    :class:`~repro.errors.HistoryFormatError` on a bad header or a
+    corrupt signature line — except, when ``tolerate_torn_tail`` is
+    set, a corrupt *final* line, which is treated as a torn write and
+    skipped (the append crashed mid-line).
+    """
+    if not lines or not lines[0].strip():
+        return
+    try:
+        header = json.loads(lines[0])
+        if not isinstance(header, dict):
+            raise ValueError("header is not an object")
+    except (json.JSONDecodeError, ValueError) as exc:
+        raise HistoryFormatError(f"bad history header in {path}") from exc
+    if header.get("format") != FORMAT_NAME:
+        raise HistoryFormatError(
+            f"{path} is not a Dimmunix history "
+            f"(format={header.get('format')!r})"
+        )
+    if header.get("version") != FORMAT_VERSION:
+        raise HistoryFormatError(
+            f"unsupported history version "
+            f"{header.get('version')!r} in {path}"
+        )
+    body = lines[1:]
+    last_index = len(body) - 1
+    for offset, line in enumerate(body):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+            signature = DeadlockSignature.from_json(data)
+        except (
+            json.JSONDecodeError,
+            KeyError,
+            ValueError,
+            TypeError,  # valid JSON of the wrong shape (e.g. a list)
+        ) as exc:
+            if tolerate_torn_tail and offset == last_index:
+                return  # torn final line: replay stops cleanly
+            raise HistoryFormatError(
+                f"bad signature at {path}:{offset + 2}"
+            ) from exc
+        yield offset + 2, signature
+
+
+def read_signatures(path: Path | str, *, tolerate_torn_tail: bool = False):
+    """Yield ``(line_number, signature)`` from a legacy-format file."""
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    yield from parse_history_lines(
+        path, lines, tolerate_torn_tail=tolerate_torn_tail
+    )
+
+
+class JsonlStore(HistoryStore):
+    """Append-only, legacy-compatible file store."""
+
+    scheme = SCHEME_JSONL
+    persistent = True
+
+    def __init__(self, path: Path | str, max_signatures: int = 4096) -> None:
+        super().__init__(max_signatures=max_signatures)
+        self._path = Path(path)
+        self._torn_tail = False
+        self._replay()
+
+    @property
+    def location(self) -> Optional[Path]:
+        return self._path
+
+    def _replay(self) -> None:
+        if not self._path.exists():
+            return
+        # One pass over the file: replay the signatures and, from the
+        # same lines, detect a torn tail (or a header-less empty file)
+        # so the next flush rewrites a clean snapshot instead of
+        # appending after garbage.
+        with open(self._path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        replayed = 0
+        for _line, signature in parse_history_lines(
+            self._path, lines, tolerate_torn_tail=True
+        ):
+            self._index(signature)
+            replayed += 1
+        if not lines or not lines[0].strip():
+            self._torn_tail = True  # no header line to append after
+            return
+        body = [line for line in lines[1:] if line.strip()]
+        self._torn_tail = len(body) > replayed
+
+    def _purge_backend(self) -> None:
+        if self._path.exists():
+            write_snapshot(self._path, ())
+
+    def _persist(self, batch: tuple[DeadlockSignature, ...]) -> None:
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        if self._torn_tail or not self._path.exists():
+            # First write (or recovery): lay down the full snapshot so
+            # the file always starts with a valid header.
+            write_snapshot(self._path, self._signatures)
+            self._torn_tail = False
+            return
+        with open(self._path, "a", encoding="utf-8") as handle:
+            for signature in batch:
+                handle.write(signature_line(signature))
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+__all__ = [
+    "JsonlStore",
+    "write_snapshot",
+    "read_signatures",
+    "signature_line",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+]

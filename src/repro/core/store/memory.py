@@ -1,0 +1,51 @@
+"""``mem://`` — the in-process history backend.
+
+The current (pre-store) ``History`` semantics: signatures live only in
+this process. ``flush()`` is a cheap no-op that just drains the pending
+batch, so write-behind plumbing can treat every backend uniformly.
+Snapshots (:meth:`~repro.core.store.base.HistoryStore.snapshot_to`) still
+work — an in-memory history can always be exported to the legacy file
+format on demand.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.core.signature import DeadlockSignature
+from repro.core.store.base import HistoryStore
+from repro.core.store.url import SCHEME_MEM
+
+
+class MemoryStore(HistoryStore):
+    """Position-indexed, in-memory signature store (no persistence)."""
+
+    scheme = SCHEME_MEM
+    persistent = False
+
+    def __init__(self, max_signatures: int = 4096) -> None:
+        super().__init__(max_signatures=max_signatures)
+
+    @property
+    def location(self) -> Optional[Path]:
+        return None
+
+    def _persist(self, batch: tuple[DeadlockSignature, ...]) -> None:
+        # Nothing to do: durability is someone else's job (snapshots).
+        pass
+
+    @classmethod
+    def from_signatures(
+        cls,
+        signatures: Iterable[DeadlockSignature],
+        max_signatures: int = 4096,
+    ) -> "MemoryStore":
+        store = cls(max_signatures=max_signatures)
+        for signature in signatures:
+            store.add(signature)
+        store.mark_clean()
+        return store
+
+
+__all__ = ["MemoryStore"]

@@ -1,0 +1,195 @@
+"""Write-behind persistence driven by the typed event stream.
+
+The paper saves the history synchronously at detection time — tolerable
+when detections freeze the phone anyway, but a synchronous whole-file
+write inside the engine's global lock is exactly the scaling hazard the
+signature-store literature warns about. The
+:class:`WriteBehindPersister` decouples the two: the engine records the
+signature in the store (pure memory) and publishes its
+``DetectionEvent``/``StarvationEvent`` as before; the persister — just
+another :class:`~repro.core.events.EventBus` subscriber — notices
+``recorded=True`` events and schedules a flush. The lock path never
+pays a file write.
+
+Two scheduling modes:
+
+* ``thread`` (real-time adapters): a lazy daemon worker wakes on the
+  first dirty signature, coalesces bursts for ``flush_interval``
+  seconds, and flushes. Because the worker is not one of the
+  application's (possibly deadlocked) threads, the antibody still
+  reaches disk while the process hangs — the paper's freeze-then-reboot
+  story keeps working.
+* ``deferred`` (the simulated VM): no thread; flushes happen only at
+  explicit :meth:`flush` points (the VM flushes when ``run()`` returns),
+  keeping virtual-time runs deterministic.
+
+Every flush that wrote signatures is announced as exactly one
+``HistorySavedEvent`` — emission lives in ``History.flush()``, the
+single choke point all save paths now go through.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+# Original primitives, captured before any platform-wide patch: the
+# worker must never block on an immunized lock.
+_Condition = threading.Condition
+_Lock = threading.Lock
+_Thread = threading.Thread
+
+MODE_THREAD = "thread"
+MODE_DEFERRED = "deferred"
+
+#: event kinds that can carry a freshly recorded signature
+_DIRTYING_KINDS = ("detection", "starvation")
+
+
+class WriteBehindPersister:
+    """Flushes a history's store off the lock path, batched.
+
+    Subscribes to the bus for ``detection``/``starvation`` — a
+    ``recorded=True`` event means the store is dirty. Saves performed
+    elsewhere (an explicit ``save_history``) need no subscription: a
+    scheduled flush re-checks the store and no-ops when it finds it
+    already clean.
+    """
+
+    def __init__(
+        self,
+        history,
+        events,
+        *,
+        mode: str = MODE_THREAD,
+        flush_interval: float = 0.05,
+        batch_size: int = 1,
+    ) -> None:
+        if mode not in (MODE_THREAD, MODE_DEFERRED):
+            raise ValueError(f"unknown persister mode {mode!r}")
+        self.history = history
+        self.events = events
+        self.mode = mode
+        self.flush_interval = flush_interval
+        self.batch_size = batch_size
+        self.flushes = 0
+        self.signatures_written = 0
+        self._cond = _Condition(_Lock())
+        self._dirty_events = 0
+        self._closed = False
+        self._worker: Optional[_Thread] = None
+        # The worker starts eagerly, NOT on the first dirty event:
+        # starting a thread inside bus dispatch would run Thread.start()
+        # under the engine's global lock — and under the platform-wide
+        # patch, Thread internals touch (patched) threading primitives,
+        # which must never re-enter Dimmunix from the lock path.
+        if mode == MODE_THREAD:
+            self._worker = _Thread(
+                target=self._run, name="dimmunix-persister", daemon=True
+            )
+            self._worker.start()
+        self._subscription = events.subscribe(
+            self._on_event, kinds=_DIRTYING_KINDS
+        )
+
+    # ------------------------------------------------------------------
+    # bus side (runs inside engine dispatch — must not do I/O)
+    # ------------------------------------------------------------------
+
+    def _on_event(self, event) -> None:
+        if not getattr(event, "recorded", False):
+            return
+        with self._cond:
+            if self._closed:
+                return
+            self._dirty_events += 1
+            if self.mode == MODE_THREAD:
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while self._dirty_events < self.batch_size and not self._closed:
+                    self._cond.wait()
+                if self._closed and self._dirty_events == 0:
+                    return
+                self._dirty_events = 0
+            # Coalesce a burst (a multi-thread deadlock records several
+            # signatures back to back) into one write.
+            if self.flush_interval > 0 and not self._closed:
+                with self._cond:
+                    self._cond.wait(timeout=self.flush_interval)
+                    self._dirty_events = 0
+            self.flush()
+            with self._cond:
+                if self._closed and self._dirty_events == 0:
+                    return
+
+    # ------------------------------------------------------------------
+    # explicit control
+    # ------------------------------------------------------------------
+
+    def ensure_thread_mode(self) -> None:
+        """Upgrade a deferred persister to background flushing.
+
+        A shared history is first-wins on persister attachment; when a
+        real-thread adapter joins a session whose persister was created
+        by a (deferred-mode) VM, durability must not depend on explicit
+        flush points any more — a deadlocked real process never reaches
+        one. Called from adapter construction, never from the lock path.
+        """
+        with self._cond:
+            if self._closed or self.mode == MODE_THREAD:
+                return
+            self.mode = MODE_THREAD
+            self._worker = _Thread(
+                target=self._run, name="dimmunix-persister", daemon=True
+            )
+            self._worker.start()
+            self._cond.notify_all()
+
+    def flush(self) -> int:
+        """Flush now, synchronously; returns signatures written.
+
+        The shutdown hook: adapters call this when a session closes or a
+        VM run completes, guaranteeing durability without waiting for
+        the worker. Serialized against the worker by the store lock, so
+        exactly one ``HistorySavedEvent`` is emitted per batch no matter
+        who wins the race.
+        """
+        written = self.history.flush()
+        if written:
+            self.flushes += 1
+            self.signatures_written += written
+        return written
+
+    @property
+    def pending(self) -> int:
+        """Signatures recorded but not yet durable."""
+        return self.history.store.pending_count
+
+    def close(self) -> None:
+        """Final flush, stop the worker, drop the subscription."""
+        with self._cond:
+            already = self._closed
+            self._closed = True
+            self._cond.notify_all()
+        worker = self._worker
+        if worker is not None and worker.is_alive():
+            worker.join(timeout=5.0)
+        if not already:
+            self.events.unsubscribe(self._subscription)
+        self.flush()
+
+    def __repr__(self) -> str:
+        return (
+            f"<WriteBehindPersister {self.mode} on {self.history.store.url}: "
+            f"{self.flushes} flush(es), {self.signatures_written} written>"
+        )
+
+
+__all__ = ["WriteBehindPersister", "MODE_THREAD", "MODE_DEFERRED"]

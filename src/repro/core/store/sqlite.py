@@ -1,0 +1,248 @@
+"""``sqlite://`` — the indexed, multi-process-safe backend.
+
+One platform runs many processes (on the phone: every Zygote child), and
+the ROADMAP's scaling direction wants one shared antibody pool. SQLite in
+WAL mode gives that without a server: concurrent readers never block the
+writer, writes are transactional, and ``INSERT OR IGNORE`` on the
+canonical key makes cross-process deduplication free.
+
+Schema::
+
+    meta(key TEXT PRIMARY KEY, value TEXT)        -- format + version
+    signatures(canonical TEXT PRIMARY KEY,        -- JSON canonical key
+               kind TEXT, data TEXT)              -- full signature JSON
+    positions(canonical TEXT, pos TEXT,           -- outer-position index
+              is_starvation INTEGER)
+      + INDEX idx_positions_pos ON positions(pos)
+
+The hot-path matching index still lives in memory (inherited from
+:class:`~repro.core.store.base.HistoryStore`): SQLite is the durability
+and sharing layer, not the per-request lookup path. :meth:`refresh`
+pulls in rows other processes have committed since the store opened.
+
+Pointing ``sqlite://`` at a legacy flat ``History.save()`` file upgrades
+it in place (the original is kept next to it as ``<name>.pre-sqlite``),
+so operators can switch backends by changing only the DSN.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from pathlib import Path
+from typing import Optional
+
+from repro.core.signature import DeadlockSignature
+from repro.core.store.base import HistoryStore
+from repro.core.store.jsonl import FORMAT_NAME, FORMAT_VERSION, read_signatures
+from repro.core.store.url import SCHEME_SQLITE
+from repro.errors import HistoryFormatError
+
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS signatures (
+    canonical TEXT PRIMARY KEY,
+    kind TEXT NOT NULL,
+    data TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS positions (
+    canonical TEXT NOT NULL,
+    pos TEXT NOT NULL,
+    is_starvation INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_positions_pos ON positions (pos);
+CREATE UNIQUE INDEX IF NOT EXISTS idx_positions_unique
+    ON positions (canonical, pos);
+"""
+
+
+def canonical_text(signature: DeadlockSignature) -> str:
+    """A stable TEXT primary key from the signature's canonical key."""
+    return json.dumps(signature.canonical_key(), sort_keys=True)
+
+
+def _position_text(key) -> str:
+    return json.dumps(key, sort_keys=True)
+
+
+class SqliteStore(HistoryStore):
+    """WAL-mode SQLite signature store with a position index."""
+
+    scheme = SCHEME_SQLITE
+    persistent = True
+
+    def __init__(self, path: Path | str, max_signatures: int = 4096) -> None:
+        super().__init__(max_signatures=max_signatures)
+        self._path = Path(path)
+        legacy = self._maybe_extract_legacy()
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        # The write-behind persister flushes from its worker thread while
+        # the engine thread adds; the base-class store lock serializes
+        # every connection use, so cross-thread sharing is safe.
+        self._conn = sqlite3.connect(self._path, check_same_thread=False)
+        self._init_schema()
+        self._replay()
+        if legacy:
+            # Import the legacy flat file's signatures and persist them
+            # immediately — the upgraded DB must not lose them to a
+            # process that never flushes.
+            imported = [sig for sig in legacy if self.add(sig)]
+            if imported:
+                self.flush()
+
+    @property
+    def location(self) -> Optional[Path]:
+        return self._path
+
+    # ------------------------------------------------------------------
+    # open-time plumbing
+    # ------------------------------------------------------------------
+
+    def _maybe_extract_legacy(self) -> list[DeadlockSignature]:
+        """If ``path`` holds a legacy flat history, move it aside and
+        return its signatures for import into the fresh database."""
+        if not self._path.exists() or self._path.stat().st_size == 0:
+            return []
+        with open(self._path, "rb") as handle:
+            magic = handle.read(len(_SQLITE_MAGIC))
+        if magic == _SQLITE_MAGIC:
+            return []
+        signatures = [
+            signature
+            for _line, signature in read_signatures(
+                self._path, tolerate_torn_tail=True
+            )
+        ]
+        backup = self._path.with_name(self._path.name + ".pre-sqlite")
+        os.replace(self._path, backup)
+        return signatures
+
+    def _init_schema(self) -> None:
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                ("format", FORMAT_NAME),
+            )
+            self._conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                ("version", str(FORMAT_VERSION)),
+            )
+            self._conn.commit()
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'format'"
+            ).fetchone()
+            if row and row[0] != FORMAT_NAME:
+                raise HistoryFormatError(
+                    f"{self._path} is not a Dimmunix history database "
+                    f"(format={row[0]!r})"
+                )
+
+    def _replay(self) -> None:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT data FROM signatures ORDER BY rowid"
+            ).fetchall()
+        for (data,) in rows:
+            try:
+                signature = DeadlockSignature.from_json(json.loads(data))
+            except (
+                json.JSONDecodeError,
+                KeyError,
+                ValueError,
+                TypeError,
+            ) as exc:
+                raise HistoryFormatError(
+                    f"bad signature row in {self._path}"
+                ) from exc
+            self._index(signature)
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+
+    def _persist(self, batch: tuple[DeadlockSignature, ...]) -> None:
+        rows = [
+            (canonical_text(sig), sig.kind, json.dumps(sig.to_json()))
+            for sig in batch
+        ]
+        position_rows = [
+            (
+                canonical_text(sig),
+                _position_text(key),
+                1 if sig.is_starvation else 0,
+            )
+            for sig in batch
+            for key in set(sig.outer_position_keys())
+        ]
+        # One transaction per flush; OR IGNORE dedups against rows a
+        # sibling process committed first.
+        self._conn.executemany(
+            "INSERT OR IGNORE INTO signatures (canonical, kind, data) "
+            "VALUES (?, ?, ?)",
+            rows,
+        )
+        self._conn.executemany(
+            "INSERT OR IGNORE INTO positions (canonical, pos, is_starvation) "
+            "VALUES (?, ?, ?)",
+            position_rows,
+        )
+        self._conn.commit()
+
+    def snapshot_to(self, path) -> None:
+        """Snapshot to a *different* path; to our own path, flush.
+
+        The base implementation would atomically replace the target
+        with a legacy JSONL snapshot — replacing our own database file
+        while the connection holds the old inode would silently send
+        every later flush to an unlinked file. The database *is* the
+        durable form, so "snapshot onto myself" means flush.
+        """
+        if Path(path) == self._path:
+            self.flush()
+            return
+        super().snapshot_to(path)
+
+    def _purge_backend(self) -> None:
+        self._conn.execute("DELETE FROM signatures")
+        self._conn.execute("DELETE FROM positions")
+        self._conn.commit()
+
+    def refresh(self) -> int:
+        """Pull in signatures committed by other processes since open.
+
+        Returns how many new signatures were indexed. The paper's
+        platform story made histories per-process; a shared ``sqlite://``
+        pool plus periodic refresh gives cross-process immunity without
+        restarting anything.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT data FROM signatures ORDER BY rowid"
+            ).fetchall()
+            added = 0
+            for (data,) in rows:
+                signature = DeadlockSignature.from_json(json.loads(data))
+                if signature.canonical_key() in self._canonical:
+                    continue
+                self._index(signature)
+                added += 1
+            return added
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        super().close()
+        with self._lock:
+            self._conn.close()
+
+
+__all__ = ["SqliteStore", "canonical_text"]

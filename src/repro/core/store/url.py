@@ -1,0 +1,106 @@
+"""DSN-style addressing for history backends.
+
+A history URL names *where* the persistent deadlock history lives and
+*which* backend serves it::
+
+    mem://                      in-process only (no persistence)
+    jsonl:///var/dimmunix/a.history     append-only log, legacy-compatible
+    sqlite:///var/dimmunix/history.db   indexed, multi-process-safe
+
+Bare paths (no scheme) are accepted everywhere a URL is and map to
+``jsonl://`` — the JSONL backend reads and writes the exact on-disk
+format of the pre-store ``History.save()``, so every existing history
+file keeps working under a DSN without migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import DimmunixError
+
+SCHEME_MEM = "mem"
+SCHEME_JSONL = "jsonl"
+SCHEME_SQLITE = "sqlite"
+
+KNOWN_SCHEMES = (SCHEME_MEM, SCHEME_JSONL, SCHEME_SQLITE)
+
+
+class HistoryUrlError(DimmunixError, ValueError):
+    """A history DSN could not be parsed or names an unknown backend."""
+
+
+@dataclass(frozen=True)
+class HistoryUrl:
+    """A parsed history DSN: backend scheme plus (optional) file path."""
+
+    scheme: str
+    path: Optional[Path] = None
+
+    def __str__(self) -> str:
+        if self.path is None:
+            return f"{self.scheme}://"
+        # An absolute path naturally renders with the canonical triple
+        # slash (scheme:// + /abs/path); relative paths keep two.
+        return f"{self.scheme}://{self.path}"
+
+    @property
+    def persistent(self) -> bool:
+        return self.scheme != SCHEME_MEM
+
+
+def parse_history_url(url: str | Path) -> HistoryUrl:
+    """Parse a history DSN (or bare path, which means ``jsonl://``).
+
+    ``jsonl://relative/path`` and ``jsonl:///absolute/path`` are both
+    accepted; ``mem://`` takes no path.
+    """
+    if isinstance(url, Path):
+        return HistoryUrl(SCHEME_JSONL, url)
+    text = str(url).strip()
+    if not text:
+        raise HistoryUrlError("empty history URL")
+    if "://" not in text:
+        # A bare filesystem path: the legacy spelling.
+        return HistoryUrl(SCHEME_JSONL, Path(text))
+    scheme, _, rest = text.partition("://")
+    scheme = scheme.lower()
+    if scheme not in KNOWN_SCHEMES:
+        raise HistoryUrlError(
+            f"unknown history backend {scheme!r} in {text!r} "
+            f"(known: {', '.join(KNOWN_SCHEMES)})"
+        )
+    if scheme == SCHEME_MEM:
+        if rest not in ("", "/"):
+            raise HistoryUrlError(
+                f"mem:// takes no path (got {text!r})"
+            )
+        return HistoryUrl(SCHEME_MEM, None)
+    if not rest or rest == "/":
+        raise HistoryUrlError(f"{scheme}:// needs a file path (got {text!r})")
+    # jsonl:///abs/path keeps the leading slash; jsonl://rel/path is
+    # relative. Both spellings of absolute ("//abs" vs "///abs") work.
+    return HistoryUrl(scheme, Path(rest))
+
+
+def format_history_url(scheme: str, path: Optional[Path | str]) -> str:
+    """The canonical string form for a backend + path pair."""
+    if scheme == SCHEME_MEM:
+        return "mem://"
+    if path is None:
+        raise HistoryUrlError(f"{scheme}:// needs a path")
+    return str(HistoryUrl(scheme, Path(path)))
+
+
+__all__ = [
+    "HistoryUrl",
+    "HistoryUrlError",
+    "parse_history_url",
+    "format_history_url",
+    "SCHEME_MEM",
+    "SCHEME_JSONL",
+    "SCHEME_SQLITE",
+    "KNOWN_SCHEMES",
+]

@@ -129,6 +129,10 @@ class DalvikVM:
                 events=events,
                 source=name,
                 clock=lambda: float(self.clock),
+                # Deferred write-behind: virtual-time runs stay
+                # deterministic (no worker thread interleaving events);
+                # run() flushes when it returns.
+                persistence_mode="deferred",
             )
             if self.config.dimmunix.enabled
             else None
@@ -298,6 +302,13 @@ class DalvikVM:
                     self._preempt_requested = False
                     break
             self.enqueue(thread)
+        # The durability point of the simulated phone: whether the run
+        # completed, hit the tick limit, or froze on a deadlock, pending
+        # antibodies reach the backing store before anyone inspects the
+        # "rebooted" process. (The paper saves during the freeze; we save
+        # at the deterministic moment the freeze is observed.)
+        if self.core is not None:
+            self.core.flush_history()
         return self._result(limit)
 
     def _fire_due_timers(self) -> None:
@@ -384,10 +395,20 @@ class DalvikVM:
     def live_threads(self) -> list[VMThread]:
         return [t for t in self.threads if t.is_live()]
 
-    def save_history(self, path) -> None:
+    def save_history(self, path=None) -> None:
+        """Persist the history through the store (legacy: to ``path``).
+
+        Explicit user intent: writes regardless of ``auto_save``.
+        """
         if self.core is None:
             raise ValueError("cannot save history: Dimmunix is disabled")
-        self.core.history.save(path)
+        self.core.history.persist(path)
+
+    def flush_history(self) -> int:
+        """Flush pending antibodies to the backing store now."""
+        if self.core is None:
+            return 0
+        return self.core.flush_history()
 
     def __repr__(self) -> str:
         return (

@@ -21,14 +21,27 @@ from repro.dalvik.vm import DalvikVM, VMConfig
 
 
 class Zygote:
-    """Forks simulated app processes with per-process Dimmunix instances."""
+    """Forks simulated app processes with per-process Dimmunix instances.
+
+    ``backend`` selects the history store each forked process persists
+    to: ``"jsonl"`` (the default — one legacy-compatible flat file per
+    process, the paper's layout) or ``"sqlite"`` (one indexed WAL
+    database per process; point several process names at one shared
+    ``history_url`` instead for a platform-wide antibody pool).
+    """
 
     def __init__(
         self,
         vm_config: Optional[VMConfig] = None,
         history_dir: Optional[Path | str] = None,
+        backend: str = "jsonl",
     ) -> None:
+        if backend not in ("jsonl", "sqlite"):
+            raise ValueError(
+                f"unknown history backend {backend!r} (jsonl or sqlite)"
+            )
         self.vm_config = vm_config or VMConfig()
+        self.backend = backend
         self.history_dir = Path(history_dir) if history_dir is not None else None
         if self.history_dir is not None:
             self.history_dir.mkdir(parents=True, exist_ok=True)
@@ -38,16 +51,31 @@ class Zygote:
         if self.history_dir is None:
             return None
         safe = process_name.replace("/", "_")
-        return self.history_dir / f"{safe}.history"
+        suffix = ".history" if self.backend == "jsonl" else ".history.db"
+        return self.history_dir / f"{safe}{suffix}"
+
+    def history_url(self, process_name: str) -> Optional[str]:
+        """The DSN a fork of ``process_name`` loads and persists to."""
+        path = self.history_path(process_name)
+        if path is None:
+            return None
+        return f"{self.backend}://{path}"
 
     def fork(self, process_name: str, seed: Optional[int] = None) -> DalvikVM:
         """forkAndSpecializeCommon + initDimmunix for one app process."""
         self._fork_count += 1
         dimmunix = self.vm_config.dimmunix
         if dimmunix.enabled:
-            dimmunix = dimmunix.evolve(
-                history_path=self.history_path(process_name)
-            )
+            if self.backend == "jsonl":
+                # Legacy spelling, kept so configs read as before.
+                dimmunix = dimmunix.evolve(
+                    history_path=self.history_path(process_name)
+                )
+            else:
+                dimmunix = dimmunix.evolve(
+                    history_path=None,
+                    history_url=self.history_url(process_name),
+                )
         config = self.vm_config.evolve(
             dimmunix=dimmunix,
             seed=seed if seed is not None else self.vm_config.seed,

@@ -95,8 +95,12 @@ def selector_from_history(history) -> SiteSelector:
     """Selective instrumentation (§3.1): only positions already involved
     in a deadlock — i.e. present in the history — are guarded.
 
-    ``history`` is a :class:`~repro.core.history.History`; matching uses
-    the depth-1 position key, so signatures recorded by the interception
+    ``history`` is anything with the store contract's
+    ``contains_position`` — a :class:`~repro.core.history.History`
+    facade or a bare :class:`~repro.core.store.HistoryStore` backend
+    (so a weaver can select directly off a shared ``sqlite://`` pool).
+    Matching uses the depth-1 position key — an O(1) probe of the
+    store's position index — so signatures recorded by the interception
     runtime select the same lines here.
     """
 

@@ -101,14 +101,22 @@ class DimmunixRuntime:
         return self.adapter.detections
 
     def save_history(self, path: Optional[Path | str] = None) -> Path:
-        """Persist the history (defaults to the configured path)."""
-        target = Path(path) if path is not None else self.config.history_path
-        if target is None:
-            raise ValueError(
-                "no history path: pass one or set DimmunixConfig.history_path"
-            )
-        self.history.save(target)
-        return target
+        """Persist the history (defaults to the backing location).
+
+        Routed through the store: a default-target save flushes the
+        write-behind batch; an explicit ``path`` snapshots the legacy
+        format there. Each persisted batch emits one
+        ``HistorySavedEvent`` on this runtime's bus.
+        """
+        return self.history.persist(
+            path
+            if path is not None
+            else (self.history.location or self.config.history_location())
+        )
+
+    def flush_history(self) -> int:
+        """Flush pending antibodies to the backing store now."""
+        return self.core.flush_history()
 
     def __repr__(self) -> str:
         snap = self.core.snapshot()

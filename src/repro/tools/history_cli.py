@@ -2,18 +2,28 @@
 
 Subcommands::
 
-    list <file>                 one line per signature
-    show <file> <index>         full outer/inner stacks of one signature
-    stats <file>                counts and position census
+    list <src>                  one line per signature
+    show <src> <index>          full outer/inner stacks of one signature
+    stats <src>                 counts and position census
     merge <out> <in> [<in>...]  union of several histories (deduplicated)
     diff <a> <b>                signatures unique to each side / common
-    prune <file> [filters]      write back a filtered history
-    validate <file>             load strictly; non-zero exit on problems
+    prune <src> [filters]       write back a filtered history
+    compact <src>               rewrite deduplicated, optionally capped
+    migrate <src> <dst>         copy a history onto another backend
+    validate <src>              load strictly; non-zero exit on problems
 
-Everything operates on the on-disk format written by
-:meth:`repro.core.history.History.save`, so the tool works on files
-produced by the real-thread runtime, the substrate VM, and the weaver
-alike (including mixed Java + native signatures from the NDK layer).
+Every ``<src>``/``<dst>`` accepts either a plain file path (the legacy
+flat format written by ``History.save()``) or a history DSN selecting a
+backend: ``jsonl:///path`` (same flat format, append-only) or
+``sqlite:///path`` (indexed, multi-process-safe). ``migrate`` is the
+operator's path off legacy flat files::
+
+    dimmunix-history migrate /data/system_server.history \\
+        sqlite:///data/platform-history.db
+
+The tool works on histories produced by the real-thread runtime, the
+substrate VM, and the weaver alike (including mixed Java + native
+signatures from the NDK layer).
 """
 
 from __future__ import annotations
@@ -24,8 +34,10 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.core.callstack import CallStack
-from repro.core.history import History
+from repro.core.history import History, open_history
 from repro.core.signature import DeadlockSignature
+from repro.core.store import HistoryFullError, parse_history_url
+from repro.core.store.url import SCHEME_MEM, HistoryUrlError
 from repro.errors import HistoryFormatError
 
 
@@ -46,8 +58,58 @@ def _signature_line(index: int, signature: DeadlockSignature) -> str:
     )
 
 
-def _load(path: str) -> History:
-    return History.load(Path(path))
+def _load(spec: str, max_signatures: int = 1_000_000) -> History:
+    """Open a history for reading from a path or DSN.
+
+    Plain paths load the legacy flat format into memory (exactly the
+    old behaviour); DSNs open the named backend. The generous default
+    capacity means inspection never trips ``HistoryFullError`` on a
+    file some larger-capacity process wrote.
+    """
+    if "://" in spec:
+        url = parse_history_url(spec)
+        if url.scheme == SCHEME_MEM:
+            raise HistoryUrlError("mem:// holds no data to read")
+        if url.path is not None and not url.path.exists():
+            # Missing histories read as empty (initDimmunix semantics) —
+            # but a read-only command must not create the backend file
+            # (opening sqlite:// would) as a side effect of a typo.
+            return History(max_signatures=max_signatures)
+        return open_history(spec, max_signatures=max_signatures)
+    return History.load(Path(spec), max_signatures=max_signatures)
+
+
+def _write_out(
+    history: History, spec: str, replace: bool = False
+) -> tuple[int, int]:
+    """Write ``history`` to a path (legacy format) or DSN (backend).
+
+    ``replace`` rewrites the target (merge/prune/compact); otherwise
+    the signatures merge into whatever the target already holds
+    (migrate) — for paths and DSNs alike. Returns
+    ``(written, already_present)``.
+    """
+    if "://" not in spec:
+        path = Path(spec)
+        if replace or not path.exists():
+            history.save(path)
+            return len(history), 0
+        existing = History.load(path, max_signatures=1_000_000)
+        added = existing.merge_from(history)
+        existing.save(path)
+        return added, len(history) - added
+    url = parse_history_url(spec)
+    if url.scheme == SCHEME_MEM:
+        raise HistoryUrlError(f"cannot write to {spec!r}: mem:// is not durable")
+    target = open_history(spec, max_signatures=1_000_000)
+    try:
+        if replace:
+            target.store.purge()
+        added = target.merge_from(history)
+        target.flush()
+        return added, len(history) - added
+    finally:
+        target.close()
 
 
 # ----------------------------------------------------------------------
@@ -110,15 +172,39 @@ def cmd_stats(args: argparse.Namespace) -> int:
 def cmd_merge(args: argparse.Namespace) -> int:
     merged = History(max_signatures=args.max_signatures)
     total_seen = 0
-    for source in args.inputs:
-        history = _load(source)
-        total_seen += len(history)
-        added = merged.merge_from(history)
-        print(f"{source}: {len(history)} signature(s), {added} new")
-    merged.save(Path(args.output))
+    try:
+        for source in args.inputs:
+            history = _load(source)
+            total_seen += len(history)
+            added = merged.merge_from(history)
+            print(f"{source}: {len(history)} signature(s), {added} new")
+    except HistoryFullError as error:
+        print(
+            f"error: {error} — raise --max-signatures to merge everything",
+            file=sys.stderr,
+        )
+        return 2
+    # merge's contract: the output becomes exactly the union of the
+    # inputs (the legacy overwrite semantic); migrate is the additive
+    # command.
+    _write_out(merged, args.output, replace=True)
     print(
         f"wrote {len(merged)} signature(s) to {args.output} "
         f"({total_seen - len(merged)} duplicate(s) dropped)"
+    )
+    return 0
+
+
+def cmd_migrate(args: argparse.Namespace) -> int:
+    """Move a history between backends (the legacy-file exit ramp)."""
+    source = _load(args.src)
+    if args.src.strip() == args.dst.strip():
+        print("error: source and destination are the same", file=sys.stderr)
+        return 2
+    added, present = _write_out(source, args.dst)
+    print(
+        f"{args.src}: {len(source)} signature(s) -> {args.dst}: "
+        f"{added} migrated, {present} already present"
     )
     return 0
 
@@ -171,16 +257,50 @@ def cmd_prune(args: argparse.Namespace) -> int:
             dropped += 1
             continue
         kept.add(signature)
-    target = Path(args.output) if args.output else Path(args.file)
-    kept.save(target)
+    target = args.output if args.output else args.file
+    _write_out(kept, target, replace=True)
     print(f"kept {len(kept)}, dropped {dropped} -> {target}")
+    return 0
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    """Rewrite a history deduplicated and (optionally) capacity-capped.
+
+    Reports exactly what a capacity cap costs: signatures dropped past
+    ``--max-signatures`` are counted and the exit status is non-zero,
+    so an operator can never truncate antibodies silently.
+    """
+    history = _load(args.file)
+    capacity = (
+        args.max_signatures if args.max_signatures else max(len(history), 1)
+    )
+    compacted = History(max_signatures=capacity)
+    truncated = 0
+    for signature in history:
+        try:
+            compacted.add(signature)
+        except HistoryFullError:
+            truncated += 1
+    target = args.output if args.output else args.file
+    _write_out(compacted, target, replace=True)
+    print(
+        f"compacted {len(history)} -> {len(compacted)} signature(s) "
+        f"-> {target}"
+    )
+    if truncated:
+        print(
+            f"warning: capacity {capacity} truncated {truncated} "
+            "signature(s) — immunity to those deadlocks is lost",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
     try:
         history = _load(args.file)
-    except HistoryFormatError as error:
+    except (HistoryFormatError, HistoryUrlError) as error:
         print(f"INVALID: {error}", file=sys.stderr)
         return 1
     except OSError as error:
@@ -201,21 +321,25 @@ def cmd_validate(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="dimmunix-history",
-        description="Inspect and manage Dimmunix deadlock-history files.",
+        description=(
+            "Inspect and manage Dimmunix deadlock histories. Sources and "
+            "targets accept plain paths (legacy flat files) or DSNs: "
+            "jsonl:///path, sqlite:///path."
+        ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
     list_parser = commands.add_parser("list", help="one line per signature")
-    list_parser.add_argument("file")
+    list_parser.add_argument("file", metavar="src")
     list_parser.set_defaults(func=cmd_list)
 
     show = commands.add_parser("show", help="full stacks of one signature")
-    show.add_argument("file")
+    show.add_argument("file", metavar="src")
     show.add_argument("index", type=int)
     show.set_defaults(func=cmd_show)
 
     stats = commands.add_parser("stats", help="counts and position census")
-    stats.add_argument("file")
+    stats.add_argument("file", metavar="src")
     stats.add_argument("--top", type=int, default=5)
     stats.set_defaults(func=cmd_stats)
 
@@ -225,13 +349,35 @@ def build_parser() -> argparse.ArgumentParser:
     merge.add_argument("--max-signatures", type=int, default=4096)
     merge.set_defaults(func=cmd_merge)
 
+    migrate = commands.add_parser(
+        "migrate",
+        help="copy a history onto another backend (path or DSN to DSN)",
+    )
+    migrate.add_argument("src")
+    migrate.add_argument("dst")
+    migrate.set_defaults(func=cmd_migrate)
+
     diff = commands.add_parser("diff", help="compare two histories")
     diff.add_argument("left")
     diff.add_argument("right")
     diff.set_defaults(func=cmd_diff)
 
+    compact = commands.add_parser(
+        "compact",
+        help="rewrite deduplicated; reports (and fails on) truncation",
+    )
+    compact.add_argument("file", metavar="src")
+    compact.add_argument("--output", help="write here instead of in place")
+    compact.add_argument(
+        "--max-signatures",
+        type=int,
+        default=0,
+        help="cap the rebuilt history (0 = keep everything)",
+    )
+    compact.set_defaults(func=cmd_compact)
+
     prune = commands.add_parser("prune", help="filter a history in place")
-    prune.add_argument("file")
+    prune.add_argument("file", metavar="src")
     prune.add_argument("--output", help="write here instead of in place")
     prune.add_argument(
         "--drop-starvation",
@@ -261,7 +407,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except HistoryUrlError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

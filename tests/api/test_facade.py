@@ -333,7 +333,7 @@ class TestUnifiedEventStream:
 class TestErgonomics:
     def test_save_history_without_path_raises(self):
         with immunity() as dx:
-            with pytest.raises(ValueError, match="no history path"):
+            with pytest.raises(ValueError, match="no history location"):
                 dx.save_history()
 
     def test_close_is_idempotent(self):

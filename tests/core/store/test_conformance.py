@@ -1,0 +1,345 @@
+"""The HistoryStore conformance suite.
+
+One behavioural contract, three backends: every test in
+``TestStoreConformance`` runs against ``mem://``, ``jsonl://``, and
+``sqlite://`` via the parameterised ``backend`` fixture. A backend that
+passes is a drop-in replacement on the engine's avoidance hot path and
+in every tool.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.callstack import CallStack
+from repro.core.history import History
+from repro.core.signature import (
+    KIND_STARVATION,
+    DeadlockSignature,
+    SignatureEntry,
+)
+from repro.core.store import (
+    HistoryFullError,
+    JsonlStore,
+    MemoryStore,
+    SqliteStore,
+    open_store,
+)
+
+FIXTURE = Path(__file__).parent.parent.parent / "fixtures" / "legacy_v1.history"
+
+
+def sig(outer_a=1, outer_b=3, inner_a=2, inner_b=4, kind="deadlock"):
+    return DeadlockSignature(
+        [
+            SignatureEntry(
+                CallStack.single("h.py", outer_a),
+                CallStack.single("h.py", inner_a),
+            ),
+            SignatureEntry(
+                CallStack.single("h.py", outer_b),
+                CallStack.single("h.py", inner_b),
+            ),
+        ],
+        kind=kind,
+    )
+
+
+class Backend:
+    """One parameterised backend: build fresh stores, reopen them."""
+
+    def __init__(self, scheme: str, tmp_path: Path) -> None:
+        self.scheme = scheme
+        self.tmp_path = tmp_path
+        self._counter = 0
+        self._last_target: Path | None = None
+
+    @property
+    def persistent(self) -> bool:
+        return self.scheme != "mem"
+
+    def fresh(self, max_signatures: int = 4096):
+        """A store on a new, empty location."""
+        self._counter += 1
+        if self.scheme == "mem":
+            self._last_target = None
+            return MemoryStore(max_signatures=max_signatures)
+        suffix = "history" if self.scheme == "jsonl" else "db"
+        self._last_target = self.tmp_path / f"s{self._counter}.{suffix}"
+        return open_store(
+            f"{self.scheme}://{self._last_target}",
+            max_signatures=max_signatures,
+        )
+
+    def reopen(self, store, max_signatures: int = 4096):
+        """Close ``store`` and open the same durable location again.
+
+        For ``mem://`` the round trip goes through a legacy snapshot —
+        the only durability an in-memory store has.
+        """
+        if self.scheme == "mem":
+            snapshot = self.tmp_path / f"mem-snap-{self._counter}.history"
+            store.snapshot_to(snapshot)
+            store.close()
+            reloaded = MemoryStore(max_signatures=max_signatures)
+            reloaded.merge_from(
+                History.load(snapshot, max_signatures=max_signatures)
+            )
+            reloaded.mark_clean()
+            return reloaded
+        location = store.location
+        store.close()
+        return open_store(
+            f"{self.scheme}://{location}", max_signatures=max_signatures
+        )
+
+
+@pytest.fixture(params=["mem", "jsonl", "sqlite"])
+def backend(request, tmp_path) -> Backend:
+    return Backend(request.param, tmp_path)
+
+
+class TestStoreConformance:
+    def test_add_and_contains(self, backend):
+        store = backend.fresh()
+        signature = sig()
+        assert store.add(signature)
+        assert store.contains(signature)
+        assert signature in store
+        assert len(store) == 1
+
+    def test_duplicate_rejected(self, backend):
+        store = backend.fresh()
+        assert store.add(sig())
+        assert not store.add(sig())
+        assert len(store) == 1
+        assert store.pending_count == 1  # the duplicate added nothing
+
+    def test_capacity_enforced(self, backend):
+        store = backend.fresh(max_signatures=2)
+        store.add(sig(outer_a=1))
+        store.add(sig(outer_a=2))
+        with pytest.raises(HistoryFullError):
+            store.add(sig(outer_a=3))
+
+    def test_position_lookup(self, backend):
+        store = backend.fresh()
+        signature = sig(outer_a=10, outer_b=20)
+        store.add(signature)
+        assert store.signatures_at((("h.py", 10),)) == (signature,)
+        assert store.signatures_at((("h.py", 20),)) == (signature,)
+        assert store.signatures_at((("h.py", 2),)) == ()
+        assert store.contains_position((("h.py", 10),))
+        assert not store.contains_position((("h.py", 2),))
+
+    def test_starvation_filtering(self, backend):
+        store = backend.fresh()
+        deadlock = sig(outer_a=10, outer_b=20)
+        starvation = sig(outer_a=10, outer_b=30, kind=KIND_STARVATION)
+        store.add(deadlock)
+        store.add(starvation)
+        at_10 = store.signatures_at((("h.py", 10),))
+        assert set(at_10) == {deadlock, starvation}
+        assert store.signatures_at(
+            (("h.py", 10),), include_starvation=False
+        ) == (deadlock,)
+        assert store.starvation_signatures_at((("h.py", 10),)) == (
+            starvation,
+        )
+        assert store.deadlock_count() == 1
+        assert store.starvation_count() == 1
+
+    def test_save_load_round_trip(self, backend):
+        store = backend.fresh()
+        store.add(sig(outer_a=1))
+        store.add(sig(outer_a=5, kind=KIND_STARVATION))
+        store.flush()
+        reloaded = backend.reopen(store)
+        assert len(reloaded) == 2
+        assert reloaded.contains(sig(outer_a=1))
+        assert reloaded.starvation_count() == 1
+        # The index survives the round trip, not just the rows.
+        assert reloaded.contains_position((("h.py", 1),))
+        reloaded.close()
+
+    def test_merge_from(self, backend):
+        a = backend.fresh()
+        a.add(sig(outer_a=1))
+        b = backend.fresh()
+        b.add(sig(outer_a=1))
+        b.add(sig(outer_a=2))
+        assert a.merge_from(b) == 1
+        assert len(a) == 2
+
+    def test_flush_is_idempotent(self, backend):
+        store = backend.fresh()
+        store.add(sig())
+        # Durable backends report what they wrote; mem:// drains the
+        # batch but wrote nothing durable, and must say so.
+        assert store.flush() == (1 if backend.persistent else 0)
+        assert store.flush() == 0
+        assert not store.dirty
+
+    def test_flush_into_missing_directory_creates_it(self, backend, tmp_path):
+        if not backend.persistent:
+            pytest.skip("mem:// has no directory")
+        deep = tmp_path / "not" / "yet" / "made"
+        suffix = "history" if backend.scheme == "jsonl" else "db"
+        store = open_store(f"{backend.scheme}://{deep / f'h.{suffix}'}")
+        store.add(sig())
+        assert store.flush() == 1
+        assert (deep / f"h.{suffix}").exists()
+        store.close()
+
+    def test_purge_empties_backend(self, backend):
+        store = backend.fresh()
+        store.add(sig(outer_a=1))
+        store.add(sig(outer_a=2))
+        store.flush()
+        assert store.purge() == 2
+        assert len(store) == 0
+        assert not store.contains_position((("h.py", 1),))
+        if backend.persistent:
+            reloaded = backend.reopen(store)
+            assert len(reloaded) == 0
+            reloaded.close()
+
+    def test_iteration_preserves_insertion_order(self, backend):
+        store = backend.fresh()
+        first, second = sig(outer_a=1), sig(outer_a=2)
+        store.add(first)
+        store.add(second)
+        assert list(store) == [first, second]
+
+    def test_snapshot_to_legacy_format(self, backend, tmp_path):
+        store = backend.fresh()
+        store.add(sig(outer_a=7))
+        target = tmp_path / "snapshot.history"
+        store.snapshot_to(target)
+        loaded = History.load(target)
+        assert len(loaded) == 1
+        assert loaded.contains(sig(outer_a=7))
+
+
+class TestLegacyFileCompat:
+    """Both durable backends load the committed legacy fixture unchanged."""
+
+    def test_fixture_exists_and_is_legacy_format(self):
+        header = json.loads(FIXTURE.read_text().splitlines()[0])
+        assert header == {"format": "dimmunix-history", "version": 1}
+
+    @pytest.mark.parametrize("scheme", ["jsonl", "sqlite"])
+    def test_backends_load_legacy_fixture(self, scheme, tmp_path):
+        # Work on a copy: sqlite:// upgrades the file in place.
+        work = tmp_path / "legacy.history"
+        work.write_bytes(FIXTURE.read_bytes())
+        store = open_store(f"{scheme}://{work}")
+        assert len(store) == 3
+        assert store.deadlock_count() == 2
+        assert store.starvation_count() == 1
+        assert store.contains_position((("app.py", 10),))
+        store.close()
+
+    def test_jsonl_leaves_legacy_bytes_untouched(self, tmp_path):
+        work = tmp_path / "legacy.history"
+        work.write_bytes(FIXTURE.read_bytes())
+        store = JsonlStore(work)
+        store.close()
+        assert work.read_bytes() == FIXTURE.read_bytes()
+
+    def test_jsonl_append_stays_legacy_loadable(self, tmp_path):
+        work = tmp_path / "legacy.history"
+        work.write_bytes(FIXTURE.read_bytes())
+        store = JsonlStore(work)
+        store.add(sig(outer_a=99))
+        store.flush()
+        store.close()
+        # Original bytes are a strict prefix: append-only persistence.
+        assert work.read_bytes().startswith(FIXTURE.read_bytes())
+        loaded = History.load(work)
+        assert len(loaded) == 4
+
+    def test_sqlite_upgrade_keeps_backup(self, tmp_path):
+        work = tmp_path / "legacy.history"
+        work.write_bytes(FIXTURE.read_bytes())
+        store = SqliteStore(work)
+        assert len(store) == 3
+        store.close()
+        backup = tmp_path / "legacy.history.pre-sqlite"
+        assert backup.read_bytes() == FIXTURE.read_bytes()
+        # The upgraded file is a real SQLite database now.
+        assert work.read_bytes()[:16] == b"SQLite format 3\x00"
+        # And reopening it finds everything without re-import.
+        reopened = SqliteStore(work)
+        assert len(reopened) == 3
+        reopened.close()
+
+
+class TestJsonlCrashTolerance:
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "torn.history"
+        store = JsonlStore(path)
+        store.add(sig(outer_a=1))
+        store.add(sig(outer_a=2))
+        store.flush()
+        store.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "deadlock", "entr')  # crash mid-append
+        replayed = JsonlStore(path)
+        assert len(replayed) == 2
+        # The next flush compacts the torn tail away.
+        replayed.add(sig(outer_a=3))
+        replayed.flush()
+        replayed.close()
+        clean = History.load(path)
+        assert len(clean) == 3
+
+    def test_corrupt_middle_line_still_raises(self, tmp_path):
+        from repro.errors import HistoryFormatError
+
+        path = tmp_path / "corrupt.history"
+        store = JsonlStore(path)
+        store.add(sig(outer_a=1))
+        store.flush()
+        store.close()
+        lines = path.read_text().splitlines()
+        lines.insert(1, "{garbage}")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(HistoryFormatError):
+            JsonlStore(path)
+
+
+class TestSqliteMultiProcess:
+    """Two handles on one database — the cross-process sharing story."""
+
+    def test_concurrent_writers_deduplicate(self, tmp_path):
+        path = tmp_path / "shared.db"
+        a = SqliteStore(path)
+        b = SqliteStore(path)
+        shared = sig(outer_a=1)
+        a.add(shared)
+        b.add(shared)
+        b.add(sig(outer_a=2))
+        a.flush()
+        b.flush()
+        fresh = SqliteStore(path)
+        assert len(fresh) == 2  # the shared signature stored once
+        fresh.close()
+        a.close()
+        b.close()
+
+    def test_refresh_sees_other_writers(self, tmp_path):
+        path = tmp_path / "shared.db"
+        a = SqliteStore(path)
+        b = SqliteStore(path)
+        a.add(sig(outer_a=1))
+        a.flush()
+        assert not b.contains(sig(outer_a=1))
+        assert b.refresh() == 1
+        assert b.contains(sig(outer_a=1))
+        assert b.contains_position((("h.py", 1),))
+        a.close()
+        b.close()

@@ -1,0 +1,134 @@
+"""Property test: the indexed MemoryStore equals a naive linear scan.
+
+The position-keyed index is the O(1) hot-path optimization; this holds
+it to a brute-force oracle that answers every query by scanning the
+full signature list — the semantics the index must never drift from.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.callstack import CallStack
+from repro.core.signature import (
+    KIND_DEADLOCK,
+    KIND_STARVATION,
+    DeadlockSignature,
+    SignatureEntry,
+)
+from repro.core.store import HistoryFullError, MemoryStore
+
+FILES = ("a.py", "b.py")
+LINES = tuple(range(1, 6))
+
+
+class LinearScanOracle:
+    """The spec: every query is a full scan over an ordered list."""
+
+    def __init__(self, max_signatures: int) -> None:
+        self.max_signatures = max_signatures
+        self.signatures: list[DeadlockSignature] = []
+
+    def add(self, signature: DeadlockSignature) -> bool:
+        if any(
+            s.canonical_key() == signature.canonical_key()
+            for s in self.signatures
+        ):
+            return False
+        if len(self.signatures) >= self.max_signatures:
+            raise HistoryFullError("full")
+        self.signatures.append(signature)
+        return True
+
+    def signatures_at(self, key, include_starvation=True):
+        deadlocks = [
+            s
+            for s in self.signatures
+            if not s.is_starvation and key in s.outer_position_keys()
+        ]
+        if not include_starvation:
+            return tuple(deadlocks)
+        starving = [
+            s
+            for s in self.signatures
+            if s.is_starvation and key in s.outer_position_keys()
+        ]
+        return tuple(deadlocks + starving)
+
+    def starvation_signatures_at(self, key):
+        return tuple(
+            s
+            for s in self.signatures
+            if s.is_starvation and key in s.outer_position_keys()
+        )
+
+    def contains_position(self, key) -> bool:
+        return any(key in s.outer_position_keys() for s in self.signatures)
+
+    def contains(self, signature) -> bool:
+        return any(
+            s.canonical_key() == signature.canonical_key()
+            for s in self.signatures
+        )
+
+    def deadlock_count(self) -> int:
+        return sum(1 for s in self.signatures if not s.is_starvation)
+
+    def starvation_count(self) -> int:
+        return sum(1 for s in self.signatures if s.is_starvation)
+
+
+position = st.tuples(st.sampled_from(FILES), st.sampled_from(LINES))
+
+
+@st.composite
+def signatures(draw):
+    size = draw(st.integers(min_value=1, max_value=3))
+    entries = []
+    for _ in range(size):
+        outer_file, outer_line = draw(position)
+        inner_file, inner_line = draw(position)
+        entries.append(
+            SignatureEntry(
+                CallStack.single(outer_file, outer_line),
+                CallStack.single(inner_file, inner_line),
+            )
+        )
+    kind = draw(st.sampled_from((KIND_DEADLOCK, KIND_STARVATION)))
+    return DeadlockSignature(entries, kind=kind)
+
+
+ALL_KEYS = tuple(((file, line),) for file in FILES for line in LINES)
+
+
+@given(sigs=st.lists(signatures(), max_size=30))
+@settings(max_examples=200, deadline=None)
+def test_memory_store_matches_linear_scan_oracle(sigs):
+    store = MemoryStore(max_signatures=20)
+    oracle = LinearScanOracle(max_signatures=20)
+    for signature in sigs:
+        try:
+            store_added = store.add(signature)
+        except HistoryFullError:
+            store_added = "full"
+        try:
+            oracle_added = oracle.add(signature)
+        except HistoryFullError:
+            oracle_added = "full"
+        assert store_added == oracle_added
+        assert store.contains(signature) == oracle.contains(signature)
+
+    assert len(store) == len(oracle.signatures)
+    assert list(store) == oracle.signatures
+    assert store.deadlock_count() == oracle.deadlock_count()
+    assert store.starvation_count() == oracle.starvation_count()
+    for key in ALL_KEYS:
+        assert store.contains_position(key) == oracle.contains_position(key)
+        assert set(store.signatures_at(key)) == set(oracle.signatures_at(key))
+        assert set(store.signatures_at(key, include_starvation=False)) == set(
+            oracle.signatures_at(key, include_starvation=False)
+        )
+        assert set(store.starvation_signatures_at(key)) == set(
+            oracle.starvation_signatures_at(key)
+        )

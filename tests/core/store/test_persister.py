@@ -1,0 +1,281 @@
+"""Write-behind persistence: the lock path never pays a file write."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.config import DimmunixConfig
+from repro.core.callstack import CallStack
+from repro.core.engine import DimmunixCore
+from repro.core.events import EventBus, EventLog
+from repro.core.history import History, open_history
+from repro.core.signature import DeadlockSignature, SignatureEntry
+from repro.core.store import WriteBehindPersister
+
+
+def stack(line):
+    return CallStack.single("wb.py", line)
+
+
+def sig(outer_a=1, outer_b=3):
+    return DeadlockSignature(
+        [
+            SignatureEntry(stack(outer_a), stack(outer_a + 1)),
+            SignatureEntry(stack(outer_b), stack(outer_b + 1)),
+        ]
+    )
+
+
+def drive_abba(core):
+    t1 = core.register_thread("t1")
+    t2 = core.register_thread("t2")
+    a = core.register_lock("a")
+    b = core.register_lock("b")
+    core.request(t1, a, stack(10))
+    core.acquired(t1, a)
+    core.request(t2, b, stack(20))
+    core.acquired(t2, b)
+    core.request(t1, b, stack(11))
+    result = core.request(t2, a, stack(21))
+    assert result.detected is not None
+
+
+class TestDeferredMode:
+    def test_no_io_until_flush(self, tmp_path):
+        path = tmp_path / "h.history"
+        core = DimmunixCore(
+            DimmunixConfig(yield_timeout=None, history_path=path),
+            persistence_mode="deferred",
+        )
+        drive_abba(core)
+        assert not path.exists()
+        assert core.history.store.pending_count == 1
+        assert core.flush_history() == 1
+        assert path.exists()
+
+    def test_flush_announces_once(self, tmp_path):
+        path = tmp_path / "h.history"
+        core = DimmunixCore(
+            DimmunixConfig(yield_timeout=None, history_path=path),
+            persistence_mode="deferred",
+        )
+        log = EventLog()
+        core.events.subscribe(log, kinds=("history-saved",))
+        drive_abba(core)
+        core.flush_history()
+        core.flush_history()
+        assert len(log.events) == 1
+        (saved,) = log.events
+        assert saved.path == str(path)
+        assert saved.signatures == 1
+
+    def test_detach_events_flushes(self, tmp_path):
+        path = tmp_path / "h.history"
+        core = DimmunixCore(
+            DimmunixConfig(yield_timeout=None, history_path=path),
+            persistence_mode="deferred",
+        )
+        drive_abba(core)
+        core.detach_events()
+        assert path.exists()
+
+
+class TestThreadMode:
+    def test_worker_flushes_without_explicit_call(self, tmp_path):
+        path = tmp_path / "h.history"
+        core = DimmunixCore(
+            DimmunixConfig(yield_timeout=None, history_path=path),
+            persistence_mode="thread",
+        )
+        drive_abba(core)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if path.exists() and not core.history.store.dirty:
+                break
+            time.sleep(0.01)
+        assert path.exists()
+        assert len(History.load(path)) == 1
+
+    def test_explicit_flush_races_cleanly_with_worker(self, tmp_path):
+        path = tmp_path / "h.history"
+        core = DimmunixCore(
+            DimmunixConfig(yield_timeout=None, history_path=path),
+        )
+        log = EventLog()
+        core.events.subscribe(log, kinds=("history-saved",))
+        drive_abba(core)
+        core.flush_history()
+        # Whoever won, exactly one event was emitted and the data is
+        # durable by the time the explicit flush returned.
+        assert path.exists()
+        assert len(log.events) == 1
+
+    def test_persister_close_joins_worker(self, tmp_path):
+        path = tmp_path / "h.history"
+        history = open_history(f"jsonl://{path}")
+        bus = EventBus()
+        persister = WriteBehindPersister(history, bus, mode="thread")
+        history.bind_events(bus, "test")
+        history.attach_persister(persister)
+        history.add(sig())
+        persister.close()
+        assert path.exists()
+        assert not history.store.dirty
+
+
+class TestAutoSaveWiring:
+    def test_no_persister_for_memory_history(self):
+        core = DimmunixCore(DimmunixConfig(yield_timeout=None))
+        assert core.history.persister is None
+
+    def test_no_persister_when_auto_save_off(self, tmp_path):
+        core = DimmunixCore(
+            DimmunixConfig(
+                yield_timeout=None,
+                history_path=tmp_path / "h.history",
+                auto_save=False,
+            )
+        )
+        assert core.history.persister is None
+        assert core.flush_history() == 0
+
+    def test_persister_attached_for_sqlite_url(self, tmp_path):
+        core = DimmunixCore(
+            DimmunixConfig(
+                yield_timeout=None,
+                history_url=f"sqlite://{tmp_path / 'h.db'}",
+            ),
+            persistence_mode="deferred",
+        )
+        assert core.history.persister is not None
+        drive_abba(core)
+        assert core.flush_history() == 1
+        reopened = open_history(f"sqlite://{tmp_path / 'h.db'}")
+        assert len(reopened) == 1
+        reopened.close()
+
+    def test_shared_history_gets_one_persister(self, tmp_path):
+        bus = EventBus()
+        history = open_history(f"jsonl://{tmp_path / 'h.history'}")
+        config = DimmunixConfig(
+            yield_timeout=None, history_path=tmp_path / "h.history"
+        )
+        core_a = DimmunixCore(
+            config, history, events=bus, source="a",
+            persistence_mode="deferred",
+        )
+        first = history.persister
+        core_b = DimmunixCore(
+            config, history, events=bus, source="b",
+            persistence_mode="deferred",
+        )
+        assert first is not None
+        assert history.persister is first
+        assert core_a.history is core_b.history
+
+    def test_bad_mode_rejected(self, tmp_path):
+        history = open_history(f"jsonl://{tmp_path / 'h.history'}")
+        with pytest.raises(ValueError, match="unknown persister mode"):
+            WriteBehindPersister(history, EventBus(), mode="sometimes")
+
+
+class TestReviewRegressions:
+    """Fixes from the store-redesign review, pinned."""
+
+    def test_vm_first_session_upgrades_persister_for_real_threads(
+        self, tmp_path
+    ):
+        # A deferred-mode persister (attached by a VM core) must switch
+        # to background flushing when a thread-mode core joins: a real
+        # process that deadlocks never reaches an explicit flush point.
+        bus = EventBus()
+        history = open_history(f"jsonl://{tmp_path / 'h.history'}")
+        config = DimmunixConfig(
+            yield_timeout=None, history_path=tmp_path / "h.history"
+        )
+        DimmunixCore(
+            config, history, events=bus, source="vm",
+            persistence_mode="deferred",
+        )
+        assert history.persister.mode == "deferred"
+        DimmunixCore(
+            config, history, events=bus, source="runtime",
+            persistence_mode="thread",
+        )
+        assert history.persister.mode == "thread"
+
+    def test_auto_save_off_never_writes_from_lifecycle_hooks(self, tmp_path):
+        # A read-only process (auto_save=False) must not mutate its
+        # history file from lifecycle flushes — only an explicit,
+        # user-initiated persist() writes.
+        path = tmp_path / "h.history"
+        core = DimmunixCore(
+            DimmunixConfig(
+                yield_timeout=None, history_path=path, auto_save=False
+            )
+        )
+        drive_abba(core)
+        assert core.flush_history() == 0
+        core.detach_events()
+        assert not path.exists()
+        target = core.history.persist()
+        assert target == path
+        assert len(History.load(path)) == 1
+
+    def test_memory_backed_history_persists_via_snapshot(self, tmp_path):
+        # The legacy pattern: History.load() (memory-backed) + a
+        # configured path. persist() must fall back to a snapshot —
+        # MemoryStore.flush durably writes nothing and reports 0.
+        path = tmp_path / "h.history"
+        history = History()
+        history.add(sig())
+        target = history.persist(path)
+        assert target == path
+        assert len(History.load(path)) == 1
+
+    def test_persist_to_own_location_flushes(self, tmp_path):
+        path = tmp_path / "h.history"
+        history = open_history(f"jsonl://{path}")
+        history.add(sig())
+        assert history.persist() == path
+        assert len(History.load(path)) == 1
+        # And an empty, clean history still materializes its file.
+        other = open_history(f"jsonl://{tmp_path / 'empty.history'}")
+        assert other.persist().exists()
+
+    def test_session_close_detaches_persister_and_bus(self, tmp_path):
+        from repro.api import Dimmunix
+
+        path = tmp_path / "h.history"
+        session = Dimmunix(DimmunixConfig(history_path=path))
+        session.runtime()  # attaches a thread-mode persister
+        history = session.history
+        assert history.persister is not None
+        worker = history.persister._worker
+        session.close()
+        assert history.persister is None
+        assert not worker.is_alive()
+        # The history is reusable: a successor session adopts it fresh.
+        successor = Dimmunix(
+            DimmunixConfig(history_path=path), history=history
+        )
+        successor.runtime()
+        assert history.persister is not None
+        successor.close()
+
+    def test_sqlite_snapshot_to_own_path_is_a_flush(self, tmp_path):
+        # Snapshotting a SqliteStore onto its own backing file must not
+        # replace the database with a JSONL file (later flushes would
+        # commit to an unlinked inode and vanish).
+        db = tmp_path / "h.db"
+        history = open_history(f"sqlite://{db}")
+        history.add(sig(outer_a=1))
+        history.save(db)  # the hazardous spelling
+        history.add(sig(outer_a=5))
+        history.flush()
+        history.close()
+        reopened = open_history(f"sqlite://{db}")
+        assert len(reopened) == 2
+        reopened.close()

@@ -1,0 +1,149 @@
+"""DSN parsing for history backends."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.store import open_store
+from repro.core.store.url import (
+    HistoryUrlError,
+    format_history_url,
+    parse_history_url,
+)
+
+
+class TestParse:
+    def test_mem(self):
+        url = parse_history_url("mem://")
+        assert url.scheme == "mem"
+        assert url.path is None
+        assert not url.persistent
+
+    def test_jsonl_absolute(self):
+        url = parse_history_url("jsonl:///var/dimmunix/a.history")
+        assert url.scheme == "jsonl"
+        assert url.path == Path("/var/dimmunix/a.history")
+        assert url.persistent
+
+    def test_jsonl_relative(self):
+        url = parse_history_url("jsonl://histories/a.history")
+        assert url.path == Path("histories/a.history")
+
+    def test_sqlite(self):
+        url = parse_history_url("sqlite:///data/history.db")
+        assert url.scheme == "sqlite"
+        assert url.path == Path("/data/history.db")
+
+    def test_bare_path_means_jsonl(self):
+        url = parse_history_url("/data/system_server.history")
+        assert url.scheme == "jsonl"
+        assert url.path == Path("/data/system_server.history")
+
+    def test_path_object_means_jsonl(self):
+        url = parse_history_url(Path("/data/a.history"))
+        assert url.scheme == "jsonl"
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(HistoryUrlError, match="unknown history backend"):
+            parse_history_url("redis://localhost/0")
+
+    def test_mem_with_path_rejected(self):
+        with pytest.raises(HistoryUrlError, match="takes no path"):
+            parse_history_url("mem:///tmp/x")
+
+    def test_file_scheme_without_path_rejected(self):
+        with pytest.raises(HistoryUrlError, match="needs a file path"):
+            parse_history_url("sqlite://")
+
+    def test_empty_rejected(self):
+        with pytest.raises(HistoryUrlError):
+            parse_history_url("")
+
+
+class TestFormat:
+    def test_round_trip(self):
+        for text in (
+            "mem://",
+            "jsonl:///var/a.history",
+            "sqlite:///var/h.db",
+        ):
+            parsed = parse_history_url(text)
+            assert str(parsed) == text
+            assert parse_history_url(str(parsed)) == parsed
+
+    def test_format_helper(self):
+        assert format_history_url("mem", None) == "mem://"
+        assert (
+            format_history_url("jsonl", "/a/b.history")
+            == "jsonl:///a/b.history"
+        )
+
+
+class TestOpenStore:
+    def test_open_each_backend(self, tmp_path):
+        mem = open_store("mem://")
+        assert mem.scheme == "mem"
+        jsonl = open_store(f"jsonl://{tmp_path / 'a.history'}")
+        assert jsonl.scheme == "jsonl"
+        sqlite = open_store(f"sqlite://{tmp_path / 'a.db'}")
+        assert sqlite.scheme == "sqlite"
+        sqlite.close()
+
+    def test_store_urls_are_reopenable(self, tmp_path):
+        store = open_store(f"sqlite://{tmp_path / 'a.db'}")
+        url = store.url
+        store.close()
+        again = open_store(url)
+        assert again.url == url
+        again.close()
+
+
+class TestConfigIntegration:
+    def test_resolved_url_from_legacy_path(self, tmp_path):
+        from repro.config import DimmunixConfig
+
+        path = tmp_path / "h.history"
+        config = DimmunixConfig(history_path=path)
+        assert config.resolved_history_url() == f"jsonl://{path}"
+        assert config.history_location() == path
+
+    def test_resolved_url_direct(self, tmp_path):
+        from repro.config import DimmunixConfig
+
+        url = f"sqlite://{tmp_path / 'h.db'}"
+        config = DimmunixConfig(history_url=url)
+        assert config.resolved_history_url() == url
+        assert config.history_location() == tmp_path / "h.db"
+
+    def test_no_history_resolves_none(self):
+        from repro.config import DimmunixConfig
+
+        config = DimmunixConfig()
+        assert config.resolved_history_url() is None
+        assert config.history_location() is None
+
+    def test_both_path_and_url_rejected(self, tmp_path):
+        from repro.config import DimmunixConfig
+
+        with pytest.raises(ValueError, match="not both"):
+            DimmunixConfig(
+                history_path=tmp_path / "a",
+                history_url="mem://",
+            )
+
+    def test_bad_url_rejected_at_config_time(self):
+        from repro.config import DimmunixConfig
+
+        with pytest.raises(HistoryUrlError):
+            DimmunixConfig(history_url="redis://nope")
+
+    def test_evolve_between_spellings(self, tmp_path):
+        from repro.config import DimmunixConfig
+
+        legacy = DimmunixConfig(history_path=tmp_path / "h.history")
+        modern = legacy.evolve(
+            history_path=None, history_url=f"sqlite://{tmp_path / 'h.db'}"
+        )
+        assert modern.resolved_history_url().startswith("sqlite://")

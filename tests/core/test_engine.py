@@ -15,7 +15,10 @@ def stack(line):
 class Harness:
     """A tiny deterministic driver around one core."""
 
-    def __init__(self, history=None, **config_overrides):
+    def __init__(self, history=None, core=None, **config_overrides):
+        if core is not None:
+            self.core = core
+            return
         config = DimmunixConfig(**config_overrides)
         self.core = DimmunixCore(config, history=history)
 
@@ -267,9 +270,34 @@ class TestLifecycle:
         h.take(t2, l2, 20)
         h.core.request(t1, l2, stack(11))
         h.core.request(t2, l1, stack(21))
+        # Persistence is write-behind: the detection path does no file
+        # I/O; the explicit flush (or the persister's worker) writes.
+        h.core.flush_history()
         assert path.exists()
         loaded = History.load(path)
         assert len(loaded) == 1
+
+    def test_detection_path_does_no_synchronous_io(self, tmp_path):
+        path = tmp_path / "auto.jsonl"
+        # Deferred persistence: no worker thread races the assertions.
+        core = DimmunixCore(
+            DimmunixConfig(yield_timeout=None, history_path=path),
+            persistence_mode="deferred",
+        )
+        h = Harness(core=core)
+        t1, t2 = h.thread("t1"), h.thread("t2")
+        l1, l2 = h.lock("l1"), h.lock("l2")
+        h.take(t1, l1, 10)
+        h.take(t2, l2, 20)
+        h.core.request(t1, l2, stack(11))
+        h.core.request(t2, l1, stack(21))
+        # At the moment detection returns, the signature is pending in
+        # the store, not on disk — the detection path wrote nothing.
+        assert not path.exists()
+        assert h.core.history.store.pending_count == 1
+        assert h.core.flush_history() == 1
+        assert path.exists()
+        assert h.core.history.store.pending_count == 0
 
     def test_memory_footprint_grows_with_structures(self):
         h = Harness()

@@ -294,10 +294,28 @@ class TestEngineEmission:
         log = EventLog()
         core.events.subscribe(log, kinds=("history-saved",))
         drive_abba_deadlock(core)
+        # Write-behind: the flush (worker or explicit) emits exactly one
+        # history-saved event; flush_history waits out any worker race.
+        core.flush_history()
         (saved,) = log.events
         assert saved.path == str(path)
         assert saved.signatures == 1
         assert path.exists()
+
+    def test_flush_emits_exactly_one_event_per_batch(self, tmp_path):
+        path = tmp_path / "auto.history"
+        core = DimmunixCore(
+            DimmunixConfig(yield_timeout=None, history_path=path),
+            persistence_mode="deferred",
+        )
+        log = EventLog()
+        core.events.subscribe(log, kinds=("history-saved",))
+        drive_abba_deadlock(core)
+        assert len(log.events) == 0  # nothing saved on the lock path
+        core.flush_history()
+        assert len(log.events) == 1
+        core.flush_history()  # clean store: no second event
+        assert len(log.events) == 1
 
     def test_shared_bus_keeps_per_core_stats_separate(self):
         bus = EventBus()

@@ -72,6 +72,9 @@ class TestImmunityStory:
         path = tmp_path / "history.jsonl"
         first_runtime = make_runtime(history_path=path)
         run_pair(first_runtime)
+        # The write-behind worker persists in the background; the
+        # explicit flush is the deterministic shutdown barrier.
+        first_runtime.flush_history()
         assert path.exists()
 
         reloaded = History.load(path)

@@ -160,3 +160,143 @@ class TestValidate:
     def test_missing_file_is_empty_ok(self, tmp_path, capsys):
         # Missing histories load as empty (initDimmunix semantics).
         assert main(["validate", str(tmp_path / "nope.history")]) == 0
+
+
+class TestDsnSources:
+    """Every read command accepts DSNs as well as paths."""
+
+    def test_list_from_jsonl_dsn(self, sample_history, capsys):
+        assert main(["list", f"jsonl://{sample_history}"]) == 0
+        assert "App.java:10" in capsys.readouterr().out
+
+    def test_stats_from_sqlite_dsn(self, sample_history, tmp_path, capsys):
+        db = tmp_path / "sample.db"
+        assert main(["migrate", str(sample_history), f"sqlite://{db}"]) == 0
+        capsys.readouterr()
+        assert main(["stats", f"sqlite://{db}"]) == 0
+        out = capsys.readouterr().out
+        assert "signatures:  3" in out
+
+    def test_diff_across_backends(self, sample_history, tmp_path, capsys):
+        db = tmp_path / "sample.db"
+        assert main(["migrate", str(sample_history), f"sqlite://{db}"]) == 0
+        capsys.readouterr()
+        assert (
+            main(["diff", str(sample_history), f"sqlite://{db}"]) == 0
+        )
+        assert "common: 3" in capsys.readouterr().out
+
+    def test_mem_source_rejected(self, capsys):
+        assert main(["list", "mem://"]) == 2
+        assert "mem://" in capsys.readouterr().err
+
+    def test_unknown_scheme_rejected(self, capsys):
+        assert main(["list", "redis://x"]) == 2
+        assert "unknown history backend" in capsys.readouterr().err
+
+
+class TestMigrate:
+    def test_legacy_file_to_sqlite_and_back(self, sample_history, tmp_path, capsys):
+        db = tmp_path / "platform.db"
+        assert main(["migrate", str(sample_history), f"sqlite://{db}"]) == 0
+        out = capsys.readouterr().out
+        assert "3 migrated, 0 already present" in out
+        # Idempotent: a second run migrates nothing new.
+        assert main(["migrate", str(sample_history), f"sqlite://{db}"]) == 0
+        assert "0 migrated, 3 already present" in capsys.readouterr().out
+        # Round trip back to a flat file preserves everything.
+        back = tmp_path / "back.history"
+        assert main(["migrate", f"sqlite://{db}", str(back)]) == 0
+        assert len(History.load(back)) == 3
+
+    def test_same_src_dst_rejected(self, sample_history, capsys):
+        assert (
+            main(["migrate", str(sample_history), str(sample_history)]) == 2
+        )
+        assert "same" in capsys.readouterr().err
+
+    def test_merge_into_existing_backend(self, sample_history, tmp_path, capsys):
+        db = tmp_path / "pool.db"
+        extra = tmp_path / "extra.history"
+        history = History()
+        history.add(make_signature(("New.java", 70), ("New.java", 80), 5))
+        history.save(extra)
+        assert main(["migrate", str(sample_history), f"sqlite://{db}"]) == 0
+        assert main(["migrate", str(extra), f"sqlite://{db}"]) == 0
+        capsys.readouterr()
+        assert main(["stats", f"sqlite://{db}"]) == 0
+        assert "signatures:  4" in capsys.readouterr().out
+
+
+class TestCompact:
+    def test_compact_in_place_reports_counts(self, sample_history, capsys):
+        assert main(["compact", str(sample_history)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted 3 -> 3 signature(s)" in out
+        assert len(History.load(sample_history)) == 3
+
+    def test_compact_truncation_is_loud_and_nonzero(
+        self, sample_history, tmp_path, capsys
+    ):
+        out_path = tmp_path / "capped.history"
+        code = main(
+            [
+                "compact",
+                str(sample_history),
+                "--output",
+                str(out_path),
+                "--max-signatures",
+                "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "truncated 1 signature(s)" in captured.err
+        assert len(History.load(out_path)) == 2
+        # The source is untouched when --output is given.
+        assert len(History.load(sample_history)) == 3
+
+    def test_compact_drops_duplicate_lines(self, sample_history, capsys):
+        # Simulate an append-only log that accumulated duplicates.
+        lines = sample_history.read_text().splitlines()
+        with open(sample_history, "a", encoding="utf-8") as handle:
+            handle.write(lines[1] + "\n")
+        assert main(["compact", str(sample_history)]) == 0
+        body = [
+            line
+            for line in sample_history.read_text().splitlines()[1:]
+            if line.strip()
+        ]
+        assert len(body) == 3
+
+    def test_compact_to_sqlite_target(self, sample_history, tmp_path, capsys):
+        db = tmp_path / "compacted.db"
+        assert (
+            main(
+                ["compact", str(sample_history), "--output", f"sqlite://{db}"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["stats", f"sqlite://{db}"]) == 0
+        assert "signatures:  3" in capsys.readouterr().out
+
+
+class TestReadOnlyDsnSafety:
+    def test_read_commands_do_not_create_backend_files(self, tmp_path, capsys):
+        db = tmp_path / "typo.db"
+        assert main(["stats", f"sqlite://{db}"]) == 0
+        assert "signatures:  0" in capsys.readouterr().out
+        assert not db.exists()
+        assert main(["validate", f"sqlite://{db}"]) == 0
+        assert not db.exists()
+
+    def test_migrate_into_existing_path_merges(self, sample_history, tmp_path, capsys):
+        dst = tmp_path / "dst.history"
+        prior = History()
+        prior.add(make_signature(("Old.java", 1), ("Old.java", 2), 9))
+        prior.save(dst)
+        assert main(["migrate", str(sample_history), str(dst)]) == 0
+        assert "3 migrated" in capsys.readouterr().out
+        merged = History.load(dst)
+        assert len(merged) == 4  # the prior antibody survived
