@@ -23,6 +23,10 @@ Public entry points:
   (AST-woven) Dimmunix, full or selective-to-history.
 * :mod:`repro.ndk` — §4's native gap: simulated POSIX-thread mutexes
   under JNI code and the VM, with the three interception policies.
+* :mod:`repro.aio` — deadlock immunity for ``asyncio`` coroutine tasks:
+  immunized asyncio primitives with cooperative yields, an opt-in
+  ``asyncio`` patch, and cross-domain locks so tasks and threads share
+  one RAG.
 * :mod:`repro.tools` — the ``dimmunix-history``, ``dimmunix-report``,
   and ``dimmunix-events`` command-line tools.
 """

@@ -1,0 +1,51 @@
+"""repro.aio — deadlock immunity for asyncio coroutine tasks.
+
+The sixth adapter layer: the same immunity loop threads get
+(:mod:`repro.runtime`), for the execution units the threading layers
+cannot see. An :class:`AsyncioDimmunixRuntime` drives one event loop's
+tasks through the shared :class:`~repro.core.engine.DimmunixCore`
+algorithm — task identity via ``asyncio.current_task`` +
+``add_done_callback``, cooperative yields (a parked task awaits instead
+of blocking the loop's thread), cancellation routed through the engine
+so no RAG edge leaks — and
+:meth:`AsyncioDimmunixRuntime.attached` joins an existing thread
+runtime's engine so tasks and OS threads form *one* RAG: mixed
+thread+task cycles are detected and avoided like any other.
+
+Entry points:
+
+* :class:`AsyncioDimmunixRuntime` — per-event-loop runtime; factories
+  :meth:`~AsyncioDimmunixRuntime.lock`,
+  :meth:`~AsyncioDimmunixRuntime.rlock`,
+  :meth:`~AsyncioDimmunixRuntime.condition`.
+* :mod:`repro.aio.patch` — opt-in process-wide patch of
+  ``asyncio.Lock`` / ``asyncio.Condition``.
+* :mod:`repro.aio.scenarios` — async dining philosophers, the
+  looper-style message/handler inversion, and the minimal AB/BA pair.
+
+Or start from the session facade: ``repro.immunity()`` exposes this
+layer as ``dx.aio()`` / ``dx.aio_lock()`` / ``dx.aio_condition()``.
+"""
+
+from repro.aio.adapter import AioRuntimeAdapter
+from repro.aio.bridge import CrossDomainLock
+from repro.aio.condition import AioDimmunixCondition
+from repro.aio.locks import AioDimmunixLock, AioDimmunixRLock
+from repro.aio.runtime import (
+    AsyncioDimmunixRuntime,
+    get_aio_runtime,
+    init_aio_runtime,
+    reset_aio_runtime,
+)
+
+__all__ = [
+    "AioRuntimeAdapter",
+    "CrossDomainLock",
+    "AioDimmunixLock",
+    "AioDimmunixRLock",
+    "AioDimmunixCondition",
+    "AsyncioDimmunixRuntime",
+    "get_aio_runtime",
+    "init_aio_runtime",
+    "reset_aio_runtime",
+]

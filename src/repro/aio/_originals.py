@@ -1,0 +1,19 @@
+"""Original asyncio primitives, captured before any monkey-patching.
+
+The opt-in asyncio patch (:mod:`repro.aio.patch`) replaces
+``asyncio.Lock`` and ``asyncio.Condition`` for the whole process — and
+the immunized wrappers themselves are built on top of a raw asyncio lock.
+If the wrappers allocated through the (possibly patched) public names,
+installing the patch would recurse. Everything internal to the aio layer
+therefore allocates through this module, which snapshots the genuine
+classes at import time (``patch`` imports this module first, so the
+snapshot always precedes any installation). Mirrors
+:mod:`repro.runtime._originals` for the threading layer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+Lock = asyncio.Lock
+Condition = asyncio.Condition

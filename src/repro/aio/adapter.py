@@ -1,0 +1,329 @@
+"""The asyncio adapter: cooperative glue between coroutine tasks and the core.
+
+The paper's platform-wide claim is that *one* Dimmunix instance covers
+every synchronization layer a process uses. For a Python process the
+layer the threading adapters cannot see is ``asyncio``: tasks deadlock on
+``asyncio.Lock``/``Condition`` cycles exactly like threads deadlock on
+mutexes, and the RAG model transfers unchanged — an execution unit is a
+task instead of an OS thread, a lock is an asyncio lock instead of a
+mutex, and "blocked" means suspended at an ``await`` instead of parked in
+the kernel.
+
+:class:`AioRuntimeAdapter` is the analog of
+:class:`repro.runtime.interception.RuntimeAdapter` for one event loop:
+
+* **Task identity.** Each :class:`asyncio.Task` registers as a
+  :class:`~repro.core.node.ThreadNode` on first acquisition;
+  ``Task.add_done_callback`` drives :meth:`DimmunixCore.thread_exit`, so
+  a dying task releases its RAG bookkeeping even when it crashed while
+  holding locks.
+* **Cooperative yields.** Where the thread adapter parks an OS thread on
+  a per-signature condition variable, this adapter parks the *task* on a
+  per-signature :class:`asyncio.Future` and returns control to the event
+  loop — avoidance never blocks the loop's thread. A woken task re-runs
+  ``request`` exactly like the paper's retry loop.
+* **Cancellation safety.** A cancelled ``await`` routes through
+  :meth:`DimmunixCore.abandon_yield` / :meth:`DimmunixCore.cancel_request`
+  before the ``CancelledError`` propagates, so cancellation never leaks a
+  request or yield edge into the RAG.
+* **Cross-domain immunity.** Engine calls are serialized under a global
+  lock that may be *shared* with a thread adapter driving the same
+  :class:`~repro.core.engine.DimmunixCore`. Tasks and real threads then
+  form one RAG: a worker thread holding a lock a task awaits (or vice
+  versa) is a detectable, avoidable cycle — something no per-domain
+  detector sees. Wakes fan out through the engine's waker hooks, so a
+  release performed by an OS thread resumes parked tasks via
+  ``loop.call_soon_threadsafe`` and a release performed by a task
+  notifies parked threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import weakref
+from typing import Callable, Optional
+
+from repro.config import DimmunixConfig
+from repro.core.callstack import CallStack
+from repro.core.engine import DimmunixCore, RequestVerdict
+from repro.core.node import LockNode, ThreadNode
+from repro.core.signature import DeadlockSignature
+from repro.runtime import _originals
+from repro.runtime.interception import apply_detection_policy
+
+
+class AioRuntimeAdapter:
+    """Drives a :class:`DimmunixCore` for the tasks of one event loop."""
+
+    def __init__(self, core: DimmunixCore, glock=None) -> None:
+        self.core = core
+        self.config: DimmunixConfig = core.config
+        # Engine calls are quick and non-blocking, so taking a real
+        # (threading) lock from a coroutine is safe; sharing it with a
+        # thread adapter is what makes the engine cross-domain.
+        self._glock = glock if glock is not None else _originals.Lock()
+        self._parked: dict[DeadlockSignature, asyncio.Future] = {}
+        self._task_nodes: dict[int, ThreadNode] = {}
+        self._detections: list[DeadlockSignature] = []
+        self.on_detection: Optional[Callable[[DeadlockSignature], None]] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._waker = core.add_waker(self._wake_signature_locked)
+
+    # ------------------------------------------------------------------
+    # node bookkeeping
+    # ------------------------------------------------------------------
+
+    def current_task_node(self) -> ThreadNode:
+        """The RAG node of the calling task (registered on first use).
+
+        Must be called from inside a task running on this adapter's
+        event loop; the loop is bound on first use and re-bound (with a
+        full node reset) when a fresh loop appears — each ``asyncio.run``
+        creates a new loop, and futures parked on a dead loop can never
+        complete.
+        """
+        task = asyncio.current_task()
+        if task is None:
+            raise RuntimeError(
+                "Dimmunix asyncio primitives must be used from inside an "
+                "asyncio task"
+            )
+        self._bind_loop()
+        key = id(task)
+        node = self._task_nodes.get(key)
+        if node is None:
+            name = task.get_name()
+            with self._glock:
+                node = self._task_nodes.get(key)
+                if node is None:
+                    node = self.core.register_thread(name)
+                    self._task_nodes[key] = node
+                    self.core.stats.tasks_registered += 1
+            # Outside the engine lock: the callback registry is loop-local.
+            task.add_done_callback(self._task_done)
+            # Safety net for tasks destroyed while pending (the
+            # "Task was destroyed but it is pending!" case): their done
+            # callback never fires, so the finalizer reaps the node at
+            # GC time — before CPython can recycle id(task) for a new
+            # task, which would otherwise inherit the dead node's holds.
+            weakref.finalize(task, self._task_reaped, key)
+        return node
+
+    def _bind_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        if self._loop is loop:
+            return
+        with self._glock:
+            if self._loop is loop:
+                return
+            previous = self._loop
+            if (
+                previous is not None
+                and not previous.is_closed()
+                and previous.is_running()
+            ):
+                # Two live loops, one adapter: rebinding would wipe the
+                # other loop's parked futures and force-exit its live
+                # task nodes — silent corruption. Refuse loudly; the
+                # supported shape is one AsyncioDimmunixRuntime per loop
+                # (they can still share one engine via ``attached``).
+                raise RuntimeError(
+                    "this Dimmunix aio adapter is already bound to "
+                    "another running event loop; create one "
+                    "AsyncioDimmunixRuntime per event loop"
+                )
+            # A fresh loop after the previous one finished (sequential
+            # ``asyncio.run`` calls): drop parked futures (they belong
+            # to the dead loop) and clean up nodes of tasks that never
+            # completed before their loop went away.
+            self._parked.clear()
+            for node in self._task_nodes.values():
+                self.core.thread_exit(node)
+            self._task_nodes.clear()
+            self._loop = loop
+
+    def _task_done(self, task: "asyncio.Task") -> None:
+        """``add_done_callback`` hook: the task's ``thread_exit``."""
+        self._task_reaped(id(task))
+
+    def _task_reaped(self, key: int) -> None:
+        """Retire a task's node (done callback, or finalizer on GC)."""
+        with self._glock:
+            node = self._task_nodes.pop(key, None)
+            if node is not None:
+                self.core.thread_exit(node)
+
+    def new_lock_node(self, name: str = "") -> LockNode:
+        with self._glock:
+            return self.core.register_lock(name)
+
+    # ------------------------------------------------------------------
+    # the monitorenter / monitorexit path
+    # ------------------------------------------------------------------
+
+    async def before_acquire(
+        self, lock_node: LockNode, stack: CallStack, wait: bool = True
+    ) -> bool:
+        """Run detection + avoidance before physically acquiring.
+
+        The cooperative counterpart of the thread adapter's do/while
+        retry loop: instead of blocking in ``Condition.wait`` the task
+        awaits a per-signature future and re-requests when woken.
+        Returns ``True`` when the caller may proceed, ``False`` when the
+        ``BREAK`` policy denied the acquisition or a non-blocking caller
+        would have had to park.
+        """
+        task_node = self.current_task_node()
+        config = self.config
+        timeout = config.yield_timeout
+        poll = config.aio_yield_poll
+        parked_for = 0.0
+        while True:
+            with self._glock:
+                result = self.core.request(task_node, lock_node, stack)
+                if result.resume:
+                    self.core.wake_yielders(result.resume)
+                if result.detected is not None:
+                    return apply_detection_policy(
+                        self.core,
+                        config,
+                        self._detections,
+                        self.on_detection,
+                        task_node,
+                        lock_node,
+                        result.detected,
+                    )
+                if result.verdict is RequestVerdict.YIELD:
+                    assert result.yield_on is not None
+                    if not wait:
+                        # try-lock semantics: report "would block".
+                        self.core.abandon_yield(task_node)
+                        return False
+                    future = self._future_for_locked(result.yield_on)
+                else:
+                    return True
+
+            # Cooperative park, outside the engine lock: the loop keeps
+            # running other tasks while this one waits for a wake.
+            step = None if timeout is None else max(timeout - parked_for, 0.0)
+            if poll is not None:
+                step = poll if step is None else min(step, poll)
+            started = time.monotonic()
+            try:
+                if step is None:
+                    # shield(): cancelling this task must not cancel the
+                    # future other parked tasks share.
+                    await asyncio.shield(future)
+                else:
+                    await asyncio.wait_for(asyncio.shield(future), step)
+                parked_for = 0.0  # a genuine wake resets the safety net
+            except asyncio.TimeoutError:
+                parked_for += time.monotonic() - started
+                if timeout is not None and parked_for >= timeout - 1e-9:
+                    # Safety net: treat the timeout as starvation, grant a
+                    # one-shot bypass, retry.
+                    with self._glock:
+                        if task_node.yielding_on is not None:
+                            self.core.force_bypass(task_node)
+                    parked_for = 0.0
+                # else: an aio_yield_poll tick — re-request without a
+                # bypass so avoidance gets a fresh look at the queues.
+            except asyncio.CancelledError:
+                # Cancellation while parked: the request edge was already
+                # cleared when the engine parked us; drop the yield edge
+                # so nothing leaks into the RAG, then let it propagate.
+                with self._glock:
+                    self.core.abandon_yield(task_node)
+                raise
+
+    def after_acquire(self, lock_node: LockNode) -> None:
+        task_node = self.current_task_node()
+        with self._glock:
+            self.core.acquired(task_node, lock_node)
+
+    def before_release(self, lock_node: LockNode) -> None:
+        # Attribute the release to the RAG's recorded holder, not the
+        # caller: releasing from a different task than acquired is a
+        # legal asyncio.Lock handoff pattern, and charging the wrong
+        # node would leave a stale hold edge behind forever.
+        caller_node = self.current_task_node()
+        with self._glock:
+            holder = lock_node.owner
+            result = self.core.release(
+                holder if holder is not None else caller_node, lock_node
+            )
+            self.core.notify_signatures(result.notify)
+
+    def abandon_acquire(self, lock_node: LockNode) -> None:
+        """Roll back a granted request whose physical acquire failed.
+
+        This is the cancellation path of the physical ``await``: a task
+        cancelled between the engine grant and the raw acquisition must
+        cancel the pending engine request or it would pin a request edge
+        (and its position-queue entry) forever.
+        """
+        task_node = self.current_task_node()
+        with self._glock:
+            self.core.cancel_request(task_node, lock_node)
+
+    # ------------------------------------------------------------------
+    # parked-task management
+    # ------------------------------------------------------------------
+
+    def _future_for_locked(
+        self, signature: DeadlockSignature
+    ) -> asyncio.Future:
+        """The shared park future for ``signature`` (under the glock)."""
+        future = self._parked.get(signature)
+        if future is None or future.done():
+            assert self._loop is not None
+            future = self._loop.create_future()
+            self._parked[signature] = future
+        return future
+
+    def _wake_signature_locked(self, signature: DeadlockSignature) -> None:
+        """This adapter's engine waker.
+
+        Runs under the global lock on whatever thread performed the
+        release — possibly an OS thread of a sharing runtime — so the
+        future completes via ``call_soon_threadsafe``.
+        """
+        future = self._parked.pop(signature, None)
+        if future is None or future.done():
+            return
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(_complete_future, future)
+        except RuntimeError:
+            # The loop closed between the check and the call.
+            pass
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def detections(self) -> tuple[DeadlockSignature, ...]:
+        return tuple(self._detections)
+
+    @property
+    def registered_tasks(self) -> int:
+        """Live tasks currently known to this adapter."""
+        return len(self._task_nodes)
+
+    async def wait_for_detection(self, timeout: float = 5.0) -> bool:
+        """Await until some task records a detection (tests, demos)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self._detections:
+                return True
+            await asyncio.sleep(0.001)
+        return bool(self._detections)
+
+
+def _complete_future(future: asyncio.Future) -> None:
+    if not future.done():
+        future.set_result(None)

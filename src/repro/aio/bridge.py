@@ -1,0 +1,188 @@
+"""Cross-domain locks: one mutex, OS threads *and* asyncio tasks.
+
+The platform-wide claim needs one RAG spanning every execution domain.
+Same-domain cycles are covered by the per-layer locks; the cycles *no
+per-domain detector sees* are the mixed ones — a worker thread holding a
+lock a task awaits while the task holds a lock the thread wants. Those
+require a lock both domains can acquire, which neither ``threading.Lock``
+(blocks the event loop) nor ``asyncio.Lock`` (unusable off-loop) offers.
+
+:class:`CrossDomainLock` is that primitive. It owns one raw mutex and
+one RAG :class:`~repro.core.node.LockNode`, and exposes both protocols:
+
+* ``with xlock:`` from an OS thread — the thread runtime's adapter runs
+  detection/avoidance under the thread's node, then blocks in the raw
+  acquire like any :class:`~repro.runtime.locks.DimmunixLock`;
+* ``async with xlock:`` from a task — the aio adapter runs the same
+  engine calls under the *task's* node, then acquires the raw mutex with
+  a cooperative poll, so the event loop never blocks while waiting on a
+  thread-held lock.
+
+Because both runtimes must drive **one engine** (an
+:meth:`~repro.aio.runtime.AsyncioDimmunixRuntime.attached` pair), a
+mixed cycle — task holds X, awaits Y; thread holds Y, requests X — is an
+ordinary RAG cycle: detected at the closing request, recorded, and
+avoided on re-runs exactly like a single-domain deadlock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.callstack import CallStack
+from repro.runtime import _originals
+from repro.runtime.callsite import resolve_stack
+from repro.runtime.runtime import DimmunixRuntime
+
+if TYPE_CHECKING:
+    from repro.aio.runtime import AsyncioDimmunixRuntime
+
+
+class CrossDomainLock:
+    """A mutex shared by threads and tasks, with one RAG node."""
+
+    def __init__(
+        self,
+        runtime: DimmunixRuntime,
+        aio_runtime: "AsyncioDimmunixRuntime",
+        name: str = "",
+        poll_interval: float = 0.001,
+    ) -> None:
+        if (
+            aio_runtime.core is not runtime.core
+            or aio_runtime.adapter._glock is not runtime.adapter._glock
+        ):
+            raise ValueError(
+                "CrossDomainLock needs one shared engine under one "
+                "global lock: build the aio runtime with "
+                "AsyncioDimmunixRuntime.attached(runtime) "
+                "(or Dimmunix.aio(cross_domain=True))"
+            )
+        self._runtime = runtime
+        self._aio_runtime = aio_runtime
+        self._thread_adapter = runtime.adapter
+        self._aio_adapter = aio_runtime.adapter
+        self._raw = _originals.Lock()
+        self._enabled = runtime.config.enabled
+        self._depth = runtime.config.stack_depth
+        self._poll_interval = poll_interval
+        self.node = (
+            self._thread_adapter.new_lock_node(name) if self._enabled else None
+        )
+        self.name = name or (self.node.name if self.node else "cross-lock")
+
+    # -- thread side -------------------------------------------------------
+
+    def acquire(
+        self,
+        blocking: bool = True,
+        timeout: float = -1,
+        site_id: Optional[int] = None,
+        stack: Optional["CallStack"] = None,
+    ) -> bool:
+        """Acquire from an OS thread (never call this from a coroutine)."""
+        if not self._enabled:
+            if timeout >= 0:
+                return self._raw.acquire(blocking, timeout)
+            return self._raw.acquire(blocking)
+        if stack is None:
+            stack = resolve_stack(
+                self._depth, site_id, self._runtime.static_sites, skip=1
+            )
+        allowed = self._thread_adapter.before_acquire(
+            self.node, stack, wait=blocking
+        )
+        if not allowed:
+            return False
+        if timeout >= 0:
+            got_it = self._raw.acquire(blocking, timeout)
+        else:
+            got_it = self._raw.acquire(blocking)
+        if got_it:
+            self._thread_adapter.after_acquire(self.node)
+        else:
+            self._thread_adapter.abandon_acquire(self.node)
+        return got_it
+
+    def release(self) -> None:
+        """Release from the owning OS thread."""
+        if self._enabled:
+            self._thread_adapter.before_release(self.node)
+        self._raw.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.release()
+
+    # -- task side ---------------------------------------------------------
+
+    async def acquire_async(
+        self,
+        blocking: bool = True,
+        site_id: Optional[int] = None,
+        stack: Optional["CallStack"] = None,
+    ) -> bool:
+        """Acquire from an asyncio task without blocking the event loop.
+
+        The engine request runs under the task's node; the physical
+        acquisition is a cooperative try-lock poll, so a thread-held
+        mutex suspends only this task.
+        """
+        if not self._enabled:
+            return await self._poll_raw(blocking)
+        if stack is None:
+            stack = resolve_stack(
+                self._depth, site_id, self._aio_runtime.static_sites, skip=1
+            )
+        allowed = await self._aio_adapter.before_acquire(
+            self.node, stack, wait=blocking
+        )
+        if not allowed:
+            return False
+        try:
+            got_it = await self._poll_raw(blocking)
+        except asyncio.CancelledError:
+            self._aio_adapter.abandon_acquire(self.node)
+            raise
+        if got_it:
+            self._aio_adapter.after_acquire(self.node)
+        else:
+            self._aio_adapter.abandon_acquire(self.node)
+        return got_it
+
+    async def _poll_raw(self, blocking: bool) -> bool:
+        if self._raw.acquire(False):
+            return True
+        if not blocking:
+            return False
+        while not self._raw.acquire(False):
+            await asyncio.sleep(self._poll_interval)
+        return True
+
+    def release_async(self) -> None:
+        """Release from the owning task (synchronous, never suspends)."""
+        if self._enabled:
+            self._aio_adapter.before_release(self.node)
+        self._raw.release()
+
+    async def __aenter__(self) -> "CrossDomainLock":
+        await self.acquire_async()
+        return self
+
+    async def __aexit__(self, exc_type, exc_value, traceback) -> None:
+        self.release_async()
+
+    # -- introspection -----------------------------------------------------
+
+    def locked(self) -> bool:
+        return self._raw.locked()
+
+    def __repr__(self) -> str:
+        state = "locked" if self.locked() else "unlocked"
+        return f"<CrossDomainLock {self.name} {state}>"
+
+
+__all__ = ["CrossDomainLock"]

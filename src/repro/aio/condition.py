@@ -1,0 +1,215 @@
+"""Condition variables for tasks, with immunized monitor reacquisition.
+
+§3.2 of the paper shows the deadlock pattern invisible to bytecode
+instrumentation: ``x.wait()`` releases monitor ``x`` and *reacquires it
+inside the native wait routine*. The asyncio analog is identical —
+``asyncio.Condition.wait`` releases the lock and reacquires it after the
+waiter future completes — so the reacquisition must go through Dimmunix
+or wait()-induced lock inversions between tasks are invisible.
+
+:class:`AioDimmunixCondition` follows the stdlib ``asyncio.Condition``
+waiter-future design, but releases and reacquires its monitor through the
+immunized aio lock wrappers, so the reacquisition at the end of
+:meth:`wait` runs detection and avoidance like any other acquisition.
+
+Unlike the stdlib class it accepts an optional ``timeout`` on
+:meth:`wait` (threading-style). A non-positive timeout degenerates to a
+single non-blocking poll of the notification — the clamp CPython's
+``threading.Condition`` applies — rather than an unbounded wait.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional, Union
+
+from repro.aio.locks import AioDimmunixLock, AioDimmunixRLock
+
+if TYPE_CHECKING:
+    from repro.aio.runtime import AsyncioDimmunixRuntime
+
+AioMonitorLock = Union[AioDimmunixLock, AioDimmunixRLock]
+
+
+class AioDimmunixCondition:
+    """Drop-in ``asyncio.Condition`` with immunized reacquisition."""
+
+    def __init__(
+        self,
+        lock: Optional[AioMonitorLock] = None,
+        runtime: Optional["AsyncioDimmunixRuntime"] = None,
+    ) -> None:
+        if lock is None:
+            if runtime is None:
+                raise ValueError(
+                    "AioDimmunixCondition needs a lock or a runtime to "
+                    "make one"
+                )
+            lock = runtime.rlock(name="aio-condition-monitor")
+        elif not hasattr(lock, "_acquire_restore"):
+            # Fail at construction, not with an AttributeError deep in
+            # wait(): a raw asyncio.Lock (e.g. created before the patch
+            # was installed) cannot serve as an immunized monitor.
+            raise TypeError(
+                "AioDimmunixCondition needs an immunized monitor "
+                "(AioDimmunixLock/AioDimmunixRLock or compatible), got "
+                f"{type(lock).__name__}"
+            )
+        self._lock = lock
+        self._waiters: deque[asyncio.Future] = deque()
+
+    @property
+    def lock(self) -> AioMonitorLock:
+        return self._lock
+
+    # -- monitor protocol ---------------------------------------------------
+
+    async def acquire(self, *args, **kwargs):
+        return await self._lock.acquire(*args, **kwargs)
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    async def __aenter__(self) -> "AioDimmunixCondition":
+        await self._lock.__aenter__()
+        return self
+
+    async def __aexit__(self, exc_type, exc_value, traceback) -> None:
+        # Lost-monitor handling (a wait()-reacquisition unwound by a
+        # detection) lives on the lock's __aexit__, covering this
+        # spelling and ``async with x:`` around ``Condition(x)`` alike.
+        await self._lock.__aexit__(exc_type, exc_value, traceback)
+
+    def _is_owned(self) -> bool:
+        return self._lock._is_owned()
+
+    # -- waiting --------------------------------------------------------------
+
+    async def wait(self, timeout: Optional[float] = None) -> bool:
+        """Release the monitor, park, then reacquire through Dimmunix.
+
+        Returns ``False`` on timeout, like ``threading.Condition.wait``;
+        a ``timeout <= 0`` polls once without suspending.
+        """
+        if not self._is_owned():
+            raise RuntimeError("cannot wait on un-acquired lock")
+        waiter = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        saved_state = self._lock._release_save()
+        got_it = False
+        cancelled = None
+        try:
+            try:
+                if timeout is None:
+                    # shield(): cancelling this task must not cancel the
+                    # waiter future a notify may already have consumed.
+                    await asyncio.shield(waiter)
+                    got_it = True
+                elif timeout > 0:
+                    try:
+                        await asyncio.wait_for(
+                            asyncio.shield(waiter), timeout
+                        )
+                        got_it = True
+                    except asyncio.TimeoutError:
+                        # A notify may have landed in the same tick the
+                        # timeout fired; it was consumed (the waiter was
+                        # popped), so honor it.
+                        got_it = waiter.done() and not waiter.cancelled()
+                else:
+                    # Expired deadline: never suspend. Unlike the
+                    # threaded twin there is no pending notify to
+                    # consume — no suspension point separates appending
+                    # the waiter from this check, so the future cannot
+                    # be completed yet.
+                    got_it = False
+            except asyncio.CancelledError as error:
+                cancelled = error
+                if waiter.done() and not waiter.cancelled():
+                    # This waiter consumed a notify it will never act
+                    # on (cancelled in the same tick it was notified):
+                    # pass the wakeup to the next live waiter or it is
+                    # lost forever — the fix CPython 3.13 applied to
+                    # asyncio.Condition. Pop the beneficiary like
+                    # notify() would.
+                    for other in list(self._waiters):
+                        if not other.done():
+                            self._waiters.remove(other)
+                            other.set_result(None)
+                            break
+        finally:
+            # Drop the stale waiter *before* the reacquire suspension
+            # point: if the reacquisition raises (a detection under
+            # RAISE, say), a leaked not-done waiter would silently
+            # swallow a later notify() meant for a live waiter.
+            if not got_it:
+                try:
+                    self._waiters.remove(waiter)
+                except ValueError:
+                    pass
+            # The reacquisition — where wait()-induced inversions deadlock
+            # and where Android Dimmunix hooks waitMonitor. Mirror the
+            # stdlib: reacquire even when cancelled, then re-raise. A
+            # detection here (RAISE, or a BREAK denial) propagates with
+            # the monitor unheld — the lock marks the task so the
+            # enclosing ``async with`` exit skips its release.
+            while True:
+                try:
+                    await self._lock._acquire_restore(saved_state)
+                    break
+                except asyncio.CancelledError as error:
+                    cancelled = error
+        if cancelled is not None:
+            raise cancelled
+        return got_it
+
+    async def wait_for(
+        self,
+        predicate: Callable[[], bool],
+        timeout: Optional[float] = None,
+    ) -> bool:
+        """Wait until ``predicate()`` is true (or until the timeout)."""
+        end_time: Optional[float] = None
+        result = predicate()
+        while not result:
+            wait_time = None
+            if timeout is not None:
+                if end_time is None:
+                    end_time = time.monotonic() + timeout
+                # Clamp: a deadline already behind us still performs the
+                # final non-suspending poll instead of waiting forever.
+                wait_time = max(end_time - time.monotonic(), 0.0)
+            got_it = await self.wait(wait_time)
+            result = predicate()
+            if wait_time is not None and wait_time <= 0 and not got_it:
+                break
+        return result
+
+    # -- signalling -------------------------------------------------------------
+
+    def notify(self, n: int = 1) -> None:
+        if not self._is_owned():
+            raise RuntimeError("cannot notify on un-acquired lock")
+        woken = 0
+        while woken < n and self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.done():
+                continue
+            waiter.set_result(None)
+            woken += 1
+
+    def notify_all(self) -> None:
+        self.notify(len(self._waiters))
+
+    notifyAll = notify_all
+
+    def __repr__(self) -> str:
+        return (
+            f"<AioDimmunixCondition on {self._lock!r}, "
+            f"{len(self._waiters)} waiters>"
+        )

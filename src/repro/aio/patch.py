@@ -1,0 +1,137 @@
+"""Opt-in platform-wide deadlock immunity for ``asyncio``.
+
+The asyncio counterpart of :mod:`repro.runtime.patch`: :func:`install`
+replaces ``asyncio.Lock`` and ``asyncio.Condition`` (both the top-level
+names and ``asyncio.locks``) with Dimmunix-backed factories bound to an
+:class:`~repro.aio.runtime.AsyncioDimmunixRuntime`, so every library
+using asyncio's synchronization primitives acquires immunized locks
+without being modified.
+
+Unlike the threading patch this one is *opt-in by design*:
+``repro.immunity(patch=True)`` does not install it. Two reasons, both
+from the paper's §4 double-interception discussion: much asyncio-using
+code creates primitives at import time (before any runtime exists), and
+frameworks sometimes rely on ``asyncio.Lock`` internals
+(``_waiters``) that a wrapper cannot expose. Call
+:func:`install` / use :func:`immunized` explicitly when the workload is
+known to be compatible.
+
+Dimmunix's own internals allocate through :mod:`repro.aio._originals`,
+so the patch never recurses into itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import asyncio.locks
+import contextlib
+from typing import Iterator, Optional
+
+from repro.aio.condition import AioDimmunixCondition
+from repro.aio.locks import AioDimmunixLock, AioDimmunixRLock
+from repro.aio.runtime import AsyncioDimmunixRuntime, get_aio_runtime
+
+_installed_runtime: Optional[AsyncioDimmunixRuntime] = None
+_originals_saved: Optional[tuple] = None
+
+
+class PatchedLock(AioDimmunixLock):
+    """The class installed as ``asyncio.Lock``.
+
+    A real class (not a factory function, unlike the threading patch —
+    the stdlib ``threading.Lock`` *is* a factory, ``asyncio.Lock`` is a
+    type): ``isinstance(x, asyncio.Lock)`` keeps working and user
+    subclasses of ``asyncio.Lock`` defined while the patch is active
+    still construct. Binds to the runtime active at construction time,
+    so re-installing with a different runtime affects new locks only.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(_installed_runtime or get_aio_runtime())
+
+
+class PatchedCondition(AioDimmunixCondition):
+    """The class installed as ``asyncio.Condition`` (see PatchedLock)."""
+
+    def __init__(self, lock=None) -> None:
+        super().__init__(lock, runtime=_installed_runtime or get_aio_runtime())
+
+
+def install(
+    runtime: Optional[AsyncioDimmunixRuntime] = None,
+) -> AsyncioDimmunixRuntime:
+    """Patch ``asyncio`` so the whole process's tasks run with immunity.
+
+    Idempotent: re-installing with the same runtime is a no-op;
+    re-installing with a different runtime rebinds the patched classes.
+    Returns the runtime the patch is now bound to.
+    """
+    global _installed_runtime, _originals_saved
+    runtime = runtime or get_aio_runtime()
+    if _originals_saved is None:
+        _originals_saved = (
+            asyncio.Lock,
+            asyncio.Condition,
+            asyncio.locks.Lock,
+            asyncio.locks.Condition,
+        )
+    asyncio.Lock = PatchedLock
+    asyncio.Condition = PatchedCondition
+    asyncio.locks.Lock = PatchedLock
+    asyncio.locks.Condition = PatchedCondition
+    _installed_runtime = runtime
+    return runtime
+
+
+def uninstall() -> None:
+    """Restore the original ``asyncio`` primitives."""
+    global _installed_runtime, _originals_saved
+    if _originals_saved is None:
+        return
+    (
+        asyncio.Lock,
+        asyncio.Condition,
+        asyncio.locks.Lock,
+        asyncio.locks.Condition,
+    ) = _originals_saved
+    _originals_saved = None
+    _installed_runtime = None
+
+
+def is_installed() -> bool:
+    return _installed_runtime is not None
+
+
+def installed_runtime() -> Optional[AsyncioDimmunixRuntime]:
+    return _installed_runtime
+
+
+@contextlib.contextmanager
+def immunized(
+    runtime: Optional[AsyncioDimmunixRuntime] = None,
+) -> Iterator[AsyncioDimmunixRuntime]:
+    """Scope-limited asyncio immunity (mainly for tests and demos)."""
+    was_installed = is_installed()
+    previous = installed_runtime()
+    active = install(runtime)
+    try:
+        yield active
+    finally:
+        if was_installed and previous is not None:
+            install(previous)
+        else:
+            uninstall()
+
+
+__all__ = [
+    "PatchedLock",
+    "PatchedCondition",
+    "install",
+    "uninstall",
+    "is_installed",
+    "installed_runtime",
+    "immunized",
+    "AioDimmunixLock",
+    "AioDimmunixRLock",
+    "AioDimmunixCondition",
+]

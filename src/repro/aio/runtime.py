@@ -1,0 +1,211 @@
+"""The per-event-loop Dimmunix runtime facade for asyncio.
+
+One :class:`AsyncioDimmunixRuntime` is one paper-style Dimmunix adapter
+instance for coroutine tasks: it owns (or joins) the core engine, the
+cooperative adapter, and the static-site registry, and it is what the
+session facade's ``aio`` layer hands out. Two construction modes:
+
+* **Own engine** (default): the runtime builds its own
+  :class:`~repro.core.engine.DimmunixCore`, typically bound to a
+  session-shared config/history/event-bus — immunity crosses adapter
+  layers through the shared history, and the aio layer's events are
+  tagged with its own source name (``"<session>/aio"``).
+* **Attached** (:meth:`AsyncioDimmunixRuntime.attached`): the runtime
+  joins an existing thread runtime's engine *and its global lock*. Tasks
+  and OS threads then share one RAG — a mixed thread+task cycle is
+  detected and avoided like any single-domain cycle. Events from both
+  domains carry the host runtime's source.
+
+The module also manages a process-default instance for the opt-in
+``asyncio`` patch (:mod:`repro.aio.patch`), mirroring
+:mod:`repro.runtime.runtime`.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.aio.adapter import AioRuntimeAdapter
+from repro.aio.condition import AioDimmunixCondition
+from repro.aio.locks import AioDimmunixLock, AioDimmunixRLock
+from repro.config import DimmunixConfig
+from repro.core.engine import DimmunixCore
+from repro.core.events import EventBus
+from repro.core.history import History
+from repro.core.signature import DeadlockSignature
+from repro.core.stats import DimmunixStats
+from repro.runtime import _originals
+from repro.runtime.callsite import StaticSiteRegistry
+from repro.runtime.runtime import DimmunixRuntime
+
+
+class AsyncioDimmunixRuntime:
+    """Deadlock immunity for the asyncio tasks of one event loop."""
+
+    def __init__(
+        self,
+        config: Optional[DimmunixConfig] = None,
+        history: Optional[History] = None,
+        name: str = "aio",
+        events: Optional[EventBus] = None,
+        *,
+        core: Optional[DimmunixCore] = None,
+        glock=None,
+    ) -> None:
+        self.name = name
+        if core is not None:
+            # Joining an existing engine (cross-domain mode): config,
+            # history, and event source are the host's. The host
+            # adapter's global lock is mandatory — a second lock over
+            # one engine would un-serialize RAG mutations and let a
+            # task-side release notify the thread adapter's conditions
+            # without holding their lock. ``attached()`` passes both.
+            if glock is None:
+                raise ValueError(
+                    "joining an existing engine requires its adapter's "
+                    "global lock; use AsyncioDimmunixRuntime.attached("
+                    "runtime) instead of passing core= directly"
+                )
+            self.config = core.config
+            self.core = core
+            self._owns_core = False
+        else:
+            self.config = config or DimmunixConfig()
+            self.core = DimmunixCore(
+                self.config,
+                history,
+                events=events,
+                source=name,
+                clock=time.monotonic,
+            )
+            self._owns_core = True
+        self.adapter = AioRuntimeAdapter(self.core, glock=glock)
+        self.static_sites = StaticSiteRegistry()
+
+    @classmethod
+    def attached(
+        cls, runtime: DimmunixRuntime, name: Optional[str] = None
+    ) -> "AsyncioDimmunixRuntime":
+        """An aio runtime sharing ``runtime``'s engine and global lock.
+
+        This is the cross-domain configuration: every engine call from
+        either adapter is serialized under the thread adapter's lock, so
+        tasks and threads form one RAG and a worker thread holding a
+        lock a task awaits (or vice versa) closes a detectable cycle.
+        """
+        return cls(
+            name=name or f"{runtime.name}/aio",
+            core=runtime.core,
+            glock=runtime.adapter._glock,
+        )
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+
+    def lock(self, name: str = "") -> AioDimmunixLock:
+        """An immunized ``asyncio.Lock`` replacement."""
+        return AioDimmunixLock(self, name)
+
+    def rlock(self, name: str = "") -> AioDimmunixRLock:
+        """An immunized task-reentrant lock (asyncio has no stdlib one)."""
+        return AioDimmunixRLock(self, name)
+
+    def condition(self, lock=None) -> AioDimmunixCondition:
+        """An immunized ``asyncio.Condition`` replacement."""
+        return AioDimmunixCondition(lock, runtime=self)
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+
+    @property
+    def history(self) -> History:
+        return self.core.history
+
+    @property
+    def stats(self) -> DimmunixStats:
+        return self.core.stats
+
+    @property
+    def events(self) -> EventBus:
+        """The typed event stream of this runtime's core."""
+        return self.core.events
+
+    def subscribe(self, callback, *, kinds=None, source=None):
+        """Subscribe to this runtime's event stream (see EventBus)."""
+        return self.core.events.subscribe(callback, kinds=kinds, source=source)
+
+    def unsubscribe(self, subscription) -> bool:
+        return self.core.events.unsubscribe(subscription)
+
+    @property
+    def detections(self) -> tuple[DeadlockSignature, ...]:
+        """Signatures recorded by detection since this runtime started."""
+        return self.adapter.detections
+
+    def save_history(self, path: Optional[Path | str] = None) -> Path:
+        """Persist the history (defaults to the backing location)."""
+        return self.history.persist(
+            path
+            if path is not None
+            else (self.history.location or self.config.history_location())
+        )
+
+    def flush_history(self) -> int:
+        """Flush pending antibodies to the backing store now."""
+        return self.core.flush_history()
+
+    def close(self) -> None:
+        """Detach from the engine (and tear it down when it is ours)."""
+        self.core.remove_waker(self.adapter._waker)
+        if self._owns_core:
+            self.core.detach_events()
+
+    def __repr__(self) -> str:
+        snap = self.core.snapshot()
+        mode = "own-engine" if self._owns_core else "attached"
+        return (
+            f"<AsyncioDimmunixRuntime {self.name} ({mode}): "
+            f"{self.adapter.registered_tasks} tasks, "
+            f"{snap.history_size} signatures>"
+        )
+
+
+# ----------------------------------------------------------------------
+# process-default aio runtime (what the asyncio patch binds to)
+# ----------------------------------------------------------------------
+
+_default_aio_runtime: Optional[AsyncioDimmunixRuntime] = None
+_default_guard = _originals.Lock()
+
+
+def init_aio_runtime(
+    config: Optional[DimmunixConfig] = None,
+    history: Optional[History] = None,
+    name: str = "aio-main",
+) -> AsyncioDimmunixRuntime:
+    """(Re)initialize the process-default aio runtime."""
+    global _default_aio_runtime
+    with _default_guard:
+        _default_aio_runtime = AsyncioDimmunixRuntime(config, history, name)
+        return _default_aio_runtime
+
+
+def get_aio_runtime() -> AsyncioDimmunixRuntime:
+    """The process-default aio runtime, created on first use."""
+    global _default_aio_runtime
+    if _default_aio_runtime is None:
+        with _default_guard:
+            if _default_aio_runtime is None:
+                _default_aio_runtime = AsyncioDimmunixRuntime(name="aio-main")
+    return _default_aio_runtime
+
+
+def reset_aio_runtime() -> None:
+    """Drop the process-default aio runtime (tests)."""
+    global _default_aio_runtime
+    with _default_guard:
+        _default_aio_runtime = None

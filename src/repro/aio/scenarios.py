@@ -1,0 +1,254 @@
+"""Classic deadlock scenarios on the asyncio adapter layer.
+
+* :func:`run_async_dining_philosophers` — N philosopher *tasks*, N
+  immunized asyncio locks, everyone grabs left-then-right. Cooperative
+  scheduling makes round one deterministic: every task picks up its left
+  fork, the N-th right-fork request closes the full cycle, the signature
+  is recorded, and later dinners complete on avoidance alone.
+* :class:`AsyncLooper` + :func:`run_looper_inversion` — the looper-style
+  message/handler deadlock mirroring :mod:`repro.android.looper`: two
+  message loops whose handlers synchronously send to each other *while
+  holding their own queue monitor* (the faithful-but-buggy dispatch that
+  wedges real handler threads). The cross-send closes a two-monitor
+  cycle between tasks.
+* :func:`run_opposite_order_pair` — the minimal two-task AB/BA
+  inversion, the cooperative twin of the threaded integration scenario;
+  used by the parity suite and the A7 bench.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import DeadlockDetectedError
+
+if TYPE_CHECKING:
+    from repro.aio.runtime import AsyncioDimmunixRuntime
+
+
+# ----------------------------------------------------------------------
+# async dining philosophers
+# ----------------------------------------------------------------------
+
+@dataclass
+class AsyncPhilosopherOutcome:
+    """What happened at the (cooperative) table."""
+
+    meals_eaten: int
+    deadlocks_detected: int
+    completed: bool
+    errors: list = field(default_factory=list)
+
+
+async def run_async_dining_philosophers(
+    runtime: "AsyncioDimmunixRuntime",
+    philosophers: int = 5,
+    meals: int = 3,
+    join_timeout: float = 20.0,
+) -> AsyncPhilosopherOutcome:
+    """Everyone grabs the left fork, then the right — as tasks.
+
+    Under ``RAISE`` detection the task whose request closes the cycle
+    gets a :class:`DeadlockDetectedError`, drops its fork, retries, and
+    dinner finishes; the recorded signature immunizes later dinners,
+    which complete on avoidance alone (tests assert both).
+    """
+    forks = [runtime.lock(f"aio-fork-{index}") for index in range(philosophers)]
+    outcome = AsyncPhilosopherOutcome(0, 0, False)
+
+    async def dine(seat: int) -> None:
+        left = forks[seat]
+        right = forks[(seat + 1) % philosophers]
+        eaten = 0
+        while eaten < meals:
+            await asyncio.sleep(0)
+            try:
+                async with left:
+                    # The interleaving point: hand the loop to the other
+                    # philosophers before reaching for the right fork.
+                    await asyncio.sleep(0)
+                    async with right:
+                        eaten += 1
+                        outcome.meals_eaten += 1
+            except DeadlockDetectedError:
+                outcome.deadlocks_detected += 1
+                await asyncio.sleep(0)
+
+    tasks = [
+        asyncio.ensure_future(dine(seat)) for seat in range(philosophers)
+    ]
+    for seat, task in enumerate(tasks):
+        task.set_name(f"aio-philosopher-{seat}")
+    done, pending = await asyncio.wait(tasks, timeout=join_timeout)
+    outcome.completed = not pending
+    for task in pending:
+        task.cancel()
+    if pending:
+        await asyncio.gather(*pending, return_exceptions=True)
+    for task in done:
+        error = task.exception()
+        if error is not None:
+            outcome.errors.append(error)
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# looper-style message/handler inversion (repro.android.looper, as tasks)
+# ----------------------------------------------------------------------
+
+@dataclass
+class LooperOutcome:
+    """Result of a looper-inversion run."""
+
+    handled: int
+    deadlocks_detected: int
+    completed: bool
+
+
+class AsyncLooper:
+    """A message loop: monitor-guarded queue + a handler coroutine.
+
+    The dispatch deliberately reproduces the pattern that wedges real
+    handler threads: ``loop()`` runs the handler *while still holding
+    the queue monitor*, so a handler that synchronously sends to another
+    looper acquires that looper's monitor under its own — the two-monitor
+    inversion of the StatusBar deadlock, on the cooperative schedule.
+    """
+
+    def __init__(self, runtime: "AsyncioDimmunixRuntime", name: str) -> None:
+        self.name = name
+        self.condition = runtime.condition()
+        self.queue: deque = deque()
+        self.handled = 0
+
+    async def send(self, message) -> None:
+        """Handler.sendMessage: enqueue one message and wake the looper."""
+        async with self.condition:
+            self.queue.append(message)
+            self.condition.notify_all()
+
+    async def loop(self, handler, messages_to_handle: int) -> None:
+        """Looper.loop(): dispatch ``handler`` once per message."""
+        while self.handled < messages_to_handle:
+            async with self.condition:
+                while not self.queue:
+                    await self.condition.wait()
+                message = self.queue.popleft()
+                # Yield once before dispatch so peer loopers reach their
+                # own dispatch too — then run the handler under the
+                # monitor (the bug).
+                await asyncio.sleep(0)
+                try:
+                    await handler(message)
+                except DeadlockDetectedError:
+                    # Redelivery: the dispatch backed off, the message
+                    # must not be lost or the retry starves.
+                    self.queue.appendleft(message)
+                    raise
+            self.handled += 1
+
+
+async def run_looper_inversion(
+    runtime: "AsyncioDimmunixRuntime",
+    messages: int = 1,
+    join_timeout: float = 10.0,
+) -> LooperOutcome:
+    """Two loopers whose handlers synchronously cross-send.
+
+    Each handler, dispatched under its own queue monitor, sends to the
+    peer looper — taking the peer's monitor. Run concurrently the two
+    dispatches deadlock; with immunity the cycle is detected once and
+    the retried dispatch (and every later run) completes.
+    """
+    outcome = LooperOutcome(0, 0, False)
+    looper_a = AsyncLooper(runtime, "looper-a")
+    looper_b = AsyncLooper(runtime, "looper-b")
+
+    async def handle_a(message) -> None:
+        if message[0] == "ping":
+            await looper_b.send(("pong", looper_a.name))
+
+    async def handle_b(message) -> None:
+        if message[0] == "ping":
+            await looper_a.send(("pong", looper_b.name))
+
+    async def drive(looper: AsyncLooper, handler, expected: int) -> None:
+        while looper.handled < expected:
+            try:
+                await looper.loop(handler, expected)
+            except DeadlockDetectedError:
+                outcome.deadlocks_detected += 1
+                await asyncio.sleep(0)
+
+    # Prime both queues with a ping, then one pong each comes back.
+    await looper_a.send(("ping", "main"))
+    await looper_b.send(("ping", "main"))
+    expected = 2 * messages
+    tasks = [
+        asyncio.ensure_future(drive(looper_a, handle_a, expected)),
+        asyncio.ensure_future(drive(looper_b, handle_b, expected)),
+    ]
+    tasks[0].set_name("aio-looper-a")
+    tasks[1].set_name("aio-looper-b")
+    done, pending = await asyncio.wait(tasks, timeout=join_timeout)
+    outcome.completed = not pending
+    for task in pending:
+        task.cancel()
+    if pending:
+        await asyncio.gather(*pending, return_exceptions=True)
+    outcome.handled = looper_a.handled + looper_b.handled
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# the minimal AB/BA pair (parity suite, A7 bench)
+# ----------------------------------------------------------------------
+
+@dataclass
+class PairOutcome:
+    """Result of one opposite-order run."""
+
+    finished: list
+    deadlocks_detected: int
+
+
+async def run_opposite_order_pair(
+    runtime: "AsyncioDimmunixRuntime",
+) -> PairOutcome:
+    """Two tasks taking two locks in opposite orders, deterministically.
+
+    Cooperative scheduling pins the interleaving: both tasks take their
+    first lock, then both request the other's — the second request
+    closes the cycle on run 1 and parks on the antibody on run 2.
+    """
+    lock_a = runtime.lock("pair-a")
+    lock_b = runtime.lock("pair-b")
+    outcome = PairOutcome([], 0)
+
+    async def ab() -> None:
+        try:
+            async with lock_a:
+                await asyncio.sleep(0)
+                async with lock_b:
+                    outcome.finished.append("ab")
+        except DeadlockDetectedError:
+            outcome.deadlocks_detected += 1
+
+    async def ba() -> None:
+        try:
+            async with lock_b:
+                await asyncio.sleep(0)
+                async with lock_a:
+                    outcome.finished.append("ba")
+        except DeadlockDetectedError:
+            outcome.deadlocks_detected += 1
+
+    first = asyncio.ensure_future(ab())
+    second = asyncio.ensure_future(ba())
+    first.set_name("aio-pair-ab")
+    second.set_name("aio-pair-ba")
+    await asyncio.gather(first, second)
+    return outcome

@@ -25,7 +25,11 @@ bus**. Every adapter it creates —
 * :meth:`Dimmunix.weave` — load-time AST instrumentation,
 * :meth:`Dimmunix.vm` — a simulated Dalvik process,
 * :meth:`Dimmunix.pthreads` — a Dalvik process with NDK pthread
-  interception —
+  interception,
+* :meth:`Dimmunix.aio` / :meth:`Dimmunix.aio_lock` /
+  :meth:`Dimmunix.aio_condition` — immunized ``asyncio`` primitives for
+  coroutine tasks (and :meth:`Dimmunix.cross_lock` for mutexes shared
+  between threads and tasks on one engine) —
 
 shares those three, so a signature detected under the VM immunizes the
 real-thread runtime (and vice versa), and a single subscriber registered
@@ -51,6 +55,8 @@ from repro.core.history import History, open_history
 from repro.core.stats import DimmunixStats
 
 if TYPE_CHECKING:
+    from repro.aio.bridge import CrossDomainLock
+    from repro.aio.runtime import AsyncioDimmunixRuntime
     from repro.dalvik.vm import DalvikVM, VMConfig
     from repro.instrument.weaver import Weaver
     from repro.runtime.runtime import DimmunixRuntime
@@ -92,6 +98,8 @@ class Dimmunix:
         self.counter = EventCounter()
         self._counter_subscription = self.events.subscribe(self.counter)
         self._runtime: Optional["DimmunixRuntime"] = None
+        self._aio: Optional["AsyncioDimmunixRuntime"] = None
+        self._aio_attached: Optional["AsyncioDimmunixRuntime"] = None
         self._vms: list["DalvikVM"] = []
         self._weavers: list["Weaver"] = []
         self._recorders: list[JsonlWriter] = []
@@ -127,6 +135,66 @@ class Dimmunix:
     def condition(self, lock=None):
         """An immunized ``threading.Condition`` replacement."""
         return self.runtime().condition(lock)
+
+    # ------------------------------------------------------------------
+    # adapter layer 6: asyncio tasks
+    # ------------------------------------------------------------------
+
+    def aio(self, *, cross_domain: bool = False) -> "AsyncioDimmunixRuntime":
+        """The session's asyncio runtime (created on first use).
+
+        By default the aio layer drives its own engine bound to the
+        session's config/history/event-bus — immunity crosses layers
+        through the shared antibody pool, and its events are tagged
+        ``"<session>/aio"``. With ``cross_domain=True`` it instead
+        *joins the thread runtime's engine*, so tasks and OS threads
+        form one RAG and mixed thread+task cycles are detected (events
+        then carry the runtime layer's source). Both variants are
+        cached; they can coexist.
+        """
+        if cross_domain:
+            if self._aio_attached is None:
+                from repro.aio.runtime import AsyncioDimmunixRuntime
+
+                self._aio_attached = AsyncioDimmunixRuntime.attached(
+                    self.runtime()
+                )
+            return self._aio_attached
+        if self._aio is None:
+            from repro.aio.runtime import AsyncioDimmunixRuntime
+
+            self._aio = AsyncioDimmunixRuntime(
+                self.config,
+                history=self.history,
+                name=f"{self.name}/aio",
+                events=self.events,
+            )
+        return self._aio
+
+    def aio_lock(self, name: str = ""):
+        """An immunized ``asyncio.Lock`` replacement (aio layer)."""
+        return self.aio().lock(name)
+
+    def aio_rlock(self, name: str = ""):
+        """An immunized task-reentrant asyncio lock (aio layer)."""
+        return self.aio().rlock(name)
+
+    def aio_condition(self, lock=None):
+        """An immunized ``asyncio.Condition`` replacement (aio layer)."""
+        return self.aio().condition(lock)
+
+    def cross_lock(self, name: str = "") -> "CrossDomainLock":
+        """A lock acquirable from both OS threads and asyncio tasks.
+
+        Built on the cross-domain (shared-engine) aio runtime, so a
+        mixed thread+task cycle through it is detected and avoided like
+        any single-domain deadlock.
+        """
+        from repro.aio.bridge import CrossDomainLock
+
+        return CrossDomainLock(
+            self.runtime(), self.aio(cross_domain=True), name
+        )
 
     # ------------------------------------------------------------------
     # adapter layer 2: the platform-wide patch
@@ -283,6 +351,10 @@ class Dimmunix:
         merged = DimmunixStats()
         if self._runtime is not None:
             merged.merge(self._runtime.stats)
+        if self._aio is not None:
+            merged.merge(self._aio.stats)
+        # The attached aio runtime shares the thread runtime's core, so
+        # its traffic is already in the runtime's counters.
         for vm in self._vms:
             if vm.core is not None:
                 merged.merge(vm.core.stats)
@@ -294,6 +366,10 @@ class Dimmunix:
         named: dict[str, object] = {}
         if self._runtime is not None:
             named[self._runtime.name] = self._runtime
+        if self._aio is not None:
+            named[self._aio.name] = self._aio
+        if self._aio_attached is not None:
+            named[self._aio_attached.name] = self._aio_attached
         for vm in self._vms:
             named[vm.name] = vm
         return named
@@ -333,7 +409,12 @@ class Dimmunix:
         # The adapter cores' stats subscribers too — on an externally
         # owned bus they would otherwise keep counting (same-named
         # successor sessions share a source string) and leak one dead
-        # subscription per core.
+        # subscription per core. The attached aio runtime must detach
+        # its waker before the thread runtime's core goes.
+        if self._aio_attached is not None:
+            self._aio_attached.close()
+        if self._aio is not None:
+            self._aio.close()
         if self._runtime is not None:
             self._runtime.core.detach_events()
         for vm in self._vms:

@@ -78,6 +78,16 @@ class DimmunixConfig:
             adapters: a thread parked on a signature longer than this is
             treated as starved. ``None`` disables the net. The simulated VM
             never needs it — starvation is always caught structurally.
+        aio_yield_poll: Optional re-request cadence (seconds) for
+            cooperatively parked asyncio tasks. ``None`` (the default)
+            parks a yielding task until a waker notifies it or
+            ``yield_timeout`` fires; a positive value makes the task wake
+            and re-run avoidance at this interval *without* consuming a
+            starvation bypass, bounding wake latency when the engine is
+            driven from contexts that cannot reach this adapter's waker
+            (e.g. a foreign runtime on a separate global lock). Keeps the
+            weak-deadlock-sets property that the per-acquisition check
+            stays cheap: a poll is one extra ``request`` call.
         static_ids: Use caller-provided static synchronization-site ids
             instead of walking the Python stack (the compiler-assisted
             optimization sketched in §4; ablation A2).
@@ -94,6 +104,7 @@ class DimmunixConfig:
     auto_save: bool = True
     starvation_detection: bool = True
     yield_timeout: float | None = 2.0
+    aio_yield_poll: float | None = None
     static_ids: bool = False
     max_signatures: int = 4096
     enabled: bool = True
@@ -109,6 +120,10 @@ class DimmunixConfig:
         if self.yield_timeout is not None and self.yield_timeout <= 0:
             raise ValueError(
                 f"yield_timeout must be positive or None, got {self.yield_timeout}"
+            )
+        if self.aio_yield_poll is not None and self.aio_yield_poll <= 0:
+            raise ValueError(
+                f"aio_yield_poll must be positive or None, got {self.aio_yield_poll}"
             )
         if self.history_url is not None:
             if self.history_path is not None:

@@ -167,6 +167,11 @@ class DimmunixCore:
         self.source = source
         self.events = events if events is not None else EventBus()
         self._clock = clock
+        # Adapter wake hooks: each adapter sharing this engine registers
+        # one callback and gets told when a signature's parked threads
+        # must be woken — the cross-domain bridge that lets a real
+        # thread's release resume a parked asyncio task and vice versa.
+        self._wakers: list[Callable[[DeadlockSignature], None]] = []
         # Claiming the source catches two same-named cores on one bus —
         # they would double-count into each other's stats.
         self.events.claim_source(source)
@@ -238,10 +243,15 @@ class DimmunixCore:
 
         A correct program releases everything before exiting; this is a
         robustness path for crashed threads so their queue entries do not
-        pin positions forever.
+        pin positions forever. The forced releases fan their signature
+        notifications through the adapter wakers like any ordinary
+        release — a unit parked on a signature the dead thread was
+        blocking must not wait for the safety-net timeout.
         """
         for lock in list(thread.held):
-            self.release(thread, lock)
+            result = self.release(thread, lock)
+            if result.notify:
+                self.notify_signatures(result.notify)
         if thread.requesting is not None:
             self.cancel_request(thread, thread.requesting)
         if thread.yielding_on is not None:
@@ -251,6 +261,56 @@ class DimmunixCore:
 
     def lock_destroyed(self, lock: LockNode) -> None:
         self.rag.remove_lock(lock)
+
+    # ------------------------------------------------------------------
+    # adapter wake hooks (cross-domain parking)
+    # ------------------------------------------------------------------
+
+    def add_waker(
+        self, waker: Callable[[DeadlockSignature], None]
+    ) -> Callable[[DeadlockSignature], None]:
+        """Register an adapter's wake callback on this engine.
+
+        Every adapter that parks execution units on signatures (the
+        real-thread runtime on condition variables, the asyncio adapter
+        on futures) registers exactly one waker. Wakers run under the
+        adapter's global lock, on whatever thread triggered the wake —
+        they must be quick and must not block. This is what makes a
+        *shared* engine cross-domain: a release performed by an OS
+        thread notifies the asyncio adapter's parked tasks too.
+        """
+        self._wakers.append(waker)
+        return waker
+
+    def remove_waker(self, waker: Callable[[DeadlockSignature], None]) -> None:
+        """Unregister a waker (adapter teardown)."""
+        try:
+            self._wakers.remove(waker)
+        except ValueError:
+            pass
+
+    def notify_signatures(
+        self, signatures: tuple[DeadlockSignature, ...]
+    ) -> None:
+        """Fan a set of wakeable signatures out to every registered waker.
+
+        Called by adapters after :meth:`release` (with ``result.notify``)
+        so *all* adapters sharing this engine — not just the releasing
+        one — re-check their parked threads/tasks.
+        """
+        if not self._wakers:
+            return
+        for signature in signatures:
+            for waker in tuple(self._wakers):
+                waker(signature)
+
+    def wake_yielders(self, threads: tuple[ThreadNode, ...]) -> None:
+        """Wake specific yielding threads (starvation resume lists)."""
+        if not self._wakers:
+            return
+        for thread in threads:
+            if thread.yielding_on is not None:
+                self.notify_signatures((thread.yielding_on,))
 
     # ------------------------------------------------------------------
     # the three entry points
@@ -475,6 +535,7 @@ class DimmunixCore:
         if position is not None:
             position.queue.remove(thread, lock)
         self.rag.clear_request(thread)
+        self.stats.requests_cancelled += 1
 
     def abandon_yield(self, thread: ThreadNode) -> None:
         """Drop a yield without retrying (non-blocking acquire gave up)."""

@@ -28,6 +28,16 @@ Events carry plain payloads (thread/lock *names*, position keys) plus the
 full :class:`~repro.core.signature.DeadlockSignature` object where one is
 involved; :func:`event_to_dict` / :func:`event_from_dict` give the stable
 JSONL wire form used by ``dimmunix-events``.
+
+Execution domains share the taxonomy. The asyncio adapter
+(:mod:`repro.aio`) publishes the same eight kinds with identical
+semantics — a ``yield`` there parks a *task* on a future instead of an
+OS thread on a condition, a ``resume`` is the task's cooperative
+re-request — distinguished only by ``source`` (a session tags them
+``"<session>/aio"``) and by ``thread`` carrying the task's name. The
+cross-adapter parity suite (tests/aio/test_aio_parity.py) holds the
+domains to kind-for-kind identical sequences on the same scenario, so
+downstream consumers never need domain-specific parsing.
 """
 
 from __future__ import annotations

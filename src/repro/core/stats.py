@@ -55,6 +55,12 @@ class DimmunixStats:
     stack_retrievals: int = 0
     stack_retrieval_ns: int = 0
     request_ns: int = 0
+    # Adapter-side tallies added with the asyncio layer: execution units
+    # registered as RAG nodes by a cooperative adapter, and granted
+    # requests rolled back before acquisition (detection policies,
+    # failed physical acquires, cancelled awaits).
+    tasks_registered: int = 0
+    requests_cancelled: int = 0
 
     def on_event(self, event) -> None:
         """Derive the lifecycle counters from the typed event stream.

@@ -17,28 +17,47 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Optional
 
+from repro.core.store.url import (
+    KNOWN_SCHEMES,
+    SCHEME_JSONL,
+    HistoryUrl,
+    format_history_url,
+)
 from repro.dalvik.vm import DalvikVM, VMConfig
+
+# Per-scheme file suffixes for the per-process history layout. Schemes
+# without an entry get a generic ``.<scheme>.history`` name, so a newly
+# registered backend works through Zygote without touching this module.
+_SCHEME_SUFFIXES = {
+    "jsonl": ".history",
+    "sqlite": ".history.db",
+}
 
 
 class Zygote:
     """Forks simulated app processes with per-process Dimmunix instances.
 
     ``backend`` selects the history store each forked process persists
-    to: ``"jsonl"`` (the default — one legacy-compatible flat file per
-    process, the paper's layout) or ``"sqlite"`` (one indexed WAL
-    database per process; point several process names at one shared
-    ``history_url`` instead for a platform-wide antibody pool).
+    to, resolved through the store URL registry
+    (:mod:`repro.core.store.url`) — any scheme the registry knows works
+    here: ``"jsonl"`` (the default — one legacy-compatible flat file per
+    process, the paper's layout), ``"sqlite"`` (one indexed WAL database
+    per process), ``"mem"`` (in-process only — forks start clean, the
+    reboot-loses-antibodies baseline), and whatever schemes later PRs
+    register (sharded, remote). Point several process names at one
+    shared ``history_url`` instead for a platform-wide antibody pool.
     """
 
     def __init__(
         self,
         vm_config: Optional[VMConfig] = None,
         history_dir: Optional[Path | str] = None,
-        backend: str = "jsonl",
+        backend: str = SCHEME_JSONL,
     ) -> None:
-        if backend not in ("jsonl", "sqlite"):
+        if backend not in KNOWN_SCHEMES:
             raise ValueError(
-                f"unknown history backend {backend!r} (jsonl or sqlite)"
+                f"unknown history backend {backend!r} "
+                f"(known: {', '.join(KNOWN_SCHEMES)})"
             )
         self.vm_config = vm_config or VMConfig()
         self.backend = backend
@@ -47,31 +66,48 @@ class Zygote:
             self.history_dir.mkdir(parents=True, exist_ok=True)
         self._fork_count = 0
 
+    @property
+    def _persistent(self) -> bool:
+        """Whether the selected backend writes files at all."""
+        return HistoryUrl(self.backend).persistent
+
     def history_path(self, process_name: str) -> Optional[Path]:
-        if self.history_dir is None:
+        if self.history_dir is None or not self._persistent:
             return None
         safe = process_name.replace("/", "_")
-        suffix = ".history" if self.backend == "jsonl" else ".history.db"
+        suffix = _SCHEME_SUFFIXES.get(
+            self.backend, f".{self.backend}.history"
+        )
         return self.history_dir / f"{safe}{suffix}"
 
     def history_url(self, process_name: str) -> Optional[str]:
         """The DSN a fork of ``process_name`` loads and persists to."""
+        if not self._persistent:
+            return format_history_url(self.backend, None)
         path = self.history_path(process_name)
         if path is None:
             return None
-        return f"{self.backend}://{path}"
+        return format_history_url(self.backend, path)
 
     def fork(self, process_name: str, seed: Optional[int] = None) -> DalvikVM:
         """forkAndSpecializeCommon + initDimmunix for one app process."""
         self._fork_count += 1
         dimmunix = self.vm_config.dimmunix
         if dimmunix.enabled:
-            if self.backend == "jsonl":
-                # Legacy spelling, kept so configs read as before.
+            if self.backend == SCHEME_JSONL:
+                # Legacy spelling, kept so configs read as before. The
+                # template's history_url is cleared for the same reason
+                # the else-branch clears history_path: a preset from
+                # the template config must not override the selected
+                # backend (and setting both is a config error).
                 dimmunix = dimmunix.evolve(
-                    history_path=self.history_path(process_name)
+                    history_path=self.history_path(process_name),
+                    history_url=None,
                 )
             else:
+                # Always evolve: a persistent backend without a
+                # history_dir means in-memory (url None), never a
+                # silent fall-through to a pre-set history_path.
                 dimmunix = dimmunix.evolve(
                     history_path=None,
                     history_url=self.history_url(process_name),

@@ -22,7 +22,13 @@ class DeadlockDetectedError(DimmunixError):
     """
 
     def __init__(self, signature, message: str = "deadlock detected"):
-        super().__init__(f"{message}: {signature!s}")
+        # ``signature`` may be None when the raiser cannot name the
+        # specific signature race-free (a BREAK-policy denial observed
+        # through a boolean return) — better no signature than another
+        # thread's.
+        super().__init__(
+            f"{message}: {signature!s}" if signature is not None else message
+        )
         self.signature = signature
 
 

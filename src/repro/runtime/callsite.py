@@ -14,6 +14,7 @@ integer and no stack walk happens at all (ablation A2).
 
 from __future__ import annotations
 
+import importlib.util
 import os
 import sys
 import threading
@@ -22,6 +23,38 @@ from typing import Optional
 from repro.core.callstack import CallStack, Frame
 
 _RUNTIME_DIR = os.path.dirname(os.path.abspath(__file__))
+# The sibling asyncio adapter layer captures positions through this
+# module too; its machinery frames must be filtered the same way
+# threading internals are, so an ``async with lock:`` position names the
+# application's statement. The machinery modules are enumerated — not
+# the whole directory — because application-visible code also lives
+# there (the scenario pack, whose lock statements are exactly the
+# positions the async workloads need), and a future app-visible module
+# must default to *application*, not silently vanish from stacks.
+_AIO_DIR = os.path.join(os.path.dirname(_RUNTIME_DIR), "aio")
+_AIO_INTERNAL = frozenset(
+    os.path.join(_AIO_DIR, name)
+    for name in (
+        "__init__.py",
+        "_originals.py",
+        "adapter.py",
+        "bridge.py",
+        "condition.py",
+        "locks.py",
+        "patch.py",
+        "runtime.py",
+    )
+)
+# The stdlib asyncio machinery is a *boundary*, not a skip: a task
+# coroutine's outermost frame backs onto Task.__step and the running
+# event loop, and below those sit the frames of whoever called
+# ``loop.run_*`` — code that did not perform this acquisition. The walk
+# must stop there or every task position collapses onto the
+# ``asyncio.run(...)`` line. Resolved via find_spec so threaded-only
+# processes do not pay the asyncio package import at startup.
+_ASYNCIO_DIR = os.path.dirname(
+    os.path.abspath(importlib.util.find_spec("asyncio").origin)
+)
 _THREADING_FILE = os.path.abspath(threading.__file__)
 _CONTEXTLIB_FILE = os.path.abspath(getattr(sys.modules.get("contextlib"), "__file__", "contextlib"))
 
@@ -31,9 +64,14 @@ FALLBACK_STACK = CallStack.single("<no-python-frame>", 0, "<native>")
 def _is_internal(filename: str) -> bool:
     return (
         filename.startswith(_RUNTIME_DIR)
+        or filename in _AIO_INTERNAL
         or filename == _THREADING_FILE
         or filename == _CONTEXTLIB_FILE
     )
+
+
+def _is_boundary(filename: str) -> bool:
+    return filename.startswith(_ASYNCIO_DIR)
 
 
 # Interning cache: one CallStack object per distinct frame-key tuple.
@@ -67,6 +105,8 @@ def capture_stack(depth: int, skip: int = 1) -> CallStack:
     while frame is not None and len(raw_frames) < depth:
         code = frame.f_code
         filename = code.co_filename
+        if _is_boundary(filename):
+            break
         if not _is_internal(filename):
             lineno = frame.f_lineno
             key_parts.append(filename)

@@ -42,6 +42,16 @@ class DimmunixCondition:
                     "DimmunixCondition needs a lock or a runtime to make one"
                 )
             lock = runtime.rlock(name="condition-monitor")
+        elif not hasattr(lock, "_acquire_restore"):
+            # Fail at construction, not with an AttributeError deep in
+            # wait(): a raw threading.Lock (e.g. created before the
+            # platform patch was installed) cannot serve as an
+            # immunized monitor.
+            raise TypeError(
+                "DimmunixCondition needs an immunized monitor "
+                "(DimmunixLock/DimmunixRLock or compatible), got "
+                f"{type(lock).__name__}"
+            )
         self._lock = lock
         self._waiters: deque = deque()
 
@@ -61,6 +71,9 @@ class DimmunixCondition:
         return self._lock.__enter__()
 
     def __exit__(self, exc_type, exc_value, traceback):
+        # Lost-monitor handling (a wait()-reacquisition unwound by a
+        # detection) lives on the lock's __exit__, covering this
+        # spelling and ``with x:`` around ``Condition(x)`` alike.
         return self._lock.__exit__(exc_type, exc_value, traceback)
 
     def _is_owned(self) -> bool:
@@ -86,16 +99,29 @@ class DimmunixCondition:
                 got_it = True
             elif timeout > 0:
                 got_it = waiter.acquire(True, timeout)
+            else:
+                # Clamp for non-positive timeouts (an expired deadline
+                # computed by a wait_for loop): one non-blocking poll,
+                # matching CPython — a pending notify is consumed, but
+                # the thread never parks. Passing a negative value to
+                # ``waiter.acquire(True, timeout)`` would either raise
+                # or (at exactly -1) wait forever.
+                got_it = waiter.acquire(False)
             return got_it
         finally:
             # The reacquisition — where wait()-induced inversions deadlock
-            # and where Android Dimmunix hooks waitMonitor.
-            self._lock._acquire_restore(saved_state)
-            if not got_it:
-                try:
-                    self._waiters.remove(waiter)
-                except ValueError:
-                    pass
+            # and where Android Dimmunix hooks waitMonitor. A detection
+            # here (RAISE, or a BREAK denial) propagates with the
+            # monitor unheld — the lock marks the thread so the
+            # enclosing ``with`` exit skips its release.
+            try:
+                self._lock._acquire_restore(saved_state)
+            finally:
+                if not got_it:
+                    try:
+                        self._waiters.remove(waiter)
+                    except ValueError:
+                        pass
 
     def wait_for(
         self, predicate: Callable[[], bool], timeout: Optional[float] = None

@@ -31,19 +31,55 @@ from repro.core.signature import DeadlockSignature
 from repro.errors import DeadlockDetectedError
 
 
+def apply_detection_policy(
+    core: DimmunixCore,
+    config: DimmunixConfig,
+    detections: list,
+    on_detection: Optional[Callable[[DeadlockSignature], None]],
+    thread_node: ThreadNode,
+    lock_node: LockNode,
+    signature: DeadlockSignature,
+) -> bool:
+    """Shared post-detection dispatch for every live adapter.
+
+    Records the detection, fires the callback, then applies the
+    configured policy: ``RAISE`` cancels the request and raises,
+    ``BREAK`` cancels and returns ``False`` (acquisition denied),
+    ``BLOCK`` returns ``True`` — paper-faithful, proceed into the
+    deadlock. One copy keeps the thread and asyncio adapters
+    policy-identical by construction (the parity suite depends on it).
+    """
+    detections.append(signature)
+    if on_detection is not None:
+        on_detection(signature)
+    if config.detection_policy is DetectionPolicy.RAISE:
+        core.cancel_request(thread_node, lock_node)
+        raise DeadlockDetectedError(signature)
+    if config.detection_policy is DetectionPolicy.BREAK:
+        core.cancel_request(thread_node, lock_node)
+        return False
+    return True
+
+
 class RuntimeAdapter:
     """Drives a :class:`DimmunixCore` for real ``threading`` threads."""
 
-    def __init__(self, core: DimmunixCore) -> None:
+    def __init__(self, core: DimmunixCore, glock=None) -> None:
         self.core = core
         self.config: DimmunixConfig = core.config
         # The paper's process-global Dimmunix lock. Signature conditions
-        # share it so "check state + park" is atomic.
-        self._glock = _originals.Lock()
+        # share it so "check state + park" is atomic. An adapter joining
+        # an existing engine (the asyncio layer in cross-domain mode)
+        # passes the owning adapter's lock in, so all engine calls stay
+        # serialized under one lock.
+        self._glock = glock if glock is not None else _originals.Lock()
         self._conditions: dict[DeadlockSignature, threading.Condition] = {}
         self._thread_nodes: dict[int, ThreadNode] = {}
         self._detections: list[DeadlockSignature] = []
         self.on_detection: Optional[Callable[[DeadlockSignature], None]] = None
+        # Wakes are fanned out through the engine so every adapter
+        # sharing this core — not just us — re-checks its parked units.
+        self._waker = core.add_waker(self._wake_signature_locked)
 
     # ------------------------------------------------------------------
     # node bookkeeping
@@ -101,20 +137,17 @@ class RuntimeAdapter:
             while True:
                 result = self.core.request(thread_node, lock_node, stack)
                 if result.resume:
-                    self._wake_locked(result.resume)
+                    self.core.wake_yielders(result.resume)
                 if result.detected is not None:
-                    self._detections.append(result.detected)
-                    callback = self.on_detection
-                    if callback is not None:
-                        callback(result.detected)
-                    if config.detection_policy is DetectionPolicy.RAISE:
-                        self.core.cancel_request(thread_node, lock_node)
-                        raise DeadlockDetectedError(result.detected)
-                    if config.detection_policy is DetectionPolicy.BREAK:
-                        self.core.cancel_request(thread_node, lock_node)
-                        return False
-                    # BLOCK: paper-faithful — proceed into the deadlock.
-                    return True
+                    return apply_detection_policy(
+                        self.core,
+                        config,
+                        self._detections,
+                        self.on_detection,
+                        thread_node,
+                        lock_node,
+                        result.detected,
+                    )
                 if result.verdict is RequestVerdict.YIELD:
                     assert result.yield_on is not None
                     if not wait:
@@ -135,13 +168,18 @@ class RuntimeAdapter:
             self.core.acquired(thread_node, lock_node)
 
     def before_release(self, lock_node: LockNode) -> None:
-        thread_node = self.current_thread_node()
+        # Attribute the release to the RAG's recorded holder, not the
+        # caller: a lock may legally be released by a different thread
+        # than acquired it (``threading.Lock`` semantics), and charging
+        # the wrong node would leave a stale hold edge and a pinned
+        # queue cell behind forever.
+        caller_node = self.current_thread_node()
         with self._glock:
-            result = self.core.release(thread_node, lock_node)
-            for signature in result.notify:
-                condition = self._conditions.get(signature)
-                if condition is not None:
-                    condition.notify_all()
+            holder = lock_node.owner
+            result = self.core.release(
+                holder if holder is not None else caller_node, lock_node
+            )
+            self.core.notify_signatures(result.notify)
 
     def abandon_acquire(self, lock_node: LockNode) -> None:
         """Roll back a granted request whose physical acquire failed."""
@@ -162,14 +200,15 @@ class RuntimeAdapter:
             self._conditions[signature] = condition
         return condition
 
-    def _wake_locked(self, threads) -> None:
-        for thread_node in threads:
-            signature = thread_node.yielding_on
-            if signature is None:
-                continue
-            condition = self._conditions.get(signature)
-            if condition is not None:
-                condition.notify_all()
+    def _wake_signature_locked(self, signature: DeadlockSignature) -> None:
+        """This adapter's engine waker: notify the signature's condition.
+
+        Invoked (under the global lock) by ``core.notify_signatures`` /
+        ``core.wake_yielders``, whichever adapter triggered the wake.
+        """
+        condition = self._conditions.get(signature)
+        if condition is not None:
+            condition.notify_all()
 
     # ------------------------------------------------------------------
     # introspection

@@ -21,11 +21,62 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.callstack import CallStack
+from repro.errors import DeadlockDetectedError
 from repro.runtime import _originals
 from repro.runtime.callsite import resolve_stack
 
 if TYPE_CHECKING:
     from repro.runtime.runtime import DimmunixRuntime
+
+
+class LostRestoreMarker:
+    """Execution units whose wait()-reacquisition was unwound.
+
+    A detection during a condition's monitor reacquisition (RAISE
+    raising, or a BREAK denial) leaves the unit *not* holding the lock;
+    its enclosing ``with``/``async with`` exit must skip the release or
+    it masks the DeadlockDetectedError with a RuntimeError. One shared
+    protocol for all four lock classes — threaded and asyncio — keyed by
+    whatever identifies the execution unit (thread ident, task id):
+
+    * :meth:`mark` on the unwound reacquisition,
+    * :meth:`clear` on every successful acquire (a fresh acquisition
+      supersedes a stale marker — the unit may recover by calling
+      ``acquire()`` directly, not only via ``__enter__``),
+    * :meth:`lost` in ``__exit__`` — true means skip the release. The
+      check is deliberately non-destructive: one lost reacquisition on
+      a reentrant monitor unwinds through *several* nested ``with``
+      exits, and every one of them must skip; only the next successful
+      acquire clears the state.
+    """
+
+    __slots__ = ("_lost",)
+
+    def __init__(self) -> None:
+        self._lost: set[int] = set()
+
+    def mark(self, key: int) -> None:
+        self._lost.add(key)
+
+    def clear(self, key: int) -> None:
+        if self._lost:
+            self._lost.discard(key)
+
+    def lost(self, key: int) -> bool:
+        return bool(self._lost) and key in self._lost
+
+    def deny(self, key: int) -> None:
+        """Mark + raise for a BREAK-policy reacquisition denial.
+
+        One site for the message and the deliberate ``signature=None``
+        (the denial is observed through a boolean return; naming a
+        signature from the adapter's shared list would race with
+        concurrent detections).
+        """
+        self.mark(key)
+        raise DeadlockDetectedError(
+            None, "monitor reacquisition denied (BREAK policy)"
+        )
 
 
 class DimmunixLock:
@@ -41,6 +92,11 @@ class DimmunixLock:
         self._depth = runtime.config.stack_depth
         self.node = self._adapter.new_lock_node(name) if self._enabled else None
         self.name = name or (self.node.name if self.node else "lock")
+        # Kept on the lock (not the condition) so both monitor
+        # spellings — ``with cond:`` and ``with x:`` around
+        # ``Condition(x)`` — are covered by the one ``__exit__`` that
+        # owns the release.
+        self._lost_restore = LostRestoreMarker()
 
     # -- acquire / release ------------------------------------------------
 
@@ -77,6 +133,7 @@ class DimmunixLock:
             got_it = self._raw.acquire(blocking)
         if got_it:
             self._adapter.after_acquire(self.node)
+            self._lost_restore.clear(_originals.get_ident())
         else:
             self._adapter.abandon_acquire(self.node)
         return got_it
@@ -104,8 +161,18 @@ class DimmunixLock:
 
     def _acquire_restore(self, state) -> None:
         # Reacquisition goes through the full Dimmunix path — the paper's
-        # waitMonitor change (§3.2).
-        self.acquire()
+        # waitMonitor change (§3.2). A detection here (RAISE raising, or
+        # a BREAK denial — the only way a blocking acquire returns
+        # False) means the monitor stays unheld: mark the thread so its
+        # ``with`` exit skips the release instead of masking the error.
+        ident = _originals.get_ident()
+        try:
+            got_it = self.acquire()
+        except DeadlockDetectedError:
+            self._lost_restore.mark(ident)
+            raise
+        if not got_it:
+            self._lost_restore.deny(ident)
 
     # -- context manager ---------------------------------------------------
 
@@ -115,6 +182,10 @@ class DimmunixLock:
         return self.acquire()
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if self._lost_restore.lost(_originals.get_ident()):
+            # This thread's wait() lost the monitor to an unwound
+            # reacquisition; there is nothing to release.
+            return
         self.release()
 
     def __repr__(self) -> str:
@@ -142,6 +213,8 @@ class DimmunixRLock:
         self._count = 0
         self.node = self._adapter.new_lock_node(name) if self._enabled else None
         self.name = name or (self.node.name if self.node else "rlock")
+        # See DimmunixLock: threads whose reacquisition was unwound.
+        self._lost_restore = LostRestoreMarker()
 
     def acquire(
         self,
@@ -173,6 +246,7 @@ class DimmunixRLock:
             self._count = 1
             if self._enabled:
                 self._adapter.after_acquire(self.node)
+            self._lost_restore.clear(me)
         elif self._enabled:
             self._adapter.abandon_acquire(self.node)
         return got_it
@@ -210,9 +284,21 @@ class DimmunixRLock:
 
         This is the paper's ``waitMonitor`` change: the reacquisition at
         the end of ``Object.wait()`` must be visible to Dimmunix, or
-        wait()-induced lock inversions are invisible (§3.2).
+        wait()-induced lock inversions are invisible (§3.2). A detection
+        here (RAISE raising, or a BREAK denial — the only way a blocking
+        acquire returns False) leaves the monitor unheld: the thread is
+        marked so its ``with`` exit skips the release, and the depth is
+        NOT restored — doing so without ownership would corrupt the
+        monitor.
         """
-        self.acquire()
+        ident = _originals.get_ident()
+        try:
+            got_it = self.acquire()
+        except DeadlockDetectedError:
+            self._lost_restore.mark(ident)
+            raise
+        if not got_it:
+            self._lost_restore.deny(ident)
         self._count = state
 
     def locked(self) -> bool:
@@ -222,6 +308,8 @@ class DimmunixRLock:
         return self.acquire()
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if self._lost_restore.lost(_originals.get_ident()):
+            return
         self.release()
 
     def __repr__(self) -> str:

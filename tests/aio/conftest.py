@@ -1,0 +1,29 @@
+"""Shared fixtures for the asyncio adapter-layer suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aio.runtime import AsyncioDimmunixRuntime, reset_aio_runtime
+from repro.config import DetectionPolicy, DimmunixConfig
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_aio_runtime():
+    """Isolate tests that touch the process-default aio runtime."""
+    reset_aio_runtime()
+    yield
+    reset_aio_runtime()
+
+
+@pytest.fixture
+def aio_runtime(raise_config) -> AsyncioDimmunixRuntime:
+    return AsyncioDimmunixRuntime(raise_config, name="aio-test")
+
+
+def make_aio_runtime(history=None, **overrides) -> AsyncioDimmunixRuntime:
+    """Helper for tests needing several aio runtimes sharing a history."""
+    config = DimmunixConfig(
+        detection_policy=DetectionPolicy.RAISE, yield_timeout=1.0
+    ).evolve(**overrides)
+    return AsyncioDimmunixRuntime(config, history=history, name="aio-test")

@@ -1,0 +1,287 @@
+"""Task cancellation must always cancel the pending engine request.
+
+A cancelled ``await`` is routine in asyncio (timeouts, shutdown,
+``wait_for``); if cancellation leaked a request or yield edge, the RAG
+would accumulate phantom waits and later detections would report cycles
+that do not exist. These tests drive cancellation through every await
+point of the acquire path and assert the engine is left clean.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.events import ResumeEvent
+from tests.aio.conftest import make_aio_runtime
+
+
+def _pair_workers(runtime):
+    """AB/BA workers defined once so runs share program positions."""
+    lock_a = runtime.lock("A")
+    lock_b = runtime.lock("B")
+    finished = []
+
+    async def ab(hold: asyncio.Event = None):
+        async with lock_a:
+            if hold is not None:
+                await hold.wait()
+            else:
+                await asyncio.sleep(0)
+            async with lock_b:
+                finished.append("ab")
+
+    async def ba():
+        async with lock_b:
+            await asyncio.sleep(0)
+            async with lock_a:
+                finished.append("ba")
+
+    return ab, ba, finished
+
+
+def _seed_history(runtime):
+    """Run the pair once so the deadlock signature is recorded."""
+    ab, ba, _ = _pair_workers(runtime)
+
+    async def provoke():
+        results = await asyncio.gather(
+            ab(), ba(), return_exceptions=True
+        )
+        return results
+
+    asyncio.run(provoke())
+    assert len(runtime.history) == 1
+    return runtime.history
+
+
+class TestCancelDuringPhysicalAcquire:
+    def test_request_edge_is_cancelled(self, aio_runtime):
+        async def scenario():
+            lock = aio_runtime.lock("phys")
+            release = asyncio.Event()
+
+            async def holder():
+                async with lock:
+                    await release.wait()
+
+            async def contender():
+                await lock.acquire()
+
+            holder_task = asyncio.ensure_future(holder())
+            await asyncio.sleep(0.01)
+            contender_task = asyncio.ensure_future(contender())
+            await asyncio.sleep(0.01)
+            # The contender passed the engine (PROCEED) and is suspended
+            # in the raw acquire: one blocked thread in the RAG.
+            assert aio_runtime.core.snapshot().blocked == 1
+            contender_task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await contender_task
+            assert aio_runtime.core.snapshot().blocked == 0
+            assert aio_runtime.stats.requests_cancelled >= 1
+            release.set()
+            await holder_task
+
+        asyncio.run(scenario())
+
+    def test_wait_for_timeout_cancels_request(self, aio_runtime):
+        """``asyncio.wait_for`` cancellation is the common real caller."""
+
+        async def scenario():
+            lock = aio_runtime.lock("timed")
+            release = asyncio.Event()
+
+            async def holder():
+                async with lock:
+                    await release.wait()
+
+            holder_task = asyncio.ensure_future(holder())
+            await asyncio.sleep(0.01)
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(lock.acquire(), timeout=0.05)
+            assert aio_runtime.core.snapshot().blocked == 0
+            release.set()
+            await holder_task
+
+        asyncio.run(scenario())
+
+
+class TestCancelWhileParkedOnSignature:
+    def test_yield_edge_is_dropped(self):
+        first = make_aio_runtime()
+        history = _seed_history(first)
+
+        runtime = make_aio_runtime(history=history)
+        ab, ba, finished = _pair_workers(runtime)
+
+        async def scenario():
+            hold = asyncio.Event()
+            ab_task = asyncio.ensure_future(ab(hold))
+            await asyncio.sleep(0.01)
+            ba_task = asyncio.ensure_future(ba())
+            await asyncio.sleep(0.02)
+            # ba reached its outer acquisition and parked on the
+            # signature (avoidance), cooperatively.
+            assert runtime.core.yielding_threads == 1
+            ba_task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await ba_task
+            assert runtime.core.yielding_threads == 0
+            assert runtime.core.snapshot().blocked == 0
+            hold.set()
+            await ab_task
+
+        asyncio.run(scenario())
+        assert finished == ["ab"]
+        assert len(runtime.detections) == 0
+
+
+class TestDeadTaskWakesParkedUnits:
+    def test_thread_exit_release_notifies_parked_task(self):
+        """A task dying while holding an antibody-position lock must
+        wake the units parked on that signature — with no safety net
+        (``yield_timeout=None``) the wake can only come from the
+        ``thread_exit`` release path."""
+        lines = {}
+
+        def workers(runtime):
+            lock_a = runtime.lock("A")
+            lock_b = runtime.lock("B")
+
+            async def ab(hold: asyncio.Event = None, leak: bool = False):
+                await lock_a.acquire()  # shared position P1
+                try:
+                    if hold is not None:
+                        await hold.wait()
+                    if leak:
+                        raise RuntimeError("died holding A")
+                    await asyncio.sleep(0)
+                    await lock_b.acquire()
+                    lines.setdefault("finished", []).append("ab")
+                    lock_b.release()
+                finally:
+                    if not leak:
+                        lock_a.release()
+
+            async def ba():
+                await lock_b.acquire()  # shared position P2
+                try:
+                    await asyncio.sleep(0)
+                    await lock_a.acquire()
+                    lines.setdefault("finished", []).append("ba")
+                    lock_a.release()
+                finally:
+                    lock_b.release()
+
+            return ab, ba
+
+        first = make_aio_runtime()
+        ab, ba = workers(first)
+
+        async def provoke():
+            await asyncio.gather(ab(), ba(), return_exceptions=True)
+
+        asyncio.run(provoke())
+        assert len(first.history) == 1
+
+        runtime = make_aio_runtime(history=first.history, yield_timeout=None)
+        ab, ba = workers(runtime)
+
+        async def scenario():
+            hold = asyncio.Event()
+            leaker = asyncio.ensure_future(ab(hold, leak=True))
+            await asyncio.sleep(0.01)
+            parked = asyncio.ensure_future(ba())
+            await asyncio.sleep(0.02)
+            assert runtime.core.yielding_threads == 1
+            assert runtime.stats.yield_wakeups == 0
+            hold.set()  # the leaker dies still holding A
+            with pytest.raises(RuntimeError, match="died holding A"):
+                await leaker
+            # thread_exit's forced release must wake the parked task:
+            # its resume (re-request) is the wake-up observable. The
+            # physical asyncio lock stays orphaned by the dead task —
+            # thread_exit is RAG bookkeeping, not a physical unlock, in
+            # both domains — so completion is not the signal here.
+            deadline = asyncio.get_running_loop().time() + 2.0
+            while runtime.stats.yield_wakeups == 0:
+                assert asyncio.get_running_loop().time() < deadline, (
+                    "parked task was never woken by the forced release"
+                )
+                await asyncio.sleep(0.005)
+            assert runtime.core.yielding_threads == 0
+            parked.cancel()
+            await asyncio.gather(parked, return_exceptions=True)
+
+        asyncio.run(scenario())
+        assert runtime.stats.yield_wakeups >= 1
+        assert runtime.stats.starvations_detected == 0
+
+
+class TestConcurrentLoopsRejected:
+    def test_second_running_loop_is_refused(self, aio_runtime):
+        import threading
+
+        bound = threading.Event()
+        release = threading.Event()
+
+        def foreign_loop():
+            async def hold():
+                async with aio_runtime.lock("foreign"):
+                    bound.set()
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, release.wait
+                    )
+
+            asyncio.run(hold())
+
+        thread = threading.Thread(target=foreign_loop)
+        thread.start()
+        assert bound.wait(5)
+
+        async def competing():
+            async with aio_runtime.lock("local"):
+                pass
+
+        try:
+            with pytest.raises(RuntimeError, match="per event loop"):
+                asyncio.run(competing())
+        finally:
+            release.set()
+            thread.join(5)
+        assert not thread.is_alive()
+
+
+class TestYieldPoll:
+    def test_parked_task_repolls_without_bypass(self):
+        """``aio_yield_poll`` re-runs avoidance on a cadence, without
+        burning starvation bypasses."""
+        first = make_aio_runtime()
+        history = _seed_history(first)
+
+        runtime = make_aio_runtime(
+            history=history, aio_yield_poll=0.01, yield_timeout=5.0
+        )
+        resumes = []
+        runtime.subscribe(lambda event: resumes.append(event), kinds=(ResumeEvent,))
+        ab, ba, finished = _pair_workers(runtime)
+
+        async def scenario():
+            hold = asyncio.Event()
+            ab_task = asyncio.ensure_future(ab(hold))
+            await asyncio.sleep(0.01)
+            ba_task = asyncio.ensure_future(ba())
+            # Stay parked across several poll ticks.
+            await asyncio.sleep(0.06)
+            hold.set()
+            await asyncio.gather(ab_task, ba_task)
+
+        asyncio.run(scenario())
+        assert sorted(finished) == ["ab", "ba"]
+        # Each poll tick re-requests (one resume per retry), yet no
+        # starvation was recorded and no bypass granted.
+        assert len(resumes) >= 2
+        assert runtime.stats.starvations_detected == 0
+        assert runtime.stats.bypasses_granted == 0

@@ -1,0 +1,339 @@
+"""AioDimmunixCondition: waiter semantics + immunized reacquisition."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from tests.aio.conftest import make_aio_runtime
+
+
+class TestConditionBasics:
+    def test_wait_notify(self, aio_runtime):
+        async def scenario():
+            condition = aio_runtime.condition()
+            state = []
+
+            async def consumer():
+                async with condition:
+                    while not state:
+                        await condition.wait()
+                    return state[0]
+
+            async def producer():
+                await asyncio.sleep(0.01)
+                async with condition:
+                    state.append("ready")
+                    condition.notify()
+
+            result, _ = await asyncio.gather(consumer(), producer())
+            assert result == "ready"
+
+        asyncio.run(scenario())
+
+    def test_wait_timeout_returns_false(self, aio_runtime):
+        async def scenario():
+            condition = aio_runtime.condition()
+            async with condition:
+                assert await condition.wait(timeout=0.02) is False
+
+        asyncio.run(scenario())
+
+    def test_non_positive_timeout_polls_without_suspending(self, aio_runtime):
+        """The clamp: an expired deadline is one non-suspending poll."""
+
+        async def scenario():
+            condition = aio_runtime.condition()
+            async with condition:
+                started = asyncio.get_running_loop().time()
+                assert await condition.wait(timeout=0.0) is False
+                assert await condition.wait(timeout=-1.0) is False
+                elapsed = asyncio.get_running_loop().time() - started
+                assert elapsed < 0.5
+
+        asyncio.run(scenario())
+
+    def test_wait_for_expired_deadline_still_polls_predicate(
+        self, aio_runtime
+    ):
+        async def scenario():
+            condition = aio_runtime.condition()
+            async with condition:
+                assert await condition.wait_for(lambda: True, timeout=-5) is True
+                assert (
+                    await condition.wait_for(lambda: False, timeout=-5) is False
+                )
+
+        asyncio.run(scenario())
+
+    def test_notify_all_wakes_everyone(self, aio_runtime):
+        async def scenario():
+            condition = aio_runtime.condition()
+            woken = []
+
+            async def waiter(tag: str):
+                async with condition:
+                    await condition.wait()
+                    woken.append(tag)
+
+            waiters = [
+                asyncio.ensure_future(waiter(f"w{i}")) for i in range(3)
+            ]
+            await asyncio.sleep(0.01)
+            async with condition:
+                condition.notify_all()
+            await asyncio.gather(*waiters)
+            assert sorted(woken) == ["w0", "w1", "w2"]
+
+        asyncio.run(scenario())
+
+    def test_cancelled_notified_waiter_redispatches_the_notify(
+        self, aio_runtime
+    ):
+        """A waiter cancelled in the same tick it was notified must pass
+        the consumed wakeup to the next waiter — not swallow it (the
+        lost-notification bug CPython fixed in 3.13's Condition)."""
+
+        async def scenario():
+            condition = aio_runtime.condition()
+            woken = []
+
+            async def waiter(tag: str):
+                async with condition:
+                    await condition.wait()
+                    woken.append(tag)
+
+            first = asyncio.ensure_future(waiter("first"))
+            second = asyncio.ensure_future(waiter("second"))
+            await asyncio.sleep(0.01)
+            async with condition:
+                condition.notify(1)  # consumes first's waiter future
+                first.cancel()       # ... which will never act on it
+            with pytest.raises(asyncio.CancelledError):
+                await first
+            # The notify must reach the second waiter, not vanish.
+            await asyncio.wait_for(second, timeout=2.0)
+            assert woken == ["second"]
+
+        asyncio.run(scenario())
+
+    def test_wait_without_lock_raises(self, aio_runtime):
+        async def scenario():
+            condition = aio_runtime.condition()
+            with pytest.raises(RuntimeError):
+                await condition.wait()
+
+        asyncio.run(scenario())
+
+    def test_notify_without_lock_raises(self, aio_runtime):
+        async def scenario():
+            condition = aio_runtime.condition()
+            with pytest.raises(RuntimeError):
+                condition.notify()
+
+        asyncio.run(scenario())
+
+    def test_wait_on_rlock_restores_recursion(self, aio_runtime):
+        async def scenario():
+            rlock = aio_runtime.rlock("nested")
+            condition = aio_runtime.condition(rlock)
+
+            async def signaller():
+                await asyncio.sleep(0.01)
+                async with condition:
+                    condition.notify()
+
+            async def waiter():
+                async with rlock:
+                    async with rlock:  # depth 2
+                        assert await condition.wait(timeout=1.0) is True
+                        assert rlock._count == 2
+                    assert rlock._count == 1
+
+            await asyncio.gather(waiter(), signaller())
+
+        asyncio.run(scenario())
+
+    def test_needs_lock_or_runtime(self):
+        from repro.aio.condition import AioDimmunixCondition
+
+        with pytest.raises(ValueError):
+            AioDimmunixCondition()
+
+    def test_raw_asyncio_lock_rejected_as_monitor(self, aio_runtime):
+        """A raw asyncio.Lock (e.g. created before the patch) fails at
+        construction, not with an AttributeError inside wait()."""
+        with pytest.raises(TypeError, match="immunized monitor"):
+            aio_runtime.condition(asyncio.Lock())
+
+    def test_direct_acquire_clears_stale_marker(self, aio_runtime):
+        """A task recovering from a lost reacquisition by awaiting
+        acquire() directly gets normal release semantics back."""
+
+        async def scenario():
+            for lock in (aio_runtime.lock("m1"), aio_runtime.rlock("m2")):
+                lock._lost_restore.mark(id(asyncio.current_task()))
+                assert await lock.acquire()
+                await lock.__aexit__(None, None, None)  # must release
+                assert not lock.locked()
+
+        asyncio.run(scenario())
+
+
+class TestImmunizedReacquisition:
+    def test_reacquisition_goes_through_engine(self, aio_runtime):
+        """The §3.2 property: wait()'s reacquire emits engine events."""
+
+        async def scenario():
+            condition = aio_runtime.condition()
+
+            async def signaller():
+                await asyncio.sleep(0.01)
+                async with condition:
+                    condition.notify()
+
+            async def waiter():
+                async with condition:
+                    requests_before = aio_runtime.stats.requests
+                    await condition.wait(timeout=1.0)
+                    # release + park + reacquire: the reacquisition shows
+                    # up as a fresh engine request.
+                    assert aio_runtime.stats.requests > requests_before
+
+            await asyncio.gather(waiter(), signaller())
+
+        asyncio.run(scenario())
+
+    def test_detection_during_reacquire_propagates_cleanly(self, aio_runtime):
+        """§3.2 under RAISE: a wait()-induced inversion detected at the
+        monitor reacquisition must surface as DeadlockDetectedError —
+        not be masked by the enclosing ``async with`` releasing an
+        unheld monitor."""
+        from repro.errors import DeadlockDetectedError
+
+        async def scenario():
+            outer = aio_runtime.lock("outer-L")
+            condition = aio_runtime.condition()
+            outcome = {}
+
+            async def waiter():
+                await outer.acquire()
+                try:
+                    async with condition:
+                        # Releases the monitor, parks, times out, then
+                        # reacquires — closing the cycle with peer().
+                        await condition.wait(timeout=0.05)
+                except DeadlockDetectedError:
+                    outcome["waiter"] = "detected"
+                finally:
+                    outer.release()
+
+            async def peer():
+                await asyncio.sleep(0.01)
+                async with condition:
+                    # Holds the monitor while wanting outer-L: the
+                    # waiter's reacquisition completes the inversion.
+                    async with outer:
+                        outcome["peer"] = "ok"
+
+            await asyncio.gather(waiter(), peer())
+            return outcome
+
+        outcome = asyncio.run(scenario())
+        assert outcome == {"waiter": "detected", "peer": "ok"}
+        assert len(aio_runtime.history) == 1
+
+    def test_nested_monitor_exits_all_skip_after_lost_reacquire(
+        self, aio_runtime
+    ):
+        """One lost reacquisition must make *every* nested ``async
+        with`` exit skip its release (sticky marker until reacquire)."""
+        from repro.errors import DeadlockDetectedError
+
+        async def scenario():
+            outer = aio_runtime.lock("outer-L")
+            monitor = aio_runtime.rlock("nested-monitor")
+            condition = aio_runtime.condition(monitor)
+            outcome = {}
+
+            async def waiter():
+                await outer.acquire()
+                try:
+                    async with monitor:
+                        async with monitor:  # depth 2
+                            await condition.wait(timeout=0.05)
+                except DeadlockDetectedError:
+                    outcome["waiter"] = "detected"
+                finally:
+                    outer.release()
+
+            async def peer():
+                await asyncio.sleep(0.01)
+                async with monitor:
+                    async with outer:
+                        outcome["peer"] = "ok"
+
+            await asyncio.gather(waiter(), peer())
+            return outcome
+
+        outcome = asyncio.run(scenario())
+        assert outcome == {"waiter": "detected", "peer": "ok"}
+
+    def test_break_denial_surfaces_instead_of_corrupting(self):
+        """Under BREAK a denied reacquisition cannot return normally
+        (the monitor would be unheld behind wait()'s back): it surfaces
+        as DeadlockDetectedError and the monitor is marked lost."""
+        from repro.config import DetectionPolicy
+        from repro.errors import DeadlockDetectedError
+        from tests.aio.conftest import make_aio_runtime
+
+        runtime = make_aio_runtime(detection_policy=DetectionPolicy.BREAK)
+
+        async def scenario():
+            outer = runtime.lock("outer-L")
+            condition = runtime.condition()
+            outcome = {}
+
+            async def waiter():
+                await outer.acquire()
+                try:
+                    async with condition:
+                        await condition.wait(timeout=0.05)
+                        outcome["waiter"] = "returned"
+                except DeadlockDetectedError as error:
+                    outcome["waiter"] = "denied"
+                    assert "reacquisition denied" in str(error)
+                finally:
+                    outer.release()
+
+            async def peer():
+                await asyncio.sleep(0.01)
+                async with condition:
+                    async with outer:
+                        outcome["peer"] = "ok"
+
+            await asyncio.gather(waiter(), peer())
+            return outcome
+
+        outcome = asyncio.run(scenario())
+        assert outcome == {"waiter": "denied", "peer": "ok"}
+
+    def test_cancelled_wait_still_reacquires_then_raises(self, aio_runtime):
+        async def scenario():
+            condition = aio_runtime.condition()
+
+            async def waiter():
+                async with condition:
+                    await condition.wait()
+
+            task = asyncio.ensure_future(waiter())
+            await asyncio.sleep(0.01)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            # The monitor was reacquired then released on unwind: free.
+            assert not condition.locked()
+            assert aio_runtime.core.snapshot().blocked == 0
+
+        asyncio.run(scenario())

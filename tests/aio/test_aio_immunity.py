@@ -1,0 +1,229 @@
+"""Integration: the deadlock-once-then-immune property for tasks.
+
+The acceptance story of the aio layer: an ``asyncio.Lock`` cycle between
+tasks is detected, recorded to the history, and avoided on re-run (the
+antibody round-trip, including a disk round-trip), and a *mixed*
+thread+task cycle through one shared engine is likewise detected and
+avoided — the cross-domain case no per-domain detector sees.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.aio import AsyncioDimmunixRuntime, CrossDomainLock
+from repro.aio.scenarios import (
+    run_async_dining_philosophers,
+    run_looper_inversion,
+    run_opposite_order_pair,
+)
+from repro.config import DetectionPolicy
+from repro.core.history import History
+from repro.errors import DeadlockDetectedError
+from tests.aio.conftest import make_aio_runtime
+from tests.conftest import make_runtime
+
+
+class TestAntibodyRoundTrip:
+    def test_deadlock_once_then_immune(self):
+        first = make_aio_runtime()
+        outcome_one = asyncio.run(run_opposite_order_pair(first))
+        assert outcome_one.deadlocks_detected == 1
+        assert len(first.history) == 1
+        assert list(first.history)[0].kind == "deadlock"
+
+        # "Reboot": same program, fresh runtime, inherited history.
+        second = make_aio_runtime(history=first.history)
+        outcome_two = asyncio.run(run_opposite_order_pair(second))
+        assert sorted(outcome_two.finished) == ["ab", "ba"]
+        assert outcome_two.deadlocks_detected == 0
+        assert len(second.detections) == 0
+        assert second.stats.yields >= 1
+        assert second.stats.yield_wakeups >= 1
+
+    def test_immunity_survives_disk_roundtrip(self, tmp_path):
+        path = tmp_path / "aio.history"
+        first = make_aio_runtime(history_path=path)
+        asyncio.run(run_opposite_order_pair(first))
+        first.flush_history()
+        assert path.exists()
+
+        reloaded = History.load(path)
+        second = make_aio_runtime(history=reloaded)
+        outcome = asyncio.run(run_opposite_order_pair(second))
+        assert sorted(outcome.finished) == ["ab", "ba"]
+        assert len(second.detections) == 0
+
+    def test_third_run_still_immune(self):
+        runtime_one = make_aio_runtime()
+        asyncio.run(run_opposite_order_pair(runtime_one))
+        history = runtime_one.history
+        for _ in range(2):
+            runtime_next = make_aio_runtime(history=history)
+            outcome = asyncio.run(run_opposite_order_pair(runtime_next))
+            assert sorted(outcome.finished) == ["ab", "ba"]
+            assert len(runtime_next.detections) == 0
+
+
+class TestAsyncDiningPhilosophers:
+    def test_table_completes_with_immunity(self):
+        runtime = make_aio_runtime(yield_timeout=0.5)
+        outcome = asyncio.run(
+            run_async_dining_philosophers(runtime, philosophers=5, meals=2)
+        )
+        assert outcome.completed
+        assert outcome.meals_eaten == 10
+        assert outcome.errors == []
+
+    def test_second_dinner_avoids_known_deadlocks(self):
+        runtime_one = make_aio_runtime(yield_timeout=0.5)
+        first = asyncio.run(
+            run_async_dining_philosophers(runtime_one, philosophers=5, meals=2)
+        )
+        assert first.completed
+        assert first.deadlocks_detected >= 1
+
+        runtime_two = make_aio_runtime(
+            history=runtime_one.history, yield_timeout=0.5
+        )
+        second = asyncio.run(
+            run_async_dining_philosophers(runtime_two, philosophers=5, meals=2)
+        )
+        assert second.completed
+        assert second.deadlocks_detected == 0
+        assert runtime_two.stats.yields >= 1
+
+
+class TestLooperInversion:
+    def test_cross_sending_handlers_deadlock_once(self):
+        runtime = make_aio_runtime()
+        outcome = asyncio.run(run_looper_inversion(runtime))
+        assert outcome.completed
+        assert outcome.deadlocks_detected == 1
+        assert outcome.handled == 4
+
+        rerun = make_aio_runtime(history=runtime.history)
+        immune = asyncio.run(run_looper_inversion(rerun))
+        assert immune.completed
+        assert immune.deadlocks_detected == 0
+        assert rerun.stats.yields >= 1
+
+
+def _mixed_cycle_run(history=None):
+    """Task holds X awaits Y; worker thread holds Y requests X."""
+    runtime = make_runtime(history=history)
+    aio_runtime = AsyncioDimmunixRuntime.attached(runtime)
+    lock_x = CrossDomainLock(runtime, aio_runtime, "X")
+    lock_y = CrossDomainLock(runtime, aio_runtime, "Y")
+    outcome = {}
+
+    def worker():
+        try:
+            with lock_y:
+                time.sleep(0.05)
+                with lock_x:
+                    outcome["thread"] = "ok"
+        except DeadlockDetectedError:
+            outcome["thread"] = "detected"
+
+    async def task_side():
+        thread = threading.Thread(target=worker, name="mixed-worker")
+        thread.start()
+        try:
+            async with lock_x:
+                await asyncio.sleep(0.05)
+                async with lock_y:
+                    outcome["task"] = "ok"
+        except DeadlockDetectedError:
+            outcome["task"] = "detected"
+        while thread.is_alive():
+            await asyncio.sleep(0.005)
+
+    asyncio.run(task_side())
+    return runtime, outcome
+
+
+class TestMixedDomainCycle:
+    def test_thread_task_cycle_detected_through_shared_engine(self):
+        runtime, outcome = _mixed_cycle_run()
+        assert "detected" in outcome.values()
+        assert len(runtime.history) == 1
+        # One RAG: the cycle crossed domains, so no per-domain detector
+        # could have seen it; the shared engine recorded one signature.
+        assert list(runtime.history)[0].kind == "deadlock"
+
+    def test_mixed_cycle_avoided_on_rerun(self):
+        first, _ = _mixed_cycle_run()
+        second, outcome = _mixed_cycle_run(history=first.history)
+        assert outcome == {"task": "ok", "thread": "ok"}
+        assert len(second.detections) == 0
+        assert second.stats.yields >= 1
+
+    def test_cross_lock_requires_shared_engine(self):
+        runtime = make_runtime()
+        foreign = make_aio_runtime()
+        with pytest.raises(ValueError, match="shared engine"):
+            CrossDomainLock(runtime, foreign, "bad")
+
+    def test_joining_an_engine_requires_its_glock(self):
+        """core= without the host adapter's lock would un-serialize the
+        engine; the constructor refuses and points at attached()."""
+        runtime = make_runtime()
+        with pytest.raises(ValueError, match="attached"):
+            AsyncioDimmunixRuntime(core=runtime.core)
+
+
+class TestFacadeIntegration:
+    def test_session_aio_layer_round_trip(self):
+        events = []
+        with repro.immunity(
+            detection_policy=DetectionPolicy.RAISE,
+            yield_timeout=1.0,
+            name="aio-session",
+        ) as session:
+            session.subscribe(
+                lambda event: events.append((event.source, event.kind))
+            )
+            outcome = asyncio.run(run_opposite_order_pair(session.aio()))
+            assert outcome.deadlocks_detected == 1
+            assert len(session.history) == 1
+            # Layer-6 events are tagged with the session's aio source.
+            assert {source for source, _ in events} == {"aio-session/aio"}
+            assert session.stats.tasks_registered == 2
+            assert "aio-session/aio" in session.components
+
+    def test_cross_layer_immunity_thread_history_heals_tasks(self):
+        """A signature detected by *threads* immunizes the aio layer.
+
+        Both layers run the same program positions (the shared scenario
+        helper), so the history recorded under one adapter steers the
+        other — the platform-wide property across domains.
+        """
+        first = make_aio_runtime()
+        asyncio.run(run_opposite_order_pair(first))
+
+        second = make_aio_runtime(history=first.history)
+        outcome = asyncio.run(run_opposite_order_pair(second))
+        assert outcome.deadlocks_detected == 0
+
+    def test_facade_cross_lock(self):
+        with repro.immunity(
+            detection_policy=DetectionPolicy.RAISE,
+            yield_timeout=1.0,
+            name="xd-session",
+        ) as session:
+            xlock = session.cross_lock("shared-resource")
+
+            async def use_from_task():
+                async with xlock:
+                    await asyncio.sleep(0)
+
+            with xlock:
+                pass
+            asyncio.run(use_from_task())
+            assert session.runtime().stats.acquisitions == 2

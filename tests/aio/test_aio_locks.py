@@ -1,0 +1,219 @@
+"""Semantics of the immunized asyncio lock types."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.aio.locks import AioDimmunixLock, AioDimmunixRLock
+from repro.config import DimmunixConfig
+from repro.aio.runtime import AsyncioDimmunixRuntime
+
+
+class TestAioLockBasics:
+    def test_acquire_release(self, aio_runtime):
+        async def scenario():
+            lock = aio_runtime.lock("basic")
+            assert not lock.locked()
+            assert await lock.acquire()
+            assert lock.locked()
+            lock.release()
+            assert not lock.locked()
+
+        asyncio.run(scenario())
+
+    def test_async_context_manager(self, aio_runtime):
+        async def scenario():
+            lock = aio_runtime.lock("ctx")
+            async with lock:
+                assert lock.locked()
+            assert not lock.locked()
+
+        asyncio.run(scenario())
+
+    def test_contended_acquire_waits(self, aio_runtime):
+        """A second task suspends until the first releases."""
+
+        async def scenario():
+            lock = aio_runtime.lock("contended")
+            order = []
+
+            async def holder():
+                async with lock:
+                    order.append("held")
+                    await asyncio.sleep(0.01)
+                order.append("released")
+
+            async def waiter():
+                await asyncio.sleep(0.001)
+                async with lock:
+                    order.append("second")
+
+            await asyncio.gather(holder(), waiter())
+            assert order == ["held", "released", "second"]
+
+        asyncio.run(scenario())
+
+    def test_try_lock_reports_would_block(self, aio_runtime):
+        async def scenario():
+            lock = aio_runtime.lock("try")
+
+            async def holder(started: asyncio.Event, release: asyncio.Event):
+                async with lock:
+                    started.set()
+                    await release.wait()
+
+            started, release = asyncio.Event(), asyncio.Event()
+            task = asyncio.ensure_future(holder(started, release))
+            await started.wait()
+            assert await lock.acquire(blocking=False) is False
+            release.set()
+            await task
+            assert await lock.acquire(blocking=False) is True
+            lock.release()
+
+        asyncio.run(scenario())
+
+    def test_requires_task_context(self, aio_runtime):
+        """Driving the coroutine outside a loop/task is rejected."""
+        lock = aio_runtime.lock("no-task")
+        coroutine = _bare_acquire(lock)
+        with pytest.raises(RuntimeError):
+            coroutine.send(None)
+        coroutine.close()
+
+    def test_disabled_config_passes_through(self):
+        runtime = AsyncioDimmunixRuntime(
+            DimmunixConfig.disabled(), name="aio-disabled"
+        )
+
+        async def scenario():
+            lock = runtime.lock("plain")
+            assert lock.node is None
+            async with lock:
+                assert lock.locked()
+
+        asyncio.run(scenario())
+        assert runtime.stats.requests == 0
+
+    def test_two_event_loops_rebind_cleanly(self, aio_runtime):
+        """A fresh asyncio.run must not inherit stale loop state."""
+
+        async def use_lock():
+            async with aio_runtime.lock("across-loops"):
+                await asyncio.sleep(0)
+
+        asyncio.run(use_lock())
+        first_tasks = aio_runtime.stats.tasks_registered
+        asyncio.run(use_lock())
+        assert aio_runtime.stats.tasks_registered == first_tasks + 1
+        snap = aio_runtime.core.snapshot()
+        assert snap.blocked == 0
+        assert snap.yielding == 0
+
+
+async def _bare_acquire(lock):
+    # Driven by hand (coroutine.send) — no loop, no task; the adapter
+    # must reject this explicitly instead of corrupting its node maps.
+    await lock.acquire()
+
+
+class TestAioRLock:
+    def test_reentrant_acquire(self, aio_runtime):
+        async def scenario():
+            rlock = aio_runtime.rlock("re")
+            async with rlock:
+                async with rlock:
+                    assert rlock.locked()
+                assert rlock.locked()
+            assert not rlock.locked()
+
+        asyncio.run(scenario())
+
+    def test_recursive_pairs_skip_engine(self, aio_runtime):
+        async def scenario():
+            rlock = aio_runtime.rlock("skip")
+            async with rlock:
+                before = aio_runtime.stats.requests
+                async with rlock:
+                    pass
+                assert aio_runtime.stats.requests == before
+
+        asyncio.run(scenario())
+
+    def test_release_by_non_owner_raises(self, aio_runtime):
+        async def scenario():
+            rlock = aio_runtime.rlock("owner")
+
+            async def other():
+                with pytest.raises(RuntimeError):
+                    rlock.release()
+
+            async with rlock:
+                await asyncio.ensure_future(other())
+
+        asyncio.run(scenario())
+
+
+class TestEngineBookkeeping:
+    def test_requests_match_acquisitions(self, aio_runtime):
+        async def scenario():
+            lock = aio_runtime.lock("counted")
+            for _ in range(5):
+                async with lock:
+                    pass
+
+        asyncio.run(scenario())
+        assert aio_runtime.stats.requests == 5
+        assert aio_runtime.stats.acquisitions == 5
+        assert aio_runtime.stats.releases == 5
+
+    def test_cross_task_release_charges_the_holder(self, aio_runtime):
+        """Acquire in task A, release in task B — a legal asyncio.Lock
+        handoff. The engine must charge the release to the holder's
+        node, or A keeps a phantom hold edge that later produces
+        spurious detections."""
+
+        async def scenario():
+            lock = aio_runtime.lock("handoff")
+            handed_off = asyncio.Event()
+
+            async def acquirer():
+                await lock.acquire()
+                handed_off.set()
+
+            async def releaser():
+                await handed_off.wait()
+                lock.release()
+
+            await asyncio.gather(acquirer(), releaser())
+            assert not lock.locked()
+            # The hold edge is gone: the node-level RAG shows no owner.
+            assert lock.node.owner is None
+            # And the lock stays fully usable afterwards.
+            async with lock:
+                pass
+
+        asyncio.run(scenario())
+        assert len(aio_runtime.detections) == 0
+
+    def test_task_exit_cleans_rag(self, aio_runtime):
+        """A task that dies holding a lock must not pin RAG state."""
+
+        async def scenario():
+            lock = aio_runtime.lock("leaky")
+
+            async def crasher():
+                await lock.acquire()
+                raise RuntimeError("died holding the lock")
+
+            task = asyncio.ensure_future(crasher())
+            with pytest.raises(RuntimeError, match="died"):
+                await task
+            # The done callback ran thread_exit: no held edges remain.
+            await asyncio.sleep(0)
+
+        asyncio.run(scenario())
+        assert aio_runtime.core.snapshot().blocked == 0
+        assert aio_runtime.adapter.registered_tasks == 0

@@ -1,0 +1,190 @@
+"""Cross-adapter parity: the aio layer behaves like the thread layer.
+
+One scenario — the AB/BA opposite-order pair with a pinned interleaving —
+runs on the threaded runtime and on the aio layer. The two domains must
+produce *equivalent* results, kind-for-kind:
+
+* run 1 detects exactly one deadlock and records one two-entry signature
+  in both domains;
+* run 2 completes on avoidance alone (zero detections, one yield) in
+  both domains;
+* the typed event streams carry the same kind sequence, event for event.
+
+The threaded side pins the interleaving with sleeps, the aio side gets
+the same order for free from cooperative scheduling; both sides follow
+the same schedule: AB takes A, BA takes B, AB requests B (blocks), BA
+requests A (closes the cycle / parks on the antibody).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+from repro.errors import DeadlockDetectedError
+from tests.aio.conftest import make_aio_runtime
+from tests.conftest import make_runtime
+
+LIFECYCLE_KINDS = (
+    "request",
+    "acquired",
+    "release",
+    "yield",
+    "resume",
+    "detection",
+)
+
+
+def _collect_kinds(runtime) -> list:
+    kinds: list[str] = []
+    runtime.subscribe(
+        lambda event: kinds.append(event.kind), kinds=LIFECYCLE_KINDS
+    )
+    return kinds
+
+
+# ----------------------------------------------------------------------
+# the two scripted domains
+# ----------------------------------------------------------------------
+
+def _run_threaded_pair(runtime) -> dict:
+    lock_a = runtime.lock("A")
+    lock_b = runtime.lock("B")
+    outcome = {"finished": [], "detected": 0}
+
+    def ab() -> None:
+        try:
+            with lock_a:
+                time.sleep(0.05)
+                with lock_b:
+                    outcome["finished"].append("ab")
+        except DeadlockDetectedError:
+            outcome["detected"] += 1
+
+    def ba() -> None:
+        try:
+            time.sleep(0.02)
+            with lock_b:
+                time.sleep(0.06)
+                with lock_a:
+                    outcome["finished"].append("ba")
+        except DeadlockDetectedError:
+            outcome["detected"] += 1
+
+    threads = [
+        threading.Thread(target=ab, name="pair-ab"),
+        threading.Thread(target=ba, name="pair-ba"),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(10)
+    assert all(not thread.is_alive() for thread in threads)
+    return outcome
+
+
+def _run_aio_pair(runtime) -> dict:
+    lock_a = runtime.lock("A")
+    lock_b = runtime.lock("B")
+    outcome = {"finished": [], "detected": 0}
+
+    async def ab() -> None:
+        try:
+            async with lock_a:
+                await asyncio.sleep(0)
+                async with lock_b:
+                    outcome["finished"].append("ab")
+        except DeadlockDetectedError:
+            outcome["detected"] += 1
+
+    async def ba() -> None:
+        try:
+            async with lock_b:
+                await asyncio.sleep(0)
+                async with lock_a:
+                    outcome["finished"].append("ba")
+        except DeadlockDetectedError:
+            outcome["detected"] += 1
+
+    async def drive() -> None:
+        await asyncio.gather(
+            asyncio.ensure_future(ab()), asyncio.ensure_future(ba())
+        )
+
+    asyncio.run(drive())
+    return outcome
+
+
+def _signature_shape(signature) -> tuple:
+    return (
+        signature.kind,
+        len(signature.entries),
+        tuple(
+            (len(entry.outer), len(entry.inner))
+            for entry in signature.entries
+        ),
+    )
+
+
+class TestCrossAdapterParity:
+    def test_pair_scenario_parity(self):
+        # --- threaded domain ------------------------------------------
+        threaded_one = make_runtime()
+        threaded_kinds_one = _collect_kinds(threaded_one)
+        outcome_t1 = _run_threaded_pair(threaded_one)
+
+        threaded_two = make_runtime(history=threaded_one.history)
+        threaded_kinds_two = _collect_kinds(threaded_two)
+        outcome_t2 = _run_threaded_pair(threaded_two)
+
+        # --- aio domain ------------------------------------------------
+        aio_one = make_aio_runtime()
+        aio_kinds_one = _collect_kinds(aio_one)
+        outcome_a1 = _run_aio_pair(aio_one)
+
+        aio_two = make_aio_runtime(history=aio_one.history)
+        aio_kinds_two = _collect_kinds(aio_two)
+        outcome_a2 = _run_aio_pair(aio_two)
+
+        # --- verdict parity -------------------------------------------
+        assert outcome_t1["detected"] == outcome_a1["detected"] == 1
+        assert outcome_t1["finished"] == outcome_a1["finished"] == ["ab"]
+        assert outcome_t2["detected"] == outcome_a2["detected"] == 0
+        assert (
+            sorted(outcome_t2["finished"])
+            == sorted(outcome_a2["finished"])
+            == ["ab", "ba"]
+        )
+
+        # --- signature parity -----------------------------------------
+        assert len(threaded_one.history) == len(aio_one.history) == 1
+        threaded_sig = next(iter(threaded_one.history))
+        aio_sig = next(iter(aio_one.history))
+        assert _signature_shape(threaded_sig) == _signature_shape(aio_sig)
+
+        # --- stats parity ---------------------------------------------
+        assert threaded_one.stats.deadlocks_detected == 1
+        assert aio_one.stats.deadlocks_detected == 1
+        assert threaded_two.stats.yields == aio_two.stats.yields == 1
+        assert (
+            threaded_two.stats.yield_wakeups
+            == aio_two.stats.yield_wakeups
+            >= 1
+        )
+
+        # --- event-stream parity (kind for kind) ----------------------
+        assert threaded_kinds_one == aio_kinds_one
+        assert threaded_kinds_two == aio_kinds_two
+
+    def test_histories_are_interchangeable_in_shape(self):
+        """Both domains' antibodies deduplicate against each other when
+        the program positions coincide (one shared scenario module)."""
+        from repro.aio.scenarios import run_opposite_order_pair
+
+        first = make_aio_runtime()
+        asyncio.run(run_opposite_order_pair(first))
+        second = make_aio_runtime(history=first.history)
+        asyncio.run(run_opposite_order_pair(second))
+        # Re-running with the shared history adds nothing new.
+        assert len(second.history) == 1

@@ -1,0 +1,126 @@
+"""The opt-in asyncio patch: process-wide immunity for asyncio.Lock."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.aio import patch
+from repro.aio.locks import AioDimmunixLock
+from repro.aio.condition import AioDimmunixCondition
+from repro.errors import DeadlockDetectedError
+from tests.aio.conftest import make_aio_runtime
+
+
+class TestPatchMechanics:
+    def test_install_uninstall_round_trip(self):
+        original_lock = asyncio.Lock
+        original_condition = asyncio.Condition
+        runtime = make_aio_runtime()
+        try:
+            patch.install(runtime)
+            assert patch.is_installed()
+            assert patch.installed_runtime() is runtime
+            assert isinstance(asyncio.Lock(), AioDimmunixLock)
+            assert isinstance(asyncio.Condition(), AioDimmunixCondition)
+            assert isinstance(asyncio.locks.Lock(), AioDimmunixLock)
+        finally:
+            patch.uninstall()
+        assert asyncio.Lock is original_lock
+        assert asyncio.Condition is original_condition
+        assert not patch.is_installed()
+
+    def test_patched_names_are_classes(self):
+        """isinstance() and subclassing keep working under the patch —
+        asyncio.Lock is a real class in the stdlib, so the patched name
+        must be one too (unlike the threading patch, whose stdlib
+        counterpart is already a factory function)."""
+        runtime = make_aio_runtime()
+        with patch.immunized(runtime):
+            lock = asyncio.Lock()
+            assert isinstance(lock, asyncio.Lock)
+            assert isinstance(asyncio.Condition(), asyncio.Condition)
+
+            class AppLock(asyncio.Lock):
+                pass
+
+            assert isinstance(AppLock(), AioDimmunixLock)
+
+    def test_immunized_context_manager_restores(self):
+        original_lock = asyncio.Lock
+        runtime = make_aio_runtime()
+        with patch.immunized(runtime) as active:
+            assert active is runtime
+            assert asyncio.Lock is not original_lock
+        assert asyncio.Lock is original_lock
+
+    def test_internals_do_not_recurse(self):
+        """Immunized wrappers keep working while the patch is active."""
+        runtime = make_aio_runtime()
+
+        async def scenario():
+            lock = asyncio.Lock()  # patched: an AioDimmunixLock
+            async with lock:
+                assert lock.locked()
+
+        with patch.immunized(runtime):
+            asyncio.run(scenario())
+        assert runtime.stats.acquisitions == 1
+
+
+class TestPatchedDeadlock:
+    def test_plain_asyncio_code_gets_immunity(self):
+        """Unmodified asyncio.Lock code: deadlock detected, then avoided."""
+
+        def pair_via_stdlib_names(runtime):
+            outcome = {"finished": [], "detected": 0}
+
+            async def drive():
+                lock_a = asyncio.Lock()
+                lock_b = asyncio.Lock()
+
+                async def ab():
+                    try:
+                        async with lock_a:
+                            await asyncio.sleep(0)
+                            async with lock_b:
+                                outcome["finished"].append("ab")
+                    except DeadlockDetectedError:
+                        outcome["detected"] += 1
+
+                async def ba():
+                    try:
+                        async with lock_b:
+                            await asyncio.sleep(0)
+                            async with lock_a:
+                                outcome["finished"].append("ba")
+                    except DeadlockDetectedError:
+                        outcome["detected"] += 1
+
+                await asyncio.gather(
+                    asyncio.ensure_future(ab()), asyncio.ensure_future(ba())
+                )
+
+            with patch.immunized(runtime):
+                asyncio.run(drive())
+            return outcome
+
+        first_runtime = make_aio_runtime()
+        first = pair_via_stdlib_names(first_runtime)
+        assert first["detected"] == 1
+        assert len(first_runtime.history) == 1
+
+        second_runtime = make_aio_runtime(history=first_runtime.history)
+        second = pair_via_stdlib_names(second_runtime)
+        assert second["detected"] == 0
+        assert sorted(second["finished"]) == ["ab", "ba"]
+        assert second_runtime.stats.yields >= 1
+
+    def test_default_runtime_binding(self):
+        """install() without a runtime binds the process default."""
+        from repro.aio.runtime import get_aio_runtime
+
+        try:
+            active = patch.install()
+            assert active is get_aio_runtime()
+        finally:
+            patch.uninstall()

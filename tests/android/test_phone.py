@@ -1,6 +1,8 @@
 """Phone simulator tests: per-process isolation (Figure 1) and the
 paired Table-1 runs."""
 
+import pytest
+
 from repro.android.apps import CAMERA, TALK, Phase
 from repro.android.phone import PhoneSimulator, run_table1_phone_pair
 from repro.dalvik.zygote import Zygote
@@ -51,6 +53,70 @@ class TestZygoteIsolation:
     def test_vanilla_zygote_forks_without_dimmunix(self):
         zygote = Zygote(VMConfig().vanilla())
         assert zygote.fork("a").core is None
+
+
+class TestZygoteBackendRegistry:
+    """Backends resolve through the store URL registry, not a
+    hard-coded pair — ``mem`` and future schemes work without touching
+    Zygote."""
+
+    def test_every_known_scheme_is_accepted(self, tmp_path):
+        from repro.core.store.url import KNOWN_SCHEMES
+
+        for scheme in KNOWN_SCHEMES:
+            zygote = Zygote(
+                VMConfig(), history_dir=tmp_path, backend=scheme
+            )
+            assert zygote.fork(f"app-{scheme}").core is not None
+
+    def test_unknown_scheme_names_the_registry(self):
+        with pytest.raises(ValueError, match="mem"):
+            Zygote(VMConfig(), backend="carrier-pigeon")
+
+    def test_mem_backend_forks_without_files(self, tmp_path):
+        zygote = Zygote(VMConfig(), history_dir=tmp_path, backend="mem")
+        assert zygote.history_path("com.android.email") is None
+        assert zygote.history_url("com.android.email") == "mem://"
+        process = zygote.fork("com.android.email")
+        assert process.core is not None
+        assert process.core.config.resolved_history_url() == "mem://"
+        assert list(tmp_path.iterdir()) == []
+
+    def test_sqlite_backend_still_maps_paths(self, tmp_path):
+        zygote = Zygote(VMConfig(), history_dir=tmp_path, backend="sqlite")
+        url = zygote.history_url("com.android.email")
+        assert url == f"sqlite://{tmp_path}/com.android.email.history.db"
+
+    def test_jsonl_backend_clears_preset_url(self, tmp_path):
+        """A template config carrying history_url must not crash (or
+        leak its foreign backend into) a jsonl-backed fork."""
+        from repro.config import DimmunixConfig
+
+        preset = VMConfig(
+            dimmunix=DimmunixConfig(history_url="sqlite:///shared.db")
+        )
+        with_dir = Zygote(preset, history_dir=tmp_path, backend="jsonl")
+        config = with_dir.fork("com.android.email").core.config
+        assert config.history_url is None
+        assert config.history_path == tmp_path / "com.android.email.history"
+
+        dirless = Zygote(preset, history_dir=None, backend="jsonl")
+        config = dirless.fork("com.android.email").core.config
+        assert config.resolved_history_url() is None
+
+    def test_dirless_persistent_backend_clears_preset_path(self, tmp_path):
+        """No history_dir + sqlite backend means in-memory — it must not
+        fall through to a history_path preset on the template config."""
+        from repro.config import DimmunixConfig
+
+        preset = VMConfig(
+            dimmunix=DimmunixConfig(history_path=tmp_path / "shared.history")
+        )
+        zygote = Zygote(preset, history_dir=None, backend="sqlite")
+        process = zygote.fork("com.android.email")
+        config = process.core.config
+        assert config.history_path is None
+        assert config.resolved_history_url() is None
 
 
 class TestTable1Pair:

@@ -19,6 +19,7 @@ EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 # script -> a fragment its output must contain on success
 EXPECTATIONS = {
     "quickstart.py": "immunity works",
+    "async_philosophers.py": "dinner 2 needed no detections",
     "notification_deadlock.py": "the phone hung exactly once",
     "dining_philosophers.py": "dinner 2",
     "platform_demo.py": "patch removed",

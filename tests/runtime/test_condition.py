@@ -125,3 +125,237 @@ class TestConditionBasics:
         thread.start()
         thread.join(5)
         assert requests_during_wait == [1]
+
+
+class TestDetectionDuringReacquire:
+    def test_detection_at_reacquisition_propagates_cleanly(self, runtime):
+        """§3.2 under RAISE: an inversion detected at wait()'s monitor
+        reacquisition surfaces as DeadlockDetectedError — the enclosing
+        ``with`` must not mask it by releasing the unheld monitor."""
+        from repro.errors import DeadlockDetectedError
+
+        outer = runtime.lock("outer-L")
+        condition = runtime.condition()
+        outcome = {}
+        monitor_taken = threading.Event()
+
+        def waiter():
+            outer.acquire()
+            try:
+                with condition:
+                    # Release the monitor, park until the timeout, then
+                    # reacquire — closing the cycle with peer.
+                    condition.wait(timeout=0.3)
+            except DeadlockDetectedError:
+                outcome["waiter"] = "detected"
+            finally:
+                outer.release()
+
+        def peer():
+            with condition:
+                monitor_taken.set()
+                with outer:
+                    outcome["peer"] = "ok"
+
+        waiter_thread = threading.Thread(target=waiter, name="inv-waiter")
+        peer_thread = threading.Thread(target=peer, name="inv-peer")
+        waiter_thread.start()
+        time.sleep(0.1)  # waiter is parked in wait(), monitor free
+        peer_thread.start()
+        assert monitor_taken.wait(5)
+        waiter_thread.join(10)
+        peer_thread.join(10)
+        assert not waiter_thread.is_alive() and not peer_thread.is_alive()
+        assert outcome == {"waiter": "detected", "peer": "ok"}
+        assert len(runtime.history) == 1
+
+
+class TestLockSpellingReacquireLoss:
+    def test_with_lock_spelling_also_skips_phantom_release(self, runtime):
+        """The lost-monitor marker lives on the *lock*, so the
+        ``with x:`` + ``Condition(x)`` spelling surfaces the detection
+        too — not a RuntimeError from releasing the unheld monitor."""
+        from repro.errors import DeadlockDetectedError
+
+        outer = runtime.lock("outer-L")
+        monitor = runtime.rlock("monitor-x")
+        condition = runtime.condition(monitor)
+        outcome = {}
+        monitor_taken = threading.Event()
+
+        def waiter():
+            outer.acquire()
+            try:
+                with monitor:  # the lock's own context manager
+                    condition.wait(timeout=0.3)
+            except DeadlockDetectedError:
+                outcome["waiter"] = "detected"
+            finally:
+                outer.release()
+
+        def peer():
+            with monitor:
+                monitor_taken.set()
+                with outer:
+                    outcome["peer"] = "ok"
+
+        waiter_thread = threading.Thread(target=waiter, name="spell-waiter")
+        peer_thread = threading.Thread(target=peer, name="spell-peer")
+        waiter_thread.start()
+        time.sleep(0.1)
+        peer_thread.start()
+        assert monitor_taken.wait(5)
+        waiter_thread.join(10)
+        peer_thread.join(10)
+        assert not waiter_thread.is_alive() and not peer_thread.is_alive()
+        assert outcome == {"waiter": "detected", "peer": "ok"}
+
+
+class TestBreakPolicyReacquireDenial:
+    def test_break_denial_surfaces_instead_of_corrupting(self):
+        """Under BREAK a denied reacquisition cannot return normally
+        (the monitor would be unheld behind wait()'s back): it surfaces
+        as DeadlockDetectedError and the monitor is marked lost."""
+        from repro.config import DetectionPolicy
+        from repro.errors import DeadlockDetectedError
+
+        runtime = make_runtime(detection_policy=DetectionPolicy.BREAK)
+        outer = runtime.lock("outer-L")
+        condition = runtime.condition()
+        outcome = {}
+
+        def waiter():
+            outer.acquire()
+            try:
+                with condition:
+                    condition.wait(timeout=0.3)
+                    outcome["waiter"] = "returned"
+            except DeadlockDetectedError as error:
+                outcome["waiter"] = "denied"
+                assert "reacquisition denied" in str(error)
+            finally:
+                outer.release()
+
+        def peer():
+            with condition:
+                with outer:
+                    outcome["peer"] = "ok"
+
+        waiter_thread = threading.Thread(target=waiter, name="brk-waiter")
+        peer_thread = threading.Thread(target=peer, name="brk-peer")
+        waiter_thread.start()
+        time.sleep(0.1)
+        peer_thread.start()
+        waiter_thread.join(10)
+        peer_thread.join(10)
+        assert not waiter_thread.is_alive() and not peer_thread.is_alive()
+        assert outcome == {"waiter": "denied", "peer": "ok"}
+
+
+class TestLostRestoreMarker:
+    def test_direct_acquire_clears_stale_marker(self, runtime):
+        """A thread recovering from a lost reacquisition by calling
+        acquire() directly must get normal release semantics back —
+        the stale marker must not make a later exit skip a release."""
+        import threading as _threading
+
+        for lock in (runtime.lock("m1"), runtime.rlock("m2")):
+            lock._lost_restore.mark(_threading.get_ident())
+            assert lock.acquire()
+            lock.__exit__(None, None, None)  # must release, not skip
+            assert not lock.locked()
+
+    def test_raw_lock_rejected_as_monitor(self, runtime):
+        import threading as _threading
+
+        with pytest.raises(TypeError, match="immunized monitor"):
+            runtime.condition(_threading.Lock())
+
+    def test_nested_monitor_exits_all_skip_after_lost_reacquire(
+        self, runtime
+    ):
+        """One lost reacquisition must make *every* nested ``with`` exit
+        skip its release — the marker is sticky until the next acquire,
+        or the outer exit raises RuntimeError and masks the detection."""
+        from repro.errors import DeadlockDetectedError
+
+        outer = runtime.lock("outer-L")
+        monitor = runtime.rlock("nested-monitor")
+        condition = runtime.condition(monitor)
+        outcome = {}
+        monitor_taken = threading.Event()
+
+        def waiter():
+            outer.acquire()
+            try:
+                with monitor:
+                    with monitor:  # depth 2: two exits will unwind
+                        condition.wait(timeout=0.3)
+            except DeadlockDetectedError:
+                outcome["waiter"] = "detected"
+            except RuntimeError as error:  # pragma: no cover - regression
+                outcome["waiter"] = f"masked: {error}"
+            finally:
+                outer.release()
+
+        def peer():
+            with monitor:
+                monitor_taken.set()
+                with outer:
+                    outcome["peer"] = "ok"
+
+        waiter_thread = threading.Thread(target=waiter, name="nest-waiter")
+        peer_thread = threading.Thread(target=peer, name="nest-peer")
+        waiter_thread.start()
+        time.sleep(0.1)
+        peer_thread.start()
+        assert monitor_taken.wait(5)
+        waiter_thread.join(10)
+        peer_thread.join(10)
+        assert not waiter_thread.is_alive() and not peer_thread.is_alive()
+        assert outcome == {"waiter": "detected", "peer": "ok"}
+
+
+class TestNegativeTimeoutClamp:
+    """Regression: a non-positive timeout must poll, never park.
+
+    A ``wait_for`` loop computes ``wait_time = deadline - now``; once the
+    deadline slips past, the remainder is negative. Passed raw into
+    ``lock.acquire(True, timeout)`` a ``-1`` means *wait forever* (and
+    other negatives raise), so ``wait`` must clamp to one non-blocking
+    try — CPython's own semantics.
+    """
+
+    def test_negative_timeout_returns_promptly(self, runtime):
+        condition = runtime.condition()
+        with condition:
+            started = time.monotonic()
+            assert condition.wait(timeout=-1) is False
+            assert condition.wait(timeout=-0.5) is False
+            assert condition.wait(timeout=0) is False
+            assert time.monotonic() - started < 1.0
+
+    def test_negative_timeout_consumes_pending_notify(self, runtime):
+        """The poll still observes a notify that already arrived."""
+        condition = runtime.condition()
+        woken = []
+
+        def waiter():
+            with condition:
+                woken.append(condition.wait(timeout=5))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        with condition:
+            condition.notify()
+        thread.join(5)
+        assert woken == [True]
+
+    def test_wait_for_with_expired_deadline(self, runtime):
+        condition = runtime.condition()
+        with condition:
+            assert condition.wait_for(lambda: True, timeout=-5) is True
+            started = time.monotonic()
+            assert condition.wait_for(lambda: False, timeout=-5) is False
+            assert time.monotonic() - started < 1.0
