@@ -31,7 +31,7 @@ Public entry points:
   and ``dimmunix-events`` command-line tools.
 """
 
-from repro.config import DetectionPolicy, DimmunixConfig
+from repro.config import DetectionPolicy, DimmunixConfig, MatchCapPolicy
 from repro.errors import (
     DeadlockDetectedError,
     DimmunixError,
@@ -44,6 +44,7 @@ __all__ = [
     "immunity",
     "DimmunixConfig",
     "DetectionPolicy",
+    "MatchCapPolicy",
     "DimmunixError",
     "DeadlockDetectedError",
     "StarvationDetectedError",

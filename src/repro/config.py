@@ -31,6 +31,44 @@ class InterceptionMode(enum.Enum):
     ALWAYS = "always"
 
 
+class MatchCapPolicy(enum.Enum):
+    """What to do when an instantiation check exhausts its step budget.
+
+    The §2.2 instantiation matcher runs on every ``monitorenter``. Real
+    signatures have 2–3 entries and match in a handful of steps, but the
+    exact search is exponential in signature *length*: an adversarial
+    N-entry signature whose outer positions collapse onto one line can
+    otherwise wedge a request for minutes. ``match_step_budget`` bounds
+    the search; this policy decides what the capped check reports.
+
+    ``GRANT`` preserves exact-search semantics on the capped result: a
+    search that could not *prove* instantiability within the budget is
+    treated as "not instantiable" and the lock is granted. Avoidance may
+    miss an adversarially long signature, but it is never spuriously
+    triggered, and liveness is untouched.
+
+    ``WEAK`` adopts the weak-deadlock-sets relaxation (Oriolo & Russo
+    Russo, arXiv:2410.05175): a capped check falls back to a polynomial
+    over-approximation of instantiability — per-slot queue occupancy
+    plus Hall-style distinct-thread/distinct-lock counting across the
+    signature's slots. If the over-approximation says "instantiable",
+    the thread yields. Avoidance can then over-park (the counting may
+    admit states the exact search would refute), but no recorded
+    deadlock is ever re-entered through a capped check; starvation
+    detection and the yield timeout bound the cost of over-parking.
+    """
+
+    GRANT = "grant"
+    WEAK = "weak"
+
+
+# Default per-check step budget for the instantiation matcher. Generous:
+# real 2–3-entry signatures match (or refute) in tens of steps, so only
+# an adversarial signature shape can approach this — and a capped check
+# still returns in single-digit milliseconds.
+DEFAULT_MATCH_STEP_BUDGET = 100_000
+
+
 class DetectionPolicy(enum.Enum):
     """What to do at the moment a deadlock cycle is detected.
 
@@ -88,6 +126,19 @@ class DimmunixConfig:
             (e.g. a foreign runtime on a separate global lock). Keeps the
             weak-deadlock-sets property that the per-acquisition check
             stays cheap: a poll is one extra ``request`` call.
+        match_step_budget: Per-check step budget for the §2.2
+            instantiation matcher (and for the starvation-relief recheck
+            that runs the same matcher). ``0`` means unbounded — the
+            pre-budget exact-search behaviour. Each step is one queue
+            entry tried by the backtracking search; the VM's cost model
+            charges ``match_step_cost`` per step, so the budget also
+            bounds the virtual-time cost of one check.
+        match_cap_policy: What a check that exhausts the budget reports;
+            see :class:`MatchCapPolicy`. Accepts the enum or its string
+            value (``"grant"`` / ``"weak"``). Every cap is surfaced as a
+            :class:`~repro.core.events.MatchCappedEvent` and counted in
+            ``stats.match_caps`` (plus ``stats.weak_fallbacks`` under
+            ``WEAK``).
         static_ids: Use caller-provided static synchronization-site ids
             instead of walking the Python stack (the compiler-assisted
             optimization sketched in §4; ablation A2).
@@ -105,6 +156,8 @@ class DimmunixConfig:
     starvation_detection: bool = True
     yield_timeout: float | None = 2.0
     aio_yield_poll: float | None = None
+    match_step_budget: int = DEFAULT_MATCH_STEP_BUDGET
+    match_cap_policy: MatchCapPolicy = MatchCapPolicy.GRANT
     static_ids: bool = False
     max_signatures: int = 4096
     enabled: bool = True
@@ -124,6 +177,18 @@ class DimmunixConfig:
         if self.aio_yield_poll is not None and self.aio_yield_poll <= 0:
             raise ValueError(
                 f"aio_yield_poll must be positive or None, got {self.aio_yield_poll}"
+            )
+        if self.match_step_budget < 0:
+            raise ValueError(
+                "match_step_budget must be >= 0 (0 = unbounded), got "
+                f"{self.match_step_budget}"
+            )
+        if not isinstance(self.match_cap_policy, MatchCapPolicy):
+            # Operator-facing coercion: the policy travels through DSN-ish
+            # config surfaces (immunity(match_cap_policy="weak"), CLIs) as
+            # a plain string; a typo fails here, at configuration time.
+            object.__setattr__(
+                self, "match_cap_policy", MatchCapPolicy(self.match_cap_policy)
             )
         if self.history_url is not None:
             if self.history_path is not None:

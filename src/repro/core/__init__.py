@@ -36,6 +36,7 @@ from repro.core.events import (
     EventLog,
     HistorySavedEvent,
     JsonlWriter,
+    MatchCappedEvent,
     ReleaseEvent,
     RequestEvent,
     ResumeEvent,
@@ -119,6 +120,7 @@ __all__ = [
     "ResumeEvent",
     "DetectionEvent",
     "StarvationEvent",
+    "MatchCappedEvent",
     "HistorySavedEvent",
     "EventBus",
     "Subscription",

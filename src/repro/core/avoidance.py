@@ -1,4 +1,4 @@
-"""Signature instantiation checking — the heart of avoidance.
+"""Signature instantiation checking — the budgeted heart of avoidance.
 
 Per §2.2, a signature with outer call stacks ``CS1..CSn`` is *instantiable*
 when there exist threads ``t1..tn`` that hold, or are allowed to wait for,
@@ -10,15 +10,55 @@ The position queues (:mod:`repro.core.position`) record exactly the
 "holds or is allowed to wait for" relation, so instantiation checking is a
 small constrained matching problem: assign to each outer position of the
 signature one queue entry such that all chosen threads and locks are
-distinct. Signatures almost always have 2 entries (two-thread deadlocks),
-so the backtracking search below is effectively constant-time; positions
-are tried in increasing queue-length order to fail fast.
+distinct. Signatures almost always have 2 entries (two-thread deadlocks)
+and the check then costs a handful of steps — but the check runs on
+*every* ``monitorenter``, and the exact search is exponential in signature
+*length*: a single N-entry cycle signature (N ≥ ~10) whose outer positions
+collapse onto one line used to wedge a request for minutes (the A7
+fan-out work exposed this; ``benchmarks/bench_a8_matcher.py`` reproduces
+it). A production platform must bound the search before an adversarial
+history shape can stall the engine.
+
+The matcher therefore works in three layers:
+
+1. **Structural pruning** keeps real workloads far from any limit.
+   Signature entries sharing an outer position key are *grouped*: k
+   entries on one line need k pairwise-distinct occupants of one queue,
+   chosen as a combination (monotone indices) rather than a permutation —
+   this alone removes a factorial from the collapsed-position case.
+   Groups are searched scarcest-first (fewest spare candidates per needed
+   slot, then shortest queue), and the search short-circuits whenever the
+   union of candidate threads or candidate locks across the remaining
+   groups is smaller than the slots left to fill (a Hall-style counting
+   bound, precomputed per suffix of the group order).
+
+2. **A per-check step budget** (``DimmunixConfig.match_step_budget``;
+   ``0`` = unbounded) is enforced inside the backtracking loop. One step
+   is one queue entry tried. A capped check bumps ``stats.match_caps``
+   and reports through :attr:`InstantiationChecker.last_capped` /
+   :attr:`~InstantiationChecker.last_steps` so the engine can publish a
+   ``MatchCappedEvent``.
+
+3. **A cap policy** decides what a capped check answers
+   (:class:`~repro.config.MatchCapPolicy`). ``GRANT`` keeps exact-search
+   semantics: a search that could not *prove* instantiability within the
+   budget reports "not instantiable" and the lock is granted. ``WEAK``
+   adopts the weak-deadlock-sets relaxation (arXiv:2410.05175): the
+   polynomial over-approximation — per-slot queue occupancy plus the
+   distinct-thread/distinct-lock counting of layer 1 — stands in for the
+   exact answer. Those counting conditions are *necessary* for
+   instantiability and the exact search only starts once they hold, so a
+   capped check under ``WEAK`` reports "instantiable" with a
+   conservative witness pool; the §2.2 guarantee (a recorded deadlock is
+   never re-entered) survives the cap, at the price of possibly parking
+   a thread the exact search would have cleared.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.config import DEFAULT_MATCH_STEP_BUDGET, MatchCapPolicy
 from repro.core.node import LockNode, ThreadNode
 from repro.core.position import PositionTable
 from repro.core.signature import DeadlockSignature
@@ -27,14 +67,57 @@ from repro.core.stats import DimmunixStats
 Assignment = tuple[tuple[ThreadNode, LockNode], ...]
 
 
+class _BudgetExhausted(Exception):
+    """Internal unwind signal: the step budget ran out mid-search."""
+
+
 class InstantiationChecker:
-    """Matches history signatures against the current position queues."""
+    """Matches history signatures against the current position queues.
 
-    __slots__ = ("_positions", "_stats")
+    One checker serves one engine; ``budget`` and ``policy`` come from the
+    engine's :class:`~repro.config.DimmunixConfig`. ``last_capped`` is
+    valid after every :meth:`would_instantiate` call; ``last_steps`` and
+    ``last_weak_fallback`` are meaningful only while it is ``True`` (an
+    early counting refute leaves them at the previous check's values).
+    The engine reads these to emit ``MatchCappedEvent`` without the
+    checker needing a reference to the event bus.
+    """
 
-    def __init__(self, positions: PositionTable, stats: DimmunixStats) -> None:
+    __slots__ = (
+        "_positions",
+        "_stats",
+        "_budget",
+        "_policy",
+        "last_capped",
+        "last_steps",
+        "last_weak_fallback",
+    )
+
+    def __init__(
+        self,
+        positions: PositionTable,
+        stats: DimmunixStats,
+        *,
+        budget: int = DEFAULT_MATCH_STEP_BUDGET,
+        policy: MatchCapPolicy = MatchCapPolicy.GRANT,
+    ) -> None:
         self._positions = positions
         self._stats = stats
+        self._budget = budget
+        self._policy = MatchCapPolicy(policy)
+        self.last_capped = False
+        self.last_steps = 0
+        self.last_weak_fallback = False
+
+    @property
+    def budget(self) -> int:
+        """The per-check step budget (0 = unbounded); diagnostics."""
+        return self._budget
+
+    @property
+    def policy(self) -> MatchCapPolicy:
+        """The configured cap policy; diagnostics."""
+        return self._policy
 
     def would_instantiate(
         self, signature: DeadlockSignature
@@ -45,50 +128,308 @@ class InstantiationChecker:
         inserting the requester into its position queue, so a non-``None``
         result means granting the request could let the recorded deadlock
         re-form. The returned assignment lists one (thread, lock) pair per
-        signature entry, in entry order.
+        signature entry, in entry order — except on the ``WEAK`` capped
+        path, where it is the deduplicated pool of *candidate* occupants
+        (a superset of any exact witness set, so the starvation detector
+        sees at least the wait-for edges an exact answer would install).
+
+        A ``None`` from a capped check under ``GRANT`` means "not proven
+        instantiable within the budget", not "refuted"; callers that care
+        can distinguish via :attr:`last_capped`.
         """
         self._stats.instantiation_checks += 1
-        # Fast fail before any allocation: every outer position must have
-        # a non-empty queue for an instantiation to exist. This is the
-        # common exit when the history holds many signatures whose other
-        # positions are idle (§5's synthetic-signature scenario). Direct
-        # dict probes — this loop runs 10s of times per monitorenter when
-        # the history is large.
-        by_key = self._positions._by_key
-        keys = signature.outer_position_keys()
-        queues = []
-        for key in keys:
-            position = by_key.get(key)
-            if position is None or position.queue._size == 0:
-                return None
-            queues.append(position.queue)
+        # Only the cap flag must be cleared on every path — the engine
+        # reads it unconditionally after each call; steps and the weak
+        # flag are only consulted when it is set, and are (re)written
+        # wherever it is.
+        self.last_capped = False
 
-        # Order positions by queue length so sparse positions prune first,
-        # but remember the original slot of each so the witness assignment
-        # comes back in signature-entry order.
-        order = sorted(range(len(queues)), key=lambda i: len(queues[i]))
-        chosen: list[Optional[tuple[ThreadNode, LockNode]]] = [None] * len(queues)
+        # Guard + group pass, allocation-light: every outer position must
+        # have a sufficiently occupied queue for an instantiation to
+        # exist. This is the common exit when the history holds many
+        # signatures whose other positions are idle (§5's
+        # synthetic-signature scenario) — the probe runs 10s of times per
+        # monitorenter when the history is large, hence the pre-bound
+        # table accessor and the linear (hash-free) duplicate scan over
+        # the 2–3 keys a real signature has.
+        lookup = self._positions.lookup
+        keys = signature.outer_position_keys()
+        collapsed = signature.outer_collapsed
+        group_slots: list = []
+        group_queues: list = []
+        if not collapsed:
+            # The common shape (2–3 distinct positions): one singleton
+            # group per key, represented by its slot index alone.
+            slot = 0
+            for key in keys:
+                position = lookup(key)
+                if position is None or position.queue.size == 0:
+                    return None
+                group_slots.append(slot)
+                group_queues.append(position.queue)
+                slot += 1
+        else:
+            group_keys: list = []
+            for slot, key in enumerate(keys):
+                for gi, seen_key in enumerate(group_keys):
+                    if seen_key == key:
+                        group_slots[gi].append(slot)
+                        break
+                else:
+                    position = lookup(key)
+                    if position is None:
+                        return None
+                    queue = position.queue
+                    if queue.size == 0:
+                        return None
+                    group_keys.append(key)
+                    group_slots.append([slot])
+                    group_queues.append(queue)
+            # A group of k collapsed slots needs k distinct occupants of
+            # one queue — fewer entries than slots refutes immediately.
+            for gi, slots in enumerate(group_slots):
+                if group_queues[gi].size < len(slots):
+                    return None
+        group_sizes = [queue.size for queue in group_queues]
+
+        total_slots = len(keys)
+        group_count = len(group_slots)
+        # The Hall-style counting precheck runs only for the shapes that
+        # can explode — collapsed positions or 4+ entries. A refutation
+        # here is *exact* (the conditions are necessary): some group
+        # lacks enough distinct threads/locks, or some suffix of groups
+        # needs more slots than its candidate unions cover — and it is
+        # what keeps long signatures from ever starting a doomed
+        # exponential search. Real 2–3-entry signatures skip it (the
+        # exact search settles them in a handful of steps); if one of
+        # those ever caps anyway, the WEAK handler below computes the
+        # bound then, off the hot path.
+        counting_checked = collapsed or total_slots > 3
+        if counting_checked and not _counting_feasible(
+            [1] * group_count if not collapsed
+            else [len(slots) for slots in group_slots],
+            group_queues,
+        ):
+            return None
+
+        # Scarcest group first: fewest spare candidates per needed slot,
+        # then shortest queue — sparse positions prune the search before
+        # the busy ones fan it out. The common shape (two singleton
+        # groups) orders with one comparison instead of a sort.
+        if group_count == 2 and not collapsed:
+            if group_sizes[0] > group_sizes[1]:
+                group_slots.reverse()
+                group_queues.reverse()
+        elif group_count > 1:
+            if collapsed:
+                order = sorted(
+                    range(group_count),
+                    key=lambda i: (
+                        group_sizes[i] - len(group_slots[i]),
+                        group_sizes[i],
+                    ),
+                )
+            else:
+                order = sorted(
+                    range(group_count), key=lambda i: group_sizes[i]
+                )
+            group_slots = [group_slots[i] for i in order]
+            group_queues = [group_queues[i] for i in order]
+
+        # Snapshots only where the search needs indexed access: a group
+        # of k > 1 collapsed slots is filled by *combinations* (monotone
+        # indices — collapsed slots are symmetric, so permuting the same
+        # entries is wasted work). Singleton groups iterate their queue
+        # lazily, so the common 2-entry signature allocates nothing here.
+        snapshots: Optional[list] = (
+            [
+                list(queue.entries()) if len(slots) > 1 else None
+                for slots, queue in zip(group_slots, group_queues)
+            ]
+            if collapsed
+            else None
+        )
+
+        chosen: list[Optional[tuple[ThreadNode, LockNode]]] = (
+            [None] * total_slots
+        )
         used_threads: set[int] = set()
         used_locks: set[int] = set()
+        stats = self._stats
+        budget = self._budget
+        steps = 0
 
-        def backtrack(rank: int) -> bool:
-            if rank == len(order):
+        def fill(gi: int) -> bool:
+            nonlocal steps
+            if gi == group_count:
                 return True
-            slot = order[rank]
-            for thread, lock in queues[slot].entries():
-                self._stats.matching_steps += 1
-                if thread.node_id in used_threads or lock.node_id in used_locks:
+            if collapsed:
+                slots = group_slots[gi]
+                if len(slots) > 1:
+                    return fill_combo(gi, len(slots), 0)
+                slot = slots[0]
+            else:
+                slot = group_slots[gi]
+            for thread, lock in group_queues[gi].entries():
+                steps += 1
+                stats.matching_steps += 1
+                if budget and steps > budget:
+                    raise _BudgetExhausted
+                thread_id = thread.node_id
+                lock_id = lock.node_id
+                if thread_id in used_threads or lock_id in used_locks:
                     continue
                 chosen[slot] = (thread, lock)
-                used_threads.add(thread.node_id)
-                used_locks.add(lock.node_id)
-                if backtrack(rank + 1):
+                used_threads.add(thread_id)
+                used_locks.add(lock_id)
+                if fill(gi + 1):
                     return True
-                used_threads.discard(thread.node_id)
-                used_locks.discard(lock.node_id)
-                chosen[slot] = None
+                used_threads.discard(thread_id)
+                used_locks.discard(lock_id)
             return False
 
-        if backtrack(0):
+        def fill_combo(gi: int, need: int, start: int) -> bool:
+            nonlocal steps
+            if need == 0:
+                return fill(gi + 1)
+            slots = group_slots[gi]
+            candidates = snapshots[gi]
+            # Monotone indices; once fewer entries remain than picks
+            # needed, the whole branch fails.
+            for index in range(start, len(candidates) - need + 1):
+                steps += 1
+                stats.matching_steps += 1
+                if budget and steps > budget:
+                    raise _BudgetExhausted
+                thread, lock = candidates[index]
+                thread_id = thread.node_id
+                lock_id = lock.node_id
+                if thread_id in used_threads or lock_id in used_locks:
+                    continue
+                chosen[slots[len(slots) - need]] = (thread, lock)
+                used_threads.add(thread_id)
+                used_locks.add(lock_id)
+                if fill_combo(gi, need - 1, index + 1):
+                    return True
+                used_threads.discard(thread_id)
+                used_locks.discard(lock_id)
+            return False
+
+        try:
+            found = fill(0)
+        except _BudgetExhausted:
+            self.last_capped = True
+            self.last_steps = steps
+            self.last_weak_fallback = False
+            stats.match_caps += 1
+            if self._policy is MatchCapPolicy.GRANT:
+                return None
+            # WEAK: answer through the polynomial over-approximation.
+            # Explosive shapes prechecked it above (their search does not
+            # start otherwise), so their capped verdict is "instantiable";
+            # a capped short signature (possible only over very deep
+            # queues) computes it now, off the hot path.
+            if not counting_checked and not _counting_feasible(
+                [1] * group_count if not collapsed
+                else [len(slots) for slots in group_slots],
+                group_queues,
+            ):
+                return None
+            stats.weak_fallbacks += 1
+            self.last_weak_fallback = True
+            # The witness pool is every candidate occupant, deduplicated:
+            # a superset of any exact witness set, so yield edges built
+            # from it make starvation detection at least as sensitive.
+            seen: set[tuple[int, int]] = set()
+            pool: list[tuple[ThreadNode, LockNode]] = []
+            for queue in group_queues:
+                for thread, lock in queue.entries():
+                    pair = (thread.node_id, lock.node_id)
+                    if pair not in seen:
+                        seen.add(pair)
+                        pool.append((thread, lock))
+            return tuple(pool)
+
+        self.last_steps = steps
+        if found:
             return tuple(entry for entry in chosen if entry is not None)
         return None
+
+    def weak_instantiable(self, signature: DeadlockSignature) -> bool:
+        """The WEAK relaxation's polynomial over-approximation, standalone.
+
+        True whenever the counting conditions hold: every outer position's
+        queue has at least as many occupants — with as many distinct
+        threads and distinct locks — as the signature has entries there,
+        and no suffix of groups needs more slots than its candidate
+        thread/lock unions can cover. Exact instantiability implies this,
+        never the reverse; exposed for tests and diagnostics (the capped
+        ``WEAK`` path inside :meth:`would_instantiate` answers through
+        the same conditions).
+        """
+        lookup = self._positions.lookup
+        group_needs: list[int] = []
+        group_keys: list = []
+        group_queues: list = []
+        for key in signature.outer_position_keys():
+            for gi, seen_key in enumerate(group_keys):
+                if seen_key == key:
+                    group_needs[gi] += 1
+                    break
+            else:
+                position = lookup(key)
+                if position is None or position.queue.size == 0:
+                    return False
+                group_keys.append(key)
+                group_needs.append(1)
+                group_queues.append(position.queue)
+        for needed, queue in zip(group_needs, group_queues):
+            if queue.size < needed:
+                return False
+        return _counting_feasible(group_needs, group_queues)
+
+
+def _counting_feasible(
+    group_needs: list[int], group_queues: list
+) -> bool:
+    """The Hall-style counting bound over the grouped queues.
+
+    Per group: at least as many distinct candidate threads and distinct
+    candidate locks as slots to fill (``group_needs``). Across groups:
+    every suffix (in scarcest-first order, mirroring the search) must
+    have thread/lock unions at least as large as its slot count. All
+    conditions are necessary for instantiability — a ``False`` is an
+    exact refutation, a ``True`` is the WEAK relaxation's
+    over-approximate "instantiable".
+    """
+    per_group: list[tuple[int, set[int], set[int]]] = []
+    for needed, queue in zip(group_needs, group_queues):
+        threads = set()
+        locks = set()
+        for thread, lock in queue.entries():
+            threads.add(thread.node_id)
+            locks.add(lock.node_id)
+        if len(threads) < needed or len(locks) < needed:
+            return False
+        per_group.append((needed, threads, locks))
+    order = sorted(
+        range(len(per_group)),
+        key=lambda i: (
+            group_queues[i].size - per_group[i][0],
+            group_queues[i].size,
+        ),
+    )
+    slots_remaining = 0
+    thread_union: set[int] = set()
+    lock_union: set[int] = set()
+    for i in reversed(order):
+        needed, threads, locks = per_group[i]
+        slots_remaining += needed
+        thread_union |= threads
+        lock_union |= locks
+        if (
+            len(thread_union) < slots_remaining
+            or len(lock_union) < slots_remaining
+        ):
+            return False
+    return True

@@ -24,7 +24,8 @@ Release, and so do our adapters.
 
 Every decision is also published as a typed event on the engine's
 :class:`~repro.core.events.EventBus` (request, acquired, release, yield,
-resume, detection, starvation, history-saved). ``DimmunixStats`` is just
+resume, detection, starvation, match-capped, history-saved).
+``DimmunixStats`` is just
 the first subscriber on that bus — the counters are event-derived — and
 any number of further subscribers (profilers, CLIs, aggregators) can
 observe the same stream without touching the lock path.
@@ -53,6 +54,7 @@ from repro.core.events import (
     AcquiredEvent,
     DetectionEvent,
     EventBus,
+    MatchCappedEvent,
     ReleaseEvent,
     RequestEvent,
     ResumeEvent,
@@ -158,7 +160,12 @@ class DimmunixCore:
         self.positions = PositionTable()
         self.stats = DimmunixStats()
         self.rag = ResourceAllocationGraph()
-        self.checker = InstantiationChecker(self.positions, self.stats)
+        self.checker = InstantiationChecker(
+            self.positions,
+            self.stats,
+            budget=self.config.match_step_budget,
+            policy=self.config.match_cap_policy,
+        )
         self._yield_count = 0
         # The typed event stream. A shared bus (one session, several
         # adapters) is fine: events carry this core's ``source`` and the
@@ -325,6 +332,17 @@ class DimmunixCore:
         detection first (is a cycle about to close?), then avoidance
         (would granting instantiate a history signature?), with starvation
         checks at both the triggering and the yielding side.
+
+        Cost contract: detection is a chain walk bounded by the cycle
+        length, and every instantiation check this call performs — the
+        avoidance loop over ``signatures_at`` and the starvation-relief
+        recheck in :meth:`_starvation_override` — runs under the
+        config's ``match_step_budget``, so one request can never wedge
+        the engine on an adversarially long signature. A capped check is
+        resolved by ``match_cap_policy`` (``grant``: proceed as if not
+        instantiable; ``weak``: park if the polynomial
+        over-approximation says the deadlock could re-form) and
+        announced as a ``MatchCappedEvent``.
         """
         truncated = stack.truncated(self.config.stack_depth)
         position = self.positions.intern(truncated)
@@ -401,12 +419,13 @@ class DimmunixCore:
             if position.in_history
             else ()
         )
+        starvation_retries = 0
         while signatures:
             # Starvation override (§2.2: "avoid entering the same
             # starvation condition again"): if parking at this position in
             # the current configuration matches a recorded
             # avoidance-induced deadlock, do not park — proceed instead.
-            if self._starvation_override(position):
+            if self._starvation_override(thread, position):
                 break
             instantiable: Optional[
                 tuple[DeadlockSignature, tuple]
@@ -416,7 +435,7 @@ class DimmunixCore:
                     thread.bypass.discard(signature)
                     self.stats.bypasses_granted += 1
                     continue
-                witnesses = self.checker.would_instantiate(signature)
+                witnesses = self._check_instantiation(thread, signature)
                 if witnesses is not None:
                     instantiable = (signature, witnesses)
                     break
@@ -473,7 +492,17 @@ class DimmunixCore:
                     self.rag.set_request(thread, lock, position, truncated)
                     position.queue.add(thread, lock)
                     # Re-run avoidance: the just-recorded starvation
-                    # signature now triggers the override above.
+                    # signature normally triggers the override above. That
+                    # is not guaranteed — the override recheck is budgeted
+                    # and a capped (or otherwise failed) recheck would
+                    # send this loop through the same yield→starvation
+                    # cycle forever, spinning under the global lock — so
+                    # the retry is bounded: after two rounds the thread
+                    # proceeds outright, which is exactly what the
+                    # override would have decided.
+                    starvation_retries += 1
+                    if starvation_retries >= 2:
+                        break
                     continue
 
             return RequestResult(
@@ -581,13 +610,48 @@ class DimmunixCore:
             event_cls(source=self.source, ts=self._now(), **fields)
         )
 
-    def _starvation_override(self, position: Position) -> bool:
+    def _check_instantiation(
+        self, thread: ThreadNode, signature: DeadlockSignature
+    ):
+        """One budgeted instantiation check, cap surfaced as an event.
+
+        The checker never sees the bus; it reports a cap through its
+        ``last_*`` attributes and this choke point turns that into the
+        ``MatchCappedEvent`` every subscriber (stats, profilers, a
+        platform operator's alerting) observes. Used by the avoidance
+        loop and the starvation-relief recheck alike, so both paths are
+        bounded and both announce their caps.
+        """
+        witnesses = self.checker.would_instantiate(signature)
+        if self.checker.last_capped:
+            self._emit(
+                MatchCappedEvent,
+                thread=thread.name,
+                signature=signature,
+                steps=self.checker.last_steps,
+                policy=self.config.match_cap_policy.value,
+                instantiable=witnesses is not None,
+            )
+        return witnesses
+
+    def _starvation_override(
+        self, thread: ThreadNode, position: Position
+    ) -> bool:
         """True when parking at ``position`` would re-enter a recorded
-        avoidance-induced deadlock (so the thread must proceed)."""
+        avoidance-induced deadlock (so the thread must proceed).
+
+        This recheck runs the same budgeted matcher as avoidance, so a
+        long starvation signature cannot wedge the relief path either; a
+        capped recheck under ``grant`` simply finds no override (the
+        thread may still park and fall back to the starvation detectors
+        and the yield timeout), while under ``weak`` the
+        over-approximation errs toward relieving — both keep liveness
+        mechanisms intact.
+        """
         for starvation_sig in self.history.starvation_signatures_at(
             position.key
         ):
-            if self.checker.would_instantiate(starvation_sig) is not None:
+            if self._check_instantiation(thread, starvation_sig) is not None:
                 self.stats.starvation_overrides += 1
                 return True
         return False

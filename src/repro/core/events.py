@@ -6,7 +6,8 @@ counters; Android's llkd and dynamic deadlock predictors instead stream a
 monitor scale to a whole platform. This module is that stream for the
 reproduction: the core engine publishes one typed, immutable event per
 request / acquired / release decision (plus yields, resumes, detections,
-starvations, and history saves), and everything downstream — stats,
+starvations, matcher budget caps, and history saves), and everything
+downstream — stats,
 profilers, CLIs, benchmarks, remote aggregation — subscribes instead of
 scraping ``DimmunixStats`` snapshots.
 
@@ -30,7 +31,7 @@ involved; :func:`event_to_dict` / :func:`event_from_dict` give the stable
 JSONL wire form used by ``dimmunix-events``.
 
 Execution domains share the taxonomy. The asyncio adapter
-(:mod:`repro.aio`) publishes the same eight kinds with identical
+(:mod:`repro.aio`) publishes the same kinds with identical
 semantics — a ``yield`` there parks a *task* on a future instead of an
 OS thread on a condition, a ``resume`` is the task's cooperative
 re-request — distinguished only by ``source`` (a session tags them
@@ -169,6 +170,32 @@ class StarvationEvent(Event):
 
 
 @dataclass(frozen=True)
+class MatchCappedEvent(Event):
+    """An instantiation check exhausted its step budget (§2.2 cap).
+
+    Emitted by the engine whenever the matcher hits
+    ``DimmunixConfig.match_step_budget`` — on the avoidance path and on
+    the starvation-relief recheck alike. ``policy`` is the configured
+    :class:`~repro.config.MatchCapPolicy` value (``"grant"`` /
+    ``"weak"``); ``instantiable`` is the post-cap verdict the engine
+    acted on — always ``False`` under ``grant``, the weak
+    over-approximation's answer under ``weak``. ``steps`` is how many
+    matching steps ran before the cap. A platform operator alerting on
+    this kind is seeing either an adversarial history shape or a budget
+    set too low; ``stats.match_caps`` / ``stats.weak_fallbacks`` carry
+    the same signal as counters.
+    """
+
+    kind: ClassVar[str] = "match-capped"
+
+    thread: str = ""
+    signature: Optional[DeadlockSignature] = None
+    steps: int = 0
+    policy: str = "grant"
+    instantiable: bool = False
+
+
+@dataclass(frozen=True)
 class HistorySavedEvent(Event):
     """The persistent history was written to disk."""
 
@@ -188,6 +215,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
         ResumeEvent,
         DetectionEvent,
         StarvationEvent,
+        MatchCappedEvent,
         HistorySavedEvent,
     )
 }
@@ -475,6 +503,7 @@ __all__ = [
     "ResumeEvent",
     "DetectionEvent",
     "StarvationEvent",
+    "MatchCappedEvent",
     "HistorySavedEvent",
     "EVENT_TYPES",
     "EventBus",

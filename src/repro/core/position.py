@@ -21,7 +21,7 @@ mirroring the paper's embedding of ``Node`` structs in ``Thread`` and
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
 
 from repro.core.callstack import CallStack
 
@@ -50,19 +50,24 @@ class PositionQueue:
     two-queue allocation-avoidance scheme described in §4. Cells on the
     free list drop their node references so they never retain dead threads
     or monitors.
+
+    ``size`` is a public read-only-by-convention attribute (``len()``
+    delegates to it): the avoidance matcher's occupancy guard reads it on
+    every check, and a plain attribute probe keeps that guard free of
+    call overhead.
     """
 
-    __slots__ = ("_head", "_free", "_size", "allocations", "reuses")
+    __slots__ = ("_head", "_free", "size", "allocations", "reuses")
 
     def __init__(self) -> None:
         self._head: Optional[_QueueCell] = None
         self._free: Optional[_QueueCell] = None
-        self._size = 0
+        self.size = 0
         self.allocations = 0
         self.reuses = 0
 
     def __len__(self) -> int:
-        return self._size
+        return self.size
 
     def add(self, thread: "ThreadNode", lock: "LockNode") -> None:
         """Insert an entry, reusing a free-list cell when one is available."""
@@ -77,7 +82,7 @@ class PositionQueue:
         cell.lock = lock
         cell.next = self._head
         self._head = cell
-        self._size += 1
+        self.size += 1
 
     def remove(self, thread: "ThreadNode", lock: "LockNode") -> bool:
         """Remove one matching entry; the cell goes to the free list.
@@ -97,7 +102,7 @@ class PositionQueue:
                 cell.lock = None
                 cell.next = self._free
                 self._free = cell
-                self._size -= 1
+                self.size -= 1
                 return True
             prev = cell
             cell = cell.next
@@ -153,11 +158,18 @@ class PositionTable:
     lookup with a global hash map filled by ``initDimmunix``.
     """
 
-    __slots__ = ("_by_key", "_by_index")
+    __slots__ = ("_by_key", "_by_index", "lookup")
 
     def __init__(self) -> None:
         self._by_key: dict[PositionKey, Position] = {}
         self._by_index: list[Position] = []
+        # Public hot-path accessor: the avoidance matcher probes the
+        # table tens of times per monitorenter, so the blessed way in is
+        # a pre-bound ``dict.get`` — same cost as reaching into the
+        # private dict, without any consumer depending on its name.
+        self.lookup: Callable[[PositionKey], Optional[Position]] = (
+            self._by_key.get
+        )
 
     def intern(self, stack: CallStack) -> Position:
         """Return the unique position for ``stack`` (creating it if new)."""

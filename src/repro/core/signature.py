@@ -54,7 +54,14 @@ class DeadlockSignature:
     work.
     """
 
-    __slots__ = ("entries", "kind", "_canonical", "_outer_keys", "_hash")
+    __slots__ = (
+        "entries",
+        "kind",
+        "_canonical",
+        "_outer_keys",
+        "outer_collapsed",
+        "_hash",
+    )
 
     def __init__(
         self, entries: Iterable[SignatureEntry], kind: str = KIND_DEADLOCK
@@ -79,6 +86,13 @@ class DeadlockSignature:
         # this kind of lookup).
         self._outer_keys: tuple[PositionKey, ...] = tuple(
             entry.outer.key() for entry in self.entries
+        )
+        # Public, precomputed: True when two entries share an outer
+        # position (threads deadlocking through one line). The matcher
+        # branches on this once per check — collapsed signatures need
+        # slot grouping, the common all-distinct shape skips it.
+        self.outer_collapsed: bool = len(set(self._outer_keys)) != len(
+            self._outer_keys
         )
         self._hash = hash(self._canonical)
 

@@ -47,6 +47,13 @@ class DimmunixStats:
     notifications: int = 0
     instantiation_checks: int = 0
     matching_steps: int = 0
+    # Budgeted-matcher tallies (hot-path, checker-incremented like
+    # matching_steps): checks that exhausted match_step_budget, and the
+    # subset that answered through the weak-deadlock-set relaxation
+    # (match_cap_policy="weak"). Each cap also surfaces as one
+    # MatchCappedEvent when the check ran inside the engine.
+    match_caps: int = 0
+    weak_fallbacks: int = 0
     signatures_added: int = 0
     duplicate_signatures: int = 0
     avoided_instantiations: int = 0

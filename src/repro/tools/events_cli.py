@@ -87,6 +87,15 @@ def _format_event(data: dict) -> str:
         detail = f"{data.get('thread', '?')} size={size} [{status}]"
         if kind == "starvation":
             detail += f" trigger={data.get('trigger', '?')}"
+    elif kind == "match-capped":
+        signature = data.get("signature") or {}
+        size = len(signature.get("entries", ())) or "?"
+        verdict = "instantiable" if data.get("instantiable") else "clear"
+        detail = (
+            f"{data.get('thread', '?')} size={size} capped at "
+            f"{data.get('steps', '?')} steps "
+            f"[{data.get('policy', '?')} -> {verdict}]"
+        )
     elif kind == "history-saved":
         detail = f"{data.get('signatures', '?')} signature(s) -> {data.get('path', '?')}"
     return f"[{seq:>6}] {ts:>12.2f} {source:<24} {kind:<13} {detail}"

@@ -14,6 +14,12 @@ Two generation modes:
   zero serialization, which is what lets the paper measure pure overhead.
 * ``hot``: both positions are live sites; instantiation can succeed and
   threads get parked. Used by stress and liveness tests, not by E1.
+
+Beyond the benchmark modes, :func:`make_collapsed_signature` and
+:func:`hard_matching_entries` build the *adversarial* history shape —
+an N-entry signature collapsed onto one line over an occupancy that
+defeats polynomial counting — used by the A8 matcher bench and the
+budget regression tests.
 """
 
 from __future__ import annotations
@@ -77,6 +83,76 @@ def generate_history(
             partner = live_sites[(index + 1) % len(live_sites)]
         history.add(make_signature(site, partner, inner_tag=index))
     return history
+
+
+def make_collapsed_signature(
+    site: tuple[str, int], entries: int, inner_tag: int = 0
+) -> DeadlockSignature:
+    """An N-entry cycle signature whose outer positions all collapse onto
+    one program location — the shape that exposed the matcher's
+    exponential edge in the A7 fan-out work (N threads deadlocking
+    through one wrapper line). Inner positions stay distinct so the
+    signature is well-formed and never deduplicates against another."""
+    if entries < 1:
+        raise ValueError("a signature needs at least one entry")
+    outer = _stack_for(site)
+    return DeadlockSignature(
+        [
+            SignatureEntry(
+                outer=outer,
+                inner=_stack_for(
+                    ("<synthetic-inner>", 100 * inner_tag + index + 1)
+                ),
+            )
+            for index in range(entries)
+        ]
+    )
+
+
+def hard_matching_entries(
+    entries: int, deficiency: int = 1
+) -> list[tuple[int, int]]:
+    """(thread, lock) index pairs that defeat counting but not search.
+
+    Occupancy for one collapsed position whose bipartite entry graph
+    (threads x locks, one edge per queue entry) has maximum matching
+    ``entries - deficiency`` while both the thread union and the lock
+    union stay ``>= entries``: every polynomial counting bound
+    (per-slot occupancy, distinct-thread/distinct-lock totals) passes,
+    so refuting instantiability requires the exact backtracking search —
+    which must enumerate the injective selections of the complete block
+    below before concluding there is no assignment. This is the
+    adversarial workload the ``match_step_budget`` exists for; cost
+    grows combinatorially in ``entries`` (N=4 refutes in tens of steps,
+    N=12 exceeds the default budget).
+
+    ``deficiency`` is how far the maximum matching falls short of the
+    signature length. Engine-level scenarios need ``deficiency=2``: the
+    §2.2 pretend-grant inserts the requester's own (fresh-thread,
+    fresh-lock) entry, which raises the maximum matching by exactly one.
+
+    Structure (``a = entries - 2 - deficiency``): a complete bipartite
+    block on threads ``0..a-1`` x locks ``0..a-1`` (max matching ``a``),
+    a lock star — threads ``a..a+entries-1`` all paired with the single
+    lock ``a`` (max matching 1) — and a thread star — the single thread
+    ``a+entries`` paired with locks ``a+1..a+entries`` (max matching 1).
+    """
+    if entries < 4:
+        raise ValueError("the adversarial shape needs at least 4 entries")
+    if not 1 <= deficiency <= entries - 2:
+        raise ValueError(
+            f"deficiency must be in 1..{entries - 2}, got {deficiency}"
+        )
+    a = entries - 2 - deficiency
+    pairs: list[tuple[int, int]] = []
+    for thread in range(a):
+        for lock in range(a):
+            pairs.append((thread, lock))
+    for thread in range(a, a + entries):
+        pairs.append((thread, a))
+    for lock in range(a + 1, a + entries + 1):
+        pairs.append((a + entries, lock))
+    return pairs
 
 
 def live_site_keys(history: History) -> set[PositionKey]:

@@ -1,0 +1,75 @@
+"""Cap-policy parity on the asyncio scenario pack.
+
+The mirror of tests/runtime/test_cap_policy_parity.py for coroutine
+tasks: on real 2–3-entry signatures the budget never engages, so
+``grant`` and ``weak`` must produce identical verdicts — detection on
+run 1, avoidance-only completion on run 2, zero caps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.aio.scenarios import (
+    run_async_dining_philosophers,
+    run_opposite_order_pair,
+)
+from repro.config import MatchCapPolicy
+from tests.aio.conftest import make_aio_runtime
+
+POLICIES = [MatchCapPolicy.GRANT, MatchCapPolicy.WEAK]
+
+
+def pair_twice(policy: MatchCapPolicy):
+    first = make_aio_runtime(match_cap_policy=policy)
+    outcome_one = asyncio.run(run_opposite_order_pair(first))
+    second = make_aio_runtime(
+        history=first.history, match_cap_policy=policy
+    )
+    outcome_two = asyncio.run(run_opposite_order_pair(second))
+    return first, second, outcome_one, outcome_two
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_pair_detects_then_avoids_under_either_policy(policy):
+    first, second, outcome_one, outcome_two = pair_twice(policy)
+    assert outcome_one.deadlocks_detected == 1
+    assert sorted(outcome_two.finished) == ["ab", "ba"]
+    assert outcome_two.deadlocks_detected == 0
+    assert first.stats.match_caps == 0
+    assert second.stats.match_caps == 0
+    assert second.stats.weak_fallbacks == 0
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_async_philosophers_complete_under_either_policy(policy):
+    first = make_aio_runtime(match_cap_policy=policy)
+    outcome_one = asyncio.run(
+        run_async_dining_philosophers(first, philosophers=4, meals=2)
+    )
+    second = make_aio_runtime(
+        history=first.history, match_cap_policy=policy
+    )
+    outcome_two = asyncio.run(
+        run_async_dining_philosophers(second, philosophers=4, meals=2)
+    )
+    assert outcome_one.completed and outcome_two.completed
+    assert outcome_two.deadlocks_detected == 0
+    assert second.stats.match_caps == 0
+
+
+def test_policies_give_identical_verdicts_on_real_signatures():
+    verdicts = {}
+    for policy in POLICIES:
+        first, second, outcome_one, outcome_two = pair_twice(policy)
+        verdicts[policy] = (
+            outcome_one.deadlocks_detected,
+            sorted(outcome_two.finished),
+            outcome_two.deadlocks_detected,
+            sorted(
+                signature.canonical_key() for signature in second.history
+            ),
+        )
+    assert verdicts[MatchCapPolicy.GRANT] == verdicts[MatchCapPolicy.WEAK]

@@ -113,6 +113,27 @@ class TestSessionSharing:
             assert vm.events is dx.events
             assert set(dx.components) == {"s/runtime", "s/vm-0", "s/vm-1"}
 
+    def test_match_budget_plumbs_through_every_layer(self):
+        """The budgeted-matcher knobs travel the session config into the
+        checker of every adapter's core — runtime, aio, VM, and a
+        Zygote-forked process alike."""
+        from repro.config import MatchCapPolicy
+        from repro.dalvik.zygote import Zygote
+
+        with immunity(
+            match_step_budget=1234, match_cap_policy="weak", name="mb"
+        ) as dx:
+            assert dx.config.match_cap_policy is MatchCapPolicy.WEAK
+            cores = [dx.runtime().core, dx.aio().core, dx.vm().core]
+            for core in cores:
+                assert core.checker.budget == 1234
+                assert core.checker.policy is MatchCapPolicy.WEAK
+            forked = Zygote(
+                dx.vm().config.evolve(dimmunix=dx.config)
+            ).fork("app")
+            assert forked.core.checker.budget == 1234
+            assert forked.core.checker.policy is MatchCapPolicy.WEAK
+
     def test_vm_overrides_and_naming(self):
         with immunity(name="s") as dx:
             vm = dx.vm(seed=7, quantum=4, name="app")

@@ -1,11 +1,28 @@
-"""Unit tests for signature instantiation matching."""
+"""Unit tests for signature instantiation matching.
 
+Covers the exact search (grouping, witness order, distinctness), the
+per-check step budget with its two cap policies, and the regression for
+the A7 collapsed-position stall: an N=12 signature on a single shared
+line must return in bounded steps instead of wedging the check.
+"""
+
+import time
+
+import pytest
+
+from repro.config import DimmunixConfig, MatchCapPolicy
 from repro.core.avoidance import InstantiationChecker
 from repro.core.callstack import CallStack
+from repro.core.engine import DimmunixCore, RequestVerdict
+from repro.core.events import EventLog
 from repro.core.node import LockNode, ThreadNode
 from repro.core.position import PositionTable
 from repro.core.signature import DeadlockSignature, SignatureEntry
 from repro.core.stats import DimmunixStats
+from repro.workloads.synthetic_sigs import (
+    hard_matching_entries,
+    make_collapsed_signature,
+)
 
 
 def make_signature(*outer_lines):
@@ -133,3 +150,292 @@ class TestWouldInstantiate:
         setup.checker.would_instantiate(sig)
         assert setup.stats.instantiation_checks == 1
         assert setup.stats.matching_steps >= 2
+
+    def test_collapsed_feasible_signature_matches_fast(self):
+        """Grouping removes the factorial: N collapsed slots over N
+        all-distinct occupants match on the first combination, not after
+        permuting the queue."""
+        setup = Setup()
+        entries = 12
+        sig = make_signature(*([7] * entries))
+        for index in range(entries):
+            setup.occupy(7, ThreadNode(f"t{index}"), LockNode(f"l{index}"))
+        witnesses = setup.checker.would_instantiate(sig)
+        assert witnesses is not None and len(witnesses) == entries
+        thread_ids = {thread.node_id for thread, _lock in witnesses}
+        lock_ids = {lock.node_id for _thread, lock in witnesses}
+        assert len(thread_ids) == len(lock_ids) == entries
+        assert setup.stats.matching_steps <= 2 * entries
+
+    def test_union_short_circuit_refutes_without_search(self):
+        """Four slots but only three distinct threads across all queues:
+        the Hall-style counting refutes before any backtracking step.
+        (2–3-entry signatures intentionally skip the precheck — their
+        exact search is cheaper than the counting.)"""
+        setup = Setup()
+        sig = make_signature(1, 2, 3, 4)
+        thread_a, thread_b, thread_c = (
+            ThreadNode("a"), ThreadNode("b"), ThreadNode("c"),
+        )
+        setup.occupy(1, thread_a, LockNode("x"))
+        setup.occupy(2, thread_b, LockNode("y"))
+        setup.occupy(3, thread_c, LockNode("z"))
+        setup.occupy(4, thread_a, LockNode("v"))
+        setup.occupy(4, thread_b, LockNode("w"))
+        assert setup.checker.would_instantiate(sig) is None
+        assert setup.stats.matching_steps == 0
+
+
+# ----------------------------------------------------------------------
+# the step budget and its cap policies
+# ----------------------------------------------------------------------
+
+ADVERSARIAL_SITE = ("adv.py", 42)
+
+
+def adversarial_setup(entries, budget, policy):
+    """A checker over the collapsed-position occupancy that defeats
+    counting but not search (see workloads.synthetic_sigs)."""
+    table = PositionTable()
+    stats = DimmunixStats()
+    checker = InstantiationChecker(
+        table, stats, budget=budget, policy=policy
+    )
+    position = table.intern(CallStack.single(*ADVERSARIAL_SITE))
+    pairs = hard_matching_entries(entries)
+    threads = [
+        ThreadNode(f"t{i}")
+        for i in range(max(t for t, _ in pairs) + 1)
+    ]
+    locks = [
+        LockNode(f"l{i}") for i in range(max(l for _, l in pairs) + 1)
+    ]
+    for thread_index, lock_index in pairs:
+        position.queue.add(threads[thread_index], locks[lock_index])
+    signature = make_collapsed_signature(ADVERSARIAL_SITE, entries)
+    return checker, stats, signature
+
+
+class TestStepBudget:
+    def test_a7_stall_returns_in_bounded_steps_grant(self):
+        """The A7 regression: an N=12 single-line signature used to
+        backtrack for minutes; under the default budget it must return
+        in bounded steps, reporting the cap."""
+        budget = DimmunixConfig().match_step_budget
+        checker, stats, signature = adversarial_setup(
+            12, budget, MatchCapPolicy.GRANT
+        )
+        started = time.perf_counter()
+        result = checker.would_instantiate(signature)
+        elapsed = time.perf_counter() - started
+        assert result is None  # grant: cap reads as "not instantiable"
+        assert checker.last_capped
+        assert not checker.last_weak_fallback
+        assert checker.last_steps <= budget + 1
+        assert stats.match_caps == 1
+        assert stats.weak_fallbacks == 0
+        assert elapsed < 1.0  # loose CI bound; the bench asserts 50 ms
+
+    def test_a7_stall_returns_in_bounded_steps_weak(self):
+        budget = DimmunixConfig().match_step_budget
+        checker, stats, signature = adversarial_setup(
+            12, budget, MatchCapPolicy.WEAK
+        )
+        started = time.perf_counter()
+        result = checker.would_instantiate(signature)
+        elapsed = time.perf_counter() - started
+        # weak: the counting over-approximation held, so the capped
+        # check answers "instantiable" with the candidate pool.
+        assert result is not None
+        assert checker.last_capped and checker.last_weak_fallback
+        assert checker.last_steps <= budget + 1
+        assert stats.match_caps == 1
+        assert stats.weak_fallbacks == 1
+        assert elapsed < 1.0
+
+    def test_small_adversarial_shape_refutes_exactly(self):
+        """N=4 of the same shape is within any sane budget: both
+        policies agree with the exact (unbounded) answer."""
+        for policy in (MatchCapPolicy.GRANT, MatchCapPolicy.WEAK):
+            checker, stats, signature = adversarial_setup(
+                4, DimmunixConfig().match_step_budget, policy
+            )
+            assert checker.would_instantiate(signature) is None
+            assert not checker.last_capped
+            assert stats.match_caps == 0
+
+    def test_zero_budget_is_unbounded(self):
+        checker, stats, signature = adversarial_setup(
+            8, 0, MatchCapPolicy.GRANT
+        )
+        assert checker.would_instantiate(signature) is None
+        assert not checker.last_capped
+        # The exact refutation needs far more steps than the default
+        # budget — proof the budget is what bounds the other tests.
+        assert stats.matching_steps > DimmunixConfig().match_step_budget
+
+    def test_policies_agree_on_real_signatures(self):
+        """On 2–3-entry signatures the budget never engages, so both
+        policies are byte-for-byte the exact matcher."""
+        cases = []
+        for policy in (MatchCapPolicy.GRANT, MatchCapPolicy.WEAK):
+            table = PositionTable()
+            checker = InstantiationChecker(
+                table, DimmunixStats(), policy=policy
+            )
+            outcomes = []
+            thread_a, thread_b = ThreadNode("a"), ThreadNode("b")
+            lock_x, lock_y = LockNode("x"), LockNode("y")
+            for line, thread, lock in (
+                (1, thread_a, lock_x),
+                (2, thread_b, lock_y),
+                (1, thread_b, lock_y),
+            ):
+                position = table.intern(CallStack.single("av.py", line))
+                position.queue.add(thread, lock)
+                outcomes.append(
+                    (
+                        checker.would_instantiate(make_signature(1, 2))
+                        is not None,
+                        checker.would_instantiate(make_signature(1, 2, 3))
+                        is not None,
+                        checker.last_capped,
+                    )
+                )
+            cases.append(outcomes)
+        assert cases[0] == cases[1]
+        assert all(not capped for run in cases for *_x, capped in run)
+
+    def test_weak_overapproximates_exact(self):
+        """Whenever the exact search finds a witness, the weak counting
+        check must also say instantiable (never the reverse direction)."""
+        setup = Setup()
+        sig = make_signature(1, 2)
+        setup.occupy(1, ThreadNode("a"), LockNode("x"))
+        assert not setup.checker.weak_instantiable(sig)
+        setup.occupy(2, ThreadNode("b"), LockNode("y"))
+        assert setup.checker.would_instantiate(sig) is not None
+        assert setup.checker.weak_instantiable(sig)
+
+    def test_weak_refutes_counting_violations(self):
+        checker, _stats, signature = adversarial_setup(
+            12, 0, MatchCapPolicy.WEAK
+        )
+        # The adversarial shape passes counting by construction …
+        assert checker.weak_instantiable(signature)
+        # … but a signature needing more entries than the queue holds
+        # fails the per-slot occupancy bound.
+        oversized = make_collapsed_signature(ADVERSARIAL_SITE, 200)
+        assert not checker.weak_instantiable(oversized)
+
+
+# ----------------------------------------------------------------------
+# engine wiring: MatchCappedEvent + verdicts under both policies
+# ----------------------------------------------------------------------
+
+def engine_with_adversarial_history(entries, policy, budget):
+    """A core whose history holds the collapsed-position signature and
+    whose position queue carries the counting-defeating occupancy."""
+    core = DimmunixCore(
+        DimmunixConfig(
+            match_step_budget=budget,
+            match_cap_policy=policy,
+            yield_timeout=None,
+        )
+    )
+    signature = make_collapsed_signature(ADVERSARIAL_SITE, entries)
+    core.history.add(signature)
+    position = core.positions.intern(CallStack.single(*ADVERSARIAL_SITE))
+    # deficiency=2: the request below pretend-grants the requester's own
+    # entry into this queue, raising the max matching by one — the shape
+    # must stay short of instantiable even then.
+    pairs = hard_matching_entries(entries, deficiency=2)
+    threads = [
+        core.register_thread(f"t{i}")
+        for i in range(max(t for t, _ in pairs) + 1)
+    ]
+    locks = [
+        core.register_lock(f"l{i}")
+        for i in range(max(l for _, l in pairs) + 1)
+    ]
+    for thread_index, lock_index in pairs:
+        position.queue.add(threads[thread_index], locks[lock_index])
+    return core, signature
+
+
+class TestEngineCapWiring:
+    def test_grant_proceeds_and_announces_the_cap(self):
+        core, signature = engine_with_adversarial_history(
+            12, MatchCapPolicy.GRANT, budget=500
+        )
+        log = EventLog()
+        core.events.subscribe(log, kinds=("match-capped",))
+        requester = core.register_thread("requester")
+        lock = core.register_lock("requested")
+        result = core.request(
+            requester, lock, CallStack.single(*ADVERSARIAL_SITE)
+        )
+        assert result.verdict is RequestVerdict.PROCEED
+        events = log.of_kind("match-capped")
+        assert len(events) == 1
+        event = events[0]
+        assert event.policy == "grant"
+        assert not event.instantiable
+        assert event.thread == "requester"
+        assert event.steps >= 500
+        assert event.signature == signature
+        assert core.stats.match_caps == 1
+        assert core.stats.weak_fallbacks == 0
+
+    def test_weak_parks_and_announces_the_cap(self):
+        core, signature = engine_with_adversarial_history(
+            12, MatchCapPolicy.WEAK, budget=500
+        )
+        log = EventLog()
+        core.events.subscribe(log, kinds=("match-capped", "yield"))
+        requester = core.register_thread("requester")
+        lock = core.register_lock("requested")
+        result = core.request(
+            requester, lock, CallStack.single(*ADVERSARIAL_SITE)
+        )
+        assert result.verdict is RequestVerdict.YIELD
+        assert result.yield_on == signature
+        capped = log.of_kind("match-capped")
+        assert len(capped) == 1
+        assert capped[0].policy == "weak"
+        assert capped[0].instantiable
+        assert log.of_kind("yield")  # the park itself is announced too
+        assert core.stats.match_caps == 1
+        assert core.stats.weak_fallbacks == 1
+        # The conservative witness pool excludes the requester itself.
+        assert all(
+            witness_thread is not requester
+            for witness_thread, _lock in requester.yield_witnesses
+        )
+
+    @pytest.mark.parametrize(
+        "policy", [MatchCapPolicy.GRANT, MatchCapPolicy.WEAK]
+    )
+    def test_starvation_recheck_is_bounded_too(self, policy):
+        """The starvation-relief recheck runs the same budgeted matcher:
+        a capped starvation-signature recheck emits the event instead of
+        wedging the request."""
+        core, _signature = engine_with_adversarial_history(
+            12, policy, budget=500
+        )
+        starvation = DeadlockSignature(
+            make_collapsed_signature(ADVERSARIAL_SITE, 12).entries,
+            kind="starvation",
+        )
+        core.history.add(starvation)
+        log = EventLog()
+        core.events.subscribe(log, kinds=("match-capped",))
+        requester = core.register_thread("requester")
+        lock = core.register_lock("requested")
+        started = time.perf_counter()
+        core.request(requester, lock, CallStack.single(*ADVERSARIAL_SITE))
+        elapsed = time.perf_counter() - started
+        # Both the override recheck and the avoidance check announced.
+        assert len(log.of_kind("match-capped")) >= 1
+        assert core.stats.match_caps >= 1
+        assert elapsed < 1.0

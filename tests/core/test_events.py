@@ -185,6 +185,7 @@ class TestWireForm:
             "resume",
             "detection",
             "starvation",
+            "match-capped",
             "history-saved",
         }
 

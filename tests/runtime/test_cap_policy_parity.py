@@ -1,0 +1,65 @@
+"""Cap-policy parity on the real-thread scenario pack.
+
+Real signatures have 2–3 entries and match (or refute) in a handful of
+steps, so the ``match_step_budget`` must never engage on the existing
+scenarios — and therefore ``grant`` and ``weak`` must be
+indistinguishable on them: same detections, same immunity, same
+counters, zero caps. This is the safety half of the budgeted-matcher
+story; the adversarial half (the budget engaging) lives in
+tests/core/test_avoidance.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MatchCapPolicy
+from repro.workloads.scenarios import run_dining_philosophers
+from tests.conftest import make_runtime
+
+POLICIES = [MatchCapPolicy.GRANT, MatchCapPolicy.WEAK]
+
+
+def dine_twice(policy: MatchCapPolicy):
+    """One detection run, one immunized run, under the given policy."""
+    first = make_runtime(match_cap_policy=policy)
+    outcome_one = run_dining_philosophers(first, philosophers=4, meals=2)
+    second = make_runtime(
+        history=first.history, match_cap_policy=policy
+    )
+    outcome_two = run_dining_philosophers(second, philosophers=4, meals=2)
+    return first, second, outcome_one, outcome_two
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_philosophers_detect_then_avoid_under_either_policy(policy):
+    first, second, outcome_one, outcome_two = dine_twice(policy)
+    assert outcome_one.completed and outcome_two.completed
+    assert outcome_one.deadlocks_detected >= 1
+    assert outcome_two.deadlocks_detected == 0
+    assert len(second.history) >= 1
+    # Real 2-entry signatures never approach the budget.
+    assert first.stats.match_caps == 0
+    assert second.stats.match_caps == 0
+    assert second.stats.weak_fallbacks == 0
+
+
+def test_policies_give_identical_verdicts_on_real_signatures():
+    runs = {
+        policy: dine_twice(policy) for policy in POLICIES
+    }
+    verdicts = {
+        policy: (
+            outcome_one.completed,
+            outcome_one.deadlocks_detected >= 1,
+            outcome_two.completed,
+            outcome_two.deadlocks_detected,
+            sorted(
+                signature.canonical_key()
+                for signature in second.history
+                if signature.kind == "deadlock"
+            ),
+        )
+        for policy, (first, second, outcome_one, outcome_two) in runs.items()
+    }
+    assert verdicts[MatchCapPolicy.GRANT] == verdicts[MatchCapPolicy.WEAK]

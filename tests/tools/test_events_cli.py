@@ -11,7 +11,10 @@ from repro.core.events import (
     DetectionEvent,
     EventBus,
     JsonlWriter,
+    MatchCappedEvent,
     RequestEvent,
+    event_from_dict,
+    event_to_dict,
 )
 from repro.core.callstack import CallStack
 from repro.core.signature import DeadlockSignature, SignatureEntry
@@ -31,6 +34,50 @@ def recorded_session(tmp_path):
         vm.spawn(ba_program(), "t-ba")
         vm.run()
     return path, dx
+
+
+def _sample_signature() -> DeadlockSignature:
+    return DeadlockSignature(
+        [
+            SignatureEntry(
+                CallStack.single("cli.py", line),
+                CallStack.single("cli.py", line + 100),
+            )
+            for line in (1, 2)
+        ]
+    )
+
+
+class TestMatchCappedWireForm:
+    def test_roundtrip_and_tail_format(self, tmp_path, capsys):
+        """A match-capped event survives the JSONL round trip and tails
+        with its cap detail (steps, policy, verdict)."""
+        path = tmp_path / "caps.jsonl"
+        bus = EventBus()
+        with JsonlWriter(path) as writer:
+            bus.subscribe(writer)
+            bus.publish(
+                MatchCappedEvent(
+                    source="cap-test",
+                    thread="t1",
+                    signature=_sample_signature(),
+                    steps=1234,
+                    policy="weak",
+                    instantiable=True,
+                )
+            )
+        data = json.loads(path.read_text().splitlines()[0])
+        rebuilt = event_from_dict(data)
+        assert isinstance(rebuilt, MatchCappedEvent)
+        assert rebuilt.steps == 1234 and rebuilt.policy == "weak"
+        assert rebuilt.instantiable
+        assert event_to_dict(rebuilt)["signature"] == data["signature"]
+
+        assert main(["tail", str(path), "--kind", "match-capped"]) == 0
+        out = capsys.readouterr().out
+        assert "match-capped" in out
+        assert "1234 steps" in out
+        assert "weak -> instantiable" in out
 
 
 class TestTail:
