@@ -1,0 +1,207 @@
+"""A9 — the prediction pipeline's own cost.
+
+Predictive immunity only pays off if predicting is cheap relative to
+the deadlocks it pre-empts: the static lint must chew through source
+fast enough to live in CI, the trace miner must keep up with recorded
+event streams, and — the A3 tie-in — seeding hundreds of *predictions*
+must not bloat the avoidance hot path once the TTL reaper has swept the
+false positives out of the position index.
+
+Wall-clock assertions are relaxed in CI smoke mode
+(``DIMMUNIX_BENCH_SMOKE=1``); structural assertions always run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.analysis.report import ExperimentRecord
+from repro.analysis.tables import render_table
+from repro.core.history import History
+from repro.predict.harness import seed_predictions
+from repro.predict.staticlint import lint_source
+from repro.predict.tracemine import mine_events
+from repro.workloads.synthetic_sigs import make_signature
+
+SMOKE = os.environ.get("DIMMUNIX_BENCH_SMOKE") == "1"
+
+
+# ----------------------------------------------------------------------
+# synthetic inputs
+# ----------------------------------------------------------------------
+
+def _synthetic_module(functions: int) -> str:
+    """A module of ``functions`` lock-using functions, one real cycle."""
+    parts = ["def setup(rt):"]
+    for index in range(functions):
+        parts.append(f"    lk_{index} = rt.lock('bench-{index}')")
+    for index in range(functions - 1):
+        parts += [
+            f"    def fn_{index}():",
+            f"        with lk_{index}:",
+            f"            with lk_{index + 1}:",
+            "                pass",
+        ]
+    # The one planted reversal (a 2-cycle, within the default search
+    # bound) the lint must still find in all that noise.
+    parts += [
+        "    def fn_back():",
+        "        with lk_1:",
+        "            with lk_0:",
+        "                pass",
+    ]
+    return "\n".join(parts) + "\n"
+
+
+def _synthetic_trace(pairs: int) -> list[dict]:
+    """``pairs`` consistent-order acquisitions plus one reversal."""
+    events: list[dict] = []
+
+    def emit(kind, thread, lock, line=0):
+        data = {"kind": kind, "source": "s", "thread": thread, "lock": lock}
+        if kind == "request":
+            data["position"] = [["bench.py", line]]
+        events.append(data)
+
+    def hold(thread, outer, inner, outer_line, inner_line):
+        emit("request", thread, outer, outer_line)
+        emit("acquired", thread, outer)
+        emit("request", thread, inner, inner_line)
+        emit("acquired", thread, inner)
+        emit("release", thread, inner)
+        emit("release", thread, outer)
+
+    for index in range(pairs):
+        thread = f"t{index % 8}"
+        lock = index % 32
+        hold(thread, f"L{lock}", f"L{lock + 1}", 10 + lock, 11 + lock)
+    hold("tx", "L1", "L0", 900, 901)  # the reversal to find
+    return events
+
+
+# ----------------------------------------------------------------------
+# benches
+# ----------------------------------------------------------------------
+
+def bench_lint_throughput(benchmark, record):
+    functions = 60 if SMOKE else 400
+    source = _synthetic_module(functions)
+    kloc = source.count("\n") / 1000
+
+    def run():
+        return lint_source(source, "bench_mod.py")
+
+    diagnostics = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert diagnostics, "the planted ring cycle must be found"
+    started = time.perf_counter()
+    lint_source(source, "bench_mod.py")
+    per_kloc_ms = (time.perf_counter() - started) / kloc * 1000
+
+    record(
+        ExperimentRecord(
+            experiment_id="A9.lint",
+            description="static lint throughput (CI budget)",
+            paper_value="static analysis cheap enough to run per-commit",
+            measured_value=f"{per_kloc_ms:.1f} ms/KLoC ({kloc:.1f} KLoC module)",
+            holds=SMOKE or per_kloc_ms < 1000,
+        )
+    )
+    if not SMOKE:
+        assert per_kloc_ms < 1000, "lint must stay under 1s per KLoC"
+
+
+def bench_mine_throughput(benchmark, record):
+    pairs = 400 if SMOKE else 5000
+    events = _synthetic_trace(pairs)
+
+    def run():
+        return mine_events(events)
+
+    predictions = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert any("L0" in p.cycle and "L1" in p.cycle for p in predictions)
+    started = time.perf_counter()
+    mine_events(events)
+    elapsed = time.perf_counter() - started
+    per_10k_ms = elapsed / len(events) * 10_000 * 1000
+
+    record(
+        ExperimentRecord(
+            experiment_id="A9.mine",
+            description="trace mining throughput",
+            paper_value="mining an execution trace is offline, not per-sync",
+            measured_value=(
+                f"{per_10k_ms:.0f} ms per 10k events "
+                f"({len(events)} events mined)"
+            ),
+            holds=SMOKE or per_10k_ms < 5000,
+        )
+    )
+    if not SMOKE:
+        assert per_10k_ms < 5000, "mining must stay under 5s per 10k events"
+
+
+def bench_expiry_unbloats_lookups(benchmark, record):
+    """A3 regression: expired predictions leave the hot-path index.
+
+    Seeding N predictions grows the per-position index; the TTL reaper
+    must shrink it back so ``contains_position`` probes after expiry
+    cost what an empty history costs — not what N signatures cost.
+    """
+    seeded_count = 64 if SMOKE else 512
+    probes = 2_000 if SMOKE else 50_000
+
+    def probe_cost(history: History, keys) -> float:
+        started = time.perf_counter()
+        for index in range(probes):
+            history.contains_position(keys[index % len(keys)])
+        return (time.perf_counter() - started) / probes * 1e9
+
+    signatures = [
+        make_signature(("pred.py", i * 7 + 1), ("pred.py", i * 7 + 2), i)
+        for i in range(seeded_count)
+    ]
+    keys = [sig.outer_position_keys()[0] for sig in signatures]
+
+    history = History()
+    seed_predictions(history, signatures)
+    assert len(history) == seeded_count
+    cost_seeded = probe_cost(history, keys)
+
+    def expire():
+        return history.expire_predictions(1)
+
+    expired = benchmark.pedantic(expire, rounds=1, iterations=1)
+    assert expired == seeded_count
+    assert len(history) == 0
+    # The structural half of the claim: nothing left in the index.
+    assert not any(history.contains_position(key) for key in keys)
+    cost_after = probe_cost(history, keys)
+
+    print()
+    print(
+        render_table(
+            ["state", "signatures", "contains_position (ns)"],
+            [
+                ["seeded", seeded_count, f"{cost_seeded:,.0f}"],
+                ["expired", 0, f"{cost_after:,.0f}"],
+            ],
+            title="A9 - index cost before/after prediction expiry",
+        )
+    )
+    record(
+        ExperimentRecord(
+            experiment_id="A9.expiry",
+            description="prediction expiry unbloats the position index",
+            paper_value="tuple-indexed history keeps Request cost per-signature",
+            measured_value=(
+                f"{cost_seeded:,.0f} ns with {seeded_count} predictions, "
+                f"{cost_after:,.0f} ns after expiry"
+            ),
+            holds=True,
+        )
+    )
+    if not SMOKE:
+        # Misses on an empty index must not be pricier than hits on a
+        # bloated one (generous 4x noise allowance).
+        assert cost_after < cost_seeded * 4 + 500

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Ordered transfers: the fixed program that ``dimmunix-lint`` blesses.
+
+This is the repaired twin of ``predicted_immunity.py``. Both workers
+take the ledger lock *before* the audit lock — one global order, no
+inversion, no cycle. Lint it and the analyzer stays silent::
+
+    dimmunix-lint examples/ordered_transfers.py   # exits 0
+
+CI runs exactly that check (plus the buggy files, which must flag) so
+the analyzer is continuously validated in both directions.
+
+Usage::
+
+    python examples/ordered_transfers.py
+"""
+
+from __future__ import annotations
+
+import threading
+
+import repro
+
+
+def main() -> None:
+    with repro.immunity(name="ordered") as session:
+        ledger = session.lock("transfer-ledger")
+        audit = session.lock("transfer-audit")
+        log: list = []
+
+        def post(label: str) -> None:
+            # Single global order: ledger, then audit. Always.
+            with ledger:
+                with audit:
+                    log.append(f"{label} posted")
+
+        workers = [
+            threading.Thread(target=post, args=(f"transfer-{n}",))
+            for n in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=10)
+
+        for line in log:
+            print(line)
+        stats = session.stats
+        print(
+            f"stats: {stats.deadlocks_detected} detected, "
+            f"{stats.avoided_instantiations} avoided instantiation(s)"
+        )
+        if stats.deadlocks_detected == 0 and len(log) == 4:
+            print("ordered locking holds: nothing to detect, nothing to lint")
+        else:
+            print("unexpected: a consistent lock order cannot deadlock")
+
+
+if __name__ == "__main__":
+    main()

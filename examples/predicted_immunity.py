@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Predictive immunity: the antibody arrives before the first infection.
+
+Everywhere else in this repo the immunity loop starts with a deadlock —
+run 1 suffers the cycle, the signature is recorded, run 2 avoids it.
+This example never suffers it. The static lock-order analyzer
+(``dimmunix-lint`` / :mod:`repro.predict.staticlint`) reads *this very
+file*, finds the AB/BA inversion between the two transfer functions
+below, compiles it into a **predicted** signature, and seeds it into a
+fresh history. The first — and only — run of the buggy interleaving is
+then avoided outright: zero deadlocks detected, and the prediction is
+*promoted* the moment it prevents the real thing.
+
+Usage::
+
+    python examples/predicted_immunity.py
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import repro
+from repro.errors import DeadlockDetectedError
+from repro.predict import lint_paths, seed_predictions
+
+
+def rendezvous(barrier: threading.Barrier, seconds: float = 0.5) -> None:
+    """Meet the other thread if it shows up; don't insist.
+
+    When avoidance parks one thread before it reaches this point, the
+    other must carry on alone — that is the intervention working.
+    """
+    try:
+        barrier.wait(timeout=seconds)
+    except threading.BrokenBarrierError:
+        pass
+
+
+def run_buggy_interleaving(session: "repro.Dimmunix") -> dict:
+    ledger = session.lock("pi-ledger")
+    audit = session.lock("pi-audit")
+    barrier = threading.Barrier(2)
+    log: list = []
+
+    def post_then_audit() -> None:
+        try:
+            with ledger:
+                rendezvous(barrier)
+                time.sleep(0.01)
+                with audit:
+                    log.append("post->audit done")
+        except DeadlockDetectedError as error:
+            log.append(f"DEADLOCK: {error}")
+
+    def audit_then_post() -> None:
+        try:
+            with audit:
+                rendezvous(barrier)
+                time.sleep(0.01)
+                with ledger:
+                    log.append("audit->post done")
+        except DeadlockDetectedError as error:
+            log.append(f"DEADLOCK: {error}")
+
+    workers = [
+        threading.Thread(target=post_then_audit, name="poster"),
+        threading.Thread(target=audit_then_post, name="auditor"),
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=10)
+    return {"log": log}
+
+
+def main() -> None:
+    print("=== step 1: lint this file (no execution, pure AST) ===")
+    diagnostics, _errors = lint_paths([__file__])
+    for diagnostic in diagnostics:
+        print(f"  {diagnostic.render()}")
+    if not diagnostics:
+        print("  no cycles found — nothing to predict, aborting demo")
+        return
+
+    print()
+    print("=== step 2: seed the predictions, then run the bug ONCE ===")
+    with repro.immunity(name="predicted") as session:
+        seeded = seed_predictions(session.history, diagnostics)
+        print(f"  {seeded} predicted antibody(ies) in a fresh history")
+        result = run_buggy_interleaving(session)
+        for line in result["log"]:
+            print(f"  {line}")
+        stats = session.stats
+        print(
+            f"  stats: {stats.deadlocks_detected} detected, "
+            f"{stats.predicted_avoidances} predicted avoidance(s), "
+            f"{stats.predictions_promoted} promotion(s)"
+        )
+        counts = session.history.provenance_counts()
+
+    print()
+    if stats.deadlocks_detected == 0 and stats.predicted_avoidances > 0:
+        print(
+            "prediction works: the very first run was avoided — "
+            f"history now holds {counts['promoted']} promoted antibody(ies)."
+        )
+    else:
+        print("unexpected: the first run should have been avoided.")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,11 +21,14 @@ single non-blocking poll of the notification — the clamp CPython's
 from __future__ import annotations
 
 import asyncio
+import itertools
 import time
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Optional, Union
 
 from repro.aio.locks import AioDimmunixLock, AioDimmunixRLock
+
+_monitor_ids = itertools.count(1)
 
 if TYPE_CHECKING:
     from repro.aio.runtime import AsyncioDimmunixRuntime
@@ -47,7 +50,13 @@ class AioDimmunixCondition:
                     "AioDimmunixCondition needs a lock or a runtime to "
                     "make one"
                 )
-            lock = runtime.rlock(name="aio-condition-monitor")
+            # One name per monitor: distinct conditions must stay
+            # distinct lock nodes in the event stream, or downstream
+            # consumers (the trace miner above all) alias every
+            # condition in the process into one lock.
+            lock = runtime.rlock(
+                name=f"aio-condition-monitor-{next(_monitor_ids)}"
+            )
         elif not hasattr(lock, "_acquire_restore"):
             # Fail at construction, not with an AttributeError deep in
             # wait(): a raw asyncio.Lock (e.g. created before the patch

@@ -118,11 +118,17 @@ class AsyncLooper:
     inversion of the StatusBar deadlock, on the cooperative schedule.
     """
 
-    def __init__(self, runtime: "AsyncioDimmunixRuntime", name: str) -> None:
+    def __init__(
+        self,
+        runtime: "AsyncioDimmunixRuntime",
+        name: str,
+        serial: bool = False,
+    ) -> None:
         self.name = name
         self.condition = runtime.condition()
         self.queue: deque = deque()
         self.handled = 0
+        self.serial = serial
 
     async def send(self, message) -> None:
         """Handler.sendMessage: enqueue one message and wake the looper."""
@@ -139,8 +145,12 @@ class AsyncLooper:
                 message = self.queue.popleft()
                 # Yield once before dispatch so peer loopers reach their
                 # own dispatch too — then run the handler under the
-                # monitor (the bug).
-                await asyncio.sleep(0)
+                # monitor (the bug). A *serial* looper skips the yield:
+                # dispatches never overlap, the run cannot deadlock, and
+                # the cross-send reversal still lands in the event
+                # stream for the trace miner.
+                if not self.serial:
+                    await asyncio.sleep(0)
                 try:
                     await handler(message)
                 except DeadlockDetectedError:
@@ -155,6 +165,7 @@ async def run_looper_inversion(
     runtime: "AsyncioDimmunixRuntime",
     messages: int = 1,
     join_timeout: float = 10.0,
+    serial: bool = False,
 ) -> LooperOutcome:
     """Two loopers whose handlers synchronously cross-send.
 
@@ -162,10 +173,16 @@ async def run_looper_inversion(
     peer looper — taking the peer's monitor. Run concurrently the two
     dispatches deadlock; with immunity the cycle is detected once and
     the retried dispatch (and every later run) completes.
+
+    ``serial=True`` runs the loopers without the pre-dispatch yield, so
+    the two dispatches never overlap and the run completes without any
+    deadlock — while both cross-monitor acquisition orders still appear
+    in the event stream, which is what the trace miner predicts the
+    inversion from.
     """
     outcome = LooperOutcome(0, 0, False)
-    looper_a = AsyncLooper(runtime, "looper-a")
-    looper_b = AsyncLooper(runtime, "looper-b")
+    looper_a = AsyncLooper(runtime, "looper-a", serial=serial)
+    looper_b = AsyncLooper(runtime, "looper-b", serial=serial)
 
     async def handle_a(message) -> None:
         if message[0] == "ping":
@@ -217,12 +234,18 @@ class PairOutcome:
 
 async def run_opposite_order_pair(
     runtime: "AsyncioDimmunixRuntime",
+    serial: bool = False,
 ) -> PairOutcome:
     """Two tasks taking two locks in opposite orders, deterministically.
 
     Cooperative scheduling pins the interleaving: both tasks take their
     first lock, then both request the other's — the second request
     closes the cycle on run 1 and parks on the antibody on run 2.
+
+    ``serial=True`` runs the two tasks back to back instead of
+    concurrently: no deadlock is possible, but the opposite acquisition
+    orders — two distinct tasks, disjoint gate sets — are exactly the
+    reversal the trace miner mints the AB/BA signature from.
     """
     lock_a = runtime.lock("pair-a")
     lock_b = runtime.lock("pair-b")
@@ -247,8 +270,10 @@ async def run_opposite_order_pair(
             outcome.deadlocks_detected += 1
 
     first = asyncio.ensure_future(ab())
-    second = asyncio.ensure_future(ba())
     first.set_name("aio-pair-ab")
+    if serial:
+        await first
+    second = asyncio.ensure_future(ba())
     second.set_name("aio-pair-ba")
     await asyncio.gather(first, second)
     return outcome

@@ -144,6 +144,14 @@ class DimmunixConfig:
             optimization sketched in §4; ablation A2).
         max_signatures: Upper bound on history size; adding beyond it
             raises, as a guard against signature explosion.
+        predicted_ttl_runs: Demotion window for *predicted* antibodies
+            (seeded by ``dimmunix-lint`` or the trace miner rather than
+            earned at a real deadlock). A predicted signature that
+            survives this many runs without ever matching is dropped at
+            engine start-up and counted in ``stats.predictions_expired``
+            — static false positives cannot bloat the avoidance hot
+            path forever. ``0`` (the default) keeps predictions
+            indefinitely. Promoted and earned antibodies never expire.
         enabled: When false, adapters pass lock operations straight
             through. This is how "vanilla" baselines are measured.
     """
@@ -160,6 +168,7 @@ class DimmunixConfig:
     match_cap_policy: MatchCapPolicy = MatchCapPolicy.GRANT
     static_ids: bool = False
     max_signatures: int = 4096
+    predicted_ttl_runs: int = 0
     enabled: bool = True
     extra: dict = field(default_factory=dict)
 
@@ -177,6 +186,11 @@ class DimmunixConfig:
         if self.aio_yield_poll is not None and self.aio_yield_poll <= 0:
             raise ValueError(
                 f"aio_yield_poll must be positive or None, got {self.aio_yield_poll}"
+            )
+        if self.predicted_ttl_runs < 0:
+            raise ValueError(
+                "predicted_ttl_runs must be >= 0 (0 = never expire), got "
+                f"{self.predicted_ttl_runs}"
             )
         if self.match_step_budget < 0:
             raise ValueError(

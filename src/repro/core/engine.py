@@ -191,6 +191,13 @@ class DimmunixCore:
         # The engine itself never writes a file — see the module
         # docstring.
         self.history.bind_events(self.events, source)
+        # Demotion policy: predictions that never matched age by one run
+        # per engine start-up and expire at the TTL. Idempotent on a
+        # session-shared history (one aging step per process run).
+        if self.config.predicted_ttl_runs:
+            self.stats.predictions_expired += self.history.expire_predictions(
+                self.config.predicted_ttl_runs
+            )
         self._attached_persister = False
         if self.config.auto_save and self.history.store.persistent:
             if self.history.persister is None:
@@ -444,6 +451,13 @@ class DimmunixCore:
 
             signature, witnesses = instantiable
             self.stats.avoided_instantiations += 1
+            if signature.provenance != "earned":
+                # A predicted antibody just prevented a real deadlock —
+                # count it separately and promote it in place: the
+                # prediction proved itself without any first infection.
+                self.stats.predicted_avoidances += 1
+                if self.history.promote(signature):
+                    self.stats.predictions_promoted += 1
             # Undo the pretend-grant and park the thread on the signature.
             position.queue.remove(thread, lock)
             self.rag.clear_request(thread)

@@ -205,6 +205,25 @@ class HistorySavedEvent(Event):
     signatures: int = 0
 
 
+@dataclass(frozen=True)
+class PredictedSeededEvent(Event):
+    """A *predicted* signature entered the history before any infection.
+
+    Emitted by ``History.add_predicted`` — the write path shared by the
+    static lint (``dimmunix-lint``) and the trace miner. ``origin``
+    names the predictor (``"staticlint"`` / ``"tracemine"`` / ...);
+    ``confidence`` is the predictor's own estimate in [0, 1] that the
+    cycle is a reachable deadlock, carried for triage, not acted on by
+    the engine.
+    """
+
+    kind: ClassVar[str] = "predicted-seeded"
+
+    signature: Optional[DeadlockSignature] = None
+    origin: str = ""
+    confidence: float = 1.0
+
+
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
     for cls in (
@@ -217,6 +236,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
         StarvationEvent,
         MatchCappedEvent,
         HistorySavedEvent,
+        PredictedSeededEvent,
     )
 }
 
@@ -505,6 +525,7 @@ __all__ = [
     "StarvationEvent",
     "MatchCappedEvent",
     "HistorySavedEvent",
+    "PredictedSeededEvent",
     "EVENT_TYPES",
     "EventBus",
     "Subscription",

@@ -86,6 +86,9 @@ class History:
         self._events = None
         self._source = "history"
         self._persister = None
+        # expire_predictions runs at most once per History instance —
+        # one aging step per process run, however many engines share it.
+        self._aged = False
         # Serializes flush + its announcement so concurrent flushers
         # (worker thread vs explicit shutdown flush) cannot interleave:
         # when flush() returns, any flush that beat it has already
@@ -189,6 +192,66 @@ class History:
     def add(self, signature: DeadlockSignature) -> bool:
         """Insert ``signature``; returns ``False`` if it was a duplicate."""
         return self._store.add(signature)
+
+    # ------------------------------------------------------------------
+    # predictive immunity (predicted -> promoted -> expired)
+    # ------------------------------------------------------------------
+
+    def add_predicted(
+        self,
+        signature: DeadlockSignature,
+        *,
+        origin: str = "predict",
+        confidence: float = 1.0,
+    ) -> bool:
+        """Seed a *predicted* antibody — immunity before any infection.
+
+        The shared write path of the static lint and the trace miner.
+        The signature is stamped ``provenance="predicted"`` before the
+        store sees it; if the same bug was already earned (or promoted),
+        the duplicate is a no-op — prediction never downgrades a proven
+        antibody. Each actually-new prediction is announced as one
+        :class:`~repro.core.events.PredictedSeededEvent`.
+        """
+        signature.provenance = "predicted"
+        added = self._store.add(signature)
+        if added and self._events is not None:
+            from repro.core.events import PredictedSeededEvent
+
+            self._events.publish(
+                PredictedSeededEvent(
+                    source=self._source,
+                    signature=signature,
+                    origin=origin,
+                    confidence=confidence,
+                )
+            )
+        return added
+
+    def promote(self, signature: DeadlockSignature) -> bool:
+        """Upgrade a predicted signature that triggered a real avoidance."""
+        return self._store.promote(signature)
+
+    def expire_predictions(self, ttl_runs: int) -> int:
+        """Apply the ``predicted_ttl_runs`` demotion policy once per run.
+
+        Ages every still-predicted signature by one run and drops those
+        that reached the TTL (index *and* backend). Engines call this at
+        start-up; it is idempotent per History instance so several
+        adapters sharing one history age it exactly once. Returns how
+        many predictions were expired.
+        """
+        if ttl_runs <= 0:
+            return 0
+        with self._flush_lock:
+            if self._aged:
+                return 0
+            self._aged = True
+            return self._store.expire_predictions(ttl_runs)
+
+    def provenance_counts(self) -> dict[str, int]:
+        """Antibody counts by provenance (earned/predicted/promoted)."""
+        return self._store.provenance_counts()
 
     def signatures_at(
         self, key: PositionKey, include_starvation: bool = True

@@ -25,6 +25,26 @@ from repro.core.position import PositionKey
 KIND_DEADLOCK = "deadlock"
 KIND_STARVATION = "starvation"
 
+# Provenance taxonomy: how an antibody entered the history. ``earned``
+# is the paper's model (recorded at a real deadlock); ``predicted`` came
+# from the static lint or trace miner before any infection; ``promoted``
+# is a predicted signature that triggered a real avoidance and thereby
+# proved itself. Rank orders upgrade precedence: merging two signatures
+# with the same canonical key keeps the higher-ranked provenance.
+PROVENANCE_EARNED = "earned"
+PROVENANCE_PREDICTED = "predicted"
+PROVENANCE_PROMOTED = "promoted"
+
+PROVENANCE_RANK = {
+    PROVENANCE_PREDICTED: 0,
+    PROVENANCE_PROMOTED: 1,
+    PROVENANCE_EARNED: 2,
+}
+
+
+def provenance_rank(provenance: str) -> int:
+    return PROVENANCE_RANK[provenance]
+
 
 @dataclass(frozen=True)
 class SignatureEntry:
@@ -52,11 +72,18 @@ class DeadlockSignature:
     same bug therefore produce equal signatures regardless of thread
     naming or cycle rotation, which is what makes history deduplication
     work.
+
+    ``provenance`` and ``predicted_age`` are mutable *metadata*, not
+    identity: a predicted antibody and the earned antibody for the same
+    bug are the same signature, which is exactly what lets the store
+    upgrade one into the other in place.
     """
 
     __slots__ = (
         "entries",
         "kind",
+        "provenance",
+        "predicted_age",
         "_canonical",
         "_outer_keys",
         "outer_collapsed",
@@ -64,10 +91,18 @@ class DeadlockSignature:
     )
 
     def __init__(
-        self, entries: Iterable[SignatureEntry], kind: str = KIND_DEADLOCK
+        self,
+        entries: Iterable[SignatureEntry],
+        kind: str = KIND_DEADLOCK,
+        provenance: str = PROVENANCE_EARNED,
+        predicted_age: int = 0,
     ) -> None:
         if kind not in (KIND_DEADLOCK, KIND_STARVATION):
             raise ValueError(f"unknown signature kind: {kind!r}")
+        if provenance not in PROVENANCE_RANK:
+            raise ValueError(f"unknown provenance: {provenance!r}")
+        self.provenance = provenance
+        self.predicted_age = int(predicted_age)
         self.entries: tuple[SignatureEntry, ...] = tuple(entries)
         if not self.entries:
             raise ValueError("a signature needs at least one entry")
@@ -119,6 +154,11 @@ class DeadlockSignature:
     def is_starvation(self) -> bool:
         return self.kind == KIND_STARVATION
 
+    @property
+    def is_predicted(self) -> bool:
+        """Still unproven: seeded by prediction, never matched for real."""
+        return self.provenance == PROVENANCE_PREDICTED
+
     # ------------------------------------------------------------------
     # value identity
     # ------------------------------------------------------------------
@@ -139,16 +179,26 @@ class DeadlockSignature:
     # ------------------------------------------------------------------
 
     def to_json(self) -> dict:
-        return {
+        # Earned signatures serialize exactly as they always have —
+        # histories that never saw a prediction stay byte-identical and
+        # legacy readers keep working.
+        data = {
             "kind": self.kind,
             "entries": [entry.to_json() for entry in self.entries],
         }
+        if self.provenance != PROVENANCE_EARNED:
+            data["provenance"] = self.provenance
+            if self.predicted_age:
+                data["predicted_age"] = self.predicted_age
+        return data
 
     @classmethod
     def from_json(cls, data: dict) -> "DeadlockSignature":
         return cls(
             entries=[SignatureEntry.from_json(item) for item in data["entries"]],
             kind=data.get("kind", KIND_DEADLOCK),
+            provenance=data.get("provenance", PROVENANCE_EARNED),
+            predicted_age=data.get("predicted_age", 0),
         )
 
     def __repr__(self) -> str:
@@ -156,4 +206,8 @@ class DeadlockSignature:
             "|".join(f"{f}:{l}" for f, l in entry.outer.key())
             for entry in self.entries
         )
-        return f"DeadlockSignature(kind={self.kind}, size={self.size}, outer=[{outers}])"
+        tag = "" if self.provenance == PROVENANCE_EARNED else f", {self.provenance}"
+        return (
+            f"DeadlockSignature(kind={self.kind}, size={self.size}, "
+            f"outer=[{outers}]{tag})"
+        )

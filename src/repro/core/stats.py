@@ -29,6 +29,7 @@ _EVENT_COUNTERS = {
     "resume": "yield_wakeups",
     "detection": "deadlocks_detected",
     "starvation": "starvations_detected",
+    "predicted-seeded": "predictions_seeded",
 }
 
 
@@ -57,6 +58,16 @@ class DimmunixStats:
     signatures_added: int = 0
     duplicate_signatures: int = 0
     avoided_instantiations: int = 0
+    # Predictive-immunity tallies: predictions_seeded counts
+    # PredictedSeededEvents on this source (the 1:1 lifecycle rule);
+    # the other three are direct engine/history tallies —
+    # avoided_instantiations whose signature was predicted or promoted,
+    # predicted signatures upgraded to promoted by a real avoidance,
+    # and predicted signatures dropped by the predicted_ttl_runs policy.
+    predictions_seeded: int = 0
+    predicted_avoidances: int = 0
+    predictions_promoted: int = 0
+    predictions_expired: int = 0
     bypasses_granted: int = 0
     starvation_overrides: int = 0
     stack_retrievals: int = 0

@@ -35,7 +35,12 @@ from pathlib import Path
 from typing import Iterator, Optional
 
 from repro.core.position import PositionKey
-from repro.core.signature import DeadlockSignature
+from repro.core.signature import (
+    PROVENANCE_PREDICTED,
+    PROVENANCE_PROMOTED,
+    DeadlockSignature,
+    provenance_rank,
+)
 from repro.errors import DimmunixError
 
 # Captured before the platform-wide patch can replace it (repro.core is
@@ -47,6 +52,35 @@ _RLock = threading.RLock
 
 class HistoryFullError(DimmunixError):
     """The history reached ``max_signatures`` — a guard against explosion."""
+
+
+def _merge_provenance(
+    existing: DeadlockSignature, incoming: DeadlockSignature
+) -> bool:
+    """Fold ``incoming``'s provenance metadata into ``existing``.
+
+    Both have the same canonical key. Provenance only ever upgrades
+    (predicted → promoted → earned): an earned antibody re-seeded by the
+    predictor stays earned, while a predicted one observed at a real
+    deadlock becomes earned in place. Returns ``True`` when ``existing``
+    changed and therefore needs re-persisting.
+    """
+    have, got = provenance_rank(existing.provenance), provenance_rank(
+        incoming.provenance
+    )
+    if got > have:
+        existing.provenance = incoming.provenance
+        existing.predicted_age = 0
+        return True
+    if (
+        got == have
+        and existing.provenance == PROVENANCE_PREDICTED
+        and incoming.predicted_age > existing.predicted_age
+    ):
+        # Replayed update lines carry the latest age; keep the max.
+        existing.predicted_age = incoming.predicted_age
+        return True
+    return False
 
 
 class HistoryStore(abc.ABC):
@@ -67,7 +101,9 @@ class HistoryStore(abc.ABC):
         self.max_signatures = max_signatures
         self._lock = _RLock()
         self._signatures: list[DeadlockSignature] = []
-        self._canonical: set = set()
+        # canonical key -> the stored signature object, so a duplicate
+        # add can upgrade the stored object's provenance in place.
+        self._canonical: dict = {}
         # Values are tuples so the hot path can return them without
         # copying; adds (rare) rebuild the affected entries. Deadlock and
         # starvation signatures are indexed separately because avoidance
@@ -78,6 +114,9 @@ class HistoryStore(abc.ABC):
             PositionKey, tuple[DeadlockSignature, ...]
         ] = {}
         self._pending: list[DeadlockSignature] = []
+        # Set by _index when a duplicate upgraded the stored signature's
+        # provenance: add() re-pends it so the upgrade gets persisted.
+        self._merged_dup: Optional[DeadlockSignature] = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -105,12 +144,19 @@ class HistoryStore(abc.ABC):
 
         Never performs I/O: the signature joins the pending batch until
         the next :meth:`flush`.
+
+        A duplicate still returns ``False``, but its provenance metadata
+        is merged into the stored signature (predicted → promoted →
+        earned upgrades only); an actual upgrade re-pends the stored
+        object so the change reaches the backend on the next flush.
         """
         with self._lock:
-            if not self._index(signature):
-                return False
-            self._pending.append(signature)
-            return True
+            if self._index(signature):
+                self._pending.append(signature)
+                return True
+            if self._merged_dup is not None:
+                self._pending.append(self._merged_dup)
+            return False
 
     def merge_from(self, other) -> int:
         """Add all signatures from ``other``; returns how many were new.
@@ -131,14 +177,22 @@ class HistoryStore(abc.ABC):
         or is still single-threaded in ``__init__``.
         """
         key = signature.canonical_key()
-        if key in self._canonical:
+        existing = self._canonical.get(key)
+        if existing is not None:
+            # A duplicate can still carry news: its provenance. Merging
+            # here covers both live adds and backend replay (a promoted
+            # update line in a jsonl log, a newer sqlite row).
+            self._merged_dup = (
+                existing if _merge_provenance(existing, signature) else None
+            )
             return False
+        self._merged_dup = None
         if len(self._signatures) >= self.max_signatures:
             raise HistoryFullError(
                 f"history holds {len(self._signatures)} signatures "
                 f"(max {self.max_signatures})"
             )
-        self._canonical.add(key)
+        self._canonical[key] = signature
         self._signatures.append(signature)
         index = (
             self._starvation_by_outer
@@ -150,6 +204,90 @@ class HistoryStore(abc.ABC):
             if signature not in existing:
                 index[outer_key] = existing + (signature,)
         return True
+
+    # ------------------------------------------------------------------
+    # provenance lifecycle (predicted -> promoted -> expired)
+    # ------------------------------------------------------------------
+
+    def promote(self, signature: DeadlockSignature) -> bool:
+        """Mark a stored *predicted* signature as ``promoted``.
+
+        Called by the engine when a predicted antibody triggers a real
+        avoidance — the prediction proved itself. Returns ``True`` only
+        on an actual predicted → promoted transition; the change is
+        pended for the next flush.
+        """
+        with self._lock:
+            stored = self._canonical.get(signature.canonical_key())
+            if stored is None or stored.provenance != PROVENANCE_PREDICTED:
+                return False
+            stored.provenance = PROVENANCE_PROMOTED
+            stored.predicted_age = 0
+            self._pending.append(stored)
+            return True
+
+    def expire_predictions(self, ttl_runs: int) -> int:
+        """Age every still-predicted signature by one run; drop the stale.
+
+        A predicted signature that survives ``ttl_runs`` runs without
+        ever matching is a probable false positive bloating the
+        avoidance hot path — it is removed from the index *and* the
+        backend. Survivors get their age bump persisted. Returns how
+        many signatures were expired.
+        """
+        with self._lock:
+            expired: list[DeadlockSignature] = []
+            for stored in self._signatures:
+                if stored.provenance != PROVENANCE_PREDICTED:
+                    continue
+                stored.predicted_age += 1
+                if stored.predicted_age >= ttl_runs:
+                    expired.append(stored)
+                else:
+                    self._pending.append(stored)
+            if expired:
+                self._remove(tuple(expired))
+            return len(expired)
+
+    def provenance_counts(self) -> dict[str, int]:
+        """Antibody counts by provenance (earned/predicted/promoted)."""
+        with self._lock:
+            counts = {"earned": 0, "predicted": 0, "promoted": 0}
+            for stored in self._signatures:
+                counts[stored.provenance] += 1
+            return counts
+
+    def _remove(self, batch: tuple[DeadlockSignature, ...]) -> None:
+        """Drop stored signatures from index, pending batch, and backend.
+
+        Called with the store lock held; every element of ``batch`` is a
+        currently stored object.
+        """
+        dropped = set(id(stored) for stored in batch)
+        self._signatures = [
+            s for s in self._signatures if id(s) not in dropped
+        ]
+        self._pending = [s for s in self._pending if id(s) not in dropped]
+        for stored in batch:
+            self._canonical.pop(stored.canonical_key(), None)
+            index = (
+                self._starvation_by_outer
+                if stored.is_starvation
+                else self._by_outer
+            )
+            for outer_key in set(stored.outer_position_keys()):
+                remaining = tuple(
+                    s for s in index.get(outer_key, ()) if s is not stored
+                )
+                if remaining:
+                    index[outer_key] = remaining
+                else:
+                    index.pop(outer_key, None)
+        self._remove_backend(batch)
+
+    def _remove_backend(self, batch: tuple[DeadlockSignature, ...]) -> None:
+        """Erase ``batch`` from backend storage (lock held)."""
+        # In-memory backends have nothing beyond the index.
 
     # ------------------------------------------------------------------
     # queries (the avoidance hot path — O(1) dict probes)

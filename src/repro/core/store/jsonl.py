@@ -158,6 +158,12 @@ class JsonlStore(HistoryStore):
         if self._path.exists():
             write_snapshot(self._path, ())
 
+    def _remove_backend(self, batch) -> None:
+        # An append-only log can't un-append: compact to a snapshot of
+        # the survivors (removal is rare — prediction expiry only).
+        if self._path.exists():
+            write_snapshot(self._path, self._signatures)
+
     def _persist(self, batch: tuple[DeadlockSignature, ...]) -> None:
         self._path.parent.mkdir(parents=True, exist_ok=True)
         if self._torn_tail or not self._path.exists():

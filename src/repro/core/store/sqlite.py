@@ -49,7 +49,8 @@ CREATE TABLE IF NOT EXISTS meta (
 CREATE TABLE IF NOT EXISTS signatures (
     canonical TEXT PRIMARY KEY,
     kind TEXT NOT NULL,
-    data TEXT NOT NULL
+    data TEXT NOT NULL,
+    provenance TEXT NOT NULL DEFAULT 'earned'
 );
 CREATE TABLE IF NOT EXISTS positions (
     canonical TEXT NOT NULL,
@@ -128,6 +129,20 @@ class SqliteStore(HistoryStore):
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.executescript(_SCHEMA)
+            # Databases created before the provenance column gain it on
+            # open; existing rows default to 'earned' (the only
+            # provenance that existed back then).
+            columns = {
+                row[1]
+                for row in self._conn.execute(
+                    "PRAGMA table_info(signatures)"
+                )
+            }
+            if "provenance" not in columns:
+                self._conn.execute(
+                    "ALTER TABLE signatures ADD COLUMN provenance "
+                    "TEXT NOT NULL DEFAULT 'earned'"
+                )
             self._conn.execute(
                 "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
                 ("format", FORMAT_NAME),
@@ -169,9 +184,23 @@ class SqliteStore(HistoryStore):
     # durability
     # ------------------------------------------------------------------
 
+    # Rank used to decide whether a conflicting row may overwrite the
+    # stored one: provenance only ever upgrades (predicted < promoted <
+    # earned); equal-provenance writes may still refresh the data column
+    # (a predicted signature's age bump).
+    _RANK_SQL = (
+        "(CASE {col} WHEN 'predicted' THEN 0 WHEN 'promoted' THEN 1 "
+        "ELSE 2 END)"
+    )
+
     def _persist(self, batch: tuple[DeadlockSignature, ...]) -> None:
         rows = [
-            (canonical_text(sig), sig.kind, json.dumps(sig.to_json()))
+            (
+                canonical_text(sig),
+                sig.kind,
+                json.dumps(sig.to_json()),
+                sig.provenance,
+            )
             for sig in batch
         ]
         position_rows = [
@@ -183,11 +212,22 @@ class SqliteStore(HistoryStore):
             for sig in batch
             for key in set(sig.outer_position_keys())
         ]
-        # One transaction per flush; OR IGNORE dedups against rows a
-        # sibling process committed first.
+        # One transaction per flush. The upsert dedups against rows a
+        # sibling process committed first, but still lets a provenance
+        # *upgrade* (e.g. predicted -> promoted) or an equal-provenance
+        # metadata refresh through — a plain OR IGNORE would silently
+        # drop promotions.
         self._conn.executemany(
-            "INSERT OR IGNORE INTO signatures (canonical, kind, data) "
-            "VALUES (?, ?, ?)",
+            "INSERT INTO signatures (canonical, kind, data, provenance) "
+            "VALUES (?, ?, ?, ?) "
+            "ON CONFLICT(canonical) DO UPDATE SET "
+            "data = excluded.data, provenance = excluded.provenance "
+            "WHERE "
+            + self._RANK_SQL.format(col="signatures.provenance")
+            + " < "
+            + self._RANK_SQL.format(col="excluded.provenance")
+            + " OR (signatures.provenance = excluded.provenance "
+            "AND signatures.data != excluded.data)",
             rows,
         )
         self._conn.executemany(
@@ -216,6 +256,16 @@ class SqliteStore(HistoryStore):
         self._conn.execute("DELETE FROM positions")
         self._conn.commit()
 
+    def _remove_backend(self, batch) -> None:
+        keys = [(canonical_text(sig),) for sig in batch]
+        self._conn.executemany(
+            "DELETE FROM signatures WHERE canonical = ?", keys
+        )
+        self._conn.executemany(
+            "DELETE FROM positions WHERE canonical = ?", keys
+        )
+        self._conn.commit()
+
     def refresh(self) -> int:
         """Pull in signatures committed by other processes since open.
 
@@ -231,10 +281,10 @@ class SqliteStore(HistoryStore):
             added = 0
             for (data,) in rows:
                 signature = DeadlockSignature.from_json(json.loads(data))
-                if signature.canonical_key() in self._canonical:
-                    continue
-                self._index(signature)
-                added += 1
+                # _index also merges provenance upgrades committed by a
+                # sibling process (their promotion reaches our copy).
+                if self._index(signature):
+                    added += 1
             return added
 
     def close(self) -> None:

@@ -1,0 +1,41 @@
+"""Predictive immunity — antibodies *before* the first infection.
+
+The paper's immunity model requires one infection per signature: the
+engine only avoids deadlocks it has already suffered. This package adds
+the two prediction fronts that close the gap (both from PAPERS.md):
+
+* :mod:`repro.predict.staticlint` — a static lock-order analyzer in the
+  style of "Sound Static Deadlock Analysis for C/Pthreads"
+  (arXiv:1607.06927): walk Python source for lock acquisition
+  structure, build an interprocedural lock-order graph over may-alias
+  classes, and report cycles as lint diagnostics. Surfaced as the
+  ``dimmunix-lint`` console script.
+* :mod:`repro.predict.tracemine` — a dynamic predictor in the style of
+  "Beyond Per-Thread Lock Sets" (arXiv:2512.23552): replay a recorded
+  ``dimmunix-events`` stream from a run that never deadlocked and mint
+  signatures from lock-order reversals between threads.
+
+Both fronts compile their findings into ordinary
+:class:`~repro.core.signature.DeadlockSignature` objects carrying
+``provenance="predicted"`` and seed them through
+``History.add_predicted`` — after which the existing engine avoids them
+exactly like earned antibodies, counts the avoidances separately, and
+*promotes* a prediction the first time it prevents a real deadlock.
+"""
+
+from repro.predict.lockgraph import LockOrderGraph, compile_cycle
+from repro.predict.staticlint import LintDiagnostic, lint_paths, lint_source
+from repro.predict.tracemine import Prediction, mine_events, mine_trace_file
+from repro.predict.harness import seed_predictions
+
+__all__ = [
+    "LockOrderGraph",
+    "compile_cycle",
+    "LintDiagnostic",
+    "lint_paths",
+    "lint_source",
+    "Prediction",
+    "mine_events",
+    "mine_trace_file",
+    "seed_predictions",
+]

@@ -1,0 +1,563 @@
+"""AST extraction of lock-acquisition structure from Python source.
+
+The static front end of :mod:`repro.predict`: parse a module (never
+import it), identify which expressions denote locks, and record every
+*ordered* acquisition — "lock B was acquired while lock A was held, at
+these lines". The result feeds :mod:`repro.predict.lockgraph`, which
+finds cycles.
+
+Lock identity is approximated by **may-alias classes**:
+
+* ``x = runtime.lock("account-a")`` — a constructor call with a string
+  literal names the class ``lock:account-a``; the same name in another
+  module is the same class (that is how cross-module cycles are found).
+* ``forks = [runtime.lock(f"fork-{i}") for i in range(n)]`` — a
+  constructor inside a comprehension/loop/collection makes a
+  *multi-instance* class: many distinct locks share one source
+  position, so acquiring two members of the class in a nested pair is a
+  potential deadlock even though the graph edge is a self-loop.
+* ``self.cond = runtime.condition()`` — per-class attribute classes
+  (``attr:Looper.cond``).
+* a bare name with no visible binding (typically a function parameter)
+  falls back to the *name class* ``var:<file>:<name>`` — two functions
+  in one module acquiring parameters named ``account_a`` / ``account_b``
+  in opposite orders alias by name. Weak, hence lower confidence, but
+  exactly what catches thread-target functions whose arguments are
+  built elsewhere.
+
+Recognized acquisition forms: ``with``/``async with`` (including
+multiple items and ``synchronized(obj)``), ``.acquire()`` /
+``.release()`` method pairs (plus ``.lock()``/``.unlock()`` wrappers),
+and the ``@synchronized_method`` decorator. Call sites of same-module
+functions propagate the held set one level into the callee
+(interprocedural edges, parameter-substituted).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+# Constructor method names on the facade / runtimes that return locks.
+_CTOR_METHODS = {
+    "lock",
+    "rlock",
+    "condition",
+    "aio_lock",
+    "aio_rlock",
+    "aio_condition",
+    "cross_lock",
+}
+# Constructor attribute/class names from threading / asyncio.
+_CTOR_TYPES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+_ACQUIRE_METHODS = {"acquire", "lock"}
+_RELEASE_METHODS = {"release", "unlock"}
+
+# Resolution strengths, folded into cycle confidence by lockgraph.
+STRENGTH_CTOR = 0.9
+STRENGTH_ATTR = 0.7
+STRENGTH_NAME = 0.55
+
+
+@dataclass(frozen=True)
+class LockClass:
+    """One may-alias class of lock objects."""
+
+    id: str
+    multi: bool = False
+    strength: float = STRENGTH_CTOR
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One syntactic lock acquisition: class + canonical position."""
+
+    cls: LockClass
+    file: str
+    line: int
+
+
+@dataclass(frozen=True)
+class OrderEdge:
+    """``inner`` was acquired while ``outer`` was held."""
+
+    outer: Acquisition
+    inner: Acquisition
+    function: str = ""
+    interproc: bool = False
+
+    @property
+    def confidence(self) -> float:
+        conf = min(self.outer.cls.strength, self.inner.cls.strength)
+        if self.outer.cls.id == self.inner.cls.id:
+            conf = min(conf, 0.6)  # self-loop on a multi-instance class
+        if self.interproc:
+            conf *= 0.9
+        return round(conf, 3)
+
+
+@dataclass
+class FunctionInfo:
+    """Per-function summary used for one-level call expansion."""
+
+    name: str
+    params: tuple[str, ...]
+    acquisitions: list[Acquisition] = field(default_factory=list)
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the analyzer extracted from one source file."""
+
+    path: str
+    acquisitions: list[Acquisition] = field(default_factory=list)
+    edges: list[OrderEdge] = field(default_factory=list)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+class _Env:
+    """A chained name -> LockClass scope."""
+
+    def __init__(self, parent: Optional["_Env"] = None) -> None:
+        self.parent = parent
+        self.names: dict[str, LockClass] = {}
+
+    def lookup(self, name: str) -> Optional[LockClass]:
+        env: Optional[_Env] = self
+        while env is not None:
+            if name in env.names:
+                return env.names[name]
+            env = env.parent
+        return None
+
+
+def _string_arg(call: ast.Call) -> Optional[str]:
+    for arg in call.args:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+    return None
+
+
+def _multi_name_arg(call: ast.Call) -> Optional[str]:
+    """An f-string argument names a lock *family* (``f"fork-{i}"``)."""
+    for arg in call.args:
+        if isinstance(arg, ast.JoinedStr):
+            prefix = "".join(
+                part.value
+                for part in arg.values
+                if isinstance(part, ast.Constant)
+                and isinstance(part.value, str)
+            )
+            return f"{prefix}*"
+    return None
+
+
+def _is_lock_ctor(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in _CTOR_METHODS or func.attr in _CTOR_TYPES
+    if isinstance(func, ast.Name):
+        return (
+            func.id in _CTOR_TYPES
+            or func.id.endswith("Lock")
+            or func.id in _CTOR_METHODS
+        )
+    return False
+
+
+class _Analyzer:
+    """Walks one module, populating a :class:`ModuleSummary`."""
+
+    def __init__(self, tree: ast.Module, path: str) -> None:
+        self.path = path
+        self.summary = ModuleSummary(path=path)
+        # (callee name, arg classes, held snapshot) for one-level
+        # interprocedural expansion after the whole module is walked.
+        self.callsites: list[
+            tuple[str, list[Optional[LockClass]], tuple[Acquisition, ...]]
+        ] = []
+        self._fn_stack: list[str] = []
+        module_env = _Env()
+        self._walk_body(tree.body, module_env, held=[], selfcls=None)
+        self._expand_callsites()
+
+    # -- alias-class construction --------------------------------------
+
+    def _ctor_class(
+        self, call: ast.Call, bound_name: str, multi: bool
+    ) -> LockClass:
+        literal = _string_arg(call)
+        if literal is not None:
+            return LockClass(f"lock:{literal}", multi=multi)
+        family = _multi_name_arg(call)
+        if family is not None:
+            return LockClass(f"lock:{family}", multi=True)
+        return LockClass(
+            f"lock:{self.path}:{bound_name}", multi=multi
+        )
+
+    def _collection_ctor(self, value: ast.expr) -> Optional[ast.Call]:
+        """The ctor call inside a list/comprehension, if any."""
+        if isinstance(value, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            elt = value.elt
+            if isinstance(elt, ast.Call) and _is_lock_ctor(elt):
+                return elt
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for elt in value.elts:
+                if isinstance(elt, ast.Call) and _is_lock_ctor(elt):
+                    return elt
+        return None
+
+    def resolve(
+        self, expr: ast.expr, env: _Env, selfcls: Optional[str]
+    ) -> Optional[LockClass]:
+        """The may-alias class an expression denotes, or ``None``."""
+        if isinstance(expr, ast.Name):
+            found = env.lookup(expr.id)
+            if found is not None:
+                return found
+            # Unbound name (typically a parameter): alias by name,
+            # scoped to the file so generic names don't link modules.
+            return LockClass(
+                f"var:{self.path}:{expr.id}",
+                multi=False,
+                strength=STRENGTH_NAME,
+            )
+        if isinstance(expr, ast.Attribute):
+            if (
+                isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and selfcls is not None
+            ):
+                found = env.lookup(f"self.{expr.attr}")
+                if found is not None:
+                    return found
+                return LockClass(
+                    f"attr:{selfcls}.{expr.attr}",
+                    multi=False,
+                    strength=STRENGTH_ATTR,
+                )
+            try:
+                text = ast.unparse(expr)
+            except Exception:  # pragma: no cover - unparse is total on 3.9+
+                return None
+            return LockClass(
+                f"expr:{self.path}:{text}",
+                multi=False,
+                strength=STRENGTH_NAME,
+            )
+        if isinstance(expr, ast.Subscript):
+            base = (
+                self.resolve(expr.value, env, selfcls)
+                if isinstance(expr.value, (ast.Name, ast.Attribute))
+                else None
+            )
+            if base is not None:
+                # An element of a lock collection: same class, but now
+                # explicitly multi-instance — two elements may differ.
+                return LockClass(base.id, multi=True, strength=base.strength)
+            return None
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            # ``with synchronized(obj):`` — the monitor of obj.
+            if isinstance(func, ast.Name) and func.id == "synchronized":
+                if expr.args:
+                    inner = self.resolve(expr.args[0], env, selfcls)
+                    if inner is not None:
+                        return LockClass(
+                            f"mon:{inner.id}", inner.multi, inner.strength
+                        )
+                return None
+            if _is_lock_ctor(expr):
+                # An anonymous inline ctor: position-named class.
+                return self._ctor_class(expr, f"<anon:{expr.lineno}>", False)
+        return None
+
+    # -- the body walk --------------------------------------------------
+
+    def _record_acq(
+        self,
+        cls: LockClass,
+        line: int,
+        held: list[Acquisition],
+    ) -> Acquisition:
+        acq = Acquisition(cls=cls, file=self.path, line=line)
+        self.summary.acquisitions.append(acq)
+        if self._fn_stack:
+            info = self.summary.functions.get(self._fn_stack[-1])
+            if info is not None:
+                info.acquisitions.append(acq)
+        for outer in held:
+            if outer.cls.id == acq.cls.id and not acq.cls.multi:
+                continue  # re-entering one singleton lock: not an order
+            self.summary.edges.append(
+                OrderEdge(
+                    outer=outer,
+                    inner=acq,
+                    function=self._fn_stack[-1] if self._fn_stack else "",
+                )
+            )
+        return acq
+
+    def _walk_body(
+        self,
+        stmts: list[ast.stmt],
+        env: _Env,
+        held: list[Acquisition],
+        selfcls: Optional[str],
+    ) -> None:
+        for stmt in stmts:
+            self._walk_stmt(stmt, env, held, selfcls)
+
+    def _walk_stmt(
+        self,
+        stmt: ast.stmt,
+        env: _Env,
+        held: list[Acquisition],
+        selfcls: Optional[str],
+    ) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._handle_assign(stmt, env, selfcls)
+            self._scan_calls(stmt.value, env, held, selfcls)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            added: list[Acquisition] = []
+            for item in stmt.items:
+                cls = self.resolve(item.context_expr, env, selfcls)
+                if cls is not None:
+                    acq = self._record_acq(
+                        cls, item.context_expr.lineno, held + added
+                    )
+                    added.append(acq)
+            self._walk_body(stmt.body, env, held + added, selfcls)
+            return
+        if isinstance(stmt, ast.Expr):
+            call = stmt.value
+            if isinstance(call, ast.Call) and isinstance(
+                call.func, ast.Attribute
+            ):
+                target = call.func.value
+                if call.func.attr in _ACQUIRE_METHODS:
+                    cls = self.resolve(target, env, selfcls)
+                    # ``.lock()`` on a non-lock object would resolve to
+                    # a weak var class; only track plausible targets.
+                    if cls is not None:
+                        held.append(
+                            self._record_acq(cls, call.lineno, held)
+                        )
+                        return
+                elif call.func.attr in _RELEASE_METHODS:
+                    cls = self.resolve(target, env, selfcls)
+                    if cls is not None:
+                        for index in range(len(held) - 1, -1, -1):
+                            if held[index].cls.id == cls.id:
+                                del held[index]
+                                break
+                        return
+            self._scan_calls(stmt.value, env, held, selfcls)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._handle_function(stmt, env, selfcls)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            self._handle_class(stmt, env)
+            return
+        if isinstance(stmt, (ast.If,)):
+            self._scan_calls(stmt.test, env, held, selfcls)
+            self._walk_body(stmt.body, env, list(held), selfcls)
+            self._walk_body(stmt.orelse, env, list(held), selfcls)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._walk_body(stmt.body, env, list(held), selfcls)
+            self._walk_body(stmt.orelse, env, list(held), selfcls)
+            return
+        if isinstance(stmt, ast.While):
+            self._scan_calls(stmt.test, env, held, selfcls)
+            self._walk_body(stmt.body, env, list(held), selfcls)
+            self._walk_body(stmt.orelse, env, list(held), selfcls)
+            return
+        if isinstance(stmt, ast.Try):
+            self._walk_body(stmt.body, env, list(held), selfcls)
+            for handler in stmt.handlers:
+                self._walk_body(handler.body, env, list(held), selfcls)
+            self._walk_body(stmt.orelse, env, list(held), selfcls)
+            self._walk_body(stmt.finalbody, env, list(held), selfcls)
+            return
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            self._scan_calls(stmt.value, env, held, selfcls)
+
+    @staticmethod
+    def _bound_target_name(stmt: ast.Assign) -> str:
+        if stmt.targets:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                return target.id
+            if isinstance(target, ast.Attribute):
+                return target.attr
+        return f"<line:{stmt.lineno}>"
+
+    def _handle_assign(
+        self, stmt: ast.Assign, env: _Env, selfcls: Optional[str]
+    ) -> None:
+        value = stmt.value
+        cls: Optional[LockClass] = None
+        if isinstance(value, ast.Call) and _is_lock_ctor(value):
+            cls = self._ctor_class(value, self._bound_target_name(stmt), multi=False)
+        else:
+            ctor = self._collection_ctor(value)
+            # Aliasing assignments only propagate *known* classes — an
+            # unbound RHS name is usually not a lock, so no var: class
+            # is invented here.
+            if ctor is not None:
+                made = self._ctor_class(ctor, self._bound_target_name(stmt), multi=True)
+                cls = LockClass(made.id, multi=True, strength=made.strength)
+            elif isinstance(value, ast.Name):
+                cls = env.lookup(value.id)
+            elif isinstance(value, ast.Subscript):
+                base = value.value
+                if (
+                    isinstance(base, ast.Name)
+                    and env.lookup(base.id) is not None
+                ):
+                    cls = self.resolve(value, env, selfcls)
+            elif isinstance(value, ast.Attribute):
+                if (
+                    isinstance(value.value, ast.Name)
+                    and value.value.id == "self"
+                ):
+                    cls = env.lookup(f"self.{value.attr}")
+        if cls is None:
+            return
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                env.names[target.id] = cls
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                env.names[f"self.{target.attr}"] = cls
+
+    def _handle_function(
+        self,
+        stmt: ast.FunctionDef | ast.AsyncFunctionDef,
+        env: _Env,
+        selfcls: Optional[str],
+    ) -> None:
+        params = tuple(arg.arg for arg in stmt.args.args)
+        qual = (
+            f"{selfcls}.{stmt.name}" if selfcls is not None else stmt.name
+        )
+        self.summary.functions[qual] = FunctionInfo(name=qual, params=params)
+        fn_env = _Env(parent=env)
+        fn_held: list[Acquisition] = []
+        for decorator in stmt.decorator_list:
+            name = (
+                decorator.id
+                if isinstance(decorator, ast.Name)
+                else decorator.attr
+                if isinstance(decorator, ast.Attribute)
+                else None
+            )
+            if name == "synchronized_method" and selfcls is not None:
+                monitor = LockClass(
+                    f"mon:attr:{selfcls}.self",
+                    multi=False,
+                    strength=STRENGTH_ATTR,
+                )
+                self._fn_stack.append(qual)
+                fn_held.append(
+                    self._record_acq(monitor, stmt.lineno, fn_held)
+                )
+                self._fn_stack.pop()
+        self._fn_stack.append(qual)
+        self._walk_body(stmt.body, fn_env, fn_held, selfcls)
+        self._fn_stack.pop()
+        # Methods are also reachable by bare attribute name (obj.m()).
+        if selfcls is not None:
+            self.summary.functions.setdefault(
+                stmt.name, self.summary.functions[qual]
+            )
+
+    def _handle_class(self, stmt: ast.ClassDef, env: _Env) -> None:
+        cls_env = _Env(parent=env)
+        # Pre-pass: self-attribute lock bindings anywhere in the class,
+        # so methods defined before __init__ still resolve them.
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                self._handle_assign(node, cls_env, stmt.name)
+        self._walk_body(stmt.body, cls_env, [], stmt.name)
+
+    def _scan_calls(
+        self,
+        expr: ast.expr,
+        env: _Env,
+        held: list[Acquisition],
+        selfcls: Optional[str],
+    ) -> None:
+        """Record call sites made while locks are held (one level)."""
+        if not held:
+            return
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            callee: Optional[str] = None
+            if isinstance(node.func, ast.Name):
+                callee = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                callee = node.func.attr
+            if callee is None:
+                continue
+            args = [
+                self.resolve(arg, env, selfcls)
+                if isinstance(arg, (ast.Name, ast.Attribute, ast.Subscript))
+                else None
+                for arg in node.args
+            ]
+            self.callsites.append((callee, args, tuple(held)))
+
+    def _expand_callsites(self) -> None:
+        """One-level interprocedural expansion of held-over calls."""
+        for callee, args, held in self.callsites:
+            info = self.summary.functions.get(callee)
+            if info is None:
+                continue
+            substitution = {
+                f"var:{self.path}:{param}": cls
+                for param, cls in zip(info.params, args)
+                if cls is not None
+            }
+            for acq in info.acquisitions:
+                cls = substitution.get(acq.cls.id, acq.cls)
+                inner = Acquisition(cls=cls, file=acq.file, line=acq.line)
+                for outer in held:
+                    if outer.cls.id == inner.cls.id and not inner.cls.multi:
+                        continue
+                    self.summary.edges.append(
+                        OrderEdge(
+                            outer=outer,
+                            inner=inner,
+                            function=callee,
+                            interproc=True,
+                        )
+                    )
+
+
+def analyze_source(source: str, path: str) -> ModuleSummary:
+    """Extract lock-order structure from one module's source text."""
+    tree = ast.parse(source, filename=path)
+    return _Analyzer(tree, path).summary
+
+
+__all__ = [
+    "LockClass",
+    "Acquisition",
+    "OrderEdge",
+    "ModuleSummary",
+    "analyze_source",
+    "STRENGTH_CTOR",
+    "STRENGTH_ATTR",
+    "STRENGTH_NAME",
+]

@@ -1,0 +1,126 @@
+"""Bridge from the prediction fronts into a live history.
+
+Both fronts end in the same move: hand a batch of candidate signatures
+to ``History.add_predicted`` so the engine starts avoiding them on the
+next run. :func:`seed_predictions` is that move for any mix of
+:class:`~repro.predict.staticlint.LintDiagnostic`,
+:class:`~repro.predict.tracemine.Prediction`, or bare
+:class:`~repro.core.signature.DeadlockSignature` objects;
+:func:`lint_and_seed` / :func:`mine_and_seed` are the one-call forms
+used by ``dimmunix-lint --seed`` and ``dimmunix-events mine --seed``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.core.history import History, open_history
+from repro.core.signature import DeadlockSignature
+from repro.core.store import parse_history_url
+from repro.core.store.url import SCHEME_MEM, HistoryUrlError
+from repro.predict.staticlint import LintDiagnostic, lint_paths
+from repro.predict.tracemine import Prediction, mine_trace_file
+
+Seedable = Union[LintDiagnostic, Prediction, DeadlockSignature]
+
+
+def seed_predictions(
+    history: History,
+    items: Iterable[Seedable],
+    *,
+    origin: str = "predict",
+) -> int:
+    """Seed predicted antibodies into ``history``; return how many stuck.
+
+    Duplicates (including predictions of already-earned bugs) are
+    silently skipped by the store, so re-seeding after every lint run
+    is safe and idempotent. ``origin`` labels the
+    ``predicted-seeded`` events for items that do not carry their own
+    (a :class:`Prediction` does; a diagnostic or bare signature does
+    not).
+    """
+    added = 0
+    for item in items:
+        if isinstance(item, DeadlockSignature):
+            signature, confidence, item_origin = item, 1.0, origin
+        elif isinstance(item, Prediction):
+            signature = item.signature
+            confidence = item.confidence
+            item_origin = item.origin
+        else:
+            signature = item.signature
+            confidence = item.confidence
+            item_origin = "staticlint"
+        if signature is None:
+            continue
+        if history.add_predicted(
+            signature, origin=item_origin, confidence=confidence
+        ):
+            added += 1
+    return added
+
+
+def seed_history_spec(spec: str, items: Iterable[Seedable]) -> int:
+    """Seed predictions into a history named by path or DSN.
+
+    The shared write path of ``dimmunix-lint --seed`` and
+    ``dimmunix-events mine --seed``: a ``jsonl://`` / ``sqlite://`` DSN
+    opens the backend (created if missing); a plain path reads/writes
+    the legacy flat format. Returns how many predictions were new.
+    """
+    if "://" in spec:
+        url = parse_history_url(spec)
+        if url.scheme == SCHEME_MEM:
+            raise HistoryUrlError("mem:// holds no data across runs")
+        history = open_history(spec, max_signatures=1_000_000)
+        try:
+            seeded = seed_predictions(history, items)
+            history.flush()
+        finally:
+            history.close()
+        return seeded
+    path = Path(spec)
+    if path.exists():
+        history = History.load(path, max_signatures=1_000_000)
+    else:
+        history = History(max_signatures=1_000_000)
+    seeded = seed_predictions(history, items)
+    history.save(path)
+    return seeded
+
+
+def lint_and_seed(
+    history: History,
+    paths: Iterable[Union[str, Path]],
+    *,
+    min_confidence: float = 0.0,
+) -> tuple[int, list[LintDiagnostic], list[str]]:
+    """Static-lint ``paths`` and seed every finding into ``history``.
+
+    Returns ``(seeded, diagnostics, errors)``.
+    """
+    diagnostics, errors = lint_paths(paths, min_confidence=min_confidence)
+    return seed_predictions(history, diagnostics), diagnostics, errors
+
+
+def mine_and_seed(
+    history: History,
+    trace: Union[str, Path],
+    *,
+    min_confidence: float = 0.0,
+) -> tuple[int, list[Prediction]]:
+    """Mine a recorded trace and seed every prediction into ``history``.
+
+    Returns ``(seeded, predictions)``.
+    """
+    predictions = mine_trace_file(trace, min_confidence=min_confidence)
+    return seed_predictions(history, predictions), predictions
+
+
+__all__ = [
+    "seed_predictions",
+    "seed_history_spec",
+    "lint_and_seed",
+    "mine_and_seed",
+]

@@ -1,0 +1,164 @@
+"""The lock-order graph: cycles in it are predicted deadlocks.
+
+Nodes are may-alias classes from :mod:`repro.predict.astwalk` (static
+front) or concrete lock names (trace front); a directed edge ``A -> B``
+records "B was acquired while A was held", annotated with the source
+positions of both acquisitions. A cycle is a potential deadlock:
+
+* a multi-node cycle (``A -> B -> A``) is the classic AB/BA inversion;
+* a *self-loop* on a **multi-instance** class (a collection of locks
+  acquired through one pair of source lines, e.g. the dining
+  philosophers' ``forks[i]`` / ``forks[i+1]``) is the collapsed form —
+  many distinct locks, one program position, circular wait among the
+  instances. Self-loops on singleton classes are re-entrancy, not
+  deadlock, and are never reported.
+
+Every cycle compiles into a candidate
+:class:`~repro.core.signature.DeadlockSignature` whose entries carry the
+same canonical ``(file, line)`` position keys the runtime's depth-1
+stacks produce — which is exactly what lets a *predicted* signature
+match real acquisitions on the first run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.callstack import CallStack
+from repro.core.signature import DeadlockSignature, SignatureEntry
+from repro.predict.astwalk import Acquisition, OrderEdge
+
+DEFAULT_MAX_CYCLE = 6
+
+
+@dataclass(frozen=True)
+class Cycle:
+    """One lock-order cycle and its supporting edges."""
+
+    edges: tuple[OrderEdge, ...]
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(edge.outer.cls.id for edge in self.edges)
+
+    @property
+    def confidence(self) -> float:
+        return min(edge.confidence for edge in self.edges)
+
+    @property
+    def is_self_loop(self) -> bool:
+        return len(self.edges) == 1
+
+    def path(self) -> str:
+        names = [_short(node) for node in self.nodes]
+        names.append(_short(self.nodes[0]))
+        return " -> ".join(names)
+
+
+def _short(class_id: str) -> str:
+    """A readable node label: drop the file-scoping of weak classes."""
+    kind, _, rest = class_id.partition(":")
+    if kind in ("var", "expr", "attr") and ":" in rest:
+        rest = rest.rsplit(":", 1)[-1]
+    if kind == "lock" and ":" in rest:
+        rest = rest.rsplit(":", 1)[-1]
+    return f"{kind}:{rest}" if kind != "lock" else rest
+
+
+class LockOrderGraph:
+    """A directed graph over lock classes with positioned edges."""
+
+    def __init__(self) -> None:
+        # (src, dst) -> the highest-confidence witness edge.
+        self._edges: dict[tuple[str, str], OrderEdge] = {}
+        self._successors: dict[str, set[str]] = {}
+
+    def add_edge(self, edge: OrderEdge) -> None:
+        src, dst = edge.outer.cls.id, edge.inner.cls.id
+        if src == dst and not edge.inner.cls.multi:
+            return  # singleton re-entry: never a deadlock order
+        key = (src, dst)
+        best = self._edges.get(key)
+        if best is None or edge.confidence > best.confidence:
+            self._edges[key] = edge
+        self._successors.setdefault(src, set()).add(dst)
+        self._successors.setdefault(dst, set())
+
+    def extend(self, edges: Iterable[OrderEdge]) -> None:
+        for edge in edges:
+            self.add_edge(edge)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def cycles(self, max_len: int = DEFAULT_MAX_CYCLE) -> list[Cycle]:
+        """Every simple cycle up to ``max_len`` edges, deduplicated.
+
+        Rotations are collapsed by only starting a search at the
+        lexicographically smallest node of each cycle.
+        """
+        found: list[Cycle] = []
+        for (src, dst), edge in sorted(self._edges.items()):
+            if src == dst:
+                found.append(Cycle(edges=(edge,)))
+        nodes = sorted(self._successors)
+        for start in nodes:
+            self._dfs(start, start, [], {start}, found, max_len)
+        return found
+
+    def _dfs(
+        self,
+        start: str,
+        node: str,
+        path: list[OrderEdge],
+        on_path: set[str],
+        found: list[Cycle],
+        max_len: int,
+    ) -> None:
+        for succ in sorted(self._successors.get(node, ())):
+            if succ == node:
+                continue  # self-loops reported separately
+            edge = self._edges[(node, succ)]
+            if succ == start and path:
+                found.append(Cycle(edges=tuple(path + [edge])))
+                continue
+            if succ in on_path or succ < start or len(path) + 1 >= max_len:
+                continue
+            on_path.add(succ)
+            path.append(edge)
+            self._dfs(start, succ, path, on_path, found, max_len)
+            path.pop()
+            on_path.discard(succ)
+
+
+def _entry(outer: Acquisition, inner: Acquisition) -> SignatureEntry:
+    return SignatureEntry(
+        outer=CallStack.single(outer.file, outer.line),
+        inner=CallStack.single(inner.file, inner.line),
+    )
+
+
+def compile_cycle(cycle: Cycle) -> Optional[DeadlockSignature]:
+    """A candidate deadlock signature for one cycle, or ``None``.
+
+    Multi-node cycles map one entry per edge (one per deadlocked
+    thread). A multi-instance self-loop compiles to the two-entry
+    *collapsed* form: two threads, one shared (outer, inner) position
+    pair — the engine's slot-grouping matcher handles the rest.
+    """
+    if cycle.is_self_loop:
+        edge = cycle.edges[0]
+        if edge.outer.line == edge.inner.line and (
+            edge.outer.file == edge.inner.file
+        ):
+            return None  # one position total: nothing the matcher can use
+        entry = _entry(edge.outer, edge.inner)
+        return DeadlockSignature([entry, entry])
+    return DeadlockSignature(
+        [_entry(edge.outer, edge.inner) for edge in cycle.edges]
+    )
+
+
+__all__ = ["LockOrderGraph", "Cycle", "compile_cycle", "DEFAULT_MAX_CYCLE"]

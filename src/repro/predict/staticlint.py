@@ -1,0 +1,150 @@
+"""The static lint front: source in, diagnostics + signatures out.
+
+Drives :mod:`repro.predict.astwalk` over a set of Python files, merges
+every module's order edges into one :class:`LockOrderGraph` (cross-file
+cycles through shared ``lock:<name>`` classes included), and turns each
+cycle into a :class:`LintDiagnostic` — a ``file:line`` report with the
+cycle path and a confidence estimate — plus a candidate *predicted*
+:class:`~repro.core.signature.DeadlockSignature` ready for
+``History.add_predicted``. The ``dimmunix-lint`` console script
+(:mod:`repro.tools.lint_cli`) is a thin shell around :func:`lint_paths`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.core.signature import DeadlockSignature
+from repro.predict.astwalk import ModuleSummary, analyze_source
+from repro.predict.lockgraph import (
+    DEFAULT_MAX_CYCLE,
+    Cycle,
+    LockOrderGraph,
+    compile_cycle,
+)
+
+
+@dataclass(frozen=True)
+class LintDiagnostic:
+    """One reported lock-order cycle."""
+
+    file: str
+    line: int
+    cycle: str
+    confidence: float
+    positions: tuple[tuple[str, int], ...]
+    signature: Optional[DeadlockSignature]
+
+    def render(self) -> str:
+        where = " held at ".join(
+            f"{file}:{line}" for file, line in self.positions
+        )
+        return (
+            f"{self.file}:{self.line}: lock-order cycle {self.cycle} "
+            f"(confidence {self.confidence:.2f}; acquired at {where})"
+        )
+
+
+def _collect_files(paths: Iterable[Path | str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    # Stable order, no duplicates: diagnostics must be deterministic.
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+    for path in files:
+        if path not in seen:
+            seen.add(path)
+            ordered.append(path)
+    return ordered
+
+
+def _diagnose(cycle: Cycle) -> LintDiagnostic:
+    first = cycle.edges[0]
+    positions = tuple(
+        (edge.inner.file, edge.inner.line) for edge in cycle.edges
+    )
+    return LintDiagnostic(
+        file=first.outer.file,
+        line=first.outer.line,
+        cycle=cycle.path(),
+        confidence=cycle.confidence,
+        positions=positions,
+        signature=compile_cycle(cycle),
+    )
+
+
+def lint_summaries(
+    summaries: Iterable[ModuleSummary],
+    *,
+    min_confidence: float = 0.0,
+    max_cycle: int = DEFAULT_MAX_CYCLE,
+) -> list[LintDiagnostic]:
+    """Cycle diagnostics over already-analyzed modules (one shared graph)."""
+    graph = LockOrderGraph()
+    for summary in summaries:
+        graph.extend(summary.edges)
+    diagnostics = []
+    seen: set = set()
+    for cycle in graph.cycles(max_len=max_cycle):
+        diagnostic = _diagnose(cycle)
+        if diagnostic.confidence < min_confidence:
+            continue
+        if diagnostic.signature is None:
+            continue
+        key = diagnostic.signature.canonical_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        diagnostics.append(diagnostic)
+    diagnostics.sort(key=lambda d: (d.file, d.line, d.cycle))
+    return diagnostics
+
+
+def lint_source(
+    source: str, path: str = "<string>", *, min_confidence: float = 0.0
+) -> list[LintDiagnostic]:
+    """Lint one module given as source text."""
+    return lint_summaries(
+        [analyze_source(source, path)], min_confidence=min_confidence
+    )
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    *,
+    min_confidence: float = 0.0,
+    max_cycle: int = DEFAULT_MAX_CYCLE,
+) -> tuple[list[LintDiagnostic], list[str]]:
+    """Lint files/directories; returns ``(diagnostics, errors)``.
+
+    ``errors`` holds human-readable messages for files that could not
+    be read or parsed (they never abort the rest of the lint).
+    """
+    summaries: list[ModuleSummary] = []
+    errors: list[str] = []
+    for path in _collect_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            errors.append(f"{path}: unreadable ({exc})")
+            continue
+        try:
+            summaries.append(analyze_source(source, str(path)))
+        except SyntaxError as exc:
+            errors.append(f"{path}: not parseable ({exc.msg}, line {exc.lineno})")
+    return (
+        lint_summaries(
+            summaries, min_confidence=min_confidence, max_cycle=max_cycle
+        ),
+        errors,
+    )
+
+
+__all__ = ["LintDiagnostic", "lint_paths", "lint_source", "lint_summaries"]

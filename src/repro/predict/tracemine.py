@@ -1,0 +1,326 @@
+"""The trace front: mine predicted signatures from a recorded run.
+
+Replays a ``dimmunix-events`` stream (JSONL on disk, or live
+:class:`~repro.core.events.Event` objects) from a run that never
+deadlocked and looks for *lock-order reversals* between threads — the
+Goodlock discipline: track each thread's held-lock set, record a
+directed edge ``A -> B`` every time ``B`` is requested while ``A`` is
+held, and report a cycle as a potential deadlock only when
+
+* every edge in the cycle was witnessed by a **distinct** thread
+  (one thread touring ``A -> B -> A`` alone cannot deadlock), and
+* the witnesses' *gate sets* — the other locks each thread held at the
+  time — are **pairwise disjoint** (a shared gate lock serializes the
+  two acquisition sequences, so the reversal can never interleave into
+  a deadlock).
+
+Unlike the static front, positions here are the runtime's own canonical
+call-stack keys lifted straight from the recorded ``request`` events,
+so a minted signature matches real acquisitions byte-for-byte on the
+very next run, at any configured stack depth.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.core.callstack import CallStack, Frame
+from repro.core.events import Event, event_to_dict
+from repro.core.signature import DeadlockSignature, SignatureEntry
+
+# A lock as the miner sees it: one per (source, lock-name) so adapters
+# multiplexed onto one bus never alias. Same shape for threads.
+_Key = tuple[str, str]
+
+# How many distinct (thread, gates) witnesses to keep per edge before
+# assuming the edge is saturated. Cycles need one witness per edge with
+# distinct threads and disjoint gates; a handful is plenty.
+_MAX_WITNESSES = 16
+
+CONFIDENCE_PAIR = 0.9
+CONFIDENCE_LONG = 0.7
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One mined candidate deadlock, ready for ``History.add_predicted``."""
+
+    signature: DeadlockSignature
+    confidence: float
+    origin: str = "tracemine"
+    cycle: str = ""
+
+    def render(self) -> str:
+        return (
+            f"predicted deadlock {self.cycle} "
+            f"(confidence {self.confidence:.2f}, via {self.origin})"
+        )
+
+
+@dataclass(frozen=True)
+class _Witness:
+    """One observed ``outer -> inner`` ordering by one thread."""
+
+    thread: _Key
+    outer_position: tuple
+    inner_position: tuple
+    gates: frozenset
+
+
+def _to_position(value) -> tuple:
+    """Wire-form position (nested lists) back to the canonical tuple key."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_to_position(item) for item in value)
+    return value
+
+
+def _normalize(event: Union[Event, dict]) -> dict:
+    if isinstance(event, Event):
+        return event_to_dict(event)
+    return event
+
+
+def _stack(position: tuple) -> CallStack:
+    return CallStack(Frame(str(file), int(line)) for file, line in position)
+
+
+class _Miner:
+    """Single pass over the event stream, building the reversal graph."""
+
+    def __init__(self) -> None:
+        # (source, thread) -> the lock key it is currently waiting for,
+        # with the request's canonical position (acquired events carry
+        # no position, so it must be remembered from the request).
+        self._pending: dict[_Key, tuple[_Key, tuple]] = {}
+        # (source, thread) -> held locks in acquisition order:
+        # lock key -> [position, re-entry count].
+        self._held: dict[_Key, dict[_Key, list]] = {}
+        # (outer lock, inner lock) -> capped witness list.
+        self.edges: dict[tuple[_Key, _Key], list[_Witness]] = {}
+        self.events_seen = 0
+
+    def feed(self, event: Union[Event, dict]) -> None:
+        data = _normalize(event)
+        kind = data.get("kind")
+        if kind not in ("request", "acquired", "release"):
+            return
+        self.events_seen += 1
+        source = str(data.get("source", "core"))
+        thread: _Key = (source, str(data.get("thread", "")))
+        lock: _Key = (source, str(data.get("lock", "")))
+        if kind == "request":
+            position = _to_position(data.get("position", ()))
+            self._pending[thread] = (lock, position)
+        elif kind == "acquired":
+            self._on_acquired(thread, lock)
+        else:
+            self._on_release(thread, lock)
+
+    def _on_acquired(self, thread: _Key, lock: _Key) -> None:
+        pending = self._pending.pop(thread, None)
+        if pending is None or pending[0] != lock:
+            # Trace torn mid-request, or an adapter that never publishes
+            # requests: nothing positional to mine from this acquisition.
+            position: tuple = ()
+        else:
+            position = pending[1]
+        held = self._held.setdefault(thread, {})
+        slot = held.get(lock)
+        if slot is not None:
+            slot[1] += 1  # re-entrant re-acquire: never blocks, no edge
+            return
+        if position:
+            gates = frozenset(held) - {lock}
+            for outer_lock, (outer_position, _count) in held.items():
+                if not outer_position:
+                    continue
+                self._record(
+                    (outer_lock, lock),
+                    _Witness(
+                        thread=thread,
+                        outer_position=outer_position,
+                        inner_position=position,
+                        gates=gates - {outer_lock},
+                    ),
+                )
+        held[lock] = [position, 1]
+
+    def _on_release(self, thread: _Key, lock: _Key) -> None:
+        held = self._held.get(thread)
+        if held is None:
+            return
+        slot = held.get(lock)
+        if slot is None:
+            return
+        slot[1] -= 1
+        if slot[1] <= 0:
+            del held[lock]
+
+    def _record(self, key: tuple[_Key, _Key], witness: _Witness) -> None:
+        if key[0] == key[1]:
+            return
+        witnesses = self.edges.setdefault(key, [])
+        if len(witnesses) >= _MAX_WITNESSES:
+            return
+        for existing in witnesses:
+            if (
+                existing.thread == witness.thread
+                and existing.gates == witness.gates
+            ):
+                return
+        witnesses.append(witness)
+
+
+def _find_cycles(
+    edges: dict[tuple[_Key, _Key], list[_Witness]], max_cycle: int
+) -> list[tuple[_Key, ...]]:
+    """Simple cycles over the reversal graph, smallest-start deduped."""
+    successors: dict[_Key, list[_Key]] = {}
+    for src, dst in edges:
+        successors.setdefault(src, []).append(dst)
+        successors.setdefault(dst, [])
+    for succ in successors.values():
+        succ.sort()
+    cycles: list[tuple[_Key, ...]] = []
+
+    def dfs(start: _Key, node: _Key, path: list[_Key], on_path: set) -> None:
+        for succ in successors[node]:
+            if succ == start and len(path) > 1:
+                cycles.append(tuple(path))
+                continue
+            if succ in on_path or succ < start or len(path) >= max_cycle:
+                continue
+            on_path.add(succ)
+            path.append(succ)
+            dfs(start, succ, path, on_path)
+            path.pop()
+            on_path.discard(succ)
+
+    for start in sorted(successors):
+        dfs(start, start, [start], {start})
+    return cycles
+
+
+def _pick_witnesses(
+    cycle: tuple[_Key, ...],
+    edges: dict[tuple[_Key, _Key], list[_Witness]],
+) -> Optional[list[_Witness]]:
+    """One witness per cycle edge: distinct threads, disjoint gates."""
+    edge_witnesses = [
+        edges[(cycle[i], cycle[(i + 1) % len(cycle)])]
+        for i in range(len(cycle))
+    ]
+
+    chosen: list[_Witness] = []
+
+    def assign(index: int, threads: set, gates: frozenset) -> bool:
+        if index == len(edge_witnesses):
+            return True
+        for witness in edge_witnesses[index]:
+            if witness.thread in threads:
+                continue
+            if witness.gates & gates:
+                continue
+            chosen.append(witness)
+            if assign(
+                index + 1,
+                threads | {witness.thread},
+                gates | witness.gates,
+            ):
+                return True
+            chosen.pop()
+        return False
+
+    return chosen if assign(0, set(), frozenset()) else None
+
+
+def _cycle_label(cycle: tuple[_Key, ...]) -> str:
+    names = [lock for _source, lock in cycle]
+    names.append(names[0])
+    return " -> ".join(names)
+
+
+def mine_events(
+    events: Iterable[Union[Event, dict]],
+    *,
+    max_cycle: int = 6,
+    min_confidence: float = 0.0,
+) -> list[Prediction]:
+    """Mine predicted deadlock signatures from an event stream.
+
+    Accepts live :class:`~repro.core.events.Event` objects or their
+    ``dimmunix-events`` JSONL dict form, in bus order. Returns
+    deduplicated predictions sorted by descending confidence.
+    """
+    miner = _Miner()
+    for event in events:
+        miner.feed(event)
+    predictions: list[Prediction] = []
+    seen: set = set()
+    for cycle in _find_cycles(miner.edges, max_cycle):
+        witnesses = _pick_witnesses(cycle, miner.edges)
+        if witnesses is None:
+            continue
+        signature = DeadlockSignature(
+            SignatureEntry(
+                outer=_stack(witness.outer_position),
+                inner=_stack(witness.inner_position),
+            )
+            for witness in witnesses
+        )
+        key = signature.canonical_key()
+        if key in seen:
+            continue
+        confidence = (
+            CONFIDENCE_PAIR if len(cycle) == 2 else CONFIDENCE_LONG
+        )
+        if confidence < min_confidence:
+            continue
+        seen.add(key)
+        predictions.append(
+            Prediction(
+                signature=signature,
+                confidence=confidence,
+                cycle=_cycle_label(cycle),
+            )
+        )
+    predictions.sort(key=lambda p: (-p.confidence, p.cycle))
+    return predictions
+
+
+def mine_trace_file(
+    path: Union[str, Path],
+    *,
+    max_cycle: int = 6,
+    min_confidence: float = 0.0,
+) -> list[Prediction]:
+    """Mine a ``dimmunix-events`` JSONL trace file on disk."""
+
+    def lines() -> Iterable[dict]:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail of a live recording
+                if isinstance(data, dict):
+                    yield data
+
+    return mine_events(
+        lines(), max_cycle=max_cycle, min_confidence=min_confidence
+    )
+
+
+__all__ = [
+    "Prediction",
+    "mine_events",
+    "mine_trace_file",
+    "CONFIDENCE_PAIR",
+    "CONFIDENCE_LONG",
+]

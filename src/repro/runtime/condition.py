@@ -15,12 +15,15 @@ the end of :meth:`wait` runs detection and avoidance like any other
 
 from __future__ import annotations
 
+import itertools
 import time
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Optional, Union
 
 from repro.runtime import _originals
 from repro.runtime.locks import DimmunixLock, DimmunixRLock
+
+_monitor_ids = itertools.count(1)
 
 if TYPE_CHECKING:
     from repro.runtime.runtime import DimmunixRuntime
@@ -41,7 +44,13 @@ class DimmunixCondition:
                 raise ValueError(
                     "DimmunixCondition needs a lock or a runtime to make one"
                 )
-            lock = runtime.rlock(name="condition-monitor")
+            # One name per monitor: distinct conditions must stay
+            # distinct lock nodes in the event stream, or downstream
+            # consumers (the trace miner above all) alias every
+            # condition in the process into one lock.
+            lock = runtime.rlock(
+                name=f"condition-monitor-{next(_monitor_ids)}"
+            )
         elif not hasattr(lock, "_acquire_restore"):
             # Fail at construction, not with an AttributeError deep in
             # wait(): a raw threading.Lock (e.g. created before the

@@ -75,6 +75,12 @@ class RuntimeAdapter:
         self._glock = glock if glock is not None else _originals.Lock()
         self._conditions: dict[DeadlockSignature, threading.Condition] = {}
         self._thread_nodes: dict[int, ThreadNode] = {}
+        # Authoritative per-thread node cache. OS thread idents are
+        # recycled after ``join()``, so the ident-keyed dict alone would
+        # hand a new thread the dead thread's node (and its name — which
+        # corrupts the event stream's per-thread attribution). A
+        # thread-local dies with its thread and can never alias.
+        self._tls = threading.local()
         self._detections: list[DeadlockSignature] = []
         self.on_detection: Optional[Callable[[DeadlockSignature], None]] = None
         # Wakes are fanned out through the engine so every adapter
@@ -87,9 +93,9 @@ class RuntimeAdapter:
 
     def current_thread_node(self) -> ThreadNode:
         """The RAG node of the calling thread (registered on first use)."""
-        ident = threading.get_ident()
-        node = self._thread_nodes.get(ident)
+        node = getattr(self._tls, "node", None)
         if node is None:
+            ident = threading.get_ident()
             # Resolve the name BEFORE taking the global lock, and without
             # threading.current_thread(): during Thread bootstrap (3.11
             # sets the started event before registering in _active) that
@@ -99,12 +105,17 @@ class RuntimeAdapter:
             registered = threading._active.get(ident)
             name = registered.name if registered is not None else f"thread-{ident}"
             with self._glock:
-                node = self._thread_nodes.get(ident)
-                if node is None:
-                    node = self.core.register_thread(name)
-                    self._thread_nodes[ident] = node
-                    if len(self._thread_nodes) % 1024 == 0:
-                        self._forget_dead_threads_locked()
+                stale = self._thread_nodes.get(ident)
+                if stale is not None:
+                    # The ident was recycled from a joined thread whose
+                    # exit was not yet observed: retire its node before
+                    # registering the live thread under this ident.
+                    self.core.thread_exit(stale)
+                node = self.core.register_thread(name)
+                self._thread_nodes[ident] = node
+                if len(self._thread_nodes) % 1024 == 0:
+                    self._forget_dead_threads_locked()
+            self._tls.node = node
         return node
 
     def _forget_dead_threads_locked(self) -> None:

@@ -12,6 +12,10 @@ one operates on the typed event stream (JSONL files produced by
     replay <file>    re-publish the events through an in-process
                      EventBus (typed reconstruction), reporting what a
                      subscriber would have observed
+    mine <file>      predict deadlocks from the recorded lock-order
+                     reversals (:mod:`repro.predict.tracemine`);
+                     ``--seed`` writes them into a history as
+                     predicted antibodies
 
 ``replay`` is the integrity check for the whole pipeline: every line is
 rebuilt into its frozen event class (signatures included) and pushed
@@ -98,6 +102,13 @@ def _format_event(data: dict) -> str:
         )
     elif kind == "history-saved":
         detail = f"{data.get('signatures', '?')} signature(s) -> {data.get('path', '?')}"
+    elif kind == "predicted-seeded":
+        signature = data.get("signature") or {}
+        size = len(signature.get("entries", ())) or "?"
+        detail = (
+            f"size={size} via {data.get('origin', '?')} "
+            f"(confidence {data.get('confidence', 0.0):.2f})"
+        )
     return f"[{seq:>6}] {ts:>12.2f} {source:<24} {kind:<13} {detail}"
 
 
@@ -194,10 +205,16 @@ def cmd_tail(args: argparse.Namespace) -> int:
 
 
 def cmd_summary(args: argparse.Namespace) -> int:
+    from repro.core.signature import DeadlockSignature, provenance_rank
+
     path = Path(args.file)
     by_kind: dict[str, int] = {}
     by_source: dict[str, int] = {}
     seqs: list[tuple[int, str]] = []
+    # Distinct signatures seen anywhere in the stream, each at the
+    # highest provenance it reached (a prediction that later shows up
+    # promoted counts as promoted).
+    provenance_by_signature: dict[tuple, str] = {}
     total = 0
     for _lineno, data in _iter_lines(path):
         total += 1
@@ -206,6 +223,18 @@ def cmd_summary(args: argparse.Namespace) -> int:
         by_source[source] = by_source.get(source, 0) + 1
         if isinstance(data.get("seq"), int):
             seqs.append((data["seq"], source))
+        signature_data = data.get("signature")
+        if isinstance(signature_data, dict):
+            try:
+                signature = DeadlockSignature.from_json(signature_data)
+            except (KeyError, TypeError, ValueError):
+                continue  # torn or foreign payload; counted above anyway
+            key = signature.canonical_key()
+            known = provenance_by_signature.get(key)
+            if known is None or provenance_rank(
+                signature.provenance
+            ) > provenance_rank(known):
+                provenance_by_signature[key] = signature.provenance
     print(f"{path}: {total} event(s)")
     print("  by kind:")
     for kind, count in sorted(by_kind.items(), key=lambda kv: -kv[1]):
@@ -213,6 +242,15 @@ def cmd_summary(args: argparse.Namespace) -> int:
     print("  by source:")
     for source, count in sorted(by_source.items(), key=lambda kv: -kv[1]):
         print(f"    {count:>8}  {source}")
+    if provenance_by_signature:
+        tallies = {"earned": 0, "promoted": 0, "predicted": 0}
+        for provenance in provenance_by_signature.values():
+            tallies[provenance] = tallies.get(provenance, 0) + 1
+        print(
+            f"  signatures: {len(provenance_by_signature)} distinct "
+            f"({tallies['earned']} earned, {tallies['promoted']} promoted, "
+            f"{tallies['predicted']} predicted)"
+        )
     if seqs:
         # One file may hold several recording runs appended back to
         # back (JsonlWriter appends; each run's bus numbers its own
@@ -287,6 +325,35 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0  # strict failures all returned above
 
 
+def cmd_mine(args: argparse.Namespace) -> int:
+    from repro.core.store.url import HistoryUrlError
+    from repro.predict.harness import seed_history_spec
+    from repro.predict.tracemine import mine_trace_file
+
+    path = Path(args.file)
+    if not path.exists():
+        print(f"error: {path} does not exist", file=sys.stderr)
+        return 2
+    predictions = mine_trace_file(
+        path, min_confidence=args.min_confidence
+    )
+    for prediction in predictions:
+        print(prediction.render())
+    if args.seed and predictions:
+        try:
+            seeded = seed_history_spec(args.seed, predictions)
+        except HistoryUrlError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"seeded {seeded} predicted signature(s) into {args.seed} "
+            f"({len(predictions) - seeded} already present)"
+        )
+    noun = "deadlock" if len(predictions) == 1 else "deadlocks"
+    print(f"{len(predictions)} predicted {noun}")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # argument parsing
 # ----------------------------------------------------------------------
@@ -346,6 +413,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="print each detection/starvation signature",
     )
     replay.set_defaults(func=cmd_replay)
+
+    mine = commands.add_parser(
+        "mine",
+        help="predict deadlocks from the recorded lock-order reversals",
+    )
+    mine.add_argument("file")
+    mine.add_argument(
+        "--min-confidence",
+        type=float,
+        default=0.0,
+        metavar="C",
+        help="suppress predictions below this confidence (default: 0.0)",
+    )
+    mine.add_argument(
+        "--seed",
+        metavar="HISTORY",
+        help=(
+            "seed predictions into this history (plain path, jsonl:// "
+            "or sqlite:// DSN)"
+        ),
+    )
+    mine.set_defaults(func=cmd_mine)
 
     return parser
 

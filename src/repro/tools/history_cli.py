@@ -153,10 +153,16 @@ def cmd_stats(args: argparse.Namespace) -> int:
         sizes[signature.size] = sizes.get(signature.size, 0) + 1
         for key in signature.outer_position_keys():
             positions[key] = positions.get(key, 0) + 1
+    provenance = history.provenance_counts()
     print(f"{args.file}:")
     print(f"  signatures:  {len(history)}")
     print(f"  deadlocks:   {history.deadlock_count()}")
     print(f"  starvations: {history.starvation_count()}")
+    print(
+        f"  provenance:  {provenance.get('earned', 0)} earned, "
+        f"{provenance.get('promoted', 0)} promoted, "
+        f"{provenance.get('predicted', 0)} predicted"
+    )
     print(f"  distinct outer positions: {len(positions)}")
     for size, count in sorted(sizes.items()):
         print(f"  {count} signature(s) of {size} thread(s)")

@@ -1,0 +1,156 @@
+"""``dimmunix-lint`` — static lock-order analysis over Python source.
+
+The command-line face of :mod:`repro.predict.staticlint`::
+
+    dimmunix-lint examples/                      # report cycles
+    dimmunix-lint --format json src/             # machine-readable
+    dimmunix-lint --seed sqlite:///immunity.db src/
+                                                 # seed predicted antibodies
+
+Walks the given files/directories (never imports them), builds one
+lock-order graph across all of them, and reports every cycle as a
+``file:line`` diagnostic with the cycle path and a confidence estimate.
+With ``--seed`` each finding is also compiled into a *predicted*
+:class:`~repro.core.signature.DeadlockSignature` and written into the
+named history (plain path or ``jsonl://`` / ``sqlite://`` DSN) so the
+very next run of the program avoids the predicted interleaving.
+
+Exit status: ``1`` when cycles were found (lint semantics — wire it
+into CI), ``0`` on a clean pass, ``2`` on usage or file errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.store.url import HistoryUrlError
+from repro.predict.harness import seed_history_spec
+from repro.predict.lockgraph import DEFAULT_MAX_CYCLE
+from repro.predict.staticlint import LintDiagnostic, lint_paths
+
+
+def _diagnostic_json(diagnostic: LintDiagnostic) -> dict:
+    data = {
+        "file": diagnostic.file,
+        "line": diagnostic.line,
+        "cycle": diagnostic.cycle,
+        "confidence": diagnostic.confidence,
+        "positions": [list(position) for position in diagnostic.positions],
+    }
+    if diagnostic.signature is not None:
+        data["signature"] = diagnostic.signature.to_json()
+    return data
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dimmunix-lint",
+        description=(
+            "Static lock-order cycle detection over Python source. "
+            "Reports potential deadlocks as file:line diagnostics; "
+            "--seed turns them into predicted antibodies in a Dimmunix "
+            "history."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="+", metavar="path", help="files or directories"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format (default: text)",
+    )
+    parser.add_argument(
+        "--min-confidence",
+        type=float,
+        default=0.0,
+        metavar="C",
+        help="suppress cycles below this confidence (default: 0.0)",
+    )
+    parser.add_argument(
+        "--max-cycle",
+        type=int,
+        default=DEFAULT_MAX_CYCLE,
+        metavar="N",
+        help=f"longest cycle to search for (default: {DEFAULT_MAX_CYCLE})",
+    )
+    parser.add_argument(
+        "--seed",
+        metavar="HISTORY",
+        help=(
+            "seed findings as predicted signatures into this history "
+            "(plain path, jsonl:// or sqlite:// DSN)"
+        ),
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line (diagnostics still print)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.min_confidence <= 1.0:
+        parser.error("--min-confidence must be in [0, 1]")
+    if args.max_cycle < 2:
+        parser.error("--max-cycle must be at least 2")
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such path: {path}", file=sys.stderr)
+        return 2
+
+    diagnostics, errors = lint_paths(
+        args.paths,
+        min_confidence=args.min_confidence,
+        max_cycle=args.max_cycle,
+    )
+    for error in errors:
+        print(f"warning: {error}", file=sys.stderr)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "diagnostics": [
+                        _diagnostic_json(d) for d in diagnostics
+                    ],
+                    "errors": errors,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.render())
+
+    if args.seed and diagnostics:
+        try:
+            seeded = seed_history_spec(args.seed, diagnostics)
+        except HistoryUrlError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if not args.quiet:
+            print(
+                f"seeded {seeded} predicted signature(s) into {args.seed} "
+                f"({len(diagnostics) - seeded} already present)"
+            )
+
+    if not args.quiet and args.format == "text":
+        noun = "cycle" if len(diagnostics) == 1 else "cycles"
+        print(f"{len(diagnostics)} lock-order {noun} found")
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

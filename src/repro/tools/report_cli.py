@@ -67,6 +67,23 @@ def _render_markdown(records: list[ExperimentRecord]) -> str:
     return "\n".join(lines)
 
 
+def _render_history(spec: str) -> str:
+    """The immunity block: antibody counts split by provenance."""
+    from repro.tools.history_cli import _load
+
+    history = _load(spec)
+    counts = history.provenance_counts()
+    lines = [
+        f"immunity ({spec}): {len(history)} antibodies",
+        f"  earned:    {counts.get('earned', 0)} (from real infections)",
+        f"  promoted:  {counts.get('promoted', 0)} "
+        "(predicted, later prevented a real deadlock)",
+        f"  predicted: {counts.get('predicted', 0)} "
+        "(seeded by lint/trace mining, not yet triggered)",
+    ]
+    return "\n".join(lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="dimmunix-report",
@@ -92,10 +109,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="show only records where the paper's claim did not hold",
     )
+    parser.add_argument(
+        "--history",
+        metavar="SRC",
+        help=(
+            "also report this history's antibodies split by provenance "
+            "(earned / promoted / predicted); path or DSN"
+        ),
+    )
     args = parser.parse_args(argv)
 
     path = Path(args.records)
     if not path.exists():
+        if args.history:
+            # No bench records is fine when the ask is the immunity
+            # report itself.
+            print(_render_history(args.history))
+            return 0
         print(
             f"error: {path} not found - run `pytest benchmarks/ "
             "--benchmark-only` first",
@@ -119,6 +149,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 1
     renderer = _render_markdown if args.format == "markdown" else _render_text
     print(renderer(records))
+    if args.history:
+        print()
+        print(_render_history(args.history))
     return 0 if all(record.holds for record in records) else 1
 
 

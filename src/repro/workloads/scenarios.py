@@ -46,6 +46,7 @@ def run_dining_philosophers(
     meals: int = 3,
     think_seconds: float = 0.001,
     join_timeout: float = 20.0,
+    serial: bool = False,
 ) -> PhilosopherOutcome:
     """Everyone grabs the left fork, then the right — the textbook cycle.
 
@@ -53,6 +54,14 @@ def run_dining_philosophers(
     :class:`DeadlockDetectedError`, drops the fork, retries, and the
     table finishes dinner; the recorded signature immunizes later
     dinners, which then complete on avoidance alone (tests assert both).
+
+    ``serial=True`` seats the philosophers one at a time (each thread
+    runs to completion before the next starts): the dinner cannot
+    deadlock, yet the event stream still shows every distinct thread
+    taking its right fork while holding its left — exactly the
+    lock-order reversals the trace miner
+    (:mod:`repro.predict.tracemine`) needs to predict the circular wait
+    without ever suffering it.
     """
     forks = [runtime.lock(f"fork-{index}") for index in range(philosophers)]
     meals_lock = threading.Lock()
@@ -81,11 +90,16 @@ def run_dining_philosophers(
         threading.Thread(target=dine, args=(seat,), name=f"philosopher-{seat}")
         for seat in range(philosophers)
     ]
-    for thread in threads:
-        thread.start()
-    deadline = time.monotonic() + join_timeout
-    for thread in threads:
-        thread.join(max(deadline - time.monotonic(), 0.1))
+    if serial:
+        for thread in threads:
+            thread.start()
+            thread.join(join_timeout)
+    else:
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + join_timeout
+        for thread in threads:
+            thread.join(max(deadline - time.monotonic(), 0.1))
     outcome.completed = all(not t.is_alive() for t in threads)
     return outcome
 

@@ -343,3 +343,104 @@ class TestSqliteMultiProcess:
         assert b.contains_position((("h.py", 1),))
         a.close()
         b.close()
+
+
+class TestProvenanceConformance:
+    """Provenance is part of the store contract, same on every backend."""
+
+    def _predicted(self, outer_a=1, age=0):
+        signature = sig(outer_a=outer_a)
+        signature.provenance = "predicted"
+        signature.predicted_age = age
+        return signature
+
+    def test_predicted_round_trips(self, backend):
+        store = backend.fresh()
+        store.add(self._predicted(age=2))
+        store.flush()
+        reloaded = backend.reopen(store)
+        (stored,) = list(reloaded)
+        assert stored.provenance == "predicted"
+        assert stored.predicted_age == 2
+        assert reloaded.provenance_counts() == {
+            "earned": 0,
+            "predicted": 1,
+            "promoted": 0,
+        }
+        reloaded.close()
+
+    def test_promotion_survives_reopen(self, backend):
+        store = backend.fresh()
+        store.add(self._predicted())
+        assert store.promote(sig(outer_a=1))
+        store.flush()
+        reloaded = backend.reopen(store)
+        (stored,) = list(reloaded)
+        assert stored.provenance == "promoted"
+        assert stored.predicted_age == 0
+        reloaded.close()
+
+    def test_earned_duplicate_upgrades_predicted(self, backend):
+        """Rank order: a real detection outranks the prediction."""
+        store = backend.fresh()
+        store.add(self._predicted())
+        assert not store.add(sig(outer_a=1))  # dup by identity...
+        store.flush()
+        reloaded = backend.reopen(store)
+        (stored,) = list(reloaded)
+        assert stored.provenance == "earned"  # ...but provenance merged
+        reloaded.close()
+
+    def test_predicted_duplicate_never_downgrades(self, backend):
+        store = backend.fresh()
+        store.add(sig(outer_a=1))
+        assert not store.add(self._predicted())
+        store.flush()
+        reloaded = backend.reopen(store)
+        (stored,) = list(reloaded)
+        assert stored.provenance == "earned"
+        reloaded.close()
+
+    def test_expiry_age_bump_persists(self, backend):
+        store = backend.fresh()
+        store.add(self._predicted(outer_a=1))
+        store.add(self._predicted(outer_a=5))
+        store.flush()
+        assert store.expire_predictions(3) == 0
+        store.flush()
+        reloaded = backend.reopen(store)
+        assert all(s.predicted_age == 1 for s in reloaded)
+        # One more aging round on the reopened store, TTL=2: both go.
+        assert reloaded.expire_predictions(2) == 2
+        reloaded.flush()
+        final = backend.reopen(reloaded)
+        assert len(final) == 0
+        final.close()
+
+    def test_legacy_fixture_loads_as_earned(self, tmp_path):
+        work = tmp_path / "legacy.history"
+        work.write_bytes(FIXTURE.read_bytes())
+        store = open_store(f"jsonl://{work}")
+        assert all(s.provenance == "earned" for s in store)
+        counts = store.provenance_counts()
+        assert counts["earned"] == len(store) == 3
+        assert counts["predicted"] == counts["promoted"] == 0
+        store.close()
+
+    def test_earned_serialization_is_byte_unchanged(self, tmp_path):
+        """Histories that never saw a prediction stay legacy-identical.
+
+        The wire form of an earned signature must not grow provenance
+        keys — old readers and committed fixtures depend on it.
+        """
+        earned = sig(outer_a=1)
+        data = earned.to_json()
+        assert "provenance" not in data
+        assert "predicted_age" not in data
+        path = tmp_path / "earned.history"
+        store = JsonlStore(path)
+        store.add(earned)
+        store.flush()
+        store.close()
+        lines = path.read_text().splitlines()
+        assert all("provenance" not in line for line in lines)

@@ -187,6 +187,7 @@ class TestWireForm:
             "starvation",
             "match-capped",
             "history-saved",
+            "predicted-seeded",
         }
 
     def test_unknown_kind_raises(self):

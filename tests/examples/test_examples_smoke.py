@@ -26,6 +26,8 @@ EXPECTATIONS = {
     "wait_inversion.py": "run 2 completed",
     "selective_instrumentation.py": "redeployment immune",
     "native_bridge.py": "closes the NDK gap",
+    "predicted_immunity.py": "prediction works",
+    "ordered_transfers.py": "ordered locking holds",
 }
 
 

@@ -1,0 +1,243 @@
+"""Unit tests for the AST lock-structure extractor."""
+
+from __future__ import annotations
+
+from repro.predict.astwalk import (
+    STRENGTH_CTOR,
+    STRENGTH_NAME,
+    analyze_source,
+)
+
+
+def edges_of(source: str, path: str = "mod.py"):
+    return analyze_source(source, path).edges
+
+
+def edge_ids(source: str, path: str = "mod.py"):
+    return {
+        (edge.outer.cls.id, edge.inner.cls.id)
+        for edge in edges_of(source, path)
+    }
+
+
+class TestConstructorClasses:
+    def test_string_literal_ctor_names_the_class(self):
+        edges = edges_of(
+            """
+def f(rt):
+    a = rt.lock("alpha")
+    b = rt.lock("beta")
+    with a:
+        with b:
+            pass
+"""
+        )
+        assert len(edges) == 1
+        (edge,) = edges
+        assert edge.outer.cls.id == "lock:alpha"
+        assert edge.inner.cls.id == "lock:beta"
+        assert edge.outer.cls.strength == STRENGTH_CTOR
+        assert edge.confidence == STRENGTH_CTOR
+
+    def test_positions_point_at_the_with_lines(self):
+        edges = edges_of(
+            "def f(rt):\n"
+            "    a = rt.lock('alpha')\n"
+            "    b = rt.lock('beta')\n"
+            "    with a:\n"
+            "        with b:\n"
+            "            pass\n"
+        )
+        (edge,) = edges
+        assert (edge.outer.file, edge.outer.line) == ("mod.py", 4)
+        assert (edge.inner.file, edge.inner.line) == ("mod.py", 5)
+
+    def test_threading_ctor_recognized(self):
+        edges = edges_of(
+            """
+import threading
+a = threading.Lock()
+b = threading.RLock()
+def f():
+    with a:
+        with b:
+            pass
+"""
+        )
+        assert len(edges) == 1
+
+    def test_same_literal_in_two_functions_is_one_class(self):
+        """Cross-function aliasing through the constructor literal."""
+        ids = edge_ids(
+            """
+def one(rt):
+    x = rt.lock("shared")
+    y = rt.lock("other")
+    with x:
+        with y:
+            pass
+def two(rt):
+    p = rt.lock("other")
+    q = rt.lock("shared")
+    with p:
+        with q:
+            pass
+"""
+        )
+        assert ("lock:shared", "lock:other") in ids
+        assert ("lock:other", "lock:shared") in ids
+
+
+class TestMultiInstanceClasses:
+    def test_comprehension_ctor_is_multi(self):
+        edges = edges_of(
+            """
+def dinner(rt, n):
+    forks = [rt.lock(f"fork-{i}") for i in range(n)]
+    def dine(seat):
+        left = forks[seat]
+        right = forks[(seat + 1) % n]
+        with left:
+            with right:
+                pass
+"""
+        )
+        (edge,) = edges
+        assert edge.outer.cls.multi
+        assert edge.outer.cls.id == edge.inner.cls.id == "lock:fork-*"
+        # A self-loop on a multi-instance class is plausible but not
+        # certain — confidence is capped below the ctor strength.
+        assert edge.confidence < STRENGTH_CTOR
+
+
+class TestNameFallback:
+    def test_unbound_parameters_alias_by_name(self):
+        edges = edges_of(
+            """
+def transfer(src, dst):
+    src.acquire()
+    dst.acquire()
+    dst.release()
+    src.release()
+"""
+        )
+        (edge,) = edges
+        assert edge.outer.cls.id == "var:mod.py:src"
+        assert edge.inner.cls.id == "var:mod.py:dst"
+        assert edge.confidence == STRENGTH_NAME
+
+
+class TestAttributeTargets:
+    def test_self_attribute_assignment_names_by_attr(self):
+        """``self.x = rt.lock()`` (no literal) must not mangle the name."""
+        summary = analyze_source(
+            """
+class Svc:
+    def __init__(self, rt):
+        self.ledger_lock = rt.lock()
+        self.audit_lock = rt.lock()
+    def go(self):
+        with self.ledger_lock:
+            with self.audit_lock:
+                pass
+""",
+            "svc.py",
+        )
+        ids = {
+            (e.outer.cls.id, e.inner.cls.id) for e in summary.edges
+        }
+        assert any(
+            "ledger_lock" in outer and "audit_lock" in inner
+            for outer, inner in ids
+        )
+        assert not any("<line:" in outer for outer, _ in ids)
+
+
+class TestAcquireRelease:
+    def test_acquire_release_pairing_scopes_the_hold(self):
+        edges = edges_of(
+            """
+def f(rt):
+    a = rt.lock("alpha")
+    b = rt.lock("beta")
+    a.acquire()
+    a.release()
+    b.acquire()
+    b.release()
+"""
+        )
+        # Disjoint hold windows: no ordering edge at all.
+        assert edges == []
+
+    def test_nested_acquire_orders(self):
+        ids = edge_ids(
+            """
+def f(rt):
+    a = rt.lock("alpha")
+    b = rt.lock("beta")
+    a.acquire()
+    b.acquire()
+    b.release()
+    a.release()
+"""
+        )
+        assert ids == {("lock:alpha", "lock:beta")}
+
+
+class TestInterprocedural:
+    def test_callee_edge_propagates_one_level(self):
+        edges = edges_of(
+            """
+def helper(rt, inner_lock):
+    with inner_lock:
+        pass
+def outer_fn(rt):
+    a = rt.lock("outer-a")
+    b = rt.lock("inner-b")
+    with a:
+        helper(rt, b)
+"""
+        )
+        interproc = [e for e in edges if e.interproc]
+        assert len(interproc) == 1
+        (edge,) = interproc
+        assert edge.outer.cls.id == "lock:outer-a"
+        assert edge.inner.cls.id == "lock:inner-b"
+        # Interprocedural edges are discounted.
+        assert edge.confidence < STRENGTH_CTOR
+
+
+class TestAsyncForms:
+    def test_async_with_is_an_acquisition(self):
+        ids = edge_ids(
+            """
+async def f(rt):
+    a = rt.aio_lock("alpha")
+    b = rt.aio_lock("beta")
+    async with a:
+        async with b:
+            pass
+"""
+        )
+        assert ids == {("lock:alpha", "lock:beta")}
+
+
+class TestRobustness:
+    def test_syntax_error_raises(self):
+        import pytest
+
+        with pytest.raises(SyntaxError):
+            analyze_source("def broken(:\n", "bad.py")
+
+    def test_single_acquisitions_make_no_edges(self):
+        assert (
+            edges_of(
+                """
+def f(rt):
+    a = rt.lock("only")
+    with a:
+        pass
+"""
+            )
+            == []
+        )

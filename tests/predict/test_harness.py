@@ -1,0 +1,199 @@
+"""Seeding harness: provenance stamping, backends, TTL expiry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DetectionPolicy, DimmunixConfig
+from repro.core.callstack import CallStack
+from repro.core.history import History, open_history
+from repro.core.signature import DeadlockSignature, SignatureEntry
+from repro.core.store.url import HistoryUrlError
+from repro.predict.harness import (
+    seed_history_spec,
+    seed_predictions,
+)
+from repro.predict.staticlint import lint_source
+from repro.predict.tracemine import mine_events
+from repro.runtime.runtime import DimmunixRuntime
+
+BUGGY = """
+def setup(rt):
+    a = rt.lock("hb-a")
+    b = rt.lock("hb-b")
+    def w1():
+        with a:
+            with b:
+                pass
+    def w2():
+        with b:
+            with a:
+                pass
+"""
+
+
+def make_signature(outer_line=1, inner_line=2):
+    return DeadlockSignature(
+        [
+            SignatureEntry(
+                outer=CallStack.single("h.py", outer_line),
+                inner=CallStack.single("h.py", inner_line),
+            ),
+            SignatureEntry(
+                outer=CallStack.single("h.py", inner_line + 10),
+                inner=CallStack.single("h.py", outer_line + 10),
+            ),
+        ]
+    )
+
+
+def _reversal_events():
+    def ev(kind, thread, lock, line=0):
+        data = {"kind": kind, "source": "s", "thread": thread, "lock": lock}
+        if kind == "request":
+            data["position"] = [["app.py", line]]
+        return data
+
+    out = []
+    for thread, outer, inner, ol, il in [
+        ("t1", "A", "B", 10, 11),
+        ("t2", "B", "A", 20, 21),
+    ]:
+        out += [
+            ev("request", thread, outer, ol),
+            ev("acquired", thread, outer),
+            ev("request", thread, inner, il),
+            ev("acquired", thread, inner),
+            ev("release", thread, inner),
+            ev("release", thread, outer),
+        ]
+    return out
+
+
+class TestSeedPredictions:
+    def test_lint_diagnostics_become_predicted(self):
+        diagnostics = lint_source(BUGGY, "hb.py")
+        history = History()
+        assert seed_predictions(history, diagnostics) == len(diagnostics)
+        assert history.provenance_counts()["predicted"] == len(diagnostics)
+
+    def test_mined_predictions_become_predicted(self):
+        predictions = mine_events(_reversal_events())
+        history = History()
+        assert seed_predictions(history, predictions) == 1
+        assert history.provenance_counts()["predicted"] == 1
+
+    def test_raw_signatures_accepted(self):
+        history = History()
+        assert seed_predictions(history, [make_signature()]) == 1
+        (stored,) = list(history)
+        assert stored.provenance == "predicted"
+
+    def test_duplicates_and_earned_never_downgraded(self):
+        history = History()
+        earned = make_signature()
+        history.add(earned)
+        assert seed_predictions(history, [make_signature()]) == 0
+        (stored,) = list(history)
+        assert stored.provenance == "earned"
+
+    def test_reseed_is_idempotent(self):
+        history = History()
+        diagnostics = lint_source(BUGGY, "hb.py")
+        seed_predictions(history, diagnostics)
+        assert seed_predictions(history, diagnostics) == 0
+        assert len(history) == len(diagnostics)
+
+
+class TestSeedHistorySpec:
+    @pytest.mark.parametrize(
+        "spec_of",
+        [
+            lambda p: str(p / "immunity.json"),
+            lambda p: f"jsonl://{p}/immunity.jsonl",
+            lambda p: f"sqlite:///{p}/immunity.db",
+        ],
+        ids=["plain-path", "jsonl", "sqlite"],
+    )
+    def test_provenance_survives_each_backend(self, tmp_path, spec_of):
+        spec = spec_of(tmp_path)
+        assert seed_history_spec(spec, [make_signature()]) == 1
+        if spec.startswith(("jsonl://", "sqlite://")):
+            reopened = open_history(spec)
+        else:
+            reopened = History.load(spec)
+        try:
+            counts = reopened.provenance_counts()
+            assert counts["predicted"] == 1
+            (stored,) = list(reopened)
+            assert stored.provenance == "predicted"
+        finally:
+            reopened.close()
+
+    def test_memory_dsn_rejected(self, tmp_path):
+        with pytest.raises(HistoryUrlError):
+            seed_history_spec("mem://", [make_signature()])
+
+
+class TestPredictedTtl:
+    def _runtime(self, history, **overrides):
+        config = DimmunixConfig(
+            detection_policy=DetectionPolicy.RAISE, yield_timeout=1.0
+        ).evolve(**overrides)
+        return DimmunixRuntime(config, history=history, name="ttl-test")
+
+    def test_unmatched_prediction_expires_after_ttl_runs(self, tmp_path):
+        """Aging is per process run: save/load between simulated runs."""
+        path = tmp_path / "immunity.json"
+        seed_history_spec(str(path), [make_signature()])
+        for run in range(1, 3):
+            history = History.load(path)
+            runtime = self._runtime(history, predicted_ttl_runs=3)
+            assert runtime.stats.predictions_expired == 0, f"run {run}"
+            assert len(history) == 1
+            history.save(path)
+        history = History.load(path)
+        runtime = self._runtime(history, predicted_ttl_runs=3)
+        # Third start-up reaches the TTL: loud in stats, gone from the
+        # history.
+        assert runtime.stats.predictions_expired == 1
+        assert len(history) == 0
+        assert history.provenance_counts().get("predicted", 0) == 0
+
+    def test_ttl_zero_never_expires(self):
+        history = History()
+        seed_predictions(history, [make_signature()])
+        for _ in range(5):
+            runtime = self._runtime(history, predicted_ttl_runs=0)
+            assert runtime.stats.predictions_expired == 0
+        assert len(history) == 1
+
+    def test_promoted_signatures_are_immune_to_ttl(self):
+        history = History()
+        signature = make_signature()
+        seed_predictions(history, [signature])
+        assert history.promote(signature)
+        for _ in range(4):
+            runtime = self._runtime(history, predicted_ttl_runs=1)
+            assert runtime.stats.predictions_expired == 0
+        assert history.provenance_counts()["promoted"] == 1
+
+    def test_expiry_unbloats_the_position_index(self):
+        """The A3 regression: expired predictions must leave the index.
+
+        Indexed lookups stay flat only if dead predictions are removed
+        from the per-position index, not just hidden from iteration.
+        """
+        history = History()
+        signatures = [make_signature(i * 100 + 1, i * 100 + 2) for i in range(20)]
+        seed_predictions(history, signatures)
+        keys = [
+            key
+            for signature in signatures
+            for key in signature.outer_position_keys()
+        ]
+        assert all(history.contains_position(key) for key in keys)
+        expired = history.expire_predictions(1)
+        assert expired == 20
+        assert not any(history.contains_position(key) for key in keys)
+        assert len(history) == 0

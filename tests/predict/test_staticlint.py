@@ -1,0 +1,173 @@
+"""Unit tests for the static lint front (graph + diagnostics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predict.astwalk import analyze_source
+from repro.predict.staticlint import lint_paths, lint_source, lint_summaries
+
+BUGGY = """
+def setup(rt):
+    a = rt.lock("acct-a")
+    b = rt.lock("acct-b")
+    def w1():
+        with a:
+            with b:
+                pass
+    def w2():
+        with b:
+            with a:
+                pass
+"""
+
+CLEAN = """
+def setup(rt):
+    a = rt.lock("acct-a")
+    b = rt.lock("acct-b")
+    def w1():
+        with a:
+            with b:
+                pass
+    def w2():
+        with a:
+            with b:
+                pass
+"""
+
+
+class TestCycleDiagnostics:
+    def test_abba_cycle_found(self):
+        diagnostics = lint_source(BUGGY, "buggy.py")
+        assert len(diagnostics) == 1
+        (diag,) = diagnostics
+        assert diag.file == "buggy.py"
+        assert "acct-a" in diag.cycle and "acct-b" in diag.cycle
+        assert diag.signature is not None
+        # Provenance is stamped by ``History.add_predicted`` at seed
+        # time, not by the compiler.
+        assert len(diag.signature.entries) == 2
+
+    def test_render_is_file_line_prefixed(self):
+        (diag,) = lint_source(BUGGY, "buggy.py")
+        assert diag.render().startswith(f"buggy.py:{diag.line}: ")
+        assert "lock-order cycle" in diag.render()
+
+    def test_clean_module_is_silent(self):
+        assert lint_source(CLEAN, "clean.py") == []
+
+    def test_min_confidence_filters(self):
+        weak = """
+def transfer(src, dst):
+    with src:
+        with dst:
+            pass
+def refund(dst, src):
+    with dst:
+        with src:
+            pass
+"""
+        assert lint_source(weak, "weak.py") != []
+        assert (
+            lint_source(weak, "weak.py", min_confidence=0.8) == []
+        )
+
+    def test_signature_positions_match_diagnostic(self):
+        (diag,) = lint_source(BUGGY, "buggy.py")
+        sig_positions = {
+            (frame.file, frame.line)
+            for entry in diag.signature.entries
+            for frame in entry.inner.frames
+        }
+        assert set(diag.positions) <= sig_positions
+
+    def test_deterministic_order_and_dedup(self):
+        first = lint_source(BUGGY + "\n" + BUGGY.replace("w1", "w3").replace("w2", "w4"), "dup.py")
+        # The same cycle found through two function pairs is one finding
+        # per distinct signature, sorted stably.
+        assert first == sorted(
+            first, key=lambda d: (d.file, d.line, d.cycle)
+        )
+
+
+class TestCrossModule:
+    def test_cycle_spanning_two_files(self):
+        """Opposite orders in different modules alias via ctor literals."""
+        mod_one = analyze_source(
+            """
+def post(rt):
+    with rt.lock("ledger"):
+        with rt.lock("audit"):
+            pass
+""",
+            "one.py",
+        )
+        mod_two = analyze_source(
+            """
+def audit(rt):
+    with rt.lock("audit"):
+        with rt.lock("ledger"):
+            pass
+""",
+            "two.py",
+        )
+        assert lint_summaries([mod_one]) == []
+        assert lint_summaries([mod_two]) == []
+        diagnostics = lint_summaries([mod_one, mod_two])
+        assert len(diagnostics) == 1
+        files = {diagnostics[0].file} | {
+            file for file, _ in diagnostics[0].positions
+        }
+        assert files == {"one.py", "two.py"}
+
+
+class TestLintPaths:
+    def test_directory_walk_and_error_reporting(self, tmp_path):
+        (tmp_path / "bad_syntax.py").write_text("def broken(:\n")
+        (tmp_path / "buggy.py").write_text(BUGGY)
+        (tmp_path / "clean.py").write_text(CLEAN)
+        diagnostics, errors = lint_paths([tmp_path])
+        assert len(diagnostics) == 1
+        assert diagnostics[0].file.endswith("buggy.py")
+        assert len(errors) == 1
+        assert "bad_syntax.py" in errors[0]
+
+    def test_repo_quickstart_flags(self):
+        """The acceptance check: the shipped buggy example must flag."""
+        diagnostics, errors = lint_paths(["examples/quickstart.py"])
+        assert errors == []
+        assert len(diagnostics) >= 1
+        assert all(
+            diag.file.endswith("quickstart.py") for diag in diagnostics
+        )
+
+    def test_repo_clean_example_passes(self):
+        diagnostics, errors = lint_paths(["examples/ordered_transfers.py"])
+        assert errors == []
+        assert diagnostics == []
+
+
+@pytest.mark.parametrize("max_cycle", [2, 3, 4])
+def test_max_cycle_bounds_search(max_cycle):
+    ring = """
+def f(rt):
+    a = rt.lock("r-a")
+    b = rt.lock("r-b")
+    c = rt.lock("r-c")
+    def w1():
+        with a:
+            with b: pass
+    def w2():
+        with b:
+            with c: pass
+    def w3():
+        with c:
+            with a: pass
+"""
+    diagnostics = lint_source(ring, "ring.py")
+    three_ring = [d for d in diagnostics if d.cycle.count("->") == 3]
+    assert three_ring, "3-cycle must be found at the default max"
+    summaries = [analyze_source(ring, "ring.py")]
+    limited = lint_summaries(summaries, max_cycle=max_cycle)
+    if max_cycle < 3:
+        assert all(d.cycle.count("->") <= max_cycle + 1 for d in limited)

@@ -1,0 +1,177 @@
+"""Unit tests for the goodlock trace miner."""
+
+from __future__ import annotations
+
+import json
+
+from repro.predict.tracemine import (
+    CONFIDENCE_PAIR,
+    mine_events,
+    mine_trace_file,
+)
+
+
+def _ev(kind, thread, lock, line=0, source="s"):
+    data = {"kind": kind, "source": source, "thread": thread, "lock": lock}
+    if kind == "request":
+        data["position"] = [["app.py", line]]
+    return data
+
+
+def _hold(thread, outer, inner, outer_line, inner_line, source="s"):
+    """One thread acquiring ``inner`` at ``inner_line`` under ``outer``."""
+    return [
+        _ev("request", thread, outer, outer_line, source),
+        _ev("acquired", thread, outer, source=source),
+        _ev("request", thread, inner, inner_line, source),
+        _ev("acquired", thread, inner, source=source),
+        _ev("release", thread, inner, source=source),
+        _ev("release", thread, outer, source=source),
+    ]
+
+
+class TestReversalPair:
+    def test_abba_reversal_is_mined(self):
+        events = _hold("t1", "A", "B", 10, 11) + _hold("t2", "B", "A", 20, 21)
+        predictions = mine_events(events)
+        assert len(predictions) == 1
+        (prediction,) = predictions
+        assert prediction.confidence == CONFIDENCE_PAIR
+        assert prediction.origin == "tracemine"
+        assert len(prediction.signature.entries) == 2
+        positions = {
+            (frame.file, frame.line)
+            for entry in prediction.signature.entries
+            for frame in entry.inner.frames + entry.outer.frames
+        }
+        assert positions == {
+            ("app.py", 10),
+            ("app.py", 11),
+            ("app.py", 20),
+            ("app.py", 21),
+        }
+
+    def test_consistent_order_mines_nothing(self):
+        events = _hold("t1", "A", "B", 10, 11) + _hold("t2", "A", "B", 20, 21)
+        assert mine_events(events) == []
+
+    def test_same_thread_reversal_rejected(self):
+        """One thread taking both orders cannot deadlock with itself."""
+        events = _hold("t1", "A", "B", 10, 11) + _hold("t1", "B", "A", 20, 21)
+        assert mine_events(events) == []
+
+    def test_sources_are_disjoint_namespaces(self):
+        """Lock "A" on source s1 is not lock "A" on source s2."""
+        events = _hold("t1", "A", "B", 10, 11, source="s1") + _hold(
+            "t2", "B", "A", 20, 21, source="s2"
+        )
+        assert mine_events(events) == []
+
+
+class TestGates:
+    def test_common_gate_lock_suppresses_the_cycle(self):
+        """Both reversals under one guardian lock: serialized, no bug."""
+        events = []
+        for thread, outer, inner, o_line, i_line in [
+            ("t1", "A", "B", 10, 11),
+            ("t2", "B", "A", 20, 21),
+        ]:
+            events += [
+                _ev("request", thread, "GUARD", 5),
+                _ev("acquired", thread, "GUARD"),
+                *_hold(thread, outer, inner, o_line, i_line),
+                _ev("release", thread, "GUARD"),
+            ]
+        predictions = mine_events(events)
+        cycles = {p.cycle for p in predictions}
+        # Any surviving prediction must involve GUARD itself, never the
+        # gate-protected A/B reversal alone.
+        assert all("GUARD" in c for c in cycles) or predictions == []
+
+    def test_disjoint_gates_do_not_suppress(self):
+        events = []
+        for thread, guard, outer, inner, o_line, i_line in [
+            ("t1", "G1", "A", "B", 10, 11),
+            ("t2", "G2", "B", "A", 20, 21),
+        ]:
+            events += [
+                _ev("request", thread, guard, 5),
+                _ev("acquired", thread, guard),
+                *_hold(thread, outer, inner, o_line, i_line),
+                _ev("release", thread, guard),
+            ]
+        predictions = mine_events(events)
+        assert any(
+            "A" in p.cycle and "B" in p.cycle and "G" not in p.cycle
+            for p in predictions
+        )
+
+
+class TestLongCycles:
+    def test_three_party_ring(self):
+        events = (
+            _hold("t1", "A", "B", 10, 11)
+            + _hold("t2", "B", "C", 20, 21)
+            + _hold("t3", "C", "A", 30, 31)
+        )
+        predictions = mine_events(events)
+        assert len(predictions) == 1
+        assert len(predictions[0].signature.entries) == 3
+
+    def test_max_cycle_bounds(self):
+        events = (
+            _hold("t1", "A", "B", 10, 11)
+            + _hold("t2", "B", "C", 20, 21)
+            + _hold("t3", "C", "A", 30, 31)
+        )
+        assert mine_events(events, max_cycle=2) == []
+
+    def test_ring_with_too_few_threads_rejected(self):
+        """A 3-ring walked by only 2 distinct threads is not a deadlock."""
+        events = (
+            _hold("t1", "A", "B", 10, 11)
+            + _hold("t2", "B", "C", 20, 21)
+            + _hold("t1", "C", "A", 30, 31)
+        )
+        assert mine_events(events) == []
+
+
+class TestReentrancy:
+    def test_reentrant_hold_released_at_outermost(self):
+        events = [
+            _ev("request", "t1", "A", 10),
+            _ev("acquired", "t1", "A"),
+            _ev("request", "t1", "A", 10),
+            _ev("acquired", "t1", "A"),
+            _ev("release", "t1", "A"),
+            # Still held here: a nested acquisition still makes an edge.
+            _ev("request", "t1", "B", 11),
+            _ev("acquired", "t1", "B"),
+            _ev("release", "t1", "B"),
+            _ev("release", "t1", "A"),
+        ] + _hold("t2", "B", "A", 20, 21)
+        predictions = mine_events(events)
+        assert len(predictions) == 1
+
+
+class TestFiltersAndIO:
+    def test_min_confidence(self):
+        events = _hold("t1", "A", "B", 10, 11) + _hold("t2", "B", "A", 20, 21)
+        assert mine_events(events, min_confidence=0.95) == []
+
+    def test_mine_trace_file_tolerates_garbage(self, tmp_path):
+        events = _hold("t1", "A", "B", 10, 11) + _hold("t2", "B", "A", 20, 21)
+        trace = tmp_path / "trace.jsonl"
+        lines = [json.dumps(e) for e in events]
+        lines.insert(3, "not json at all {{{")
+        lines.append('{"kind": "request", "thread"')  # torn final write
+        trace.write_text("\n".join(lines) + "\n")
+        predictions = mine_trace_file(trace)
+        assert len(predictions) == 1
+
+    def test_render_mentions_cycle_and_confidence(self):
+        events = _hold("t1", "A", "B", 10, 11) + _hold("t2", "B", "A", 20, 21)
+        (prediction,) = mine_events(events)
+        rendered = prediction.render()
+        assert "A" in rendered and "B" in rendered
+        assert f"{prediction.confidence:.2f}" in rendered

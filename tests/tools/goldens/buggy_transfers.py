@@ -1,0 +1,31 @@
+"""Golden lint input: two deliberate lock-order cycles.
+
+Committed fixture for the ``dimmunix-lint`` goldens — do not reformat:
+the expected outputs pin exact line numbers.
+"""
+
+
+def setup(runtime):
+    ledger = runtime.lock("golden-ledger")
+    audit = runtime.lock("golden-audit")
+
+    def post():
+        with ledger:
+            with audit:
+                pass
+
+    def reconcile():
+        with audit:
+            with ledger:
+                pass
+
+
+def dinner(runtime, seats):
+    forks = [runtime.lock(f"golden-fork-{i}") for i in range(seats)]
+
+    def dine(seat):
+        left = forks[seat]
+        right = forks[(seat + 1) % seats]
+        with left:
+            with right:
+                pass

@@ -1,0 +1,16 @@
+"""Golden lint input: consistent lock order, nothing to report."""
+
+
+def setup(runtime):
+    ledger = runtime.lock("golden-clean-ledger")
+    audit = runtime.lock("golden-clean-audit")
+
+    def post():
+        with ledger:
+            with audit:
+                pass
+
+    def reconcile():
+        with ledger:
+            with audit:
+                pass

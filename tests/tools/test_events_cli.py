@@ -207,3 +207,142 @@ class TestReplay:
         assert "(1 undecodable)" in capsys.readouterr().out
         assert main(["replay", str(path), "--strict"]) == 1
         assert "not JSON" in capsys.readouterr().err
+
+
+class TestPredictedSeededWireForm:
+    def test_roundtrip_and_tail_format(self, tmp_path, capsys):
+        from repro.core.events import PredictedSeededEvent
+
+        event = PredictedSeededEvent(
+            source="cli",
+            signature=_sample_signature(),
+            origin="staticlint",
+            confidence=0.9,
+        )
+        rebuilt = event_from_dict(event_to_dict(event))
+        assert rebuilt.origin == "staticlint"
+        assert rebuilt.signature == event.signature
+
+        path = tmp_path / "seeded.jsonl"
+        path.write_text(json.dumps(event_to_dict(event)) + "\n")
+        assert main(["tail", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "via staticlint" in out
+        assert "confidence 0.90" in out
+
+
+class TestSummaryProvenance:
+    def test_summary_splits_earned_promoted_predicted(
+        self, tmp_path, capsys
+    ):
+        from repro.core.events import PredictedSeededEvent
+
+        predicted = _sample_signature()
+        predicted.provenance = "predicted"
+        earned = DeadlockSignature(
+            [
+                SignatureEntry(
+                    CallStack.single("other.py", line),
+                    CallStack.single("other.py", line + 100),
+                )
+                for line in (7, 8)
+            ]
+        )
+        path = tmp_path / "mixed.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            for seq, event in enumerate((
+                PredictedSeededEvent(
+                    source="cli", signature=predicted, origin="tracemine"
+                ),
+                DetectionEvent(source="cli", signature=earned),
+            )):
+                data = event_to_dict(event)
+                data["seq"] = seq
+                handle.write(json.dumps(data) + "\n")
+        assert main(["summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "signatures: 2 distinct (1 earned, 0 promoted, 1 predicted)" in out
+
+    def test_promotion_outranks_earlier_seeding(self, tmp_path, capsys):
+        """The same signature seen seeded then detected counts once, earned."""
+        signature = _sample_signature()
+        seeded = _sample_signature()
+        seeded.provenance = "predicted"
+        from repro.core.events import PredictedSeededEvent
+
+        path = tmp_path / "promoted.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            for seq, event in enumerate((
+                PredictedSeededEvent(
+                    source="cli", signature=seeded, origin="staticlint"
+                ),
+                DetectionEvent(source="cli", signature=signature),
+            )):
+                data = event_to_dict(event)
+                data["seq"] = seq
+                handle.write(json.dumps(data) + "\n")
+        assert main(["summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "signatures: 1 distinct (1 earned, 0 promoted, 0 predicted)" in out
+
+
+class TestMine:
+    def _reversal_trace(self, tmp_path):
+        def ev(kind, thread, lock, line=0):
+            data = {
+                "kind": kind,
+                "source": "s",
+                "thread": thread,
+                "lock": lock,
+                "ts": 0.0,
+            }
+            if kind == "request":
+                data["position"] = [["app.py", line]]
+            return data
+
+        events = []
+        for thread, outer, inner, ol, il in [
+            ("t1", "A", "B", 10, 11),
+            ("t2", "B", "A", 20, 21),
+        ]:
+            events += [
+                ev("request", thread, outer, ol),
+                ev("acquired", thread, outer),
+                ev("request", thread, inner, il),
+                ev("acquired", thread, inner),
+                ev("release", thread, inner),
+                ev("release", thread, outer),
+            ]
+        for seq, event in enumerate(events):
+            event["seq"] = seq
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "".join(json.dumps(event) + "\n" for event in events)
+        )
+        return path
+
+    def test_mine_reports_predictions(self, tmp_path, capsys):
+        path = self._reversal_trace(tmp_path)
+        assert main(["mine", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 predicted deadlock" in out
+
+    def test_mine_seeds_history(self, tmp_path, capsys):
+        from repro.core.history import open_history
+
+        path = self._reversal_trace(tmp_path)
+        dsn = f"sqlite:///{tmp_path}/immunity.db"
+        assert main(["mine", str(path), "--seed", dsn]) == 0
+        history = open_history(dsn)
+        try:
+            assert history.provenance_counts()["predicted"] == 1
+        finally:
+            history.close()
+
+    def test_mine_min_confidence_filters(self, tmp_path, capsys):
+        path = self._reversal_trace(tmp_path)
+        assert main(["mine", str(path), "--min-confidence", "0.95"]) == 0
+        assert "0 predicted deadlock" in capsys.readouterr().out
+
+    def test_mine_missing_file(self, tmp_path, capsys):
+        assert main(["mine", str(tmp_path / "nope.jsonl")]) == 2

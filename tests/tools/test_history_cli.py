@@ -300,3 +300,22 @@ class TestReadOnlyDsnSafety:
         assert "3 migrated" in capsys.readouterr().out
         merged = History.load(dst)
         assert len(merged) == 4  # the prior antibody survived
+
+
+class TestStatsProvenance:
+    def test_stats_splits_provenance(self, tmp_path, capsys):
+        history = History()
+        history.add(make_signature(("App.java", 10), ("App.java", 20), 0))
+        predicted = make_signature(("Svc.java", 30), ("jni.cpp", 40), 1)
+        history.add_predicted(predicted)
+        promoted = make_signature(("Ui.java", 50), ("jni.cpp", 60), 2)
+        history.add_predicted(promoted)
+        history.promote(promoted)
+        path = tmp_path / "prov.history"
+        history.save(path)
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "provenance:" in out
+        assert "1 earned" in out
+        assert "1 promoted" in out
+        assert "1 predicted" in out

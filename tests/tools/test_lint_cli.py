@@ -1,0 +1,91 @@
+"""``dimmunix-lint`` CLI: exit codes, goldens, seeding."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.history import open_history
+from repro.tools.lint_cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDENS = Path("tests/tools/goldens")
+BUGGY = GOLDENS / "buggy_transfers.py"
+CLEAN = GOLDENS / "clean_transfers.py"
+
+
+@pytest.fixture(autouse=True)
+def _repo_root_cwd(monkeypatch):
+    """Goldens pin repo-relative paths in the rendered diagnostics."""
+    monkeypatch.chdir(REPO_ROOT)
+
+
+class TestExitCodes:
+    def test_buggy_file_exits_nonzero(self, capsys):
+        assert main([str(BUGGY)]) == 1
+        assert "lock-order cycle" in capsys.readouterr().out
+
+    def test_clean_file_exits_zero(self, capsys):
+        assert main([str(CLEAN)]) == 0
+        assert "0 lock-order cycles" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["no/such/file.py"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_shipped_quickstart_flags(self, capsys):
+        """Acceptance: the buggy example is caught with file:line."""
+        assert main(["examples/quickstart.py"]) == 1
+        out = capsys.readouterr().out
+        assert "examples/quickstart.py:" in out
+
+    def test_shipped_clean_example_passes(self):
+        assert main(["examples/ordered_transfers.py"]) == 0
+
+
+class TestGoldens:
+    def test_text_output_matches_golden(self, capsys):
+        main([str(BUGGY)])
+        expected = (GOLDENS / "buggy_transfers.txt").read_text()
+        assert capsys.readouterr().out == expected
+
+    def test_json_output_matches_golden(self, capsys):
+        main([str(BUGGY), "--format", "json"])
+        expected = json.loads((GOLDENS / "buggy_transfers.json").read_text())
+        assert json.loads(capsys.readouterr().out) == expected
+
+
+class TestOptions:
+    def test_min_confidence_drops_weak_cycles(self, capsys):
+        # The multi-instance fork self-loop (0.60) is filtered; the
+        # ctor-named AB/BA cycle (0.90) survives.
+        assert main([str(BUGGY), "--min-confidence", "0.8"]) == 1
+        out = capsys.readouterr().out
+        assert "golden-fork" not in out
+        assert "golden-ledger" in out
+
+    def test_bad_min_confidence_rejected(self):
+        with pytest.raises(SystemExit):
+            main([str(BUGGY), "--min-confidence", "1.5"])
+
+    def test_seed_writes_predicted_history(self, tmp_path, capsys):
+        dsn = f"sqlite:///{tmp_path}/immunity.db"
+        assert main([str(BUGGY), "--seed", dsn]) == 1
+        assert "seeded 2 predicted signature(s)" in capsys.readouterr().out
+        history = open_history(dsn)
+        try:
+            assert history.provenance_counts()["predicted"] == 2
+        finally:
+            history.close()
+
+    def test_seed_memory_dsn_is_an_error(self, capsys):
+        assert main([str(BUGGY), "--seed", "mem://"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_syntax_error_is_warning_not_crash(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        assert main([str(bad)]) == 0
+        assert "warning" in capsys.readouterr().err

@@ -86,3 +86,38 @@ class TestErrors:
     def test_no_matching_records(self, records_file, capsys):
         assert main([str(records_file), "--only", "ZZ"]) == 1
         assert "no matching records" in capsys.readouterr().err
+
+
+class TestHistoryBlock:
+    def _seeded_history(self, tmp_path):
+        from repro.core.history import History
+        from repro.workloads.synthetic_sigs import make_signature
+
+        history = History()
+        history.add(make_signature(("App.java", 10), ("App.java", 20), 0))
+        history.add_predicted(
+            make_signature(("Svc.java", 30), ("jni.cpp", 40), 1)
+        )
+        path = tmp_path / "immunity.history"
+        history.save(path)
+        return path
+
+    def test_history_block_without_records(self, tmp_path, capsys):
+        """--history alone works even when no bench records exist yet."""
+        history = self._seeded_history(tmp_path)
+        missing = tmp_path / "records.jsonl"
+        assert main([str(missing), "--history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "2 antibodies" in out
+        assert "earned:    1" in out
+        assert "predicted: 1" in out
+        assert "promoted:  0" in out
+
+    def test_history_block_appended_to_records(
+        self, records_file, tmp_path, capsys
+    ):
+        history = self._seeded_history(tmp_path)
+        main([str(records_file), "--history", str(history)])
+        out = capsys.readouterr().out
+        assert "comparisons hold" in out
+        assert "immunity" in out and "antibodies" in out
