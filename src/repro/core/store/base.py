@@ -170,6 +170,40 @@ class HistoryStore(abc.ABC):
                 added += 1
         return added
 
+    def mark_dirty(self, signature: DeadlockSignature) -> bool:
+        """Re-pend the stored copy of ``signature`` for the next flush.
+
+        The composite-store hook (:class:`~repro.fleet.shard.ShardedStore`
+        routes a parent-level provenance upgrade down to the owning
+        shard this way): the shard's stored object *is* the parent's, so
+        an ordinary :meth:`add` sees no provenance delta to merge and
+        would never re-persist the row. Returns ``False`` when the
+        signature is not stored here.
+        """
+        with self._lock:
+            stored = self._canonical.get(signature.canonical_key())
+            if stored is None:
+                return False
+            self._pending.append(stored)
+            return True
+
+    def discard(self, batch) -> int:
+        """Remove stored signatures (matched by canonical key) from the
+        index, the pending batch, and the backend. Returns how many were
+        actually stored (and therefore removed)."""
+        with self._lock:
+            stored = tuple(
+                found
+                for found in (
+                    self._canonical.get(signature.canonical_key())
+                    for signature in batch
+                )
+                if found is not None
+            )
+            if stored:
+                self._remove(stored)
+            return len(stored)
+
     def _index(self, signature: DeadlockSignature) -> bool:
         """Index a signature in memory (no pending-batch bookkeeping).
 

@@ -64,6 +64,8 @@ class WriteBehindPersister:
         mode: str = MODE_THREAD,
         flush_interval: float = 0.05,
         batch_size: int = 1,
+        retry_backoff: float = 0.1,
+        max_retry_backoff: float = 5.0,
     ) -> None:
         if mode not in (MODE_THREAD, MODE_DEFERRED):
             raise ValueError(f"unknown persister mode {mode!r}")
@@ -72,8 +74,12 @@ class WriteBehindPersister:
         self.mode = mode
         self.flush_interval = flush_interval
         self.batch_size = batch_size
+        self.retry_backoff = retry_backoff
+        self.max_retry_backoff = max_retry_backoff
         self.flushes = 0
+        self.flush_failures = 0
         self.signatures_written = 0
+        self._retry_delay = 0.0
         self._cond = _Condition(_Lock())
         self._dirty_events = 0
         self._closed = False
@@ -124,7 +130,26 @@ class WriteBehindPersister:
                 with self._cond:
                     self._cond.wait(timeout=self.flush_interval)
                     self._dirty_events = 0
-            self.flush()
+            try:
+                self.flush()
+                self._retry_delay = 0.0
+            except Exception:
+                # A flaky backend (full disk, a sqlite lock, a fleet
+                # hiccup the store didn't absorb) must not kill the
+                # worker: the store's flush left the batch pending, so
+                # count the failure, back off, and retry — the
+                # antibodies are still coming.
+                self.flush_failures += 1
+                self._retry_delay = min(
+                    max(self._retry_delay * 2, self.retry_backoff),
+                    self.max_retry_backoff,
+                )
+                with self._cond:
+                    if self._closed:
+                        # close() makes the final (raising) attempt.
+                        return
+                    self._dirty_events += 1  # re-arm the retry
+                    self._cond.wait(timeout=self._retry_delay)
             with self._cond:
                 if self._closed and self._dirty_events == 0:
                     return

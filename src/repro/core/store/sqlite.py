@@ -30,6 +30,7 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -65,11 +66,18 @@ CREATE UNIQUE INDEX IF NOT EXISTS idx_positions_unique
 
 def canonical_text(signature: DeadlockSignature) -> str:
     """A stable TEXT primary key from the signature's canonical key."""
-    return json.dumps(signature.canonical_key(), sort_keys=True)
+    return signature.canonical_text()
 
 
 def _position_text(key) -> str:
     return json.dumps(key, sort_keys=True)
+
+
+#: ``?durability=`` values: ``normal`` trades the tail of a power loss
+#: for fast WAL commits; ``full`` fsyncs every commit (a fleet pool is
+#: authoritative — an acked antibody must survive anything).
+DURABILITY_NORMAL = "normal"
+DURABILITY_FULL = "full"
 
 
 class SqliteStore(HistoryStore):
@@ -78,8 +86,20 @@ class SqliteStore(HistoryStore):
     scheme = SCHEME_SQLITE
     persistent = True
 
-    def __init__(self, path: Path | str, max_signatures: int = 4096) -> None:
+    def __init__(
+        self,
+        path: Path | str,
+        max_signatures: int = 4096,
+        *,
+        durability: str = DURABILITY_NORMAL,
+    ) -> None:
         super().__init__(max_signatures=max_signatures)
+        if durability not in (DURABILITY_NORMAL, DURABILITY_FULL):
+            raise HistoryFormatError(
+                f"unknown durability {durability!r} "
+                f"(use {DURABILITY_NORMAL!r} or {DURABILITY_FULL!r})"
+            )
+        self._durability = durability
         self._path = Path(path)
         legacy = self._maybe_extract_legacy()
         self._path.parent.mkdir(parents=True, exist_ok=True)
@@ -100,6 +120,17 @@ class SqliteStore(HistoryStore):
     @property
     def location(self) -> Optional[Path]:
         return self._path
+
+    @property
+    def durability(self) -> str:
+        return self._durability
+
+    @property
+    def url(self) -> str:
+        base = super().url
+        if self._durability != DURABILITY_NORMAL:
+            return f"{base}?durability={self._durability}"
+        return base
 
     # ------------------------------------------------------------------
     # open-time plumbing
@@ -126,8 +157,29 @@ class SqliteStore(HistoryStore):
 
     def _init_schema(self) -> None:
         with self._lock:
-            self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.execute("PRAGMA synchronous=NORMAL")
+            # Concurrent writers (a busy platform's processes flushing
+            # into one pool) queue on SQLite's write lock instead of
+            # failing fast with "database is locked". Must come first:
+            # the journal_mode switch below takes an exclusive lock, so
+            # simultaneous first-opens of one file need the timeout too.
+            self._conn.execute("PRAGMA busy_timeout=5000")
+            # Converting a rollback-journal database to WAL needs the
+            # file to itself, and SQLite skips the busy handler on the
+            # lock transition involved — simultaneous first-opens can
+            # get a raw "database is locked" here. Retry briefly, then
+            # tolerate: journal mode is a property of the *file*, so
+            # whichever opener won has already made it WAL for everyone.
+            for attempt in range(5):
+                try:
+                    self._conn.execute("PRAGMA journal_mode=WAL")
+                    break
+                except sqlite3.OperationalError:
+                    time.sleep(0.01 * (attempt + 1))
+            self._conn.execute(
+                "PRAGMA synchronous=FULL"
+                if self._durability == DURABILITY_FULL
+                else "PRAGMA synchronous=NORMAL"
+            )
             self._conn.executescript(_SCHEMA)
             # Databases created before the provenance column gain it on
             # open; existing rows default to 'earned' (the only
@@ -295,4 +347,9 @@ class SqliteStore(HistoryStore):
             self._conn.close()
 
 
-__all__ = ["SqliteStore", "canonical_text"]
+__all__ = [
+    "SqliteStore",
+    "canonical_text",
+    "DURABILITY_NORMAL",
+    "DURABILITY_FULL",
+]

@@ -6,11 +6,20 @@ A history URL names *where* the persistent deadlock history lives and
     mem://                      in-process only (no persistence)
     jsonl:///var/dimmunix/a.history     append-only log, legacy-compatible
     sqlite:///var/dimmunix/history.db   indexed, multi-process-safe
+    shard:///var/dimmunix/pool?shards=8 N sqlite shards under one directory
+    tcp://history.internal:7741         a dimmunix-serve fleet server
 
 Bare paths (no scheme) are accepted everywhere a URL is and map to
 ``jsonl://`` — the JSONL backend reads and writes the exact on-disk
 format of the pre-store ``History.save()``, so every existing history
 file keeps working under a DSN without migration.
+
+The two fleet schemes address the distribution layer
+(:mod:`repro.fleet`): ``shard://`` points at a *directory* holding
+``shards`` sqlite files (the count is fixed at creation and recorded in
+the directory, so the query parameter is only needed the first time),
+and ``tcp://`` names a remote antibody service by host and port (no
+filesystem path at all).
 """
 
 from __future__ import annotations
@@ -24,8 +33,19 @@ from repro.errors import DimmunixError
 SCHEME_MEM = "mem"
 SCHEME_JSONL = "jsonl"
 SCHEME_SQLITE = "sqlite"
+SCHEME_SHARD = "shard"
+SCHEME_TCP = "tcp"
 
-KNOWN_SCHEMES = (SCHEME_MEM, SCHEME_JSONL, SCHEME_SQLITE)
+KNOWN_SCHEMES = (
+    SCHEME_MEM,
+    SCHEME_JSONL,
+    SCHEME_SQLITE,
+    SCHEME_SHARD,
+    SCHEME_TCP,
+)
+
+#: default port of a ``dimmunix-serve`` fleet server
+DEFAULT_FLEET_PORT = 7741
 
 
 class HistoryUrlError(DimmunixError, ValueError):
@@ -34,28 +54,88 @@ class HistoryUrlError(DimmunixError, ValueError):
 
 @dataclass(frozen=True)
 class HistoryUrl:
-    """A parsed history DSN: backend scheme plus (optional) file path."""
+    """A parsed history DSN: backend scheme plus its address.
+
+    File-backed schemes carry ``path``; ``tcp://`` carries ``host`` and
+    ``port`` instead; ``shard://`` may carry an explicit ``shards``
+    count (``None`` means "whatever the directory was created with, or
+    the default for a new one").
+    """
 
     scheme: str
     path: Optional[Path] = None
+    host: Optional[str] = None
+    port: Optional[int] = None
+    shards: Optional[int] = None
+    durability: Optional[str] = None
 
     def __str__(self) -> str:
+        if self.scheme == SCHEME_TCP:
+            return f"tcp://{self.host}:{self.port}"
         if self.path is None:
             return f"{self.scheme}://"
         # An absolute path naturally renders with the canonical triple
         # slash (scheme:// + /abs/path); relative paths keep two.
-        return f"{self.scheme}://{self.path}"
+        base = f"{self.scheme}://{self.path}"
+        params = []
+        if self.scheme == SCHEME_SHARD and self.shards is not None:
+            params.append(f"shards={self.shards}")
+        if self.durability is not None:
+            params.append(f"durability={self.durability}")
+        if params:
+            return f"{base}?{'&'.join(params)}"
+        return base
 
     @property
     def persistent(self) -> bool:
         return self.scheme != SCHEME_MEM
 
 
+#: ``?durability=`` values a file-backed sqlite DSN may carry.
+DURABILITY_VALUES = ("normal", "full")
+
+
+def _parse_file_query(
+    scheme: str, text: str, query: str
+) -> tuple[Optional[int], Optional[str]]:
+    """The ``?shards=N`` / ``?durability=`` parameters of a file DSN.
+
+    ``shards`` is ``shard://``-only (it is the hash modulus); both
+    sqlite-backed schemes accept ``durability`` (``normal`` is the WAL
+    fast path, ``full`` fsyncs every commit).
+    """
+    shards: Optional[int] = None
+    durability: Optional[str] = None
+    if not query:
+        return shards, durability
+    for pair in query.split("&"):
+        key, _, value = pair.partition("=")
+        if key == "shards" and scheme == SCHEME_SHARD:
+            if not value.isdigit() or int(value) < 1:
+                raise HistoryUrlError(
+                    f"shards must be a positive integer (got {text!r})"
+                )
+            shards = int(value)
+        elif key == "durability":
+            if value not in DURABILITY_VALUES:
+                raise HistoryUrlError(
+                    f"durability must be one of "
+                    f"{', '.join(DURABILITY_VALUES)} (got {text!r})"
+                )
+            durability = value
+        else:
+            raise HistoryUrlError(
+                f"unknown {scheme}:// parameter {key!r} in {text!r}"
+            )
+    return shards, durability
+
+
 def parse_history_url(url: str | Path) -> HistoryUrl:
     """Parse a history DSN (or bare path, which means ``jsonl://``).
 
     ``jsonl://relative/path`` and ``jsonl:///absolute/path`` are both
-    accepted; ``mem://`` takes no path.
+    accepted; ``mem://`` takes no path; ``tcp://host[:port]`` takes no
+    path (the port defaults to ``DEFAULT_FLEET_PORT``).
     """
     if isinstance(url, Path):
         return HistoryUrl(SCHEME_JSONL, url)
@@ -78,17 +158,41 @@ def parse_history_url(url: str | Path) -> HistoryUrl:
                 f"mem:// takes no path (got {text!r})"
             )
         return HistoryUrl(SCHEME_MEM, None)
+    if scheme == SCHEME_TCP:
+        authority = rest.rstrip("/")
+        if not authority:
+            raise HistoryUrlError(f"tcp:// needs host[:port] (got {text!r})")
+        host, sep, port_text = authority.rpartition(":")
+        if not sep:
+            host, port_text = authority, str(DEFAULT_FLEET_PORT)
+        if not host:
+            raise HistoryUrlError(f"tcp:// needs a host (got {text!r})")
+        if not port_text.isdigit() or not 0 < int(port_text) < 65536:
+            raise HistoryUrlError(
+                f"tcp:// port must be 1-65535 (got {text!r})"
+            )
+        return HistoryUrl(SCHEME_TCP, host=host, port=int(port_text))
+    shards: Optional[int] = None
+    durability: Optional[str] = None
+    if scheme in (SCHEME_SHARD, SCHEME_SQLITE):
+        rest, _, query = rest.partition("?")
+        shards, durability = _parse_file_query(scheme, text, query)
     if not rest or rest == "/":
         raise HistoryUrlError(f"{scheme}:// needs a file path (got {text!r})")
     # jsonl:///abs/path keeps the leading slash; jsonl://rel/path is
     # relative. Both spellings of absolute ("//abs" vs "///abs") work.
-    return HistoryUrl(scheme, Path(rest))
+    return HistoryUrl(scheme, Path(rest), shards=shards, durability=durability)
 
 
 def format_history_url(scheme: str, path: Optional[Path | str]) -> str:
     """The canonical string form for a backend + path pair."""
     if scheme == SCHEME_MEM:
         return "mem://"
+    if scheme == SCHEME_TCP:
+        raise HistoryUrlError(
+            "tcp:// is addressed by host:port, not a path — spell the "
+            "DSN directly (tcp://host:port)"
+        )
     if path is None:
         raise HistoryUrlError(f"{scheme}:// needs a path")
     return str(HistoryUrl(scheme, Path(path)))
@@ -102,5 +206,8 @@ __all__ = [
     "SCHEME_MEM",
     "SCHEME_JSONL",
     "SCHEME_SQLITE",
+    "SCHEME_SHARD",
+    "SCHEME_TCP",
     "KNOWN_SCHEMES",
+    "DEFAULT_FLEET_PORT",
 ]

@@ -20,6 +20,7 @@ from typing import Optional
 from repro.core.store.url import (
     KNOWN_SCHEMES,
     SCHEME_JSONL,
+    SCHEME_TCP,
     HistoryUrl,
     format_history_url,
 )
@@ -43,9 +44,12 @@ class Zygote:
     here: ``"jsonl"`` (the default — one legacy-compatible flat file per
     process, the paper's layout), ``"sqlite"`` (one indexed WAL database
     per process), ``"mem"`` (in-process only — forks start clean, the
-    reboot-loses-antibodies baseline), and whatever schemes later PRs
-    register (sharded, remote). Point several process names at one
-    shared ``history_url`` instead for a platform-wide antibody pool.
+    reboot-loses-antibodies baseline), or ``"shard"`` (an N-way sharded
+    pool directory per process). ``"tcp"`` is the one registry scheme
+    rejected here: a fleet pool is shared, not per-process — point every
+    fork at it by setting ``history_url`` on the template config
+    instead, which is also the platform-wide-pool spelling for the
+    file-backed schemes.
     """
 
     def __init__(
@@ -58,6 +62,14 @@ class Zygote:
             raise ValueError(
                 f"unknown history backend {backend!r} "
                 f"(known: {', '.join(KNOWN_SCHEMES)})"
+            )
+        if backend == SCHEME_TCP:
+            # Fleet-addressed, not file-mapped: there is no per-process
+            # file layout to derive a tcp:// DSN from.
+            raise ValueError(
+                "tcp:// has no per-process file layout — share the fleet "
+                "pool by setting history_url='tcp://host:port' on the "
+                "template DimmunixConfig instead"
             )
         self.vm_config = vm_config or VMConfig()
         self.backend = backend

@@ -1,0 +1,56 @@
+"""The fleet-scale immunity service — distribution for the antibody pool.
+
+The paper's endgame is *platform-wide herd immunity*: one process's
+deadlock becomes every process's avoidance. The core already has the
+plumbing (a pluggable :class:`~repro.core.store.HistoryStore` contract,
+a write-behind persister, ``history-saved`` events); this package is the
+distribution layer that turns a per-process history into a fleet-wide
+one:
+
+* :class:`~repro.fleet.shard.ShardedStore` (``shard://``) hashes the
+  canonical signature key across N sqlite shard files so many writer
+  processes stop contending on one database's write lock;
+* :class:`~repro.fleet.server.FleetServer` / ``dimmunix-serve`` and
+  :class:`~repro.fleet.remote.RemoteStore` (``tcp://``) put the same
+  store contract behind a length-prefixed-JSON network protocol, with
+  batched uploads, bounded retry/backoff, and a local spill journal so
+  an unreachable server never loses an antibody;
+* :class:`~repro.fleet.pump.SyncPump` keeps long-lived processes
+  current: a background refresh driven by ``history-saved`` events and
+  a configurable period, surfaced as
+  :class:`~repro.core.events.FleetSyncEvent` telemetry.
+
+Antibody propagation is treated as a *communication problem* with
+explicit timeout/retry semantics (the MPI synchronization-deadlock
+literature's framing), not a best-effort side channel: every failure is
+counted (``stats.sync_failures``), every degradation has a recovery
+path (the spill journal replays on reconnect).
+"""
+
+from __future__ import annotations
+
+from repro.fleet.protocol import (
+    DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+    FleetProtocolError,
+    read_frame,
+    write_frame,
+)
+from repro.fleet.pump import SyncPump
+from repro.fleet.remote import FleetUnreachableError, RemoteStore
+from repro.fleet.server import FleetServer
+from repro.fleet.shard import DEFAULT_SHARDS, ShardedStore
+
+__all__ = [
+    "ShardedStore",
+    "DEFAULT_SHARDS",
+    "RemoteStore",
+    "FleetUnreachableError",
+    "FleetServer",
+    "SyncPump",
+    "FleetProtocolError",
+    "read_frame",
+    "write_frame",
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_FRAME",
+]

@@ -1,0 +1,173 @@
+"""The fleet wire protocol — length-prefixed JSON frames.
+
+Antibody propagation is a communication problem, so the protocol is
+specified like one. A *frame* is::
+
+    +----------------+----------------------------+
+    | length: u32 BE | body: UTF-8 JSON object    |
+    +----------------+----------------------------+
+
+The 4-byte big-endian length counts the body bytes only and is capped
+(:data:`DEFAULT_MAX_FRAME`) so a corrupt or hostile peer cannot make
+either side allocate unboundedly. Every request body carries an ``op``;
+every response carries ``ok`` (and ``error`` when ``ok`` is false).
+
+Operations (client → server):
+
+``hello``
+    ``{"op": "hello", "format": "dimmunix-history", "version": 1}`` →
+    ``{"ok": true, "rev": N, "signatures": N, "url": "<backend dsn>"}``.
+    The format/version handshake: a server fronting an incompatible
+    store format refuses here, not mid-sync.
+``push``
+    ``{"op": "push", "signatures": [<signature json>, ...]}`` →
+    ``{"ok": true, "added": K, "rev": N}``. Idempotent: duplicates
+    deduplicate against the backend's canonical keys (provenance
+    upgrades merge, exactly like a local duplicate ``add``). A merge
+    that upgraded a stored signature mutates rows without moving the
+    revision, so it bumps the generation — already-synced clients
+    full-resync and apply the same upgrade locally.
+``pull``
+    ``{"op": "pull", "after": R, "gen": G}`` →
+    ``{"ok": true, "signatures": [...], "rev": N, "gen": G'}``.
+    Incremental sync: the server's *revision* is its backend's
+    insertion count, so ``after=R`` returns only signatures the client
+    has not seen. Removals renumber that log, so they bump the server's
+    *generation*; a pull carrying a stale ``gen`` (or an ``after``
+    beyond the server's rev) gets a full resync instead of a silently
+    misaligned suffix.
+``discard``
+    ``{"op": "discard", "keys": [<canonical text>, ...]}`` →
+    ``{"ok": true, "removed": K, "rev": N}``. The prediction-expiry
+    path; best-effort by design (an unreachable server just expires the
+    same predictions on its own clients' schedules).
+``purge``
+    ``{"op": "purge"}`` → ``{"ok": true, "removed": K}``.
+``stats``
+    ``{"op": "stats"}`` → counts by kind and provenance.
+
+Both a blocking (socket) and an asyncio (stream) codec are provided:
+the server is an asyncio service, while the client runs on the
+write-behind persister's worker thread and wants plain blocking I/O
+with explicit timeouts.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional
+
+from repro.errors import DimmunixError
+
+PROTOCOL_VERSION = 1
+
+#: refuse frames larger than this (32 MiB ≫ any real antibody batch)
+DEFAULT_MAX_FRAME = 32 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class FleetProtocolError(DimmunixError):
+    """A malformed, oversized, or truncated protocol frame."""
+
+
+def encode_frame(payload: dict) -> bytes:
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > DEFAULT_MAX_FRAME:
+        raise FleetProtocolError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{DEFAULT_MAX_FRAME}-byte cap"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FleetProtocolError("frame body is not valid JSON") from exc
+    if not isinstance(payload, dict):
+        raise FleetProtocolError("frame body must be a JSON object")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# blocking codec (the client side)
+# ----------------------------------------------------------------------
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise FleetProtocolError(
+                f"connection closed mid-frame ({count - remaining} of "
+                f"{count} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def write_frame(sock: socket.socket, payload: dict) -> None:
+    sock.sendall(encode_frame(payload))
+
+
+def read_frame(
+    sock: socket.socket, max_frame: int = DEFAULT_MAX_FRAME
+) -> dict:
+    (length,) = _LENGTH.unpack(_recv_exactly(sock, _LENGTH.size))
+    if length > max_frame:
+        raise FleetProtocolError(
+            f"peer announced a {length}-byte frame (cap {max_frame})"
+        )
+    return decode_body(_recv_exactly(sock, length))
+
+
+# ----------------------------------------------------------------------
+# asyncio codec (the server side)
+# ----------------------------------------------------------------------
+
+async def write_frame_async(writer, payload: dict) -> None:
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+async def read_frame_async(
+    reader, max_frame: int = DEFAULT_MAX_FRAME
+) -> Optional[dict]:
+    """Read one frame; ``None`` on a clean EOF between frames."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between frames
+        raise FleetProtocolError("connection closed mid-header") from exc
+    (length,) = _LENGTH.unpack(header)
+    if length > max_frame:
+        raise FleetProtocolError(
+            f"peer announced a {length}-byte frame (cap {max_frame})"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FleetProtocolError("connection closed mid-frame") from exc
+    return decode_body(body)
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_FRAME",
+    "FleetProtocolError",
+    "encode_frame",
+    "decode_body",
+    "read_frame",
+    "write_frame",
+    "read_frame_async",
+    "write_frame_async",
+]

@@ -1,0 +1,204 @@
+"""The antibody sync pump — background refresh for long-lived processes.
+
+A shared pool (``sqlite://``, ``shard://``, ``tcp://``) makes antibodies
+*available* fleet-wide, but a process only consults its in-memory index:
+without a refresh, immunity earned elsewhere arrives at the next
+restart. The paper's phones rebooted after every deadlock; a platform
+service that never restarts needs the pull driven for it.
+
+:class:`SyncPump` is that driver — a daemon thread, deliberately shaped
+like the :class:`~repro.core.store.persister.WriteBehindPersister` it
+rides alongside:
+
+* it wakes on ``history-saved`` events (a flush just happened, so the
+  fleet may have news for us too — and for ``tcp://``, our push may
+  have been spilled and wants replaying),
+* and on a configurable period (``DimmunixConfig.fleet_sync_interval``),
+  so a quiet process still converges on the fleet's pool.
+
+Each cycle calls the store's ``refresh()`` (every shared backend has
+one) and folds the store's own transport counters into deltas; a cycle
+with anything to report publishes one
+:class:`~repro.core.events.FleetSyncEvent` under the owning engine's
+source, which is how the counters reach ``DimmunixStats``
+(``sync_pulls`` / ``sync_pushed`` / ``sync_failures`` /
+``spill_replayed``). All-quiet cycles publish nothing.
+
+Failures never propagate: an unreachable server is a counted event,
+retried next cycle — the pump must be as unkillable as the persister.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.core.events import FleetSyncEvent
+
+# Original primitives, captured before any platform-wide patch: the
+# pump must never block on an immunized lock.
+_Condition = threading.Condition
+_Lock = threading.Lock
+_Thread = threading.Thread
+
+#: counters a fleet-aware store (RemoteStore) exposes; deltas of these
+#: ride along in the FleetSyncEvent.
+_STORE_COUNTERS = ("pushed", "failures", "spill_replayed")
+
+
+class SyncPump:
+    """Keeps one history's in-memory index current with the fleet."""
+
+    def __init__(
+        self,
+        history,
+        events,
+        *,
+        interval: Optional[float] = None,
+        source: str = "core",
+    ) -> None:
+        self.history = history
+        self.events = events
+        self.interval = interval
+        self.source = source
+        # Cumulative pump-side telemetry (mirrored into stats via the
+        # published events).
+        self.cycles = 0
+        self.pulls = 0
+        self.pushes = 0
+        self.failures = 0
+        self.spill_replays = 0
+        self._cond = _Condition(_Lock())
+        self._kicks = 0
+        self._closed = False
+        self._last_counters = self._counter_snapshot()
+        # Eager start for the same reason the persister's worker starts
+        # eagerly: Thread.start() inside bus dispatch would run under
+        # the engine's global lock.
+        self._worker = _Thread(
+            target=self._run, name="dimmunix-sync-pump", daemon=True
+        )
+        self._worker.start()
+        self._subscription = events.subscribe(
+            self._on_saved, kinds=("history-saved",)
+        )
+
+    # ------------------------------------------------------------------
+    # bus side (runs inside dispatch — flag and notify only)
+    # ------------------------------------------------------------------
+
+    def _on_saved(self, event) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._kicks += 1
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                if not self._kicks and not self._closed:
+                    self._cond.wait(timeout=self.interval)
+                if self._closed:
+                    return
+                trigger = "saved" if self._kicks else "period"
+                self._kicks = 0
+            self._sync(trigger)
+
+    def _counter_snapshot(self) -> dict[str, int]:
+        store = self.history.store
+        return {
+            name: getattr(store, name, 0) for name in _STORE_COUNTERS
+        }
+
+    def _sync(self, trigger: str) -> None:
+        store = self.history.store
+        refresh = getattr(store, "refresh", None)
+        if refresh is None:
+            return  # mem:// / jsonl://: nothing to sync against
+        pulled = 0
+        local_failures = 0
+        try:
+            pulled = refresh()
+        except Exception:
+            # RemoteStore counts its own transport failures; anything
+            # else (or anything beyond them) is counted here. Either
+            # way the pump survives and retries next cycle.
+            local_failures = 1
+        current = self._counter_snapshot()
+        previous, self._last_counters = self._last_counters, current
+        pushed = max(0, current["pushed"] - previous["pushed"])
+        spill_replayed = max(
+            0, current["spill_replayed"] - previous["spill_replayed"]
+        )
+        failures = max(
+            local_failures, current["failures"] - previous["failures"]
+        )
+        self.cycles += 1
+        self.pulls += pulled
+        self.pushes += pushed
+        self.failures += failures
+        self.spill_replays += spill_replayed
+        if not (pulled or pushed or failures or spill_replayed):
+            return  # a healthy idle fleet stays off the event stream
+        self.events.publish(
+            FleetSyncEvent(
+                source=self.source,
+                ts=time.time(),
+                pulled=pulled,
+                pushed=pushed,
+                failures=failures,
+                spill_replayed=spill_replayed,
+                trigger=trigger,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # explicit control
+    # ------------------------------------------------------------------
+
+    def sync_now(self, trigger: str = "manual") -> int:
+        """Run one cycle synchronously; returns signatures pulled.
+
+        The ``Dimmunix.sync()`` front door and the test hook — no
+        waiting on the worker's schedule.
+        """
+        before = self.pulls
+        self._sync(trigger)
+        return self.pulls - before
+
+    def kick(self) -> None:
+        """Ask the worker for a cycle soon (without blocking for it)."""
+        with self._cond:
+            if not self._closed:
+                self._kicks += 1
+                self._cond.notify_all()
+
+    def close(self) -> None:
+        """Stop the worker and drop the subscription. Safe to repeat."""
+        with self._cond:
+            already = self._closed
+            self._closed = True
+            self._cond.notify_all()
+        if self._worker.is_alive():
+            self._worker.join(timeout=5.0)
+        if not already:
+            self.events.unsubscribe(self._subscription)
+
+    def __repr__(self) -> str:
+        period = (
+            f"every {self.interval}s" if self.interval else "event-driven"
+        )
+        return (
+            f"<SyncPump {period} on {self.history.store.url}: "
+            f"{self.cycles} cycle(s), {self.pulls} pulled, "
+            f"{self.pushes} pushed, {self.failures} failure(s)>"
+        )
+
+
+__all__ = ["SyncPump"]

@@ -1,0 +1,367 @@
+"""``tcp://`` — the fleet-client history store.
+
+A :class:`RemoteStore` looks exactly like any other ``HistoryStore`` to
+the engine: O(1) in-memory matching, write-behind flushes, the same
+conformance surface. Underneath, durability is a
+:class:`~repro.fleet.server.FleetServer` across the network, reached
+with blocking sockets (the store is driven from the write-behind
+persister's worker thread, where blocking I/O with an explicit timeout
+is the honest model).
+
+Failure posture — the part that makes this safe to put on the lock
+path's durability chain:
+
+* Every request gets a bounded number of attempts with exponential
+  backoff (``retry_attempts`` × ``retry_backoff``); a dead server costs
+  a few seconds, never a hang.
+* A failed *push* degrades to a local **spill journal** (legacy
+  history format, append-only): the antibodies are durable on local
+  disk before ``flush()`` returns, so an unreachable server never loses
+  one. The journal is replayed — pushed and deleted — the next time the
+  server answers, and the replay is counted
+  (:attr:`spill_replayed`) so the sync pump can report it.
+* A failed *pull* (``refresh``) raises
+  :class:`FleetUnreachableError`; the sync pump counts it as a
+  ``sync_failure`` and tries again next period.
+* ``discard`` (prediction expiry) is best-effort by design: the server
+  expires the same predictions on its other clients' schedules, so a
+  missed discard only costs redundancy, never correctness.
+
+Sync state is the server's ``(rev, gen)`` pair: ``rev`` counts the
+server's insertions, ``gen`` changes when removals renumber them, and
+:meth:`refresh` pulls only the unseen suffix (or a full resync after a
+``gen`` bump).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.core.signature import DeadlockSignature
+from repro.core.store.base import HistoryStore
+from repro.core.store.jsonl import (
+    FORMAT_NAME,
+    read_signatures,
+    signature_line,
+    write_snapshot,
+)
+from repro.core.store.sqlite import canonical_text
+from repro.core.store.url import DEFAULT_FLEET_PORT, SCHEME_TCP
+from repro.errors import DimmunixError, HistoryFormatError
+from repro.fleet.protocol import (
+    PROTOCOL_VERSION,
+    FleetProtocolError,
+    read_frame,
+    write_frame,
+)
+
+#: where spill journals land unless the caller chooses (kept per
+#: server so two fleets never interleave journals)
+SPILL_DIR_ENV = "DIMMUNIX_SPILL_DIR"
+
+
+class FleetError(DimmunixError):
+    """The fleet server rejected an operation."""
+
+
+class FleetUnreachableError(FleetError):
+    """The fleet server could not be reached (transport failure)."""
+
+
+class RemoteStore(HistoryStore):
+    """History store whose durable backend is a ``FleetServer``."""
+
+    scheme = SCHEME_TCP
+    persistent = True
+
+    def __init__(
+        self,
+        host: str,
+        port: int = DEFAULT_FLEET_PORT,
+        max_signatures: int = 4096,
+        *,
+        timeout: float = 5.0,
+        retry_attempts: int = 3,
+        retry_backoff: float = 0.05,
+        spill_path: Optional[Path | str] = None,
+    ) -> None:
+        super().__init__(max_signatures=max_signatures)
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retry_attempts = max(1, retry_attempts)
+        self._retry_backoff = retry_backoff
+        self._spill_path = Path(
+            spill_path
+            if spill_path is not None
+            else self._default_spill_path(host, port)
+        )
+        self._sock: Optional[socket.socket] = None
+        self._synced_rev = 0
+        self._generation = 0
+        # Telemetry the sync pump folds into FleetSyncEvent.
+        self.pushed = 0
+        self.pulled = 0
+        self.spilled = 0
+        self.spill_replayed = 0
+        self.failures = 0
+        self._replay()
+
+    @staticmethod
+    def _default_spill_path(host: str, port: int) -> Path:
+        base = os.environ.get(SPILL_DIR_ENV)
+        root = Path(base) if base else Path.home() / ".dimmunix" / "spill"
+        return root / f"{host.replace(':', '_')}-{port}.history"
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+
+    @property
+    def location(self) -> Optional[Path]:
+        return None  # the backing state is a server, not a file
+
+    @property
+    def url(self) -> str:
+        return f"{SCHEME_TCP}://{self._host}:{self._port}"
+
+    @property
+    def spill_path(self) -> Path:
+        return self._spill_path
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    @property
+    def synced_rev(self) -> int:
+        return self._synced_rev
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        write_frame(
+            sock,
+            {
+                "op": "hello",
+                "format": FORMAT_NAME,
+                "version": PROTOCOL_VERSION,
+            },
+        )
+        reply = read_frame(sock)
+        if not reply.get("ok"):
+            sock.close()
+            # An incompatible server is a configuration error, not an
+            # outage: retrying or spilling would never converge.
+            raise HistoryFormatError(
+                f"{self.url}: {reply.get('error', 'handshake refused')}"
+            )
+        return sock
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _request(self, payload: dict) -> dict:
+        """One round-trip with bounded retry; raises on failure.
+
+        :class:`FleetUnreachableError` after ``retry_attempts`` transport
+        failures; :class:`FleetError` when the server answers but says
+        no.
+        """
+        last_error: Optional[Exception] = None
+        for attempt in range(self._retry_attempts):
+            if attempt:
+                time.sleep(self._retry_backoff * (2 ** (attempt - 1)))
+            try:
+                if self._sock is None:
+                    self._sock = self._connect()
+                write_frame(self._sock, payload)
+                reply = read_frame(self._sock)
+            except (ConnectionError, OSError, FleetProtocolError) as exc:
+                last_error = exc
+                self._drop_connection()
+                continue
+            if not reply.get("ok"):
+                raise FleetError(
+                    f"{self.url}: server refused "
+                    f"{payload.get('op')!r}: {reply.get('error')}"
+                )
+            return reply
+        self.failures += 1
+        raise FleetUnreachableError(
+            f"{self.url} unreachable after {self._retry_attempts} "
+            f"attempt(s): {last_error}"
+        ) from last_error
+
+    # ------------------------------------------------------------------
+    # spill journal (local durability while the server is away)
+    # ------------------------------------------------------------------
+
+    def _spill(self, batch: tuple[DeadlockSignature, ...]) -> None:
+        self._spill_path.parent.mkdir(parents=True, exist_ok=True)
+        if not self._spill_path.exists():
+            write_snapshot(self._spill_path, batch)
+        else:
+            with open(self._spill_path, "a", encoding="utf-8") as handle:
+                for signature in batch:
+                    handle.write(signature_line(signature))
+                handle.flush()
+                os.fsync(handle.fileno())
+        self.spilled += len(batch)
+
+    def _replay_spill(self) -> int:
+        """Push the spill journal to the server; delete it on success.
+
+        Returns how many spilled signatures were replayed. Raises
+        :class:`FleetUnreachableError` if the server is still away (the
+        journal stays put).
+        """
+        if not self._spill_path.exists():
+            return 0
+        spilled = [
+            signature
+            for _line, signature in read_signatures(
+                self._spill_path, tolerate_torn_tail=True
+            )
+        ]
+        if spilled:
+            self._request(
+                {
+                    "op": "push",
+                    "signatures": [sig.to_json() for sig in spilled],
+                }
+            )
+        self._spill_path.unlink()
+        self.spill_replayed += len(spilled)
+        return len(spilled)
+
+    # ------------------------------------------------------------------
+    # durability hooks
+    # ------------------------------------------------------------------
+
+    def _replay(self) -> None:
+        """Open-time sync: replay any spill journal, pull the pool.
+
+        An unreachable server leaves the store empty but *usable* — the
+        engine records locally, flushes spill to disk, and the sync pump
+        heals the partition later.
+        """
+        try:
+            self._replay_spill()
+            self._pull_and_index()
+        except FleetUnreachableError:
+            pass  # degraded open: counted in self.failures already
+
+    def _pull_and_index(self) -> int:
+        reply = self._request(
+            {
+                "op": "pull",
+                "after": self._synced_rev,
+                "gen": self._generation,
+            }
+        )
+        added = 0
+        for payload in reply.get("signatures", ()):
+            signature = DeadlockSignature.from_json(payload)
+            if self._index(signature):
+                added += 1
+        self._synced_rev = reply.get("rev", self._synced_rev)
+        self._generation = reply.get("gen", self._generation)
+        self.pulled += added
+        return added
+
+    def _persist(self, batch: tuple[DeadlockSignature, ...]) -> None:
+        """Push the batch; degrade to the spill journal if the server
+        is away. Either way the batch is durable when this returns."""
+        try:
+            self._replay_spill()
+            reply = self._request(
+                {
+                    "op": "push",
+                    "signatures": [sig.to_json() for sig in batch],
+                }
+            )
+        except FleetUnreachableError:
+            self._spill(batch)
+            return
+        self.pushed += len(batch)
+        self._synced_rev = max(self._synced_rev, reply.get("rev", 0))
+        self._generation = reply.get("gen", self._generation)
+
+    def _remove_backend(self, batch) -> None:
+        # Best-effort: the server expires the same predictions on its
+        # own clients' schedules; a miss costs redundancy, not safety.
+        try:
+            self._request(
+                {
+                    "op": "discard",
+                    "keys": [canonical_text(sig) for sig in batch],
+                }
+            )
+        except FleetUnreachableError:
+            pass
+
+    def _purge_backend(self) -> None:
+        # Purge is destructive and the caller asked for it explicitly —
+        # failing loudly beats pretending the fleet pool was emptied.
+        reply = self._request({"op": "purge"})
+        self._synced_rev = 0
+        self._generation = reply.get("gen", self._generation)
+
+    # ------------------------------------------------------------------
+    # sync surface (what the pump drives)
+    # ------------------------------------------------------------------
+
+    def refresh(self) -> int:
+        """Pull signatures the fleet learned since our last sync.
+
+        Also replays any spill journal first (reconnection is exactly
+        when spilled antibodies can finally travel). Returns how many
+        new signatures were indexed; raises
+        :class:`FleetUnreachableError` when the server is away.
+        """
+        with self._lock:
+            self._replay_spill()
+            return self._pull_and_index()
+
+    def server_stats(self) -> dict:
+        """The server's ``stats`` reply (counts, revision, provenance)."""
+        return self._request({"op": "stats"})
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            super().close()  # flush: pushes or spills the pending batch
+        finally:
+            self._drop_connection()
+
+    def __repr__(self) -> str:
+        state = "connected" if self.connected else "disconnected"
+        return (
+            f"<RemoteStore {self.url} ({state}): {len(self)} "
+            f"signature(s), {self.pending_count} pending, "
+            f"{self.spilled} spilled>"
+        )
+
+
+__all__ = [
+    "RemoteStore",
+    "FleetError",
+    "FleetUnreachableError",
+    "SPILL_DIR_ENV",
+]

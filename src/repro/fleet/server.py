@@ -1,0 +1,342 @@
+"""``dimmunix-serve`` — the fleet history service.
+
+One process's deadlock becomes every process's avoidance only if the
+antibody travels. :class:`FleetServer` fronts *any* history backend
+(``open_store`` DSN — usually ``shard://`` or ``sqlite://``) with the
+length-prefixed-JSON protocol from :mod:`repro.fleet.protocol`, so a
+whole fleet of :class:`~repro.fleet.remote.RemoteStore` clients shares
+one authoritative pool.
+
+Synchronization model:
+
+* The server is an asyncio service, but every operation resolves to a
+  plain synchronous call on the backend store — whose own lock is the
+  serialization point. Handlers never block on the network while holding
+  store state.
+* The *revision* a client syncs against is simply the backend's
+  insertion count: rev ``N`` means "the first ``N`` signatures in
+  insertion order". ``pull {after: R}`` therefore ships exactly the
+  suffix the client has not seen, and the signatures are re-serialized
+  from the live objects at pull time so a provenance upgrade merged
+  after the original insertion is never served stale.
+* Removals (``discard``, ``purge``) renumber the suffix, so they bump a
+  *generation* counter; a pull carrying a stale generation gets a full
+  resync instead of a silently misaligned suffix.
+
+Pushes are flushed to the backend before the response is sent: once a
+client sees ``{"ok": true}``, its antibodies are durable on the server
+even if the server dies next.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from repro.core.signature import DeadlockSignature
+from repro.core.store.base import HistoryFullError, HistoryStore
+from repro.core.store.jsonl import FORMAT_NAME
+from repro.core.store.sqlite import canonical_text
+from repro.core.store.url import DEFAULT_FLEET_PORT
+from repro.fleet.protocol import (
+    DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+    FleetProtocolError,
+    read_frame_async,
+    write_frame_async,
+)
+
+
+class FleetServer:
+    """Serve one ``HistoryStore`` to many ``tcp://`` clients."""
+
+    def __init__(
+        self,
+        store: HistoryStore,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_FLEET_PORT,
+        *,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        self._store = store
+        self._host = host
+        self._port = port
+        self._max_frame = max_frame
+        # Bumped whenever signatures are *removed* — removal renumbers
+        # the insertion suffix, so clients must full-resync.
+        self._generation = 0
+        self.requests_handled = 0
+        self.connections = 0
+        self._conn_tasks: set = set()
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after the server started)."""
+        return self._port
+
+    @property
+    def address(self) -> str:
+        return f"tcp://{self._host}:{self._port}"
+
+    @property
+    def store(self) -> HistoryStore:
+        return self._store
+
+    # ------------------------------------------------------------------
+    # request dispatch (synchronous — the store lock serializes)
+    # ------------------------------------------------------------------
+
+    def _revision(self) -> dict:
+        return {"rev": len(self._store), "gen": self._generation}
+
+    def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "hello":
+            fmt = request.get("format")
+            version = request.get("version")
+            if fmt != FORMAT_NAME or version != PROTOCOL_VERSION:
+                return {
+                    "ok": False,
+                    "error": (
+                        f"incompatible client (format={fmt!r}, "
+                        f"version={version!r}); this server speaks "
+                        f"{FORMAT_NAME} v{PROTOCOL_VERSION}"
+                    ),
+                }
+            return {
+                "ok": True,
+                "url": self._store.url,
+                "signatures": len(self._store),
+                **self._revision(),
+            }
+        if op == "push":
+            payloads = request.get("signatures")
+            if not isinstance(payloads, list):
+                return {"ok": False, "error": "push needs a signature list"}
+            try:
+                batch = [
+                    DeadlockSignature.from_json(payload)
+                    for payload in payloads
+                ]
+            except (KeyError, TypeError, ValueError) as exc:
+                return {"ok": False, "error": f"bad signature: {exc}"}
+            pending_before = self._store.pending_count
+            try:
+                added = sum(1 for sig in batch if self._store.add(sig))
+            except HistoryFullError as exc:
+                return {"ok": False, "error": str(exc)}
+            # A duplicate push can still carry news — a provenance
+            # upgrade merged into a stored signature. That mutates rows
+            # without moving the revision, so already-synced clients
+            # would never see it; bump the generation to force their
+            # next pull into a full resync (their local dup-merge then
+            # applies the same upgrade).
+            upgraded = (
+                self._store.pending_count - pending_before - added
+            )
+            if upgraded > 0:
+                self._generation += 1
+            # Durable before the client hears "ok": a crash after the
+            # response must not lose an acknowledged antibody.
+            self._store.flush()
+            return {"ok": True, "added": added, **self._revision()}
+        if op == "pull":
+            after = request.get("after", 0)
+            generation = request.get("gen", self._generation)
+            if not isinstance(after, int) or after < 0:
+                return {"ok": False, "error": "pull needs a non-negative 'after'"}
+            signatures = list(self._store)
+            if generation != self._generation or after > len(signatures):
+                after = 0  # removal renumbered the log: full resync
+            return {
+                "ok": True,
+                "signatures": [sig.to_json() for sig in signatures[after:]],
+                **self._revision(),
+            }
+        if op == "discard":
+            keys = request.get("keys")
+            if not isinstance(keys, list):
+                return {"ok": False, "error": "discard needs a key list"}
+            wanted = set(keys)
+            batch = [
+                sig
+                for sig in self._store
+                if canonical_text(sig) in wanted
+            ]
+            removed = self._store.discard(batch) if batch else 0
+            if removed:
+                self._generation += 1
+            return {"ok": True, "removed": removed, **self._revision()}
+        if op == "purge":
+            removed = self._store.purge()
+            if removed:
+                self._generation += 1
+            return {"ok": True, "removed": removed, **self._revision()}
+        if op == "stats":
+            return {
+                "ok": True,
+                "url": self._store.url,
+                "signatures": len(self._store),
+                "deadlocks": self._store.deadlock_count(),
+                "starvations": self._store.starvation_count(),
+                "provenance": self._store.provenance_counts(),
+                "connections": self.connections,
+                "requests": self.requests_handled,
+                **self._revision(),
+            }
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    # ------------------------------------------------------------------
+    # asyncio service
+    # ------------------------------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        # Track the handler task so shutdown can cancel live
+        # conversations instead of stranding them on a closed loop.
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await self._converse(reader, writer)
+        except asyncio.CancelledError:
+            # Shutdown cancelled the conversation. Returning (instead
+            # of propagating) keeps the streams protocol's
+            # done-callback from re-raising into the loop's exception
+            # handler; the writer was already closed on the way out.
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+
+    async def _converse(self, reader, writer) -> None:
+        self.connections += 1
+        try:
+            while True:
+                try:
+                    request = await read_frame_async(
+                        reader, max_frame=self._max_frame
+                    )
+                except FleetProtocolError as exc:
+                    # A malformed frame poisons the stream — report and
+                    # hang up rather than guess at resynchronization.
+                    try:
+                        await write_frame_async(
+                            writer, {"ok": False, "error": str(exc)}
+                        )
+                    except (ConnectionError, OSError):
+                        pass
+                    return
+                if request is None:
+                    return  # clean close
+                self.requests_handled += 1
+                try:
+                    response = self._dispatch(request)
+                except Exception as exc:  # defensive: never kill the server
+                    response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                await write_frame_async(writer, response)
+        except (ConnectionError, OSError):
+            pass  # client vanished mid-conversation
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def serve(self) -> None:
+        """Run until cancelled (the ``dimmunix-serve`` foreground path)."""
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+        self._port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        try:
+            async with server:
+                await self._stop_event.wait()
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(
+                    *self._conn_tasks, return_exceptions=True
+                )
+        finally:
+            self._store.flush()
+
+    # ------------------------------------------------------------------
+    # background-thread lifecycle (tests, embedded servers)
+    # ------------------------------------------------------------------
+
+    def start_background(self) -> tuple[str, int]:
+        """Run the server on a daemon thread; returns ``(host, port)``.
+
+        Pass ``port=0`` to bind an ephemeral port — the bound port is
+        returned (and available as :attr:`port`).
+        """
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="dimmunix-fleet-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("fleet server failed to start within 10s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "fleet server failed to start"
+            ) from self._startup_error
+        return (self._host, self._port)
+
+    def _run_loop(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.serve())
+        except BaseException as exc:  # surface bind failures to the caller
+            self._startup_error = exc
+            self._ready.set()
+        finally:
+            self._loop.close()
+
+    def stop(self) -> None:
+        """Stop the background server and flush the backend."""
+        loop, thread = self._loop, self._thread
+        if (
+            loop is not None
+            and thread is not None
+            and thread.is_alive()
+            and self._stop_event is not None
+        ):
+            loop.call_soon_threadsafe(self._stop_event.set)
+            thread.join(timeout=10)
+        self._store.flush()
+
+    def __enter__(self) -> "FleetServer":
+        self.start_background()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        return (
+            f"<FleetServer {self.address} -> {self._store.url}: "
+            f"{len(self._store)} signature(s)>"
+        )
+
+
+__all__ = ["FleetServer"]

@@ -1,0 +1,276 @@
+"""``shard://`` — the canonical-key-sharded sqlite store.
+
+One ``sqlite://`` pool serves a handful of processes fine, but a busy
+platform has *every* process flushing antibodies into the same file,
+and SQLite serializes writers per database: at fleet scale the write
+lock becomes the contention point the paper's lock-free hot path worked
+so hard to avoid. ``shard://`` keeps the same durability story while
+splitting the write lock N ways: the backing "file" is a *directory* of
+N independent WAL-mode sqlite shards, and each signature lives in the
+shard its canonical key hashes to — so two processes recording
+different deadlocks almost never touch the same file.
+
+Layout::
+
+    <dir>/
+      fleet-meta.json      {"format": ..., "version": 1, "shards": N}
+      shard-00.db          ordinary SqliteStore databases
+      shard-01.db
+      ...
+
+The shard count is fixed at creation (it is the hash modulus — changing
+it would strand rows in the wrong shard) and recorded in
+``fleet-meta.json``; reopening needs no ``?shards=`` parameter, and an
+explicit parameter that disagrees with the directory is a loud error.
+``dimmunix-history migrate shard://old shard://new?shards=M`` is the
+resharding path.
+
+The hash is :func:`zlib.crc32` over the canonical-key JSON — stable
+across processes and Python versions (unlike ``hash()``), so every
+process in the fleet agrees on shard placement.
+
+The in-memory matching index lives in this store (inherited from
+:class:`~repro.core.store.base.HistoryStore`) and is shared *by object*
+with the child shards: replay and refresh index the very signature
+objects the shards hold, so a provenance upgrade merged at either level
+is visible at both.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from pathlib import Path
+from typing import Optional
+
+from repro.core.signature import DeadlockSignature
+from repro.core.store.base import HistoryStore
+from repro.core.store.jsonl import FORMAT_NAME, FORMAT_VERSION
+from repro.core.store.sqlite import (
+    DURABILITY_NORMAL,
+    SqliteStore,
+    canonical_text,
+)
+from repro.core.store.url import SCHEME_SHARD
+from repro.errors import HistoryFormatError
+
+DEFAULT_SHARDS = 8
+
+_META_NAME = "fleet-meta.json"
+
+
+def shard_index(signature: DeadlockSignature, shards: int) -> int:
+    """The shard a signature lives in — stable across the whole fleet."""
+    return zlib.crc32(canonical_text(signature).encode("utf-8")) % shards
+
+
+class ShardedStore(HistoryStore):
+    """N sqlite shards behind one ``HistoryStore`` surface."""
+
+    scheme = SCHEME_SHARD
+    persistent = True
+
+    def __init__(
+        self,
+        path: Path | str,
+        max_signatures: int = 4096,
+        *,
+        shards: Optional[int] = None,
+        durability: str = DURABILITY_NORMAL,
+    ) -> None:
+        super().__init__(max_signatures=max_signatures)
+        self._path = Path(path)
+        self._durability = durability
+        self._shard_count = self._resolve_shard_count(shards)
+        # Children enforce the same capacity: in the worst case every
+        # signature hashes to one shard, and the parent's own index is
+        # the real gate anyway.
+        self._shards = [
+            SqliteStore(
+                self._path / f"shard-{index:02d}.db",
+                max_signatures=max_signatures,
+                durability=durability,
+            )
+            for index in range(self._shard_count)
+        ]
+        self._replay()
+
+    # ------------------------------------------------------------------
+    # open-time plumbing
+    # ------------------------------------------------------------------
+
+    def _resolve_shard_count(self, requested: Optional[int]) -> int:
+        """Fix the shard count: directory meta wins, then the DSN, then
+        the default. A DSN that disagrees with an existing directory is
+        an error — silently rehashing would make every lookup miss."""
+        meta_path = self._path / _META_NAME
+        if meta_path.exists():
+            try:
+                meta = self._read_meta(meta_path)
+                existing = int(meta["shards"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                raise HistoryFormatError(
+                    f"corrupt shard metadata in {meta_path}"
+                ) from exc
+            if meta.get("format") != FORMAT_NAME:
+                raise HistoryFormatError(
+                    f"{self._path} is not a Dimmunix shard directory "
+                    f"(format={meta.get('format')!r})"
+                )
+            if requested is not None and requested != existing:
+                raise HistoryFormatError(
+                    f"{self._path} holds {existing} shard(s); reshaping to "
+                    f"{requested} needs a migrate, not a DSN parameter"
+                )
+            return existing
+        if self._path.exists() and not self._path.is_dir():
+            raise HistoryFormatError(
+                f"shard:// needs a directory, and {self._path} is a file"
+            )
+        count = requested if requested is not None else DEFAULT_SHARDS
+        self._path.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: a sibling process opening the pool mid-create
+        # must see either no meta (and write its own, identically) or a
+        # complete one — never a torn read.
+        scratch = meta_path.with_name(f"{_META_NAME}.{os.getpid()}.tmp")
+        scratch.write_text(
+            json.dumps(
+                {
+                    "format": FORMAT_NAME,
+                    "version": FORMAT_VERSION,
+                    "shards": count,
+                }
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        os.replace(scratch, meta_path)
+        return count
+
+    @staticmethod
+    def _read_meta(meta_path: Path) -> dict:
+        # Pools created before the atomic-publish fix could leave a
+        # briefly-empty meta visible to a racing opener; give the
+        # writer a moment before declaring corruption.
+        for _attempt in range(3):
+            text = meta_path.read_text(encoding="utf-8")
+            if text.strip():
+                return json.loads(text)
+            time.sleep(0.01)
+        return json.loads(text)
+
+    def _replay(self) -> None:
+        # The children replayed their databases in their constructors;
+        # adopt their signature objects (not copies) into the parent
+        # index so provenance merges stay coherent.
+        for child in self._shards:
+            for signature in child:
+                self._index(signature)
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+
+    @property
+    def location(self) -> Optional[Path]:
+        return self._path
+
+    @property
+    def durability(self) -> str:
+        return self._durability
+
+    @property
+    def url(self) -> str:
+        base = super().url
+        if self._durability != DURABILITY_NORMAL:
+            return f"{base}?durability={self._durability}"
+        return base
+
+    @property
+    def shard_count(self) -> int:
+        return self._shard_count
+
+    @property
+    def shard_paths(self) -> tuple[Path, ...]:
+        return tuple(child.location for child in self._shards)
+
+    def _child_for(self, signature: DeadlockSignature) -> SqliteStore:
+        return self._shards[shard_index(signature, self._shard_count)]
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+
+    def _persist(self, batch: tuple[DeadlockSignature, ...]) -> None:
+        touched: set[int] = set()
+        for signature in batch:
+            index = shard_index(signature, self._shard_count)
+            child = self._shards[index]
+            if not child.add(signature):
+                # Already stored there — and very often it is the *same
+                # object* we hold, so the duplicate-merge path sees no
+                # provenance delta. Pend the stored row explicitly so
+                # upgrades (promotion, age bumps) reach the shard file.
+                child.mark_dirty(signature)
+            touched.add(index)
+        for index in touched:
+            self._shards[index].flush()
+
+    def _remove_backend(self, batch) -> None:
+        by_shard: dict[int, list[DeadlockSignature]] = {}
+        for signature in batch:
+            by_shard.setdefault(
+                shard_index(signature, self._shard_count), []
+            ).append(signature)
+        for index, shard_batch in by_shard.items():
+            self._shards[index].discard(shard_batch)
+
+    def _purge_backend(self) -> None:
+        for child in self._shards:
+            child.purge()
+
+    def refresh(self) -> int:
+        """Pull in signatures committed by sibling processes.
+
+        Fans across every shard; returns how many new signatures were
+        indexed here. Provenance upgrades a sibling committed merge into
+        the shared objects as a side effect, exactly like
+        :meth:`~repro.core.store.sqlite.SqliteStore.refresh`.
+        """
+        with self._lock:
+            added = 0
+            for child in self._shards:
+                child.refresh()
+                for signature in child:
+                    if self._index(signature):
+                        added += 1
+            return added
+
+    def snapshot_to(self, path) -> None:
+        """Snapshot to a file; to our own directory, flush instead.
+
+        The base implementation writes a legacy flat file — replacing
+        the shard *directory* with one is never right.
+        """
+        if Path(path) == self._path:
+            self.flush()
+            return
+        super().snapshot_to(path)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        super().close()
+        for child in self._shards:
+            child.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedStore {self.url} ({self._shard_count} shards): "
+            f"{len(self)} signature(s), {self.pending_count} pending>"
+        )
+
+
+__all__ = ["ShardedStore", "shard_index", "DEFAULT_SHARDS"]

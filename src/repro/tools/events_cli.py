@@ -109,6 +109,18 @@ def _format_event(data: dict) -> str:
             f"size={size} via {data.get('origin', '?')} "
             f"(confidence {data.get('confidence', 0.0):.2f})"
         )
+    elif kind == "fleet-sync":
+        parts = [
+            f"pulled {data.get('pulled', 0)}",
+            f"pushed {data.get('pushed', 0)}",
+        ]
+        if data.get("spill_replayed"):
+            parts.append(f"spill-replayed {data['spill_replayed']}")
+        if data.get("failures"):
+            parts.append(f"failures {data['failures']}")
+        detail = (
+            ", ".join(parts) + f" [trigger={data.get('trigger', '?')}]"
+        )
     return f"[{seq:>6}] {ts:>12.2f} {source:<24} {kind:<13} {detail}"
 
 

@@ -14,12 +14,23 @@ Subcommands::
 
 Every ``<src>``/``<dst>`` accepts either a plain file path (the legacy
 flat format written by ``History.save()``) or a history DSN selecting a
-backend: ``jsonl:///path`` (same flat format, append-only) or
-``sqlite:///path`` (indexed, multi-process-safe). ``migrate`` is the
-operator's path off legacy flat files::
+backend: ``jsonl:///path`` (same flat format, append-only),
+``sqlite:///path`` (indexed, multi-process-safe), ``shard:///dir``
+(a directory of hash-sharded sqlite files, ``?shards=N`` at creation),
+or ``tcp://host:port`` (a live ``dimmunix-serve`` fleet pool).
+``migrate`` is the operator's path off legacy flat files — and between
+fleet topologies (resharding, seeding a server)::
 
     dimmunix-history migrate /data/system_server.history \\
         sqlite:///data/platform-history.db
+    dimmunix-history migrate shard:///data/pool "shard:///data/pool16?shards=16"
+    dimmunix-history migrate sqlite:///data/platform-history.db \\
+        tcp://immunity.fleet:7741
+
+``compact`` refuses a ``tcp://`` target: rewriting a live fleet pool
+in place (purge + re-add) would yank antibodies out from under every
+connected client mid-sync — run it on the server's backing store
+instead.
 
 The tool works on histories produced by the real-thread runtime, the
 substrate VM, and the weaver alike (including mixed Java + native
@@ -37,8 +48,8 @@ from repro.core.callstack import CallStack
 from repro.core.history import History, open_history
 from repro.core.signature import DeadlockSignature
 from repro.core.store import HistoryFullError, parse_history_url
-from repro.core.store.url import SCHEME_MEM, HistoryUrlError
-from repro.errors import HistoryFormatError
+from repro.core.store.url import SCHEME_MEM, SCHEME_TCP, HistoryUrlError
+from repro.errors import DimmunixError, HistoryFormatError
 
 
 def _format_stack(stack: CallStack) -> str:
@@ -70,6 +81,19 @@ def _load(spec: str, max_signatures: int = 1_000_000) -> History:
         url = parse_history_url(spec)
         if url.scheme == SCHEME_MEM:
             raise HistoryUrlError("mem:// holds no data to read")
+        if url.scheme == SCHEME_TCP:
+            # An engine tolerates an unreachable server (it spills and
+            # heals later); a CLI read must not mistake a partition for
+            # an empty pool.
+            history = open_history(spec, max_signatures=max_signatures)
+            if not history.store.connected:
+                from repro.fleet.remote import FleetUnreachableError
+
+                raise FleetUnreachableError(
+                    f"{spec}: fleet server unreachable "
+                    "(is dimmunix-serve running?)"
+                )
+            return history
         if url.path is not None and not url.path.exists():
             # Missing histories read as empty (initDimmunix semantics) —
             # but a read-only command must not create the backend file
@@ -276,6 +300,16 @@ def cmd_compact(args: argparse.Namespace) -> int:
     ``--max-signatures`` are counted and the exit status is non-zero,
     so an operator can never truncate antibodies silently.
     """
+    target = args.output if args.output else args.file
+    if "://" in target and parse_history_url(target).scheme == SCHEME_TCP:
+        print(
+            f"error: compact cannot rewrite {target}: purging a live "
+            "fleet pool would yank antibodies out from under every "
+            "connected client; compact the server's backing store "
+            "instead",
+            file=sys.stderr,
+        )
+        return 2
     history = _load(args.file)
     capacity = (
         args.max_signatures if args.max_signatures else max(len(history), 1)
@@ -330,7 +364,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Inspect and manage Dimmunix deadlock histories. Sources and "
             "targets accept plain paths (legacy flat files) or DSNs: "
-            "jsonl:///path, sqlite:///path."
+            "jsonl:///path, sqlite:///path, shard:///dir[?shards=N], "
+            "tcp://host:port (a running dimmunix-serve)."
         ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
@@ -416,6 +451,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return args.func(args)
     except HistoryUrlError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except DimmunixError as error:
+        # Covers malformed histories and an unreachable tcp:// fleet
+        # server alike — the CLI must never mistake a partition for an
+        # empty pool, and never tracebacks on operator input.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

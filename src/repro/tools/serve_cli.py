@@ -1,0 +1,107 @@
+"""``dimmunix-serve`` — run the fleet immunity service.
+
+Fronts a local history backend with the fleet protocol so many
+processes (machines, containers, phones) share one antibody pool::
+
+    dimmunix-serve shard:///var/dimmunix/pool --port 7741
+    dimmunix-serve sqlite:///var/dimmunix/history.db
+    dimmunix-serve mem://            # ephemeral pool (testing, demos)
+
+Clients point their history DSN at it (``history_url="tcp://host:7741"``
+or ``immunity(history_url=...)``) and get push-on-flush, pull-on-sync
+herd immunity: a deadlock earned by one process avoids in all of them.
+``--port 0`` binds an ephemeral port and prints it — the test-harness
+mode.
+
+The server is single-store, in-process, and deliberately boring: all
+concurrency control lives in the store's own lock, all protocol framing
+in :mod:`repro.fleet.protocol`. Stop with Ctrl-C; the backend is
+flushed and closed on the way out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+from typing import Optional, Sequence
+
+from repro.core.store import open_store, parse_history_url
+from repro.core.store.url import (
+    DEFAULT_FLEET_PORT,
+    SCHEME_TCP,
+    HistoryUrlError,
+)
+from repro.errors import DimmunixError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dimmunix-serve",
+        description=(
+            "Serve a Dimmunix history backend to tcp:// clients. BACKEND "
+            "is any local history DSN: sqlite:///path, shard:///dir, "
+            "jsonl:///path, or mem:// (ephemeral)."
+        ),
+    )
+    parser.add_argument("backend", help="history DSN to serve")
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_FLEET_PORT,
+        help=f"bind port (default: {DEFAULT_FLEET_PORT}; 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--max-signatures",
+        type=int,
+        default=1_000_000,
+        help="capacity of the served pool (default: 1000000)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        url = parse_history_url(args.backend)
+    except HistoryUrlError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if url.scheme == SCHEME_TCP:
+        print(
+            "error: dimmunix-serve fronts a *local* backend; serving "
+            "tcp:// would only proxy another server. Point it at the "
+            "store that server should own (sqlite://, shard://, ...)",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.fleet.server import FleetServer
+
+    try:
+        store = open_store(args.backend, max_signatures=args.max_signatures)
+    except DimmunixError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    server = FleetServer(store, host=args.host, port=args.port)
+    server.start_background()
+    # One parseable line once the socket is live — harnesses wait on it.
+    print(
+        f"dimmunix-serve: listening on {server.address}, serving "
+        f"{store.url} ({len(store)} signature(s))",
+        flush=True,
+    )
+    try:
+        threading.Event().wait()  # serve until interrupted
+    except KeyboardInterrupt:
+        print("dimmunix-serve: shutting down", file=sys.stderr)
+    finally:
+        server.stop()
+        store.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,9 +61,17 @@ class TestZygoteBackendRegistry:
     Zygote."""
 
     def test_every_known_scheme_is_accepted(self, tmp_path):
-        from repro.core.store.url import KNOWN_SCHEMES
+        from repro.core.store.url import KNOWN_SCHEMES, SCHEME_TCP
 
         for scheme in KNOWN_SCHEMES:
+            if scheme == SCHEME_TCP:
+                # Fleet-addressed, not file-mapped: rejected with a
+                # pointer at the shared-pool spelling instead.
+                with pytest.raises(ValueError, match="history_url"):
+                    Zygote(
+                        VMConfig(), history_dir=tmp_path, backend=scheme
+                    )
+                continue
             zygote = Zygote(
                 VMConfig(), history_dir=tmp_path, backend=scheme
             )

@@ -1,10 +1,11 @@
 """The HistoryStore conformance suite.
 
-One behavioural contract, three backends: every test in
-``TestStoreConformance`` runs against ``mem://``, ``jsonl://``, and
-``sqlite://`` via the parameterised ``backend`` fixture. A backend that
-passes is a drop-in replacement on the engine's avoidance hot path and
-in every tool.
+One behavioural contract, five backends: every test in
+``TestStoreConformance`` runs against ``mem://``, ``jsonl://``,
+``sqlite://``, ``shard://``, and ``tcp://`` (the latter against an
+in-process :class:`~repro.fleet.server.FleetServer`) via the
+parameterised ``backend`` fixture. A backend that passes is a drop-in
+replacement on the engine's avoidance hot path and in every tool.
 """
 
 from __future__ import annotations
@@ -27,6 +28,7 @@ from repro.core.store import (
     MemoryStore,
     SqliteStore,
     open_store,
+    parse_history_url,
 )
 
 FIXTURE = Path(__file__).parent.parent.parent / "fixtures" / "legacy_v1.history"
@@ -56,10 +58,34 @@ class Backend:
         self.tmp_path = tmp_path
         self._counter = 0
         self._last_target: Path | None = None
+        self._servers: list = []
 
     @property
     def persistent(self) -> bool:
         return self.scheme != "mem"
+
+    def dsn_at(self, directory: Path) -> str | None:
+        """A DSN whose durable state lives under ``directory``, or
+        ``None`` for backends without a local directory of their own."""
+        if self.scheme == "jsonl":
+            return f"jsonl://{directory / 'h.history'}"
+        if self.scheme == "sqlite":
+            return f"sqlite://{directory / 'h.db'}"
+        if self.scheme == "shard":
+            return f"shard://{directory / 'pool'}?shards=2"
+        return None  # mem:// and remote have no local directory
+
+    def _start_server(self):
+        from repro.fleet.server import FleetServer
+
+        backing = open_store(
+            f"sqlite://{self.tmp_path / f'server{self._counter}.db'}",
+            max_signatures=65536,
+        )
+        server = FleetServer(backing, port=0)
+        server.start_background()
+        self._servers.append(server)
+        return server
 
     def fresh(self, max_signatures: int = 4096):
         """A store on a new, empty location."""
@@ -67,6 +93,22 @@ class Backend:
         if self.scheme == "mem":
             self._last_target = None
             return MemoryStore(max_signatures=max_signatures)
+        if self.scheme == "remote":
+            from repro.fleet.remote import RemoteStore
+
+            server = self._start_server()
+            return RemoteStore(
+                server.host,
+                server.port,
+                max_signatures=max_signatures,
+                spill_path=self.tmp_path / f"spill{self._counter}.history",
+            )
+        if self.scheme == "shard":
+            self._last_target = self.tmp_path / f"s{self._counter}.pool"
+            return open_store(
+                f"shard://{self._last_target}?shards=2",
+                max_signatures=max_signatures,
+            )
         suffix = "history" if self.scheme == "jsonl" else "db"
         self._last_target = self.tmp_path / f"s{self._counter}.{suffix}"
         return open_store(
@@ -78,7 +120,8 @@ class Backend:
         """Close ``store`` and open the same durable location again.
 
         For ``mem://`` the round trip goes through a legacy snapshot —
-        the only durability an in-memory store has.
+        the only durability an in-memory store has. For ``tcp://`` a new
+        client joins the same server: durability lives fleet-side.
         """
         if self.scheme == "mem":
             snapshot = self.tmp_path / f"mem-snap-{self._counter}.history"
@@ -90,16 +133,35 @@ class Backend:
             )
             reloaded.mark_clean()
             return reloaded
+        if self.scheme == "remote":
+            from repro.fleet.remote import RemoteStore
+
+            parsed = parse_history_url(store.url)
+            spill = store.spill_path
+            store.close()
+            return RemoteStore(
+                parsed.host,
+                parsed.port,
+                max_signatures=max_signatures,
+                spill_path=spill,
+            )
         location = store.location
         store.close()
         return open_store(
             f"{self.scheme}://{location}", max_signatures=max_signatures
         )
 
+    def cleanup(self) -> None:
+        for server in self._servers:
+            server.stop()
+            server.store.close()
 
-@pytest.fixture(params=["mem", "jsonl", "sqlite"])
+
+@pytest.fixture(params=["mem", "jsonl", "sqlite", "shard", "remote"])
 def backend(request, tmp_path) -> Backend:
-    return Backend(request.param, tmp_path)
+    built = Backend(request.param, tmp_path)
+    yield built
+    built.cleanup()
 
 
 class TestStoreConformance:
@@ -184,14 +246,15 @@ class TestStoreConformance:
         assert not store.dirty
 
     def test_flush_into_missing_directory_creates_it(self, backend, tmp_path):
-        if not backend.persistent:
-            pytest.skip("mem:// has no directory")
         deep = tmp_path / "not" / "yet" / "made"
-        suffix = "history" if backend.scheme == "jsonl" else "db"
-        store = open_store(f"{backend.scheme}://{deep / f'h.{suffix}'}")
+        dsn = backend.dsn_at(deep)
+        if dsn is None:
+            pytest.skip(f"{backend.scheme} has no local directory")
+        store = open_store(dsn)
         store.add(sig())
         assert store.flush() == 1
-        assert (deep / f"h.{suffix}").exists()
+        assert deep.exists()
+        assert store.location.exists()
         store.close()
 
     def test_purge_empties_backend(self, backend):

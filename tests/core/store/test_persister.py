@@ -181,6 +181,80 @@ class TestAutoSaveWiring:
             WriteBehindPersister(history, EventBus(), mode="sometimes")
 
 
+class TestFlakyBackendHardening:
+    """A store exception during a batched save must not kill the worker."""
+
+    def _flaky_store(self, store, fail_times=1):
+        original = store._persist
+        calls = []
+
+        def flaky(batch):
+            calls.append(len(batch))
+            if len(calls) <= fail_times:
+                raise OSError("injected: backend away")
+            original(batch)
+
+        store._persist = flaky
+        return calls
+
+    def test_worker_survives_and_retries(self, tmp_path):
+        path = tmp_path / "h.history"
+        core = DimmunixCore(
+            DimmunixConfig(yield_timeout=None, history_path=path),
+            persistence_mode="thread",
+        )
+        persister = core.history.persister
+        persister.retry_backoff = 0.01
+        calls = self._flaky_store(core.history.store)
+        drive_abba(core)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if path.exists() and not core.history.store.dirty:
+                break
+            time.sleep(0.01)
+        # The first attempt failed, the worker survived it, the retry
+        # landed — and the antibody reached disk without any explicit
+        # flush from the application.
+        assert persister.flush_failures >= 1
+        assert len(calls) >= 2
+        assert persister._worker.is_alive()
+        assert len(History.load(path)) == 1
+        core.detach_events()
+
+    def test_backoff_grows_and_resets(self, tmp_path):
+        history = open_history(f"jsonl://{tmp_path / 'h.history'}")
+        persister = WriteBehindPersister(
+            history,
+            EventBus(),
+            mode="deferred",
+            retry_backoff=0.1,
+            max_retry_backoff=0.4,
+        )
+        # Exercise the backoff arithmetic directly: doubling, capped,
+        # reset after a clean flush.
+        assert persister._retry_delay == 0.0
+        for expected in (0.1, 0.2, 0.4, 0.4):
+            persister._retry_delay = min(
+                max(persister._retry_delay * 2, persister.retry_backoff),
+                persister.max_retry_backoff,
+            )
+            assert persister._retry_delay == pytest.approx(expected)
+        persister.close()
+        history.close()
+
+    def test_close_during_outage_still_raises_loudly(self, tmp_path):
+        # close() makes the final flush attempt synchronously; a still-
+        # broken backend must surface there, not vanish quietly.
+        history = open_history(f"jsonl://{tmp_path / 'h.history'}")
+        persister = WriteBehindPersister(history, EventBus(), mode="deferred")
+        self._flaky_store(history.store, fail_times=10**6)
+        history.add(sig())
+        with pytest.raises(OSError, match="injected"):
+            persister.close()
+        # The batch is still pending — nothing was silently dropped.
+        assert history.store.pending_count == 1
+
+
 class TestReviewRegressions:
     """Fixes from the store-redesign review, pinned."""
 

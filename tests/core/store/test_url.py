@@ -81,6 +81,66 @@ class TestFormat:
         )
 
 
+class TestDurability:
+    def test_default_is_unset(self):
+        assert parse_history_url("sqlite:///var/h.db").durability is None
+
+    def test_parse_sqlite(self):
+        url = parse_history_url("sqlite:///var/h.db?durability=full")
+        assert url.scheme == "sqlite"
+        assert url.path == Path("/var/h.db")
+        assert url.durability == "full"
+
+    def test_parse_shard_alongside_shards(self):
+        url = parse_history_url("shard:///var/pool?shards=4&durability=full")
+        assert url.shards == 4
+        assert url.durability == "full"
+
+    def test_round_trip(self):
+        for text in (
+            "sqlite:///var/h.db?durability=full",
+            "shard:///var/pool?shards=4&durability=full",
+        ):
+            parsed = parse_history_url(text)
+            assert str(parsed) == text
+            assert parse_history_url(str(parsed)) == parsed
+
+    def test_junk_value_rejected(self):
+        with pytest.raises(HistoryUrlError, match="durability must be"):
+            parse_history_url("sqlite:///var/h.db?durability=paranoid")
+
+    def test_shards_is_not_a_sqlite_parameter(self):
+        with pytest.raises(
+            HistoryUrlError, match="unknown sqlite:// parameter"
+        ):
+            parse_history_url("sqlite:///var/h.db?shards=4")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(
+            HistoryUrlError, match="unknown shard:// parameter"
+        ):
+            parse_history_url("shard:///var/pool?wal=off")
+
+    def test_open_store_passes_durability_through(self, tmp_path):
+        store = open_store(f"sqlite://{tmp_path / 'a.db'}?durability=full")
+        assert store.durability == "full"
+        # The knob must actually land: synchronous=FULL is 2.
+        assert store._conn.execute("PRAGMA synchronous").fetchone()[0] == 2
+        assert store.url.endswith("?durability=full")
+        url = store.url
+        store.close()
+        again = open_store(url)
+        assert again.durability == "full"
+        assert again.url == url
+        again.close()
+
+    def test_normal_durability_keeps_a_bare_url(self, tmp_path):
+        store = open_store(f"sqlite://{tmp_path / 'a.db'}")
+        assert store.durability == "normal"
+        assert "?" not in store.url
+        store.close()
+
+
 class TestOpenStore:
     def test_open_each_backend(self, tmp_path):
         mem = open_store("mem://")

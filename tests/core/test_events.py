@@ -188,6 +188,7 @@ class TestWireForm:
             "match-capped",
             "history-saved",
             "predicted-seeded",
+            "fleet-sync",
         }
 
     def test_unknown_kind_raises(self):

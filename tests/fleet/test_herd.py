@@ -1,0 +1,137 @@
+"""Herd immunity, end to end: one process deadlocks, every process ducks.
+
+The acceptance scenario for the fleet subsystem. Two engines — distinct
+histories, distinct buses, sharing only a history DSN — play patient
+zero and herd member: A earns a signature the hard way (a real AB/BA
+detection), B's sync pump pulls it in **without a restart**, and B then
+yields out of the same interleaving on its first encounter, never
+detecting anything itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DimmunixConfig
+from repro.core.callstack import CallStack
+from repro.core.engine import DimmunixCore, RequestVerdict
+from repro.core.events import EventLog
+from repro.core.store import open_store
+from repro.fleet.server import FleetServer
+
+
+def stack(line):
+    return CallStack.single("herd.py", line)
+
+
+def earn_signature(core):
+    """Drive the AB/BA interleaving to a real detection in ``core``."""
+    t1 = core.register_thread("t1")
+    t2 = core.register_thread("t2")
+    a = core.register_lock("a")
+    b = core.register_lock("b")
+    core.request(t1, a, stack(10))
+    core.acquired(t1, a)
+    core.request(t2, b, stack(20))
+    core.acquired(t2, b)
+    core.request(t1, b, stack(11))
+    result = core.request(t2, a, stack(21))
+    assert result.detected is not None
+    return result.detected
+
+
+def approach_danger(core):
+    """Walk a fresh pair of threads to the brink of the same pattern;
+    returns the result of the first dangerous request.
+
+    The signature's outer positions are the *acquisition* sites (10,
+    20); once t1 occupies 10, t2's request at 20 would complete the
+    instantiation — that is the request avoidance must park.
+    """
+    t1 = core.register_thread("b-t1")
+    t2 = core.register_thread("b-t2")
+    a = core.register_lock("b-a")
+    b = core.register_lock("b-b")
+    core.request(t1, a, stack(10))
+    core.acquired(t1, a)
+    return core.request(t2, b, stack(20))
+
+
+def make_core(url, source, interval=None):
+    return DimmunixCore(
+        DimmunixConfig(
+            yield_timeout=None,
+            history_url=url,
+            fleet_sync_interval=interval,
+        ),
+        persistence_mode="deferred",
+        source=source,
+    )
+
+
+@pytest.fixture(params=["shard", "tcp"])
+def shared_url(request, tmp_path):
+    """A fleet-shared history DSN of each flavour."""
+    if request.param == "shard":
+        yield f"shard://{tmp_path / 'pool'}?shards=2"
+        return
+    backing = open_store(f"sqlite://{tmp_path / 'pool.db'}", max_signatures=65536)
+    server = FleetServer(backing, port=0)
+    host, port = server.start_background()
+    import repro.fleet.remote as remote_module
+
+    # Keep the test's spill journal inside tmp_path, not the real home.
+    spill_dir = tmp_path / "spill"
+    old = remote_module.os.environ.get(remote_module.SPILL_DIR_ENV)
+    remote_module.os.environ[remote_module.SPILL_DIR_ENV] = str(spill_dir)
+    try:
+        yield f"tcp://{host}:{port}"
+    finally:
+        if old is None:
+            remote_module.os.environ.pop(remote_module.SPILL_DIR_ENV, None)
+        else:
+            remote_module.os.environ[remote_module.SPILL_DIR_ENV] = old
+        server.stop()
+        backing.close()
+
+
+class TestHerdImmunity:
+    def test_b_avoids_what_a_earned_without_restart(self, shared_url):
+        # Herd member B is alive *before* patient zero deadlocks: the
+        # antibody must reach it through the sync pump, not through a
+        # restart's history replay.
+        member = make_core(shared_url, "member", interval=30.0)
+        assert len(member.history) == 0
+        patient_zero = make_core(shared_url, "patient-zero")
+        signature = earn_signature(patient_zero)
+        patient_zero.flush_history()
+        patient_zero.detach_events()
+
+        pulled = member.history.sync_pump.sync_now()
+        assert pulled == 1
+        assert member.history.contains(signature)
+        assert member.stats.sync_pulls == 1
+
+        log = EventLog()
+        member.events.subscribe(log, kinds=("yield",))
+        result = approach_danger(member)
+        # First encounter: parked, not deadlocked.
+        assert result.verdict is RequestVerdict.YIELD
+        assert result.yield_on == signature
+        assert member.stats.deadlocks_detected == 0
+        assert log.of_kind("yield")
+        member.detach_events()
+
+    def test_late_joiner_is_immune_at_birth(self, shared_url):
+        patient_zero = make_core(shared_url, "patient-zero")
+        signature = earn_signature(patient_zero)
+        patient_zero.flush_history()
+        patient_zero.detach_events()
+        # A process that starts after the outbreak replays the pool at
+        # open — no pump cycle needed.
+        joiner = make_core(shared_url, "joiner")
+        assert joiner.history.contains(signature)
+        result = approach_danger(joiner)
+        assert result.verdict is RequestVerdict.YIELD
+        assert joiner.stats.deadlocks_detected == 0
+        joiner.detach_events()

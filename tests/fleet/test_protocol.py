@@ -1,0 +1,137 @@
+"""Wire-protocol framing: both codecs, both failure postures."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.fleet.protocol import (
+    DEFAULT_MAX_FRAME,
+    FleetProtocolError,
+    decode_body,
+    encode_frame,
+    read_frame,
+    read_frame_async,
+    write_frame,
+)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        payload = {"op": "push", "signatures": [{"kind": "deadlock"}]}
+        frame = encode_frame(payload)
+        length = struct.unpack(">I", frame[:4])[0]
+        assert length == len(frame) - 4
+        assert decode_body(frame[4:]) == payload
+
+    def test_encode_is_compact(self):
+        # No whitespace: the frame is a network payload, not a log line.
+        assert b" " not in encode_frame({"op": "hello", "version": 1})
+
+    def test_oversize_payload_refused_at_encode(self):
+        huge = {"blob": "x" * (DEFAULT_MAX_FRAME + 1)}
+        with pytest.raises(FleetProtocolError, match="exceeds"):
+            encode_frame(huge)
+
+    def test_bad_json_body(self):
+        with pytest.raises(FleetProtocolError, match="not valid JSON"):
+            decode_body(b"{torn")
+
+    def test_non_object_body(self):
+        with pytest.raises(FleetProtocolError, match="JSON object"):
+            decode_body(b"[1, 2, 3]")
+
+
+class TestBlockingCodec:
+    def _pair(self):
+        return socket.socketpair()
+
+    def test_socket_round_trip(self):
+        left, right = self._pair()
+        try:
+            writer = threading.Thread(
+                target=write_frame, args=(left, {"op": "stats"})
+            )
+            writer.start()
+            assert read_frame(right) == {"op": "stats"}
+            writer.join()
+        finally:
+            left.close()
+            right.close()
+
+    def test_announced_oversize_refused_before_allocation(self):
+        left, right = self._pair()
+        try:
+            left.sendall(struct.pack(">I", DEFAULT_MAX_FRAME + 1))
+            with pytest.raises(FleetProtocolError, match="cap"):
+                read_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_torn_frame_detected(self):
+        left, right = self._pair()
+        try:
+            frame = encode_frame({"op": "stats"})
+            left.sendall(frame[: len(frame) - 2])  # crash mid-body
+            left.close()
+            with pytest.raises(FleetProtocolError, match="mid-frame"):
+                read_frame(right)
+        finally:
+            right.close()
+
+
+class TestAsyncCodec:
+    def _run(self, coroutine):
+        loop = asyncio.new_event_loop()
+        try:
+            return loop.run_until_complete(coroutine)
+        finally:
+            loop.close()
+
+    def test_clean_eof_between_frames_is_none(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"op": "stats"}))
+            reader.feed_eof()
+            first = await read_frame_async(reader)
+            second = await read_frame_async(reader)
+            return first, second
+
+        first, second = self._run(scenario())
+        assert first == {"op": "stats"}
+        assert second is None
+
+    def test_eof_mid_header_is_an_error(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\x00\x00")  # half a length prefix
+            reader.feed_eof()
+            return await read_frame_async(reader)
+
+        with pytest.raises(FleetProtocolError, match="mid-header"):
+            self._run(scenario())
+
+    def test_eof_mid_body_is_an_error(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            frame = encode_frame({"op": "stats"})
+            reader.feed_data(frame[:-1])
+            reader.feed_eof()
+            return await read_frame_async(reader)
+
+        with pytest.raises(FleetProtocolError, match="mid-frame"):
+            self._run(scenario())
+
+    def test_announced_oversize_refused(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack(">I", 1024))
+            return await read_frame_async(reader, max_frame=512)
+
+        with pytest.raises(FleetProtocolError, match="cap"):
+            self._run(scenario())

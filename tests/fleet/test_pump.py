@@ -1,0 +1,302 @@
+"""SyncPump: triggers, telemetry, and the stats/event wiring."""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import Dimmunix
+from repro.config import DimmunixConfig
+from repro.core.callstack import CallStack
+from repro.core.engine import DimmunixCore
+from repro.core.events import EventBus, EventLog
+from repro.core.history import open_history
+from repro.core.signature import DeadlockSignature, SignatureEntry
+from repro.fleet.pump import SyncPump
+from repro.fleet.remote import RemoteStore
+
+
+def stack(line):
+    return CallStack.single("pump.py", line)
+
+
+def sig(outer_a=1, outer_b=3):
+    return DeadlockSignature(
+        [
+            SignatureEntry(stack(outer_a), stack(outer_a + 1)),
+            SignatureEntry(stack(outer_b), stack(outer_b + 1)),
+        ]
+    )
+
+
+def drive_abba(core):
+    t1 = core.register_thread("t1")
+    t2 = core.register_thread("t2")
+    a = core.register_lock("a")
+    b = core.register_lock("b")
+    core.request(t1, a, stack(10))
+    core.acquired(t1, a)
+    core.request(t2, b, stack(20))
+    core.acquired(t2, b)
+    core.request(t1, b, stack(11))
+    result = core.request(t2, a, stack(21))
+    assert result.detected is not None
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestTriggers:
+    def test_sync_now_pulls_sibling_antibodies(self, tmp_path):
+        db = tmp_path / "pool.db"
+        sibling = open_history(f"sqlite://{db}")
+        sibling.add(sig())
+        sibling.flush()
+        mine = open_history(f"sqlite://{db}")
+        # Opened after the sibling flushed? Then it already has the
+        # signature — so write one more to make the pull observable.
+        sibling.add(sig(outer_a=5))
+        sibling.flush()
+        pump = SyncPump(mine, EventBus())
+        assert pump.sync_now() == 1
+        assert mine.contains(sig(outer_a=5))
+        pump.close()
+        mine.close()
+        sibling.close()
+
+    def test_saved_event_kicks_a_cycle(self, tmp_path):
+        db = tmp_path / "pool.db"
+        sibling = open_history(f"sqlite://{db}")
+        bus = EventBus()
+        mine = open_history(f"sqlite://{db}")
+        mine.bind_events(bus, "mine")
+        pump = SyncPump(mine, bus)  # no period: event-driven only
+        sibling.add(sig(outer_a=1))
+        sibling.flush()
+        # Our own flush is the trigger: "we just saved, the fleet may
+        # have news too."
+        mine.add(sig(outer_a=5))
+        mine.flush()
+        assert wait_until(lambda: mine.contains(sig(outer_a=1)))
+        assert pump.pulls >= 1
+        pump.close()
+        mine.close()
+        sibling.close()
+
+    def test_periodic_cycle_converges_a_quiet_process(self, tmp_path):
+        db = tmp_path / "pool.db"
+        sibling = open_history(f"sqlite://{db}")
+        mine = open_history(f"sqlite://{db}")
+        pump = SyncPump(mine, EventBus(), interval=0.02)
+        sibling.add(sig())
+        sibling.flush()
+        # 'mine' never records or flushes anything — only the period
+        # can bring the antibody in.
+        assert wait_until(lambda: mine.contains(sig()))
+        pump.close()
+        mine.close()
+        sibling.close()
+
+    def test_kick_requests_a_cycle(self, tmp_path):
+        db = tmp_path / "pool.db"
+        sibling = open_history(f"sqlite://{db}")
+        mine = open_history(f"sqlite://{db}")
+        pump = SyncPump(mine, EventBus())
+        sibling.add(sig())
+        sibling.flush()
+        pump.kick()
+        assert wait_until(lambda: mine.contains(sig()))
+        pump.close()
+        mine.close()
+        sibling.close()
+
+
+class TestTelemetry:
+    def test_eventful_cycle_publishes_fleet_sync(self, tmp_path):
+        db = tmp_path / "pool.db"
+        sibling = open_history(f"sqlite://{db}")
+        mine = open_history(f"sqlite://{db}")
+        bus = EventBus()
+        log = EventLog()
+        bus.subscribe(log, kinds=("fleet-sync",))
+        pump = SyncPump(mine, bus, source="svc")
+        sibling.add(sig())
+        sibling.flush()
+        assert pump.sync_now() == 1
+        (event,) = log.events
+        assert event.kind == "fleet-sync"
+        assert event.source == "svc"
+        assert event.pulled == 1
+        assert event.trigger == "manual"
+        pump.close()
+        mine.close()
+        sibling.close()
+
+    def test_idle_cycle_stays_off_the_event_stream(self, tmp_path):
+        mine = open_history(f"sqlite://{tmp_path / 'pool.db'}")
+        bus = EventBus()
+        log = EventLog()
+        bus.subscribe(log, kinds=("fleet-sync",))
+        pump = SyncPump(mine, bus)
+        assert pump.sync_now() == 0
+        assert not log.events
+        pump.close()
+        mine.close()
+
+    def test_unreachable_fleet_is_counted_not_raised(self, tmp_path):
+        store = RemoteStore(
+            "127.0.0.1",
+            1,  # nothing listens here
+            timeout=1.0,
+            retry_attempts=1,
+            spill_path=tmp_path / "spill.history",
+        )
+        from repro.core.history import History
+
+        mine = History(store=store)
+        bus = EventBus()
+        log = EventLog()
+        bus.subscribe(log, kinds=("fleet-sync",))
+        pump = SyncPump(mine, bus)
+        assert pump.sync_now() == 0  # survives the outage
+        assert pump.failures == 1
+        (event,) = log.events
+        assert event.failures >= 1
+        pump.close()
+        mine.close()
+
+    def test_memory_history_is_a_noop(self):
+        from repro.core.history import History
+
+        pump = SyncPump(History(), EventBus())
+        assert pump.sync_now() == 0
+        assert pump.cycles == 0  # refresh-less store: no cycle at all
+        pump.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        mine = open_history(f"sqlite://{tmp_path / 'pool.db'}")
+        pump = SyncPump(mine, EventBus())
+        pump.close()
+        pump.close()
+        assert not pump._worker.is_alive()
+        mine.close()
+
+
+class TestEngineWiring:
+    def test_engine_attaches_pump_for_shared_backend(self, tmp_path):
+        core = DimmunixCore(
+            DimmunixConfig(
+                yield_timeout=None,
+                history_url=f"sqlite://{tmp_path / 'pool.db'}",
+                fleet_sync_interval=30.0,
+            ),
+            persistence_mode="deferred",
+        )
+        assert core.history.sync_pump is not None
+        core.detach_events()
+        assert core.history.sync_pump is None
+
+    def test_no_pump_without_interval(self, tmp_path):
+        core = DimmunixCore(
+            DimmunixConfig(
+                yield_timeout=None,
+                history_url=f"sqlite://{tmp_path / 'pool.db'}",
+            ),
+            persistence_mode="deferred",
+        )
+        assert core.history.sync_pump is None
+        core.detach_events()
+
+    def test_no_pump_for_refreshless_backend(self, tmp_path):
+        core = DimmunixCore(
+            DimmunixConfig(
+                yield_timeout=None,
+                history_path=tmp_path / "h.history",
+                fleet_sync_interval=30.0,
+            ),
+            persistence_mode="deferred",
+        )
+        assert core.history.sync_pump is None
+        core.detach_events()
+
+    def test_sync_counters_reach_engine_stats(self, tmp_path):
+        db = tmp_path / "pool.db"
+        earner = DimmunixCore(
+            DimmunixConfig(yield_timeout=None, history_url=f"sqlite://{db}"),
+            persistence_mode="deferred",
+        )
+        drive_abba(earner)
+        earner.flush_history()
+        follower = DimmunixCore(
+            DimmunixConfig(
+                yield_timeout=None,
+                history_url=f"sqlite://{db}",
+                fleet_sync_interval=30.0,
+            ),
+            persistence_mode="deferred",
+            source="follower",
+        )
+        earner.detach_events()
+        # The earner's antibody arrived at follower construction; earn
+        # another one to give the pump something to pull.
+        refresher = DimmunixCore(
+            DimmunixConfig(yield_timeout=None, history_url=f"sqlite://{db}"),
+            persistence_mode="deferred",
+            source="earner2",
+        )
+        t1 = refresher.register_thread("t1")
+        t2 = refresher.register_thread("t2")
+        a = refresher.register_lock("a")
+        b = refresher.register_lock("b")
+        refresher.request(t1, a, stack(110))
+        refresher.acquired(t1, a)
+        refresher.request(t2, b, stack(120))
+        refresher.acquired(t2, b)
+        refresher.request(t1, b, stack(111))
+        assert refresher.request(t2, a, stack(121)).detected is not None
+        refresher.flush_history()
+        assert follower.history.sync_pump.sync_now() == 1
+        assert follower.stats.sync_pulls == 1
+        assert follower.stats.sync_failures == 0
+        follower.detach_events()
+        refresher.detach_events()
+
+
+class TestFacade:
+    def test_session_sync_uses_pump_when_attached(self, tmp_path):
+        db = tmp_path / "pool.db"
+        sibling = open_history(f"sqlite://{db}")
+        session = Dimmunix(
+            DimmunixConfig(
+                history_url=f"sqlite://{db}", fleet_sync_interval=30.0
+            )
+        )
+        session.runtime()
+        sibling.add(sig())
+        sibling.flush()
+        assert session.sync() == 1
+        assert session.history.contains(sig())
+        assert session.stats.sync_pulls == 1
+        session.close()
+        assert session.history.sync_pump is None
+        sibling.close()
+
+    def test_session_sync_without_pump_refreshes_directly(self, tmp_path):
+        db = tmp_path / "pool.db"
+        sibling = open_history(f"sqlite://{db}")
+        session = Dimmunix(DimmunixConfig(history_url=f"sqlite://{db}"))
+        sibling.add(sig())
+        sibling.flush()
+        assert session.sync() == 1
+        session.close()
+        sibling.close()
+
+    def test_session_sync_on_memory_history_is_zero(self):
+        session = Dimmunix(DimmunixConfig())
+        assert session.sync() == 0
+        session.close()

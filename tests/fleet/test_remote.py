@@ -1,0 +1,196 @@
+"""RemoteStore failure posture: spill, replay, degraded opens.
+
+The fault-injection suite: every test here kills the server at some
+point and asserts the one invariant that matters — **no antibody is
+ever lost**. A failed push lands in the local spill journal before
+``flush()`` returns; reconnection replays it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.callstack import CallStack
+from repro.core.history import History
+from repro.core.signature import DeadlockSignature, SignatureEntry
+from repro.core.store import open_store
+from repro.fleet.remote import (
+    SPILL_DIR_ENV,
+    FleetUnreachableError,
+    RemoteStore,
+)
+from repro.fleet.server import FleetServer
+
+
+def sig(outer_a=1, outer_b=3):
+    return DeadlockSignature(
+        [
+            SignatureEntry(
+                CallStack.single("rm.py", outer_a),
+                CallStack.single("rm.py", outer_a + 1),
+            ),
+            SignatureEntry(
+                CallStack.single("rm.py", outer_b),
+                CallStack.single("rm.py", outer_b + 1),
+            ),
+        ]
+    )
+
+
+def fast_client(host, port, tmp_path, name="c"):
+    """A client with tight retry settings — tests fail fast, not slow."""
+    return RemoteStore(
+        host,
+        port,
+        timeout=2.0,
+        retry_attempts=2,
+        retry_backoff=0.01,
+        spill_path=tmp_path / f"{name}.spill.history",
+    )
+
+
+@pytest.fixture
+def pool(tmp_path):
+    """A server over a durable (sqlite) pool, restartable on its port."""
+
+    class Pool:
+        def __init__(self):
+            self.backing_dsn = f"sqlite://{tmp_path / 'pool.db'}"
+            self.server = None
+            self.host = None
+            self.port = None
+
+        def start(self):
+            backing = open_store(self.backing_dsn, max_signatures=65536)
+            port = self.port if self.port is not None else 0
+            self.server = FleetServer(backing, port=port)
+            self.host, self.port = self.server.start_background()
+            return self.server
+
+        def kill(self):
+            if self.server is not None:
+                self.server.stop()
+                self.server.store.close()
+                self.server = None
+
+    built = Pool()
+    built.start()
+    yield built
+    built.kill()
+
+
+class TestSpillAndReplay:
+    def test_push_during_outage_spills_locally(self, pool, tmp_path):
+        store = fast_client(pool.host, pool.port, tmp_path)
+        pool.kill()
+        store.add(sig())
+        written = store.flush()  # must not raise, must not lose
+        assert written == 1
+        assert store.spilled == 1
+        assert store.failures >= 1
+        assert store.spill_path.exists()
+        # The journal is a plain legacy history: recoverable by any tool
+        # even if this process never reconnects.
+        assert len(History.load(store.spill_path)) == 1
+        store.close()
+
+    def test_reconnect_replays_the_journal(self, pool, tmp_path):
+        store = fast_client(pool.host, pool.port, tmp_path)
+        pool.kill()
+        store.add(sig(outer_a=1))
+        store.flush()
+        pool.start()  # same port: the fleet heals
+        assert store.refresh() == 0  # nothing new to pull...
+        assert store.spill_replayed == 1  # ...but the spill traveled
+        assert not store.spill_path.exists()
+        assert len(pool.server.store) == 1
+        store.close()
+
+    def test_server_killed_mid_batch_loses_nothing(self, pool, tmp_path):
+        """The acceptance scenario: kill the server between flushes,
+        accumulate antibodies across the outage, heal, verify the pool
+        holds every signature from before, during, and after."""
+        store = fast_client(pool.host, pool.port, tmp_path)
+        store.add(sig(outer_a=1))
+        store.flush()  # durable server-side (acked)
+        pool.kill()
+        store.add(sig(outer_a=5))
+        store.add(sig(outer_a=9))
+        store.flush()  # durable in the spill journal
+        pool.start()
+        other = fast_client(pool.host, pool.port, tmp_path, "other")
+        assert len(other) == 1  # the pre-outage signature
+        store.add(sig(outer_a=13))
+        store.flush()  # reconnects: replays spill, pushes the batch
+        assert store.spill_replayed == 2
+        assert other.refresh() == 3
+        assert len(other) == 4
+        for line in (1, 5, 9, 13):
+            assert other.contains(sig(outer_a=line))
+        store.close()
+        other.close()
+
+    def test_spill_survives_the_client_process_too(self, pool, tmp_path):
+        # Client dies during the outage; its successor (same spill
+        # path) delivers the journal on its first contact.
+        store = fast_client(pool.host, pool.port, tmp_path)
+        pool.kill()
+        store.add(sig())
+        store.close()  # final flush spills
+        assert store.spill_path.exists()
+        pool.start()
+        successor = fast_client(pool.host, pool.port, tmp_path)
+        assert successor.spill_replayed == 1
+        assert len(pool.server.store) == 1
+        assert not successor.spill_path.exists()
+        successor.close()
+
+
+class TestDegradedOpen:
+    def test_open_without_server_is_usable(self, tmp_path):
+        store = fast_client("127.0.0.1", 1, tmp_path)  # nothing listens
+        assert not store.connected
+        assert len(store) == 0
+        store.add(sig())
+        assert store.flush() == 1  # spilled, not lost
+        assert store.spill_path.exists()
+        store.close()
+
+    def test_refresh_raises_while_away(self, tmp_path):
+        store = fast_client("127.0.0.1", 1, tmp_path)
+        with pytest.raises(FleetUnreachableError):
+            store.refresh()
+        store.close()
+
+    def test_purge_refuses_to_pretend(self, pool, tmp_path):
+        store = fast_client(pool.host, pool.port, tmp_path)
+        store.add(sig())
+        store.flush()
+        pool.kill()
+        # Destructive ops must fail loudly, not report success.
+        with pytest.raises(FleetUnreachableError):
+            store.purge()
+        store.close()
+
+    def test_discard_is_best_effort(self, pool, tmp_path):
+        store = fast_client(pool.host, pool.port, tmp_path)
+        signature = sig()
+        store.add(signature)
+        store.flush()
+        pool.kill()
+        assert store.discard([signature]) == 1  # local removal succeeds
+        assert not store.contains(sig())
+        store.close()
+
+
+class TestSpillPlacement:
+    def test_default_path_honours_env_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(SPILL_DIR_ENV, str(tmp_path / "spills"))
+        path = RemoteStore._default_spill_path("fleet.example", 7741)
+        assert path == tmp_path / "spills" / "fleet.example-7741.history"
+
+    def test_per_server_journals_do_not_interleave(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(SPILL_DIR_ENV, str(tmp_path))
+        a = RemoteStore._default_spill_path("h", 1)
+        b = RemoteStore._default_spill_path("h", 2)
+        assert a != b

@@ -1,0 +1,212 @@
+"""FleetServer: the dispatch table, resync model, and resilience."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.core.callstack import CallStack
+from repro.core.signature import DeadlockSignature, SignatureEntry
+from repro.core.store import MemoryStore, open_store
+from repro.errors import HistoryFormatError
+from repro.fleet.protocol import (
+    PROTOCOL_VERSION,
+    read_frame,
+    write_frame,
+)
+from repro.fleet.remote import RemoteStore
+from repro.fleet.server import FleetServer
+
+
+def sig(outer_a=1, outer_b=3):
+    return DeadlockSignature(
+        [
+            SignatureEntry(
+                CallStack.single("srv.py", outer_a),
+                CallStack.single("srv.py", outer_a + 1),
+            ),
+            SignatureEntry(
+                CallStack.single("srv.py", outer_b),
+                CallStack.single("srv.py", outer_b + 1),
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def server():
+    with FleetServer(MemoryStore(max_signatures=1024), port=0) as live:
+        yield live
+
+
+def raw_exchange(server, *requests, hello=True):
+    """Speak the protocol directly; returns the replies."""
+    with socket.create_connection((server.host, server.port), timeout=5) as sock:
+        replies = []
+        if hello:
+            write_frame(
+                sock,
+                {
+                    "op": "hello",
+                    "format": "dimmunix-history",
+                    "version": PROTOCOL_VERSION,
+                },
+            )
+            replies.append(read_frame(sock))
+        for request in requests:
+            write_frame(sock, request)
+            replies.append(read_frame(sock))
+        return replies
+
+
+def client(server, tmp_path, name="c"):
+    return RemoteStore(
+        server.host,
+        server.port,
+        spill_path=tmp_path / f"{name}.spill.history",
+    )
+
+
+class TestDispatch:
+    def test_hello_reports_pool_state(self, server):
+        (reply,) = raw_exchange(server)
+        assert reply["ok"]
+        assert reply["signatures"] == 0
+        assert reply["rev"] == 0
+        assert reply["url"] == "mem://"
+
+    def test_incompatible_hello_refused(self, server):
+        (reply,) = raw_exchange(
+            server,
+            {"op": "hello", "format": "dimmunix-history", "version": 99},
+            hello=False,
+        )
+        assert not reply["ok"]
+        assert "incompatible" in reply["error"]
+
+    def test_client_surfaces_incompatibility_as_format_error(
+        self, server, tmp_path, monkeypatch
+    ):
+        # Version skew is a config error, not an outage: the client must
+        # raise (retrying or spilling would never converge).
+        monkeypatch.setattr("repro.fleet.remote.PROTOCOL_VERSION", 99)
+        with pytest.raises(HistoryFormatError, match="incompatible"):
+            client(server, tmp_path)
+
+    def test_unknown_op_refused(self, server):
+        hello, reply = raw_exchange(server, {"op": "reboot"})
+        assert not reply["ok"]
+        assert "unknown op" in reply["error"]
+
+    def test_push_without_list_refused(self, server):
+        hello, reply = raw_exchange(server, {"op": "push", "signatures": 7})
+        assert not reply["ok"]
+
+    def test_push_with_garbage_signature_refused(self, server):
+        hello, reply = raw_exchange(
+            server, {"op": "push", "signatures": [{"zebra": 1}]}
+        )
+        assert not reply["ok"]
+        assert "bad signature" in reply["error"]
+        assert len(server.store) == 0
+
+    def test_malformed_request_does_not_kill_the_server(self, server):
+        hello, bad = raw_exchange(server, {"op": "pull", "after": -3})
+        assert not bad["ok"]
+        # The server still answers the next conversation.
+        (again,) = raw_exchange(server)
+        assert again["ok"]
+
+    def test_stats_op(self, server, tmp_path):
+        store = client(server, tmp_path)
+        store.add(sig())
+        store.flush()
+        stats = store.server_stats()
+        assert stats["signatures"] == 1
+        assert stats["deadlocks"] == 1
+        assert stats["provenance"]["earned"] == 1
+        assert stats["rev"] == 1
+        store.close()
+
+
+class TestRevisionModel:
+    def test_incremental_pull_ships_only_the_suffix(self, server, tmp_path):
+        a = client(server, tmp_path, "a")
+        b = client(server, tmp_path, "b")
+        a.add(sig(outer_a=1))
+        a.flush()
+        assert b.refresh() == 1
+        a.add(sig(outer_a=5))
+        a.flush()
+        # Second refresh pulls exactly the one new signature.
+        assert b.refresh() == 1
+        assert len(b) == 2
+        a.close()
+        b.close()
+
+    def test_removal_bumps_generation_and_forces_resync(self, server, tmp_path):
+        a = client(server, tmp_path, "a")
+        b = client(server, tmp_path, "b")
+        first, second = sig(outer_a=1), sig(outer_a=5)
+        a.add(first)
+        a.add(second)
+        a.flush()
+        b.refresh()
+        hello, reply = raw_exchange(
+            server, {"op": "discard", "keys": []}
+        )
+        assert reply["removed"] == 0  # nothing matched: no gen bump
+        a.discard([first])  # removes on the server too
+        # b's synced_rev (2) is now beyond the server's rev (1) in a new
+        # generation; the pull must resync, not serve a bogus suffix.
+        assert b.refresh() == 0
+        assert b.synced_rev == 1
+        a.close()
+        b.close()
+
+    def test_provenance_upgrade_travels(self, server, tmp_path):
+        a = client(server, tmp_path, "a")
+        b = client(server, tmp_path, "b")
+        predicted = sig()
+        predicted.provenance = "predicted"
+        a.add(predicted)
+        a.flush()
+        b.refresh()
+        (seen,) = list(b)
+        assert seen.provenance == "predicted"
+        # a's real detection upgrades the antibody fleet-wide...
+        assert not a.add(sig())
+        a.flush()
+        b.refresh()
+        # ...because pulls re-serialize live objects, never stale rows,
+        # and the duplicate-merge path upgrades in place.
+        assert seen.provenance == "earned"
+        a.close()
+        b.close()
+
+
+class TestLifecycle:
+    def test_durable_backend_flushed_before_push_ack(self, tmp_path):
+        backing = open_store(f"sqlite://{tmp_path / 'pool.db'}")
+        with FleetServer(backing, port=0) as server:
+            store = client(server, tmp_path)
+            store.add(sig())
+            store.flush()
+            # The ack means durable: a fresh handle on the database sees
+            # the row without any further flush from the server.
+            probe = open_store(f"sqlite://{tmp_path / 'pool.db'}")
+            assert len(probe) == 1
+            probe.close()
+            store.close()
+        backing.close()
+
+    def test_stop_with_connected_client_is_clean(self, server, tmp_path):
+        store = client(server, tmp_path)
+        assert store.connected
+        server.stop()  # must not wedge on the live conversation
+        store.close()
+
+    def test_ephemeral_port_is_reported(self, server):
+        assert server.port != 0
+        assert server.address == f"tcp://{server.host}:{server.port}"

@@ -319,3 +319,72 @@ class TestStatsProvenance:
         assert "1 earned" in out
         assert "1 promoted" in out
         assert "1 predicted" in out
+
+
+class TestFleetDsns:
+    """shard:// and tcp:// through the operator tooling."""
+
+    @pytest.fixture
+    def fleet_server(self, tmp_path):
+        from repro.core.store import open_store
+        from repro.fleet.server import FleetServer
+
+        backing = open_store(
+            f"sqlite://{tmp_path / 'pool.db'}", max_signatures=65536
+        )
+        server = FleetServer(backing, port=0)
+        server.start_background()
+        yield server
+        server.stop()
+        backing.close()
+
+    def test_migrate_reshards(self, sample_history, tmp_path, capsys):
+        # Legacy file -> 2 shards -> 4 shards: the resharding path.
+        two = tmp_path / "pool2"
+        four = tmp_path / "pool4"
+        assert main(
+            ["migrate", str(sample_history), f"shard://{two}?shards=2"]
+        ) == 0
+        assert "3 migrated" in capsys.readouterr().out
+        assert main(
+            ["migrate", f"shard://{two}", f"shard://{four}?shards=4"]
+        ) == 0
+        assert main(["stats", f"shard://{four}"]) == 0
+        assert "signatures:  3" in capsys.readouterr().out
+
+    def test_shard_count_conflict_is_loud(self, sample_history, tmp_path, capsys):
+        pool = tmp_path / "pool"
+        assert main(
+            ["migrate", str(sample_history), f"shard://{pool}?shards=2"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", f"shard://{pool}?shards=8"]) == 2
+        assert "migrate" in capsys.readouterr().err
+
+    def test_migrate_seeds_a_live_server(
+        self, sample_history, fleet_server, capsys
+    ):
+        url = fleet_server.address
+        assert main(["migrate", str(sample_history), url]) == 0
+        assert "3 migrated" in capsys.readouterr().out
+        assert len(fleet_server.store) == 3
+        assert main(["stats", url]) == 0
+        assert "signatures:  3" in capsys.readouterr().out
+
+    def test_unreachable_server_is_an_error_not_empty(self, capsys):
+        # Reading a partitioned fleet must not report an empty pool.
+        assert main(["stats", "tcp://127.0.0.1:1"]) == 2
+        err = capsys.readouterr().err
+        assert "unreachable" in err
+        assert "dimmunix-serve" in err
+
+    def test_compact_refuses_a_live_pool(self, fleet_server, capsys):
+        url = fleet_server.address
+        assert main(["compact", url]) == 2
+        assert "connected client" in capsys.readouterr().err
+
+    def test_compact_refuses_tcp_output_too(self, sample_history, fleet_server, capsys):
+        assert main(
+            ["compact", str(sample_history), "--output", fleet_server.address]
+        ) == 2
+        assert "compact the server's backing store" in capsys.readouterr().err

@@ -1,0 +1,74 @@
+"""Tests for the dimmunix-serve CLI."""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.fleet.remote import RemoteStore
+from repro.tools.serve_cli import main
+from repro.workloads.synthetic_sigs import make_signature
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+class TestArgumentErrors:
+    def test_tcp_backend_rejected(self, capsys):
+        # Serving tcp:// would only proxy another server.
+        assert main(["tcp://127.0.0.1:7741"]) == 2
+        assert "local" in capsys.readouterr().err
+
+    def test_unknown_scheme_rejected(self, capsys):
+        assert main(["carrier-pigeon://coop"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRoundTrip:
+    def test_serve_push_pull_shutdown(self, tmp_path):
+        """The console-script smoke: spawn the real process on an
+        ephemeral port, push an antibody, read it back, shut down."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.tools.serve_cli",
+                f"sqlite://{tmp_path / 'pool.db'}",
+                "--port",
+                "0",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"listening on tcp://([\d.]+):(\d+)", banner)
+            assert match, f"unexpected banner: {banner!r}"
+            host, port = match.group(1), int(match.group(2))
+            writer = RemoteStore(
+                host, port, spill_path=tmp_path / "w.spill.history"
+            )
+            writer.add(make_signature(("Fleet.java", 1), ("Fleet.java", 2), 0))
+            assert writer.flush() == 1
+            writer.close()
+            reader = RemoteStore(
+                host, port, spill_path=tmp_path / "r.spill.history"
+            )
+            assert len(reader) == 1
+            assert reader.server_stats()["signatures"] == 1
+            reader.close()
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
