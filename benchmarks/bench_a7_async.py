@@ -272,3 +272,77 @@ def bench_async_avoidance_latency(benchmark, record):
     if SMOKE:
         return
     assert worst_mean < 1000, "yield->resume latency above a second"
+
+
+# ----------------------------------------------------------------------
+# per-phase latency breakdown (telemetry on)
+# ----------------------------------------------------------------------
+
+def bench_async_phase_breakdown(benchmark, record):
+    """Where the immunized-acquire nanoseconds go, phase by phase.
+
+    Runs the uncontended workload with ``telemetry=True`` and reads the
+    engine's per-phase log2 histograms: ``capture`` (stack resolution),
+    ``glock_wait`` (engine-lock contention — near zero with one task),
+    and ``acquire`` (request→grant end to end). The breakdown lands in
+    the record's details so ``records.jsonl`` carries per-phase ns.
+    """
+    config = CONFIG.evolve(telemetry=True)
+
+    def measure():
+        runtime = AsyncioDimmunixRuntime(config, name="a7-phases")
+
+        async def scenario() -> None:
+            lock = runtime.lock("hot")
+            for _ in range(ACQUIRE_PAIRS):
+                async with lock:
+                    pass
+
+        asyncio.run(scenario())
+        return runtime.core.telemetry.snapshot()
+
+    snapshot = benchmark.pedantic(measure, rounds=1, iterations=1)
+    phases = {
+        phase: {
+            "count": histogram.count,
+            "mean_ns": round(histogram.mean_ns, 1),
+            "p99_ns": histogram.percentile(0.99),
+        }
+        for phase, histogram in sorted(snapshot.items())
+        if histogram.count
+    }
+
+    print()
+    print(
+        render_table(
+            ["Phase", "Count", "Mean ns", "p99 ns"],
+            [
+                [phase, stats["count"], f"{stats['mean_ns']:,.0f}",
+                 f"{stats['p99_ns']:,}"]
+                for phase, stats in phases.items()
+            ],
+            title=(
+                f"A7 - per-phase acquire latency ({ACQUIRE_PAIRS:,} pairs, "
+                "telemetry on)"
+            ),
+        )
+    )
+    record(
+        ExperimentRecord(
+            experiment_id="A7.phases",
+            description="asyncio immunized-acquire per-phase breakdown",
+            paper_value=(
+                "the request path is capture + engine decision; both "
+                "microseconds-scale in the common case"
+            ),
+            measured_value=", ".join(
+                f"{phase} mean {stats['mean_ns']:,.0f} ns"
+                for phase, stats in phases.items()
+            ),
+            holds=all(
+                phase in phases for phase in ("capture", "glock_wait", "acquire")
+            ),
+            details={"phases": phases},
+        )
+    )
+    assert phases.get("acquire", {}).get("count") == ACQUIRE_PAIRS

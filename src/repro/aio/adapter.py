@@ -176,11 +176,17 @@ class AioRuntimeAdapter:
         """
         task_node = self.current_task_node()
         config = self.config
+        tel = self.core.telemetry
         timeout = config.yield_timeout
         poll = config.aio_yield_poll
         parked_for = 0.0
         while True:
+            glock_t0 = time.monotonic_ns() if tel is not None else 0
             with self._glock:
+                if tel is not None:
+                    tel.record(
+                        "glock_wait", time.monotonic_ns() - glock_t0
+                    )
                 result = self.core.request(task_node, lock_node, stack)
                 if result.resume:
                     self.core.wake_yielders(result.resume)
@@ -210,6 +216,7 @@ class AioRuntimeAdapter:
             if poll is not None:
                 step = poll if step is None else min(step, poll)
             started = time.monotonic()
+            park_t0 = time.monotonic_ns() if tel is not None else 0
             try:
                 if step is None:
                     # shield(): cancelling this task must not cancel the
@@ -236,6 +243,11 @@ class AioRuntimeAdapter:
                 with self._glock:
                     self.core.abandon_yield(task_node)
                 raise
+            finally:
+                if tel is not None:
+                    tel.record(
+                        "yield_park", time.monotonic_ns() - park_t0
+                    )
 
     def after_acquire(self, lock_node: LockNode) -> None:
         task_node = self.current_task_node()

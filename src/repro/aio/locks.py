@@ -24,6 +24,7 @@ lacks but avoidance needs for parity with the thread layer).
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import TYPE_CHECKING, Optional
 
 from repro.aio import _originals
@@ -49,6 +50,9 @@ class AioDimmunixLock:
         self._raw = _originals.Lock()
         self._enabled = runtime.config.enabled
         self._depth = runtime.config.stack_depth
+        # Cached at construction so the acquire path's telemetry guard
+        # is one attribute load (None when telemetry is off).
+        self._telemetry = self._adapter.core.telemetry if self._enabled else None
         self.node = self._adapter.new_lock_node(name) if self._enabled else None
         self.name = name or (self.node.name if self.node else "aio-lock")
         # Kept on the lock (not the condition) so both monitor
@@ -77,9 +81,17 @@ class AioDimmunixLock:
                     return False
             return await self._raw.acquire()
         if stack is None:
-            stack = resolve_stack(
-                self._depth, site_id, self._runtime.static_sites, skip=1
-            )
+            tel = self._telemetry
+            if tel is not None:
+                capture_t0 = time.monotonic_ns()
+                stack = resolve_stack(
+                    self._depth, site_id, self._runtime.static_sites, skip=1
+                )
+                tel.record("capture", time.monotonic_ns() - capture_t0)
+            else:
+                stack = resolve_stack(
+                    self._depth, site_id, self._runtime.static_sites, skip=1
+                )
         allowed = await self._adapter.before_acquire(
             self.node, stack, wait=blocking
         )
@@ -174,6 +186,7 @@ class AioDimmunixRLock:
         self._raw = _originals.Lock()
         self._enabled = runtime.config.enabled
         self._depth = runtime.config.stack_depth
+        self._telemetry = self._adapter.core.telemetry if self._enabled else None
         self._owner: Optional[int] = None
         self._count = 0
         self.node = self._adapter.new_lock_node(name) if self._enabled else None
@@ -202,9 +215,25 @@ class AioDimmunixRLock:
             return True
         if self._enabled:
             if stack is None:
-                stack = resolve_stack(
-                    self._depth, site_id, self._runtime.static_sites, skip=1
-                )
+                tel = self._telemetry
+                if tel is not None:
+                    capture_t0 = time.monotonic_ns()
+                    stack = resolve_stack(
+                        self._depth,
+                        site_id,
+                        self._runtime.static_sites,
+                        skip=1,
+                    )
+                    tel.record(
+                        "capture", time.monotonic_ns() - capture_t0
+                    )
+                else:
+                    stack = resolve_stack(
+                        self._depth,
+                        site_id,
+                        self._runtime.static_sites,
+                        skip=1,
+                    )
             allowed = await self._adapter.before_acquire(
                 self.node, stack, wait=blocking
             )

@@ -58,7 +58,11 @@ class SyncProfiler:
         return self
 
     def attach_events(
-        self, bus: "EventBus", source: Optional[str] = None
+        self,
+        bus: "EventBus",
+        source: Optional[str] = None,
+        *,
+        include_resumes: bool = False,
     ) -> "Subscription":
         """Consume ``AcquiredEvent`` from a typed event stream.
 
@@ -71,9 +75,18 @@ class SyncProfiler:
         *different* clocks (a VM and a runtime) into separate profilers,
         one per source. Returns the subscription handle so the caller
         can detach with ``bus.unsubscribe(handle)``.
+
+        ``include_resumes=True`` also counts ``ResumeEvent`` — a resumed
+        yielder re-runs the request, so its eventual grant emits a
+        *second* bucket entry and the rate reads as "engine decisions
+        per second" rather than "acquisitions per second". The default
+        (acquired-only) is the mode whose rates are comparable to
+        Table 1's Syncs/sec column: one count per completed
+        acquisition, exactly like the legacy ``note_sync`` hook.
         """
+        kinds = ("acquired", "resume") if include_resumes else ("acquired",)
         return bus.subscribe(
-            self._on_acquired_event, kinds=("acquired",), source=source
+            self._on_acquired_event, kinds=kinds, source=source
         )
 
     def _on_acquired_event(self, event: "Event") -> None:

@@ -405,6 +405,69 @@ class Dimmunix:
         refresh = getattr(self.history.store, "refresh", None)
         return refresh() if refresh is not None else 0
 
+    def _cores(self):
+        """Each distinct engine this session has constructed.
+
+        The attached aio runtime shares the thread runtime's core, so
+        it is intentionally absent — including it would double-count
+        its telemetry and RAG.
+        """
+        if self._runtime is not None:
+            yield self._runtime.name, self._runtime.core
+        if self._aio is not None:
+            yield self._aio.name, self._aio.core
+        for vm in self._vms:
+            if vm.core is not None:
+                yield vm.name, vm.core
+
+    def telemetry_report(self) -> dict:
+        """The session's telemetry snapshot as a plain-JSON report.
+
+        Per-phase log2 latency histograms merged across every adapter
+        core (empty unless the config has ``telemetry=True``) plus the
+        session's aggregated counters. The shape is what
+        :func:`repro.telemetry.prometheus.render_report` and
+        ``dimmunix-report metrics <file.json>`` consume, so
+        ``json.dump(dx.telemetry_report(), fh)`` is a complete
+        metrics export.
+        """
+        from repro.telemetry.histogram import LogHistogram
+
+        merged: dict[str, LogHistogram] = {}
+        for _name, core in self._cores():
+            collector = core.telemetry
+            if collector is None:
+                continue
+            for phase, histogram in collector.snapshot().items():
+                if phase in merged:
+                    merged[phase].merge(histogram)
+                else:
+                    merged[phase] = histogram
+        return {
+            "phases": {
+                phase: merged[phase].to_json()
+                for phase in sorted(merged)
+                if merged[phase].count
+            },
+            "counters": self.stats.snapshot(),
+        }
+
+    def metrics_text(self) -> str:
+        """:meth:`telemetry_report` as Prometheus text exposition."""
+        from repro.telemetry.prometheus import render_report
+
+        return render_report(self.telemetry_report())
+
+    def rag_dump(self) -> dict[str, dict]:
+        """An on-demand RAG snapshot of every adapter core, by name.
+
+        Each value is :meth:`~repro.core.engine.DimmunixCore.rag_dump`
+        output — threads (with held/requesting/yielding state and
+        request age in ns), locks, and wait-for edges — renderable with
+        :func:`repro.telemetry.ragdump.render_dot`.
+        """
+        return {name: core.rag_dump() for name, core in self._cores()}
+
     def close(self) -> None:
         """Tear the session down: undo the patch, detach every
         session-owned subscriber, flush recorders.

@@ -157,6 +157,17 @@ class DimmunixConfig:
             ``sync_failures`` / ``spill_replayed``. ``None`` (the
             default) attaches no pump — exactly the pre-fleet
             behaviour.
+        telemetry: Attach a
+            :class:`~repro.telemetry.TelemetryCollector` to the engine
+            and record per-phase latency histograms (``capture``,
+            ``glock_wait``, ``match``, ``acquire``, ``yield_park``,
+            ``store_flush``, ``sync``) along the request path, exposed
+            through ``Dimmunix.telemetry_report()`` /
+            ``dimmunix-report metrics`` and the fleet ``metrics`` op.
+            Off (the default) the collector is ``None`` and every
+            instrumented site costs exactly one attribute check — held
+            within noise of the untelemetered seed by the E1 overhead
+            gate.
         predicted_ttl_runs: Demotion window for *predicted* antibodies
             (seeded by ``dimmunix-lint`` or the trace miner rather than
             earned at a real deadlock). A predicted signature that
@@ -182,6 +193,7 @@ class DimmunixConfig:
     static_ids: bool = False
     max_signatures: int = 4096
     fleet_sync_interval: float | None = None
+    telemetry: bool = False
     predicted_ttl_runs: int = 0
     enabled: bool = True
     extra: dict = field(default_factory=dict)

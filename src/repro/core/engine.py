@@ -44,6 +44,7 @@ next explicit ``flush_history()`` in deferred mode).
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -167,6 +168,18 @@ class DimmunixCore:
             policy=self.config.match_cap_policy,
         )
         self._yield_count = 0
+        # Opt-in phase-latency telemetry. ``None`` when off, so every
+        # instrumented site (here and in the adapters/lock classes that
+        # read this attribute) pays exactly one ``is not None`` check on
+        # the disabled path — the cost the E1 overhead gate holds.
+        if self.config.telemetry:
+            from repro.telemetry import TelemetryCollector
+
+            self.telemetry: Optional[TelemetryCollector] = (
+                TelemetryCollector()
+            )
+        else:
+            self.telemetry = None
         # The typed event stream. A shared bus (one session, several
         # adapters) is fine: events carry this core's ``source`` and the
         # stats subscription filters on it, so each core's counters only
@@ -205,7 +218,10 @@ class DimmunixCore:
 
                 self.history.attach_persister(
                     WriteBehindPersister(
-                        self.history, self.events, mode=persistence_mode
+                        self.history,
+                        self.events,
+                        mode=persistence_mode,
+                        telemetry=self.telemetry,
                     )
                 )
                 self._attached_persister = True
@@ -232,6 +248,7 @@ class DimmunixCore:
                         self.events,
                         interval=self.config.fleet_sync_interval,
                         source=source,
+                        telemetry=self.telemetry,
                     )
                 )
                 self._attached_pump = True
@@ -392,12 +409,17 @@ class DimmunixCore:
             thread.yield_stack = None
             self._yield_count -= 1
 
-        self._emit(
+        request_event = self._emit(
             RequestEvent,
             thread=thread.name,
             lock=lock.name,
             position=position.key,
         )
+        if thread.request_since_ns is None:
+            # First attempt only: a resume-retry keeps the original
+            # stamp so the ``acquire`` latency (and the RAG dump's
+            # request age) spans parks, not just the final grant.
+            thread.request_since_ns = request_event.ts_ns
         self.rag.set_request(thread, lock, position, truncated)
 
         # --- detection ------------------------------------------------
@@ -564,7 +586,12 @@ class DimmunixCore:
             )
         self.rag.clear_request(thread)
         self.rag.set_hold(thread, lock, position, stack)
-        self._emit(AcquiredEvent, thread=thread.name, lock=lock.name)
+        event = self._emit(AcquiredEvent, thread=thread.name, lock=lock.name)
+        since = thread.request_since_ns
+        if since is not None:
+            thread.request_since_ns = None
+            if self.telemetry is not None:
+                self.telemetry.record("acquire", event.ts_ns - since)
 
     def release(self, thread: ThreadNode, lock: LockNode) -> ReleaseResult:
         """Called right before ``monitorexit``.
@@ -600,6 +627,7 @@ class DimmunixCore:
         if position is not None:
             position.queue.remove(thread, lock)
         self.rag.clear_request(thread)
+        thread.request_since_ns = None
         self.stats.requests_cancelled += 1
 
     def abandon_yield(self, thread: ThreadNode) -> None:
@@ -608,6 +636,7 @@ class DimmunixCore:
             self.rag.clear_yield(thread)
             thread.yield_pos = None
             thread.yield_stack = None
+            thread.request_since_ns = None
             self._yield_count -= 1
 
     def force_bypass(self, thread: ThreadNode) -> Optional[DeadlockSignature]:
@@ -635,15 +664,22 @@ class DimmunixCore:
     # internals
     # ------------------------------------------------------------------
 
-    def _emit(self, event_cls, **fields) -> None:
-        """Stamp source/ts and publish one typed event.
+    def _emit(self, event_cls, **fields):
+        """Stamp source/ts/ts_ns and publish one typed event.
 
         Centralized so no emit site can forget the stamping and silently
         publish under the default source (subscriber errors never
-        escape the bus).
+        escape the bus). Returns the published event so callers can read
+        its monotonic ``ts_ns`` back (the ``acquire`` phase latency is
+        the delta between a request's and its acquired's stamps).
         """
-        self.events.publish(
-            event_cls(source=self.source, ts=self._now(), **fields)
+        return self.events.publish(
+            event_cls(
+                source=self.source,
+                ts=self._now(),
+                ts_ns=time.monotonic_ns(),
+                **fields,
+            )
         )
 
     def _check_instantiation(
@@ -658,7 +694,12 @@ class DimmunixCore:
         loop and the starvation-relief recheck alike, so both paths are
         bounded and both announce their caps.
         """
-        witnesses = self.checker.would_instantiate(signature)
+        if self.telemetry is not None:
+            start_ns = time.monotonic_ns()
+            witnesses = self.checker.would_instantiate(signature)
+            self.telemetry.record("match", time.monotonic_ns() - start_ns)
+        else:
+            witnesses = self.checker.would_instantiate(signature)
         if self.checker.last_capped:
             self._emit(
                 MatchCappedEvent,
@@ -732,6 +773,17 @@ class DimmunixCore:
     @property
     def yielding_threads(self) -> int:
         return self._yield_count
+
+    def rag_dump(self) -> dict:
+        """Plain-JSON RAG snapshot: nodes, edges, per-waiter request age.
+
+        The caller should hold the adapter glock for a consistent view;
+        without it the dump is racy but never crashes — same contract as
+        ``stats``. See :func:`repro.telemetry.ragdump.rag_snapshot`.
+        """
+        from repro.telemetry.ragdump import rag_snapshot
+
+        return rag_snapshot(self)
 
     def snapshot(self) -> EngineSnapshot:
         return EngineSnapshot(

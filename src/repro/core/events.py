@@ -68,12 +68,19 @@ class Event:
     ``source`` names the emitting instance (one session can multiplex
     several adapters onto one bus); ``ts`` is the emitter's clock — wall
     time for real-thread runtimes, virtual ticks for the simulated VM.
+    ``ts_ns`` is ``time.monotonic_ns()`` at emit time (``0`` when the
+    emitter predates the stamp or is simulated): the steady clock that
+    inter-event latencies (``dimmunix-events summary``, ``trace``) are
+    computed from — wall-clock ``ts`` can step backwards under NTP,
+    monotonic never does. Only deltas within one process are
+    meaningful; the epoch is arbitrary.
     """
 
     kind: ClassVar[str] = "event"
 
     source: str = "core"
     ts: float = 0.0
+    ts_ns: int = 0
     seq: int = field(default=-1, compare=False)
 
 

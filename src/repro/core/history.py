@@ -26,6 +26,7 @@ The legacy construction paths (``History()``, ``History.load(path)``,
 from __future__ import annotations
 
 import threading
+import time
 from pathlib import Path
 from typing import Iterator, Optional
 
@@ -199,6 +200,7 @@ class History:
         self._events.publish(
             HistorySavedEvent(
                 source=self._source,
+                ts_ns=time.monotonic_ns(),
                 path=str(path),
                 signatures=len(self._store),
             )
@@ -240,6 +242,7 @@ class History:
             self._events.publish(
                 PredictedSeededEvent(
                     source=self._source,
+                    ts_ns=time.monotonic_ns(),
                     signature=signature,
                     origin=origin,
                     confidence=confidence,

@@ -38,6 +38,11 @@ class ThreadNode:
       used for starvation detection.
     * ``bypass`` — one-shot grants issued after a starvation: the thread
       may ignore these signatures on its next matching request.
+    * ``request_since_ns`` — monotonic stamp of the pending request's
+      ``RequestEvent`` (``None`` when no request is outstanding). Read
+      by telemetry (the ``acquire`` phase histogram and the RAG dump's
+      per-waiter request age); the ROADMAP's livelock watchdog is the
+      next consumer.
     """
 
     __slots__ = (
@@ -46,6 +51,7 @@ class ThreadNode:
         "requesting",
         "request_pos",
         "request_stack",
+        "request_since_ns",
         "held",
         "yielding_on",
         "yield_witnesses",
@@ -61,6 +67,7 @@ class ThreadNode:
         self.requesting: Optional["LockNode"] = None
         self.request_pos: Optional["Position"] = None
         self.request_stack: Optional["CallStack"] = None
+        self.request_since_ns: Optional[int] = None
         self.held: set["LockNode"] = set()
         self.yielding_on: Optional["DeadlockSignature"] = None
         self.yield_witnesses: tuple[tuple["ThreadNode", "LockNode"], ...] = ()

@@ -31,6 +31,7 @@ single choke point all save paths now go through.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Optional
 
 # Original primitives, captured before any platform-wide patch: the
@@ -66,11 +67,13 @@ class WriteBehindPersister:
         batch_size: int = 1,
         retry_backoff: float = 0.1,
         max_retry_backoff: float = 5.0,
+        telemetry=None,
     ) -> None:
         if mode not in (MODE_THREAD, MODE_DEFERRED):
             raise ValueError(f"unknown persister mode {mode!r}")
         self.history = history
         self.events = events
+        self.telemetry = telemetry
         self.mode = mode
         self.flush_interval = flush_interval
         self.batch_size = batch_size
@@ -186,7 +189,15 @@ class WriteBehindPersister:
         exactly one ``HistorySavedEvent`` is emitted per batch no matter
         who wins the race.
         """
-        written = self.history.flush()
+        telemetry = self.telemetry
+        if telemetry is not None:
+            start_ns = time.monotonic_ns()
+            written = self.history.flush()
+            telemetry.record(
+                "store_flush", time.monotonic_ns() - start_ns
+            )
+        else:
+            written = self.history.flush()
         if written:
             self.flushes += 1
             self.signatures_written += written

@@ -45,6 +45,18 @@ Operations (client → server):
     ``{"op": "purge"}`` → ``{"ok": true, "removed": K}``.
 ``stats``
     ``{"op": "stats"}`` → counts by kind and provenance.
+``metrics``
+    ``{"op": "metrics", "report": {...}}`` (report optional) →
+    ``{"ok": true, "clients": N, "phases": {...}, "spill_depth": D,
+    "sync_lag_max_s": S, "rev": R, "gen": G}``. With a ``report`` —
+    ``{"client": <id>, "phases": {<phase>: <histogram json>},
+    "spill_depth": D, "sync_lag_s": S}`` — the server stores it as the
+    client's latest (the sync pump pushes one per cycle when telemetry
+    is on). Either way the reply aggregates every client's latest
+    report: per-phase log2 histograms merged fleet-wide with true
+    p50/p99 (not averaged percentiles), summed spill depth, and the
+    worst sync lag. The op needs no ``hello`` — a bare socket query
+    (``dimmunix-report metrics tcp://...``) works.
 
 Both a blocking (socket) and an asyncio (stream) codec are provided:
 the server is an asyncio service, while the client runs on the

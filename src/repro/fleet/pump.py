@@ -57,11 +57,20 @@ class SyncPump:
         *,
         interval: Optional[float] = None,
         source: str = "core",
+        telemetry=None,
     ) -> None:
         self.history = history
         self.events = events
         self.interval = interval
         self.source = source
+        # When the owning engine has telemetry on, each cycle is timed
+        # into the ``sync`` phase histogram and the collector's full
+        # report is pushed to the fleet server (if the store can carry
+        # it), which is how `dimmunix-serve` answers fleet-wide
+        # percentiles.
+        self.telemetry = telemetry
+        self.last_sync_ns: Optional[int] = None
+        self.metrics_pushed = 0
         # Cumulative pump-side telemetry (mirrored into stats via the
         # published events).
         self.cycles = 0
@@ -121,15 +130,21 @@ class SyncPump:
         refresh = getattr(store, "refresh", None)
         if refresh is None:
             return  # mem:// / jsonl://: nothing to sync against
+        telemetry = self.telemetry
+        start_ns = time.monotonic_ns() if telemetry is not None else 0
         pulled = 0
         local_failures = 0
         try:
             pulled = refresh()
+            self.last_sync_ns = time.monotonic_ns()
         except Exception:
             # RemoteStore counts its own transport failures; anything
             # else (or anything beyond them) is counted here. Either
             # way the pump survives and retries next cycle.
             local_failures = 1
+        if telemetry is not None:
+            telemetry.record("sync", time.monotonic_ns() - start_ns)
+            self._push_metrics(store)
         current = self._counter_snapshot()
         previous, self._last_counters = self._last_counters, current
         pushed = max(0, current["pushed"] - previous["pushed"])
@@ -150,6 +165,7 @@ class SyncPump:
             FleetSyncEvent(
                 source=self.source,
                 ts=time.time(),
+                ts_ns=time.monotonic_ns(),
                 pulled=pulled,
                 pushed=pushed,
                 failures=failures,
@@ -157,6 +173,47 @@ class SyncPump:
                 trigger=trigger,
             )
         )
+
+    # ------------------------------------------------------------------
+    # fleet metrics
+    # ------------------------------------------------------------------
+
+    def metrics_report(self) -> dict:
+        """This client's contribution to the fleet ``metrics`` op.
+
+        Phase histograms in wire form, the local spill depth (journal
+        entries not yet replayed to the server), and how long ago the
+        last successful sync completed.
+        """
+        store = self.history.store
+        spilled = getattr(store, "spilled", 0)
+        replayed = getattr(store, "spill_replayed", 0)
+        report: dict = {
+            "client": self.source,
+            "phases": (
+                self.telemetry.snapshot_json()
+                if self.telemetry is not None
+                else {}
+            ),
+            "spill_depth": max(0, spilled - replayed),
+        }
+        if self.last_sync_ns is not None:
+            report["sync_lag_s"] = max(
+                0.0, (time.monotonic_ns() - self.last_sync_ns) / 1e9
+            )
+        return report
+
+    def _push_metrics(self, store) -> None:
+        push = getattr(store, "push_metrics", None)
+        if push is None:
+            return  # sqlite:// / shard://: no server to report to
+        try:
+            push(self.metrics_report())
+            self.metrics_pushed += 1
+        except Exception:
+            # Metrics are strictly best-effort: an unreachable server
+            # already shows up in the sync failure counters.
+            pass
 
     # ------------------------------------------------------------------
     # explicit control

@@ -342,6 +342,23 @@ class RemoteStore(HistoryStore):
         """The server's ``stats`` reply (counts, revision, provenance)."""
         return self._request({"op": "stats"})
 
+    def push_metrics(self, report: dict) -> dict:
+        """Upload this client's telemetry report (the ``metrics`` op).
+
+        The sync pump calls this each cycle when the owning engine has
+        telemetry on; the server aggregates reports across clients and
+        answers fleet-wide percentiles to anyone who asks. Raises
+        :class:`FleetUnreachableError` when the server is away (the
+        pump swallows it — metrics are best-effort).
+        """
+        with self._lock:
+            return self._request({"op": "metrics", "report": report})
+
+    def metrics(self) -> dict:
+        """The server's aggregated fleet-wide ``metrics`` reply."""
+        with self._lock:
+            return self._request({"op": "metrics"})
+
     def close(self) -> None:
         if self._closed:
             return

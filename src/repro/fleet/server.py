@@ -66,6 +66,10 @@ class FleetServer:
         # Bumped whenever signatures are *removed* — removal renumbers
         # the insertion suffix, so clients must full-resync.
         self._generation = 0
+        # Latest telemetry report per client (the ``metrics`` op):
+        # keyed by the client-chosen id, aggregated at query time so a
+        # restarting client simply overwrites its own slot.
+        self._metrics_reports: dict[str, dict] = {}
         self.requests_handled = 0
         self.connections = 0
         self._conn_tasks: set = set()
@@ -198,7 +202,61 @@ class FleetServer:
                 "requests": self.requests_handled,
                 **self._revision(),
             }
+        if op == "metrics":
+            report = request.get("report")
+            if report is not None:
+                if not isinstance(report, dict) or not report.get("client"):
+                    return {
+                        "ok": False,
+                        "error": "metrics report needs a 'client' id",
+                    }
+                self._metrics_reports[str(report["client"])] = report
+            return {"ok": True, **self._aggregate_metrics()}
         return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _aggregate_metrics(self) -> dict:
+        """Fold every client's latest report into fleet-wide numbers.
+
+        Phase histograms merge losslessly (log2 buckets are
+        client-independent), so the p50/p99 here are true fleet-wide
+        percentiles, not averages of percentiles.
+        """
+        from repro.telemetry.histogram import LogHistogram
+
+        merged: dict[str, LogHistogram] = {}
+        spill_depth = 0
+        sync_lag_max = 0.0
+        for report in self._metrics_reports.values():
+            for phase, data in (report.get("phases") or {}).items():
+                try:
+                    histogram = LogHistogram.from_json(data)
+                except (TypeError, ValueError):
+                    continue  # one malformed client must not poison all
+                target = merged.get(phase)
+                if target is None:
+                    merged[phase] = histogram
+                else:
+                    target.merge(histogram)
+            spill_depth += int(report.get("spill_depth") or 0)
+            lag = report.get("sync_lag_s")
+            if isinstance(lag, (int, float)):
+                sync_lag_max = max(sync_lag_max, float(lag))
+        return {
+            "clients": len(self._metrics_reports),
+            "phases": {
+                phase: {
+                    "count": histogram.count,
+                    "sum_ns": histogram.sum_ns,
+                    "p50_ns": histogram.percentile(0.5),
+                    "p99_ns": histogram.percentile(0.99),
+                    "histogram": histogram.to_json(),
+                }
+                for phase, histogram in sorted(merged.items())
+            },
+            "spill_depth": spill_depth,
+            "sync_lag_max_s": sync_lag_max,
+            **self._revision(),
+        }
 
     # ------------------------------------------------------------------
     # asyncio service

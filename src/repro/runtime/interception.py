@@ -144,7 +144,11 @@ class RuntimeAdapter:
         """
         thread_node = self.current_thread_node()
         config = self.config
+        tel = self.core.telemetry
+        glock_t0 = time.monotonic_ns() if tel is not None else 0
         with self._glock:
+            if tel is not None:
+                tel.record("glock_wait", time.monotonic_ns() - glock_t0)
             while True:
                 result = self.core.request(thread_node, lock_node, stack)
                 if result.resume:
@@ -166,7 +170,14 @@ class RuntimeAdapter:
                         self.core.abandon_yield(thread_node)
                         return False
                     condition = self._condition_for_locked(result.yield_on)
+                    park_t0 = (
+                        time.monotonic_ns() if tel is not None else 0
+                    )
                     signaled = condition.wait(timeout=config.yield_timeout)
+                    if tel is not None:
+                        tel.record(
+                            "yield_park", time.monotonic_ns() - park_t0
+                        )
                     if not signaled and thread_node.yielding_on is not None:
                         # Safety net: treat the timeout as starvation.
                         self.core.force_bypass(thread_node)

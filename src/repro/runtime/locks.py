@@ -18,6 +18,7 @@ paper's §4 compiler-assigned static synchronization-site ids.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.callstack import CallStack
@@ -90,6 +91,10 @@ class DimmunixLock:
         self._raw = _originals.Lock()
         self._enabled = runtime.config.enabled
         self._depth = runtime.config.stack_depth
+        # Cached at construction so the acquire path's telemetry guard
+        # is one attribute load (None when telemetry — or the whole
+        # runtime — is off).
+        self._telemetry = self._adapter.core.telemetry if self._enabled else None
         self.node = self._adapter.new_lock_node(name) if self._enabled else None
         self.name = name or (self.node.name if self.node else "lock")
         # Kept on the lock (not the condition) so both monitor
@@ -119,9 +124,17 @@ class DimmunixLock:
                 return self._raw.acquire(blocking, timeout)
             return self._raw.acquire(blocking)
         if stack is None:
-            stack = resolve_stack(
-                self._depth, site_id, self._runtime.static_sites, skip=1
-            )
+            tel = self._telemetry
+            if tel is not None:
+                capture_t0 = time.monotonic_ns()
+                stack = resolve_stack(
+                    self._depth, site_id, self._runtime.static_sites, skip=1
+                )
+                tel.record("capture", time.monotonic_ns() - capture_t0)
+            else:
+                stack = resolve_stack(
+                    self._depth, site_id, self._runtime.static_sites, skip=1
+                )
         allowed = self._adapter.before_acquire(
             self.node, stack, wait=blocking
         )
@@ -209,6 +222,7 @@ class DimmunixRLock:
         self._raw = _originals.Lock()
         self._enabled = runtime.config.enabled
         self._depth = runtime.config.stack_depth
+        self._telemetry = self._adapter.core.telemetry if self._enabled else None
         self._owner: Optional[int] = None
         self._count = 0
         self.node = self._adapter.new_lock_node(name) if self._enabled else None
@@ -229,9 +243,25 @@ class DimmunixRLock:
             return True
         if self._enabled:
             if stack is None:
-                stack = resolve_stack(
-                    self._depth, site_id, self._runtime.static_sites, skip=1
-                )
+                tel = self._telemetry
+                if tel is not None:
+                    capture_t0 = time.monotonic_ns()
+                    stack = resolve_stack(
+                        self._depth,
+                        site_id,
+                        self._runtime.static_sites,
+                        skip=1,
+                    )
+                    tel.record(
+                        "capture", time.monotonic_ns() - capture_t0
+                    )
+                else:
+                    stack = resolve_stack(
+                        self._depth,
+                        site_id,
+                        self._runtime.static_sites,
+                        skip=1,
+                    )
             allowed = self._adapter.before_acquire(
                 self.node, stack, wait=blocking
             )

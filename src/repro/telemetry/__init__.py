@@ -1,0 +1,38 @@
+"""Opt-in observability for a Dimmunix instance.
+
+The engine's event stream says *what* happened; this package says *how
+long it took*. Three surfaces, all riding the existing spine:
+
+* :mod:`repro.telemetry.histogram` / :mod:`repro.telemetry.collector` —
+  log2-bucketed nanosecond histograms filled by per-thread accumulators.
+  The engine owns one :class:`~repro.telemetry.collector.TelemetryCollector`
+  when ``DimmunixConfig.telemetry`` is on and records the per-phase marks
+  (``capture``, ``glock_wait``, ``match``, ``acquire``, ``yield_park``,
+  ``store_flush``, ``sync``) along the request path. With telemetry off
+  the collector is ``None`` and every instrumented site pays exactly one
+  attribute check (held by the E1 overhead gate).
+* :mod:`repro.telemetry.trace` — compiles a recorded event stream
+  (``Dimmunix.record``) into Chrome trace-event JSON, loadable in
+  Perfetto / ``chrome://tracing`` (``dimmunix-events trace``).
+* :mod:`repro.telemetry.prometheus` / :mod:`repro.telemetry.ragdump` —
+  the metrics surface: Prometheus text exposition of the phase
+  histograms and stats counters (``dimmunix-report metrics``, the fleet
+  ``metrics`` op) and an on-demand RAG introspection dump with
+  per-waiter request ages (JSON + DOT).
+"""
+
+from repro.telemetry.collector import PHASES, TelemetryCollector
+from repro.telemetry.histogram import LogHistogram
+from repro.telemetry.prometheus import render_report
+from repro.telemetry.ragdump import rag_snapshot, render_dot
+from repro.telemetry.trace import compile_trace
+
+__all__ = [
+    "PHASES",
+    "TelemetryCollector",
+    "LogHistogram",
+    "render_report",
+    "rag_snapshot",
+    "render_dot",
+    "compile_trace",
+]

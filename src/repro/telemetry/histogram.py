@@ -1,0 +1,173 @@
+"""Log2-bucketed latency histograms.
+
+The recording path must cost a handful of integer operations — it runs
+inside the engine's global lock, per ``monitorenter`` — so the bucket
+index is just ``ns.bit_length()``: bucket 0 holds exactly 0 ns, bucket
+``b`` holds ``[2**(b-1), 2**b - 1]``. Sixty-four buckets cover everything
+a 64-bit monotonic clock can express; larger values (and negative ones,
+which a well-behaved monotonic clock never produces) clamp into the
+edge buckets rather than raising on the lock path.
+
+Histograms merge losslessly (per-thread accumulators, fleet
+aggregation) and round-trip through a plain-JSON form (the fleet
+``metrics`` op and ``Dimmunix.telemetry_report`` wire shape).
+"""
+
+from __future__ import annotations
+
+BUCKETS = 64
+
+#: inclusive upper bound of bucket ``b`` (integer ns), exact because
+#: bucket b holds [2**(b-1), 2**b - 1]; the last bucket also absorbs
+#: everything the clamp folded down.
+BUCKET_UPPER_BOUNDS = tuple(
+    0 if b == 0 else (1 << b) - 1 for b in range(BUCKETS)
+)
+
+
+class LogHistogram:
+    """A fixed-size power-of-two histogram of nanosecond durations."""
+
+    __slots__ = ("counts", "count", "sum_ns", "min_ns", "max_ns")
+
+    def __init__(self) -> None:
+        self.counts = [0] * BUCKETS
+        self.count = 0
+        self.sum_ns = 0
+        self.min_ns = 0
+        self.max_ns = 0
+
+    # ------------------------------------------------------------------
+    # recording (the hot path)
+    # ------------------------------------------------------------------
+
+    def record(self, ns: int) -> None:
+        """Land one duration. Negative values clamp to 0, values beyond
+        the last bucket clamp into it — never raise here."""
+        if ns < 0:
+            ns = 0
+        index = ns.bit_length()
+        if index >= BUCKETS:
+            index = BUCKETS - 1
+        self.counts[index] += 1
+        if self.count:
+            if ns < self.min_ns:
+                self.min_ns = ns
+            elif ns > self.max_ns:
+                self.max_ns = ns
+        else:
+            self.min_ns = ns
+            self.max_ns = ns
+        self.count += 1
+        self.sum_ns += ns
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold ``other`` into this histogram (returns self)."""
+        if other.count:
+            mine = self.counts
+            for index, value in enumerate(other.counts):
+                if value:
+                    mine[index] += value
+            if self.count:
+                self.min_ns = min(self.min_ns, other.min_ns)
+                self.max_ns = max(self.max_ns, other.max_ns)
+            else:
+                self.min_ns = other.min_ns
+                self.max_ns = other.max_ns
+            self.count += other.count
+            self.sum_ns += other.sum_ns
+        return self
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def mean_ns(self) -> float:
+        return self.sum_ns / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> int:
+        """Estimate the ``q``-quantile (0 < q <= 1) in nanoseconds.
+
+        Linear interpolation inside the bucket where the cumulative
+        count crosses ``q * count``; exact for bucket 0, bounded by the
+        bucket width (a factor of two) elsewhere.
+        """
+        if not self.count:
+            return 0
+        if q <= 0:
+            return self.min_ns
+        target = q * self.count
+        cumulative = 0
+        for index, value in enumerate(self.counts):
+            if not value:
+                continue
+            if cumulative + value >= target:
+                low = 0 if index == 0 else 1 << (index - 1)
+                high = BUCKET_UPPER_BOUNDS[index]
+                fraction = (target - cumulative) / value
+                estimate = int(low + (high - low) * fraction)
+                return max(self.min_ns, min(estimate, self.max_ns))
+            cumulative += value
+        return self.max_ns
+
+    def nonzero_buckets(self) -> list[tuple[int, int]]:
+        """``(upper_bound_ns, count)`` per occupied bucket, ascending."""
+        return [
+            (BUCKET_UPPER_BOUNDS[index], value)
+            for index, value in enumerate(self.counts)
+            if value
+        ]
+
+    # ------------------------------------------------------------------
+    # wire form
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Sparse, plain-JSON form (bucket index -> count)."""
+        return {
+            "buckets": {
+                str(index): value
+                for index, value in enumerate(self.counts)
+                if value
+            },
+            "count": self.count,
+            "sum_ns": self.sum_ns,
+            "min_ns": self.min_ns,
+            "max_ns": self.max_ns,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "LogHistogram":
+        histogram = cls()
+        buckets = data.get("buckets") or {}
+        total = 0
+        for key, value in buckets.items():
+            index = int(key)
+            if not 0 <= index < BUCKETS:
+                raise ValueError(f"bucket index {index} out of range")
+            value = int(value)
+            if value < 0:
+                raise ValueError(f"negative bucket count {value}")
+            histogram.counts[index] = value
+            total += value
+        histogram.count = int(data.get("count", total))
+        histogram.sum_ns = int(data.get("sum_ns", 0))
+        histogram.min_ns = int(data.get("min_ns", 0))
+        histogram.max_ns = int(data.get("max_ns", 0))
+        return histogram
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return "<LogHistogram empty>"
+        return (
+            f"<LogHistogram n={self.count} mean={self.mean_ns:,.0f}ns "
+            f"p50={self.percentile(0.5):,}ns p99={self.percentile(0.99):,}ns>"
+        )
+
+
+__all__ = ["LogHistogram", "BUCKETS", "BUCKET_UPPER_BOUNDS"]

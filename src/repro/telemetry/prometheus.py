@@ -1,0 +1,103 @@
+"""Prometheus text exposition for telemetry reports.
+
+One renderer serves every metrics surface: ``Dimmunix.metrics_text()``,
+``dimmunix-report metrics`` (local snapshot file, events JSONL, or a
+live ``tcp://`` fleet query), and the fleet server's aggregated reply.
+The input is the plain-JSON report shape::
+
+    {
+      "phases":   {phase: LogHistogram.to_json(), ...},
+      "counters": {name: int, ...},            # optional
+      "gauges":   {name: number, ...},         # optional
+    }
+
+Phase histograms become native Prometheus histograms
+(``dimmunix_phase_latency_ns_bucket{phase=...,le=...}`` with cumulative
+counts and an ``+Inf`` bucket); ``le`` labels are the exact integer
+upper bounds of the log2 buckets, so no precision is lost crossing the
+text format.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.histogram import LogHistogram
+
+_HIST_NAME = "dimmunix_phase_latency_ns"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def render_report(report: dict) -> str:
+    """Render a telemetry report dict as Prometheus text exposition."""
+    lines: list[str] = []
+
+    phases = report.get("phases") or {}
+    if phases:
+        lines.append(
+            f"# HELP {_HIST_NAME} Per-phase latency of the immunity "
+            "request path, nanoseconds."
+        )
+        lines.append(f"# TYPE {_HIST_NAME} histogram")
+        for phase in sorted(phases):
+            data = phases[phase]
+            histogram = (
+                data
+                if isinstance(data, LogHistogram)
+                else LogHistogram.from_json(data)
+            )
+            label = _escape_label(phase)
+            cumulative = 0
+            for upper, count in histogram.nonzero_buckets():
+                cumulative += count
+                lines.append(
+                    f'{_HIST_NAME}_bucket{{phase="{label}",le="{upper}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(
+                f'{_HIST_NAME}_bucket{{phase="{label}",le="+Inf"}} '
+                f"{histogram.count}"
+            )
+            lines.append(
+                f'{_HIST_NAME}_sum{{phase="{label}"}} {histogram.sum_ns}'
+            )
+            lines.append(
+                f'{_HIST_NAME}_count{{phase="{label}"}} {histogram.count}'
+            )
+
+    counters = report.get("counters") or {}
+    for name in sorted(counters):
+        value = counters[name]
+        if not isinstance(value, (int, float)):
+            continue
+        metric = f"dimmunix_{name}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    gauges = report.get("gauges") or {}
+    for name in sorted(gauges):
+        value = gauges[name]
+        if not isinstance(value, (int, float)):
+            continue
+        metric = f"dimmunix_{name}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+__all__ = ["render_report"]

@@ -1,0 +1,165 @@
+"""On-demand RAG introspection: who waits on what, and for how long.
+
+``rag_snapshot`` walks a core's resource-allocation graph (under no
+additional locking — callers should hold the adapter glock or accept a
+racy read, exactly like ``DimmunixStats``) and returns a plain-JSON
+structure: thread nodes with state and per-waiter request age in
+nanoseconds (from the ``request_since_ns`` mark the engine stamps at
+``Request``), lock nodes with owners and acquisition positions, and the
+request/hold/yield edge lists. ``render_dot`` turns a snapshot into
+Graphviz DOT for eyeballing a stuck system.
+
+The request-age field is the substrate the ROADMAP's llkd-style
+livelock watchdog will consume: a waiter whose age keeps growing while
+yield/resume churn continues is the no-forward-progress signature
+cycle detection cannot see.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+def _position_key(position) -> Optional[str]:
+    if position is None:
+        return None
+    key = getattr(position, "key", None)
+    if key is not None:
+        return str(key)
+    return str(position)
+
+
+def rag_snapshot(core, *, now_ns: Optional[int] = None) -> dict:
+    """Snapshot ``core``'s RAG as a plain-JSON dict."""
+    if now_ns is None:
+        now_ns = time.monotonic_ns()
+    rag = core.rag
+
+    threads = []
+    edges = []
+    for thread in rag.threads():
+        if thread.requesting is not None:
+            state = "requesting"
+        elif thread.yielding_on is not None:
+            state = "yielding"
+        else:
+            state = "runnable"
+        since = getattr(thread, "request_since_ns", None)
+        entry = {
+            "id": thread.node_id,
+            "name": thread.name,
+            "state": state,
+            "held": sorted(lock.name for lock in thread.held),
+            "requesting": (
+                thread.requesting.name
+                if thread.requesting is not None
+                else None
+            ),
+            "request_position": _position_key(thread.request_pos),
+            "request_age_ns": (
+                max(0, now_ns - since) if since is not None else None
+            ),
+            "yielding_on": (
+                getattr(thread.yielding_on, "key", None)
+                and str(thread.yielding_on.key)
+                if thread.yielding_on is not None
+                else None
+            ),
+        }
+        threads.append(entry)
+        if thread.requesting is not None:
+            edges.append(
+                {
+                    "kind": "request",
+                    "from": thread.name,
+                    "to": thread.requesting.name,
+                    "age_ns": entry["request_age_ns"],
+                }
+            )
+        for witness_thread, witness_lock in thread.yield_witnesses:
+            edges.append(
+                {
+                    "kind": "yield",
+                    "from": thread.name,
+                    "to": getattr(witness_thread, "name", str(witness_thread)),
+                    "via": getattr(witness_lock, "name", str(witness_lock)),
+                }
+            )
+
+    locks = []
+    for lock in rag.locks():
+        locks.append(
+            {
+                "id": lock.node_id,
+                "name": lock.name,
+                "owner": lock.owner.name if lock.owner is not None else None,
+                "acq_position": _position_key(lock.acq_pos),
+            }
+        )
+        if lock.owner is not None:
+            edges.append(
+                {"kind": "hold", "from": lock.name, "to": lock.owner.name}
+            )
+
+    threads.sort(key=lambda entry: entry["id"])
+    locks.sort(key=lambda entry: entry["id"])
+    return {
+        "source": getattr(core, "source", "core"),
+        "threads": threads,
+        "locks": locks,
+        "edges": edges,
+        "counts": {
+            "threads": len(threads),
+            "locks": len(locks),
+            "blocked": sum(
+                1 for entry in threads if entry["state"] != "runnable"
+            ),
+            "edges": len(edges),
+        },
+    }
+
+
+def _quote(name: str) -> str:
+    return '"' + str(name).replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def render_dot(snapshot: dict) -> str:
+    """Render a :func:`rag_snapshot` dict as Graphviz DOT."""
+    lines = [
+        "digraph rag {",
+        "  rankdir=LR;",
+        '  node [fontname="monospace"];',
+    ]
+    for thread in snapshot.get("threads", []):
+        label = thread["name"]
+        if thread.get("request_age_ns"):
+            label += f"\\nwaiting {thread['request_age_ns'] / 1e6:.1f}ms"
+        shape = "box" if thread.get("state") == "runnable" else "box3d"
+        lines.append(
+            f"  {_quote('t:' + thread['name'])} "
+            f'[label={_quote(label)} shape={shape}];'
+        )
+    for lock in snapshot.get("locks", []):
+        lines.append(
+            f"  {_quote('l:' + lock['name'])} "
+            f"[label={_quote(lock['name'])} shape=ellipse];"
+        )
+    for edge in snapshot.get("edges", []):
+        if edge["kind"] == "request":
+            src, dst = "t:" + edge["from"], "l:" + edge["to"]
+            style = "solid"
+        elif edge["kind"] == "hold":
+            src, dst = "l:" + edge["from"], "t:" + edge["to"]
+            style = "bold"
+        else:  # yield witness edge: thread -> thread
+            src, dst = "t:" + edge["from"], "t:" + edge["to"]
+            style = "dashed"
+        lines.append(
+            f"  {_quote(src)} -> {_quote(dst)} [style={style}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["rag_snapshot", "render_dot"]

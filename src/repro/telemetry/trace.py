@@ -1,0 +1,256 @@
+"""Compile a recorded event stream into Chrome trace-event JSON.
+
+``dimmunix-events trace`` feeds the JSONL a :class:`JsonlWriter`
+recorded through this compiler and gets back a file loadable in
+Perfetto / ``chrome://tracing``. The acquire lifecycle becomes three
+span kinds on a per-thread track:
+
+* ``request <lock>`` — RequestEvent -> AcquiredEvent (avoidance +
+  physical-acquire latency), tagged with the requesting position key;
+* ``parked <lock>``  — YieldEvent -> ResumeEvent (time spent yielded to
+  a history signature), tagged with the signature's key;
+* ``hold <lock>``    — AcquiredEvent -> ReleaseEvent (critical-section
+  length), carrying the position from the matching request.
+
+Each ``source`` (session/adapter/domain) becomes a trace *process* and
+each thread/task within it a trace *thread*, so cross-domain stalls —
+an OS thread holding what an asyncio task wants — line up on one
+timeline. Detections and starvations appear as instant events on the
+victim's track.
+
+Durations come from the monotonic ``ts_ns`` stamps when present (any
+stream recorded after the stamps landed), falling back to wall-clock
+``ts`` for older recordings. Spans left unclosed at end-of-stream are
+dropped and counted in the output's ``dimmunix`` block.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+_INSTANT_KINDS = {
+    "detection": "deadlock detected",
+    "starvation": "starvation",
+    "match-capped": "match capped",
+}
+
+
+def _position_label(position) -> str:
+    if not position:
+        return ""
+    try:
+        return ";".join(
+            ":".join(str(part) for part in entry)
+            if isinstance(entry, (list, tuple))
+            else str(entry)
+            for entry in position
+        )
+    except TypeError:
+        return str(position)
+
+
+def _signature_label(signature) -> str:
+    if isinstance(signature, dict):
+        key = signature.get("key") or signature.get("positions")
+        if key is not None:
+            return _position_label(key) if isinstance(key, list) else str(key)
+    return "" if signature is None else str(signature)
+
+
+class _Ids:
+    """Stable small-integer ids for sources (pids) and threads (tids)."""
+
+    def __init__(self) -> None:
+        self.pids: dict[str, int] = {}
+        self.tids: dict[tuple[str, str], int] = {}
+
+    def pid(self, source: str) -> int:
+        pid = self.pids.get(source)
+        if pid is None:
+            pid = self.pids[source] = len(self.pids) + 1
+        return pid
+
+    def tid(self, source: str, thread: str) -> int:
+        key = (source, thread)
+        tid = self.tids.get(key)
+        if tid is None:
+            tid = self.tids[key] = (
+                sum(1 for s, _ in self.tids if s == source) + 1
+            )
+        return tid
+
+
+def compile_trace(events: Iterable[dict]) -> dict:
+    """Compile event dicts (``event_to_dict`` form) into a trace dict.
+
+    Returns the Chrome trace-event JSON object format:
+    ``{"traceEvents": [...], "displayTimeUnit": "ns", "dimmunix": {...}}``.
+    """
+    ids = _Ids()
+    spans: list[dict] = []
+    instants: list[dict] = []
+    # Open-span state, keyed per (source, thread).
+    pending_request: dict[tuple[str, str], dict] = {}
+    pending_park: dict[tuple[str, str], dict] = {}
+    # Holds nest (RLock re-entry), so a stack per (source, thread, lock).
+    pending_hold: dict[tuple[str, str, str], list[dict]] = {}
+    consumed = 0
+    dropped_unclosed = 0
+
+    def ts_us(event: dict) -> float:
+        ts_ns = event.get("ts_ns") or 0
+        if ts_ns:
+            return ts_ns / 1000.0
+        return float(event.get("ts") or 0.0) * 1e6
+
+    def emit_span(start: dict, end: dict, name: str, args: dict) -> None:
+        begin = ts_us(start)
+        spans.append(
+            {
+                "ph": "X",
+                "name": name,
+                "cat": "dimmunix",
+                "pid": ids.pid(start.get("source", "core")),
+                "tid": ids.tid(
+                    start.get("source", "core"), start.get("thread", "")
+                ),
+                "ts": begin,
+                "dur": max(0.0, ts_us(end) - begin),
+                "args": {k: v for k, v in args.items() if v},
+            }
+        )
+
+    for event in events:
+        kind = event.get("kind")
+        source = event.get("source", "core")
+        thread = event.get("thread", "")
+        key = (source, thread)
+        consumed += 1
+
+        if kind == "request":
+            if key in pending_request:
+                dropped_unclosed += 1
+            pending_request[key] = event
+        elif kind == "acquired":
+            lock = event.get("lock", "")
+            request = pending_request.pop(key, None)
+            position = ""
+            if request is not None:
+                position = _position_label(request.get("position"))
+                emit_span(
+                    request,
+                    event,
+                    f"request {lock}",
+                    {"lock": lock, "position": position},
+                )
+            # The hold span opens now and carries the request's position.
+            pending_hold.setdefault((source, thread, lock), []).append(
+                {"event": event, "position": position}
+            )
+        elif kind == "release":
+            lock = event.get("lock", "")
+            stack = pending_hold.get((source, thread, lock))
+            if stack:
+                opened = stack.pop()
+                emit_span(
+                    opened["event"],
+                    event,
+                    f"hold {lock}",
+                    {"lock": lock, "position": opened["position"]},
+                )
+        elif kind == "yield":
+            if key in pending_park:
+                dropped_unclosed += 1
+            pending_park[key] = event
+        elif kind == "resume":
+            parked = pending_park.pop(key, None)
+            if parked is not None:
+                lock = parked.get("lock", "")
+                emit_span(
+                    parked,
+                    event,
+                    f"parked {lock}",
+                    {
+                        "lock": lock,
+                        "signature": _signature_label(
+                            parked.get("signature")
+                        ),
+                    },
+                )
+        elif kind in _INSTANT_KINDS:
+            instants.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": _INSTANT_KINDS[kind],
+                    "cat": "dimmunix",
+                    "pid": ids.pid(source),
+                    "tid": ids.tid(source, thread),
+                    "ts": ts_us(event),
+                    "args": {"lock": event.get("lock", "")},
+                }
+            )
+
+    dropped_unclosed += (
+        len(pending_request)
+        + len(pending_park)
+        + sum(len(stack) for stack in pending_hold.values())
+    )
+
+    trace_events = spans + instants
+    # Normalize to a zero origin so monotonic-clock traces don't start
+    # hours into the timeline.
+    if trace_events:
+        origin = min(entry["ts"] for entry in trace_events)
+        for entry in trace_events:
+            entry["ts"] = round(entry["ts"] - origin, 3)
+            if "dur" in entry:
+                entry["dur"] = round(entry["dur"], 3)
+
+    metadata: list[dict] = []
+    for source, pid in sorted(ids.pids.items(), key=lambda item: item[1]):
+        metadata.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": source},
+            }
+        )
+    for (source, thread), tid in sorted(
+        ids.tids.items(), key=lambda item: (ids.pids[item[0][0]], item[1])
+    ):
+        metadata.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": ids.pids[source],
+                "tid": tid,
+                "args": {"name": thread},
+            }
+        )
+
+    trace_events.sort(
+        key=lambda entry: (
+            entry["ts"],
+            entry["pid"],
+            entry["tid"],
+            entry.get("dur", 0.0),
+            entry["name"],
+        )
+    )
+
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ns",
+        "dimmunix": {
+            "events": consumed,
+            "spans": len(spans),
+            "instants": len(instants),
+            "dropped_unclosed": dropped_unclosed,
+        },
+    }
+
+
+__all__ = ["compile_trace"]

@@ -16,6 +16,9 @@ one operates on the typed event stream (JSONL files produced by
                      reversals (:mod:`repro.predict.tracemine`);
                      ``--seed`` writes them into a history as
                      predicted antibodies
+    trace <file>     compile the acquire lifecycle into Chrome
+                     trace-event JSON (Perfetto / chrome://tracing
+                     loadable); ``-o`` writes to a file
 
 ``replay`` is the integrity check for the whole pipeline: every line is
 rebuilt into its frozen event class (signatures included) and pushed
@@ -216,6 +219,12 @@ def cmd_tail(args: argparse.Namespace) -> int:
         return 0
 
 
+def _nearest_rank(sorted_ns: list[int], q: float) -> int:
+    """Nearest-rank percentile of an ascending sample list."""
+    index = min(len(sorted_ns) - 1, max(0, int(q * len(sorted_ns))))
+    return sorted_ns[index]
+
+
 def cmd_summary(args: argparse.Namespace) -> int:
     from repro.core.signature import DeadlockSignature, provenance_rank
 
@@ -227,6 +236,13 @@ def cmd_summary(args: argparse.Namespace) -> int:
     # highest provenance it reached (a prediction that later shows up
     # promoted counts as promoted).
     provenance_by_signature: dict[tuple, str] = {}
+    # Inter-event latencies from the monotonic ts_ns stamps, matched
+    # per (source, thread). Events without a stamp (a recording that
+    # predates ts_ns, or a simulated clock) simply contribute nothing.
+    pending_request: dict[tuple[str, str], int] = {}
+    pending_park: dict[tuple[str, str], int] = {}
+    acquire_ns: list[int] = []
+    park_ns: list[int] = []
     total = 0
     for _lineno, data in _iter_lines(path):
         total += 1
@@ -235,6 +251,22 @@ def cmd_summary(args: argparse.Namespace) -> int:
         by_source[source] = by_source.get(source, 0) + 1
         if isinstance(data.get("seq"), int):
             seqs.append((data["seq"], source))
+        ts_ns = data.get("ts_ns")
+        if isinstance(ts_ns, int) and ts_ns > 0:
+            thread_key = (source, str(data.get("thread", "")))
+            kind = data.get("kind")
+            if kind == "request":
+                pending_request[thread_key] = ts_ns
+            elif kind == "acquired":
+                started = pending_request.pop(thread_key, None)
+                if started is not None and ts_ns >= started:
+                    acquire_ns.append(ts_ns - started)
+            elif kind == "yield":
+                pending_park[thread_key] = ts_ns
+            elif kind == "resume":
+                started = pending_park.pop(thread_key, None)
+                if started is not None and ts_ns >= started:
+                    park_ns.append(ts_ns - started)
         signature_data = data.get("signature")
         if isinstance(signature_data, dict):
             try:
@@ -263,6 +295,18 @@ def cmd_summary(args: argparse.Namespace) -> int:
             f"({tallies['earned']} earned, {tallies['promoted']} promoted, "
             f"{tallies['predicted']} predicted)"
         )
+    for label, samples in (
+        ("request->acquired", acquire_ns),
+        ("yield->resume", park_ns),
+    ):
+        if samples:
+            samples.sort()
+            print(
+                f"  latency {label}: n={len(samples)}"
+                f" p50={_nearest_rank(samples, 0.50)}ns"
+                f" p90={_nearest_rank(samples, 0.90)}ns"
+                f" p99={_nearest_rank(samples, 0.99)}ns"
+            )
     if seqs:
         # One file may hold several recording runs appended back to
         # back (JsonlWriter appends; each run's bus numbers its own
@@ -366,6 +410,28 @@ def cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry.trace import compile_trace
+
+    path = Path(args.file)
+    if not path.exists():
+        print(f"error: {path} does not exist", file=sys.stderr)
+        return 2
+    trace = compile_trace(data for _lineno, data in _iter_lines(path))
+    text = json.dumps(trace, sort_keys=True, indent=2)
+    stats = trace["dimmunix"]
+    if args.output:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+        print(
+            f"{args.output}: {stats['spans']} span(s), "
+            f"{stats['instants']} instant(s) from {stats['events']} "
+            f"event(s) ({stats['dropped_unclosed']} unclosed dropped)"
+        )
+    else:
+        print(text)
+    return 0
+
+
 # ----------------------------------------------------------------------
 # argument parsing
 # ----------------------------------------------------------------------
@@ -447,6 +513,19 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     mine.set_defaults(func=cmd_mine)
+
+    trace = commands.add_parser(
+        "trace",
+        help="compile the acquire lifecycle into Chrome trace-event JSON",
+    )
+    trace.add_argument("file")
+    trace.add_argument(
+        "--output",
+        "-o",
+        metavar="OUT",
+        help="write the trace JSON here instead of stdout",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     return parser
 

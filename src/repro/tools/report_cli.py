@@ -4,6 +4,17 @@ The benchmark harness appends one JSON object per paper-vs-measured
 comparison to ``benchmarks/results/records.jsonl``; this tool turns that
 file into the summary block (the same rendering the terminal shows) or a
 markdown table ready to paste into EXPERIMENTS.md.
+
+The ``metrics`` verb (``dimmunix-report metrics SRC``) instead renders
+telemetry as Prometheus text exposition. ``SRC`` is one of:
+
+* a ``tcp://host:port`` fleet DSN — queries the fleet server's
+  ``metrics`` op live and renders the fleet-wide aggregate;
+* a telemetry-report JSON file (``Dimmunix.telemetry_report()`` dumped
+  to disk) — rendered directly;
+* an events JSONL recording — per-phase histograms are derived from the
+  monotonic ``ts_ns`` stamps (request→acquired as ``acquire``,
+  yield→resume as ``yield_park``) plus per-kind event counters.
 """
 
 from __future__ import annotations
@@ -84,10 +95,148 @@ def _render_history(spec: str) -> str:
     return "\n".join(lines)
 
 
+# ----------------------------------------------------------------------
+# the metrics verb
+# ----------------------------------------------------------------------
+
+def _fleet_metrics(dsn: str) -> dict:
+    """Query a fleet server's ``metrics`` op; shape for render_report."""
+    import socket
+
+    from repro.core.store.url import DEFAULT_FLEET_PORT
+    from repro.fleet.protocol import read_frame, write_frame
+
+    rest = dsn[len("tcp://") :]
+    host, _, port_text = rest.partition(":")
+    port = int(port_text) if port_text else DEFAULT_FLEET_PORT
+    with socket.create_connection((host, port), timeout=5.0) as sock:
+        write_frame(sock, {"op": "metrics"})
+        reply = read_frame(sock)
+    if not reply.get("ok"):
+        raise SystemExit(
+            f"error: {dsn}: {reply.get('error', 'metrics refused')}"
+        )
+    phases = {
+        phase: aggregate["histogram"]
+        for phase, aggregate in (reply.get("phases") or {}).items()
+        if isinstance(aggregate, dict) and "histogram" in aggregate
+    }
+    gauges: dict = {"fleet_clients": reply.get("clients", 0)}
+    if isinstance(reply.get("spill_depth"), (int, float)):
+        gauges["fleet_spill_depth"] = reply["spill_depth"]
+    if isinstance(reply.get("sync_lag_max_s"), (int, float)):
+        gauges["fleet_sync_lag_max_seconds"] = reply["sync_lag_max_s"]
+    return {"phases": phases, "gauges": gauges}
+
+
+def _report_from_events(path: Path) -> dict:
+    """Derive a telemetry report from an events JSONL's ts_ns stamps."""
+    from repro.telemetry.histogram import LogHistogram
+
+    acquire = LogHistogram()
+    park = LogHistogram()
+    pending_request: dict[tuple, int] = {}
+    pending_park: dict[tuple, int] = {}
+    counts: dict[str, int] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(data, dict):
+                continue
+            kind = data.get("kind", "?")
+            counts[kind] = counts.get(kind, 0) + 1
+            ts_ns = data.get("ts_ns")
+            if not isinstance(ts_ns, int) or ts_ns <= 0:
+                continue
+            key = (data.get("source", "?"), str(data.get("thread", "")))
+            if kind == "request":
+                pending_request[key] = ts_ns
+            elif kind == "acquired":
+                started = pending_request.pop(key, None)
+                if started is not None and ts_ns >= started:
+                    acquire.record(ts_ns - started)
+            elif kind == "yield":
+                pending_park[key] = ts_ns
+            elif kind == "resume":
+                started = pending_park.pop(key, None)
+                if started is not None and ts_ns >= started:
+                    park.record(ts_ns - started)
+    phases: dict = {}
+    if acquire.count:
+        phases["acquire"] = acquire.to_json()
+    if park.count:
+        phases["yield_park"] = park.to_json()
+    counters = {
+        f"events_{kind.replace('-', '_')}": count
+        for kind, count in counts.items()
+    }
+    return {"phases": phases, "counters": counters}
+
+
+def _load_report(path: Path) -> dict:
+    """A telemetry-report JSON file, or an events JSONL to derive from."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        data = None
+    if isinstance(data, dict) and "phases" in data:
+        return data
+    return _report_from_events(path)
+
+
+def cmd_metrics(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dimmunix-report metrics",
+        description=(
+            "Render telemetry as Prometheus text exposition. SRC is a "
+            "tcp:// fleet DSN (live fleet-wide query), a telemetry-report "
+            "JSON file, or an events JSONL recording."
+        ),
+    )
+    parser.add_argument(
+        "src", help="tcp:// DSN, telemetry report JSON, or events JSONL"
+    )
+    args = parser.parse_args(argv)
+    from repro.telemetry.prometheus import render_report
+
+    if args.src.startswith("tcp://"):
+        try:
+            report = _fleet_metrics(args.src)
+        except OSError as error:
+            print(f"error: {args.src}: {error}", file=sys.stderr)
+            return 2
+    else:
+        path = Path(args.src)
+        if not path.exists():
+            print(f"error: {path} does not exist", file=sys.stderr)
+            return 2
+        report = _load_report(path)
+    text = render_report(report)
+    if not text:
+        print(f"no telemetry in {args.src}", file=sys.stderr)
+        return 1
+    print(text, end="")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    arglist = list(argv) if argv is not None else sys.argv[1:]
+    if arglist and arglist[0] == "metrics":
+        return cmd_metrics(arglist[1:])
     parser = argparse.ArgumentParser(
         prog="dimmunix-report",
         description="Render benchmark paper-vs-measured records.",
+        epilog=(
+            "The 'metrics' verb renders telemetry instead: "
+            "dimmunix-report metrics SRC (see `dimmunix-report metrics "
+            "--help`)."
+        ),
     )
     parser.add_argument(
         "records",
@@ -117,7 +266,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "(earned / promoted / predicted); path or DSN"
         ),
     )
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arglist)
 
     path = Path(args.records)
     if not path.exists():

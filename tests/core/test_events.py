@@ -159,6 +159,36 @@ class TestWireForm:
         assert rebuilt.thread == "t"
         assert rebuilt.position == (("F.py", 3),)
 
+    def test_roundtrip_keeps_ts_ns(self):
+        event = RequestEvent(
+            source="rt", ts=1.5, ts_ns=123_456_789, thread="t", lock="l"
+        )
+        data = event_to_dict(event)
+        assert data["ts_ns"] == 123_456_789
+        rebuilt = event_from_dict(json.loads(json.dumps(data)))
+        assert rebuilt.ts_ns == 123_456_789
+
+    def test_missing_ts_ns_defaults_to_zero(self):
+        # Recordings that predate the monotonic stamp must still load.
+        rebuilt = event_from_dict(
+            {"kind": "request", "source": "old", "thread": "t", "lock": "l"}
+        )
+        assert rebuilt.ts_ns == 0
+
+    def test_engine_stamps_monotonic_ts_ns(self):
+        core = DimmunixCore(DimmunixConfig(auto_save=False))
+        log = EventLog()
+        core.events.subscribe(log)
+        thread = core.register_thread("t")
+        lock = core.register_lock("l")
+        core.request(thread, lock, CallStack.single("f.py", 1))
+        core.acquired(thread, lock)
+        core.release(thread, lock)
+        stamps = [event.ts_ns for event in log.events]
+        assert len(stamps) == 3
+        assert all(ts_ns > 0 for ts_ns in stamps)
+        assert stamps == sorted(stamps)
+
     def test_roundtrip_signature_event(self):
         signature = sample_signature()
         event = DetectionEvent(

@@ -1,0 +1,181 @@
+"""The fleet ``metrics`` op: push, aggregate, bare-socket query."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.core.store import open_store
+from repro.fleet.protocol import read_frame, write_frame
+from repro.fleet.remote import RemoteStore
+from repro.fleet.server import FleetServer
+from repro.telemetry.histogram import LogHistogram
+
+
+@pytest.fixture
+def server():
+    backing = open_store("mem://", max_signatures=4096)
+    fleet = FleetServer(backing, port=0)
+    host, port = fleet.start_background()
+    yield fleet, host, port
+    fleet.stop()
+    backing.close()
+
+
+def _report(client, values, spill=0, lag=None):
+    histogram = LogHistogram()
+    for value in values:
+        histogram.record(value)
+    report = {
+        "client": client,
+        "phases": {"acquire": histogram.to_json()},
+        "spill_depth": spill,
+    }
+    if lag is not None:
+        report["sync_lag_s"] = lag
+    return report
+
+
+def _client(host, port, tmp_path, name):
+    return RemoteStore(
+        host,
+        port,
+        timeout=2.0,
+        retry_attempts=2,
+        retry_backoff=0.01,
+        spill_path=tmp_path / f"{name}.spill.history",
+    )
+
+
+def test_metrics_round_trip_aggregates_clients(server, tmp_path):
+    _fleet, host, port = server
+    one = _client(host, port, tmp_path, "one")
+    two = _client(host, port, tmp_path, "two")
+    try:
+        reply = one.push_metrics(_report("one", [100] * 10, spill=2))
+        assert reply["ok"] and reply["clients"] == 1
+        reply = two.push_metrics(
+            _report("two", [1_000_000] * 10, spill=3, lag=1.5)
+        )
+        assert reply["clients"] == 2
+
+        aggregated = one.metrics()
+        assert aggregated["clients"] == 2
+        acquire = aggregated["phases"]["acquire"]
+        assert acquire["count"] == 20
+        # True fleet-wide percentiles from the merged histogram: the
+        # p50 sits in the fast client's bucket, the p99 in the slow
+        # client's — an average of per-client p99s could never show
+        # this spread.
+        assert acquire["p50_ns"] < 10_000
+        assert acquire["p99_ns"] > 100_000
+        merged = LogHistogram.from_json(acquire["histogram"])
+        assert merged.count == 20
+        assert aggregated["spill_depth"] == 5
+        assert aggregated["sync_lag_max_s"] == 1.5
+    finally:
+        one.close()
+        two.close()
+
+
+def test_repushing_overwrites_same_client(server, tmp_path):
+    _fleet, host, port = server
+    client = _client(host, port, tmp_path, "re")
+    try:
+        client.push_metrics(_report("re", [100] * 50))
+        reply = client.push_metrics(_report("re", [200] * 5))
+        assert reply["clients"] == 1
+        assert reply["phases"]["acquire"]["count"] == 5
+    finally:
+        client.close()
+
+
+def test_bare_socket_query_needs_no_hello(server):
+    """``dimmunix-report metrics tcp://`` does exactly this."""
+    _fleet, host, port = server
+    with socket.create_connection((host, port), timeout=2.0) as sock:
+        write_frame(sock, {"op": "metrics"})
+        reply = read_frame(sock)
+    assert reply["ok"]
+    assert reply["clients"] == 0
+    assert reply["phases"] == {}
+
+
+def test_malformed_report_is_refused(server):
+    _fleet, host, port = server
+    with socket.create_connection((host, port), timeout=2.0) as sock:
+        write_frame(sock, {"op": "metrics", "report": {"phases": {}}})
+        reply = read_frame(sock)
+    assert not reply["ok"]
+    assert "client" in reply["error"]
+
+
+def test_malformed_histogram_never_poisons_aggregate(server, tmp_path):
+    _fleet, host, port = server
+    client = _client(host, port, tmp_path, "mix")
+    try:
+        client.push_metrics(
+            {
+                "client": "broken",
+                "phases": {"acquire": {"buckets": {"999": 1}}},
+            }
+        )
+        client.push_metrics(_report("fine", [500] * 4))
+        aggregated = client.metrics()
+        assert aggregated["clients"] == 2
+        assert aggregated["phases"]["acquire"]["count"] == 4
+    finally:
+        client.close()
+
+
+def test_pump_pushes_metrics_each_cycle(server, tmp_path):
+    """The production path: a telemetry-on engine's pump reports in."""
+    from repro.core.events import EventBus
+    from repro.core.history import History
+    from repro.fleet.pump import SyncPump
+    from repro.telemetry.collector import TelemetryCollector
+
+    _fleet, host, port = server
+    store = _client(host, port, tmp_path, "pump")
+    history = History(store=store)
+    collector = TelemetryCollector()
+    collector.record("capture", 2_000)
+    pump = SyncPump(
+        history, EventBus(), source="pump-node", telemetry=collector
+    )
+    try:
+        pump.sync_now()
+        assert pump.metrics_pushed == 1
+        assert pump.last_sync_ns is not None
+        report = pump.metrics_report()
+        assert report["client"] == "pump-node"
+        assert report["phases"]["capture"]["count"] == 1
+        assert "sync" in report["phases"]  # the cycle timed itself
+        assert report["spill_depth"] == 0
+        assert report["sync_lag_s"] >= 0.0
+
+        aggregated = store.metrics()
+        assert aggregated["clients"] == 1
+        assert aggregated["phases"]["capture"]["count"] == 1
+    finally:
+        pump.close()
+        history.close()
+
+
+def test_report_cli_metrics_over_tcp(server, tmp_path, capsys):
+    from repro.tools.report_cli import main
+
+    _fleet, host, port = server
+    client = _client(host, port, tmp_path, "cli")
+    try:
+        client.push_metrics(_report("cli", [1000] * 8, spill=1, lag=0.25))
+    finally:
+        client.close()
+    rc = main(["metrics", f"tcp://{host}:{port}"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert 'dimmunix_phase_latency_ns_bucket{phase="acquire"' in out
+    assert "dimmunix_fleet_clients 1" in out
+    assert "dimmunix_fleet_spill_depth 1" in out
+    assert "dimmunix_fleet_sync_lag_max_seconds 0.25" in out

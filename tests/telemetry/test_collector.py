@@ -1,0 +1,91 @@
+"""TelemetryCollector per-thread sharding and engine integration."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.config import DimmunixConfig
+from repro.telemetry import PHASES, TelemetryCollector
+
+
+def test_multithreaded_record_and_merge():
+    collector = TelemetryCollector()
+    per_thread = 500
+    workers = 8
+
+    def work():
+        for value in range(per_thread):
+            collector.record("capture", value)
+            collector.record("glock_wait", value * 2)
+
+    threads = [threading.Thread(target=work) for _ in range(workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert collector.thread_count() == workers
+    snapshot = collector.snapshot()
+    assert snapshot["capture"].count == workers * per_thread
+    assert snapshot["glock_wait"].count == workers * per_thread
+    expected_sum = workers * sum(range(per_thread))
+    assert snapshot["capture"].sum_ns == expected_sum
+    assert snapshot["glock_wait"].sum_ns == expected_sum * 2
+
+
+def test_snapshot_returns_fresh_histograms():
+    collector = TelemetryCollector()
+    collector.record("match", 100)
+    first = collector.snapshot()["match"]
+    first.record(999)  # mutating a snapshot must not leak back
+    assert collector.snapshot()["match"].count == 1
+
+
+def test_snapshot_json_is_sorted_and_plain():
+    collector = TelemetryCollector()
+    collector.record("sync", 10)
+    collector.record("capture", 20)
+    wire = collector.snapshot_json()
+    assert list(wire) == sorted(wire)
+    assert wire["capture"]["count"] == 1
+    for phase in wire:
+        assert phase in PHASES
+
+
+def test_engine_creates_collector_only_when_configured():
+    from repro.core.engine import DimmunixCore
+
+    on = DimmunixCore(DimmunixConfig(telemetry=True, auto_save=False))
+    off = DimmunixCore(DimmunixConfig(auto_save=False))
+    assert isinstance(on.telemetry, TelemetryCollector)
+    assert off.telemetry is None
+
+
+def test_runtime_records_phases_end_to_end():
+    from repro.runtime.runtime import DimmunixRuntime
+
+    runtime = DimmunixRuntime(
+        DimmunixConfig(telemetry=True, auto_save=False), name="tel-test"
+    )
+    lock = runtime.lock("hot")
+    for _ in range(20):
+        with lock:
+            pass
+    snapshot = runtime.core.telemetry.snapshot()
+    for phase in ("capture", "glock_wait", "acquire"):
+        assert snapshot[phase].count == 20, phase
+    # acquire spans request -> acquired, so it can never be faster than
+    # the glock wait it contains (both measured on the same clock).
+    assert snapshot["acquire"].sum_ns >= 0
+
+
+def test_disabled_runtime_records_nothing():
+    from repro.runtime.runtime import DimmunixRuntime
+
+    runtime = DimmunixRuntime(
+        DimmunixConfig(auto_save=False), name="tel-off"
+    )
+    assert runtime.core.telemetry is None
+    lock = runtime.lock("cold")
+    with lock:
+        pass  # the guard path: one attribute check, no collector

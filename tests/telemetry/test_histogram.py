@@ -1,0 +1,112 @@
+"""LogHistogram bucketing edge cases and wire-form round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.histogram import (
+    BUCKET_UPPER_BOUNDS,
+    BUCKETS,
+    LogHistogram,
+)
+
+
+def test_bucket_bounds_shape():
+    assert len(BUCKET_UPPER_BOUNDS) == BUCKETS == 64
+    assert BUCKET_UPPER_BOUNDS[0] == 0
+    assert BUCKET_UPPER_BOUNDS[1] == 1
+    assert BUCKET_UPPER_BOUNDS[63] == (1 << 63) - 1
+
+
+def test_zero_ns_lands_in_bucket_zero():
+    histogram = LogHistogram()
+    histogram.record(0)
+    assert histogram.counts[0] == 1
+    assert histogram.count == 1
+    assert histogram.sum_ns == 0
+    assert histogram.min_ns == 0
+    assert histogram.max_ns == 0
+
+
+def test_negative_ns_clamps_to_zero():
+    """A monotonic delta can't be negative, but a caller's arithmetic
+    bug must not corrupt the histogram."""
+    histogram = LogHistogram()
+    histogram.record(-5)
+    assert histogram.counts[0] == 1
+    assert histogram.sum_ns == 0
+    assert histogram.min_ns == 0
+
+
+def test_bucket_boundaries_are_exact():
+    histogram = LogHistogram()
+    # 2^b - 1 is the last value of bucket b; 2^b the first of bucket b+1.
+    for b in (1, 4, 10, 40):
+        histogram.record((1 << b) - 1)
+        histogram.record(1 << b)
+    for b in (1, 4, 10, 40):
+        assert histogram.counts[b] >= 1
+        assert histogram.counts[b + 1] >= 1
+
+
+def test_huge_values_clamp_to_last_bucket():
+    histogram = LogHistogram()
+    histogram.record(1 << 70)  # beyond any plausible ns delta
+    histogram.record((1 << 63) - 1)
+    assert histogram.counts[63] == 2
+    assert histogram.max_ns == 1 << 70
+
+
+def test_merge_accumulates_everything():
+    left, right = LogHistogram(), LogHistogram()
+    for value in (0, 3, 100, 1 << 20):
+        left.record(value)
+    for value in (7, 100, 1 << 45):
+        right.record(value)
+    merged = LogHistogram().merge(left).merge(right)
+    assert merged.count == 7
+    assert merged.sum_ns == left.sum_ns + right.sum_ns
+    assert merged.min_ns == 0
+    assert merged.max_ns == 1 << 45
+    # Merging an empty histogram changes nothing.
+    before = merged.to_json()
+    assert merged.merge(LogHistogram()).to_json() == before
+
+
+def test_percentile_interpolates_and_clamps():
+    histogram = LogHistogram()
+    for _ in range(100):
+        histogram.record(1000)
+    p50 = histogram.percentile(0.50)
+    # Everything sits in one bucket; interpolation stays inside the
+    # observed [min, max] envelope.
+    assert histogram.min_ns <= p50 <= histogram.max_ns
+    assert histogram.percentile(0.0) == histogram.min_ns
+    assert histogram.percentile(1.0) == histogram.max_ns
+    assert LogHistogram().percentile(0.5) == 0
+
+
+def test_json_round_trip():
+    histogram = LogHistogram()
+    for value in (0, 1, 2, 1023, 1 << 30, 1 << 70):
+        histogram.record(value)
+    restored = LogHistogram.from_json(histogram.to_json())
+    assert restored.to_json() == histogram.to_json()
+    assert restored.count == histogram.count
+    assert restored.sum_ns == histogram.sum_ns
+    assert list(restored.counts) == list(histogram.counts)
+
+
+def test_from_json_rejects_malformed():
+    with pytest.raises(ValueError):
+        LogHistogram.from_json({"buckets": {"64": 1}, "count": 1, "sum_ns": 0})
+    with pytest.raises(ValueError):
+        LogHistogram.from_json({"buckets": {"0": -2}, "count": 1, "sum_ns": 0})
+
+
+def test_nonzero_buckets_upper_bounds_match_prometheus_le():
+    histogram = LogHistogram()
+    histogram.record(5)  # bucket 3: [4, 7]
+    ((upper, count),) = histogram.nonzero_buckets()
+    assert upper == 7
+    assert count == 1

@@ -1,0 +1,74 @@
+"""Prometheus text exposition: shape, cumulativity, escaping."""
+
+from __future__ import annotations
+
+from repro.telemetry.histogram import LogHistogram
+from repro.telemetry.prometheus import render_report
+
+
+def _report_with_samples(values, phase="acquire"):
+    histogram = LogHistogram()
+    for value in values:
+        histogram.record(value)
+    return {"phases": {phase: histogram}}
+
+
+def test_histogram_lines_are_cumulative_and_end_at_inf():
+    text = render_report(_report_with_samples([1, 5, 5, 1000, 1 << 40]))
+    lines = [line for line in text.splitlines() if "_bucket" in line]
+    counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+    assert counts == sorted(counts), "bucket counts must be cumulative"
+    assert lines[-1].endswith(" 5")
+    assert 'le="+Inf"' in lines[-1]
+    assert "# TYPE dimmunix_phase_latency_ns histogram" in text
+    assert "# HELP dimmunix_phase_latency_ns" in text
+    assert "dimmunix_phase_latency_ns_count" in text
+    assert "dimmunix_phase_latency_ns_sum" in text
+    assert text.endswith("\n")
+
+
+def test_inf_bucket_equals_count_line():
+    text = render_report(_report_with_samples([3] * 7))
+    inf = next(
+        line for line in text.splitlines() if 'le="+Inf"' in line
+    )
+    count = next(
+        line for line in text.splitlines() if line.startswith(
+            "dimmunix_phase_latency_ns_count"
+        )
+    )
+    assert inf.rsplit(" ", 1)[1] == count.rsplit(" ", 1)[1] == "7"
+
+
+def test_accepts_json_histograms_too():
+    histogram = LogHistogram()
+    histogram.record(42)
+    direct = render_report({"phases": {"match": histogram}})
+    via_json = render_report({"phases": {"match": histogram.to_json()}})
+    assert direct == via_json
+
+
+def test_counters_and_gauges():
+    text = render_report(
+        {
+            "phases": {},
+            "counters": {"requests": 12, "bogus": "nan-string"},
+            "gauges": {"fleet_clients": 3, "sync_lag_seconds": 1.5},
+        }
+    )
+    assert "# TYPE dimmunix_requests_total counter" in text
+    assert "dimmunix_requests_total 12" in text
+    assert "bogus" not in text  # non-numeric values are skipped
+    assert "# TYPE dimmunix_fleet_clients gauge" in text
+    assert "dimmunix_fleet_clients 3" in text
+    assert "dimmunix_sync_lag_seconds 1.5" in text
+
+
+def test_label_escaping():
+    text = render_report(_report_with_samples([1], phase='we"ird\\ph'))
+    assert 'phase="we\\"ird\\\\ph"' in text
+
+
+def test_empty_report_renders_empty():
+    assert render_report({}) == ""
+    assert render_report({"phases": {}}) == ""

@@ -1,0 +1,100 @@
+"""``dimmunix-events trace`` — Perfetto export golden and live round-trip."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.trace import compile_trace
+from repro.tools.events_cli import main
+
+GOLDENS = Path(__file__).parent / "goldens"
+
+
+def test_trace_matches_committed_golden(tmp_path):
+    out = tmp_path / "trace.json"
+    rc = main(
+        [
+            "trace",
+            str(GOLDENS / "acquire_events.jsonl"),
+            "-o",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    produced = json.loads(out.read_text(encoding="utf-8"))
+    golden = json.loads(
+        (GOLDENS / "acquire_trace.json").read_text(encoding="utf-8")
+    )
+    assert produced == golden
+
+
+def test_golden_is_perfetto_loadable_shape():
+    golden = json.loads(
+        (GOLDENS / "acquire_trace.json").read_text(encoding="utf-8")
+    )
+    assert golden["displayTimeUnit"] == "ns"
+    events = golden["traceEvents"]
+    phases = {entry["ph"] for entry in events}
+    assert phases == {"M", "X", "i"}
+    for entry in events:
+        assert isinstance(entry["pid"], int)
+        assert isinstance(entry["tid"], int)
+        if entry["ph"] == "X":
+            assert entry["ts"] >= 0 and entry["dur"] >= 0
+    # The five lifecycle spans: both requests, both holds, one park.
+    names = sorted(
+        entry["name"] for entry in events if entry["ph"] == "X"
+    )
+    assert names == [
+        "hold A",
+        "hold A",
+        "parked A",
+        "request A",
+        "request A",
+    ]
+    # The hold span carries the position of the request that opened it.
+    holds = [e for e in events if e["name"] == "hold A"]
+    assert {hold["args"]["position"] for hold in holds} == {
+        "m.py:10",
+        "m.py:20",
+    }
+    parked = next(e for e in events if e["name"] == "parked A")
+    assert parked["args"]["signature"] == "m.py:10;m.py:20"
+    assert golden["dimmunix"]["dropped_unclosed"] == 1
+
+
+def test_trace_stdout_and_missing_file(tmp_path, capsys):
+    rc = main(["trace", str(tmp_path / "nope.jsonl")])
+    assert rc == 2
+    assert "does not exist" in capsys.readouterr().err
+
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("", encoding="utf-8")
+    rc = main(["trace", str(empty)])
+    assert rc == 0
+    trace = json.loads(capsys.readouterr().out)
+    assert trace["traceEvents"] == []
+    assert trace["dimmunix"]["events"] == 0
+
+
+def test_recorded_session_compiles_to_spans(tmp_path):
+    """A real recorded run produces matching request/hold span pairs."""
+    import repro
+
+    events_path = tmp_path / "events.jsonl"
+    with repro.immunity(auto_save=False) as dx:
+        dx.record(events_path)
+        lock = dx.lock("hot")
+        for _ in range(5):
+            with lock:
+                pass
+    with open(events_path, encoding="utf-8") as handle:
+        events = [json.loads(line) for line in handle if line.strip()]
+    trace = compile_trace(events)
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert sum(1 for s in spans if s["name"] == "request hot") == 5
+    assert sum(1 for s in spans if s["name"] == "hold hot") == 5
+    assert trace["dimmunix"]["dropped_unclosed"] == 0
+    # Monotonic stamps: every span has a sane non-negative duration.
+    assert all(s["dur"] >= 0 for s in spans)
