@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Livelock: the failure the cycle detector cannot see — and the watchdog can.
+
+Dimmunix's structural machinery (detection + avoidance) only triggers on
+*cycles* in the resource-allocation graph. A livelock never forms one:
+here, a victim thread is parked by its own antibody while a neighbor
+churns the signature's positions, so the victim wakes, re-parks, wakes,
+re-parks — making zero forward progress with every individual decision
+locally correct. The RAG stays acyclic throughout.
+
+The :class:`repro.watchdog.LivenessWatchdog` (llkd-style, PR-9) watches
+forward progress instead of structure: per-node sliding windows of
+lifecycle events plus periodic request-age scans feed an escalation
+ladder — observe → ``LivelockSuspectedEvent`` (with a structured stall
+report) → ``WatchdogMitigationEvent``. Under the ``break_youngest``
+policy the mitigation grants the youngest stalled waiter a one-shot
+bypass through the starvation-override machinery, unsticking the victim
+*while the storm is still running*.
+
+Usage::
+
+    python examples/livelock_pingpong.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.workloads.livelock import run_pingpong_yield_storm
+
+
+def describe(event) -> str:
+    age_ms = getattr(event, "age_ns", 0) / 1e6
+    if event.kind == "livelock-suspected":
+        suspects = ", ".join(
+            s["node"] for s in event.report.get("suspects", ())
+        )
+        return (
+            f"[suspect]  {event.thread}: {event.reason} "
+            f"(age {age_ms:.0f} ms, scan {event.scan}; "
+            f"report names: {suspects})"
+        )
+    if event.kind == "watchdog-mitigation":
+        return (
+            f"[mitigate] {event.thread}: {event.policy} -> "
+            f"{event.action} (age {age_ms:.0f} ms)"
+        )
+    return f"[{event.kind}] {event.thread} (trigger={event.trigger})"
+
+
+def main() -> None:
+    ladder: list = []
+    with repro.immunity(
+        name="livelock",
+        watchdog=True,
+        watchdog_policy="break_youngest",
+        watchdog_scan_interval=0.05,
+        watchdog_stall_age=0.15,
+        watchdog_storm_window=0.5,
+        watchdog_storm_ratio=4,
+        yield_timeout=None,  # let the watchdog act, not the safety net
+        auto_save=False,
+    ) as dx:
+        dx.subscribe(
+            ladder.append,
+            kinds=("livelock-suspected", "watchdog-mitigation",
+                   "starvation"),
+        )
+
+        print("=== phase 1: earn the antibody (one real AB/BA deadlock) ===")
+        print("=== phase 2: neighbor squats on A and churns; victim parks"
+              " on its own antibody -> wake/re-park storm ===")
+        outcome = run_pingpong_yield_storm(dx.runtime(), duration=15.0)
+
+        print()
+        print("=== the escalation ladder, as it fired ===")
+        for event in ladder:
+            print(f"  {describe(event)}")
+
+        health = dx.health()
+        stats = dx.stats
+        print()
+        print(
+            f"  health: {health['livelock_suspects']} suspicion(s), "
+            f"{health['watchdog_mitigations']} mitigation(s), "
+            f"{health['suspected_now']} suspect(s) still open"
+        )
+
+    print()
+    if outcome.unstuck_during_storm:
+        print(
+            "the watchdog unstuck the victim while the neighbor was "
+            "still churning — only the bypass can do that "
+            f"(storm ran {outcome.storm_cycles} cycles; "
+            f"{stats.starvations_detected} starvation override(s))."
+        )
+    else:
+        print("unexpected: the victim should have been bypassed "
+              "mid-storm.")
+
+
+if __name__ == "__main__":
+    main()

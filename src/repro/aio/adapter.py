@@ -69,6 +69,12 @@ class AioRuntimeAdapter:
         self.on_detection: Optional[Callable[[DeadlockSignature], None]] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._waker = core.add_waker(self._wake_signature_locked)
+        # Let a liveness watchdog serialize its scans (and mitigation)
+        # under the same lock as every engine call (the shared lock in
+        # cross-domain mode). Init-time only — nothing watchdog-related
+        # ever runs on the lock path.
+        if core.watchdog is not None:
+            core.watchdog.bind_glock(self._glock)
 
     # ------------------------------------------------------------------
     # node bookkeeping

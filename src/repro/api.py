@@ -443,7 +443,7 @@ class Dimmunix:
                     merged[phase].merge(histogram)
                 else:
                     merged[phase] = histogram
-        return {
+        report = {
             "phases": {
                 phase: merged[phase].to_json()
                 for phase in sorted(merged)
@@ -451,6 +451,14 @@ class Dimmunix:
             },
             "counters": self.stats.snapshot(),
         }
+        if self.config.watchdog:
+            health = self.health()
+            report["gauges"] = {
+                "oldest_waiter_age_ns": health["oldest_waiter_age_ns"],
+                "livelock_suspected_now": health["suspected_now"],
+                "watchdog_scans": health["scans"],
+            }
+        return report
 
     def metrics_text(self) -> str:
         """:meth:`telemetry_report` as Prometheus text exposition."""
@@ -467,6 +475,59 @@ class Dimmunix:
         :func:`repro.telemetry.ragdump.render_dot`.
         """
         return {name: core.rag_dump() for name, core in self._cores()}
+
+    def health(self) -> dict:
+        """The session's liveness health, merged across adapter cores.
+
+        With the watchdog on (``DimmunixConfig.watchdog=True``) each
+        core contributes its :class:`~repro.watchdog.LivenessWatchdog`
+        health (as of that core's last scan); without one, a live RAG
+        read still reports the oldest waiter age, so the surface works
+        either way. Plain JSON — ``dimmunix-report health <file.json>``
+        renders a dump of this directly, and the fleet ``metrics`` op
+        aggregates the same per-core dicts across clients.
+        """
+        from repro.telemetry.ragdump import rag_snapshot
+
+        cores: dict[str, dict] = {}
+        oldest = 0
+        suspected_now = 0
+        scans = 0
+        for name, core in self._cores():
+            watchdog = core.watchdog
+            if watchdog is not None:
+                entry = watchdog.health()
+            else:
+                try:
+                    snapshot = rag_snapshot(core)
+                except Exception:
+                    snapshot = {"threads": []}
+                ages = [
+                    thread["request_age_ns"]
+                    for thread in snapshot.get("threads", ())
+                    if thread.get("request_age_ns") is not None
+                ]
+                entry = {
+                    "scans": 0,
+                    "oldest_waiter_age_ns": max(ages, default=0),
+                    "suspected_now": 0,
+                    "livelock_suspects": 0,
+                    "watchdog_mitigations": 0,
+                }
+            cores[name] = entry
+            oldest = max(oldest, entry.get("oldest_waiter_age_ns") or 0)
+            suspected_now += entry.get("suspected_now", 0)
+            scans += entry.get("scans", 0)
+        stats = self.stats
+        return {
+            "watchdog": bool(self.config.watchdog),
+            "oldest_waiter_age_ns": oldest,
+            "suspected_now": suspected_now,
+            "scans": scans,
+            "livelock_suspects": stats.livelock_suspects,
+            "watchdog_mitigations": stats.watchdog_mitigations,
+            "cores": cores,
+        }
 
     def close(self) -> None:
         """Tear the session down: undo the patch, detach every

@@ -62,6 +62,25 @@ class MatchCapPolicy(enum.Enum):
     WEAK = "weak"
 
 
+class WatchdogPolicy(enum.Enum):
+    """What the liveness watchdog does when a suspect stays stuck.
+
+    Android's llkd escalates sample → mitigate (kill) → panic; our
+    ladder is observe → ``LivelockSuspectedEvent`` → mitigate. This
+    policy picks the mitigation rung. ``REPORT`` only emits the
+    ``WatchdogMitigationEvent`` (observe-and-alert — the production
+    default posture). ``BREAK_YOUNGEST`` additionally reuses the
+    starvation-override machinery: the *youngest* suspect (smallest
+    request age — breaking it loses the least progress) that is parked
+    by avoidance gets a one-shot bypass and a wake, exactly like the
+    yield-timeout safety net. A physically blocked suspect is never
+    touched — there is nothing safe to break.
+    """
+
+    REPORT = "report"
+    BREAK_YOUNGEST = "break_youngest"
+
+
 # Default per-check step budget for the instantiation matcher. Generous:
 # real 2–3-entry signatures match (or refute) in tens of steps, so only
 # an adversarial signature shape can approach this — and a capped check
@@ -168,6 +187,31 @@ class DimmunixConfig:
             instrumented site costs exactly one attribute check — held
             within noise of the untelemetered seed by the E1 overhead
             gate.
+        watchdog: Attach a :class:`repro.watchdog.LivenessWatchdog` to
+            every engine this config builds — llkd-style forward-progress
+            monitoring for the failures cycle detection cannot see
+            (yield storms, try-lock spins, starved waiters). The
+            watchdog is a bus subscriber plus a periodic scanner thread;
+            it adds **zero** code to the lock path, so the disabled
+            default costs nothing and the enabled cost is off-path.
+            Detections surface as ``LivelockSuspectedEvent`` /
+            ``WatchdogMitigationEvent`` and in ``stats.livelock_suspects``
+            / ``stats.watchdog_mitigations``.
+        watchdog_scan_interval: Seconds between watchdog scans (llkd's
+            ``ro.llk_sample_ms``). Each scan snapshots the RAG (oldest
+            waiter, per-node ``request_since_ns`` ages) and evaluates
+            the event windows.
+        watchdog_stall_age: A node whose pending request is older than
+            this many seconds is suspected as a stalled waiter.
+        watchdog_storm_window: Length (seconds) of the per-node sliding
+            event window the watchdog keeps from its bus subscription.
+        watchdog_storm_ratio: Yield/request churn threshold: a node with
+            at least this many yields (or, with no parks at all,
+            requests) and **zero** acquisitions inside the storm window
+            is suspected as a yield storm / try-lock spin.
+        watchdog_policy: Mitigation rung of the escalation ladder; see
+            :class:`WatchdogPolicy`. Accepts the enum or its string
+            value (``"report"`` / ``"break_youngest"``).
         predicted_ttl_runs: Demotion window for *predicted* antibodies
             (seeded by ``dimmunix-lint`` or the trace miner rather than
             earned at a real deadlock). A predicted signature that
@@ -194,6 +238,12 @@ class DimmunixConfig:
     max_signatures: int = 4096
     fleet_sync_interval: float | None = None
     telemetry: bool = False
+    watchdog: bool = False
+    watchdog_scan_interval: float = 0.25
+    watchdog_stall_age: float = 1.0
+    watchdog_storm_window: float = 1.0
+    watchdog_storm_ratio: int = 8
+    watchdog_policy: WatchdogPolicy = WatchdogPolicy.REPORT
     predicted_ttl_runs: int = 0
     enabled: bool = True
     extra: dict = field(default_factory=dict)
@@ -220,6 +270,26 @@ class DimmunixConfig:
             raise ValueError(
                 "fleet_sync_interval must be positive or None, got "
                 f"{self.fleet_sync_interval}"
+            )
+        for knob in (
+            "watchdog_scan_interval",
+            "watchdog_stall_age",
+            "watchdog_storm_window",
+        ):
+            if getattr(self, knob) <= 0:
+                raise ValueError(
+                    f"{knob} must be positive, got {getattr(self, knob)}"
+                )
+        if self.watchdog_storm_ratio < 1:
+            raise ValueError(
+                "watchdog_storm_ratio must be >= 1, got "
+                f"{self.watchdog_storm_ratio}"
+            )
+        if not isinstance(self.watchdog_policy, WatchdogPolicy):
+            # Same operator-facing coercion as match_cap_policy: the
+            # policy travels as a plain string; a typo fails here.
+            object.__setattr__(
+                self, "watchdog_policy", WatchdogPolicy(self.watchdog_policy)
             )
         if self.predicted_ttl_runs < 0:
             raise ValueError(

@@ -232,6 +232,18 @@ class DimmunixCore:
                 # real threads that deadlock never reach an explicit
                 # flush point, so durability must be background.
                 self.history.persister.ensure_thread_mode()
+        # Liveness watchdog: llkd-style forward-progress monitoring off
+        # the event spine, for the hangs cycle detection cannot see.
+        # A pure bus subscriber plus its own scanner thread — nothing is
+        # added to the lock path, so the disabled default costs zero
+        # (no subscription, not even an attribute check at any engine
+        # site). Created before the sync pump so the pump can carry this
+        # core's liveness health in its fleet metrics report.
+        self.watchdog = None
+        if self.config.watchdog:
+            from repro.watchdog import LivenessWatchdog
+
+            self.watchdog = LivenessWatchdog(self)
         # Fleet sync: when configured and the backend is shared (it has
         # a refresh()), keep this process's immunity current with the
         # pool — antibodies earned by siblings arrive without a restart.
@@ -249,6 +261,11 @@ class DimmunixCore:
                         interval=self.config.fleet_sync_interval,
                         source=source,
                         telemetry=self.telemetry,
+                        health_provider=(
+                            self.watchdog.health
+                            if self.watchdog is not None
+                            else None
+                        ),
                     )
                 )
                 self._attached_pump = True
@@ -267,6 +284,9 @@ class DimmunixCore:
         persister this core attached is closed (worker joined,
         subscription dropped); the history itself stays usable.
         """
+        if self.watchdog is not None:
+            self.watchdog.close()
+            self.watchdog = None
         if self._attached_pump:
             self.history.detach_sync_pump()
             self._attached_pump = False
@@ -639,12 +659,17 @@ class DimmunixCore:
             thread.request_since_ns = None
             self._yield_count -= 1
 
-    def force_bypass(self, thread: ThreadNode) -> Optional[DeadlockSignature]:
-        """Safety net for real-thread adapters: a yield timed out.
+    def force_bypass(
+        self, thread: ThreadNode, *, trigger: str = "timeout"
+    ) -> Optional[DeadlockSignature]:
+        """Starvation override: grant a parked thread a one-shot pass.
 
         Records a starvation signature built from the thread's yield state
         and grants a one-shot bypass so the next retry proceeds. Returns
         the signature, or ``None`` if the thread was not yielding.
+        ``trigger`` names who pulled the cord — ``"timeout"`` for the
+        adapters' yield-timeout safety net, ``"watchdog"`` when the
+        liveness watchdog's ``break_youngest`` policy breaks a stall.
         """
         if thread.yielding_on is None:
             return None
@@ -654,7 +679,7 @@ class DimmunixCore:
             StarvationEvent,
             thread=thread.name,
             signature=signature,
-            trigger="timeout",
+            trigger=trigger,
             recorded=recorded,
         )
         thread.bypass.add(thread.yielding_on)

@@ -256,6 +256,56 @@ class FleetSyncEvent(Event):
     trigger: str = "period"
 
 
+@dataclass(frozen=True)
+class LivelockSuspectedEvent(Event):
+    """The liveness watchdog scored a node as making no forward progress.
+
+    Cycle detection cannot see these failures — yield storms, try-lock
+    spins, starved waiters never close a RAG cycle — so the watchdog
+    (:class:`repro.watchdog.LivenessWatchdog`, llkd-style) raises this
+    kind instead. ``reason`` says which detector fired: ``"stall"`` (a
+    ``request_since_ns`` age crossed ``watchdog_stall_age``),
+    ``"yield-storm"`` (repeated yield/resume with no acquire inside the
+    storm window), or ``"try-lock-spin"`` (repeated requests with no
+    acquire and no parks). ``report`` is the structured stall report —
+    every current suspect with its age and recent event window, plus
+    the RAG fragment around the suspects — as plain JSON (lists and
+    dicts only), so it round-trips the wire form untouched.
+    """
+
+    kind: ClassVar[str] = "livelock-suspected"
+
+    thread: str = ""
+    reason: str = "stall"
+    age_ns: int = 0
+    scan: int = 0
+    report: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class WatchdogMitigationEvent(Event):
+    """The watchdog's escalation ladder reached its mitigation rung.
+
+    A suspect that is still stuck one scan after its
+    ``livelock-suspected`` event gets mitigated per
+    ``DimmunixConfig.watchdog_policy``. ``action`` records what actually
+    happened: ``"reported"`` (policy ``report`` — observe only),
+    ``"bypass-granted"`` (policy ``break_youngest`` found the youngest
+    suspect parked by avoidance and granted it a one-shot starvation
+    bypass, llkd's kill analog), or ``"no-op"`` (``break_youngest``
+    chose a node that is physically blocked — nothing safe to break).
+    """
+
+    kind: ClassVar[str] = "watchdog-mitigation"
+
+    thread: str = ""
+    policy: str = "report"
+    action: str = "reported"
+    reason: str = "stall"
+    age_ns: int = 0
+    scan: int = 0
+
+
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
     for cls in (
@@ -270,6 +320,8 @@ EVENT_TYPES: dict[str, type[Event]] = {
         HistorySavedEvent,
         PredictedSeededEvent,
         FleetSyncEvent,
+        LivelockSuspectedEvent,
+        WatchdogMitigationEvent,
     )
 }
 
@@ -560,6 +612,8 @@ __all__ = [
     "HistorySavedEvent",
     "PredictedSeededEvent",
     "FleetSyncEvent",
+    "LivelockSuspectedEvent",
+    "WatchdogMitigationEvent",
     "EVENT_TYPES",
     "EventBus",
     "Subscription",

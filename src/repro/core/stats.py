@@ -30,6 +30,8 @@ _EVENT_COUNTERS = {
     "detection": "deadlocks_detected",
     "starvation": "starvations_detected",
     "predicted-seeded": "predictions_seeded",
+    "livelock-suspected": "livelock_suspects",
+    "watchdog-mitigation": "watchdog_mitigations",
 }
 
 
@@ -78,6 +80,11 @@ class DimmunixStats:
     sync_pushed: int = 0
     sync_failures: int = 0
     spill_replayed: int = 0
+    # Liveness-watchdog tallies (1:1 lifecycle rule): suspicion and
+    # mitigation events published by the LivenessWatchdog under this
+    # source — the counter form of the llkd escalation ladder.
+    livelock_suspects: int = 0
+    watchdog_mitigations: int = 0
     bypasses_granted: int = 0
     starvation_overrides: int = 0
     stack_retrievals: int = 0

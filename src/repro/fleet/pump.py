@@ -58,11 +58,17 @@ class SyncPump:
         interval: Optional[float] = None,
         source: str = "core",
         telemetry=None,
+        health_provider=None,
     ) -> None:
         self.history = history
         self.events = events
         self.interval = interval
         self.source = source
+        # Zero-arg callable returning the owning core's liveness-health
+        # dict (the LivenessWatchdog's health()); rides along in the
+        # metrics report so `dimmunix-serve` can aggregate fleet-wide
+        # oldest-waiter ages and suspect counts.
+        self.health_provider = health_provider
         # When the owning engine has telemetry on, each cycle is timed
         # into the ``sync`` phase histogram and the collector's full
         # report is pushed to the fleet server (if the store can carry
@@ -182,8 +188,10 @@ class SyncPump:
         """This client's contribution to the fleet ``metrics`` op.
 
         Phase histograms in wire form, the local spill depth (journal
-        entries not yet replayed to the server), and how long ago the
-        last successful sync completed.
+        entries not yet replayed to the server), how long ago the last
+        successful sync completed, and — when the owning core runs a
+        liveness watchdog — its health dict (oldest waiter age,
+        suspect/mitigation counts).
         """
         store = self.history.store
         spilled = getattr(store, "spilled", 0)
@@ -201,6 +209,13 @@ class SyncPump:
             report["sync_lag_s"] = max(
                 0.0, (time.monotonic_ns() - self.last_sync_ns) / 1e9
             )
+        if self.health_provider is not None:
+            try:
+                health = self.health_provider()
+            except Exception:
+                health = None
+            if health:
+                report["health"] = health
         return report
 
     def _push_metrics(self, store) -> None:

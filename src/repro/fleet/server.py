@@ -226,6 +226,16 @@ class FleetServer:
         merged: dict[str, LogHistogram] = {}
         spill_depth = 0
         sync_lag_max = 0.0
+        # Fleet liveness health, folded from the per-client watchdog
+        # health dicts that ride in the metrics reports: counts sum,
+        # the oldest waiter age is a fleet-wide max.
+        health = {
+            "clients": 0,
+            "suspected_now": 0,
+            "livelock_suspects": 0,
+            "watchdog_mitigations": 0,
+            "oldest_waiter_age_ns": 0,
+        }
         for report in self._metrics_reports.values():
             for phase, data in (report.get("phases") or {}).items():
                 try:
@@ -241,7 +251,25 @@ class FleetServer:
             lag = report.get("sync_lag_s")
             if isinstance(lag, (int, float)):
                 sync_lag_max = max(sync_lag_max, float(lag))
+            client_health = report.get("health")
+            if isinstance(client_health, dict):
+                health["clients"] += 1
+                for key in (
+                    "suspected_now",
+                    "livelock_suspects",
+                    "watchdog_mitigations",
+                ):
+                    try:
+                        health[key] += int(client_health.get(key) or 0)
+                    except (TypeError, ValueError):
+                        pass
+                age = client_health.get("oldest_waiter_age_ns")
+                if isinstance(age, (int, float)):
+                    health["oldest_waiter_age_ns"] = max(
+                        health["oldest_waiter_age_ns"], int(age)
+                    )
         return {
+            "health": health,
             "clients": len(self._metrics_reports),
             "phases": {
                 phase: {

@@ -86,6 +86,11 @@ class RuntimeAdapter:
         # Wakes are fanned out through the engine so every adapter
         # sharing this core — not just us — re-checks its parked units.
         self._waker = core.add_waker(self._wake_signature_locked)
+        # Let a liveness watchdog serialize its scans (and mitigation)
+        # under the same lock as every engine call. Init-time only —
+        # nothing watchdog-related ever runs on the lock path.
+        if core.watchdog is not None:
+            core.watchdog.bind_glock(self._glock)
 
     # ------------------------------------------------------------------
     # node bookkeeping

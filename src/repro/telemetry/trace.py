@@ -32,6 +32,8 @@ _INSTANT_KINDS = {
     "detection": "deadlock detected",
     "starvation": "starvation",
     "match-capped": "match capped",
+    "livelock-suspected": "livelock suspected",
+    "watchdog-mitigation": "watchdog mitigation",
 }
 
 

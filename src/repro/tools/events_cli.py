@@ -73,6 +73,13 @@ def _iter_lines(
                     )
 
 
+def _format_age(age_ns) -> str:
+    """Render a nanosecond wait age human-first (``482.5ms``)."""
+    if not isinstance(age_ns, (int, float)) or age_ns < 0:
+        return "?"
+    return f"{age_ns / 1e6:.1f}ms"
+
+
 def _format_event(data: dict) -> str:
     kind = data.get("kind", "?")
     seq = data.get("seq", -1)
@@ -111,6 +118,21 @@ def _format_event(data: dict) -> str:
         detail = (
             f"size={size} via {data.get('origin', '?')} "
             f"(confidence {data.get('confidence', 0.0):.2f})"
+        )
+    elif kind == "livelock-suspected":
+        detail = (
+            f"{data.get('thread', '?')} {data.get('reason', '?')} "
+            f"age={_format_age(data.get('age_ns'))} "
+            f"scan={data.get('scan', '?')}"
+        )
+        suspects = (data.get("report") or {}).get("suspects") or ()
+        if suspects:
+            detail += f" ({len(suspects)} suspect(s) in report)"
+    elif kind == "watchdog-mitigation":
+        detail = (
+            f"{data.get('thread', '?')} "
+            f"[{data.get('policy', '?')} -> {data.get('action', '?')}] "
+            f"{data.get('reason', '?')} age={_format_age(data.get('age_ns'))}"
         )
     elif kind == "fleet-sync":
         parts = [
@@ -243,6 +265,10 @@ def cmd_summary(args: argparse.Namespace) -> int:
     pending_park: dict[tuple[str, str], int] = {}
     acquire_ns: list[int] = []
     park_ns: list[int] = []
+    # Watchdog escalations: per-node suspicion tallies (reasons, worst
+    # reported wait age) and mitigation outcomes.
+    suspects: dict[str, dict] = {}
+    mitigations: dict[str, int] = {}
     total = 0
     for _lineno, data in _iter_lines(path):
         total += 1
@@ -267,6 +293,20 @@ def cmd_summary(args: argparse.Namespace) -> int:
                 started = pending_park.pop(thread_key, None)
                 if started is not None and ts_ns >= started:
                     park_ns.append(ts_ns - started)
+        kind = data.get("kind")
+        if kind == "livelock-suspected":
+            entry = suspects.setdefault(
+                str(data.get("thread", "?")),
+                {"count": 0, "reasons": set(), "max_age_ns": 0},
+            )
+            entry["count"] += 1
+            entry["reasons"].add(str(data.get("reason", "?")))
+            age_ns = data.get("age_ns")
+            if isinstance(age_ns, (int, float)):
+                entry["max_age_ns"] = max(entry["max_age_ns"], int(age_ns))
+        elif kind == "watchdog-mitigation":
+            action = str(data.get("action", "?"))
+            mitigations[action] = mitigations.get(action, 0) + 1
         signature_data = data.get("signature")
         if isinstance(signature_data, dict):
             try:
@@ -295,6 +335,23 @@ def cmd_summary(args: argparse.Namespace) -> int:
             f"({tallies['earned']} earned, {tallies['promoted']} promoted, "
             f"{tallies['predicted']} predicted)"
         )
+    if suspects or mitigations:
+        suspicions = sum(entry["count"] for entry in suspects.values())
+        mitigated = sum(mitigations.values())
+        print(
+            f"  stalls: {suspicions} suspicion(s) across "
+            f"{len(suspects)} node(s), {mitigated} mitigation(s)"
+        )
+        for name, entry in sorted(
+            suspects.items(), key=lambda kv: -kv[1]["max_age_ns"]
+        ):
+            reasons = ",".join(sorted(entry["reasons"]))
+            print(
+                f"    {name}: {entry['count']}x {reasons} "
+                f"oldest {_format_age(entry['max_age_ns'])}"
+            )
+        for action, count in sorted(mitigations.items()):
+            print(f"    mitigated [{action}]: {count}")
     for label, samples in (
         ("request->acquired", acquire_ns),
         ("yield->resume", park_ns),

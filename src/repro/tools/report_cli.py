@@ -15,6 +15,12 @@ telemetry as Prometheus text exposition. ``SRC`` is one of:
 * an events JSONL recording — per-phase histograms are derived from the
   monotonic ``ts_ns`` stamps (request→acquired as ``acquire``,
   yield→resume as ``yield_park``) plus per-kind event counters.
+
+The ``health`` verb (``dimmunix-report health SRC``) renders the
+liveness-watchdog surface instead: ``SRC`` is a ``tcp://`` fleet DSN
+(fleet-wide suspect counts and oldest waiter age aggregated by the
+server from each client's metrics report) or a JSON file holding a
+``Dimmunix.health()`` dump.
 """
 
 from __future__ import annotations
@@ -126,6 +132,16 @@ def _fleet_metrics(dsn: str) -> dict:
         gauges["fleet_spill_depth"] = reply["spill_depth"]
     if isinstance(reply.get("sync_lag_max_s"), (int, float)):
         gauges["fleet_sync_lag_max_seconds"] = reply["sync_lag_max_s"]
+    health = reply.get("health")
+    if isinstance(health, dict):
+        for key, gauge in (
+            ("oldest_waiter_age_ns", "fleet_oldest_waiter_age_ns"),
+            ("suspected_now", "fleet_livelock_suspected_now"),
+            ("livelock_suspects", "fleet_livelock_suspects"),
+            ("watchdog_mitigations", "fleet_watchdog_mitigations"),
+        ):
+            if isinstance(health.get(key), (int, float)):
+                gauges[gauge] = health[key]
     return {"phases": phases, "gauges": gauges}
 
 
@@ -225,17 +241,121 @@ def cmd_metrics(argv: Sequence[str]) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# the health verb
+# ----------------------------------------------------------------------
+
+def _format_age_ms(age_ns) -> str:
+    if not isinstance(age_ns, (int, float)) or age_ns <= 0:
+        return "0ms"
+    return f"{age_ns / 1e6:.1f}ms"
+
+
+def _fleet_health(dsn: str) -> dict:
+    """Query a fleet server's ``metrics`` op; return its health block."""
+    import socket
+
+    from repro.core.store.url import DEFAULT_FLEET_PORT
+    from repro.fleet.protocol import read_frame, write_frame
+
+    rest = dsn[len("tcp://") :]
+    host, _, port_text = rest.partition(":")
+    port = int(port_text) if port_text else DEFAULT_FLEET_PORT
+    with socket.create_connection((host, port), timeout=5.0) as sock:
+        write_frame(sock, {"op": "metrics"})
+        reply = read_frame(sock)
+    if not reply.get("ok"):
+        raise SystemExit(
+            f"error: {dsn}: {reply.get('error', 'metrics refused')}"
+        )
+    health = reply.get("health")
+    return health if isinstance(health, dict) else {}
+
+
+def _render_health(health: dict, origin: str) -> str:
+    suspected = health.get("suspected_now", 0)
+    oldest = health.get("oldest_waiter_age_ns", 0)
+    lines = [
+        f"health ({origin}): {suspected} suspect(s) now, "
+        f"oldest waiter {_format_age_ms(oldest)}",
+        f"  suspicions: {health.get('livelock_suspects', 0)}  "
+        f"mitigations: {health.get('watchdog_mitigations', 0)}",
+    ]
+    if "clients" in health:
+        lines.append(f"  reporting clients: {health['clients']}")
+    if "scans" in health:
+        watchdog = "on" if health.get("watchdog") else "off"
+        lines.append(
+            f"  watchdog: {watchdog}  scans: {health['scans']}"
+        )
+    cores = health.get("cores")
+    if isinstance(cores, dict) and cores:
+        lines.append("  cores:")
+        for name in sorted(cores):
+            entry = cores[name] if isinstance(cores[name], dict) else {}
+            lines.append(
+                f"    {name}: {entry.get('suspected_now', 0)} suspect(s), "
+                f"oldest {_format_age_ms(entry.get('oldest_waiter_age_ns'))}"
+            )
+    return "\n".join(lines)
+
+
+def cmd_health(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dimmunix-report health",
+        description=(
+            "Render liveness-watchdog health. SRC is a tcp:// fleet DSN "
+            "(fleet-wide aggregate from the server's metrics op) or a "
+            "JSON file holding a Dimmunix.health() dump."
+        ),
+    )
+    parser.add_argument(
+        "src", help="tcp:// DSN or a Dimmunix.health() JSON dump"
+    )
+    args = parser.parse_args(argv)
+    if args.src.startswith("tcp://"):
+        try:
+            health = _fleet_health(args.src)
+        except OSError as error:
+            print(f"error: {args.src}: {error}", file=sys.stderr)
+            return 2
+        if not health or not health.get("clients"):
+            print(f"no health reports at {args.src}", file=sys.stderr)
+            return 1
+    else:
+        path = Path(args.src)
+        if not path.exists():
+            print(f"error: {path} does not exist", file=sys.stderr)
+            return 2
+        try:
+            health = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            print(f"error: {path}: not JSON ({error})", file=sys.stderr)
+            return 2
+        if not isinstance(health, dict) or "oldest_waiter_age_ns" not in health:
+            print(
+                f"error: {path}: not a Dimmunix.health() dump",
+                file=sys.stderr,
+            )
+            return 2
+    print(_render_health(health, args.src))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     arglist = list(argv) if argv is not None else sys.argv[1:]
     if arglist and arglist[0] == "metrics":
         return cmd_metrics(arglist[1:])
+    if arglist and arglist[0] == "health":
+        return cmd_health(arglist[1:])
     parser = argparse.ArgumentParser(
         prog="dimmunix-report",
         description="Render benchmark paper-vs-measured records.",
         epilog=(
-            "The 'metrics' verb renders telemetry instead: "
-            "dimmunix-report metrics SRC (see `dimmunix-report metrics "
-            "--help`)."
+            "The 'metrics' verb renders telemetry instead "
+            "(dimmunix-report metrics SRC), and the 'health' verb "
+            "renders liveness-watchdog health (dimmunix-report health "
+            "SRC); see each verb's --help."
         ),
     )
     parser.add_argument(

@@ -1,0 +1,11 @@
+"""Liveness watchdog — llkd-style forward-progress monitoring.
+
+Dimmunix's cycle detector is blind to the failures Android's Live-LocK
+Daemon exists for: threads that make no forward progress without ever
+closing a RAG cycle. :class:`LivenessWatchdog` covers that gap on top of
+the event spine — see :mod:`repro.watchdog.monitor`.
+"""
+
+from repro.watchdog.monitor import LivenessWatchdog
+
+__all__ = ["LivenessWatchdog"]

@@ -1,0 +1,308 @@
+"""Livelock scenarios — hangs the cycle detector can never see.
+
+The companion pack to :mod:`repro.workloads.scenarios`: where those
+workloads *deadlock* without immunity, these make no forward progress
+while every RAG snapshot stays acyclic, which is exactly the blind spot
+the liveness watchdog (:mod:`repro.watchdog`) exists for.
+
+* :func:`run_pingpong_yield_storm` — the avoidance machinery itself as
+  the livelock engine: a seeded antibody parks a victim whose wanted
+  lock is physically *free*, while a neighbor's churn on the matched
+  position wakes it into an immediate re-park, over and over
+  (resume/request/yield at full tilt, the request age growing the whole
+  time). ``break_youngest`` unsticks it; nothing else does until the
+  neighbor quiets down.
+* :func:`run_trylock_spin_pair` — two threads each holding one lock and
+  spinning ``acquire(blocking=False)`` on the other's. Every attempt is
+  a request that cancels without acquiring; the RAG never holds both
+  request edges long enough to cycle.
+* :func:`run_aio_greedy_holder` — cooperative starvation on one event
+  loop: a greedy task holds a lock across ``await asyncio.sleep`` ticks
+  while a starved task's request just ages.
+
+Each runner accepts ``until`` — a zero-arg predicate polled from the
+storm loop — so tests and benches stop the pathology the moment the
+watchdog has seen it (e.g. ``lambda: counter.counts.get(
+"livelock-suspected", 0) > 0``) instead of burning a fixed duration.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import DeadlockDetectedError
+
+_noop_until: Callable[[], bool] = lambda: False
+
+
+# ----------------------------------------------------------------------
+# position helpers
+# ----------------------------------------------------------------------
+# With outer stacks of depth 1, every acquisition routed through one of
+# these helpers shares a single program position (the MyLock collapse of
+# §3.2, used deliberately): the seeded antibody's entries land on these
+# two lines, making the ping-pong's avoidance matching deterministic.
+
+def _grab_victim(lock) -> None:
+    lock.acquire()  # the victim-side position
+
+
+def _grab_neighbor(lock) -> None:
+    lock.acquire()  # the neighbor-side position
+
+
+@dataclass
+class PingPongOutcome:
+    """What happened to the ping-pong victim."""
+
+    seeded: bool  # phase 1 earned (or found) the AB/BA antibody
+    victim_completed: bool
+    #: True when the victim got through while the neighbor was still
+    #: churning — only a watchdog bypass (``break_youngest``) does that.
+    unstuck_during_storm: bool
+    storm_cycles: int
+
+
+def run_pingpong_yield_storm(
+    runtime,
+    *,
+    until: Optional[Callable[[], bool]] = None,
+    duration: float = 2.0,
+    cycle_sleep: float = 0.002,
+    victim_join_timeout: float = 10.0,
+) -> PingPongOutcome:
+    """The yield-storm livelock: parked by immunity, woken by churn.
+
+    Phase 1 provokes an AB/BA deadlock through the two position helpers
+    so the recorded signature's entries are exactly their two lines
+    (requires a ``RAISE`` detection policy). Phase 2 replays the shape
+    one-sided: the neighbor holds ``A`` (occupying the neighbor-side
+    position) and churns a third lock ``C`` through the same helper;
+    the victim requests ``B`` through the victim-side helper. Avoidance
+    sees the signature instantiable and parks the victim — although
+    ``B`` is free — and every ``C`` release notifies the signature,
+    waking the victim straight into another park. The victim's original
+    ``request_since_ns`` stamp survives all of it (a resume-retry keeps
+    the stamp), so the watchdog sees both a growing stall *and* a
+    resume/yield storm.
+
+    Run it with ``yield_timeout=None`` (or generously large): the
+    adapters' own timeout safety net would otherwise unstick the victim
+    before the watchdog under test gets the chance.
+    """
+    lock_a = runtime.lock("pingpong-a")
+    lock_b = runtime.lock("pingpong-b")
+    lock_c = runtime.lock("pingpong-c")
+    outcome = PingPongOutcome(False, False, False, 0)
+    stop_predicate = until if until is not None else _noop_until
+
+    # -- phase 1: earn the antibody ------------------------------------
+    barrier = threading.Barrier(2, timeout=10.0)
+    def seed(first, second, grab) -> None:
+        grab(first)
+        try:
+            barrier.wait()
+        except threading.BrokenBarrierError:
+            first.release()
+            return
+        try:
+            grab(second)
+        except DeadlockDetectedError:
+            pass  # the cycle-closing side backs off empty-handed
+        else:
+            second.release()
+        first.release()
+
+    seed_threads = [
+        threading.Thread(
+            target=seed,
+            args=(lock_a, lock_b, _grab_victim),
+            name="pingpong-seed-victim",
+        ),
+        threading.Thread(
+            target=seed,
+            args=(lock_b, lock_a, _grab_neighbor),
+            name="pingpong-seed-neighbor",
+        ),
+    ]
+    for thread in seed_threads:
+        thread.start()
+    for thread in seed_threads:
+        thread.join(10.0)
+    outcome.seeded = runtime.core.stats.deadlocks_detected > 0
+
+    # -- phase 2: the storm --------------------------------------------
+    neighbor_holding = threading.Event()
+    victim_done = threading.Event()
+
+    def victim() -> None:
+        _grab_victim(lock_b)  # parks on the seeded signature
+        victim_done.set()
+        lock_b.release()
+
+    def neighbor() -> None:
+        _grab_neighbor(lock_a)
+        neighbor_holding.set()
+        deadline = time.monotonic() + duration
+        while (
+            time.monotonic() < deadline
+            and not victim_done.is_set()
+            and not stop_predicate()
+        ):
+            _grab_neighbor(lock_c)
+            lock_c.release()  # notifies the signature: wake, re-park
+            outcome.storm_cycles += 1
+            time.sleep(cycle_sleep)
+        outcome.unstuck_during_storm = victim_done.is_set()
+        lock_a.release()
+
+    neighbor_thread = threading.Thread(target=neighbor, name="pingpong-neighbor")
+    neighbor_thread.start()
+    if not neighbor_holding.wait(5.0):  # pragma: no cover - defensive
+        neighbor_thread.join(5.0)
+        return outcome
+    victim_thread = threading.Thread(target=victim, name="pingpong-victim")
+    victim_thread.start()
+    neighbor_thread.join(duration + 10.0)
+    # Once the neighbor released A the signature is no longer
+    # instantiable, so the victim's next wake proceeds on its own.
+    victim_thread.join(victim_join_timeout)
+    outcome.victim_completed = victim_done.is_set()
+    return outcome
+
+
+@dataclass
+class TrylockSpinOutcome:
+    """What happened to the spinning pair."""
+
+    spins: int  # failed try-lock attempts across both threads
+    completed: bool  # both threads exited after the stop condition
+
+
+def run_trylock_spin_pair(
+    runtime,
+    *,
+    until: Optional[Callable[[], bool]] = None,
+    duration: float = 2.0,
+    spin_sleep: float = 0.001,
+) -> TrylockSpinOutcome:
+    """Two polite threads, zero progress: the classic try-lock livelock.
+
+    Each thread holds one lock and spins ``acquire(blocking=False)`` on
+    the other's. Every attempt lands in the engine as a request that is
+    cancelled without acquiring (physically busy, or parked-by-avoidance
+    and abandoned — a try-lock never waits), so the event windows fill
+    with requests and zero acquisitions while the RAG stays acyclic.
+    A transient detection is possible (both request edges briefly
+    overlap); ``RAISE`` is caught here and ``BREAK`` just fails the
+    try — either way the spin continues, which is the point.
+    """
+    lock_a = runtime.lock("spin-a")
+    lock_b = runtime.lock("spin-b")
+    outcome = TrylockSpinOutcome(0, False)
+    stop_predicate = until if until is not None else _noop_until
+    barrier = threading.Barrier(2, timeout=10.0)
+    tally = threading.Lock()
+
+    def spinner(mine, theirs) -> None:
+        mine.acquire()
+        try:
+            barrier.wait()
+        except threading.BrokenBarrierError:
+            mine.release()
+            return
+        deadline = time.monotonic() + duration
+        while time.monotonic() < deadline and not stop_predicate():
+            try:
+                got = theirs.acquire(blocking=False)
+            except DeadlockDetectedError:
+                got = False
+            if got:
+                theirs.release()
+            else:
+                with tally:
+                    outcome.spins += 1
+            time.sleep(spin_sleep)
+        mine.release()
+
+    threads = [
+        threading.Thread(
+            target=spinner, args=(lock_a, lock_b), name="spinner-ab"
+        ),
+        threading.Thread(
+            target=spinner, args=(lock_b, lock_a), name="spinner-ba"
+        ),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(duration + 10.0)
+    outcome.completed = all(not thread.is_alive() for thread in threads)
+    return outcome
+
+
+@dataclass
+class GreedyHolderOutcome:
+    """What happened on the starved event loop."""
+
+    starved_completed: bool
+    greedy_ticks: int
+
+
+async def run_aio_greedy_holder(
+    runtime,
+    *,
+    until: Optional[Callable[[], bool]] = None,
+    duration: float = 2.0,
+    tick_sleep: float = 0.01,
+) -> GreedyHolderOutcome:
+    """Cooperative starvation: one greedy task, one aging waiter.
+
+    The greedy task takes the lock and holds it across ``await`` ticks;
+    the starved task's ``async with`` request just sits in the engine,
+    its ``request_since_ns`` age growing — a stall only the watchdog's
+    scanner reports, since no cycle ever forms and the loop itself keeps
+    spinning happily.
+    """
+    import asyncio
+
+    lock = runtime.lock("aio-greedy")
+    outcome = GreedyHolderOutcome(False, 0)
+    stop_predicate = until if until is not None else _noop_until
+    holding = asyncio.Event()
+
+    async def greedy() -> None:
+        async with lock:
+            holding.set()
+            deadline = time.monotonic() + duration
+            while time.monotonic() < deadline and not stop_predicate():
+                await asyncio.sleep(tick_sleep)
+                outcome.greedy_ticks += 1
+
+    async def starved() -> None:
+        await holding.wait()
+        async with lock:
+            outcome.starved_completed = True
+
+    greedy_task = asyncio.ensure_future(greedy())
+    greedy_task.set_name("aio-greedy-holder")
+    starved_task = asyncio.ensure_future(starved())
+    starved_task.set_name("aio-starved-waiter")
+    await asyncio.wait({greedy_task, starved_task}, timeout=duration + 10.0)
+    for task in (greedy_task, starved_task):
+        if not task.done():  # pragma: no cover - defensive
+            task.cancel()
+    return outcome
+
+
+__all__ = [
+    "GreedyHolderOutcome",
+    "PingPongOutcome",
+    "TrylockSpinOutcome",
+    "run_aio_greedy_holder",
+    "run_pingpong_yield_storm",
+    "run_trylock_spin_pair",
+]

@@ -219,7 +219,64 @@ class TestWireForm:
             "history-saved",
             "predicted-seeded",
             "fleet-sync",
+            "livelock-suspected",
+            "watchdog-mitigation",
         }
+
+    def test_roundtrip_livelock_suspected_keeps_report(self):
+        from repro.core.events import LivelockSuspectedEvent
+
+        report = {
+            "scan": 4,
+            "source": "core",
+            "oldest_waiter_age_ns": 1_500_000_000,
+            "suspects": [
+                {
+                    "node": "waiter",
+                    "reason": "stall",
+                    "age_ns": 1_500_000_000,
+                    "window": {"request": 1, "acquired": 0},
+                }
+            ],
+            "rag": {"threads": [], "locks": [], "edges": []},
+        }
+        event = LivelockSuspectedEvent(
+            source="core",
+            thread="waiter",
+            reason="stall",
+            age_ns=1_500_000_000,
+            scan=4,
+            report=report,
+        )
+        rebuilt = event_from_dict(
+            json.loads(json.dumps(event_to_dict(event)))
+        )
+        assert isinstance(rebuilt, LivelockSuspectedEvent)
+        assert rebuilt.kind == "livelock-suspected"
+        assert rebuilt.reason == "stall"
+        assert rebuilt.age_ns == 1_500_000_000
+        # The structured stall report survives the wire untouched.
+        assert rebuilt.report == report
+
+    def test_roundtrip_watchdog_mitigation(self):
+        from repro.core.events import WatchdogMitigationEvent
+
+        event = WatchdogMitigationEvent(
+            source="core",
+            thread="victim",
+            policy="break_youngest",
+            action="bypass-granted",
+            reason="yield-storm",
+            age_ns=42,
+            scan=7,
+        )
+        rebuilt = event_from_dict(
+            json.loads(json.dumps(event_to_dict(event)))
+        )
+        assert isinstance(rebuilt, WatchdogMitigationEvent)
+        assert rebuilt.policy == "break_youngest"
+        assert rebuilt.action == "bypass-granted"
+        assert rebuilt.scan == 7
 
     def test_unknown_kind_raises(self):
         with pytest.raises(ValueError, match="unknown event kind"):
@@ -267,6 +324,33 @@ class TestEngineEmission:
         assert core.stats.acquisitions == counter.count("acquired") == 2
         assert core.stats.deadlocks_detected == counter.count("detection") == 1
         assert core.stats.releases == counter.count("release") == 0
+
+    def test_watchdog_kinds_reach_stats_and_counter(self):
+        from repro.core.events import (
+            LivelockSuspectedEvent,
+            WatchdogMitigationEvent,
+        )
+
+        core = DimmunixCore(DimmunixConfig(yield_timeout=None))
+        counter = EventCounter()
+        core.events.subscribe(counter)
+        # The watchdog publishes under the owning core's source, which
+        # is all it takes to reach the stats subscription — same 1:1
+        # lifecycle rule as every other kind.
+        core.events.publish(
+            LivelockSuspectedEvent(source=core.source, thread="w")
+        )
+        core.events.publish(
+            WatchdogMitigationEvent(source=core.source, thread="w")
+        )
+        core.events.publish(
+            LivelockSuspectedEvent(source="someone-else", thread="w")
+        )
+        assert core.stats.livelock_suspects == 1
+        assert core.stats.watchdog_mitigations == 1
+        assert counter.count("livelock-suspected") == 2
+        assert counter.count("watchdog-mitigation") == 1
+        assert counter.count("livelock-suspected", source=core.source) == 1
 
     def test_detection_event_carries_the_recorded_signature(self):
         core = DimmunixCore(DimmunixConfig(yield_timeout=None))

@@ -27,6 +27,7 @@ EXPECTATIONS = {
     "selective_instrumentation.py": "redeployment immune",
     "native_bridge.py": "closes the NDK gap",
     "predicted_immunity.py": "prediction works",
+    "livelock_pingpong.py": "unstuck the victim",
     "ordered_transfers.py": "ordered locking holds",
 }
 

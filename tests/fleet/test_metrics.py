@@ -23,7 +23,7 @@ def server():
     backing.close()
 
 
-def _report(client, values, spill=0, lag=None):
+def _report(client, values, spill=0, lag=None, health=None):
     histogram = LogHistogram()
     for value in values:
         histogram.record(value)
@@ -34,6 +34,8 @@ def _report(client, values, spill=0, lag=None):
     }
     if lag is not None:
         report["sync_lag_s"] = lag
+    if health is not None:
+        report["health"] = health
     return report
 
 
@@ -127,6 +129,94 @@ def test_malformed_histogram_never_poisons_aggregate(server, tmp_path):
         assert aggregated["phases"]["acquire"]["count"] == 4
     finally:
         client.close()
+
+
+def test_health_aggregates_across_clients(server, tmp_path):
+    """Per-client watchdog health folds into a fleet-wide view: counts
+    sum, the oldest waiter age is a max."""
+    _fleet, host, port = server
+    one = _client(host, port, tmp_path, "h1")
+    two = _client(host, port, tmp_path, "h2")
+    try:
+        one.push_metrics(
+            _report(
+                "h1",
+                [100],
+                health={
+                    "suspected_now": 1,
+                    "livelock_suspects": 3,
+                    "watchdog_mitigations": 1,
+                    "oldest_waiter_age_ns": 900_000_000,
+                },
+            )
+        )
+        two.push_metrics(
+            _report(
+                "h2",
+                [100],
+                health={
+                    "suspected_now": 0,
+                    "livelock_suspects": 1,
+                    "watchdog_mitigations": 0,
+                    "oldest_waiter_age_ns": 2_500_000_000,
+                },
+            )
+        )
+        health = one.metrics()["health"]
+        assert health["clients"] == 2
+        assert health["suspected_now"] == 1
+        assert health["livelock_suspects"] == 4
+        assert health["watchdog_mitigations"] == 1
+        assert health["oldest_waiter_age_ns"] == 2_500_000_000
+    finally:
+        one.close()
+        two.close()
+
+
+def test_health_absent_when_no_client_reports_it(server, tmp_path):
+    _fleet, host, port = server
+    client = _client(host, port, tmp_path, "plain")
+    try:
+        client.push_metrics(_report("plain", [100]))
+        health = client.metrics()["health"]
+        assert health["clients"] == 0
+        assert health["oldest_waiter_age_ns"] == 0
+    finally:
+        client.close()
+
+
+def test_watchdog_engine_pump_carries_health(server, tmp_path):
+    """The production path end-to-end: an engine with watchdog + fleet
+    sync reports its liveness health in every metrics push."""
+    from repro.config import DimmunixConfig
+    from repro.core.engine import DimmunixCore
+    from repro.core.history import History
+
+    _fleet, host, port = server
+    store = _client(host, port, tmp_path, "wd-pump")
+    history = History(store=store)
+    core = DimmunixCore(
+        DimmunixConfig(
+            watchdog=True,
+            telemetry=True,
+            fleet_sync_interval=30.0,
+            auto_save=False,
+        ),
+        history=history,
+        source="wd-node",
+    )
+    try:
+        pump = history.sync_pump
+        assert pump is not None
+        report = pump.metrics_report()
+        assert report["health"]["policy"] == "report"
+        assert report["health"]["suspected_now"] == 0
+        pump.sync_now()
+        aggregated = store.metrics()
+        assert aggregated["health"]["clients"] == 1
+    finally:
+        core.detach_events()
+        history.close()
 
 
 def test_pump_pushes_metrics_each_cycle(server, tmp_path):

@@ -83,3 +83,60 @@ def test_session_rag_dump_covers_each_core():
             dump = dx.rag_dump()
     assert "ragses/runtime" in dump
     assert dump["ragses/runtime"]["counts"]["locks"] >= 1
+
+
+def test_aio_task_request_age_matches_thread_shape():
+    """Cross-domain parity: an asyncio task waiting on a lock must dump
+    exactly like a waiting thread — ``state == "requesting"`` and a
+    non-None ``request_age_ns`` off the same ``request_since_ns`` stamp
+    (the watchdog's stall detector reads only this surface, so a gap
+    here would blind it to one whole domain)."""
+    import asyncio
+
+    import repro
+
+    with repro.immunity(auto_save=False, name="ragaio") as dx:
+        aio = dx.aio()
+        lock = aio.lock("shared")
+        captured: dict = {}
+
+        async def greedy():
+            async with lock:
+                # Give the starved task time to lodge its request, then
+                # snapshot while it waits.
+                for _ in range(50):
+                    await asyncio.sleep(0.005)
+                    snapshot = dx.rag_dump()["ragaio/aio"]
+                    waiting = [
+                        entry
+                        for entry in snapshot["threads"]
+                        if entry["state"] == "requesting"
+                    ]
+                    if waiting:
+                        captured["entry"] = waiting[0]
+                        captured["dot"] = render_dot(snapshot)
+                        return
+
+        async def starved():
+            async with lock:
+                pass
+
+        async def main():
+            greedy_task = asyncio.ensure_future(greedy())
+            greedy_task.set_name("aio-greedy")
+            starved_task = asyncio.ensure_future(starved())
+            starved_task.set_name("aio-starved")
+            await asyncio.wait(
+                {greedy_task, starved_task}, timeout=10.0
+            )
+
+        asyncio.run(main())
+
+    entry = captured.get("entry")
+    assert entry is not None, "never caught the starved task requesting"
+    assert entry["name"] == "aio-starved"
+    assert entry["requesting"] == "shared"
+    # The parity under test: same key, same semantics as a thread node.
+    assert entry["request_age_ns"] is not None
+    assert entry["request_age_ns"] >= 0
+    assert '"t:aio-starved"' in captured["dot"]

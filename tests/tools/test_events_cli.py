@@ -80,6 +80,85 @@ class TestMatchCappedWireForm:
         assert "weak -> instantiable" in out
 
 
+class TestWatchdogWireForm:
+    def _record(self, path):
+        from repro.core.events import (
+            LivelockSuspectedEvent,
+            WatchdogMitigationEvent,
+        )
+
+        bus = EventBus()
+        report = {
+            "scan": 3,
+            "source": "wd",
+            "oldest_waiter_age_ns": 482_500_000,
+            "suspects": [
+                {
+                    "node": "victim",
+                    "reason": "yield-storm",
+                    "age_ns": 482_500_000,
+                    "window": {"request": 9, "acquired": 0, "yield": 9,
+                               "resume": 9},
+                }
+            ],
+            "rag": {"threads": [], "locks": [], "edges": []},
+        }
+        with JsonlWriter(path) as writer:
+            bus.subscribe(writer)
+            bus.publish(
+                LivelockSuspectedEvent(
+                    source="wd",
+                    thread="victim",
+                    reason="yield-storm",
+                    age_ns=482_500_000,
+                    scan=3,
+                    report=report,
+                )
+            )
+            bus.publish(
+                WatchdogMitigationEvent(
+                    source="wd",
+                    thread="victim",
+                    policy="break_youngest",
+                    action="bypass-granted",
+                    reason="yield-storm",
+                    age_ns=501_000_000,
+                    scan=4,
+                )
+            )
+        return report
+
+    def test_tail_formats_watchdog_events(self, tmp_path, capsys):
+        from repro.core.events import LivelockSuspectedEvent
+
+        path = tmp_path / "watchdog.jsonl"
+        report = self._record(path)
+        # Wire form first: the report dict survives untouched.
+        data = json.loads(path.read_text().splitlines()[0])
+        rebuilt = event_from_dict(data)
+        assert isinstance(rebuilt, LivelockSuspectedEvent)
+        assert rebuilt.report == report
+
+        assert main(["tail", str(path), "--kind", "livelock-suspected"]) == 0
+        out = capsys.readouterr().out
+        assert "livelock-suspected" in out
+        assert "victim yield-storm age=482.5ms scan=3" in out
+        assert "(1 suspect(s) in report)" in out
+        assert main(["tail", str(path), "--kind", "watchdog-mitigation"]) == 0
+        out = capsys.readouterr().out
+        assert "[break_youngest -> bypass-granted]" in out
+        assert "age=501.0ms" in out
+
+    def test_summary_renders_stall_section(self, tmp_path, capsys):
+        path = tmp_path / "watchdog.jsonl"
+        self._record(path)
+        assert main(["summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "stalls: 1 suspicion(s) across 1 node(s), 1 mitigation(s)" in out
+        assert "victim: 1x yield-storm oldest 482.5ms" in out
+        assert "mitigated [bypass-granted]: 1" in out
+
+
 class TestTail:
     def test_tail_prints_every_event(self, recorded_session, capsys):
         path, dx = recorded_session

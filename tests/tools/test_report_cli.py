@@ -121,3 +121,99 @@ class TestHistoryBlock:
         out = capsys.readouterr().out
         assert "comparisons hold" in out
         assert "immunity" in out and "antibodies" in out
+
+
+class TestHealthVerb:
+    def test_renders_session_health_dump(self, tmp_path, capsys):
+        """``dimmunix-report health`` on a ``Dimmunix.health()`` dump."""
+        import json
+
+        import repro
+
+        dump = tmp_path / "health.json"
+        with repro.immunity(
+            watchdog=True,
+            watchdog_scan_interval=0.02,
+            auto_save=False,
+            name="healthcli",
+        ) as dx:
+            import time
+
+            with dx.lock("probe"):  # constructs the runtime core
+                pass
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                health = dx.health()
+                if health["scans"]:
+                    break
+                time.sleep(0.01)
+            dump.write_text(json.dumps(health), encoding="utf-8")
+        assert main(["health", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "health (" in out
+        assert "0 suspect(s) now" in out
+        assert "watchdog: on" in out
+        assert "healthcli/runtime" in out
+
+    def test_rejects_non_health_json(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"phases": {}}', encoding="utf-8")
+        assert main(["health", str(bogus)]) == 2
+        assert "not a Dimmunix.health() dump" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["health", str(tmp_path / "nope.json")]) == 2
+
+    def test_renders_fleet_health_over_tcp(self, tmp_path, capsys):
+        from repro.core.store import open_store
+        from repro.fleet.remote import RemoteStore
+        from repro.fleet.server import FleetServer
+
+        backing = open_store("mem://", max_signatures=1024)
+        fleet = FleetServer(backing, port=0)
+        host, port = fleet.start_background()
+        client = RemoteStore(
+            host,
+            port,
+            timeout=2.0,
+            retry_attempts=2,
+            retry_backoff=0.01,
+            spill_path=tmp_path / "health.spill.history",
+        )
+        try:
+            client.push_metrics(
+                {
+                    "client": "phone-1",
+                    "phases": {},
+                    "spill_depth": 0,
+                    "health": {
+                        "suspected_now": 2,
+                        "livelock_suspects": 5,
+                        "watchdog_mitigations": 1,
+                        "oldest_waiter_age_ns": 1_234_500_000,
+                    },
+                }
+            )
+            assert main(["health", f"tcp://{host}:{port}"]) == 0
+            out = capsys.readouterr().out
+            assert "2 suspect(s) now" in out
+            assert "oldest waiter 1234.5ms" in out
+            assert "reporting clients: 1" in out
+        finally:
+            client.close()
+            fleet.stop()
+            backing.close()
+
+    def test_tcp_without_reports_exits_one(self, capsys):
+        from repro.core.store import open_store
+        from repro.fleet.server import FleetServer
+
+        backing = open_store("mem://", max_signatures=1024)
+        fleet = FleetServer(backing, port=0)
+        host, port = fleet.start_background()
+        try:
+            assert main(["health", f"tcp://{host}:{port}"]) == 1
+            assert "no health reports" in capsys.readouterr().err
+        finally:
+            fleet.stop()
+            backing.close()

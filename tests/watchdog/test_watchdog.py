@@ -1,0 +1,589 @@
+"""The liveness watchdog: detectors, escalation ladder, mitigation.
+
+The deterministic half drives :meth:`LivenessWatchdog.scan_once` by hand
+(``autostart=False``, caller-supplied ``now_ns``) so every threshold is
+exact; the scenario half runs the real scanner thread against the
+livelock pack in :mod:`repro.workloads.livelock`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro
+from repro.config import DimmunixConfig, WatchdogPolicy
+from repro.core.callstack import CallStack
+from repro.core.engine import DimmunixCore
+from repro.core.events import EventCounter, RequestEvent, YieldEvent
+from repro.watchdog import LivenessWatchdog
+
+
+def stack(line: int) -> CallStack:
+    return CallStack.single("wd.py", line)
+
+
+class EventLog:
+    def __init__(self):
+        self.events = []
+
+    def __call__(self, event):
+        self.events.append(event)
+
+    def of_kind(self, kind):
+        return [event for event in self.events if event.kind == kind]
+
+
+def manual_watchdog(config=None, **config_kwargs):
+    """A core + non-threaded watchdog, scanned only by the test."""
+    if config is None:
+        config = DimmunixConfig(
+            yield_timeout=None,
+            auto_save=False,
+            watchdog_scan_interval=0.05,
+            watchdog_stall_age=0.5,
+            watchdog_storm_window=1.0,
+            watchdog_storm_ratio=4,
+            **config_kwargs,
+        )
+    core = DimmunixCore(config, source="wdtest")
+    watchdog = LivenessWatchdog(core, autostart=False)
+    return core, watchdog
+
+
+# ----------------------------------------------------------------------
+# config knobs
+# ----------------------------------------------------------------------
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "field", ["watchdog_scan_interval", "watchdog_stall_age",
+                  "watchdog_storm_window"]
+    )
+    def test_intervals_must_be_positive(self, field):
+        with pytest.raises(ValueError, match="must be positive"):
+            DimmunixConfig(**{field: 0})
+
+    def test_storm_ratio_must_be_at_least_one(self):
+        with pytest.raises(ValueError, match="watchdog_storm_ratio"):
+            DimmunixConfig(watchdog_storm_ratio=0)
+
+    def test_policy_coerces_from_string(self):
+        config = DimmunixConfig(watchdog_policy="break_youngest")
+        assert config.watchdog_policy is WatchdogPolicy.BREAK_YOUNGEST
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            DimmunixConfig(watchdog_policy="panic")
+
+    def test_default_is_off(self):
+        config = DimmunixConfig()
+        assert config.watchdog is False
+        assert config.watchdog_policy is WatchdogPolicy.REPORT
+        core = DimmunixCore(config)
+        assert core.watchdog is None
+
+
+# ----------------------------------------------------------------------
+# the stall detector (deterministic scans)
+# ----------------------------------------------------------------------
+
+class TestStallDetector:
+    def test_old_waiter_is_suspected_with_report(self):
+        core, watchdog = manual_watchdog()
+        log = EventLog()
+        core.events.subscribe(log, kinds=("livelock-suspected",))
+        holder = core.register_thread("holder")
+        waiter = core.register_thread("waiter")
+        lock = core.register_lock("A")
+        core.request(holder, lock, stack(1))
+        core.acquired(holder, lock)
+        core.request(waiter, lock, stack(2))
+        since = waiter.request_since_ns
+
+        # Younger than the threshold: nothing fires, age is tracked.
+        report = watchdog.scan_once(now_ns=since + 100)
+        assert report is None
+        assert watchdog.oldest_waiter_age_ns == 100
+        assert not log.events
+
+        # Crossing watchdog_stall_age fires on that very scan.
+        report = watchdog.scan_once(now_ns=since + 600_000_000)
+        assert report is not None
+        (event,) = log.of_kind("livelock-suspected")
+        assert event.thread == "waiter"
+        assert event.reason == "stall"
+        assert event.age_ns == 600_000_000
+        assert event.scan == 2
+        # The structured stall report: suspects + the RAG fragment.
+        (suspect,) = event.report["suspects"]
+        assert suspect["node"] == "waiter"
+        assert suspect["reason"] == "stall"
+        rag = event.report["rag"]
+        assert any(entry["name"] == "waiter" for entry in rag["threads"])
+        assert ("request", "waiter", "A") in {
+            (edge["kind"], edge["from"], edge["to"])
+            for edge in rag["edges"]
+        }
+        assert any(entry["name"] == "A" for entry in rag["locks"])
+        assert event.report["oldest_waiter_age_ns"] == 600_000_000
+        assert core.stats.livelock_suspects == 1
+
+    def test_ladder_escalates_then_rearms(self):
+        core, watchdog = manual_watchdog()
+        log = EventLog()
+        core.events.subscribe(
+            log, kinds=("livelock-suspected", "watchdog-mitigation")
+        )
+        holder = core.register_thread("holder")
+        waiter = core.register_thread("waiter")
+        lock = core.register_lock("A")
+        core.request(holder, lock, stack(1))
+        core.acquired(holder, lock)
+        core.request(waiter, lock, stack(2))
+        since = waiter.request_since_ns
+        second = 1_000_000_000
+
+        watchdog.scan_once(now_ns=since + second)  # observe -> suspect
+        watchdog.scan_once(now_ns=since + 2 * second)  # persist -> mitigate
+        (mitigation,) = log.of_kind("watchdog-mitigation")
+        assert mitigation.thread == "waiter"
+        assert mitigation.policy == "report"
+        assert mitigation.action == "reported"
+        assert core.stats.watchdog_mitigations == 1
+        # Mitigated entries sit out _REARM_SCANS scans, then re-escalate.
+        watchdog.scan_once(now_ns=since + 3 * second)
+        assert core.stats.watchdog_mitigations == 1
+        watchdog.scan_once(now_ns=since + 4 * second)  # re-armed
+        watchdog.scan_once(now_ns=since + 5 * second)  # persists again
+        assert core.stats.watchdog_mitigations == 2
+        # Suspicion is edge-triggered: still exactly one suspect event.
+        assert len(log.of_kind("livelock-suspected")) == 1
+
+    def test_progress_clears_the_ladder(self):
+        core, watchdog = manual_watchdog()
+        holder = core.register_thread("holder")
+        waiter = core.register_thread("waiter")
+        lock = core.register_lock("A")
+        core.request(holder, lock, stack(1))
+        core.acquired(holder, lock)
+        core.request(waiter, lock, stack(2))
+        since = waiter.request_since_ns
+        watchdog.scan_once(now_ns=since + 1_000_000_000)
+        assert watchdog.health()["suspected_now"] == 1
+
+        core.release(holder, lock)
+        core.acquired(waiter, lock)  # stamp cleared: progress
+        watchdog.scan_once(now_ns=since + 2_000_000_000)
+        assert watchdog.health()["suspected_now"] == 0
+        assert watchdog.oldest_waiter_age_ns == 0
+        assert core.stats.watchdog_mitigations == 0
+
+
+# ----------------------------------------------------------------------
+# the storm detector (synthetic event windows)
+# ----------------------------------------------------------------------
+
+class TestStormDetector:
+    def _publish(self, core, kinds, *, thread="spinner", base_ns=10_000):
+        for offset, (cls, kind) in enumerate(kinds):
+            core.events.publish(
+                cls(
+                    source=core.source,
+                    thread=thread,
+                    ts_ns=base_ns + offset,
+                )
+            )
+
+    def test_requests_without_acquires_are_a_spin(self):
+        core, watchdog = manual_watchdog()
+        log = EventLog()
+        core.events.subscribe(log, kinds=("livelock-suspected",))
+        self._publish(
+            core, [(RequestEvent, "request")] * 4, base_ns=10_000
+        )
+        watchdog.scan_once(now_ns=20_000)
+        (event,) = log.events
+        assert event.reason == "try-lock-spin"
+        assert event.report["suspects"][0]["window"]["request"] == 4
+
+    def test_yields_classify_as_yield_storm(self):
+        core, watchdog = manual_watchdog()
+        log = EventLog()
+        core.events.subscribe(log, kinds=("livelock-suspected",))
+        self._publish(
+            core,
+            [(RequestEvent, "request"), (YieldEvent, "yield")] * 2,
+            base_ns=10_000,
+        )
+        watchdog.scan_once(now_ns=20_000)
+        (event,) = log.events
+        assert event.reason == "yield-storm"
+
+    def test_any_acquisition_in_window_means_progress(self):
+        from repro.core.events import AcquiredEvent
+
+        core, watchdog = manual_watchdog()
+        log = EventLog()
+        core.events.subscribe(log, kinds=("livelock-suspected",))
+        self._publish(
+            core, [(RequestEvent, "request")] * 8, base_ns=10_000
+        )
+        core.events.publish(
+            AcquiredEvent(
+                source=core.source, thread="spinner", ts_ns=10_100
+            )
+        )
+        watchdog.scan_once(now_ns=20_000)
+        assert not log.events
+
+    def test_window_expires_old_events(self):
+        core, watchdog = manual_watchdog()
+        log = EventLog()
+        core.events.subscribe(log, kinds=("livelock-suspected",))
+        self._publish(
+            core, [(RequestEvent, "request")] * 8, base_ns=10_000
+        )
+        # Scan far past the storm window: the deque drains, no suspect.
+        watchdog.scan_once(now_ns=10_000 + 2_000_000_000)
+        assert not log.events
+        assert watchdog.health()["tracked_nodes"] == 0
+
+    def test_foreign_source_events_are_ignored(self):
+        core, watchdog = manual_watchdog()
+        log = EventLog()
+        core.events.subscribe(log, kinds=("livelock-suspected",))
+        for offset in range(8):
+            core.events.publish(
+                RequestEvent(
+                    source="someone-else",
+                    thread="spinner",
+                    ts_ns=10_000 + offset,
+                )
+            )
+        watchdog.scan_once(now_ns=20_000)
+        assert not log.events
+
+
+# ----------------------------------------------------------------------
+# break_youngest (engine-level, deterministic)
+# ----------------------------------------------------------------------
+
+class TestBreakYoungest:
+    def _yielding_core(self):
+        """A core where t1 is parked by avoidance (yield verdict)."""
+        seed = DimmunixCore(
+            DimmunixConfig(yield_timeout=None, starvation_detection=False)
+        )
+        t1, t2 = seed.register_thread("t1"), seed.register_thread("t2")
+        a, b = seed.register_lock("A"), seed.register_lock("B")
+        seed.request(t1, a, stack(10))
+        seed.acquired(t1, a)
+        seed.request(t2, b, stack(20))
+        seed.acquired(t2, b)
+        seed.request(t1, b, stack(11))
+        assert seed.request(t2, a, stack(21)).detected is not None
+
+        config = DimmunixConfig(
+            yield_timeout=None,
+            starvation_detection=False,
+            auto_save=False,
+            watchdog_policy="break_youngest",
+            watchdog_stall_age=0.5,
+        )
+        core = DimmunixCore(
+            config, history=seed.history, source="wdbreak"
+        )
+        t1 = core.register_thread("t1")
+        t2 = core.register_thread("t2")
+        a = core.register_lock("A")
+        b = core.register_lock("B")
+        core.request(t2, b, stack(20))
+        core.acquired(t2, b)
+        result = core.request(t1, a, stack(10))
+        assert result.verdict.value == "yield"
+        return core, t1
+
+    def test_bypass_granted_to_parked_suspect(self):
+        import threading
+
+        core, parked = self._yielding_core()
+        watchdog = LivenessWatchdog(core, autostart=False)
+        watchdog.bind_glock(threading.Lock())
+        log = EventLog()
+        core.events.subscribe(
+            log, kinds=("watchdog-mitigation", "starvation")
+        )
+        since = parked.request_since_ns
+        assert since is not None  # a parked yield keeps its stamp
+        watchdog.scan_once(now_ns=since + 1_000_000_000)
+        watchdog.scan_once(now_ns=since + 2_000_000_000)
+
+        (mitigation,) = log.of_kind("watchdog-mitigation")
+        assert mitigation.action == "bypass-granted"
+        assert mitigation.policy == "break_youngest"
+        assert mitigation.thread == "t1"
+        # The override rode the starvation machinery, attributed to us.
+        (starvation,) = log.of_kind("starvation")
+        assert starvation.trigger == "watchdog"
+        assert parked.bypass  # the one-shot pass is armed
+
+    def test_without_glock_mitigation_is_noop(self):
+        core, parked = self._yielding_core()
+        watchdog = LivenessWatchdog(core, autostart=False)
+        log = EventLog()
+        core.events.subscribe(log, kinds=("watchdog-mitigation",))
+        since = parked.request_since_ns
+        watchdog.scan_once(now_ns=since + 1_000_000_000)
+        watchdog.scan_once(now_ns=since + 2_000_000_000)
+        (mitigation,) = log.of_kind("watchdog-mitigation")
+        assert mitigation.action == "no-op"
+        assert not parked.bypass
+
+
+# ----------------------------------------------------------------------
+# engine + session lifecycle
+# ----------------------------------------------------------------------
+
+class TestLifecycle:
+    def test_engine_attaches_and_detaches(self):
+        core = DimmunixCore(
+            DimmunixConfig(watchdog=True, auto_save=False)
+        )
+        watchdog = core.watchdog
+        assert watchdog is not None
+        assert watchdog._worker.is_alive()
+        core.detach_events()
+        assert core.watchdog is None
+        assert not watchdog._worker.is_alive()
+        watchdog.close()  # idempotent
+
+    def test_adapter_binds_glock(self):
+        dx = repro.Dimmunix(
+            config=DimmunixConfig(watchdog=True, auto_save=False)
+        )
+        runtime = dx.runtime()
+        assert runtime.core.watchdog._glock is runtime.adapter._glock
+        dx.close()
+
+    def test_session_health_merges_cores(self):
+        dx = repro.Dimmunix(
+            config=DimmunixConfig(
+                watchdog=True, auto_save=False,
+                watchdog_scan_interval=0.02,
+            )
+        )
+        runtime = dx.runtime()
+        with runtime.lock("h"):
+            pass
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if runtime.core.watchdog.scans:
+                break
+            time.sleep(0.01)
+        health = dx.health()
+        assert health["watchdog"] is True
+        assert health["scans"] >= 1
+        assert health["suspected_now"] == 0
+        assert "dimmunix/runtime" in health["cores"]
+        report = dx.telemetry_report()
+        assert report["gauges"]["watchdog_scans"] >= 1
+        assert report["gauges"]["livelock_suspected_now"] == 0
+        dx.close()
+
+    def test_health_without_watchdog_still_reports_oldest_waiter(self):
+        dx = repro.Dimmunix(config=DimmunixConfig(auto_save=False))
+        runtime = dx.runtime()
+        with runtime.lock("h"):
+            health = dx.health()
+        assert health["watchdog"] is False
+        assert health["suspected_now"] == 0
+        assert "gauges" not in dx.telemetry_report()
+        dx.close()
+
+
+# ----------------------------------------------------------------------
+# the livelock pack (real scanner thread)
+# ----------------------------------------------------------------------
+
+def watchdog_session(**overrides):
+    defaults = dict(
+        watchdog=True,
+        watchdog_scan_interval=0.05,
+        watchdog_stall_age=0.15,
+        watchdog_storm_window=0.5,
+        watchdog_storm_ratio=4,
+        yield_timeout=None,
+        auto_save=False,
+    )
+    defaults.update(overrides)
+    return repro.Dimmunix(config=DimmunixConfig(**defaults))
+
+
+class TestLivelockScenarios:
+    def test_pingpong_is_suspected_within_three_scans(self):
+        from repro.workloads.livelock import run_pingpong_yield_storm
+
+        dx = watchdog_session()
+        counter = EventCounter()
+        log = EventLog()
+        dx.events.subscribe(counter)
+        dx.events.subscribe(log, kinds=("livelock-suspected",))
+        runtime = dx.runtime()
+        watchdog = runtime.core.watchdog
+        scans_before = watchdog.scans
+        outcome = run_pingpong_yield_storm(
+            runtime,
+            until=lambda: counter.counts.get("livelock-suspected", 0) > 0,
+            duration=10.0,
+        )
+        assert outcome.seeded
+        suspects = log.of_kind("livelock-suspected")
+        assert suspects, "watchdog never suspected the parked victim"
+        first = suspects[0]
+        assert first.thread == "pingpong-victim"
+        assert first.report["suspects"]
+        # Acceptance bound: suspicion within 3 scan periods of the storm
+        # qualifying. The storm ratio (4) fills within one window, so at
+        # most ~storm-fill + 3 scans may elapse before the event.
+        scans_used = first.scan - scans_before
+        fill_scans = (
+            dx.config.watchdog_storm_window
+            / dx.config.watchdog_scan_interval
+        )
+        assert scans_used <= fill_scans + 3
+        # Storm stopped on suspicion; the victim then drains on its own.
+        assert outcome.victim_completed
+        dx.close()
+
+    def test_break_youngest_unsticks_pingpong(self):
+        from repro.workloads.livelock import run_pingpong_yield_storm
+
+        dx = watchdog_session(watchdog_policy="break_youngest")
+        log = EventLog()
+        dx.events.subscribe(
+            log, kinds=("watchdog-mitigation", "starvation")
+        )
+        runtime = dx.runtime()
+        outcome = run_pingpong_yield_storm(runtime, duration=15.0)
+        assert outcome.seeded
+        # The victim got through while the neighbor was still churning:
+        # only the watchdog's bypass can do that.
+        assert outcome.unstuck_during_storm
+        assert outcome.victim_completed
+        granted = [
+            event
+            for event in log.of_kind("watchdog-mitigation")
+            if event.action == "bypass-granted"
+        ]
+        assert granted and granted[0].thread == "pingpong-victim"
+        assert any(
+            event.trigger == "watchdog"
+            for event in log.of_kind("starvation")
+        )
+        dx.close()
+
+    def test_trylock_spin_pair_is_suspected(self):
+        from repro.workloads.livelock import run_trylock_spin_pair
+
+        dx = watchdog_session(watchdog_stall_age=5.0)
+        counter = EventCounter()
+        log = EventLog()
+        dx.events.subscribe(counter)
+        dx.events.subscribe(log, kinds=("livelock-suspected",))
+        runtime = dx.runtime()
+        outcome = run_trylock_spin_pair(
+            runtime,
+            until=lambda: counter.counts.get("livelock-suspected", 0) > 0,
+            duration=10.0,
+        )
+        assert outcome.completed
+        assert outcome.spins >= dx.config.watchdog_storm_ratio
+        suspects = log.of_kind("livelock-suspected")
+        assert suspects
+        # A try-lock never waits, so spins surface through the window
+        # detector (spin, or yield-storm once avoidance joins in).
+        assert suspects[0].reason in ("try-lock-spin", "yield-storm")
+        assert suspects[0].report["suspects"]
+        dx.close()
+
+    def test_aio_greedy_holder_is_suspected(self):
+        import asyncio
+
+        from repro.workloads.livelock import run_aio_greedy_holder
+
+        dx = watchdog_session()
+        counter = EventCounter()
+        log = EventLog()
+        dx.events.subscribe(counter)
+        dx.events.subscribe(log, kinds=("livelock-suspected",))
+        aio = dx.aio()
+
+        async def main():
+            return await run_aio_greedy_holder(
+                aio,
+                until=lambda: counter.counts.get(
+                    "livelock-suspected", 0
+                ) > 0,
+                duration=10.0,
+            )
+
+        outcome = asyncio.run(main())
+        assert outcome.starved_completed
+        suspects = log.of_kind("livelock-suspected")
+        assert suspects
+        assert suspects[0].thread == "aio-starved-waiter"
+        assert suspects[0].reason == "stall"
+        assert suspects[0].report["suspects"]
+        dx.close()
+
+
+class TestZeroFalsePositives:
+    """The full healthy packs, watchdog on: no suspicion, ever."""
+
+    def test_threaded_pack_is_clean(self):
+        from repro.workloads.scenarios import run_dining_philosophers
+
+        dx = watchdog_session(
+            watchdog_stall_age=1.0, yield_timeout=2.0
+        )
+        runtime = dx.runtime()
+        outcome = run_dining_philosophers(
+            runtime, philosophers=4, meals=3
+        )
+        assert outcome.completed
+        # A second, immunized dinner runs on avoidance (yields/resumes)
+        # — the storm detector must read that churn as progress.
+        immunized = run_dining_philosophers(
+            runtime, philosophers=4, meals=3
+        )
+        assert immunized.completed
+        assert dx.stats.livelock_suspects == 0
+        assert dx.stats.watchdog_mitigations == 0
+        dx.close()
+
+    def test_aio_pack_is_clean(self):
+        import asyncio
+
+        from repro.aio.scenarios import (
+            run_async_dining_philosophers,
+            run_opposite_order_pair,
+        )
+
+        dx = watchdog_session(
+            watchdog_stall_age=1.0, yield_timeout=2.0
+        )
+        aio = dx.aio()
+
+        async def main():
+            outcome = await run_async_dining_philosophers(
+                aio, philosophers=4, meals=3
+            )
+            assert outcome.completed
+            await run_opposite_order_pair(aio)
+
+        asyncio.run(main())
+        assert dx.stats.livelock_suspects == 0
+        assert dx.stats.watchdog_mitigations == 0
+        dx.close()
