@@ -244,12 +244,19 @@ def _pair_cost_ns(variant: str, pairs: int) -> float:
     """ns per uncontended acquire/release pair for one config variant."""
     from repro.runtime.runtime import DimmunixRuntime
 
+    # Exact capture path for every variant: watchdog-on's bus
+    # subscription flips ``lifecycle_observed``, which would demote
+    # only that variant off the no-history fast path and turn the
+    # ratio into a fast-vs-exact comparison. The fast path is gated
+    # separately (E1/A7 fastpath gates); this bench isolates the
+    # watchdog subscription tax.
+    exact = dict(auto_save=False, position_cache=False, fast_path=False)
     config = {
-        "default": DimmunixConfig(auto_save=False),
-        "watchdog-off": DimmunixConfig(watchdog=False, auto_save=False),
+        "default": DimmunixConfig(**exact),
+        "watchdog-off": DimmunixConfig(watchdog=False, **exact),
         # Long scan interval: measure the event-spine tax, not scans.
         "watchdog-on": DimmunixConfig(
-            watchdog=True, watchdog_scan_interval=60.0, auto_save=False
+            watchdog=True, watchdog_scan_interval=60.0, **exact
         ),
     }[variant]
     runtime = DimmunixRuntime(config, name=f"a11-{variant}")

@@ -42,6 +42,8 @@ from __future__ import annotations
 import asyncio
 import time
 import weakref
+from asyncio.events import get_running_loop as _get_running_loop
+from asyncio.tasks import _current_tasks
 from typing import Callable, Optional
 
 from repro.config import DimmunixConfig
@@ -164,6 +166,16 @@ class AioRuntimeAdapter:
         with self._glock:
             return self.core.register_lock(name)
 
+    def resolve_position(self, stack: CallStack):
+        """Intern ``stack`` under the global lock (PositionCache misses).
+
+        Same contract as the thread adapter's ``resolve_position``: the
+        interning table is engine state and must only mutate under the
+        (possibly shared) glock.
+        """
+        with self._glock:
+            return self.core.positions.intern(stack)
+
     # ------------------------------------------------------------------
     # the monitorenter / monitorexit path
     # ------------------------------------------------------------------
@@ -255,6 +267,46 @@ class AioRuntimeAdapter:
                         "yield_park", time.monotonic_ns() - park_t0
                     )
 
+    def fast_acquired(self, lock_node: LockNode, position) -> bool:
+        """Book an uncontended acquisition on a history-cold position.
+
+        The cooperative fast path: the caller verified the raw asyncio
+        lock is free with no waiters (so the physical acquire completes
+        synchronously) and calls this *before* awaiting it — no task
+        switch can interleave, because this method never awaits. Same
+        demotion contract as the thread adapter's ``fast_acquired``.
+        """
+        # Inlined node probe: a hit is sound without re-checking the
+        # loop binding — the entry's task object is still alive (its
+        # finalizer pops the entry before CPython can recycle the id),
+        # and a live task belongs to exactly one loop. The full
+        # registration path (which also binds the loop) runs only on a
+        # task's first acquisition. asyncio.current_task() is expanded
+        # to its own two-step body (this build has no C accelerator for
+        # it) because the wrapper call alone is ~10% of the time budget.
+        task = _current_tasks.get(_get_running_loop())
+        task_node = (
+            self._task_nodes.get(id(task)) if task is not None else None
+        )
+        if task_node is None:
+            task_node = self.current_task_node()
+        core = self.core
+        tel = core.telemetry
+        glock = self._glock
+        if tel is not None:
+            glock_t0 = time.monotonic_ns()
+            glock.acquire()
+            try:
+                tel.record("glock_wait", time.monotonic_ns() - glock_t0)
+                return core.fast_acquired(task_node, lock_node, position)
+            finally:
+                glock.release()
+        glock.acquire()
+        try:
+            return core.fast_acquired(task_node, lock_node, position)
+        finally:
+            glock.release()
+
     def after_acquire(self, lock_node: LockNode) -> None:
         task_node = self.current_task_node()
         with self._glock:
@@ -265,13 +317,20 @@ class AioRuntimeAdapter:
         # caller: releasing from a different task than acquired is a
         # legal asyncio.Lock handoff pattern, and charging the wrong
         # node would leave a stale hold edge behind forever.
-        caller_node = self.current_task_node()
+        # Same inlined current-task + node probe as ``fast_acquired``.
+        task = _current_tasks.get(_get_running_loop())
+        caller_node = (
+            self._task_nodes.get(id(task)) if task is not None else None
+        )
+        if caller_node is None:
+            caller_node = self.current_task_node()
         with self._glock:
             holder = lock_node.owner
             result = self.core.release(
                 holder if holder is not None else caller_node, lock_node
             )
-            self.core.notify_signatures(result.notify)
+            if result.notify:
+                self.core.notify_signatures(result.notify)
 
     def abandon_acquire(self, lock_node: LockNode) -> None:
         """Roll back a granted request whose physical acquire failed.

@@ -37,7 +37,7 @@ from repro.core.history import History
 from repro.core.signature import DeadlockSignature
 from repro.core.stats import DimmunixStats
 from repro.runtime import _originals
-from repro.runtime.callsite import StaticSiteRegistry
+from repro.runtime.callsite import PositionCache, StaticSiteRegistry
 from repro.runtime.runtime import DimmunixRuntime
 
 
@@ -83,6 +83,19 @@ class AsyncioDimmunixRuntime:
             self._owns_core = True
         self.adapter = AioRuntimeAdapter(self.core, glock=glock)
         self.static_sites = StaticSiteRegistry()
+        # Same wiring rule as the thread runtime: the cache resolves
+        # depth-1 dynamic positions only. In attached mode self.config is
+        # the host's, so both adapter layers make the same decision.
+        self.position_cache = (
+            PositionCache(self.adapter.resolve_position)
+            if (
+                self.config.enabled
+                and self.config.position_cache
+                and self.config.stack_depth == 1
+                and not self.config.static_ids
+            )
+            else None
+        )
 
     @classmethod
     def attached(

@@ -212,6 +212,28 @@ class DimmunixConfig:
         watchdog_policy: Mitigation rung of the escalation ladder; see
             :class:`WatchdogPolicy`. Accepts the enum or its string
             value (``"report"`` / ``"break_youngest"``).
+        position_cache: Cache resolved positions per thread, keyed on
+            the application caller frame's ``(code object, f_lasti)``,
+            so a repeat acquisition at a known call site skips the
+            ``sys._getframe`` walk and position interning entirely (one
+            frame probe + one dict hit). Invalidation is safe against
+            code-object id reuse (weakref death callbacks bump a global
+            generation). Only engages for ``stack_depth == 1`` dynamic
+            capture — deeper stacks and ``static_ids`` mode bypass the
+            cache. On by default; turning it off restores the exact
+            per-acquire walk (and disables ``fast_path``, which needs a
+            pre-resolved position).
+        fast_path: Take a won non-blocking probe on a position with
+            zero recorded signatures without running the glock'd
+            detection/avoidance machinery — the paper's "a few dict
+            probes" common case. The queue entry and RAG hold edge are
+            still installed (under a short glock section), stats stay
+            exact, and the position falls back to the exact path the
+            moment history, fleet sync, or predictions make it hot
+            (``stats.fastpath_demotions``). A contended probe always
+            falls back to the exact path, so blocking requests — the
+            only ones that can close a cycle — are never exempted.
+            Requires ``position_cache``. On by default.
         predicted_ttl_runs: Demotion window for *predicted* antibodies
             (seeded by ``dimmunix-lint`` or the trace miner rather than
             earned at a real deadlock). A predicted signature that
@@ -244,6 +266,8 @@ class DimmunixConfig:
     watchdog_storm_window: float = 1.0
     watchdog_storm_ratio: int = 8
     watchdog_policy: WatchdogPolicy = WatchdogPolicy.REPORT
+    position_cache: bool = True
+    fast_path: bool = True
     predicted_ttl_runs: int = 0
     enabled: bool = True
     extra: dict = field(default_factory=dict)

@@ -74,7 +74,7 @@ from repro.core.detector import (
 )
 from repro.core.history import History, open_history
 from repro.core.node import LockNode, ThreadNode
-from repro.core.position import Position, PositionTable
+from repro.core.position import Position, PositionTable, _QueueCell
 from repro.core.rag import ResourceAllocationGraph
 from repro.core.signature import DeadlockSignature
 from repro.core.stats import DimmunixStats, MemoryFootprint
@@ -122,6 +122,10 @@ class ReleaseResult:
     """Signatures whose parked threads must be notified after a release."""
 
     notify: tuple[DeadlockSignature, ...] = ()
+
+
+# Shared result for the no-wake release (see DimmunixCore.release).
+_NO_NOTIFY = ReleaseResult()
 
 
 @dataclass
@@ -195,8 +199,12 @@ class DimmunixCore:
         # Claiming the source catches two same-named cores on one bus —
         # they would double-count into each other's stats.
         self.events.claim_source(source)
+        # internal=True: the stats mirror does not count as an observer
+        # for the bus's lifecycle_observed flag — the capture fast path
+        # keeps these counters exact with direct bumps when it elides
+        # event construction.
         self._stats_subscription = self.events.subscribe(
-            self.stats.on_event, source=source
+            self.stats.on_event, source=source, internal=True
         )
         # Persistence wiring: bind the history's save announcements to
         # this bus (first core wins on a session-shared history) and
@@ -415,7 +423,7 @@ class DimmunixCore:
         if not position.in_history and self.history.contains_position(
             position.key
         ):
-            position.in_history = True
+            self._position_went_hot(position)
 
         # A retry after a yield: drop the stale yield edges first.
         if thread.yielding_on is not None:
@@ -613,6 +621,85 @@ class DimmunixCore:
             if self.telemetry is not None:
                 self.telemetry.record("acquire", event.ts_ns - since)
 
+    def fast_acquired(
+        self, thread: ThreadNode, lock: LockNode, position: Position
+    ) -> bool:
+        """The no-history fast path: O(1) bookkeeping for a won try-lock.
+
+        The caller (an adapter, under its global lock) has *already*
+        physically acquired the raw lock with a non-blocking probe and
+        presents a pre-resolved ``position``. When the position has zero
+        recorded signatures this replaces the request→acquired pair:
+        queue entry and hold edge are installed exactly as the exact
+        path would, but cycle detection, starvation checks, and the
+        avoidance loop are skipped — all three only matter for requests
+        that can *block*, and a won try-lock by definition never waits
+        (a free lock cannot extend a cycle; the avoidance decision for a
+        signature-free position is always PROCEED).
+
+        Returns ``False`` — caller must release the raw lock and run the
+        exact path — when the position is hot, or just went hot: the
+        zero-signature verdict is cached per position stamped with the
+        history's ``index_epoch`` and revalidated whenever the epoch
+        moved (a detection, fleet pull, predicted seed, or merge landed
+        since), which is the demotion rule the fast-path-exit tests pin.
+        """
+        if position.in_history:
+            return False
+        # Private-attr read of the property behind History.index_epoch:
+        # this comparison runs on every fast-path acquire and the
+        # descriptor round-trip is measurable there.
+        epoch = self.history._index_epoch
+        if position.fastpath_epoch != epoch:
+            if self.history.contains_position(position.key):
+                self._position_went_hot(position)
+                return False
+            position.fastpath_epoch = epoch
+        # position.queue.add, inlined (freelist pop or fresh cell +
+        # head push) — one call frame fewer on every fast acquire.
+        queue = position.queue
+        cell = queue._free
+        if cell is not None:
+            queue._free = cell.next
+            queue.reuses += 1
+        else:
+            cell = _QueueCell()
+            queue.allocations += 1
+        cell.thread = thread
+        cell.lock = lock
+        cell.next = queue._head
+        queue._head = cell
+        queue.size += 1
+        # rag.set_hold, inlined minus its ownership assertion: the
+        # caller physically won the raw lock, so no other node can be
+        # recorded as owner here.
+        lock.owner = thread
+        lock.acq_pos = position
+        lock.acq_stack = position.stack
+        thread.held.add(lock)
+        stats = self.stats
+        stats.fastpath_acquires += 1
+        tel = self.telemetry
+        if self.events.lifecycle_observed:
+            t0 = time.monotonic_ns() if tel is not None else 0
+            self._emit(
+                RequestEvent,
+                thread=thread.name,
+                lock=lock.name,
+                position=position.key,
+            )
+            self._emit(AcquiredEvent, thread=thread.name, lock=lock.name)
+            if tel is not None:
+                tel.record("acquire", time.monotonic_ns() - t0)
+        else:
+            # Nobody (beyond our own stats mirror) is listening: skip
+            # the event pair but keep the counters it would have driven.
+            stats.requests += 1
+            stats.acquisitions += 1
+            if tel is not None:
+                tel.record("acquire", 0)
+        return True
+
     def release(self, thread: ThreadNode, lock: LockNode) -> ReleaseResult:
         """Called right before ``monitorexit``.
 
@@ -629,12 +716,25 @@ class DimmunixCore:
         self.rag.clear_hold(thread, lock)
         lock.acq_pos = None
         lock.acq_stack = None
-        self._emit(
-            ReleaseEvent,
-            thread=thread.name,
-            lock=lock.name,
-            notified=len(notify),
-        )
+        if self.events.lifecycle_observed:
+            self._emit(
+                ReleaseEvent,
+                thread=thread.name,
+                lock=lock.name,
+                notified=len(notify),
+            )
+        else:
+            # Same elision as the fast-path acquire: with no external
+            # lifecycle subscriber the event reaches no one, so bump
+            # the counters it would have driven and skip the cost.
+            self.stats.releases += 1
+            self.stats.notifications += len(notify)
+        if not notify:
+            # The overwhelmingly common release has nobody to wake;
+            # hand back a shared empty result (callers only read
+            # ``.notify``) instead of constructing a dataclass per
+            # release on the hot path.
+            return _NO_NOTIFY
         return ReleaseResult(notify=notify)
 
     def cancel_request(self, thread: ThreadNode, lock: LockNode) -> None:
@@ -770,11 +870,25 @@ class DimmunixCore:
             self.stats.signatures_added += 1
             for key in signature.outer_position_keys():
                 position = self.positions.get(key)
-                if position is not None:
-                    position.in_history = True
+                if position is not None and not position.in_history:
+                    self._position_went_hot(position)
         else:
             self.stats.duplicate_signatures += 1
         return added
+
+    def _position_went_hot(self, position: Position) -> None:
+        """Flip a position to ``in_history`` (it gained signatures).
+
+        The one choke point for cold→hot transitions — a detection's
+        ``_record``, the exact path's lazy ``contains_position`` check,
+        and the fast path's epoch revalidation all land here — so the
+        ``fastpath_demotions`` counter ticks exactly once per position
+        that the fast path had validated cold and must now abandon.
+        """
+        position.in_history = True
+        if position.fastpath_epoch != -1:
+            position.fastpath_epoch = -1
+            self.stats.fastpath_demotions += 1
 
     def flush_history(self) -> int:
         """Flush pending signatures per policy; returns how many wrote.

@@ -332,12 +332,19 @@ EVENT_TYPES: dict[str, type[Event]] = {
 
 @dataclass
 class Subscription:
-    """Handle returned by :meth:`EventBus.subscribe`."""
+    """Handle returned by :meth:`EventBus.subscribe`.
+
+    ``internal`` marks a subscription that belongs to the emitting
+    engine itself (its stats mirror): it is excluded from the bus's
+    ``lifecycle_observed`` accounting, because the engine keeps those
+    counters exact on the fast path without materializing events.
+    """
 
     callback: Callable[[Event], None]
     kinds: Optional[frozenset[str]] = None
     source: Optional[str] = None
     active: bool = True
+    internal: bool = False
 
     def wants(self, event: Event) -> bool:
         if self.kinds is not None and event.kind not in self.kinds:
@@ -357,6 +364,10 @@ class EventBus:
     quick and must not block on immunized locks.
     """
 
+    #: kinds whose emission the engine's capture fast path may elide
+    #: while nobody (beyond the engines' own stats mirrors) listens.
+    FASTPATH_KINDS = frozenset({"request", "acquired", "release"})
+
     def __init__(self) -> None:
         self._lock = _RLock()
         self._subscriptions: list[Subscription] = []
@@ -365,6 +376,16 @@ class EventBus:
         self.published = 0
         self.delivered = 0
         self.subscriber_errors = 0
+        # True while at least one non-internal subscription wants a
+        # FASTPATH_KINDS event. Engines read this (plain attribute, no
+        # lock) on every fast-path acquisition: False means the
+        # request/acquired/release events would reach no one, so the
+        # engine skips building them and bumps its stats directly —
+        # identical counters, none of the construct/dispatch cost.
+        # Maintained under the bus lock by (un)subscribe; readers may
+        # observe a just-flipped value for one acquisition, which only
+        # delays the first observed event by that acquisition.
+        self.lifecycle_observed = False
 
     # -- emitter registry --------------------------------------------------
 
@@ -398,12 +419,14 @@ class EventBus:
         *,
         kinds: Optional[Iterable[str]] = None,
         source: Optional[str] = None,
+        internal: bool = False,
     ) -> Subscription:
         """Register ``callback``; optionally filter by kind and/or source.
 
         ``kinds`` accepts event kind strings (``"request"``, ``"yield"``,
-        ...) or event classes. Returns the :class:`Subscription` handle
-        to pass to :meth:`unsubscribe`.
+        ...) or event classes. ``internal`` is reserved for an engine's
+        own stats mirror (see :class:`Subscription`). Returns the
+        :class:`Subscription` handle to pass to :meth:`unsubscribe`.
         """
         kind_set: Optional[frozenset[str]] = None
         if kinds is not None:
@@ -413,9 +436,10 @@ class EventBus:
             unknown = kind_set - set(EVENT_TYPES)
             if unknown:
                 raise ValueError(f"unknown event kinds: {sorted(unknown)}")
-        subscription = Subscription(callback, kind_set, source)
+        subscription = Subscription(callback, kind_set, source, internal=internal)
         with self._lock:
             self._subscriptions.append(subscription)
+            self._recount_observers_locked()
         return subscription
 
     def unsubscribe(
@@ -429,8 +453,17 @@ class EventBus:
                 if existing is subscription or existing.callback == subscription:
                     existing.active = False
                     self._subscriptions.remove(existing)
+                    self._recount_observers_locked()
                     return True
         return False
+
+    def _recount_observers_locked(self) -> None:
+        wanted = self.FASTPATH_KINDS
+        self.lifecycle_observed = any(
+            not s.internal
+            and (s.kinds is None or not wanted.isdisjoint(s.kinds))
+            for s in self._subscriptions
+        )
 
     @property
     def subscriber_count(self) -> int:
@@ -448,7 +481,11 @@ class EventBus:
         """
         with self._lock:
             self._seq += 1
-            object.__setattr__(event, "seq", self._seq)
+            # Equivalent to object.__setattr__ but skips the frozen-
+            # dataclass dispatch — this runs on the lock path for every
+            # event, and events are plain (non-slots) dataclasses, so
+            # writing the instance dict directly is always valid.
+            event.__dict__["seq"] = self._seq
             self.published += 1
             # Snapshot so a subscriber may (un)subscribe during dispatch
             # (the lock is reentrant) without corrupting the iteration.

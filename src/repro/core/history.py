@@ -96,6 +96,29 @@ class History:
         # when flush() returns, any flush that beat it has already
         # published its HistorySavedEvent.
         self._flush_lock = _RLock()
+        # Monotonic counter of position-index mutations (adds, predicted
+        # seeds, merges, expirations, fleet pulls). The engine's capture
+        # fast path caches "this position has zero signatures" stamped
+        # with this epoch and revalidates only when it moves — the
+        # freshness contract that demotes a hot position on the very
+        # next acquire. Int bumps under the GIL; a racing reader at
+        # worst revalidates once more.
+        self._index_epoch = 0
+
+    @property
+    def index_epoch(self) -> int:
+        """Epoch of the signature index (bumped on every mutation)."""
+        return self._index_epoch
+
+    def bump_index_epoch(self) -> None:
+        """Invalidate fast-path no-history caches (index just changed).
+
+        Called by every in-class mutation and by external refreshers —
+        the :class:`~repro.fleet.pump.SyncPump` after a pull that
+        brought news — since the pump refreshes the store directly,
+        beneath this facade.
+        """
+        self._index_epoch += 1
 
     # ------------------------------------------------------------------
     # store access
@@ -212,7 +235,10 @@ class History:
 
     def add(self, signature: DeadlockSignature) -> bool:
         """Insert ``signature``; returns ``False`` if it was a duplicate."""
-        return self._store.add(signature)
+        added = self._store.add(signature)
+        if added:
+            self.bump_index_epoch()
+        return added
 
     # ------------------------------------------------------------------
     # predictive immunity (predicted -> promoted -> expired)
@@ -236,6 +262,8 @@ class History:
         """
         signature.provenance = "predicted"
         added = self._store.add(signature)
+        if added:
+            self.bump_index_epoch()
         if added and self._events is not None:
             from repro.core.events import PredictedSeededEvent
 
@@ -269,7 +297,10 @@ class History:
             if self._aged:
                 return 0
             self._aged = True
-            return self._store.expire_predictions(ttl_runs)
+            expired = self._store.expire_predictions(ttl_runs)
+            if expired:
+                self.bump_index_epoch()
+            return expired
 
     def provenance_counts(self) -> dict[str, int]:
         """Antibody counts by provenance (earned/predicted/promoted)."""
@@ -299,7 +330,10 @@ class History:
 
     def merge_from(self, other: "History | HistoryStore") -> int:
         """Add all signatures from ``other``; returns how many were new."""
-        return self._store.merge_from(other)
+        merged = self._store.merge_from(other)
+        if merged:
+            self.bump_index_epoch()
+        return merged
 
     def approximate_bytes(self) -> int:
         """In-process bytes held by signatures and the matching index."""

@@ -134,9 +134,18 @@ class Position:
     ``in_history`` is a cached flag: it is true when this position appears
     as an *outer* position of at least one history signature, which is the
     fast-path test on the release path (§4: ``pos->inHistory``).
+
+    ``fastpath_epoch`` backs the capture fast path's no-history check:
+    the value of the history's ``index_epoch`` at which this position
+    was last verified to have zero recorded signatures, or ``-1`` when
+    it was never verified (or has been demoted — a position that went
+    hot resets to ``-1`` forever, since ``in_history`` never clears).
+    The engine re-runs ``contains_position`` only when the epoch moved,
+    so fleet pulls / predictions / history merges are observed on the
+    very next fast-path acquire while steady state pays one int compare.
     """
 
-    __slots__ = ("key", "stack", "queue", "in_history", "index")
+    __slots__ = ("key", "stack", "queue", "in_history", "index", "fastpath_epoch")
 
     def __init__(self, key: PositionKey, stack: CallStack, index: int) -> None:
         self.key = key
@@ -144,6 +153,7 @@ class Position:
         self.queue = PositionQueue()
         self.in_history = False
         self.index = index
+        self.fastpath_epoch = -1
 
     def __repr__(self) -> str:
         where = "|".join(f"{file}:{line}" for file, line in self.key) or "<empty>"

@@ -87,6 +87,16 @@ class DimmunixStats:
     watchdog_mitigations: int = 0
     bypasses_granted: int = 0
     starvation_overrides: int = 0
+    # Capture fast path tallies (hot-path, engine-incremented like
+    # matching_steps — not event-derived): acquisitions that took the
+    # no-history fast path, and positions demoted back to the exact
+    # path because history/fleet sync/predictions made them hot after
+    # the fast path had validated them cold. Note requests/acquisitions/
+    # releases stay exact on the fast path too: when no external
+    # subscriber wants lifecycle events the engine bumps them directly
+    # instead of publishing.
+    fastpath_acquires: int = 0
+    fastpath_demotions: int = 0
     stack_retrievals: int = 0
     stack_retrieval_ns: int = 0
     request_ns: int = 0

@@ -143,6 +143,13 @@ class SyncPump:
         try:
             pulled = refresh()
             self.last_sync_ns = time.monotonic_ns()
+            if pulled:
+                # refresh() mutates the store's index beneath the
+                # History facade, so the fast-path invalidation epoch
+                # must be bumped here — this is what demotes a
+                # fast-pathed position on the very next acquire after
+                # a sibling's antibody arrives.
+                self.history.bump_index_epoch()
         except Exception:
             # RemoteStore counts its own transport failures; anything
             # else (or anything beyond them) is counted here. Either

@@ -18,7 +18,8 @@ import importlib.util
 import os
 import sys
 import threading
-from typing import Optional
+import weakref
+from typing import Callable, Optional
 
 from repro.core.callstack import CallStack, Frame
 
@@ -56,7 +57,13 @@ _ASYNCIO_DIR = os.path.dirname(
     os.path.abspath(importlib.util.find_spec("asyncio").origin)
 )
 _THREADING_FILE = os.path.abspath(threading.__file__)
-_CONTEXTLIB_FILE = os.path.abspath(getattr(sys.modules.get("contextlib"), "__file__", "contextlib"))
+# Resolved via find_spec like asyncio above: the old sys.modules lookup
+# fell back to abspath("contextlib") — a cwd-relative path that matches
+# no real frame — whenever contextlib had not been imported yet, so
+# @contextmanager helper frames silently stopped being filtered.
+_CONTEXTLIB_FILE = os.path.abspath(
+    importlib.util.find_spec("contextlib").origin
+)
 
 FALLBACK_STACK = CallStack.single("<no-python-frame>", 0, "<native>")
 
@@ -72,6 +79,26 @@ def _is_internal(filename: str) -> bool:
 
 def _is_boundary(filename: str) -> bool:
     return filename.startswith(_ASYNCIO_DIR)
+
+
+# Memoized filename classification, shared by the full walk and the
+# position cache's walk so the two can never disagree about which frame
+# is the "first application frame". Filenames are finite (one per code
+# file), so the memo is bounded; concurrent writes are benign
+# (idempotent values under the GIL).
+_APP, _INTERNAL, _BOUNDARY = 0, 1, 2
+_classify: dict[str, int] = {}
+
+
+def _classify_filename(filename: str) -> int:
+    if _is_boundary(filename):
+        kind = _BOUNDARY
+    elif _is_internal(filename):
+        kind = _INTERNAL
+    else:
+        kind = _APP
+    _classify[filename] = kind
+    return kind
 
 
 # Interning cache: one CallStack object per distinct frame-key tuple.
@@ -105,9 +132,12 @@ def capture_stack(depth: int, skip: int = 1) -> CallStack:
     while frame is not None and len(raw_frames) < depth:
         code = frame.f_code
         filename = code.co_filename
-        if _is_boundary(filename):
+        kind = _classify.get(filename)
+        if kind is None:
+            kind = _classify_filename(filename)
+        if kind == _BOUNDARY:
             break
-        if not _is_internal(filename):
+        if kind == _APP:
             lineno = frame.f_lineno
             key_parts.append(filename)
             key_parts.append(lineno)
@@ -125,6 +155,137 @@ def capture_stack(depth: int, skip: int = 1) -> CallStack:
     )
     _stack_cache[cache_key] = stack
     return stack
+
+
+# ----------------------------------------------------------------------
+# the (code, lasti) position cache — the capture fast path
+# ----------------------------------------------------------------------
+
+# Cache keys use id(f_code), and CPython recycles object ids: a cached
+# entry for a dead code object could be handed to an unrelated new code
+# object allocated at the same address. Every code object that enters a
+# cache is therefore watched with a weakref whose death callback bumps
+# this global generation; per-thread caches flush themselves on a
+# generation mismatch. The callback runs during deallocation — strictly
+# before the id can be reused — so a stale hit is impossible.
+_code_generation = 0
+_code_watches: dict[int, weakref.ref] = {}
+
+
+class _CodeWatch(weakref.ref):
+    __slots__ = ("code_id",)
+
+
+def _on_code_dead(ref) -> None:
+    global _code_generation
+    _code_generation += 1
+    _code_watches.pop(ref.code_id, None)
+
+
+def _watch_code(code) -> None:
+    code_id = id(code)
+    if code_id not in _code_watches:
+        ref = _CodeWatch(code, _on_code_dead)
+        ref.code_id = code_id
+        _code_watches[code_id] = ref
+
+
+class PositionCache:
+    """Per-thread ``(id(code), f_lasti)`` -> resolved ``Position`` cache.
+
+    The capture fast path: a repeat acquisition at a known call site
+    costs one ``sys._getframe`` probe, a couple of memoized-classifier
+    dict hits to find the application frame, and one dict hit — instead
+    of the full frame walk plus stack/position interning. The key is the
+    *application caller frame's* code object and instruction offset, so
+    two ``with lock:`` statements in one function cache separately and
+    a helper called from two places still resolves per acquiring line
+    (``f_lasti`` pins the bytecode site; the recorded position is still
+    the file:line pair, exactly what the uncached walk produces).
+
+    Soundness envelope:
+
+    * only built for ``stack_depth == 1`` dynamic capture (deeper
+      stacks depend on frames above the keyed one, which the key cannot
+      see; static-id mode never walks at all);
+    * misses resolve through ``resolver`` — the owning adapter's
+      glock'd ``PositionTable.intern`` — so the table's one-object-per-
+      location invariant is never raced;
+    * stores are per-thread (``threading.local``), so lookups take no
+      lock; id-recycling is defeated by the generation scheme above.
+    """
+
+    __slots__ = ("_resolver", "_tls")
+
+    def __init__(self, resolver: Callable[[CallStack], object]) -> None:
+        self._resolver = resolver
+        self._tls = threading.local()
+
+    def lookup_or_resolve(self, skip: int = 2):
+        """The ``Position`` for the calling application frame, or ``None``.
+
+        ``skip=2`` starts at the caller of the lock method invoking this.
+        Returns ``None`` when no application frame exists before the
+        asyncio boundary (the caller falls back to the exact capture,
+        which applies its fallback-stack policy).
+        """
+        try:
+            frame = sys._getframe(skip)
+        except ValueError:
+            return None
+        code = None
+        while frame is not None:
+            code = frame.f_code
+            filename = code.co_filename
+            kind = _classify.get(filename)
+            if kind is None:
+                kind = _classify_filename(filename)
+            if kind == _APP:
+                break
+            if kind == _BOUNDARY:
+                return None
+            frame = frame.f_back
+        if frame is None:
+            return None
+        # Two int-keyed dict hops (code id, then lasti) instead of one
+        # (id, lasti)-tuple key: int hashing is identity, and the hot
+        # hit skips the per-lookup tuple allocation.
+        slots = self._tls.__dict__
+        entries = slots.get("entries")
+        if entries is None or slots["generation"] != _code_generation:
+            entries = {}
+            slots["entries"] = entries
+            slots["generation"] = _code_generation
+        sites = entries.get(id(code))
+        if sites is not None:
+            position = sites.get(frame.f_lasti)
+            if position is not None:
+                return position
+        lineno = frame.f_lineno
+        stack_key = (filename, lineno)
+        stack = _stack_cache.get(stack_key)
+        if stack is None:
+            stack = CallStack.single(filename, lineno, code.co_name)
+            _stack_cache[stack_key] = stack
+        position = self._resolver(stack)
+        try:
+            _watch_code(code)
+        except TypeError:  # pragma: no cover - unweakrefable code
+            return position  # cannot invalidate -> do not cache
+        if sites is None:
+            entries[id(code)] = sites = {}
+        sites[frame.f_lasti] = position
+        return position
+
+    def entry_count(self) -> int:
+        """Live entries cached for the calling thread (introspection)."""
+        slots = self._tls.__dict__
+        if slots.get("generation") != _code_generation:
+            return 0
+        entries = slots.get("entries")
+        if not entries:
+            return 0
+        return sum(len(sites) for sites in entries.values())
 
 
 class StaticSiteRegistry:

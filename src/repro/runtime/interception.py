@@ -133,6 +133,16 @@ class RuntimeAdapter:
         with self._glock:
             return self.core.register_lock(name)
 
+    def resolve_position(self, stack: CallStack):
+        """Intern ``stack`` under the global lock.
+
+        The :class:`~repro.runtime.callsite.PositionCache` miss path:
+        ``PositionTable.intern`` is get→create→set and must never race,
+        so cache misses pay one glock round-trip and hits pay none.
+        """
+        with self._glock:
+            return self.core.positions.intern(stack)
+
     # ------------------------------------------------------------------
     # the monitorenter / monitorexit path
     # ------------------------------------------------------------------
@@ -189,6 +199,37 @@ class RuntimeAdapter:
                     continue
                 return True
 
+    def fast_acquired(self, lock_node: LockNode, position) -> bool:
+        """Book a won try-lock on a history-cold position (fast path).
+
+        The caller already holds the raw lock; the engine installs the
+        queue entry and hold edge under the glock without running the
+        avoidance section. ``False`` means the position is (or just
+        became) hot — the caller must release the raw lock and take
+        :meth:`before_acquire` instead.
+        """
+        # Inlined thread-local probe (the common case) — the full
+        # registration path only on a thread's first acquisition.
+        thread_node = getattr(self._tls, "node", None)
+        if thread_node is None:
+            thread_node = self.current_thread_node()
+        core = self.core
+        tel = core.telemetry
+        glock = self._glock
+        if tel is not None:
+            glock_t0 = time.monotonic_ns()
+            glock.acquire()
+            try:
+                tel.record("glock_wait", time.monotonic_ns() - glock_t0)
+                return core.fast_acquired(thread_node, lock_node, position)
+            finally:
+                glock.release()
+        glock.acquire()
+        try:
+            return core.fast_acquired(thread_node, lock_node, position)
+        finally:
+            glock.release()
+
     def after_acquire(self, lock_node: LockNode) -> None:
         thread_node = self.current_thread_node()
         with self._glock:
@@ -200,13 +241,16 @@ class RuntimeAdapter:
         # than acquired it (``threading.Lock`` semantics), and charging
         # the wrong node would leave a stale hold edge and a pinned
         # queue cell behind forever.
-        caller_node = self.current_thread_node()
+        caller_node = getattr(self._tls, "node", None)
+        if caller_node is None:
+            caller_node = self.current_thread_node()
         with self._glock:
             holder = lock_node.owner
             result = self.core.release(
                 holder if holder is not None else caller_node, lock_node
             )
-            self.core.notify_signatures(result.notify)
+            if result.notify:
+                self.core.notify_signatures(result.notify)
 
     def abandon_acquire(self, lock_node: LockNode) -> None:
         """Roll back a granted request whose physical acquire failed."""

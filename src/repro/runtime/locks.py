@@ -56,6 +56,12 @@ class LostRestoreMarker:
     def __init__(self) -> None:
         self._lost: set[int] = set()
 
+    def __bool__(self) -> bool:
+        # Truthiness = "any unit is marked". Fast paths test this before
+        # computing their key (get_ident / id(current_task) are not
+        # free), since the set is empty except after a detection.
+        return bool(self._lost)
+
     def mark(self, key: int) -> None:
         self._lost.add(key)
 
@@ -95,6 +101,16 @@ class DimmunixLock:
         # is one attribute load (None when telemetry — or the whole
         # runtime — is off).
         self._telemetry = self._adapter.core.telemetry if self._enabled else None
+        # Capture fast path: the runtime's (code, lasti) position cache
+        # (None when disabled or when the capture shape rules it out)
+        # and whether a cold-position try-lock may skip the avoidance
+        # section. fast_path needs a pre-glock Position, hence the cache.
+        self._cache = getattr(runtime, "position_cache", None) if self._enabled else None
+        self._fast_path = runtime.config.fast_path and self._cache is not None
+        # Pre-bound hot-path methods (a bound method lookup per acquire
+        # is measurable at this budget).
+        self._lookup = self._cache.lookup_or_resolve if self._cache is not None else None
+        self._fast_book = self._adapter.fast_acquired
         self.node = self._adapter.new_lock_node(name) if self._enabled else None
         self.name = name or (self.node.name if self.node else "lock")
         # Kept on the lock (not the condition) so both monitor
@@ -125,16 +141,44 @@ class DimmunixLock:
             return self._raw.acquire(blocking)
         if stack is None:
             tel = self._telemetry
-            if tel is not None:
-                capture_t0 = time.monotonic_ns()
-                stack = resolve_stack(
-                    self._depth, site_id, self._runtime.static_sites, skip=1
-                )
-                tel.record("capture", time.monotonic_ns() - capture_t0)
-            else:
-                stack = resolve_stack(
-                    self._depth, site_id, self._runtime.static_sites, skip=1
-                )
+            lookup = self._lookup
+            if lookup is not None and site_id is None:
+                if tel is not None:
+                    capture_t0 = time.monotonic_ns()
+                    position = lookup()
+                    tel.record("capture", time.monotonic_ns() - capture_t0)
+                else:
+                    position = lookup()
+                if position is not None:
+                    # No-history fast path: a *won* try-lock never waits,
+                    # so it cannot extend a cycle; if the engine confirms
+                    # the position is still history-cold it books the
+                    # hold without the avoidance section. A refusal (the
+                    # position went hot) drops the raw lock and falls
+                    # back to the exact path below.
+                    if (
+                        self._fast_path
+                        and not position.in_history
+                        and self._raw.acquire(False)
+                    ):
+                        if self._fast_book(self.node, position):
+                            lr = self._lost_restore
+                            if lr:
+                                lr.clear(_originals.get_ident())
+                            return True
+                        self._raw.release()
+                    stack = position.stack
+            if stack is None:
+                if tel is not None:
+                    capture_t0 = time.monotonic_ns()
+                    stack = resolve_stack(
+                        self._depth, site_id, self._runtime.static_sites, skip=1
+                    )
+                    tel.record("capture", time.monotonic_ns() - capture_t0)
+                else:
+                    stack = resolve_stack(
+                        self._depth, site_id, self._runtime.static_sites, skip=1
+                    )
         allowed = self._adapter.before_acquire(
             self.node, stack, wait=blocking
         )
@@ -223,6 +267,11 @@ class DimmunixRLock:
         self._enabled = runtime.config.enabled
         self._depth = runtime.config.stack_depth
         self._telemetry = self._adapter.core.telemetry if self._enabled else None
+        # See DimmunixLock: capture fast path wiring.
+        self._cache = getattr(runtime, "position_cache", None) if self._enabled else None
+        self._fast_path = runtime.config.fast_path and self._cache is not None
+        self._lookup = self._cache.lookup_or_resolve if self._cache is not None else None
+        self._fast_book = self._adapter.fast_acquired
         self._owner: Optional[int] = None
         self._count = 0
         self.node = self._adapter.new_lock_node(name) if self._enabled else None
@@ -244,24 +293,52 @@ class DimmunixRLock:
         if self._enabled:
             if stack is None:
                 tel = self._telemetry
-                if tel is not None:
-                    capture_t0 = time.monotonic_ns()
-                    stack = resolve_stack(
-                        self._depth,
-                        site_id,
-                        self._runtime.static_sites,
-                        skip=1,
-                    )
-                    tel.record(
-                        "capture", time.monotonic_ns() - capture_t0
-                    )
-                else:
-                    stack = resolve_stack(
-                        self._depth,
-                        site_id,
-                        self._runtime.static_sites,
-                        skip=1,
-                    )
+                lookup = self._lookup
+                if lookup is not None and site_id is None:
+                    if tel is not None:
+                        capture_t0 = time.monotonic_ns()
+                        position = lookup()
+                        tel.record(
+                            "capture", time.monotonic_ns() - capture_t0
+                        )
+                    else:
+                        position = lookup()
+                    if position is not None:
+                        # See DimmunixLock.acquire: won try-lock on a
+                        # history-cold position skips the avoidance
+                        # section. Ownership is claimed only after the
+                        # engine books the hold.
+                        if (
+                            self._fast_path
+                            and not position.in_history
+                            and self._raw.acquire(False)
+                        ):
+                            if self._fast_book(self.node, position):
+                                self._owner = me
+                                self._count = 1
+                                self._lost_restore.clear(me)
+                                return True
+                            self._raw.release()
+                        stack = position.stack
+                if stack is None:
+                    if tel is not None:
+                        capture_t0 = time.monotonic_ns()
+                        stack = resolve_stack(
+                            self._depth,
+                            site_id,
+                            self._runtime.static_sites,
+                            skip=1,
+                        )
+                        tel.record(
+                            "capture", time.monotonic_ns() - capture_t0
+                        )
+                    else:
+                        stack = resolve_stack(
+                            self._depth,
+                            site_id,
+                            self._runtime.static_sites,
+                            skip=1,
+                        )
             allowed = self._adapter.before_acquire(
                 self.node, stack, wait=blocking
             )

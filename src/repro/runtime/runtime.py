@@ -22,7 +22,7 @@ from repro.core.history import History
 from repro.core.signature import DeadlockSignature
 from repro.core.stats import DimmunixStats
 from repro.runtime import _originals
-from repro.runtime.callsite import StaticSiteRegistry
+from repro.runtime.callsite import PositionCache, StaticSiteRegistry
 from repro.runtime.condition import DimmunixCondition
 from repro.runtime.interception import RuntimeAdapter
 from repro.runtime.locks import DimmunixLock, DimmunixRLock
@@ -53,6 +53,19 @@ class DimmunixRuntime:
         )
         self.adapter = RuntimeAdapter(self.core)
         self.static_sites = StaticSiteRegistry()
+        # The (code, lasti) position cache only resolves depth-1 dynamic
+        # positions, so it is wired up exactly when the runtime captures
+        # that shape; deeper stacks and static-id capture keep the walk.
+        self.position_cache = (
+            PositionCache(self.adapter.resolve_position)
+            if (
+                self.config.enabled
+                and self.config.position_cache
+                and self.config.stack_depth == 1
+                and not self.config.static_ids
+            )
+            else None
+        )
         self.monitors = MonitorRegistry(self)
 
     # ------------------------------------------------------------------

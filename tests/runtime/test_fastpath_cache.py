@@ -1,0 +1,284 @@
+"""Property tests for the (code, lasti) position cache.
+
+The cache must be a pure memo: for every call shape the cached capture
+resolves exactly the position the uncached frame walk resolves, and a
+dead (or recycled) code object can never serve a stale entry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import gc
+import os
+import sys
+import textwrap
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import callsite
+from tests.aio.conftest import make_aio_runtime
+from tests.conftest import make_runtime
+
+
+def _acquired_positions(runtime) -> list:
+    # AcquiredEvent carries no position; the request event of an
+    # uncontended acquire does, and fires exactly once per acquisition
+    # in these single-thread programs.
+    keys: list[tuple] = []
+    runtime.subscribe(
+        lambda event: keys.append(event.position), kinds=("request",)
+    )
+    return keys
+
+
+# ----------------------------------------------------------------------
+# the randomized call shapes (threaded)
+# ----------------------------------------------------------------------
+
+def _op_direct(runtime, locks) -> None:
+    locks["plain"].acquire()
+    locks["plain"].release()
+
+
+def _op_with(runtime, locks) -> None:
+    with locks["plain"]:
+        pass
+
+
+def _op_helper(runtime, locks) -> None:
+    def leaf() -> None:
+        with locks["plain"]:
+            pass
+
+    def mid() -> None:
+        leaf()
+
+    mid()
+
+
+def _op_rlock(runtime, locks) -> None:
+    with locks["rlock"]:
+        with locks["rlock"]:
+            pass
+
+
+def _op_cond_wait(runtime, locks) -> None:
+    cond = locks["cond"]
+    with cond:
+        # Timed wait with no notifier: releases, times out, reacquires —
+        # the reacquire is a capture the cache must get right too.
+        cond.wait(timeout=0.01)
+
+
+@contextlib.contextmanager
+def _managed(lock):
+    with lock:
+        yield
+
+
+def _op_contextmanager(runtime, locks) -> None:
+    with _managed(locks["plain"]):
+        pass
+
+
+_OPS = {
+    "direct": _op_direct,
+    "with": _op_with,
+    "helper": _op_helper,
+    "rlock": _op_rlock,
+    "cond_wait": _op_cond_wait,
+    "contextmanager": _op_contextmanager,
+}
+
+
+def _run_program(runtime, program) -> list:
+    locks = {
+        "plain": runtime.lock("P"),
+        "rlock": runtime.rlock("R"),
+        "cond": runtime.condition(),
+    }
+    keys = _acquired_positions(runtime)
+    for op in program:
+        _OPS[op](runtime, locks)
+    return keys
+
+
+@given(
+    program=st.lists(
+        st.sampled_from(sorted(_OPS)), min_size=1, max_size=8
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_cached_capture_equals_uncached_walk(program):
+    cached = make_runtime(position_cache=True, fast_path=False)
+    uncached = make_runtime(position_cache=False, fast_path=False)
+    assert cached.position_cache is not None
+    assert uncached.position_cache is None
+    cached_keys = _run_program(cached, program)
+    uncached_keys = _run_program(uncached, program)
+    assert cached_keys == uncached_keys
+    assert cached_keys  # every program acquires at least once
+    # The differential is real: the cached side actually used the cache.
+    assert cached.position_cache.entry_count() > 0
+
+
+# ----------------------------------------------------------------------
+# the randomized call shapes (aio)
+# ----------------------------------------------------------------------
+
+async def _aio_op_direct(locks) -> None:
+    await locks["plain"].acquire()
+    locks["plain"].release()
+
+
+async def _aio_op_with(locks) -> None:
+    async with locks["plain"]:
+        pass
+
+
+async def _aio_op_helper(locks) -> None:
+    async def leaf() -> None:
+        async with locks["plain"]:
+            pass
+
+    await leaf()
+
+
+async def _aio_op_rlock(locks) -> None:
+    async with locks["rlock"]:
+        async with locks["rlock"]:
+            pass
+
+
+_AIO_OPS = {
+    "direct": _aio_op_direct,
+    "with": _aio_op_with,
+    "helper": _aio_op_helper,
+    "rlock": _aio_op_rlock,
+}
+
+
+def _run_aio_program(runtime, program) -> list:
+    keys = _acquired_positions(runtime)
+
+    async def drive() -> None:
+        locks = {
+            "plain": runtime.lock("P"),
+            "rlock": runtime.rlock("R"),
+        }
+        for op in program:
+            await _AIO_OPS[op](locks)
+
+    asyncio.run(drive())
+    return keys
+
+
+@given(
+    program=st.lists(
+        st.sampled_from(sorted(_AIO_OPS)), min_size=1, max_size=6
+    )
+)
+@settings(max_examples=15, deadline=None)
+def test_aio_cached_capture_equals_uncached_walk(program):
+    cached = make_aio_runtime(position_cache=True, fast_path=False)
+    uncached = make_aio_runtime(position_cache=False, fast_path=False)
+    assert cached.position_cache is not None
+    assert uncached.position_cache is None
+    cached_keys = _run_aio_program(cached, program)
+    uncached_keys = _run_aio_program(uncached, program)
+    assert cached_keys == uncached_keys
+    assert cached_keys
+    assert cached.position_cache.entry_count() > 0
+
+
+# ----------------------------------------------------------------------
+# invalidation: code-object death must flush, id recycling must not hit
+# ----------------------------------------------------------------------
+
+_GRAB_SOURCE = textwrap.dedent(
+    """
+    def grab(lock):
+        with lock:
+            pass
+    """
+)
+
+
+def _make_grab():
+    namespace: dict = {}
+    exec(compile(_GRAB_SOURCE, "<fastpath-cache-test>", "exec"), namespace)
+    return namespace["grab"]
+
+
+def test_code_object_death_flushes_cache():
+    runtime = make_runtime(position_cache=True, fast_path=False)
+    cache = runtime.position_cache
+    lock = runtime.lock("G")
+
+    grab = _make_grab()
+    grab(lock)
+    assert cache.entry_count() >= 1
+    generation = callsite._code_generation
+
+    del grab
+    gc.collect()
+    assert callsite._code_generation > generation
+    assert cache.entry_count() == 0
+
+    # A fresh code object — plausibly recycling the dead one's id() —
+    # must resolve through the walk again, not hit a stale entry, and
+    # land on the same interned position (same synthetic file:line).
+    keys = _acquired_positions(runtime)
+    grab2 = _make_grab()
+    grab2(lock)
+    assert cache.entry_count() >= 1
+    assert keys == [(("<fastpath-cache-test>", 3),)]
+
+
+def test_unrelated_code_death_only_costs_a_rebuild():
+    """Generation flushes are coarse but self-healing: the next lookup
+    repopulates and subsequent hits serve from the cache again."""
+    runtime = make_runtime(position_cache=True, fast_path=False)
+    cache = runtime.position_cache
+    lock = runtime.lock("G")
+    with lock:
+        pass
+    before = cache.entry_count()
+    assert before >= 1
+
+    doomed = _make_grab()
+    doomed(lock)
+    del doomed
+    gc.collect()
+    assert cache.entry_count() == 0
+    with lock:
+        pass
+    assert cache.entry_count() >= 1
+
+
+def test_contextlib_boundary_is_internal():
+    """Regression for the contextlib classification: the file must be
+    resolved robustly (importlib spec, not a hand-built path) and
+    classified internal so ``with``-wrapped acquires attribute to the
+    application frame."""
+    assert callsite._CONTEXTLIB_FILE == os.path.abspath(
+        contextlib.__file__
+    )
+    assert callsite._is_internal(callsite._CONTEXTLIB_FILE)
+
+    runtime = make_runtime(position_cache=True, fast_path=False)
+    keys = _acquired_positions(runtime)
+    with _managed(runtime.lock("C")):
+        pass
+    assert len(keys) == 1
+    ((filename, _lineno),) = keys[0]
+    assert os.path.abspath(filename) == os.path.abspath(__file__)
+
+
+def test_cache_disabled_for_deep_capture_and_static_ids():
+    """The cache's soundness envelope is depth-1 dynamic capture only."""
+    assert make_runtime(stack_depth=2).position_cache is None
+    assert make_runtime(static_ids=True).position_cache is None
+    assert make_runtime(enabled=False).position_cache is None
+    assert make_runtime().position_cache is not None

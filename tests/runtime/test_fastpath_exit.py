@@ -1,0 +1,172 @@
+"""Fast-path exit coverage: a position that goes hot mid-run demotes.
+
+Three ways a fast-path-certified position can become history-hot while
+the process runs — a local detection recording its signature, a fleet
+pull through the SyncPump, and a predictive-immunity seed — and in every
+case the very next acquire at that site must abandon the fast path and
+take the exact glock'd avoidance section.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.callstack import CallStack
+from repro.core.history import open_history
+from repro.core.signature import DeadlockSignature, SignatureEntry
+from repro.errors import DeadlockDetectedError
+from repro.fleet.pump import SyncPump
+from tests.conftest import make_runtime
+
+
+def _hold_a(lock_a, inner=None):
+    """The instrumented site under test: its ``with`` line is the outer
+    position both for warm-up grabs and for the deadlock's signature."""
+    with lock_a:
+        if inner is not None:
+            inner()
+
+
+def _capture_one_position(runtime, grab) -> tuple:
+    """The position key the runtime records for ``grab()``'s acquire."""
+    keys: list[tuple] = []
+    subscription = runtime.subscribe(
+        lambda event: keys.append(event.position), kinds=("request",)
+    )
+    grab()
+    runtime.unsubscribe(subscription)
+    assert len(keys) == 1
+    return keys[0]
+
+
+def _signature_over(key: tuple) -> DeadlockSignature:
+    """An AB/BA-shaped signature whose first outer position is ``key``."""
+    return DeadlockSignature(
+        [
+            SignatureEntry(
+                CallStack.single(*key[0]), CallStack.single("peer.py", 2)
+            ),
+            SignatureEntry(
+                CallStack.single("peer.py", 10),
+                CallStack.single("peer.py", 11),
+            ),
+        ]
+    )
+
+
+def test_detection_demotes_and_run_two_avoids():
+    runtime = make_runtime()
+    lock_a = runtime.lock("A")
+    lock_b = runtime.lock("B")
+
+    # Warm the site: uncontended, history-cold, so the fast path books it.
+    _hold_a(lock_a)
+    assert runtime.stats.fastpath_acquires > 0
+    assert runtime.stats.fastpath_demotions == 0
+
+    def _run_pair(rt, a, b) -> dict:
+        outcome = {"finished": [], "detected": 0}
+
+        def ab() -> None:
+            def inner() -> None:
+                time.sleep(0.05)
+                with b:
+                    outcome["finished"].append("ab")
+
+            try:
+                _hold_a(a, inner)
+            except DeadlockDetectedError:
+                outcome["detected"] += 1
+
+        def ba() -> None:
+            try:
+                time.sleep(0.02)
+                with b:
+                    time.sleep(0.06)
+                    with a:
+                        outcome["finished"].append("ba")
+            except DeadlockDetectedError:
+                outcome["detected"] += 1
+
+        threads = [
+            threading.Thread(target=ab),
+            threading.Thread(target=ba),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10)
+        assert all(not thread.is_alive() for thread in threads)
+        return outcome
+
+    outcome_one = _run_pair(runtime, lock_a, lock_b)
+    assert outcome_one["detected"] == 1
+    # Recording the signature demoted the warm outer position on the spot.
+    assert runtime.stats.fastpath_demotions >= 1
+
+    # The next grab at the demoted site takes the exact path.
+    taken_before = runtime.stats.fastpath_acquires
+    _hold_a(lock_a)
+    assert runtime.stats.fastpath_acquires == taken_before
+
+    # Run 2 on the shared history: the antibody avoids the deadlock.
+    run_two = make_runtime(history=runtime.history)
+    outcome_two = _run_pair(run_two, run_two.lock("A"), run_two.lock("B"))
+    assert outcome_two["detected"] == 0
+    assert sorted(outcome_two["finished"]) == ["ab", "ba"]
+    assert run_two.stats.avoided_instantiations >= 1
+
+
+def test_fleet_pull_demotes_warm_position(tmp_path):
+    db = tmp_path / "pool.db"
+    follower = make_runtime(open_history(f"sqlite://{db}"))
+    lock = follower.lock("A")
+
+    key = _capture_one_position(follower, lambda: _hold_a(lock))
+    assert follower.stats.fastpath_acquires == 1
+    assert not follower.history.contains_position(key)
+
+    # A sibling process earns the antibody and flushes it to the pool.
+    sibling = open_history(f"sqlite://{db}")
+    sibling.add(_signature_over(key))
+    sibling.flush()
+
+    pump = SyncPump(follower.history, follower.events)
+    try:
+        assert pump.sync_now() >= 1
+    finally:
+        pump.close()
+
+    # The pull bumped the index epoch: the next fast-path attempt
+    # revalidates, finds the position hot, and falls back.
+    _hold_a(lock)
+    assert follower.stats.fastpath_demotions == 1
+    assert follower.stats.fastpath_acquires == 1  # no new fast takes
+    assert follower.history.contains_position(key)
+
+    # And the demotion is sticky: further grabs stay on the exact path.
+    _hold_a(lock)
+    assert follower.stats.fastpath_acquires == 1
+    assert follower.stats.fastpath_demotions == 1  # ticked once only
+
+    sibling.close()
+    follower.history.close()
+
+
+def test_predicted_seed_demotes_warm_position():
+    runtime = make_runtime()
+    lock = runtime.lock("A")
+
+    key = _capture_one_position(runtime, lambda: _hold_a(lock))
+    assert runtime.stats.fastpath_acquires == 1
+
+    # The static lint / trace miner seeds the same site predictively.
+    assert runtime.history.add_predicted(
+        _signature_over(key), origin="lint"
+    )
+
+    _hold_a(lock)
+    assert runtime.stats.fastpath_demotions == 1
+    assert runtime.stats.fastpath_acquires == 1
+    assert runtime.history.contains_position(key)
